@@ -1,0 +1,53 @@
+// Ablation: switching frequency of an integrated 12V-to-1V buck stage
+// (the physically-designed converter model). Shows the tradeoff the paper
+// describes in Section III: integrated passives force higher switching
+// frequencies, whose losses grow linearly, against passive size/ripple,
+// which shrinks as 1/f.
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/common/table.hpp"
+#include "vpd/converters/buck.hpp"
+
+int main() {
+  using namespace vpd;
+  using namespace vpd::literals;
+
+  std::printf("=== Ablation: switching frequency of a 12V-to-1V IVR buck "
+              "===\n\n");
+  std::printf("4-phase GaN buck, 40 A rated, embedded package inductors, "
+              "deep-trench caps.\n\n");
+
+  TextTable t({"f_sw", "L/phase", "L footprint", "k0 (fixed loss)",
+               "Loss @ 40 A", "Peak eff", "VR area"});
+  for (double mhz : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    BuckDesignInputs in;
+    in.device_tech = gan_technology();
+    in.inductor_tech = embedded_package_inductor_technology();
+    in.capacitor_tech = deep_trench_technology();
+    in.v_in = 12.0_V;
+    in.v_out = 1.0_V;
+    in.rated_current = 40.0_A;
+    in.phases = 4;
+    in.f_sw = Frequency{mhz * 1e6};
+    const SynchronousBuck buck(in);
+    t.add_row({format_double(mhz, 1) + " MHz",
+               format_si(buck.inductor().inductance().value) + "H",
+               format_double(as_mm2(buck.inductor().footprint()), 1) +
+                   " mm^2",
+               format_double(buck.loss_model().k0(), 2) + " W",
+               format_double(buck.loss(40.0_A).value, 2) + " W",
+               format_percent(
+                   buck.loss_model().peak_efficiency(in.v_out)),
+               format_double(as_mm2(buck.spec().area), 1) + " mm^2"});
+  }
+  std::cout << t << '\n';
+
+  std::printf(
+      "Reading: inductance (and with it the inductance-limited footprint) "
+      "falls\nas 1/f, but the embedded inductor is current-density limited "
+      "[14] below a\nfew MHz, so area flattens while switching loss keeps "
+      "climbing — the paper's\nargument for why near-POL converters "
+      "cannot simply out-run their passives\nwith frequency.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation: single-effective-sheet vs two-layer (interposer + die grid +
+// via field) PDN model for the A1 distribution solve. The Fig. 7
+// evaluation collapses the POL-rail metal into one calibrated sheet; this
+// bench re-runs the same scenario with physical per-layer values to show
+// what the calibration absorbs and where the loss actually sits.
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/arch/placement.hpp"
+#include "vpd/common/table.hpp"
+#include "vpd/converters/catalog.hpp"
+#include "vpd/core/spec.hpp"
+#include "vpd/package/interconnect.hpp"
+#include "vpd/package/layers.hpp"
+#include "vpd/package/stacked_mesh.hpp"
+
+int main() {
+  using namespace vpd;
+  using namespace vpd::literals;
+
+  const PowerDeliverySpec spec = paper_system();
+  const std::size_t n = 41;
+  const Current i_die = spec.die_current();
+
+  // A1 DSCH deployment: 48 periphery VRs.
+  const auto conv = make_topology(TopologyKind::kDsch);
+  const PlacementResult placement =
+      periphery_placement(spec.die_side(), conv->spec().area, 48);
+
+  std::printf("=== Ablation: PDN mesh fidelity (A1, 48 DSCH VRs) ===\n\n");
+
+  // --- Single effective sheet (the Fig. 7 model) -----------------------------
+  const GridMesh flat(spec.die_side(), spec.die_side(), n, n, 2.0e-3);
+  std::vector<VrAttachment> flat_legs;
+  const double spacing = 4.0 * spec.die_side().value / 48.0;
+  for (const VrSite& site : placement.sites) {
+    const auto patch =
+        patch_attachment(flat, site.x, site.y,
+                         Length{0.8 * spacing}, 1.0_V, Resistance{100e-6});
+    flat_legs.insert(flat_legs.end(), patch.begin(), patch.end());
+  }
+  const IrDropResult flat_result =
+      solve_irdrop(flat, flat_legs, uniform_sinks(flat, i_die));
+
+  // --- Two physical layers ----------------------------------------------------
+  // Interposer power metal and die grid from the layer library; via field
+  // per node from the Table I u-bump spec (20,000 power vias over the
+  // die, shared by the n^2 mesh nodes).
+  const double interposer_sheet = interposer_rdl().sheet_resistance();
+  const double die_sheet = die_grid().sheet_resistance();
+  const auto ubump =
+      interconnect_spec(InterconnectLevel::kInterposerToDieBump);
+  const std::size_t vias = ubump.vias_for_current(i_die);
+  const double per_node_via =
+      ubump.net_pair_resistance(vias).value * (n * n);
+  const StackedMesh stacked(spec.die_side(), n, interposer_sheet,
+                            die_sheet, Resistance{per_node_via});
+  std::vector<VrAttachment> stacked_legs;
+  for (const VrSite& site : placement.sites) {
+    const auto patch = patch_attachment(stacked.grid(0), site.x, site.y,
+                                        Length{0.8 * spacing}, 1.0_V,
+                                        Resistance{100e-6});
+    stacked_legs.insert(stacked_legs.end(), patch.begin(), patch.end());
+  }
+  Vector die_sinks(stacked.nodes_per_layer(),
+                   i_die.value / stacked.nodes_per_layer());
+  const StackedIrDropResult stacked_result =
+      solve_stacked_irdrop(stacked, stacked_legs, die_sinks);
+
+  TextTable t({"Model", "Lateral loss", "Via-field loss", "Worst VPOL"});
+  t.add_row({"single effective sheet (2.0 mOhm/sq)",
+             format_double(flat_result.grid_loss.value, 1) + " W", "-",
+             format_double(flat_result.min_node_voltage.value, 3) + " V"});
+  t.add_row(
+      {"two layers (RDL " +
+           format_double(interposer_sheet * 1e3, 2) + " + grid " +
+           format_double(die_sheet * 1e3, 2) + " mOhm/sq)",
+       format_double(stacked_result.losses.interposer_lateral.value +
+                         stacked_result.losses.die_lateral.value,
+                     1) +
+           " W",
+       format_double(stacked_result.losses.via_field.value, 2) + " W",
+       format_double(stacked_result.min_die_voltage.value, 3) + " V"});
+  std::cout << t << '\n';
+
+  std::printf("Layer split of the two-layer lateral loss: interposer "
+              "%.1f W, die grid %.1f W\n",
+              stacked_result.losses.interposer_lateral.value,
+              stacked_result.losses.die_lateral.value);
+  std::printf("\nReading: the physical two-layer model concentrates the "
+              "lateral loss in the\ninterposer metal (the die grid mostly "
+              "rides along through the dense via\nfield). The calibrated "
+              "single sheet of the Fig. 7 evaluation absorbs both\nlayers "
+              "and the via field into one number of the same magnitude — "
+              "the\ncalibration is a fidelity trade, not a different "
+              "physics.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Extension bench: dynamic (droop) comparison of the architectures using
+// the reduced transient models derived from the Fig. 7 evaluations. The
+// paper characterizes dc loss; this is the corresponding transient story:
+// the same vertical proximity that removes I^2 R also shrinks the supply
+// loop's inductance and with it the first-droop excursion.
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/arch/evaluator.hpp"
+#include "vpd/arch/transient_model.hpp"
+#include "vpd/common/table.hpp"
+
+int main() {
+  using namespace vpd;
+
+  const PowerDeliverySpec spec = paper_system();
+  EvaluationOptions options;
+  options.below_die_area_fraction = 1.6;
+
+  std::printf("=== Extension: load-step droop per architecture ===\n\n");
+  std::printf("Step: 200 A -> 500 A in 100 ns on the 1 V rail (reduced "
+              "models from the\nFig. 7 evaluations; default decap "
+              "banks).\n\n");
+
+  TextTable t({"Architecture", "R_eff", "L_loop", "Decap", "Worst VPOL",
+               "Droop", "Recovery"});
+  for (ArchitectureKind arch : all_architectures()) {
+    const ArchitectureEvaluation eval = evaluate_architecture(
+        arch, spec, TopologyKind::kDsch, DeviceTechnology::kGalliumNitride,
+        options);
+    const ReducedPdnModel model = build_reduced_pdn(spec, eval);
+    const DroopResult droop = simulate_load_step(
+        model, spec, Current{200.0}, Current{300.0}, Seconds{100e-9});
+    t.add_row({to_string(arch),
+               format_double(1e3 * model.effective_resistance.value, 3) +
+                   " mOhm",
+               format_si(model.loop_inductance.value) + "H",
+               format_si(model.decap.value) + "F",
+               format_double(droop.worst_voltage.value, 3) + " V",
+               format_double(1e3 * droop.droop.value, 1) + " mV",
+               format_si(droop.recovery_time.value) + "s"});
+  }
+  std::cout << t << '\n';
+
+  std::printf("Reading: vertical delivery improves the transient story by "
+              "the same\nmechanism as the dc one — the A0 board loop's "
+              "10 nH dominates its droop even\nbehind 2000 uF of bulk "
+              "decap, while the interposer architectures ride out\nthe "
+              "same step within tens of millivolts on their local bank.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Efficiency-vs-load curves of the Table II converters — the data behind
+// the published prototype plots the paper's characterization rests on
+// ([8] Fig. 12, [9] Fig. 7, [10] Fig. 4). Each model passes exactly
+// through its published peak point; the rest of the curve follows from
+// the quadratic loss decomposition. Both the as-published device
+// technology and the paper's all-GaN variants are shown.
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/common/table.hpp"
+#include "vpd/converters/catalog.hpp"
+
+int main() {
+  using namespace vpd;
+  using namespace vpd::literals;
+
+  std::printf("=== Converter efficiency curves (48V-to-1V) ===\n\n");
+
+  const double currents[] = {1.0, 3.0, 5.0, 10.0, 20.0, 30.0,
+                             50.0, 70.0, 100.0};
+
+  for (TopologyKind kind : all_topologies()) {
+    const HybridConverterData data = topology_data(kind);
+    const auto published =
+        std::make_shared<HybridSwitchedConverter>(data);
+    const auto gan = make_topology(kind, DeviceTechnology::kGalliumNitride);
+
+    std::printf("%s (published: %s, peak %.1f%% @ %.0f A, max %.0f A):\n",
+                data.name.c_str(), to_string(data.reference_tech),
+                100.0 * data.peak_efficiency, data.current_at_peak.value,
+                data.max_current.value);
+    TextTable t({"Load", "as published", "all-GaN variant"});
+    for (double i : currents) {
+      const Current load{i};
+      auto cell = [&](const Converter& c) -> std::string {
+        if (!c.supports(load)) return "-";
+        return format_percent(c.efficiency(load));
+      };
+      t.add_row({format_double(i, 0) + " A", cell(*published),
+                 cell(*gan)});
+    }
+    std::cout << t << '\n';
+  }
+
+  std::printf(
+      "Check points: DPMIH 90.9%% at 30 A, DSCH 91.5%% at 10 A, 3LHD "
+      "90.4%% at 3 A\nmatch the published peaks exactly (the calibration "
+      "constraint); the GaN\nvariants shift the peak to lower current and "
+      "raise it, as Section III\nanticipates for wide-bandgap devices.\n");
+  return 0;
+}

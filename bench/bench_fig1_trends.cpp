@@ -1,0 +1,59 @@
+// Fig. 1 reproduction: power and current-density demand of state-of-the-art
+// HPC chips (left) and server systems (right), with power-delivery-system
+// efficiency as the marker-size dimension. The paper's reading: chips are
+// rapidly approaching 1 kW / ~1 A/mm^2, servers ~20 kW, while PDS
+// efficiency erodes ([1] reports >30% loss on leading AI hardware).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/common/table.hpp"
+#include "vpd/core/trends.hpp"
+
+int main() {
+  using namespace vpd;
+
+  std::printf("=== Figure 1: HPC power and current-density demand ===\n\n");
+
+  auto print_dataset = [](const char* title,
+                          const std::vector<HpcSystemPoint>& points) {
+    std::printf("%s\n", title);
+    TextTable t({"System", "Year", "Power", "Silicon", "J (A/mm^2)",
+                 "PDS eff"});
+    for (const HpcSystemPoint& p : points) {
+      t.add_row({p.name, std::to_string(p.year),
+                 format_si(p.power.value) + "W",
+                 format_double(as_mm2(p.silicon_area), 0) + " mm^2",
+                 format_double(as_A_per_mm2(p.current_density()), 2),
+                 format_percent(p.pds_efficiency, 0)});
+    }
+    std::cout << t << '\n';
+  };
+
+  print_dataset("Individual chips (Fig. 1, left):", hpc_chip_dataset());
+  print_dataset("Server systems (Fig. 1, right):", hpc_server_dataset());
+
+  const auto chips = hpc_chip_dataset();
+  const auto servers = hpc_server_dataset();
+  double max_chip_w = 0.0, max_density = 0.0, max_server_w = 0.0;
+  double min_eff = 1.0;
+  for (const auto& c : chips) {
+    max_chip_w = std::max(max_chip_w, c.power.value);
+    max_density =
+        std::max(max_density, as_A_per_mm2(c.current_density()));
+    min_eff = std::min(min_eff, c.pds_efficiency);
+  }
+  for (const auto& s : servers)
+    max_server_w = std::max(max_server_w, s.power.value);
+
+  std::printf("Headline readings (paper claims in brackets):\n");
+  std::printf("  max chip power      : %4.0f W    [approaching 1000 W]\n",
+              max_chip_w);
+  std::printf("  max current density : %4.2f A/mm^2 [approaching 1 A/mm^2]\n",
+              max_density);
+  std::printf("  max server power    : %4.1f kW  [~20 kW]\n",
+              max_server_w / 1000.0);
+  std::printf("  worst chip PDS eff  : %4.0f%%    [>30%% loss reported, [1]]\n",
+              100.0 * min_eff);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 2 reproduction: current demand in high-performance systems vs the
+// packaging feature (vertical-interconnect pitch) that sets PPDN
+// resistance. The paper's point: current demand grew by orders of
+// magnitude while the packaging feature shrank only ~4x, so advanced
+// packaging alone cannot absorb the I^2 R problem.
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/common/table.hpp"
+#include "vpd/core/trends.hpp"
+#include "vpd/package/interconnect.hpp"
+
+int main() {
+  using namespace vpd;
+
+  std::printf("=== Figure 2: current demand vs packaging feature ===\n\n");
+
+  const auto current = current_demand_trend();
+  const auto feature = packaging_feature_trend();
+
+  TextTable t({"Year", "Die current (A)", "Packaging feature (um)",
+               "PPDN R trend (norm.)"});
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    // PPDN resistance tracks 1/(vias per area) ~ pitch^2, normalized to
+    // the first year.
+    const double r_norm = (feature[i].value * feature[i].value) /
+                          (feature[0].value * feature[0].value);
+    t.add_row({std::to_string(current[i].year),
+               format_double(current[i].value, 0),
+               format_double(feature[i].value, 0),
+               format_double(r_norm, 2)});
+  }
+  std::cout << t << '\n';
+
+  std::printf("Growth over the covered period:\n");
+  std::printf("  current demand : %.0fx   [orders of magnitude]\n",
+              trend_growth(current));
+  std::printf("  feature shrink : %.1fx   [~4x]\n",
+              1.0 / trend_growth(feature));
+
+  // The quadratic penalty the paper highlights: loss at fixed PPDN
+  // resistance grows with I^2.
+  const double i_ratio = trend_growth(current);
+  std::printf("  I^2 R loss growth at fixed PPDN R: %.0fx\n",
+              i_ratio * i_ratio);
+
+  // Cross-reference Table I: today's interconnect menu.
+  std::printf("\nPer-via resistance of today's vertical interconnect "
+              "(Table I geometry):\n");
+  for (const auto& spec : table_one()) {
+    std::printf("  %-8s %6.2f mOhm/via, %9zu available\n",
+                spec.type.c_str(), as_mOhm(spec.per_via()),
+                spec.available_count());
+  }
+  return 0;
+}

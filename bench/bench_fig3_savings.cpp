@@ -1,0 +1,84 @@
+// Fig. 3 reproduction: the power-savings illustration of moving voltage
+// regulation from the PCB toward the die. The figure contrasts the
+// traditional PCB-level conversion with regulation on the interposer; we
+// sweep the conversion point across the packaging hierarchy and report
+// the PPDN loss of each placement for the 1 kW / 1 kA system.
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/common/table.hpp"
+#include "vpd/core/spec.hpp"
+#include "vpd/package/interconnect.hpp"
+#include "vpd/package/layers.hpp"
+#include "vpd/package/stackup.hpp"
+
+int main() {
+  using namespace vpd;
+
+  const PowerDeliverySpec spec = paper_system();
+  const Current i_die = spec.die_current();       // 1 kA at 1 V
+  const Current i48 = spec.input_current(Power{1150.0});  // ~24 A at 48 V
+
+  std::printf("=== Figure 3: savings from conversion closer to the die ===\n");
+  std::printf("1 kW system; segments upstream of the converter carry %.0f A"
+              " at 48 V,\nsegments downstream carry %.0f A at 1 V.\n\n",
+              i48.value, i_die.value);
+
+  struct Location {
+    const char* name;
+    int convert_after;  // segments 0..n-1 upstream of the converter
+  };
+  // Path: PCB lateral -> BGA -> pkg lateral -> C4 -> interposer lateral
+  //       -> TSV -> u-bump.
+  const Location locations[] = {
+      {"PCB (A0, traditional)", 0},
+      {"package (after BGAs)", 2},
+      {"interposer (A1/A2, proposed)", 5},
+  };
+
+  TextTable t({"Conversion at", "PPDN loss", "of 1 kW", "48V-side drop",
+               "1V-side drop"});
+  for (const Location& loc : locations) {
+    PowerPath path;
+    int index = 0;
+    auto current_for = [&](int i) {
+      return i < loc.convert_after ? i48 : i_die;
+    };
+    path.add_lateral(pcb_lateral_segment(), current_for(index++));
+    path.add_vertical(interconnect_spec(InterconnectLevel::kPcbToPackage),
+                      current_for(index++));
+    path.add_lateral(package_lateral_segment(), current_for(index++));
+    path.add_vertical(
+        interconnect_spec(InterconnectLevel::kPackageToInterposer),
+        current_for(index++));
+    path.add_lateral(interposer_lateral_segment(), current_for(index++));
+    path.add_vertical(
+        interconnect_spec(InterconnectLevel::kThroughInterposer),
+        current_for(index++));
+    path.add_vertical(
+        interconnect_spec(InterconnectLevel::kInterposerToDieBump),
+        current_for(index++));
+
+    double drop48 = 0.0, drop1 = 0.0;
+    int k = 0;
+    for (const PathStage& s : path.stages()) {
+      if (k++ < loc.convert_after)
+        drop48 += s.drop().value;
+      else
+        drop1 += s.drop().value;
+    }
+    t.add_row({loc.name,
+               format_double(path.total_loss().value, 1) + " W",
+               format_percent(path.total_loss().value / 1000.0),
+               format_double(1e3 * drop48, 2) + " mV",
+               format_double(1e3 * drop1, 1) + " mV"});
+  }
+  std::cout << t << '\n';
+
+  std::printf("Reading: every lateral segment moved to the 48 V side of "
+              "the converter\ncarries 48x less current and dissipates "
+              "~2300x less power — the paper's\nFig. 3 message that "
+              "interposer-level regulation eliminates nearly all\n"
+              "PPDN loss.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Fig. 6 reproduction: the two canonical converter circuits — (a) the
+// SMPS buck and (b) the switched-capacitor series-parallel charge pump —
+// simulated to periodic steady state on the library's MNA engine, with
+// the measurements a bench characterization would report.
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/circuit/transient.hpp"
+#include "vpd/common/table.hpp"
+#include "vpd/converters/netlist_builder.hpp"
+#include "vpd/converters/switched_capacitor.hpp"
+#include "vpd/devices/technology.hpp"
+#include "vpd/passives/capacitor.hpp"
+
+namespace {
+
+vpd::TransientResult run(const vpd::SimulatableConverter& sim,
+                         double cycles) {
+  vpd::TransientOptions opts;
+  opts.t_stop = vpd::Seconds{cycles * sim.switching_period.value};
+  opts.dt = vpd::Seconds{sim.switching_period.value / 500.0};
+  opts.controller = sim.controller;
+  return vpd::simulate(sim.netlist, opts);
+}
+
+}  // namespace
+
+int main() {
+  using namespace vpd;
+  using namespace vpd::literals;
+
+  std::printf("=== Figure 6: SMPS buck and SC charge pump operation ===\n\n");
+
+  // --- (a) Buck across duty cycles --------------------------------------------
+  std::printf("(a) Synchronous buck, Vin = 12 V, f = 1 MHz, L = 4.7 uH, "
+              "load 0.5 Ohm:\n");
+  TextTable buck_table({"Duty", "Vout target", "Vout sim", "IL ripple pp",
+                        "Vout ripple pp"});
+  for (double duty : {1.0 / 12.0, 0.25, 0.5, 0.75}) {
+    BuckCircuitParams p;
+    p.v_in = 12.0_V;
+    p.duty = duty;
+    p.f_sw = 1.0_MHz;
+    p.inductance = 4.7_uH;
+    p.output_capacitance = 47.0_uF;
+    p.load = Resistance{0.5};
+    const SimulatableConverter sim = build_buck_circuit(p);
+    const TransientResult r = run(sim, 40.0);
+    const double window = 8.0 * sim.switching_period.value;
+    const double ripple_window = 2.0 * sim.switching_period.value;
+    buck_table.add_row(
+        {format_double(duty, 3),
+         format_double(12.0 * duty, 2) + " V",
+         format_double(r.voltage(sim.output_node).tail(window).average(),
+                       3) +
+             " V",
+         format_double(r.current("L1").tail(ripple_window).peak_to_peak(),
+                       3) +
+             " A",
+         format_double(1e3 * r.voltage(sim.output_node)
+                                 .tail(ripple_window)
+                                 .peak_to_peak(),
+                       1) +
+             " mV"});
+  }
+  std::cout << buck_table << '\n';
+  std::printf("The 48V-to-1V case would need ~2%% duty — the ultra-low "
+              "on-time limitation\nthe paper cites for direct high-ratio "
+              "buck conversion.\n\n");
+
+  // --- (b) SC charge pump across ratios ----------------------------------------
+  std::printf("(b) Series-parallel SC charge pump, f = 1 MHz, Cfly = 10 uF"
+              ", Rsw = 10 mOhm:\n");
+  TextTable sc_table({"Ratio", "Vin", "Ideal Vout", "Sim Vout",
+                      "R_out sim", "R_out model"});
+  for (unsigned ratio : {2u, 3u, 4u}) {
+    ScCircuitParams p;
+    p.v_in = Voltage{4.0 * ratio};
+    p.ratio = ratio;
+    p.f_sw = 1.0_MHz;
+    p.fly_capacitance = 10.0_uF;
+    p.switch_on_resistance = 10.0_mOhm;
+    p.output_capacitance = 4.7_uF;
+    p.load = 1.0_Ohm;
+    const SimulatableConverter sim = build_series_parallel_sc_circuit(p);
+    const TransientResult r = run(sim, 80.0);
+    const double window = 10.0 * sim.switching_period.value;
+    const double v_avg =
+        r.voltage(sim.output_node).tail(window).average();
+    const double i_avg =
+        r.current(sim.load_element).tail(window).average();
+    const double r_out_sim = (4.0 - v_avg) / i_avg;
+
+    ScDesignInputs model;
+    model.device_tech = gan_technology();
+    model.capacitor_tech = mlcc_technology();
+    model.v_in = p.v_in;
+    model.ratio = ratio;
+    model.rated_current = 10.0_A;
+    model.f_sw = p.f_sw;
+    model.fly_capacitance = p.fly_capacitance;
+    model.switch_resistance = p.switch_on_resistance;
+    const SeriesParallelSc analytic(model);
+
+    sc_table.add_row({std::to_string(ratio) + ":1",
+                      format_double(p.v_in.value, 0) + " V", "4.00 V",
+                      format_double(v_avg, 3) + " V",
+                      format_double(1e3 * r_out_sim, 1) + " mOhm",
+                      format_double(
+                          1e3 * analytic.output_resistance().value, 1) +
+                          " mOhm"});
+  }
+  std::cout << sc_table << '\n';
+  std::printf("The simulated droop tracks the Seeman-Sanders R_out model "
+              "across ratios,\nvalidating the analytic SC converter "
+              "characterization used in Fig. 7.\n");
+  return 0;
+}

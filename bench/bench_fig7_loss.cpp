@@ -1,0 +1,122 @@
+// Fig. 7 reproduction — the paper's headline result: PCB-to-POL power
+// loss of the proposed vertical power delivery architectures, split into
+// vertical interconnect, horizontal interconnect, and VR conversion loss,
+// normalized to the 1 kW available at the PCB.
+//
+// Paper claims checked at the bottom:
+//  * A0 loses >40%; the proposed architectures reach ~80% efficiency;
+//  * loss is dominated by VRs (>10%) and horizontal interconnect, with
+//    vertical interconnect negligible and total PPDN <10%;
+//  * two-stage conversion (A3) is less efficient than single-stage A1/A2;
+//  * 3LHD rows are N/A: the ~21 A per-VR load exceeds its 12 A rating;
+//  * horizontal loss shrinks ~19x / ~7x for A3@12V / A3@6V vs A0.
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/common/table.hpp"
+#include "vpd/core/explorer.hpp"
+
+int main() {
+  using namespace vpd;
+
+  const PowerDeliverySpec spec = paper_system();
+  EvaluationOptions options;
+  options.below_die_area_fraction = 1.6;  // paper mode, see EXPERIMENTS.md
+  const ArchitectureExplorer explorer(spec, options);
+  const ExplorationResult result = explorer.explore();
+
+  std::printf("=== Figure 7: PCB-to-POL loss breakdown (%% of 1 kW) ===\n\n");
+
+  TextTable t({"Architecture", "Converter", "Vertical", "Horizontal",
+               "VR stage 1", "VR stage 2", "Total", "Efficiency"});
+  for (const ExplorationEntry& entry : result.entries) {
+    const std::string topo =
+        entry.topology ? to_string(*entry.topology) : "PCB VR";
+    if (entry.excluded()) {
+      t.add_row({to_string(entry.architecture), topo, "-", "-", "-", "-",
+                 "N/A", "-"});
+      continue;
+    }
+    const ArchitectureEvaluation& ev = *entry.evaluation;
+    const double budget = spec.total_power.value;
+    t.add_row({to_string(entry.architecture), topo,
+               format_percent(ev.vertical_loss.value / budget, 2),
+               format_percent(ev.horizontal_loss.value / budget),
+               format_percent(ev.conversion_stage1.value / budget),
+               format_percent(ev.conversion_stage2.value / budget),
+               format_percent(ev.loss_fraction(spec.total_power)),
+               format_percent(ev.efficiency(spec.total_power))});
+  }
+  std::cout << t << '\n';
+
+  // --- Claim-by-claim verification against the paper --------------------------
+  const auto& a0 = *result.find(ArchitectureKind::kA0_PcbConversion)
+                        .evaluation;
+  const auto& a1 = *result.find(ArchitectureKind::kA1_InterposerPeriphery,
+                                TopologyKind::kDsch)
+                        .evaluation;
+  const auto& a2 = *result.find(ArchitectureKind::kA2_InterposerBelowDie,
+                                TopologyKind::kDsch)
+                        .evaluation;
+  const auto& a3_12 = *result.find(ArchitectureKind::kA3_TwoStage12V,
+                                   TopologyKind::kDsch)
+                           .evaluation;
+  const auto& a3_6 = *result.find(ArchitectureKind::kA3_TwoStage6V,
+                                  TopologyKind::kDsch)
+                          .evaluation;
+
+  auto check = [](bool ok, const char* text) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "!!", text);
+  };
+  std::printf("Paper claims (DSCH columns):\n");
+  check(a0.loss_fraction(spec.total_power) > 0.40,
+        "A0 (traditional) loses over 40%");
+  check(a1.efficiency(spec.total_power) > 0.78 &&
+            a2.efficiency(spec.total_power) > 0.78,
+        "proposed single-stage architectures reach ~80% efficiency");
+  check(a0.vertical_loss.value < 5.0 && a1.vertical_loss.value < 10.0,
+        "vertical interconnect loss is negligible");
+  check(a1.conversion_loss().value > 100.0 &&
+            a3_12.conversion_loss().value > 100.0,
+        "converters account for >10% loss in every proposed architecture");
+  check(a1.ppdn_loss().value < 100.0 && a2.ppdn_loss().value < 100.0 &&
+            a3_12.ppdn_loss().value < 100.0,
+        "PPDN loss stays below 10% in the proposed architectures");
+  check(a3_12.total_loss().value > a1.total_loss().value &&
+            a3_12.total_loss().value > a2.total_loss().value,
+        "two-stage conversion is less efficient than single-stage A1/A2");
+  std::printf(
+      "  [--] horizontal-loss reduction vs A0: %.0fx (A3@12V, paper 19x), "
+      "%.0fx (A3@6V, paper 7x)\n",
+      a0.horizontal_loss.value / a3_12.horizontal_loss.value,
+      a0.horizontal_loss.value / a3_6.horizontal_loss.value);
+  std::printf("  [--] per-VR currents: A1 %.0f..%.0f A (paper 16..27), "
+              "A2/DPMIH see bench_vr_spread\n",
+              a1.vr_current_spread->min, a1.vr_current_spread->max);
+
+  std::printf(
+      "\nNote on 3LHD: the paper deploys 48 VRs per architecture, putting "
+      "3LHD at\n~21 A per VR (beyond its 12 A rating) and excluding it "
+      "from Fig. 7 entirely.\nOur allocator reaches the same exclusion for "
+      "A1/A2; for the two-stage A3 it\nfinds a denser feasible deployment "
+      "(88 VRs at ~11 A), so those rows carry a\nmodel-derived estimate "
+      "the paper does not report.\n");
+
+  // Extrapolated 3LHD estimates, clearly flagged (the paper omits them).
+  std::printf("\n3LHD extrapolated estimates (not in the paper's figure):\n");
+  for (ArchitectureKind arch : {ArchitectureKind::kA1_InterposerPeriphery,
+                                ArchitectureKind::kA2_InterposerBelowDie}) {
+    const auto& entry = result.find(arch, TopologyKind::kDickson);
+    if (entry.extrapolated) {
+      std::printf("  %-7s: ~%.1f%% total loss at %.1f A per VR "
+                  "(beyond the 12 A rating)\n",
+                  to_string(arch),
+                  100.0 * entry.extrapolated->loss_fraction(
+                              spec.total_power),
+                  entry.extrapolated->vr_current_spread
+                      ? entry.extrapolated->vr_current_spread->mean
+                      : 0.0);
+    }
+  }
+  return 0;
+}

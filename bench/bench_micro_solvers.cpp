@@ -1,0 +1,108 @@
+// Micro-benchmarks (google-benchmark) of the numeric substrates: dense LU
+// for the circuit engine, conjugate gradient on PDN meshes, full IR-drop
+// solves at Fig. 7 scale, and transient stepping throughput.
+#include <benchmark/benchmark.h>
+
+#include "vpd/circuit/pwm.hpp"
+#include "vpd/circuit/transient.hpp"
+#include "vpd/common/matrix.hpp"
+#include "vpd/common/rng.hpp"
+#include "vpd/common/sparse.hpp"
+#include "vpd/converters/netlist_builder.hpp"
+#include "vpd/package/irdrop.hpp"
+#include "vpd/package/mesh.hpp"
+
+namespace {
+
+using namespace vpd;
+using namespace vpd::literals;
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  Vector b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_dense(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DenseLuSolve)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_CgMeshSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const GridMesh mesh(22.36_mm, 22.36_mm, n, n, 2e-3);
+  const CsrMatrix a = [&] {
+    TripletList t = mesh.laplacian();
+    t.add(0, 0, 1.0);
+    return CsrMatrix(t);
+  }();
+  Vector b(mesh.node_count(), 1e-3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_cg(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CgMeshSolve)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_IrDropFigureSevenScale(benchmark::State& state) {
+  // The Fig. 7 A1 solve: 41x41 mesh, 48 periphery patch attachments.
+  const GridMesh mesh(22.36_mm, 22.36_mm, 41, 41, 2e-3);
+  std::vector<VrAttachment> vrs;
+  for (int k = 0; k < 48; ++k) {
+    const double s = 4.0 * 22.36e-3 * (k + 0.5) / 48.0;
+    double x = 0.0, y = 0.0;
+    const double side = 22.36e-3;
+    if (s < side) {
+      x = s;
+    } else if (s < 2 * side) {
+      x = side;
+      y = s - side;
+    } else if (s < 3 * side) {
+      x = 3 * side - s;
+      y = side;
+    } else {
+      y = 4 * side - s;
+    }
+    const auto patch = patch_attachment(mesh, Length{x}, Length{y},
+                                        Length{1.4e-3}, 1.0_V,
+                                        Resistance{100e-6});
+    vrs.insert(vrs.end(), patch.begin(), patch.end());
+  }
+  const Vector sinks = uniform_sinks(mesh, Current{1000.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_irdrop(mesh, vrs, sinks));
+  }
+}
+BENCHMARK(BM_IrDropFigureSevenScale);
+
+void BM_TransientBuckCycle(benchmark::State& state) {
+  // Cost of simulating one switching cycle of the Fig. 6 buck at 500
+  // steps/cycle (LU cache warm after the first iteration).
+  BuckCircuitParams p;
+  p.f_sw = 1.0_MHz;
+  const SimulatableConverter sim = build_buck_circuit(p);
+  TransientOptions opts;
+  opts.t_stop = Seconds{1.0 / 1e6};
+  opts.dt = Seconds{1.0 / 1e6 / 500.0};
+  opts.controller = sim.controller;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(sim.netlist, opts));
+  }
+}
+BENCHMARK(BM_TransientBuckCycle);
+
+void BM_SparseAssembly(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const GridMesh mesh(22.36_mm, 22.36_mm, n, n, 2e-3);
+  for (auto _ : state) {
+    TripletList t = mesh.laplacian();
+    benchmark::DoNotOptimize(CsrMatrix(t));
+  }
+}
+BENCHMARK(BM_SparseAssembly)->Arg(41)->Arg(81);
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Extension bench: POL-rail impedance profile Z(f) — the standard PDN
+// design view that complements the paper's dc analysis. Builds the
+// PCB-VR (A0) and interposer-IVR (A1/A2) supply loops from the library's
+// lateral/vertical models and sweeps their small-signal impedance against
+// the target impedance of a representative load step.
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/circuit/ac_solver.hpp"
+#include "vpd/common/interpolation.hpp"
+#include "vpd/common/table.hpp"
+#include "vpd/package/layers.hpp"
+
+namespace {
+
+struct LoopModel {
+  const char* name;
+  double r_loop;
+  double l_loop;
+  double c_bulk;
+  double c_bulk_esr;
+  double c_local;  // on-die / on-interposer ceramic
+  double c_local_esr;
+};
+
+}  // namespace
+
+int main() {
+  using namespace vpd;
+  using namespace vpd::literals;
+
+  const double r_pcb_loop = pcb_lateral_segment().resistance().value +
+                            package_lateral_segment().resistance().value +
+                            interposer_lateral_segment().resistance().value;
+
+  const LoopModel loops[] = {
+      // IVR local decap: the interposer's deep-trench bank under the die
+      // (~1 uF/mm^2 over the 500 mm^2 shadow) with ~10 pH of attach.
+      {"PCB VR (A0)", r_pcb_loop, 10e-9, 2000e-6, 0.3e-3, 100e-6, 0.2e-3},
+      {"IVR (A1/A2)", 50e-6, 0.01e-9, 200e-6, 0.1e-3, 500e-6, 0.2e-3},
+  };
+
+  // Target: 50 mV allowed excursion on a 300 A step.
+  const Resistance z_target = target_impedance(50.0_mV, Current{300.0});
+  std::printf("=== Extension: POL-rail impedance vs target ===\n\n");
+  std::printf("Target impedance: %.3f mOhm (50 mV / 300 A)\n\n",
+              as_mOhm(z_target));
+
+  for (const LoopModel& m : loops) {
+    Netlist nl;
+    const NodeId vr = nl.add_node("vr");
+    const NodeId mid = nl.add_node("mid");
+    const NodeId pol = nl.add_node("pol");
+    const NodeId b1 = nl.add_node("b1");
+    const NodeId b2 = nl.add_node("b2");
+    nl.add_vsource("Vvr", vr, kGround, 1.0_V);
+    nl.add_resistor("Rloop", vr, mid, Resistance{m.r_loop});
+    nl.add_inductor("Lloop", mid, pol, Inductance{m.l_loop});
+    nl.add_resistor("Resr_bulk", pol, b1, Resistance{m.c_bulk_esr});
+    nl.add_capacitor("Cbulk", b1, kGround, Capacitance{m.c_bulk});
+    nl.add_resistor("Resr_loc", pol, b2, Resistance{m.c_local_esr});
+    nl.add_capacitor("Clocal", b2, kGround, Capacitance{m.c_local});
+    const ElementId port = nl.add_isource("port", pol, kGround, 1.0_A);
+
+    const std::vector<double> freqs = logspace(1e3, 1e9, 61);
+    const auto sweep = impedance_sweep(nl, port, freqs);
+    const ImpedancePoint peak = peak_impedance(sweep);
+
+    std::printf("%s:\n", m.name);
+    TextTable t({"f", "|Z| (mOhm)", "phase", "vs target"});
+    for (std::size_t i = 0; i < sweep.size(); i += 10) {
+      const ImpedancePoint& p = sweep[i];
+      t.add_row({format_si(p.frequency) + "Hz",
+                 format_double(1e3 * p.magnitude(), 3),
+                 format_double(p.phase_degrees(), 0) + " deg",
+                 p.magnitude() <= z_target.value ? "ok" : "EXCEEDS"});
+    }
+    std::cout << t;
+    std::printf("  anti-resonance peak: %.3f mOhm at %s Hz -> %s\n\n",
+                1e3 * peak.magnitude(), format_si(peak.frequency).c_str(),
+                peak.magnitude() <= z_target.value
+                    ? "meets target"
+                    : "EXCEEDS target");
+  }
+
+  std::printf("Reading: the A0 loop's inductance pushes its anti-resonance "
+              "peak far above\nthe target impedance, while the IVR loop "
+              "stays under it across the band —\nthe frequency-domain "
+              "counterpart of the droop comparison in\n"
+              "examples/droop_analysis.\n");
+  return 0;
+}

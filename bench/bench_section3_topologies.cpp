@@ -1,0 +1,105 @@
+// Section III reproduction: why direct buck conversion loses at 48V-to-1V
+// and SC-derived topologies win. The paper's argument: a 48V-to-1V buck
+// needs ~2% duty (ultra-low on-time) and full-input-voltage switch
+// stress; dividing the input first (series capacitor, flying capacitors,
+// or the DSCH/DPMIH/3LHD hybrids) relaxes both.
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/common/table.hpp"
+#include "vpd/converters/buck.hpp"
+#include "vpd/converters/catalog.hpp"
+#include "vpd/converters/fcml.hpp"
+#include "vpd/converters/series_cap_buck.hpp"
+
+int main() {
+  using namespace vpd;
+  using namespace vpd::literals;
+
+  std::printf("=== Section III: topology survey for 48V-class conversion "
+              "===\n\n");
+  std::printf("All physically-designed entries: GaN devices, embedded "
+              "package inductors,\n20 A rating, 1 MHz, matched 1%% "
+              "conduction budget.\n\n");
+
+  TextTable t({"Topology", "Scheme", "Duty/on-time", "Switch stress",
+               "Switches", "Peak eff", "at current", "Eff @ 20 A"});
+
+  auto add_converter = [&](const Converter& c, const std::string& duty,
+                           const std::string& stress) {
+    const double peak = c.loss_model().peak_efficiency(c.spec().v_out);
+    t.add_row({c.name(),
+               format_double(c.spec().v_in.value, 0) + "V-to-" +
+                   format_double(c.spec().v_out.value, 0) + "V",
+               duty, stress, std::to_string(c.spec().switch_count),
+               format_percent(peak),
+               format_double(c.loss_model().peak_current().value, 1) + " A",
+               c.supports(20.0_A)
+                   ? format_percent(c.efficiency(20.0_A))
+                   : "over rating"});
+  };
+
+  // Direct synchronous buck, 48 -> 1: the paper's 2% duty case.
+  {
+    BuckDesignInputs in;
+    in.name = "sync-buck";
+    in.device_tech = gan_technology();
+    in.inductor_tech = embedded_package_inductor_technology();
+    in.capacitor_tech = deep_trench_technology();
+    in.v_in = 48.0_V;
+    in.v_out = 1.0_V;
+    in.rated_current = 20.0_A;
+    in.phases = 1;
+    in.f_sw = 1.0_MHz;
+    const SynchronousBuck buck(in);
+    add_converter(buck, format_percent(buck.duty()), "48 V");
+  }
+  // Series-capacitor buck: halved stress, doubled duty.
+  {
+    SeriesCapBuckInputs in;
+    in.device_tech = gan_technology();
+    in.inductor_tech = embedded_package_inductor_technology();
+    in.capacitor_tech = mlcc_technology();
+    in.v_in = 48.0_V;
+    in.v_out = 1.0_V;
+    in.rated_current = 20.0_A;
+    in.f_sw = 1.0_MHz;
+    const SeriesCapacitorBuck scb(in);
+    add_converter(scb, format_percent(scb.effective_duty()), "24 V");
+  }
+  // 5-level FCML at the [7] 48V:2V point.
+  {
+    FcmlInputs in;
+    in.device_tech = gan_technology();
+    in.inductor_tech = embedded_package_inductor_technology();
+    in.capacitor_tech = mlcc_technology();
+    in.v_in = 48.0_V;
+    in.v_out = 2.0_V;
+    in.levels = 5;
+    in.rated_current = 20.0_A;
+    in.f_sw = 1.0_MHz;
+    const FlyingCapMultilevel fcml(in);
+    add_converter(fcml, "4 cells", "12 V");
+  }
+  // The paper's three hybrids (published-datapoint models, GaN).
+  for (TopologyKind kind : all_topologies()) {
+    const auto c = make_topology(kind);
+    const char* duty = kind == TopologyKind::kDickson
+                           ? "20% (3LHD raises on-time 2%->20%)"
+                           : "regulated";
+    add_converter(*c, duty, kind == TopologyKind::kDickson ? "4.8-24 V"
+                                                           : "divided");
+  }
+  std::cout << t << '\n';
+
+  std::printf(
+      "Reading (matches Section III):\n"
+      " * the direct buck pays full 48 V stress at ~2%% duty — worst "
+      "peak efficiency\n   of the physically-designed entries;\n"
+      " * each division of the input (SCB /2, FCML /4) buys back "
+      "efficiency;\n"
+      " * the published hybrids (DSCH/DPMIH/3LHD) sit at 90-94%% by "
+      "combining SC\n   division with soft charging — the basis of the "
+      "paper's architecture study.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Table II reproduction: characteristics of the state-of-the-art compact
+// 48V-to-1V converters (DPMIH, DSCH, 3LHD), the calibrated model curves,
+// and the VR placement counts for the 500 mm^2 / 1 kA system — published
+// values side by side with the library's re-derivation.
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/arch/placement.hpp"
+#include "vpd/arch/vr_allocation.hpp"
+#include "vpd/common/table.hpp"
+#include "vpd/converters/catalog.hpp"
+#include "vpd/core/spec.hpp"
+
+int main() {
+  using namespace vpd;
+
+  std::printf("=== Table II: compact high-current 48V-to-1V converters ===\n\n");
+
+  TextTable published({"", "DPMIH", "DSCH", "3LHD"});
+  const auto rows = published_table_two();
+  auto col = [&](auto getter) {
+    std::vector<std::string> cells{""};
+    for (const auto& r : rows) cells.push_back(getter(r));
+    return cells;
+  };
+  auto add = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells{label};
+    for (const auto& r : rows) cells.push_back(getter(r));
+    published.add_row(cells);
+  };
+  (void)col;
+  add("Conversion scheme",
+      [](const TableTwoRow& r) { return r.conversion_scheme; });
+  add("Max load current", [](const TableTwoRow& r) {
+    return format_double(r.max_load.value, 0) + " A";
+  });
+  add("Peak efficiency", [](const TableTwoRow& r) {
+    return format_percent(r.peak_efficiency);
+  });
+  add("Current at peak eff", [](const TableTwoRow& r) {
+    return format_double(r.current_at_peak.value, 0) + " A";
+  });
+  add("Switches",
+      [](const TableTwoRow& r) { return std::to_string(r.switches); });
+  add("Switches per mm^2", [](const TableTwoRow& r) {
+    return format_double(r.switches_per_mm2, 2);
+  });
+  add("Inductors",
+      [](const TableTwoRow& r) { return std::to_string(r.inductors); });
+  add("Total inductance", [](const TableTwoRow& r) {
+    return format_double(as_uH(r.total_inductance), 2) + " uH";
+  });
+  add("Capacitors",
+      [](const TableTwoRow& r) { return std::to_string(r.capacitors); });
+  add("Total capacitance", [](const TableTwoRow& r) {
+    return format_double(as_uF(r.total_capacitance), 1) + " uF";
+  });
+  add("VRs along periphery (published)", [](const TableTwoRow& r) {
+    return std::to_string(r.vrs_along_periphery);
+  });
+  add("VRs below die (published)", [](const TableTwoRow& r) {
+    return std::to_string(r.vrs_below_die);
+  });
+  std::cout << published << '\n';
+
+  // --- Library re-derivation --------------------------------------------------
+  const PowerDeliverySpec spec = paper_system();
+  std::printf("Library model (GaN devices, as evaluated in Fig. 7):\n");
+  TextTable model({"Topology", "Model peak eff", "at current", "VR area",
+                   "Ring capacity", "Deployed (2 rings)", "A per VR",
+                   "Within rating"});
+  for (TopologyKind kind : all_topologies()) {
+    const auto conv = make_topology(kind);
+    const VrAllocation wanted =
+        allocate_vrs(spec.die_current(), *conv, 0.70);
+    const unsigned ring =
+        periphery_ring_capacity(spec.die_side(), conv->spec().area);
+    // Deployment = allocation capped by two periphery rings (the paper's
+    // "additional rows" policy), as in the Fig. 7 evaluation.
+    const unsigned deployed = std::min(wanted.count, 2 * ring);
+    const VrAllocation alloc =
+        allocate_vrs_fixed(spec.die_current(), *conv, deployed);
+    model.add_row(
+        {std::string(to_string(kind)) + " (GaN)",
+         format_percent(conv->loss_model().peak_efficiency(
+             spec.die_voltage)),
+         format_double(conv->loss_model().peak_current().value, 0) + " A",
+         format_double(as_mm2(conv->spec().area), 1) + " mm^2",
+         std::to_string(ring), std::to_string(deployed),
+         format_double(alloc.nominal_per_vr.value, 1),
+         alloc.within_rating ? "yes" : "NO (paper: N/A in Fig. 7)"});
+  }
+  std::cout << model << '\n';
+
+  std::printf("Notes:\n"
+              " * DSCH's derived count (48) matches the published "
+              "deployment exactly.\n"
+              " * 3LHD at the paper's 48-VR deployment needs ~20.8 A/VR, "
+              "beyond its 12 A rating\n   — the basis of its exclusion "
+              "from Fig. 7.\n"
+              " * DPMIH derives 15 VRs at 70%% derating vs the published "
+              "8/7; the published\n   counts under-cover 1 kA (8 x 100 A "
+              "max) — see EXPERIMENTS.md.\n");
+  return 0;
+}

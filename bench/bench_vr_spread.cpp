@@ -1,0 +1,79 @@
+// Section IV per-VR load-sharing reproduction: "With A1, the current
+// delivered by various converters varies between 16 and 27 amperes.
+// Alternatively, with A2, the individual converters placed below the
+// center of the die provide as much as 93 amperes per VR while others
+// provide as little as 10 amperes per VR."
+//
+// The library computes these from the mesh IR-drop solve. Uniform load
+// reproduces A1's band and A2's high-end; the paper's full 10..93 A A2
+// range additionally requires a non-uniform (hotspot) workload, which the
+// paper does not specify — shown here explicitly.
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/arch/evaluator.hpp"
+#include "vpd/common/table.hpp"
+#include "vpd/workload/power_map.hpp"
+
+int main() {
+  using namespace vpd;
+
+  const PowerDeliverySpec spec = paper_system();
+  EvaluationOptions base;
+  base.below_die_area_fraction = 1.6;
+
+  struct Case {
+    const char* label;
+    ArchitectureKind arch;
+    TopologyKind topo;
+    bool hotspot;
+    unsigned fixed_vrs;  // 0 = automatic allocation
+    const char* paper;
+  };
+  const Case cases[] = {
+      {"A1 / DSCH, uniform load", ArchitectureKind::kA1_InterposerPeriphery,
+       TopologyKind::kDsch, false, 0, "16..27 A"},
+      {"A2 / DPMIH, uniform load", ArchitectureKind::kA2_InterposerBelowDie,
+       TopologyKind::kDpmih, false, 0, "up to 93 A"},
+      {"A2 / 48 VRs, center hotspot",
+       ArchitectureKind::kA2_InterposerBelowDie, TopologyKind::kDsch, true,
+       48, "10..93 A"},
+      {"A1 / DPMIH, uniform load", ArchitectureKind::kA1_InterposerPeriphery,
+       TopologyKind::kDpmih, false, 0, "(not reported)"},
+  };
+
+  std::printf("=== Section IV: per-VR current spread ===\n\n");
+  TextTable t({"Scenario", "VRs", "Min", "Mean", "Max", "Max/Min",
+               "Paper", "Within rating"});
+  for (const Case& c : cases) {
+    EvaluationOptions opts = base;
+    opts.fixed_final_stage_vrs = c.fixed_vrs;
+    if (c.hotspot) {
+      opts.sink_map = [](const GridMesh& mesh, Current total) {
+        return hotspot_power_map(mesh, total, 0.5, 0.5, 0.15, 0.33);
+      };
+    }
+    const ArchitectureEvaluation ev = evaluate_architecture(
+        c.arch, spec, c.topo, DeviceTechnology::kGalliumNitride, opts);
+    const Summary s = *ev.vr_current_spread;
+    t.add_row({c.label, std::to_string(ev.vr_count_stage2),
+               format_double(s.min, 1) + " A",
+               format_double(s.mean, 1) + " A",
+               format_double(s.max, 1) + " A",
+               format_double(s.max / s.min, 1) + "x", c.paper,
+               ev.within_rating ? "yes" : "NO"});
+  }
+  std::cout << t << '\n';
+
+  std::printf(
+      "Observations:\n"
+      " * A1's mid-edge VRs carry the most current and corner VRs the "
+      "least; the max\n   stays inside the DSCH 30 A rating, as the paper "
+      "requires for Fig. 7.\n"
+      " * A2's below-die DPMIH VRs approach their 100 A rating near the "
+      "die center —\n   the paper's 93 A observation. The low tail (10 A) "
+      "appears once the load is\n   non-uniform, supporting the paper's "
+      "remark that A2 converters must support\n   a much broader load "
+      "range than A1's.\n");
+  return 0;
+}

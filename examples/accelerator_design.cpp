@@ -1,0 +1,99 @@
+// Design study: power delivery for a next-generation AI accelerator.
+//
+// Walks the workflow a power architect would follow with this library:
+//  1. scale the paper's system to a hypothetical 1.5 kW accelerator,
+//  2. check vertical-interconnect feasibility and utilization,
+//  3. sweep the power level to see where PCB-level conversion stops
+//     being viable,
+//  4. stress the chosen architecture with a realistic hotspot workload.
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/common/table.hpp"
+#include "vpd/core/advisor.hpp"
+#include "vpd/core/explorer.hpp"
+#include "vpd/package/utilization.hpp"
+#include "vpd/workload/power_map.hpp"
+
+int main() {
+  using namespace vpd;
+  using namespace vpd::literals;
+
+  // --- 1. The accelerator ---------------------------------------------------
+  PowerDeliverySpec accel = paper_system();
+  accel.total_power = Power{1500.0};
+  accel.die_area = 600.0_mm2;
+  std::printf("Accelerator: %.0f W, %.0f A at %.0f V, %.0f mm^2 die "
+              "(%.2f A/mm^2)\n\n",
+              accel.total_power.value, accel.die_current().value,
+              accel.die_voltage.value, as_mm2(accel.die_area),
+              as_A_per_mm2(accel.current_density()));
+
+  EvaluationOptions options;
+  options.below_die_area_fraction = 1.6;
+
+  // --- 2. Vertical interconnect feasibility ---------------------------------
+  const Current i48 = accel.input_current(Power{1800.0});  // with margin
+  const auto rows = utilization_report({
+      {InterconnectLevel::kPcbToPackage, i48, std::nullopt},
+      {InterconnectLevel::kPackageToInterposer, i48, std::nullopt},
+      {InterconnectLevel::kThroughInterposer, accel.die_current(),
+       std::nullopt},
+      {InterconnectLevel::kInterposerToDiePad, accel.die_current(),
+       std::nullopt},
+  });
+  TextTable util({"Level", "Current", "Used/net", "Available", "Fraction",
+                  "Feasible"});
+  for (const UtilizationRow& r : rows) {
+    util.add_row({r.type, format_double(r.current.value, 1) + " A",
+                  std::to_string(r.used_per_net),
+                  std::to_string(r.available), format_percent(r.fraction),
+                  r.feasible ? "yes" : "NO"});
+  }
+  std::cout << "Vertical interconnect utilization (48 V feed, VPD):\n"
+            << util << '\n';
+
+  // --- 3. Architecture choice vs power level --------------------------------
+  std::cout << "Loss fraction vs accelerator power (DSCH, GaN):\n";
+  TextTable sweep({"Power", "A0 (PCB VR)", "A1 (periphery)",
+                   "A2 (below die)", "A3@12V"});
+  for (double watts : {500.0, 1000.0, 1500.0, 2000.0}) {
+    PowerDeliverySpec s = accel;
+    s.total_power = Power{watts};
+    auto loss = [&](ArchitectureKind arch) {
+      const ArchitectureEvaluation ev = evaluate_architecture(
+          arch, s, TopologyKind::kDsch, DeviceTechnology::kGalliumNitride,
+          options);
+      return format_percent(ev.loss_fraction(s.total_power));
+    };
+    sweep.add_row({format_double(watts, 0) + " W",
+                   loss(ArchitectureKind::kA0_PcbConversion),
+                   loss(ArchitectureKind::kA1_InterposerPeriphery),
+                   loss(ArchitectureKind::kA2_InterposerBelowDie),
+                   loss(ArchitectureKind::kA3_TwoStage12V)});
+  }
+  std::cout << sweep << '\n';
+
+  // --- 4. Hotspot stress on the winner ---------------------------------------
+  const ArchitectureExplorer explorer(accel, options);
+  const Recommendation best = recommend(explorer.explore());
+  std::printf("Recommended for this accelerator: %s\n\n",
+              best.rationale.c_str());
+
+  EvaluationOptions hotspot = options;
+  hotspot.sink_map = [](const GridMesh& mesh, Current total) {
+    return hotspot_power_map(mesh, total, 0.5, 0.5, 0.18, 0.4);
+  };
+  const ArchitectureEvaluation stressed = evaluate_architecture(
+      best.architecture, accel,
+      best.topology.value_or(TopologyKind::kDsch),
+      DeviceTechnology::kGalliumNitride, hotspot);
+  const Summary s = *stressed.vr_current_spread;
+  std::printf("Hotspot workload on %s: per-VR current %.1f..%.1f A "
+              "(mean %.1f A)%s\n",
+              to_string(best.architecture), s.min, s.max, s.mean,
+              stressed.within_rating ? "" : "  ** exceeds VR rating **");
+  std::printf("Worst POL voltage: %.3f V\n",
+              stressed.min_pol_voltage.value_or(Voltage{0.0}).value);
+  return 0;
+}

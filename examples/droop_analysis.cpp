@@ -1,0 +1,81 @@
+// Transient voltage droop at the point of load: why vertical power
+// delivery also wins dynamically. A load step is applied to the POL rail
+// through two PDN models built from this library's parameters:
+//
+//  * "PCB VR" — the regulator sits on the board (architecture A0): the
+//    current loop spans the PCB and package laterals (~0.3 mOhm) with
+//    tens of nH of loop inductance, buffered by bulk decap;
+//  * "IVR"    — the regulator sits on the interposer next to the die
+//    (A1/A2): micro-ohms and sub-nH to the load.
+#include <cstdio>
+
+#include "vpd/circuit/transient.hpp"
+#include "vpd/package/layers.hpp"
+#include "vpd/workload/load_transient.hpp"
+
+namespace {
+
+struct PdnCase {
+  const char* name;
+  double loop_resistance;  // Ohm
+  double loop_inductance;  // H
+  double decap;            // F
+};
+
+double run_case(const PdnCase& c) {
+  using namespace vpd;
+  using namespace vpd::literals;
+
+  Netlist nl;
+  const NodeId vr = nl.add_node("vr");
+  const NodeId mid = nl.add_node("mid");
+  const NodeId pol = nl.add_node("pol");
+  nl.add_vsource("Vvr", vr, kGround, 1.0_V);
+  nl.add_resistor("Rpdn", vr, mid, Resistance{c.loop_resistance});
+  nl.add_inductor("Lpdn", mid, pol, Inductance{c.loop_inductance});
+  nl.add_capacitor("Cdecap", pol, kGround, Capacitance{c.decap}, 1.0_V);
+  // 200 A baseline stepping to 300 A in 100 ns at t = 2 us.
+  nl.add_isource("load", pol, kGround,
+                 step_load(200.0_A, 100.0_A, Seconds{2e-6},
+                           Seconds{100e-9}));
+
+  TransientOptions opts;
+  opts.t_stop = Seconds{20e-6};
+  opts.dt = Seconds{2e-9};
+  opts.initialize_from_dc = true;
+  const TransientResult r = simulate(nl, opts);
+  const Trace v = r.voltage("pol");
+  return v.min();  // worst POL voltage during/after the step
+}
+
+}  // namespace
+
+int main() {
+  using namespace vpd;
+
+  // Loop resistances from the library's lateral models.
+  const double r_pcb_loop = pcb_lateral_segment().resistance().value +
+                            package_lateral_segment().resistance().value +
+                            interposer_lateral_segment().resistance().value;
+
+  const PdnCase cases[] = {
+      // Loop inductance: board+socket loop vs a sub-nH interposer hop.
+      // Decap: bulk board capacitance vs the local interposer/die bank.
+      {"PCB VR (A0)", r_pcb_loop, 10e-9, 2000e-6},
+      {"IVR on interposer (A1/A2)", 50e-6, 0.05e-9, 200e-6},
+  };
+
+  std::printf("Load step 200 A -> 300 A in 100 ns on the 1 V rail:\n\n");
+  std::printf("%-28s %-12s %-10s %-10s %s\n", "PDN", "R_loop", "L_loop",
+              "decap", "worst VPOL");
+  for (const PdnCase& c : cases) {
+    const double v_min = run_case(c);
+    std::printf("%-28s %7.1f uOhm %6.1f nH %7.0f uF %8.3f V  (droop %.1f mV)\n",
+                c.name, 1e6 * c.loop_resistance, 1e9 * c.loop_inductance,
+                1e6 * c.decap, v_min, 1e3 * (1.0 - v_min));
+  }
+  std::printf("\nThe IVR loop's lower inductance and resistance cut the "
+              "first-droop excursion\nand let the rail recover within the "
+              "regulator bandwidth.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: explore the vertical power delivery architecture space for
+// the paper's headline system (1 kW, 48 V feed, 1 V / 1 kA / 500 mm^2 die)
+// and print a Fig. 7-style loss breakdown plus a recommendation.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "vpd/common/table.hpp"
+#include "vpd/core/advisor.hpp"
+#include "vpd/core/explorer.hpp"
+
+int main() {
+  using namespace vpd;
+
+  // 1. Describe the system.
+  const PowerDeliverySpec spec = paper_system();
+  std::printf("System: %.0f W, %.0f V feed, %.0f V / %.0f A die, %.0f mm^2 "
+              "(%.1f A/mm^2)\n\n",
+              spec.total_power.value, spec.pcb_voltage.value,
+              spec.die_voltage.value, spec.die_current().value,
+              as_mm2(spec.die_area), as_A_per_mm2(spec.current_density()));
+
+  // 2. Evaluate every architecture x converter combination. The options
+  //    mirror the paper's Fig. 7 setup (see EXPERIMENTS.md).
+  EvaluationOptions options;
+  options.below_die_area_fraction = 1.6;
+  const ArchitectureExplorer explorer(spec, options);
+  const ExplorationResult result = explorer.explore();
+
+  // 3. Print the loss breakdown.
+  TextTable table({"Architecture", "Converter", "Vertical", "Horizontal",
+                   "Converters", "Total loss", "Efficiency"});
+  for (const ExplorationEntry& entry : result.entries) {
+    const std::string topo =
+        entry.topology ? to_string(*entry.topology) : "PCB VR";
+    if (entry.excluded()) {
+      table.add_row({to_string(entry.architecture), topo, "-", "-", "-",
+                     "N/A (rating)", "-"});
+      continue;
+    }
+    const ArchitectureEvaluation& ev = *entry.evaluation;
+    table.add_row({to_string(entry.architecture), topo,
+                   format_double(ev.vertical_loss.value, 1) + " W",
+                   format_double(ev.horizontal_loss.value, 1) + " W",
+                   format_double(ev.conversion_loss().value, 1) + " W",
+                   format_percent(ev.loss_fraction(spec.total_power)),
+                   format_percent(ev.efficiency(spec.total_power))});
+  }
+  std::cout << table << '\n';
+
+  // 4. Ask the advisor.
+  const Recommendation best = recommend(result);
+  std::printf("Recommended: %s\n", best.rationale.c_str());
+  return 0;
+}

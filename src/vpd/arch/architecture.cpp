@@ -1,0 +1,44 @@
+#include "vpd/arch/architecture.hpp"
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+const char* to_string(ArchitectureKind kind) {
+  switch (kind) {
+    case ArchitectureKind::kA0_PcbConversion: return "A0";
+    case ArchitectureKind::kA1_InterposerPeriphery: return "A1";
+    case ArchitectureKind::kA2_InterposerBelowDie: return "A2";
+    case ArchitectureKind::kA3_TwoStage12V: return "A3@12V";
+    case ArchitectureKind::kA3_TwoStage6V: return "A3@6V";
+  }
+  return "unknown";
+}
+
+std::vector<ArchitectureKind> all_architectures() {
+  return {ArchitectureKind::kA0_PcbConversion,
+          ArchitectureKind::kA1_InterposerPeriphery,
+          ArchitectureKind::kA2_InterposerBelowDie,
+          ArchitectureKind::kA3_TwoStage12V,
+          ArchitectureKind::kA3_TwoStage6V};
+}
+
+bool is_two_stage(ArchitectureKind kind) {
+  return kind == ArchitectureKind::kA3_TwoStage12V ||
+         kind == ArchitectureKind::kA3_TwoStage6V;
+}
+
+Voltage intermediate_voltage(ArchitectureKind kind) {
+  switch (kind) {
+    case ArchitectureKind::kA3_TwoStage12V: return Voltage{12.0};
+    case ArchitectureKind::kA3_TwoStage6V: return Voltage{6.0};
+    default:
+      throw InvalidArgument("architecture has no intermediate rail");
+  }
+}
+
+bool periphery_final_stage(ArchitectureKind kind) {
+  return kind == ArchitectureKind::kA1_InterposerPeriphery;
+}
+
+}  // namespace vpd

@@ -1,0 +1,42 @@
+// The paper's five power-delivery architectures (Fig. 4):
+//
+//  A0        — reference: 48V-to-1V conversion on the PCB; the full die
+//              current crosses every packaging level laterally+vertically.
+//  A1        — single-stage 48V-to-1V VRs on the interposer, distributed
+//              along the die periphery; passives embedded in-interposer
+//              under the transistors.
+//  A2        — single-stage 48V-to-1V VRs embedded in-interposer directly
+//              below the die, with their passives (~50% of die area).
+//  A3@12V    — two-stage: 48V-to-12V on-interposer periphery VRs, then
+//              12V-to-1V VRs on a dedicated power die under the functional
+//              die.
+//  A3@6V     — the same with a 6 V intermediate rail.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+enum class ArchitectureKind {
+  kA0_PcbConversion,
+  kA1_InterposerPeriphery,
+  kA2_InterposerBelowDie,
+  kA3_TwoStage12V,
+  kA3_TwoStage6V,
+};
+
+const char* to_string(ArchitectureKind kind);
+std::vector<ArchitectureKind> all_architectures();
+
+/// True for the two-stage variants.
+bool is_two_stage(ArchitectureKind kind);
+/// Intermediate rail voltage for the two-stage variants; throws otherwise.
+Voltage intermediate_voltage(ArchitectureKind kind);
+/// True if the final-stage VRs sit along the die periphery (A1 and the
+/// first stage of A3); false if they sit below the die (A2, A3 stage 2).
+bool periphery_final_stage(ArchitectureKind kind);
+
+}  // namespace vpd

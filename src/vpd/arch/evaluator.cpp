@@ -1,0 +1,389 @@
+#include "vpd/arch/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vpd/arch/placement.hpp"
+#include "vpd/arch/vr_allocation.hpp"
+#include "vpd/common/error.hpp"
+#include "vpd/converters/dpmih.hpp"
+#include "vpd/converters/transformer_stage.hpp"
+#include "vpd/package/irdrop.hpp"
+#include "vpd/package/layers.hpp"
+#include "vpd/package/mesh.hpp"
+
+namespace vpd {
+
+namespace {
+
+/// Sum of per-VR conversion losses; flags rating violations.
+Power vr_conversion_loss(const Converter& converter,
+                         const std::vector<double>& currents,
+                         const EvaluationOptions& options,
+                         ArchitectureEvaluation& eval) {
+  double total = 0.0;
+  for (double amps : currents) {
+    const Current load{std::max(amps, 1e-6)};
+    if (converter.supports(load)) {
+      total += converter.loss(load).value;
+    } else {
+      eval.within_rating = false;
+      if (!options.allow_extrapolation) {
+        throw InfeasibleDesign(detail::concat(
+            converter.name(), " cannot deliver ", load.value,
+            " A per VR and extrapolation is disabled"));
+      }
+      eval.used_extrapolation = true;
+      total += converter.loss_extrapolated(load).value;
+    }
+  }
+  return Power{total};
+}
+
+struct DistributionResult {
+  Power grid_loss{};
+  Power attach_loss{};
+  std::vector<double> vr_currents;  // per site
+  Voltage min_voltage{};
+};
+
+/// Mesh solve of one distribution rail: VR outputs at `sites`, uniform
+/// sinks totalling `total_current`.
+DistributionResult solve_distribution(const PowerDeliverySpec& spec,
+                                      const std::vector<VrSite>& sites,
+                                      Voltage rail, Current total_current,
+                                      Resistance attach_series,
+                                      const EvaluationOptions& options) {
+  const GridMesh mesh(spec.die_side(), spec.die_side(), options.mesh_nodes,
+                      options.mesh_nodes, options.distribution_sheet_ohms);
+  // Patch footprint: never wider than the VR spacing, or neighbouring
+  // patches would overlap and share attachment nodes.
+  const double spacing =
+      4.0 * spec.die_side().value / static_cast<double>(sites.size());
+  const Length patch_side{std::min(options.vr_patch.value, 0.8 * spacing)};
+  std::vector<VrAttachment> legs;
+  std::vector<std::size_t> legs_per_site;
+  legs_per_site.reserve(sites.size());
+  for (const VrSite& site : sites) {
+    const double ring_extra = site.ring * options.ring_series_squares *
+                              options.distribution_sheet_ohms;
+    const auto patch = patch_attachment(
+        mesh, site.x, site.y, patch_side, rail,
+        Resistance{attach_series.value + ring_extra});
+    legs_per_site.push_back(patch.size());
+    legs.insert(legs.end(), patch.begin(), patch.end());
+  }
+  Vector sinks = options.sink_map ? options.sink_map(mesh, total_current)
+                                  : uniform_sinks(mesh, total_current);
+  VPD_REQUIRE(sinks.size() == mesh.node_count(),
+              "sink map returned wrong node count");
+  double sink_total = 0.0;
+  for (double s : sinks) sink_total += s;
+  VPD_REQUIRE(std::fabs(sink_total - total_current.value) <=
+                  1e-3 * total_current.value,
+              "sink map totals ", sink_total, " A, expected ",
+              total_current.value);
+  const IrDropResult ir = solve_irdrop(mesh, legs, sinks);
+
+  DistributionResult result;
+  result.grid_loss = ir.grid_loss;
+  result.attach_loss = ir.series_loss;
+  result.min_voltage = ir.min_node_voltage;
+  result.vr_currents.reserve(sites.size());
+  std::size_t cursor = 0;
+  for (std::size_t count : legs_per_site) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < count; ++k) sum += ir.vr_currents[cursor++];
+    result.vr_currents.push_back(sum);
+  }
+  return result;
+}
+
+/// Adds the 48 V feed stages (PCB lateral, BGAs, package lateral, C4s) for
+/// input current `i48`; optionally TSVs at the same current.
+void add_upstream(ArchitectureEvaluation& eval, Current i48,
+                  bool tsv_at_input) {
+  PowerPath path;
+  path.add_lateral(pcb_lateral_segment(), i48);
+  path.add_vertical(interconnect_spec(InterconnectLevel::kPcbToPackage),
+                    i48);
+  path.add_lateral(package_lateral_segment(), i48);
+  path.add_vertical(
+      interconnect_spec(InterconnectLevel::kPackageToInterposer), i48);
+  if (tsv_at_input) {
+    path.add_vertical(
+        interconnect_spec(InterconnectLevel::kThroughInterposer), i48);
+  }
+  eval.horizontal_loss += path.lateral_loss();
+  eval.vertical_loss += path.vertical_loss();
+  for (const PathStage& s : path.stages()) eval.stages.push_back(s);
+}
+
+/// Lumped vertical field crossing at `current` (e.g. the u-bump field
+/// between interposer and die).
+void add_vertical_field(ArchitectureEvaluation& eval, InterconnectLevel level,
+                        Current current) {
+  PowerPath path;
+  path.add_vertical(interconnect_spec(level), current);
+  eval.vertical_loss += path.vertical_loss();
+  for (const PathStage& s : path.stages()) eval.stages.push_back(s);
+}
+
+/// Per-VR share of a vertical field carrying `total` through the die area.
+Resistance per_vr_field_resistance(InterconnectLevel level, Current total,
+                                   unsigned vr_count) {
+  const auto spec = interconnect_spec(level);
+  const std::size_t vias = std::max<std::size_t>(
+      spec.vias_for_current(total) / std::max(1u, vr_count), 1);
+  return spec.net_pair_resistance(vias);
+}
+
+unsigned area_capped_count(unsigned wanted, Area die_area, Area vr_area,
+                           double fraction,
+                           ArchitectureEvaluation& eval,
+                           const std::string& label) {
+  const auto cap = static_cast<unsigned>(
+      std::floor(fraction * die_area.value / vr_area.value));
+  if (cap == 0) {
+    throw InfeasibleDesign(detail::concat(
+        label, ": a single VR (", vr_area.value * 1e6,
+        " mm^2) exceeds the available below-die area"));
+  }
+  if (wanted > cap) {
+    eval.notes.push_back(detail::concat(
+        label, ": area caps the below-die VR count at ", cap,
+        " (current allocation wanted ", wanted, ")"));
+    return cap;
+  }
+  return wanted;
+}
+
+ArchitectureEvaluation evaluate_a0(const PowerDeliverySpec& spec,
+                                   const EvaluationOptions& options) {
+  (void)options;  // A0 has no mesh or VR placement to configure
+  ArchitectureEvaluation eval;
+  eval.architecture = ArchitectureKind::kA0_PcbConversion;
+  const Current i_die = spec.die_current();
+
+  const auto converter =
+      pcb_reference_converter(Current{1.5 * i_die.value});
+  eval.converter_label = converter->name();
+  eval.conversion_stage1 = converter->loss(i_die);
+  eval.vr_count_stage1 = 1;
+
+  // Full die current crosses every lateral segment and vertical field.
+  PowerPath path;
+  path.add_lateral(pcb_lateral_segment(), i_die);
+  path.add_vertical(interconnect_spec(InterconnectLevel::kPcbToPackage),
+                    i_die);
+  path.add_lateral(package_lateral_segment(), i_die);
+  path.add_vertical(
+      interconnect_spec(InterconnectLevel::kPackageToInterposer), i_die);
+  path.add_lateral(interposer_lateral_segment(), i_die);
+  path.add_vertical(
+      interconnect_spec(InterconnectLevel::kThroughInterposer), i_die);
+  path.add_vertical(
+      interconnect_spec(InterconnectLevel::kInterposerToDieBump), i_die);
+  eval.horizontal_loss += path.lateral_loss();
+  eval.vertical_loss += path.vertical_loss();
+  eval.stages = path.stages();
+
+  // Feasibility commentary (the paper's Section IV die-size argument).
+  const auto c4 = interconnect_spec(InterconnectLevel::kPackageToInterposer);
+  const Area min_die{
+      static_cast<double>(c4.vias_for_current(i_die)) * c4.pitch.value *
+      c4.pitch.value / c4.max_power_fraction};
+  if (min_die.value > spec.die_area.value) {
+    eval.notes.push_back(detail::concat(
+        "A0 needs a ", min_die.value * 1e6,
+        " mm^2 die to satisfy the C4 allocation cap (spec die is ",
+        spec.die_area.value * 1e6, " mm^2)"));
+  }
+  return eval;
+}
+
+ArchitectureEvaluation evaluate_single_stage(ArchitectureKind kind,
+                                             const PowerDeliverySpec& spec,
+                                             TopologyKind topology,
+                                             DeviceTechnology tech,
+                                             const EvaluationOptions& options) {
+  ArchitectureEvaluation eval;
+  eval.architecture = kind;
+  const Current i_die = spec.die_current();
+  const bool periphery = (kind == ArchitectureKind::kA1_InterposerPeriphery);
+
+  const auto converter = make_topology(topology, tech);
+  eval.converter_label = converter->name();
+
+  VrAllocation alloc =
+      options.fixed_final_stage_vrs > 0
+          ? allocate_vrs_fixed(i_die, *converter,
+                               options.fixed_final_stage_vrs)
+          : allocate_vrs(i_die, *converter, options.derating);
+  for (const auto& note : alloc.notes) eval.notes.push_back(note);
+
+  unsigned count = alloc.count;
+  PlacementResult placement;
+  if (periphery) {
+    const unsigned max_rings = std::max(1u, options.max_periphery_rings);
+    const unsigned capacity =
+        max_rings *
+        periphery_ring_capacity(spec.die_side(), converter->spec().area);
+    if (count > capacity) {
+      eval.notes.push_back(detail::concat(
+          converter->name(), ": periphery capacity caps the VR count at ",
+          capacity, " (current allocation wanted ", count, ")"));
+      count = capacity;
+    }
+    placement = periphery_placement(spec.die_side(),
+                                    converter->spec().area, count,
+                                    max_rings);
+    eval.periphery_rings = placement.rings_used;
+  } else {
+    count = area_capped_count(count, spec.die_area, converter->spec().area,
+                              options.below_die_area_fraction, eval,
+                              converter->name());
+    placement = below_die_placement(spec.die_side(), converter->spec().area,
+                                    count, options.below_die_area_fraction);
+  }
+  eval.vr_count_stage2 = count;
+
+  // Attachment series resistance: A1 VRs drive the mesh through their
+  // local interposer via stack; A2 VRs reach the die through their share
+  // of the TSV and Cu-pad fields.
+  Resistance attach = options.vr_attach_series;
+  if (!periphery) {
+    attach = Resistance{
+        per_vr_field_resistance(InterconnectLevel::kThroughInterposer,
+                                i_die, count)
+            .value +
+        per_vr_field_resistance(InterconnectLevel::kInterposerToDiePad,
+                                i_die, count)
+            .value +
+        options.vr_attach_series.value};
+  }
+
+  const DistributionResult dist = solve_distribution(
+      spec, placement.sites, spec.die_voltage, i_die, attach, options);
+  eval.horizontal_loss += dist.grid_loss;
+  eval.vertical_loss += dist.attach_loss;
+  eval.vr_current_spread = summarize(dist.vr_currents);
+  eval.min_pol_voltage = dist.min_voltage;
+
+  eval.conversion_stage2 =
+      vr_conversion_loss(*converter, dist.vr_currents, options, eval);
+
+  // Die interface field: A1's 1 V current climbs the u-bump field after
+  // its lateral journey; A2's climb is already inside the attach series.
+  if (periphery) {
+    add_vertical_field(eval, InterconnectLevel::kInterposerToDieBump,
+                       i_die);
+  }
+
+  // 48 V feed sized from the actual input power.
+  const double p_in = spec.total_power.value + eval.total_loss().value;
+  const Current i48 = spec.input_current(Power{p_in});
+  add_upstream(eval, i48, /*tsv_at_input=*/periphery);
+  return eval;
+}
+
+ArchitectureEvaluation evaluate_two_stage(ArchitectureKind kind,
+                                          const PowerDeliverySpec& spec,
+                                          TopologyKind topology,
+                                          DeviceTechnology tech,
+                                          const EvaluationOptions& options) {
+  ArchitectureEvaluation eval;
+  eval.architecture = kind;
+  const Voltage v_mid = intermediate_voltage(kind);
+  const Current i_die = spec.die_current();
+
+  // --- Stage 2: V_mid -> 1 V on the power die under the functional die.
+  const auto stage2_base = make_topology(topology, tech);
+  const auto stage2 =
+      stage2_base->with_conversion(v_mid, spec.die_voltage);
+  eval.converter_label =
+      std::string("DPMIH+") + to_string(topology);
+
+  VrAllocation alloc2 =
+      options.fixed_final_stage_vrs > 0
+          ? allocate_vrs_fixed(i_die, *stage2,
+                               options.fixed_final_stage_vrs)
+          : allocate_vrs(i_die, *stage2, options.derating);
+  for (const auto& note : alloc2.notes) eval.notes.push_back(note);
+  unsigned count2 = area_capped_count(
+      alloc2.count, spec.die_area, stage2->spec().area,
+      options.below_die_area_fraction, eval, stage2->name());
+  eval.vr_count_stage2 = count2;
+
+  // Stage-2 VRs sit directly below their loads: uniform current split.
+  std::vector<double> stage2_currents(count2, i_die.value / count2);
+  eval.conversion_stage2 =
+      vr_conversion_loss(*stage2, stage2_currents, options, eval);
+
+  // 1 V crossing from power die to functional die: the Cu-pad field.
+  add_vertical_field(eval, InterconnectLevel::kInterposerToDiePad, i_die);
+
+  // --- Intermediate rail: V_mid from periphery stage-1 VRs to the
+  // below-die stage-2 inputs.
+  const double p_mid =
+      spec.total_power.value + eval.conversion_stage2.value;
+  const Current i_mid{p_mid / v_mid.value};
+
+  const auto stage1 =
+      dpmih_converter(tech)->with_conversion(Voltage{48.0}, v_mid);
+  VrAllocation alloc1 = allocate_vrs(i_mid, *stage1, options.derating);
+  for (const auto& note : alloc1.notes) eval.notes.push_back(note);
+  eval.vr_count_stage1 = alloc1.count;
+
+  const PlacementResult placement1 = periphery_placement(
+      spec.die_side(), stage1->spec().area, alloc1.count);
+  eval.periphery_rings = placement1.rings_used;
+
+  const DistributionResult dist =
+      solve_distribution(spec, placement1.sites, v_mid, i_mid,
+                         options.vr_attach_series, options);
+  eval.horizontal_loss += dist.grid_loss;
+  eval.vertical_loss += dist.attach_loss;
+  eval.vr_current_spread = summarize(dist.vr_currents);
+
+  eval.conversion_stage1 =
+      vr_conversion_loss(*stage1, dist.vr_currents, options, eval);
+
+  // V_mid climbs into the power die through the u-bump field.
+  add_vertical_field(eval, InterconnectLevel::kInterposerToDieBump, i_mid);
+
+  const double p_in = spec.total_power.value + eval.total_loss().value;
+  const Current i48 = spec.input_current(Power{p_in});
+  add_upstream(eval, i48, /*tsv_at_input=*/true);
+  return eval;
+}
+
+}  // namespace
+
+ArchitectureEvaluation evaluate_architecture(ArchitectureKind architecture,
+                                             const PowerDeliverySpec& spec,
+                                             TopologyKind topology,
+                                             DeviceTechnology tech,
+                                             const EvaluationOptions& options) {
+  spec.validate();
+  VPD_REQUIRE(options.mesh_nodes >= 5, "mesh_nodes must be >= 5, got ",
+              options.mesh_nodes);
+  VPD_REQUIRE(options.distribution_sheet_ohms > 0.0,
+              "distribution sheet resistance must be positive");
+
+  switch (architecture) {
+    case ArchitectureKind::kA0_PcbConversion:
+      return evaluate_a0(spec, options);
+    case ArchitectureKind::kA1_InterposerPeriphery:
+    case ArchitectureKind::kA2_InterposerBelowDie:
+      return evaluate_single_stage(architecture, spec, topology, tech,
+                                   options);
+    case ArchitectureKind::kA3_TwoStage12V:
+    case ArchitectureKind::kA3_TwoStage6V:
+      return evaluate_two_stage(architecture, spec, topology, tech,
+                                options);
+  }
+  throw InvalidArgument("unknown architecture kind");
+}
+
+}  // namespace vpd

@@ -1,0 +1,71 @@
+// End-to-end evaluation of a power-delivery architecture: assembles the
+// PCB-to-POL path (vertical interconnect fields, lateral segments, mesh
+// IR-drop distribution), allocates and places VRs, computes per-VR load
+// currents, and rolls everything into the loss breakdown of Fig. 7.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "vpd/arch/architecture.hpp"
+#include "vpd/arch/report.hpp"
+#include "vpd/converters/catalog.hpp"
+#include "vpd/core/spec.hpp"
+#include "vpd/package/mesh.hpp"
+
+namespace vpd {
+
+/// Builds the per-node sink currents for a distribution solve; the total
+/// must equal `total` (checked to 0.1%). Defaults to a uniform draw.
+using SinkMapBuilder =
+    std::function<Vector(const GridMesh& mesh, Current total)>;
+
+struct EvaluationOptions {
+  /// Mesh nodes per die edge for the distribution solve.
+  std::size_t mesh_nodes{41};
+  /// Effective sheet resistance of the POL-rail distribution metal
+  /// (interposer power planes in parallel with the die grid) [Ohm/sq].
+  /// Calibrated so A1's horizontal loss lands in the paper's <10% band.
+  double distribution_sheet_ohms{2.0e-3};
+  /// Vertical interconnect and local feed under each VR output (its share
+  /// of the TSV/u-bump/pad field plus output routing).
+  Resistance vr_attach_series{Resistance{100e-6}};
+  /// Physical footprint of each VR's output attachment patch.
+  Length vr_patch{Length{2e-3}};
+  /// Extra series resistance per periphery ring beyond the first (longer
+  /// feed to the die edge), in units of the distribution sheet
+  /// resistance. Zero by default: staggered rows feed their own edge
+  /// sections through essentially the same metal; a positive value models
+  /// congested feed routing (see the placement ablation bench).
+  double ring_series_squares{0.0};
+  /// Per-VR current derating against the published max rating.
+  double derating{0.70};
+  /// Fraction of the die footprint below-die VRs may occupy.
+  double below_die_area_fraction{0.75};
+  /// Compute extrapolated losses when the per-VR load exceeds the rating
+  /// (flagged in the result); if false, such cases throw InfeasibleDesign.
+  bool allow_extrapolation{true};
+  /// Override the automatic VR count of the final regulation stage (e.g.
+  /// the paper's published 48); 0 = automatic.
+  unsigned fixed_final_stage_vrs{0};
+  /// Maximum periphery VR rows ("additional rows of VRs are utilized
+  /// farther away from the perimeter of the die" — the paper uses a
+  /// small number).
+  unsigned max_periphery_rings{2};
+  /// Spatial load profile on the POL rail; empty = uniform.
+  SinkMapBuilder sink_map;
+};
+
+/// Evaluates one (architecture, topology, device technology) combination.
+/// For A0 the topology argument is ignored (the paper models A0 with a 90%
+/// PCB regulator). For the two-stage architectures the first stage is a
+/// DPMIH (the paper's choice) retargeted to 48V -> V_mid, and `topology`
+/// provides the second stage retargeted to V_mid -> 1V.
+ArchitectureEvaluation evaluate_architecture(
+    ArchitectureKind architecture, const PowerDeliverySpec& spec,
+    TopologyKind topology,
+    DeviceTechnology tech = DeviceTechnology::kGalliumNitride,
+    const EvaluationOptions& options = {});
+
+}  // namespace vpd

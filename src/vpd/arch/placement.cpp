@@ -1,0 +1,110 @@
+#include "vpd/arch/placement.hpp"
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+unsigned periphery_ring_capacity(Length die_side, Area vr_area) {
+  VPD_REQUIRE(die_side.value > 0.0 && vr_area.value > 0.0,
+              "invalid geometry");
+  const double vr_side = std::sqrt(vr_area.value);
+  const auto per_edge =
+      static_cast<unsigned>(std::floor(die_side.value / vr_side));
+  VPD_REQUIRE(per_edge >= 1, "VR of ", vr_area.value * 1e6,
+              " mm^2 wider than the die edge");
+  return 4 * per_edge;
+}
+
+PlacementResult periphery_placement(Length die_side, Area vr_area,
+                                    unsigned count, unsigned max_rings) {
+  VPD_REQUIRE(count >= 1, "need at least one VR");
+  const unsigned per_ring = periphery_ring_capacity(die_side, vr_area);
+  const unsigned rings =
+      (count + per_ring - 1) / per_ring;
+  if (rings > max_rings) {
+    throw InfeasibleDesign(detail::concat(
+        "periphery placement needs ", rings, " rings for ", count,
+        " VRs (capacity ", per_ring, "/ring), max allowed ", max_rings));
+  }
+
+  PlacementResult result;
+  result.rings_used = rings;
+  result.sites.reserve(count);
+  const double side = die_side.value;
+
+  // All VRs get distinct, evenly spaced positions along the perimeter —
+  // overflow rows are staggered between the inner row's positions rather
+  // than stacked behind them, so every VR feeds its own section of the
+  // die edge. The ring index (round-robin) still accrues the longer-feed
+  // series penalty for the share of VRs that sit farther out.
+  const double perimeter = 4.0 * side;
+  for (unsigned k = 0; k < count; ++k) {
+    const double s = perimeter * (static_cast<double>(k) + 0.5) /
+                     static_cast<double>(count);
+    VrSite site;
+    site.ring = (rings > 1) ? k % rings : 0;
+    if (s < side) {
+      site.x = Length{s};
+      site.y = Length{0.0};
+    } else if (s < 2.0 * side) {
+      site.x = Length{side};
+      site.y = Length{s - side};
+    } else if (s < 3.0 * side) {
+      site.x = Length{3.0 * side - s};
+      site.y = Length{side};
+    } else {
+      site.x = Length{0.0};
+      site.y = Length{4.0 * side - s};
+    }
+    result.sites.push_back(site);
+  }
+  // Ring area: rings of VRs occupy a band around the die.
+  const double vr_side = std::sqrt(vr_area.value);
+  const double band_area =
+      4.0 * side * vr_side * rings + 4.0 * vr_side * vr_side * rings * rings;
+  result.area_utilization = count * vr_area.value / band_area;
+  return result;
+}
+
+PlacementResult below_die_placement(Length die_side, Area vr_area,
+                                    unsigned count, double area_fraction) {
+  VPD_REQUIRE(count >= 1, "need at least one VR");
+  // Fractions above 1 deliberately allowed: the paper's own deployments
+  // oversubscribe the die shadow (see EXPERIMENTS.md on Table II's DPMIH
+  // row); callers get a note instead of a hard failure.
+  VPD_REQUIRE(area_fraction > 0.0 && area_fraction <= 4.0,
+              "area fraction ", area_fraction, " outside (0,4]");
+  const double die_area = die_side.value * die_side.value;
+  const double needed = count * vr_area.value;
+  if (needed > area_fraction * die_area) {
+    throw InfeasibleDesign(detail::concat(
+        "below-die placement needs ", needed * 1e6, " mm^2 for ", count,
+        " VRs, but only ", area_fraction * die_area * 1e6,
+        " mm^2 available (", area_fraction * 100.0, "% of the die)"));
+  }
+
+  PlacementResult result;
+  result.rings_used = 1;
+  result.area_utilization = needed / die_area;
+  result.sites.reserve(count);
+  // Near-square grid: gx x gy >= count.
+  const auto gx = static_cast<unsigned>(
+      std::ceil(std::sqrt(static_cast<double>(count))));
+  const unsigned gy = (count + gx - 1) / gx;
+  unsigned placed = 0;
+  for (unsigned iy = 0; iy < gy && placed < count; ++iy) {
+    for (unsigned ix = 0; ix < gx && placed < count; ++ix) {
+      VrSite site;
+      site.x = Length{die_side.value * (ix + 0.5) / gx};
+      site.y = Length{die_side.value * (iy + 0.5) / gy};
+      site.ring = 0;
+      result.sites.push_back(site);
+      ++placed;
+    }
+  }
+  return result;
+}
+
+}  // namespace vpd

@@ -1,0 +1,47 @@
+// VR placement engines. The paper distributes VRs either uniformly along
+// the die periphery (architectures A1 / A3 stage 1), spilling into
+// additional rows farther from the perimeter when one ring is full, or
+// uniformly below the die (A2 / A3 stage 2), occupying up to ~50% of the
+// die footprint in the interposer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+struct VrSite {
+  Length x{};      // die coordinate frame: origin at a corner
+  Length y{};
+  unsigned ring{0};  // 0 = adjacent to the die edge (periphery only)
+};
+
+struct PlacementResult {
+  std::vector<VrSite> sites;
+  unsigned rings_used{1};
+  /// Total placed area / available area in the chosen region.
+  double area_utilization{0.0};
+};
+
+/// VRs that fit in one periphery ring around a square die of side
+/// `die_side`, for a square VR of footprint `vr_area`.
+unsigned periphery_ring_capacity(Length die_side, Area vr_area);
+
+/// Places `count` square VRs of `vr_area` around the die periphery,
+/// filling outer rings as inner ones fill up. Attachment coordinates are
+/// clamped to the die boundary (current enters the die edge nearest the
+/// VR). Throws InfeasibleDesign if more than `max_rings` rings would be
+/// needed.
+PlacementResult periphery_placement(Length die_side, Area vr_area,
+                                    unsigned count, unsigned max_rings = 4);
+
+/// Places `count` VRs on a uniform grid under the die. `area_fraction`
+/// is the fraction of the die footprint the VRs (with their passives) may
+/// occupy; exceeding it throws InfeasibleDesign.
+PlacementResult below_die_placement(Length die_side, Area vr_area,
+                                    unsigned count,
+                                    double area_fraction = 0.75);
+
+}  // namespace vpd

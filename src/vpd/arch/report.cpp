@@ -1,0 +1,17 @@
+#include "vpd/arch/report.hpp"
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+double ArchitectureEvaluation::loss_fraction(Power budget) const {
+  VPD_REQUIRE(budget.value > 0.0, "budget must be positive");
+  return total_loss().value / budget.value;
+}
+
+double ArchitectureEvaluation::efficiency(Power delivered) const {
+  VPD_REQUIRE(delivered.value > 0.0, "delivered power must be positive");
+  return delivered.value / (delivered.value + total_loss().value);
+}
+
+}  // namespace vpd

@@ -1,0 +1,56 @@
+// Evaluation result of one (architecture, converter) pair: the loss
+// breakdown Fig. 7 plots, plus the placement/allocation details and the
+// per-VR current spread discussed in Section IV.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vpd/arch/architecture.hpp"
+#include "vpd/common/statistics.hpp"
+#include "vpd/common/units.hpp"
+#include "vpd/package/stackup.hpp"
+
+namespace vpd {
+
+struct ArchitectureEvaluation {
+  ArchitectureKind architecture{};
+  std::string converter_label;
+
+  // --- Loss breakdown (Fig. 7 bars) ---------------------------------------
+  Power vertical_loss{};      // all solder/Cu vertical interconnect
+  Power horizontal_loss{};    // all laterally routed interconnect
+  Power conversion_stage1{};  // first stage (two-stage archs; A0's PCB VR)
+  Power conversion_stage2{};  // final regulation stage
+
+  Power conversion_loss() const {
+    return conversion_stage1 + conversion_stage2;
+  }
+  Power ppdn_loss() const { return vertical_loss + horizontal_loss; }
+  Power total_loss() const { return ppdn_loss() + conversion_loss(); }
+
+  /// Loss as a fraction of the nominal delivered power (the paper
+  /// normalizes to the 1 kW available at the PCB).
+  double loss_fraction(Power budget) const;
+  /// End-to-end efficiency: P_load / (P_load + losses).
+  double efficiency(Power delivered) const;
+
+  // --- Deployment details ---------------------------------------------------
+  unsigned vr_count_stage1{0};
+  unsigned vr_count_stage2{0};
+  unsigned periphery_rings{0};
+  /// Per-VR current statistics of the final regulation stage (mesh solve).
+  std::optional<Summary> vr_current_spread;
+  /// Worst node voltage on the POL rail.
+  std::optional<Voltage> min_pol_voltage;
+
+  bool within_rating{true};
+  bool used_extrapolation{false};
+  std::vector<std::string> notes;
+
+  /// Every modeled PPDN stage with its current and loss.
+  std::vector<PathStage> stages;
+};
+
+}  // namespace vpd

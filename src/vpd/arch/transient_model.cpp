@@ -1,0 +1,137 @@
+#include "vpd/arch/transient_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+#include "vpd/workload/load_transient.hpp"
+
+namespace vpd {
+
+namespace {
+
+/// Architecture-class loop inductance: how far the regulation point sits
+/// from the POLs.
+Inductance loop_inductance_for(ArchitectureKind kind) {
+  switch (kind) {
+    case ArchitectureKind::kA0_PcbConversion:
+      return Inductance{10e-9};  // board + socket loop
+    case ArchitectureKind::kA1_InterposerPeriphery:
+      return Inductance{0.2e-9};  // periphery-to-center interposer hop
+    case ArchitectureKind::kA2_InterposerBelowDie:
+      return Inductance{0.05e-9};  // vertical hop only
+    case ArchitectureKind::kA3_TwoStage12V:
+    case ArchitectureKind::kA3_TwoStage6V:
+      return Inductance{0.08e-9};  // power-die hop
+  }
+  throw InvalidArgument("unknown architecture kind");
+}
+
+}  // namespace
+
+ReducedPdnModel build_reduced_pdn(const PowerDeliverySpec& spec,
+                                  const ArchitectureEvaluation& evaluation,
+                                  const ReducedModelOptions& options) {
+  spec.validate();
+  const double i_die = spec.die_current().value;
+  VPD_REQUIRE(i_die > 0.0, "no die current");
+
+  ReducedPdnModel model;
+  // Effective supply resistance: the PPDN loss referred to the full die
+  // current (R_eff = P_ppdn / I^2), which reproduces both the dc drop and
+  // the dissipation of the detailed model.
+  model.effective_resistance =
+      Resistance{std::max(evaluation.ppdn_loss().value / (i_die * i_die),
+                          1e-6)};
+  model.loop_inductance = loop_inductance_for(evaluation.architecture);
+  // Default decap: the local deep-trench bank under the die (~0.5 uF/mm^2)
+  // for the IVR architectures; A0 regulates from the board and relies on
+  // bulk capacitance there instead.
+  const Capacitance local_bank{0.5 * 1e-6 / 1e-6 * spec.die_area.value};
+  const Capacitance default_decap =
+      evaluation.architecture == ArchitectureKind::kA0_PcbConversion
+          ? Capacitance{2000e-6}
+          : local_bank;
+  model.decap = options.decap.value_or(default_decap);
+
+  Netlist& nl = model.netlist;
+  const NodeId vr = nl.add_node("vr");
+  const NodeId mid = nl.add_node("mid");
+  const NodeId pol = nl.add_node("pol");
+  const NodeId esr = nl.add_node("esr");
+  nl.add_vsource("Vvr", vr, kGround, spec.die_voltage);
+  nl.add_resistor("Rppdn", vr, mid, model.effective_resistance);
+  nl.add_inductor("Lloop", mid, pol, model.loop_inductance);
+  nl.add_resistor("Resr", pol, esr, options.decap_esr);
+  nl.add_capacitor("Cdecap", esr, kGround, model.decap,
+                   spec.die_voltage);
+  return model;
+}
+
+DroopResult simulate_load_step(const ReducedPdnModel& model,
+                               const PowerDeliverySpec& spec, Current base,
+                               Current step, Seconds rise,
+                               Seconds t_stop) {
+  VPD_REQUIRE(base.value >= 0.0 && step.value > 0.0,
+              "need base >= 0 and a positive step");
+  Netlist nl;
+  // Copy the reduced model's elements into a fresh netlist with the load.
+  for (NodeId n = 1; n < model.netlist.node_count(); ++n)
+    nl.add_node(model.netlist.node_name(n));
+  for (const Element& e : model.netlist.elements()) {
+    switch (e.kind) {
+      case ElementKind::kResistor:
+        nl.add_resistor(e.name, e.node_a, e.node_b, Resistance{e.value});
+        break;
+      case ElementKind::kCapacitor:
+        nl.add_capacitor(e.name, e.node_a, e.node_b, Capacitance{e.value},
+                         Voltage{e.initial});
+        break;
+      case ElementKind::kInductor:
+        nl.add_inductor(e.name, e.node_a, e.node_b, Inductance{e.value},
+                        Current{e.initial});
+        break;
+      case ElementKind::kVoltageSource:
+        nl.add_vsource(e.name, e.node_a, e.node_b, e.source);
+        break;
+      case ElementKind::kCurrentSource:
+        nl.add_isource(e.name, e.node_a, e.node_b, e.source);
+        break;
+      case ElementKind::kSwitch:
+        nl.add_switch(e.name, e.node_a, e.node_b, Resistance{e.r_on},
+                      Resistance{e.r_off}, e.initially_closed);
+        break;
+    }
+  }
+  const double t_step = 0.1 * t_stop.value;
+  nl.add_isource("load", nl.node(model.pol_node), kGround,
+                 step_load(base, step, Seconds{t_step}, rise));
+
+  TransientOptions opts;
+  opts.t_stop = t_stop;
+  opts.dt = Seconds{t_stop.value / 20000.0};
+  opts.initialize_from_dc = true;
+  const TransientResult r = simulate(nl, opts);
+  const Trace v = r.voltage(model.pol_node);
+
+  DroopResult result;
+  result.worst_voltage = Voltage{v.min(t_step, t_stop.value)};
+  // Nominal operating voltage just before the step.
+  const double nominal = v.at(0.9 * t_step);
+  result.droop = Voltage{nominal - result.worst_voltage.value};
+
+  // Recovery: last time the voltage is outside a 1% band around its final
+  // settled value.
+  const double settled = v.back();
+  const double band = 0.01 * spec.die_voltage.value;
+  double recovery = t_step;
+  for (std::size_t i = 0; i < v.sample_count(); ++i) {
+    const double t = v.times()[i];
+    if (t < t_step) continue;
+    if (std::fabs(v.values()[i] - settled) > band) recovery = t;
+  }
+  result.recovery_time = Seconds{std::max(0.0, recovery - t_step)};
+  return result;
+}
+
+}  // namespace vpd

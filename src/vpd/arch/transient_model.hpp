@@ -1,0 +1,53 @@
+// Reduced transient model of an evaluated architecture: collapses the
+// mesh/stackup solution into a Thevenin supply (regulated source behind
+// the effective PPDN resistance), an architecture-class loop inductance,
+// and the local decap bank — a netlist the circuit engine can drive with
+// load steps. This bridges the dc characterization of Fig. 7 to the
+// dynamic behaviour the paper leaves as future work.
+#pragma once
+
+#include "vpd/arch/report.hpp"
+#include "vpd/circuit/netlist.hpp"
+#include "vpd/circuit/transient.hpp"
+#include "vpd/core/spec.hpp"
+
+namespace vpd {
+
+struct ReducedPdnModel {
+  Netlist netlist;
+  std::string pol_node{"pol"};
+  Resistance effective_resistance{};
+  Inductance loop_inductance{};
+  Capacitance decap{};
+};
+
+struct ReducedModelOptions {
+  /// Local deccapacitance at the POL rail. Defaults scale with die area
+  /// (deep-trench class ~1 uF/mm^2 over the die shadow, derated).
+  std::optional<Capacitance> decap;
+  Resistance decap_esr{Resistance{0.05e-3}};
+};
+
+/// Builds the reduced netlist for an evaluation of `architecture`.
+/// The effective supply resistance comes from the evaluation's worst-case
+/// droop (ppdn drop at full current); the loop inductance from the
+/// architecture class (board loop for A0, interposer hop for A1/A2,
+/// power-die hop for A3).
+ReducedPdnModel build_reduced_pdn(const PowerDeliverySpec& spec,
+                                  const ArchitectureEvaluation& evaluation,
+                                  const ReducedModelOptions& options = {});
+
+struct DroopResult {
+  Voltage worst_voltage{};
+  Voltage droop{};            // nominal - worst
+  Seconds recovery_time{};    // time to re-enter a 1% band, from the step
+};
+
+/// Applies a load step (base -> base+step over `rise`) to the reduced
+/// model and measures the worst droop and recovery.
+DroopResult simulate_load_step(const ReducedPdnModel& model,
+                               const PowerDeliverySpec& spec, Current base,
+                               Current step, Seconds rise,
+                               Seconds t_stop = Seconds{20e-6});
+
+}  // namespace vpd

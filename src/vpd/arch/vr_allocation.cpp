@@ -1,0 +1,40 @@
+#include "vpd/arch/vr_allocation.hpp"
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+VrAllocation allocate_vrs(Current total, const Converter& converter,
+                          double derating) {
+  VPD_REQUIRE(total.value > 0.0, "total current must be positive");
+  VPD_REQUIRE(derating > 0.0 && derating <= 1.0, "derating ", derating,
+              " outside (0,1]");
+  const double target_per_vr =
+      derating * converter.spec().max_current.value;
+  const auto count = static_cast<unsigned>(
+      std::ceil(total.value / target_per_vr));
+  return allocate_vrs_fixed(total, converter, count);
+}
+
+VrAllocation allocate_vrs_fixed(Current total, const Converter& converter,
+                                unsigned count) {
+  VPD_REQUIRE(total.value > 0.0, "total current must be positive");
+  VPD_REQUIRE(count >= 1, "need at least one VR");
+  VrAllocation alloc;
+  alloc.count = count;
+  alloc.nominal_per_vr = Current{total.value / count};
+  alloc.rating_utilization =
+      alloc.nominal_per_vr.value / converter.spec().max_current.value;
+  alloc.within_rating = alloc.rating_utilization <= 1.0;
+  if (!alloc.within_rating) {
+    alloc.notes.push_back(detail::concat(
+        converter.name(), ": nominal ", alloc.nominal_per_vr.value,
+        " A per VR exceeds the ", converter.spec().max_current.value,
+        " A rating; efficiency would be extrapolated"));
+  }
+  return alloc;
+}
+
+}  // namespace vpd

@@ -1,0 +1,35 @@
+// VR count allocation: how many converters of a given topology are needed
+// to deliver the system current, and whether they fit the placement
+// region. The paper sizes DSCH/3LHD deployments at 48 VRs (about 21 A per
+// VR against 30 A / 12 A ratings — the 3LHD case is exactly the
+// ">rating" situation that excludes it from Fig. 7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vpd/common/units.hpp"
+#include "vpd/converters/converter.hpp"
+
+namespace vpd {
+
+struct VrAllocation {
+  unsigned count{0};
+  Current nominal_per_vr{};     // total current / count
+  double rating_utilization{0.0};  // nominal / max rating
+  bool within_rating{false};
+  std::vector<std::string> notes;
+};
+
+/// Allocates VRs so that the nominal per-VR current is at most
+/// `derating` x the converter's max rating. A converter whose rating
+/// cannot reach the target even at count limits is flagged, not rejected —
+/// callers decide (the paper reports 3LHD as N/A rather than dropping it).
+VrAllocation allocate_vrs(Current total, const Converter& converter,
+                          double derating = 0.70);
+
+/// Allocation with an explicit count (e.g. the paper's published 48).
+VrAllocation allocate_vrs_fixed(Current total, const Converter& converter,
+                                unsigned count);
+
+}  // namespace vpd

@@ -1,0 +1,217 @@
+#include "vpd/circuit/ac_solver.hpp"
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}
+
+AcSolution::AcSolution(const Netlist& netlist, ComplexVector node_voltages,
+                       ComplexVector branch_currents,
+                       const MnaLayout& layout, SwitchStates switch_states,
+                       double omega)
+    : netlist_(&netlist),
+      node_voltages_(std::move(node_voltages)),
+      branch_currents_(std::move(branch_currents)),
+      node_unknowns_(layout.node_unknowns()),
+      switch_states_(std::move(switch_states)),
+      omega_(omega) {
+  branch_rows_.resize(netlist.element_count(), MnaLayout::kNoRow);
+  for (std::size_t i = 0; i < netlist.element_count(); ++i)
+    if (layout.has_branch(i)) branch_rows_[i] = layout.branch_row(i);
+}
+
+Complex AcSolution::voltage(NodeId node) const {
+  VPD_REQUIRE(node < node_voltages_.size(), "node id ", node,
+              " out of range");
+  return node_voltages_[node];
+}
+
+Complex AcSolution::voltage(const std::string& node_name) const {
+  return voltage(netlist_->node(node_name));
+}
+
+Complex AcSolution::current(ElementId element) const {
+  const Element& e = netlist_->element(element);
+  const Complex v_ab =
+      node_voltages_[e.node_a] - node_voltages_[e.node_b];
+  switch (e.kind) {
+    case ElementKind::kResistor:
+      return v_ab / e.value;
+    case ElementKind::kCapacitor:
+      return v_ab * Complex{0.0, omega_ * e.value};
+    case ElementKind::kSwitch: {
+      std::size_t position = 0;
+      for (ElementId id : netlist_->switches()) {
+        if (id == element) break;
+        ++position;
+      }
+      return v_ab / switch_resistance(e, switch_states_[position]);
+    }
+    case ElementKind::kCurrentSource:
+      // Nulled unless it was the stimulus; callers read the stimulus
+      // current from the drive amplitude.
+      return Complex{0.0, 0.0};
+    case ElementKind::kVoltageSource:
+    case ElementKind::kInductor:
+      return branch_currents_[branch_rows_[element] - node_unknowns_];
+  }
+  throw InvalidArgument("unknown element kind");
+}
+
+Complex AcSolution::current(const std::string& element_name) const {
+  return current(netlist_->element_id(element_name));
+}
+
+AcSolution solve_ac(const Netlist& netlist, Frequency frequency,
+                    ElementId stimulus, double magnitude,
+                    const AcOptions& options) {
+  VPD_REQUIRE(frequency.value > 0.0, "frequency must be positive, got ",
+              frequency.value);
+  const Element& drive = netlist.element(stimulus);
+  VPD_REQUIRE(drive.kind == ElementKind::kVoltageSource ||
+                  drive.kind == ElementKind::kCurrentSource,
+              "stimulus '", drive.name, "' is not an independent source");
+
+  const double omega = kTwoPi * frequency.value;
+  const MnaLayout layout(netlist);
+  const std::size_t n = layout.unknown_count();
+  ComplexMatrix a(n, n);
+  ComplexVector b(n, Complex{0.0, 0.0});
+
+  SwitchStates states =
+      options.switch_states.value_or(initial_switch_states(netlist));
+  VPD_REQUIRE(states.size() == netlist.switches().size(),
+              "switch_states has ", states.size(), " entries, netlist has ",
+              netlist.switches().size(), " switches");
+
+  auto stamp_admittance = [&](NodeId na, NodeId nb, Complex y) {
+    const std::size_t ra = layout.node_row(na);
+    const std::size_t rb = layout.node_row(nb);
+    if (ra != MnaLayout::kNoRow) a(ra, ra) += y;
+    if (rb != MnaLayout::kNoRow) a(rb, rb) += y;
+    if (ra != MnaLayout::kNoRow && rb != MnaLayout::kNoRow) {
+      a(ra, rb) -= y;
+      a(rb, ra) -= y;
+    }
+  };
+
+  std::size_t sw_pos = 0;
+  for (std::size_t i = 0; i < netlist.element_count(); ++i) {
+    const Element& e = netlist.element(i);
+    switch (e.kind) {
+      case ElementKind::kResistor:
+        stamp_admittance(e.node_a, e.node_b, Complex{1.0 / e.value, 0.0});
+        break;
+      case ElementKind::kSwitch: {
+        const double r = switch_resistance(e, states[sw_pos++]);
+        stamp_admittance(e.node_a, e.node_b, Complex{1.0 / r, 0.0});
+        break;
+      }
+      case ElementKind::kCapacitor:
+        stamp_admittance(e.node_a, e.node_b,
+                         Complex{0.0, omega * e.value});
+        break;
+      case ElementKind::kInductor: {
+        const std::size_t row = layout.branch_row(i);
+        const std::size_t ra = layout.node_row(e.node_a);
+        const std::size_t rb = layout.node_row(e.node_b);
+        if (ra != MnaLayout::kNoRow) {
+          a(ra, row) += 1.0;
+          a(row, ra) += 1.0;
+        }
+        if (rb != MnaLayout::kNoRow) {
+          a(rb, row) -= 1.0;
+          a(row, rb) -= 1.0;
+        }
+        a(row, row) -= Complex{0.0, omega * e.value};
+        break;
+      }
+      case ElementKind::kVoltageSource: {
+        const std::size_t row = layout.branch_row(i);
+        const std::size_t ra = layout.node_row(e.node_a);
+        const std::size_t rb = layout.node_row(e.node_b);
+        if (ra != MnaLayout::kNoRow) {
+          a(ra, row) += 1.0;
+          a(row, ra) += 1.0;
+        }
+        if (rb != MnaLayout::kNoRow) {
+          a(rb, row) -= 1.0;
+          a(row, rb) -= 1.0;
+        }
+        // AC magnitude only on the stimulus; others are shorts.
+        b[row] = (i == stimulus) ? Complex{magnitude, 0.0}
+                                 : Complex{0.0, 0.0};
+        break;
+      }
+      case ElementKind::kCurrentSource:
+        if (i == stimulus) {
+          const std::size_t rf = layout.node_row(e.node_a);
+          const std::size_t rt = layout.node_row(e.node_b);
+          if (rf != MnaLayout::kNoRow) b[rf] -= Complex{magnitude, 0.0};
+          if (rt != MnaLayout::kNoRow) b[rt] += Complex{magnitude, 0.0};
+        }
+        break;
+    }
+  }
+  for (std::size_t r = 0; r < layout.node_unknowns(); ++r)
+    a(r, r) += Complex{options.gmin, 0.0};
+
+  const ComplexVector x = solve_dense_complex(std::move(a), b);
+  ComplexVector node_voltages(netlist.node_count(), Complex{0.0, 0.0});
+  for (NodeId node = 1; node < netlist.node_count(); ++node)
+    node_voltages[node] = x[layout.node_row(node)];
+  ComplexVector branch(x.begin() + static_cast<long>(layout.node_unknowns()),
+                       x.end());
+  return AcSolution(netlist, std::move(node_voltages), std::move(branch),
+                    layout, std::move(states), omega);
+}
+
+double ImpedancePoint::magnitude() const { return std::abs(impedance); }
+
+double ImpedancePoint::phase_degrees() const {
+  return std::arg(impedance) * 180.0 / 3.141592653589793;
+}
+
+std::vector<ImpedancePoint> impedance_sweep(
+    const Netlist& netlist, ElementId port,
+    const std::vector<double>& frequencies, const AcOptions& options) {
+  VPD_REQUIRE(!frequencies.empty(), "empty frequency list");
+  const Element& e = netlist.element(port);
+  VPD_REQUIRE(e.kind == ElementKind::kCurrentSource, "port '", e.name,
+              "' must be a current source");
+  std::vector<ImpedancePoint> points;
+  points.reserve(frequencies.size());
+  for (double f : frequencies) {
+    const AcSolution sol =
+        solve_ac(netlist, Frequency{f}, port, 1.0, options);
+    ImpedancePoint p;
+    p.frequency = f;
+    // The port is a load: it draws the 1 A test current out of node_a
+    // and returns it at node_b, so node_a's voltage sags by Z * 1 A.
+    // Z = -(V(a) - V(b)) is then positive-real for a resistive network.
+    p.impedance = sol.voltage(e.node_b) - sol.voltage(e.node_a);
+    points.push_back(p);
+  }
+  return points;
+}
+
+ImpedancePoint peak_impedance(const std::vector<ImpedancePoint>& sweep) {
+  VPD_REQUIRE(!sweep.empty(), "empty sweep");
+  const ImpedancePoint* best = &sweep.front();
+  for (const ImpedancePoint& p : sweep)
+    if (p.magnitude() > best->magnitude()) best = &p;
+  return *best;
+}
+
+Resistance target_impedance(Voltage allowed_ripple, Current load_step) {
+  VPD_REQUIRE(allowed_ripple.value > 0.0 && load_step.value > 0.0,
+              "ripple and step must be positive");
+  return Resistance{allowed_ripple.value / load_step.value};
+}
+
+}  // namespace vpd

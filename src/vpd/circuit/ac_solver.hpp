@@ -1,0 +1,82 @@
+// Small-signal AC (frequency-domain) analysis: the phasor response of the
+// linearized network at a single frequency, and impedance sweeps. The
+// workhorse of PDN design — the POL rail's impedance profile Z(f) against
+// a target impedance Z_target = dV_allowed / dI_step decides whether a
+// decap/VR deployment survives transient load steps.
+//
+// Stimulus convention (SPICE-like): exactly one element is driven with a
+// unit (or chosen) AC magnitude; all other independent sources are nulled
+// (V sources short, I sources open). Capacitors stamp j*w*C, inductors
+// j*w*L on their branch; switches use the resistance of their configured
+// state.
+#pragma once
+
+#include <optional>
+
+#include "vpd/circuit/mna.hpp"
+#include "vpd/circuit/netlist.hpp"
+#include "vpd/common/complex_linear.hpp"
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+struct AcOptions {
+  double gmin{1e-12};
+  /// Switch states; defaults to each switch's `initially_closed`.
+  std::optional<SwitchStates> switch_states;
+};
+
+class AcSolution {
+ public:
+  AcSolution(const Netlist& netlist, ComplexVector node_voltages,
+             ComplexVector branch_currents, const MnaLayout& layout,
+             SwitchStates switch_states, double omega);
+
+  /// Phasor node voltage.
+  Complex voltage(NodeId node) const;
+  Complex voltage(const std::string& node_name) const;
+
+  /// Phasor element current (a->b orientation).
+  Complex current(ElementId element) const;
+  Complex current(const std::string& element_name) const;
+
+ private:
+  const Netlist* netlist_;
+  ComplexVector node_voltages_;    // by NodeId, [0] = 0
+  ComplexVector branch_currents_;  // by branch row - node unknowns
+  std::size_t node_unknowns_;
+  std::vector<std::size_t> branch_rows_;
+  SwitchStates switch_states_;
+  double omega_;
+};
+
+/// Single-frequency AC solve with `stimulus` driven at `magnitude` (as a
+/// V amplitude for a V source, an A amplitude for an I source) and every
+/// other source nulled. Throws InvalidArgument unless `stimulus` is an
+/// independent source.
+AcSolution solve_ac(const Netlist& netlist, Frequency frequency,
+                    ElementId stimulus, double magnitude = 1.0,
+                    const AcOptions& options = {});
+
+/// One point of an impedance sweep.
+struct ImpedancePoint {
+  double frequency{0.0};  // Hz
+  Complex impedance{};    // Ohm
+
+  double magnitude() const;
+  double phase_degrees() const;
+};
+
+/// Impedance seen by a current-source port: drives `port` (an I source)
+/// with 1 A AC and reports V(port+) - V(port-) at each frequency.
+std::vector<ImpedancePoint> impedance_sweep(
+    const Netlist& netlist, ElementId port,
+    const std::vector<double>& frequencies, const AcOptions& options = {});
+
+/// The sweep's peak impedance magnitude (anti-resonance) and where.
+ImpedancePoint peak_impedance(const std::vector<ImpedancePoint>& sweep);
+
+/// Target impedance for a load step: Z_target = allowed ripple / dI.
+Resistance target_impedance(Voltage allowed_ripple, Current load_step);
+
+}  // namespace vpd

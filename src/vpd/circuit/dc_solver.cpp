@@ -1,0 +1,148 @@
+#include "vpd/circuit/dc_solver.hpp"
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+DcSolution::DcSolution(const Netlist& netlist, Vector node_voltages,
+                       Vector branch_currents, const MnaLayout& layout,
+                       SwitchStates switch_states, double time)
+    : netlist_(&netlist),
+      node_voltages_(std::move(node_voltages)),
+      branch_currents_(std::move(branch_currents)),
+      node_unknowns_(layout.node_unknowns()),
+      switch_states_(std::move(switch_states)),
+      time_(time) {
+  branch_rows_.resize(netlist.element_count(), MnaLayout::kNoRow);
+  for (std::size_t i = 0; i < netlist.element_count(); ++i)
+    if (layout.has_branch(i)) branch_rows_[i] = layout.branch_row(i);
+}
+
+Voltage DcSolution::voltage(NodeId node) const {
+  VPD_REQUIRE(node < node_voltages_.size(), "node id ", node,
+              " out of range");
+  return Voltage{node_voltages_[node]};
+}
+
+Voltage DcSolution::voltage(const std::string& node_name) const {
+  return voltage(netlist_->node(node_name));
+}
+
+Current DcSolution::current(ElementId element) const {
+  const Element& e = netlist_->element(element);
+  const double va = node_voltages_[e.node_a];
+  const double vb = node_voltages_[e.node_b];
+  switch (e.kind) {
+    case ElementKind::kResistor:
+      return Current{(va - vb) / e.value};
+    case ElementKind::kCapacitor:
+      return Current{0.0};
+    case ElementKind::kSwitch: {
+      // Position within netlist.switches() order.
+      std::size_t position = 0;
+      for (ElementId id : netlist_->switches()) {
+        if (id == element) break;
+        ++position;
+      }
+      const double r = switch_resistance(e, switch_states_[position]);
+      return Current{(va - vb) / r};
+    }
+    case ElementKind::kCurrentSource:
+      return Current{e.source(time_)};
+    case ElementKind::kVoltageSource:
+    case ElementKind::kInductor:
+      return Current{branch_currents_[branch_rows_[element] - node_unknowns_]};
+  }
+  throw InvalidArgument("unknown element kind");
+}
+
+Current DcSolution::current(const std::string& element_name) const {
+  return current(netlist_->element_id(element_name));
+}
+
+Power DcSolution::power(ElementId element) const {
+  const Element& e = netlist_->element(element);
+  const double va = node_voltages_[e.node_a];
+  const double vb = node_voltages_[e.node_b];
+  if (e.kind == ElementKind::kCurrentSource) {
+    // Source pushes current from node_a to node_b through itself; power
+    // absorbed is v_ab * i with current entering at a.
+    return Power{(va - vb) * e.source(time_)};
+  }
+  return Power{(va - vb) * current(element).value};
+}
+
+Power DcSolution::power(const std::string& element_name) const {
+  return power(netlist_->element_id(element_name));
+}
+
+Power DcSolution::total_power() const {
+  Power total{0.0};
+  for (std::size_t i = 0; i < netlist_->element_count(); ++i)
+    total += power(i);
+  return total;
+}
+
+Power DcSolution::dissipated_power() const {
+  Power total{0.0};
+  for (std::size_t i = 0; i < netlist_->element_count(); ++i) {
+    const ElementKind kind = netlist_->element(i).kind;
+    if (kind == ElementKind::kResistor || kind == ElementKind::kSwitch)
+      total += power(i);
+  }
+  return total;
+}
+
+DcSolution solve_dc(const Netlist& netlist, const DcOptions& options) {
+  const MnaLayout layout(netlist);
+  MnaStamper stamper(layout);
+
+  SwitchStates states =
+      options.switch_states.value_or(initial_switch_states(netlist));
+  VPD_REQUIRE(states.size() == netlist.switches().size(),
+              "switch_states has ", states.size(), " entries, netlist has ",
+              netlist.switches().size(), " switches");
+
+  std::size_t switch_position = 0;
+  for (std::size_t i = 0; i < netlist.element_count(); ++i) {
+    const Element& e = netlist.element(i);
+    switch (e.kind) {
+      case ElementKind::kResistor:
+        stamper.stamp_conductance(e.node_a, e.node_b, 1.0 / e.value);
+        break;
+      case ElementKind::kCapacitor:
+        break;  // open in DC
+      case ElementKind::kSwitch: {
+        const double r = switch_resistance(e, states[switch_position++]);
+        stamper.stamp_conductance(e.node_a, e.node_b, 1.0 / r);
+        break;
+      }
+      case ElementKind::kCurrentSource:
+        stamper.stamp_current_injection(e.node_a, e.node_b,
+                                        e.source(options.time));
+        break;
+      case ElementKind::kVoltageSource:
+        stamper.stamp_voltage_source(layout.branch_row(i), e.node_a, e.node_b,
+                                     e.source(options.time));
+        break;
+      case ElementKind::kInductor:
+        stamper.stamp_inductor_branch(layout.branch_row(i), e.node_a,
+                                      e.node_b, /*r_equiv=*/0.0, /*rhs=*/0.0);
+        break;
+    }
+  }
+  stamper.stamp_gmin(options.gmin);
+
+  const Vector x = solve_dense(stamper.matrix(), stamper.rhs());
+
+  Vector node_voltages(netlist.node_count(), 0.0);
+  for (NodeId n = 1; n < netlist.node_count(); ++n)
+    node_voltages[n] = x[layout.node_row(n)];
+  Vector branch_currents(x.begin() + static_cast<long>(layout.node_unknowns()),
+                         x.end());
+  return DcSolution(netlist, std::move(node_voltages),
+                    std::move(branch_currents), layout, std::move(states),
+                    options.time);
+}
+
+}  // namespace vpd

@@ -1,0 +1,66 @@
+// DC operating-point analysis: capacitors open, inductors short, sources at
+// t = 0. Every element is linear, so the operating point is one LU solve.
+#pragma once
+
+#include <optional>
+
+#include "vpd/circuit/mna.hpp"
+#include "vpd/circuit/netlist.hpp"
+#include "vpd/common/matrix.hpp"
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+struct DcOptions {
+  /// Leak conductance node->ground to keep floating nodes solvable.
+  double gmin{1e-12};
+  /// Switch states; defaults to each switch's `initially_closed`.
+  std::optional<SwitchStates> switch_states;
+  /// Time at which time-varying sources are evaluated.
+  double time{0.0};
+};
+
+/// Operating point. Currents follow the a->b (pos->neg / from->to) element
+/// orientation.
+class DcSolution {
+ public:
+  DcSolution(const Netlist& netlist, Vector node_voltages,
+             Vector branch_currents, const MnaLayout& layout,
+             SwitchStates switch_states, double time);
+
+  /// Node voltage relative to ground.
+  Voltage voltage(NodeId node) const;
+  Voltage voltage(const std::string& node_name) const;
+
+  /// Current through an element in its a->b orientation. Capacitors carry
+  /// zero DC current; V sources and inductors report their branch unknown.
+  Current current(ElementId element) const;
+  Current current(const std::string& element_name) const;
+
+  /// Power absorbed by an element: v_ab * i_ab. Positive for dissipation,
+  /// negative for elements delivering power (sources).
+  Power power(ElementId element) const;
+  Power power(const std::string& element_name) const;
+
+  /// Sum of power absorbed by all elements; ~0 for a consistent solution
+  /// (Tellegen's theorem) up to gmin leakage.
+  Power total_power() const;
+
+  /// Total power dissipated in resistors and switches.
+  Power dissipated_power() const;
+
+ private:
+  const Netlist* netlist_;
+  Vector node_voltages_;    // indexed by NodeId; [0] = 0 (ground)
+  Vector branch_currents_;  // indexed by branch row - node_unknowns
+  std::size_t node_unknowns_;
+  std::vector<std::size_t> branch_rows_;  // per element, kNoRow if none
+  SwitchStates switch_states_;
+  double time_;
+};
+
+/// Solves the DC operating point. Throws NumericalError on singular
+/// topologies (e.g. a voltage-source loop).
+DcSolution solve_dc(const Netlist& netlist, const DcOptions& options = {});
+
+}  // namespace vpd

@@ -1,0 +1,113 @@
+#include "vpd/circuit/mna.hpp"
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+MnaLayout::MnaLayout(const Netlist& netlist) {
+  node_unknowns_ = netlist.node_count() - 1;  // ground excluded
+  branch_rows_.assign(netlist.element_count(), kNoRow);
+  std::size_t next = node_unknowns_;
+  for (std::size_t i = 0; i < netlist.element_count(); ++i) {
+    const ElementKind kind = netlist.element(i).kind;
+    if (kind == ElementKind::kVoltageSource ||
+        kind == ElementKind::kInductor) {
+      branch_rows_[i] = next++;
+    }
+  }
+  unknown_count_ = next;
+}
+
+std::size_t MnaLayout::node_row(NodeId node) const {
+  if (node == kGround) return kNoRow;
+  VPD_REQUIRE(node <= node_unknowns_, "node id ", node, " out of range");
+  return node - 1;
+}
+
+std::size_t MnaLayout::branch_row(ElementId element) const {
+  VPD_REQUIRE(element < branch_rows_.size(), "element id ", element,
+              " out of range");
+  VPD_REQUIRE(branch_rows_[element] != kNoRow, "element ", element,
+              " has no branch-current unknown");
+  return branch_rows_[element];
+}
+
+bool MnaLayout::has_branch(ElementId element) const {
+  VPD_REQUIRE(element < branch_rows_.size(), "element id ", element,
+              " out of range");
+  return branch_rows_[element] != kNoRow;
+}
+
+MnaStamper::MnaStamper(const MnaLayout& layout)
+    : layout_(layout),
+      a_(layout.unknown_count(), layout.unknown_count()),
+      b_(layout.unknown_count(), 0.0) {}
+
+void MnaStamper::stamp_conductance(NodeId a, NodeId b, double g) {
+  const std::size_t ra = layout_.node_row(a);
+  const std::size_t rb = layout_.node_row(b);
+  if (ra != MnaLayout::kNoRow) a_(ra, ra) += g;
+  if (rb != MnaLayout::kNoRow) a_(rb, rb) += g;
+  if (ra != MnaLayout::kNoRow && rb != MnaLayout::kNoRow) {
+    a_(ra, rb) -= g;
+    a_(rb, ra) -= g;
+  }
+}
+
+void MnaStamper::stamp_current_injection(NodeId from, NodeId to, double i) {
+  const std::size_t rf = layout_.node_row(from);
+  const std::size_t rt = layout_.node_row(to);
+  if (rf != MnaLayout::kNoRow) b_[rf] -= i;
+  if (rt != MnaLayout::kNoRow) b_[rt] += i;
+}
+
+void MnaStamper::stamp_voltage_source(std::size_t row, NodeId pos, NodeId neg,
+                                      double volts) {
+  const std::size_t rp = layout_.node_row(pos);
+  const std::size_t rn = layout_.node_row(neg);
+  if (rp != MnaLayout::kNoRow) {
+    a_(rp, row) += 1.0;
+    a_(row, rp) += 1.0;
+  }
+  if (rn != MnaLayout::kNoRow) {
+    a_(rn, row) -= 1.0;
+    a_(row, rn) -= 1.0;
+  }
+  b_[row] = volts;
+}
+
+void MnaStamper::stamp_inductor_branch(std::size_t row, NodeId a, NodeId b,
+                                       double r_equiv, double rhs) {
+  const std::size_t ra = layout_.node_row(a);
+  const std::size_t rb = layout_.node_row(b);
+  if (ra != MnaLayout::kNoRow) {
+    a_(ra, row) += 1.0;
+    a_(row, ra) += 1.0;
+  }
+  if (rb != MnaLayout::kNoRow) {
+    a_(rb, row) -= 1.0;
+    a_(row, rb) -= 1.0;
+  }
+  a_(row, row) -= r_equiv;
+  b_[row] = rhs;
+}
+
+void MnaStamper::stamp_gmin(double gmin) {
+  if (gmin <= 0.0) return;
+  for (std::size_t r = 0; r < layout_.node_unknowns(); ++r) a_(r, r) += gmin;
+}
+
+SwitchStates initial_switch_states(const Netlist& netlist) {
+  SwitchStates states;
+  for (ElementId id : netlist.switches())
+    states.push_back(netlist.element(id).initially_closed);
+  return states;
+}
+
+double switch_resistance(const Element& e, bool closed) {
+  VPD_REQUIRE(e.kind == ElementKind::kSwitch, "element '", e.name,
+              "' is not a switch");
+  return closed ? e.r_on : e.r_off;
+}
+
+}  // namespace vpd

@@ -1,0 +1,87 @@
+// Modified nodal analysis: unknown layout and matrix stamping shared by the
+// DC and transient solvers.
+//
+// Unknowns are the non-ground node voltages followed by one branch current
+// per voltage source and per inductor (inductors use the branch formulation
+// so DC treats them as exact shorts and transient companion models stay
+// well-conditioned for small L/h).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "vpd/circuit/netlist.hpp"
+#include "vpd/common/matrix.hpp"
+
+namespace vpd {
+
+/// Maps netlist nodes/elements to MNA matrix rows.
+class MnaLayout {
+ public:
+  static constexpr std::size_t kNoRow = std::numeric_limits<std::size_t>::max();
+
+  explicit MnaLayout(const Netlist& netlist);
+
+  std::size_t unknown_count() const { return unknown_count_; }
+  std::size_t node_unknowns() const { return node_unknowns_; }
+
+  /// Row of a node voltage unknown; kNoRow for ground.
+  std::size_t node_row(NodeId node) const;
+  /// Row of the branch-current unknown of a V source or inductor.
+  /// Throws InvalidArgument for other element kinds.
+  std::size_t branch_row(ElementId element) const;
+  /// True if the element carries a branch-current unknown.
+  bool has_branch(ElementId element) const;
+
+ private:
+  std::size_t node_unknowns_{0};
+  std::size_t unknown_count_{0};
+  std::vector<std::size_t> branch_rows_;  // indexed by ElementId
+};
+
+/// Accumulates MNA stamps into a dense system A x = b.
+class MnaStamper {
+ public:
+  MnaStamper(const MnaLayout& layout);
+
+  Matrix& matrix() { return a_; }
+  Vector& rhs() { return b_; }
+  const Matrix& matrix() const { return a_; }
+  const Vector& rhs() const { return b_; }
+
+  /// Conductance g between nodes a and b.
+  void stamp_conductance(NodeId a, NodeId b, double g);
+  /// Current `i` injected into node `to` and drawn from node `from`
+  /// (i.e. an ideal current source from -> to).
+  void stamp_current_injection(NodeId from, NodeId to, double i);
+  /// Ideal voltage source pos->neg of value `volts` on branch row `row`.
+  /// Branch current is defined flowing pos -> neg through the source
+  /// (SPICE convention: negative when the source delivers power).
+  void stamp_voltage_source(std::size_t row, NodeId pos, NodeId neg,
+                            double volts);
+  /// Inductor branch: v_a - v_b - r_equiv * i = rhs on branch row `row`.
+  /// DC uses r_equiv = 0, rhs = 0 (a short); transient companion models use
+  /// r_equiv = L/h (BE) or 2L/h (trapezoidal) with the matching history rhs.
+  void stamp_inductor_branch(std::size_t row, NodeId a, NodeId b,
+                             double r_equiv, double rhs);
+  /// Small conductance from every node to ground; keeps matrices
+  /// nonsingular when capacitors leave nodes floating in DC.
+  void stamp_gmin(double gmin);
+
+ private:
+  const MnaLayout& layout_;
+  Matrix a_;
+  Vector b_;
+};
+
+/// Switch states indexed in netlist.switches() order.
+using SwitchStates = std::vector<bool>;
+
+/// Initial switch states from each switch's `initially_closed` flag.
+SwitchStates initial_switch_states(const Netlist& netlist);
+
+/// Resistance of switch `e` given its state.
+double switch_resistance(const Element& e, bool closed);
+
+}  // namespace vpd

@@ -1,0 +1,183 @@
+#include "vpd/circuit/netlist.hpp"
+
+#include <algorithm>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+const char* to_string(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kResistor: return "resistor";
+    case ElementKind::kCapacitor: return "capacitor";
+    case ElementKind::kInductor: return "inductor";
+    case ElementKind::kVoltageSource: return "vsource";
+    case ElementKind::kCurrentSource: return "isource";
+    case ElementKind::kSwitch: return "switch";
+  }
+  return "unknown";
+}
+
+Netlist::Netlist() { node_names_.push_back("gnd"); }
+
+NodeId Netlist::add_node(const std::string& name) {
+  VPD_REQUIRE(!name.empty(), "node name must be non-empty");
+  VPD_REQUIRE(std::find(node_names_.begin(), node_names_.end(), name) ==
+                  node_names_.end(),
+              "duplicate node name '", name, "'");
+  node_names_.push_back(name);
+  return node_names_.size() - 1;
+}
+
+NodeId Netlist::node(const std::string& name) const {
+  if (name == "0" || name == "gnd") return kGround;
+  const auto it = std::find(node_names_.begin(), node_names_.end(), name);
+  VPD_REQUIRE(it != node_names_.end(), "unknown node '", name, "'");
+  return static_cast<NodeId>(it - node_names_.begin());
+}
+
+const std::string& Netlist::node_name(NodeId id) const {
+  VPD_REQUIRE(id < node_names_.size(), "node id ", id, " out of range");
+  return node_names_[id];
+}
+
+void Netlist::check_nodes(NodeId a, NodeId b, const std::string& name) const {
+  VPD_REQUIRE(a < node_names_.size() && b < node_names_.size(), "element '",
+              name, "': node id out of range");
+  VPD_REQUIRE(a != b, "element '", name, "': both terminals on node ", a);
+}
+
+ElementId Netlist::add_element(Element e) {
+  VPD_REQUIRE(!e.name.empty(), "element name must be non-empty");
+  for (const Element& existing : elements_)
+    VPD_REQUIRE(existing.name != e.name, "duplicate element name '", e.name,
+                "'");
+  elements_.push_back(std::move(e));
+  return elements_.size() - 1;
+}
+
+ElementId Netlist::add_resistor(const std::string& name, NodeId a, NodeId b,
+                                Resistance r) {
+  check_nodes(a, b, name);
+  VPD_REQUIRE(r.value > 0.0, "resistor '", name, "': non-positive R ",
+              r.value);
+  Element e;
+  e.kind = ElementKind::kResistor;
+  e.name = name;
+  e.node_a = a;
+  e.node_b = b;
+  e.value = r.value;
+  return add_element(std::move(e));
+}
+
+ElementId Netlist::add_capacitor(const std::string& name, NodeId a, NodeId b,
+                                 Capacitance c, Voltage initial) {
+  check_nodes(a, b, name);
+  VPD_REQUIRE(c.value > 0.0, "capacitor '", name, "': non-positive C ",
+              c.value);
+  Element e;
+  e.kind = ElementKind::kCapacitor;
+  e.name = name;
+  e.node_a = a;
+  e.node_b = b;
+  e.value = c.value;
+  e.initial = initial.value;
+  return add_element(std::move(e));
+}
+
+ElementId Netlist::add_inductor(const std::string& name, NodeId a, NodeId b,
+                                Inductance l, Current initial) {
+  check_nodes(a, b, name);
+  VPD_REQUIRE(l.value > 0.0, "inductor '", name, "': non-positive L ",
+              l.value);
+  Element e;
+  e.kind = ElementKind::kInductor;
+  e.name = name;
+  e.node_a = a;
+  e.node_b = b;
+  e.value = l.value;
+  e.initial = initial.value;
+  return add_element(std::move(e));
+}
+
+ElementId Netlist::add_vsource(const std::string& name, NodeId pos,
+                               NodeId neg, Voltage v) {
+  const double value = v.value;
+  return add_vsource(name, pos, neg, [value](double) { return value; });
+}
+
+ElementId Netlist::add_vsource(const std::string& name, NodeId pos,
+                               NodeId neg, SourceFn v_of_t) {
+  check_nodes(pos, neg, name);
+  VPD_REQUIRE(static_cast<bool>(v_of_t), "vsource '", name,
+              "': null waveform");
+  Element e;
+  e.kind = ElementKind::kVoltageSource;
+  e.name = name;
+  e.node_a = pos;
+  e.node_b = neg;
+  e.source = std::move(v_of_t);
+  return add_element(std::move(e));
+}
+
+ElementId Netlist::add_isource(const std::string& name, NodeId from,
+                               NodeId to, Current i) {
+  const double value = i.value;
+  return add_isource(name, from, to, [value](double) { return value; });
+}
+
+ElementId Netlist::add_isource(const std::string& name, NodeId from,
+                               NodeId to, SourceFn i_of_t) {
+  check_nodes(from, to, name);
+  VPD_REQUIRE(static_cast<bool>(i_of_t), "isource '", name,
+              "': null waveform");
+  Element e;
+  e.kind = ElementKind::kCurrentSource;
+  e.name = name;
+  e.node_a = from;
+  e.node_b = to;
+  e.source = std::move(i_of_t);
+  return add_element(std::move(e));
+}
+
+ElementId Netlist::add_switch(const std::string& name, NodeId a, NodeId b,
+                              Resistance r_on, Resistance r_off,
+                              bool initially_closed) {
+  check_nodes(a, b, name);
+  VPD_REQUIRE(r_on.value > 0.0 && r_off.value > r_on.value, "switch '", name,
+              "': need 0 < r_on < r_off, got r_on=", r_on.value,
+              " r_off=", r_off.value);
+  Element e;
+  e.kind = ElementKind::kSwitch;
+  e.name = name;
+  e.node_a = a;
+  e.node_b = b;
+  e.r_on = r_on.value;
+  e.r_off = r_off.value;
+  e.initially_closed = initially_closed;
+  return add_element(std::move(e));
+}
+
+const Element& Netlist::element(ElementId id) const {
+  VPD_REQUIRE(id < elements_.size(), "element id ", id, " out of range");
+  return elements_[id];
+}
+
+ElementId Netlist::element_id(const std::string& name) const {
+  for (std::size_t i = 0; i < elements_.size(); ++i)
+    if (elements_[i].name == name) return i;
+  throw InvalidArgument(detail::concat("unknown element '", name, "'"));
+}
+
+std::vector<ElementId> Netlist::switches() const {
+  return elements_of_kind(ElementKind::kSwitch);
+}
+
+std::vector<ElementId> Netlist::elements_of_kind(ElementKind kind) const {
+  std::vector<ElementId> ids;
+  for (std::size_t i = 0; i < elements_.size(); ++i)
+    if (elements_[i].kind == kind) ids.push_back(i);
+  return ids;
+}
+
+}  // namespace vpd

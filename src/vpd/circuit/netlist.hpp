@@ -1,0 +1,107 @@
+// Circuit netlist: nodes plus linear two-terminal elements (R, L, C,
+// independent V/I sources, and resistively-modeled switches). This is the
+// substrate the converter topologies are simulated on. All elements are
+// linear at any instant — switches change their resistance between time
+// steps under external control — so every analysis step is a single linear
+// MNA solve (no Newton iteration needed).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+/// Node handle. Node 0 is ground.
+using NodeId = std::size_t;
+inline constexpr NodeId kGround = 0;
+
+/// Element handle: index into the netlist's element array.
+using ElementId = std::size_t;
+
+enum class ElementKind {
+  kResistor,
+  kCapacitor,
+  kInductor,
+  kVoltageSource,
+  kCurrentSource,
+  kSwitch,
+};
+
+const char* to_string(ElementKind kind);
+
+/// Time-dependent source value. Constant sources wrap a fixed value.
+using SourceFn = std::function<double(double /*time*/)>;
+
+struct Element {
+  ElementKind kind;
+  std::string name;
+  NodeId node_a;  // + terminal for sources
+  NodeId node_b;  // - terminal for sources
+  double value{0.0};        // R [Ohm], C [F], L [H]; unused for sources
+  double initial{0.0};      // C: v(0) across a->b; L: i(0) flowing a->b
+  double r_on{1e-3};        // switches only
+  double r_off{1e9};        // switches only
+  bool initially_closed{false};
+  SourceFn source;          // sources only
+};
+
+class Netlist {
+ public:
+  Netlist();
+
+  /// Adds a named node; names must be unique. Returns its id.
+  NodeId add_node(const std::string& name);
+  /// Node lookup by name ("0" / "gnd" resolve to ground). Throws if unknown.
+  NodeId node(const std::string& name) const;
+  const std::string& node_name(NodeId id) const;
+  /// Total node count including ground.
+  std::size_t node_count() const { return node_names_.size(); }
+
+  ElementId add_resistor(const std::string& name, NodeId a, NodeId b,
+                         Resistance r);
+  ElementId add_capacitor(const std::string& name, NodeId a, NodeId b,
+                          Capacitance c, Voltage initial = Voltage{0.0});
+  ElementId add_inductor(const std::string& name, NodeId a, NodeId b,
+                         Inductance l, Current initial = Current{0.0});
+  /// DC voltage source: node_a is +, node_b is -.
+  ElementId add_vsource(const std::string& name, NodeId pos, NodeId neg,
+                        Voltage v);
+  /// Time-varying voltage source.
+  ElementId add_vsource(const std::string& name, NodeId pos, NodeId neg,
+                        SourceFn v_of_t);
+  /// DC current source pushing current out of `pos` through the external
+  /// circuit into `neg` (i.e. conventional current flows pos -> external ->
+  /// neg inside the source symbol current goes neg -> pos).
+  ElementId add_isource(const std::string& name, NodeId from, NodeId to,
+                        Current i);
+  ElementId add_isource(const std::string& name, NodeId from, NodeId to,
+                        SourceFn i_of_t);
+  /// Switch modeled as r_on when closed, r_off when open.
+  ElementId add_switch(const std::string& name, NodeId a, NodeId b,
+                       Resistance r_on = Resistance{1e-3},
+                       Resistance r_off = Resistance{1e9},
+                       bool initially_closed = false);
+
+  const Element& element(ElementId id) const;
+  ElementId element_id(const std::string& name) const;
+  std::size_t element_count() const { return elements_.size(); }
+  const std::vector<Element>& elements() const { return elements_; }
+
+  /// Ids of all switches, in insertion order.
+  std::vector<ElementId> switches() const;
+  /// Ids of all elements of `kind`, in insertion order.
+  std::vector<ElementId> elements_of_kind(ElementKind kind) const;
+
+ private:
+  ElementId add_element(Element e);
+  void check_nodes(NodeId a, NodeId b, const std::string& name) const;
+
+  std::vector<std::string> node_names_;
+  std::vector<Element> elements_;
+};
+
+}  // namespace vpd

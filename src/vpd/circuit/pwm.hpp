@@ -1,0 +1,74 @@
+// PWM gate-signal generation for switching-converter simulation: phase-
+// shifted carriers, complementary pairs with dead time, and helpers that
+// bind PWM signals to netlist switches as a transient SwitchController.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vpd/circuit/mna.hpp"
+#include "vpd/circuit/netlist.hpp"
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+/// Rectangular PWM signal: high during [phase, phase + duty) of each
+/// normalized period.
+class PwmSignal {
+ public:
+  /// duty in [0, 1]; phase in [0, 1) as a fraction of the period.
+  PwmSignal(Frequency frequency, double duty, double phase = 0.0);
+
+  bool is_high(double time) const;
+  double duty() const { return duty_; }
+  double phase() const { return phase_; }
+  double period() const { return period_; }
+
+  /// Complementary signal with symmetric dead time: low a little after this
+  /// signal falls and high a little before it rises, never overlapping.
+  PwmSignal complement(Seconds dead_time = Seconds{0.0}) const;
+
+ private:
+  PwmSignal(double period, double duty, double phase, double lead_guard,
+            double tail_guard);
+
+  double period_;
+  double duty_;
+  double phase_;
+  // Guard intervals (fractions of the period) trimmed from the high window;
+  // used by complementary signals to realize dead time.
+  double lead_guard_{0.0};
+  double tail_guard_{0.0};
+};
+
+/// Assigns PWM signals to switches of a netlist and exposes the
+/// SwitchController the transient engine consumes.
+class GateDrive {
+ public:
+  explicit GateDrive(const Netlist& netlist);
+
+  /// Drives switch `switch_name` with `signal`.
+  void assign(const std::string& switch_name, PwmSignal signal);
+
+  /// Drives a complementary pair (high-side, low-side) from one signal with
+  /// dead time on both edges.
+  void assign_pair(const std::string& high_switch,
+                   const std::string& low_switch, PwmSignal signal,
+                   Seconds dead_time);
+
+  /// True if every switch in the netlist has a driving signal.
+  bool fully_assigned() const;
+
+  /// Controller callback: writes each assigned switch's state; unassigned
+  /// switches keep their previous state.
+  std::function<void(double, SwitchStates&)> controller() const;
+
+ private:
+  const Netlist* netlist_;
+  std::vector<ElementId> switch_ids_;                 // netlist switch order
+  std::vector<std::vector<PwmSignal>> assignments_;   // per switch position
+};
+
+}  // namespace vpd

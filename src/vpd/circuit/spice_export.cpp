@@ -1,0 +1,107 @@
+#include "vpd/circuit/spice_export.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char ch : name)
+    out += (std::isalnum(static_cast<unsigned char>(ch)) != 0) ? ch : '_';
+  return out;
+}
+
+std::string spice_node(const Netlist& nl, NodeId node) {
+  if (node == kGround) return "0";
+  return sanitize(nl.node_name(node));
+}
+
+std::string spice_value(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// SPICE element names must start with the type letter.
+std::string spice_name(char prefix, const std::string& name) {
+  std::string s = sanitize(name);
+  if (s.empty() ||
+      std::toupper(static_cast<unsigned char>(s[0])) != prefix) {
+    s = std::string(1, prefix) + "_" + s;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string to_spice(const Netlist& netlist,
+                     const SpiceExportOptions& options) {
+  const SwitchStates states =
+      options.switch_states.value_or(initial_switch_states(netlist));
+  VPD_REQUIRE(states.size() == netlist.switches().size(),
+              "switch_states has ", states.size(), " entries, netlist has ",
+              netlist.switches().size(), " switches");
+
+  std::ostringstream os;
+  os << "* " << options.title << "\n";
+  os << "* exported by vpd (vertical power delivery library)\n";
+
+  std::size_t sw_pos = 0;
+  for (std::size_t i = 0; i < netlist.element_count(); ++i) {
+    const Element& e = netlist.element(i);
+    const std::string a = spice_node(netlist, e.node_a);
+    const std::string b = spice_node(netlist, e.node_b);
+    switch (e.kind) {
+      case ElementKind::kResistor:
+        os << spice_name('R', e.name) << ' ' << a << ' ' << b << ' '
+           << spice_value(e.value) << "\n";
+        break;
+      case ElementKind::kCapacitor:
+        os << spice_name('C', e.name) << ' ' << a << ' ' << b << ' '
+           << spice_value(e.value);
+        if (options.initial_conditions)
+          os << " IC=" << spice_value(e.initial);
+        os << "\n";
+        break;
+      case ElementKind::kInductor:
+        os << spice_name('L', e.name) << ' ' << a << ' ' << b << ' '
+           << spice_value(e.value);
+        if (options.initial_conditions)
+          os << " IC=" << spice_value(e.initial);
+        os << "\n";
+        break;
+      case ElementKind::kVoltageSource:
+        os << spice_name('V', e.name) << ' ' << a << ' ' << b << " DC "
+           << spice_value(e.source(0.0))
+           << "  * value sampled at t=0\n";
+        break;
+      case ElementKind::kCurrentSource:
+        os << spice_name('I', e.name) << ' ' << a << ' ' << b << " DC "
+           << spice_value(e.source(0.0))
+           << "  * value sampled at t=0\n";
+        break;
+      case ElementKind::kSwitch: {
+        const bool closed = states[sw_pos++];
+        os << spice_name('R', e.name) << ' ' << a << ' ' << b << ' '
+           << spice_value(closed ? e.r_on : e.r_off)
+           << "  * switch frozen " << (closed ? "closed" : "open") << "\n";
+        break;
+      }
+    }
+  }
+
+  if (options.operating_point) os << ".op\n";
+  if (!options.tran_card.empty()) os << ".tran " << options.tran_card
+                                     << "\n";
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace vpd

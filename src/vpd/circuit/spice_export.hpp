@@ -1,0 +1,34 @@
+// SPICE netlist export: writes a vpd::Netlist as a standard .cir deck so
+// results can be cross-checked in ngspice/LTspice or shared with circuit
+// designers. Time-varying sources are sampled at t = 0 with a comment;
+// switches are exported at a chosen static state (as resistors), because
+// a portable SPICE switch needs a control network this library does not
+// model.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "vpd/circuit/mna.hpp"
+#include "vpd/circuit/netlist.hpp"
+
+namespace vpd {
+
+struct SpiceExportOptions {
+  std::string title{"vpd netlist"};
+  /// Switch states to freeze into resistors; defaults to initial states.
+  std::optional<SwitchStates> switch_states;
+  /// Emit a .op card.
+  bool operating_point{true};
+  /// Optional .tran card: "tstep tstop" (e.g. "1n 100u"); empty = none.
+  std::string tran_card;
+  /// Include element initial conditions (IC=) on C and L.
+  bool initial_conditions{true};
+};
+
+/// Renders the netlist as a SPICE deck. Node 0 is ground; other nodes use
+/// their vpd names (sanitized to alphanumerics/underscore).
+std::string to_spice(const Netlist& netlist,
+                     const SpiceExportOptions& options = {});
+
+}  // namespace vpd

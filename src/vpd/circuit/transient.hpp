@@ -1,0 +1,100 @@
+// Fixed-step transient simulation with switch scheduling. Capacitors and
+// inductors are replaced by their companion models each step (backward
+// Euler for the first step, then the configured method); the resulting
+// linear system is LU-solved. LU factorizations are cached per switch-state
+// pattern, so periodic PWM simulations re-factor only when a new switching
+// configuration first appears.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vpd/circuit/mna.hpp"
+#include "vpd/circuit/netlist.hpp"
+#include "vpd/circuit/waveform.hpp"
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+enum class IntegrationMethod {
+  kBackwardEuler,
+  kTrapezoidal,
+};
+
+/// Called before each step with the step's end time; writes desired switch
+/// states (indexed in netlist.switches() order).
+using SwitchController = std::function<void(double, SwitchStates&)>;
+
+/// Called after each accepted step with the step's end time and the node
+/// voltages (indexed by NodeId). Feedback controllers use this to sample
+/// the output rail.
+using StepObserver = std::function<void(double, const Vector&)>;
+
+struct TransientOptions {
+  Seconds t_stop{0.0};
+  Seconds dt{0.0};
+  IntegrationMethod method{IntegrationMethod::kTrapezoidal};
+  double gmin{1e-12};
+  /// Optional switch schedule; absent means switches hold initial states.
+  SwitchController controller;
+  /// Optional per-step observer (runs after the step is solved).
+  StepObserver observer;
+  /// Start from the DC operating point (with initial switch states) instead
+  /// of element initial conditions.
+  bool initialize_from_dc{false};
+};
+
+/// Full simulation record: node voltages and element currents at every
+/// sample (t = 0, dt, 2 dt, ..., t_stop).
+class TransientResult {
+ public:
+  TransientResult(const Netlist& netlist, std::vector<double> times,
+                  std::vector<Vector> node_voltages,
+                  std::vector<Vector> element_currents);
+
+  std::size_t sample_count() const { return times_.size(); }
+  const std::vector<double>& times() const { return times_; }
+
+  /// Voltage trace of a node.
+  Trace voltage(NodeId node) const;
+  Trace voltage(const std::string& node_name) const;
+
+  /// Current trace of an element (a->b orientation).
+  Trace current(ElementId element) const;
+  Trace current(const std::string& element_name) const;
+
+  /// Instantaneous absorbed power trace of an element (v_ab * i_ab).
+  Trace power(ElementId element) const;
+  Trace power(const std::string& element_name) const;
+
+  /// Energy absorbed by an element over the whole run (trapezoidal
+  /// integral of the power trace).
+  Energy energy(const std::string& element_name) const;
+
+  /// Average absorbed power over the final `window`.
+  Power average_power(const std::string& element_name, Seconds window) const;
+
+ private:
+  const Netlist* netlist_;
+  std::vector<double> times_;
+  std::vector<Vector> node_voltages_;     // per sample, indexed by NodeId
+  std::vector<Vector> element_currents_;  // per sample, indexed by ElementId
+};
+
+/// Runs the transient analysis. Throws InvalidArgument for bad options and
+/// NumericalError if a step's system is singular.
+TransientResult simulate(const Netlist& netlist,
+                         const TransientOptions& options);
+
+/// Per-cycle averages of a trace (cycle length `period`, anchored at the
+/// trace start). Used for periodic-steady-state detection.
+std::vector<double> cycle_averages(const Trace& trace, double period);
+
+/// Index of the first cycle whose average differs from the next cycle's by
+/// less than `tol` (absolute); nullopt if never converged.
+std::optional<std::size_t> first_steady_cycle(const Trace& trace,
+                                              double period, double tol);
+
+}  // namespace vpd

@@ -1,0 +1,66 @@
+// Time-series traces produced by transient simulation, with the standard
+// power-electronics measurements: average, RMS, peak-to-peak ripple, and
+// windowed (last-N-cycles) variants used for periodic-steady-state checks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vpd {
+
+/// A sampled signal. Time points are shared across all traces of a
+/// simulation; a Trace pairs a name with its sample values.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, std::vector<double> times,
+        std::vector<double> values);
+
+  const std::string& name() const { return name_; }
+  std::size_t sample_count() const { return values_.size(); }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+  double front() const;
+  double back() const;
+
+  /// Linear interpolation at time t (clamped to the trace's span).
+  double at(double t) const;
+
+  /// Time-weighted (trapezoidal) average over [t0, t1].
+  double average(double t0, double t1) const;
+  double average() const;
+
+  /// Trapezoidal RMS over [t0, t1].
+  double rms(double t0, double t1) const;
+  double rms() const;
+
+  double min(double t0, double t1) const;
+  double max(double t0, double t1) const;
+  double min() const;
+  double max() const;
+
+  /// max - min over [t0, t1]: the ripple measurement.
+  double peak_to_peak(double t0, double t1) const;
+  double peak_to_peak() const;
+
+  /// Sub-trace covering the last `duration` seconds.
+  Trace tail(double duration) const;
+
+  /// Magnitude of the signal's component at `frequency` over [t0, t1]
+  /// (single-bin DFT, trapezoidal): |(2/T) * integral v(t) e^{-j w t} dt|.
+  /// For an exact integer number of periods of a sinusoid of amplitude A
+  /// this returns A.
+  double harmonic_magnitude(double frequency, double t0, double t1) const;
+  double harmonic_magnitude(double frequency) const;
+
+ private:
+  void check_window(double t0, double t1) const;
+
+  std::string name_;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace vpd

@@ -1,0 +1,69 @@
+#include "vpd/common/complex_linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+ComplexMatrix::ComplexMatrix(std::size_t rows, std::size_t cols,
+                             Complex fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+ComplexVector solve_dense_complex(ComplexMatrix a, const ComplexVector& b) {
+  VPD_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix, got ",
+              a.rows(), "x", a.cols());
+  const std::size_t n = a.rows();
+  VPD_REQUIRE(b.size() == n, "rhs has ", b.size(), " entries, expected ", n);
+
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    double best = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(a(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    VPD_CHECK_NUMERIC(best > std::numeric_limits<double>::min() * 16,
+                      "complex matrix is singular at column ", k);
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(pivot, j));
+      std::swap(perm[k], perm[pivot]);
+    }
+    const Complex pv = a(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const Complex m = a(i, k) / pv;
+      a(i, k) = m;
+      if (m == Complex{0.0, 0.0}) continue;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= m * a(k, j);
+    }
+  }
+
+  ComplexVector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex s = b[perm[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= a(i, j) * x[j];
+    x[i] = s;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    Complex s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
+    x[ii] = s / a(ii, ii);
+  }
+  return x;
+}
+
+double norm2(const ComplexVector& v) {
+  double s = 0.0;
+  for (const Complex& z : v) s += std::norm(z);
+  return std::sqrt(s);
+}
+
+}  // namespace vpd

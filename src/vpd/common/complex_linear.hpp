@@ -1,0 +1,44 @@
+// Dense complex linear algebra for AC (frequency-domain) analysis:
+// complex vectors, a complex dense matrix, and LU solve with partial
+// pivoting. Mirrors vpd/common/matrix.hpp over std::complex<double>.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace vpd {
+
+using Complex = std::complex<double>;
+using ComplexVector = std::vector<Complex>;
+
+class ComplexMatrix {
+ public:
+  ComplexMatrix() = default;
+  ComplexMatrix(std::size_t rows, std::size_t cols,
+                Complex fill = Complex{0.0, 0.0});
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Complex& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  Complex operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  ComplexVector data_;
+};
+
+/// Solves A x = b by LU with partial pivoting (on |pivot|). Throws
+/// NumericalError if singular, InvalidArgument on shape mismatch.
+ComplexVector solve_dense_complex(ComplexMatrix a, const ComplexVector& b);
+
+/// Euclidean norm of a complex vector.
+double norm2(const ComplexVector& v);
+
+}  // namespace vpd

@@ -1,0 +1,66 @@
+// Error handling for the vpd library.
+//
+// Invalid arguments and violated preconditions throw vpd::InvalidArgument;
+// numerical failures (singular matrix, non-converged iteration) throw
+// vpd::NumericalError; infeasible designs (a constraint the caller asked us
+// to satisfy cannot be met) throw vpd::InfeasibleDesign. All derive from
+// vpd::Error so callers can catch the library's failures as one family.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vpd {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+class InfeasibleDesign : public Error {
+ public:
+  explicit InfeasibleDesign(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace detail
+
+}  // namespace vpd
+
+/// Precondition check: throws vpd::InvalidArgument with location context.
+#define VPD_REQUIRE(cond, ...)                                         \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      throw ::vpd::InvalidArgument(::vpd::detail::concat(              \
+          __func__, ": requirement `", #cond, "` failed: ",            \
+          __VA_ARGS__));                                               \
+    }                                                                  \
+  } while (false)
+
+/// Numerical-state check: throws vpd::NumericalError.
+#define VPD_CHECK_NUMERIC(cond, ...)                                   \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      throw ::vpd::NumericalError(                                     \
+          ::vpd::detail::concat(__func__, ": ", __VA_ARGS__));         \
+    }                                                                  \
+  } while (false)

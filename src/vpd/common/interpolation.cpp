@@ -1,0 +1,125 @@
+#include "vpd/common/interpolation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs,
+                                 std::vector<double> ys,
+                                 Extrapolation policy)
+    : xs_(std::move(xs)), ys_(std::move(ys)), policy_(policy) {
+  VPD_REQUIRE(xs_.size() == ys_.size(), "xs has ", xs_.size(), ", ys has ",
+              ys_.size());
+  VPD_REQUIRE(xs_.size() >= 2, "need at least 2 knots, got ", xs_.size());
+  for (std::size_t i = 1; i < xs_.size(); ++i)
+    VPD_REQUIRE(xs_[i] > xs_[i - 1], "x knots must be strictly increasing; x[",
+                i - 1, "]=", xs_[i - 1], " x[", i, "]=", xs_[i]);
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  VPD_REQUIRE(!xs_.empty(), "curve is empty");
+  if (x < xs_.front() || x > xs_.back()) {
+    switch (policy_) {
+      case Extrapolation::kClamp:
+        return x < xs_.front() ? ys_.front() : ys_.back();
+      case Extrapolation::kThrow:
+        throw InvalidArgument(detail::concat(
+            "PiecewiseLinear: x=", x, " outside [", xs_.front(), ", ",
+            xs_.back(), "]"));
+      case Extrapolation::kLinear:
+        break;  // falls through to segment evaluation below
+    }
+  }
+  // Find segment: largest i with xs_[i] <= x (clamped to valid segments).
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+  hi = std::clamp<std::size_t>(hi, 1, xs_.size() - 1);
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+double PiecewiseLinear::argmax() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ys_.size(); ++i)
+    if (ys_[i] > ys_[best]) best = i;
+  return xs_[best];
+}
+
+double PiecewiseLinear::max_value() const {
+  return *std::max_element(ys_.begin(), ys_.end());
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  VPD_REQUIRE(n >= 2, "linspace needs n >= 2, got ", n);
+  std::vector<double> v(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = lo + step * static_cast<double>(i);
+  v.back() = hi;
+  return v;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  VPD_REQUIRE(lo > 0.0 && hi > 0.0, "logspace needs positive bounds, got [",
+              lo, ", ", hi, "]");
+  std::vector<double> v = linspace(std::log(lo), std::log(hi), n);
+  for (double& x : v) x = std::exp(x);
+  v.back() = hi;
+  return v;
+}
+
+double find_root_bisect(const std::function<double(double)>& f, double lo,
+                        double hi, double tol, std::size_t max_iterations) {
+  VPD_REQUIRE(lo < hi, "invalid bracket [", lo, ", ", hi, "]");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  VPD_REQUIRE(std::signbit(flo) != std::signbit(fhi),
+              "no sign change on bracket: f(", lo, ")=", flo, ", f(", hi,
+              ")=", fhi);
+  for (std::size_t i = 0; i < max_iterations && (hi - lo) > tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if (std::signbit(fmid) == std::signbit(flo)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double minimize_golden(const std::function<double(double)>& f, double lo,
+                       double hi, double tol) {
+  VPD_REQUIRE(lo < hi, "invalid bracket [", lo, ", ", hi, "]");
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c), fd = f(d);
+  while (b - a > tol) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace vpd

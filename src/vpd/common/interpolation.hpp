@@ -1,0 +1,63 @@
+// 1-D curve utilities: piecewise-linear interpolation with selectable
+// out-of-range policy, sample-grid generators, and a tiny root bracketing
+// helper. Converter efficiency curves, trend lines, and calibration sweeps
+// are all built on these.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace vpd {
+
+/// What a curve does when evaluated outside its knot range.
+enum class Extrapolation {
+  kClamp,   // hold the boundary value
+  kLinear,  // extend the boundary segment's slope
+  kThrow,   // InvalidArgument
+};
+
+/// Piecewise-linear curve over strictly increasing x knots.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+  /// Throws InvalidArgument unless xs is strictly increasing and
+  /// xs.size() == ys.size() >= 2.
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys,
+                  Extrapolation policy = Extrapolation::kClamp);
+
+  double operator()(double x) const;
+
+  double x_min() const { return xs_.front(); }
+  double x_max() const { return xs_.back(); }
+  std::size_t knot_count() const { return xs_.size(); }
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+
+  /// x of the maximum y over the knots (ties: smallest x).
+  double argmax() const;
+  double max_value() const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  Extrapolation policy_{Extrapolation::kClamp};
+};
+
+/// n evenly spaced samples on [lo, hi] inclusive; n >= 2.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// n log-spaced samples on [lo, hi] inclusive; lo, hi > 0; n >= 2.
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/// Bisection root of f on [lo, hi]; requires a sign change. Throws
+/// InvalidArgument if f(lo) and f(hi) have the same sign.
+double find_root_bisect(const std::function<double(double)>& f, double lo,
+                        double hi, double tol = 1e-12,
+                        std::size_t max_iterations = 200);
+
+/// Golden-section minimizer of a unimodal f on [lo, hi].
+double minimize_golden(const std::function<double(double)>& f, double lo,
+                       double hi, double tol = 1e-10);
+
+}  // namespace vpd

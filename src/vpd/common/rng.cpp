@@ -1,0 +1,70 @@
+#include "vpd/common/rng.hpp"
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Rng::next_double() {
+  // 53 random bits -> [0, 1).
+  const std::uint64_t hi = next_u32();
+  const std::uint64_t lo = next_u32();
+  const std::uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::uniform(double lo, double hi) {
+  VPD_REQUIRE(lo <= hi, "invalid range [", lo, ", ", hi, ")");
+  return lo + (hi - lo) * next_double();
+}
+
+std::uint32_t Rng::next_below(std::uint32_t n) {
+  VPD_REQUIRE(n > 0, "next_below needs n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint32_t threshold = (0u - n) % n;
+  for (;;) {
+    const std::uint32_t r = next_u32();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * next_double() - 1.0;
+    v = 2.0 * next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  have_spare_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) {
+  VPD_REQUIRE(stddev >= 0.0, "negative stddev ", stddev);
+  return mean + stddev * normal();
+}
+
+}  // namespace vpd

@@ -1,0 +1,40 @@
+// Deterministic random-number generation for workload synthesis and
+// property-test sweeps. A thin wrapper over a fixed-algorithm PCG32 core so
+// results are reproducible across platforms and standard-library versions
+// (std::mt19937's distributions are not portable across implementations).
+#pragma once
+
+#include <cstdint>
+
+namespace vpd {
+
+/// PCG32 (O'Neill, pcg-random.org), XSH-RR output transform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n); n > 0.
+  std::uint32_t next_below(std::uint32_t n);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+  double normal(double mean, double stddev);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool have_spare_{false};
+  double spare_{0.0};
+};
+
+}  // namespace vpd

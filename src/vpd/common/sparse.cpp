@@ -1,0 +1,155 @@
+#include "vpd/common/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+void TripletList::add(std::size_t row, std::size_t col, double value) {
+  VPD_REQUIRE(row < rows_ && col < cols_, "entry (", row, ",", col,
+              ") outside ", rows_, "x", cols_);
+  if (value == 0.0) return;
+  entries_.push_back({row, col, value});
+}
+
+CsrMatrix::CsrMatrix(const TripletList& triplets)
+    : rows_(triplets.rows()), cols_(triplets.cols()) {
+  // Sort a copy of the entries by (row, col) and merge duplicates.
+  std::vector<TripletList::Entry> sorted = triplets.entries();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TripletList::Entry& a, const TripletList::Entry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  row_offsets_.assign(rows_ + 1, 0);
+  col_indices_.reserve(sorted.size());
+  values_.reserve(sorted.size());
+
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const std::size_t row = sorted[i].row;
+    const std::size_t col = sorted[i].col;
+    double sum = 0.0;
+    while (i < sorted.size() && sorted[i].row == row && sorted[i].col == col) {
+      sum += sorted[i].value;
+      ++i;
+    }
+    if (sum != 0.0) {
+      col_indices_.push_back(col);
+      values_.push_back(sum);
+      ++row_offsets_[row + 1];
+    }
+  }
+  std::partial_sum(row_offsets_.begin(), row_offsets_.end(),
+                   row_offsets_.begin());
+}
+
+Vector CsrMatrix::multiply(const Vector& x) const {
+  VPD_REQUIRE(x.size() == cols_, "SpMV: vector has ", x.size(),
+              " entries, matrix has ", cols_, " columns");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k)
+      s += values_[k] * x[col_indices_[k]];
+    y[r] = s;
+  }
+  return y;
+}
+
+double CsrMatrix::at(std::size_t row, std::size_t col) const {
+  VPD_REQUIRE(row < rows_ && col < cols_, "index (", row, ",", col,
+              ") outside ", rows_, "x", cols_);
+  const auto begin = col_indices_.begin() + static_cast<long>(row_offsets_[row]);
+  const auto end = col_indices_.begin() + static_cast<long>(row_offsets_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_indices_.begin())];
+}
+
+Vector CsrMatrix::diagonal() const {
+  Vector d(std::min(rows_, cols_), 0.0);
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] = at(i, i);
+  return d;
+}
+
+bool CsrMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const std::size_t c = col_indices_[k];
+      if (std::fabs(values_[k] - at(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+CgResult solve_cg(const CsrMatrix& a, const Vector& b,
+                  const CgOptions& options) {
+  VPD_REQUIRE(a.rows() == a.cols(), "CG requires a square matrix, got ",
+              a.rows(), "x", a.cols());
+  VPD_REQUIRE(b.size() == a.rows(), "rhs has ", b.size(),
+              " entries, expected ", a.rows());
+
+  const std::size_t n = a.rows();
+  const std::size_t max_iterations =
+      options.max_iterations > 0 ? options.max_iterations : 10 * n + 100;
+
+  // Jacobi preconditioner: M^{-1} = diag(A)^{-1}.
+  Vector inv_diag = a.diagonal();
+  for (std::size_t i = 0; i < n; ++i) {
+    VPD_CHECK_NUMERIC(inv_diag[i] > 0.0,
+                      "matrix diagonal not positive at row ", i,
+                      " (value ", inv_diag[i], "); system is not SPD");
+    inv_diag[i] = 1.0 / inv_diag[i];
+  }
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+
+  Vector r = b;  // residual with x0 = 0
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  const double target = options.relative_tolerance * b_norm;
+
+  Vector z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  Vector p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    const Vector ap = a.multiply(p);
+    const double p_ap = dot(p, ap);
+    VPD_CHECK_NUMERIC(p_ap > 0.0,
+                      "CG breakdown: p^T A p = ", p_ap,
+                      " <= 0; matrix is not positive definite");
+    const double alpha = rz / p_ap;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+    result.iterations = iter + 1;
+
+    const double r_norm = norm2(r);
+    if (r_norm <= target) {
+      result.converged = true;
+      result.residual_norm = r_norm;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+
+  result.residual_norm = norm2(r);
+  result.converged = false;
+  return result;
+}
+
+}  // namespace vpd

@@ -1,0 +1,73 @@
+#include "vpd/common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::min() const {
+  VPD_REQUIRE(count_ > 0, "no samples");
+  return min_;
+}
+
+double RunningStats::max() const {
+  VPD_REQUIRE(count_ > 0, "no samples");
+  return max_;
+}
+
+double RunningStats::mean() const {
+  VPD_REQUIRE(count_ > 0, "no samples");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double q) {
+  VPD_REQUIRE(!samples.empty(), "no samples");
+  VPD_REQUIRE(q >= 0.0 && q <= 1.0, "q=", q, " outside [0,1]");
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+Summary summarize(std::vector<double> samples) {
+  VPD_REQUIRE(!samples.empty(), "no samples");
+  RunningStats rs;
+  for (double x : samples) rs.add(x);
+  Summary s;
+  s.count = rs.count();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.median = percentile(samples, 0.5);
+  s.p05 = percentile(samples, 0.05);
+  s.p95 = percentile(std::move(samples), 0.95);
+  return s;
+}
+
+}  // namespace vpd

@@ -1,0 +1,51 @@
+// Descriptive statistics over double samples: running accumulator and a
+// one-shot summary (min/max/mean/stddev/percentiles). Used by IR-drop
+// reports (per-VR current spread) and waveform measurements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vpd {
+
+/// Streaming accumulator (Welford's algorithm for variance).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+struct Summary {
+  std::size_t count{0};
+  double min{0.0};
+  double max{0.0};
+  double mean{0.0};
+  double stddev{0.0};
+  double median{0.0};
+  double p05{0.0};
+  double p95{0.0};
+};
+
+/// One-shot summary. Throws InvalidArgument on an empty sample set.
+Summary summarize(std::vector<double> samples);
+
+/// Linear-interpolated percentile (q in [0, 1]) of an unsorted sample set.
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace vpd

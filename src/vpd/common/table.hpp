@@ -1,0 +1,41 @@
+// ASCII table and CSV emitters for the benchmark harnesses. Every bench
+// prints the rows/series the paper's tables and figures report; this module
+// keeps that formatting consistent.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vpd {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header underline and 2-space column gaps.
+  std::string to_string() const;
+  /// Renders as CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style %.*f with trailing formatting conveniences.
+std::string format_double(double value, int precision = 3);
+/// value formatted as a percentage with `precision` decimals, e.g. "41.8%".
+std::string format_percent(double fraction, int precision = 1);
+/// Engineering notation with SI prefix, e.g. 3.3e-3 -> "3.30m".
+std::string format_si(double value, int significant = 3);
+
+}  // namespace vpd

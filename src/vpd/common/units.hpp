@@ -1,0 +1,243 @@
+// Compile-time dimensional analysis for the small set of SI quantities the
+// power-delivery models traffic in. A Quantity carries its dimension as
+// template parameters (mass, length, time, current); arithmetic between
+// quantities produces the correctly-dimensioned result at compile time, so
+// `Voltage v = current * resistance;` type-checks and
+// `Voltage v = current * capacitance;` does not.
+//
+// Quantities are thin wrappers over double: trivially copyable, no runtime
+// cost. Numeric kernels (matrix solvers, meshes) use raw double internally;
+// module boundaries use these types.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace vpd {
+
+/// SI dimension exponents: kg^M · m^L · s^T · A^I.
+template <int M, int L, int T, int I>
+struct Quantity {
+  double value{0.0};
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value(v) {}
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+  constexpr Quantity operator-() const { return Quantity{-value}; }
+  constexpr Quantity& operator+=(Quantity rhs) {
+    value += rhs.value;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity rhs) {
+    value -= rhs.value;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value /= s;
+    return *this;
+  }
+};
+
+template <int M, int L, int T, int I>
+constexpr Quantity<M, L, T, I> operator+(Quantity<M, L, T, I> a,
+                                         Quantity<M, L, T, I> b) {
+  return Quantity<M, L, T, I>{a.value + b.value};
+}
+
+template <int M, int L, int T, int I>
+constexpr Quantity<M, L, T, I> operator-(Quantity<M, L, T, I> a,
+                                         Quantity<M, L, T, I> b) {
+  return Quantity<M, L, T, I>{a.value - b.value};
+}
+
+template <int M1, int L1, int T1, int I1, int M2, int L2, int T2, int I2>
+constexpr auto operator*(Quantity<M1, L1, T1, I1> a,
+                         Quantity<M2, L2, T2, I2> b) {
+  if constexpr (M1 + M2 == 0 && L1 + L2 == 0 && T1 + T2 == 0 && I1 + I2 == 0) {
+    return a.value * b.value;  // dimensionless result decays to double
+  } else {
+    return Quantity<M1 + M2, L1 + L2, T1 + T2, I1 + I2>{a.value * b.value};
+  }
+}
+
+template <int M1, int L1, int T1, int I1, int M2, int L2, int T2, int I2>
+constexpr auto operator/(Quantity<M1, L1, T1, I1> a,
+                         Quantity<M2, L2, T2, I2> b) {
+  if constexpr (M1 - M2 == 0 && L1 - L2 == 0 && T1 - T2 == 0 && I1 - I2 == 0) {
+    return a.value / b.value;
+  } else {
+    return Quantity<M1 - M2, L1 - L2, T1 - T2, I1 - I2>{a.value / b.value};
+  }
+}
+
+template <int M, int L, int T, int I>
+constexpr Quantity<M, L, T, I> operator*(double s, Quantity<M, L, T, I> q) {
+  return Quantity<M, L, T, I>{s * q.value};
+}
+
+template <int M, int L, int T, int I>
+constexpr Quantity<M, L, T, I> operator*(Quantity<M, L, T, I> q, double s) {
+  return Quantity<M, L, T, I>{q.value * s};
+}
+
+template <int M, int L, int T, int I>
+constexpr Quantity<M, L, T, I> operator/(Quantity<M, L, T, I> q, double s) {
+  return Quantity<M, L, T, I>{q.value / s};
+}
+
+template <int M, int L, int T, int I>
+constexpr auto operator/(double s, Quantity<M, L, T, I> q) {
+  return Quantity<-M, -L, -T, -I>{s / q.value};
+}
+
+template <int M, int L, int T, int I>
+std::ostream& operator<<(std::ostream& os, Quantity<M, L, T, I> q) {
+  return os << q.value;
+}
+
+// ---- Named quantities -----------------------------------------------------
+
+using Dimensionless = double;
+using Mass = Quantity<1, 0, 0, 0>;          // kg
+using Length = Quantity<0, 1, 0, 0>;        // m
+using Area = Quantity<0, 2, 0, 0>;          // m^2
+using Volume = Quantity<0, 3, 0, 0>;        // m^3
+using Seconds = Quantity<0, 0, 1, 0>;       // s
+using Frequency = Quantity<0, 0, -1, 0>;    // Hz
+using Current = Quantity<0, 0, 0, 1>;       // A
+using Charge = Quantity<0, 0, 1, 1>;        // C = A*s
+using Voltage = Quantity<1, 2, -3, -1>;     // V = kg*m^2/(s^3*A)
+using Power = Quantity<1, 2, -3, 0>;        // W
+using Energy = Quantity<1, 2, -2, 0>;       // J
+using Resistance = Quantity<1, 2, -3, -2>;  // Ohm = V/A
+using Conductance = Quantity<-1, -2, 3, 2>; // S
+using Capacitance = Quantity<-1, -2, 4, 2>; // F
+using Inductance = Quantity<1, 2, -2, -2>;  // H
+using Resistivity = Quantity<1, 3, -3, -2>; // Ohm*m
+using CurrentDensity = Quantity<0, -2, 0, 1>; // A/m^2
+using PowerDensity = Quantity<1, 0, -3, 0>;   // W/m^2
+
+// ---- Literals -------------------------------------------------------------
+//
+// Base-unit literals plus the scaled units the packaging domain uses
+// (millimetres, micrometres, milliohms, microhenries, ...).
+
+namespace literals {
+
+constexpr Voltage operator""_V(long double v) {
+  return Voltage{static_cast<double>(v)};
+}
+constexpr Voltage operator""_V(unsigned long long v) {
+  return Voltage{static_cast<double>(v)};
+}
+constexpr Voltage operator""_mV(long double v) {
+  return Voltage{static_cast<double>(v) * 1e-3};
+}
+constexpr Current operator""_A(long double v) {
+  return Current{static_cast<double>(v)};
+}
+constexpr Current operator""_A(unsigned long long v) {
+  return Current{static_cast<double>(v)};
+}
+constexpr Current operator""_mA(long double v) {
+  return Current{static_cast<double>(v) * 1e-3};
+}
+constexpr Power operator""_W(long double v) {
+  return Power{static_cast<double>(v)};
+}
+constexpr Power operator""_W(unsigned long long v) {
+  return Power{static_cast<double>(v)};
+}
+constexpr Power operator""_kW(long double v) {
+  return Power{static_cast<double>(v) * 1e3};
+}
+constexpr Resistance operator""_Ohm(long double v) {
+  return Resistance{static_cast<double>(v)};
+}
+constexpr Resistance operator""_mOhm(long double v) {
+  return Resistance{static_cast<double>(v) * 1e-3};
+}
+constexpr Resistance operator""_uOhm(long double v) {
+  return Resistance{static_cast<double>(v) * 1e-6};
+}
+constexpr Length operator""_m(long double v) {
+  return Length{static_cast<double>(v)};
+}
+constexpr Length operator""_mm(long double v) {
+  return Length{static_cast<double>(v) * 1e-3};
+}
+constexpr Length operator""_um(long double v) {
+  return Length{static_cast<double>(v) * 1e-6};
+}
+constexpr Area operator""_mm2(long double v) {
+  return Area{static_cast<double>(v) * 1e-6};
+}
+constexpr Area operator""_mm2(unsigned long long v) {
+  return Area{static_cast<double>(v) * 1e-6};
+}
+constexpr Area operator""_um2(long double v) {
+  return Area{static_cast<double>(v) * 1e-12};
+}
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_us(long double v) {
+  return Seconds{static_cast<double>(v) * 1e-6};
+}
+constexpr Seconds operator""_ns(long double v) {
+  return Seconds{static_cast<double>(v) * 1e-9};
+}
+constexpr Frequency operator""_Hz(long double v) {
+  return Frequency{static_cast<double>(v)};
+}
+constexpr Frequency operator""_kHz(long double v) {
+  return Frequency{static_cast<double>(v) * 1e3};
+}
+constexpr Frequency operator""_MHz(long double v) {
+  return Frequency{static_cast<double>(v) * 1e6};
+}
+constexpr Capacitance operator""_F(long double v) {
+  return Capacitance{static_cast<double>(v)};
+}
+constexpr Capacitance operator""_uF(long double v) {
+  return Capacitance{static_cast<double>(v) * 1e-6};
+}
+constexpr Capacitance operator""_nF(long double v) {
+  return Capacitance{static_cast<double>(v) * 1e-9};
+}
+constexpr Inductance operator""_H(long double v) {
+  return Inductance{static_cast<double>(v)};
+}
+constexpr Inductance operator""_uH(long double v) {
+  return Inductance{static_cast<double>(v) * 1e-6};
+}
+constexpr Inductance operator""_nH(long double v) {
+  return Inductance{static_cast<double>(v) * 1e-9};
+}
+constexpr Charge operator""_nC(long double v) {
+  return Charge{static_cast<double>(v) * 1e-9};
+}
+
+}  // namespace literals
+
+// ---- Convenience accessors in engineering units ---------------------------
+
+constexpr double as_mm2(Area a) { return a.value * 1e6; }
+constexpr double as_um2(Area a) { return a.value * 1e12; }
+constexpr double as_mm(Length l) { return l.value * 1e3; }
+constexpr double as_um(Length l) { return l.value * 1e6; }
+constexpr double as_mOhm(Resistance r) { return r.value * 1e3; }
+constexpr double as_uOhm(Resistance r) { return r.value * 1e6; }
+constexpr double as_MHz(Frequency f) { return f.value * 1e-6; }
+constexpr double as_uH(Inductance l) { return l.value * 1e6; }
+constexpr double as_uF(Capacitance c) { return c.value * 1e6; }
+constexpr double as_A_per_mm2(CurrentDensity j) { return j.value * 1e-6; }
+
+}  // namespace vpd

@@ -1,0 +1,209 @@
+#include "vpd/converters/buck.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "vpd/common/error.hpp"
+#include "vpd/passives/sizing.hpp"
+
+namespace vpd {
+
+struct SynchronousBuck::Design {
+  ConverterSpec spec;
+  QuadraticLossModel model;
+  double duty;
+  PowerFet high_side;
+  PowerFet low_side;
+  Inductor inductor;
+  Capacitor output_cap;
+  Current ripple_pp;
+};
+
+SynchronousBuck::Design SynchronousBuck::make_design(
+    const BuckDesignInputs& in) {
+  VPD_REQUIRE(in.phases >= 1, "buck '", in.name, "': need >= 1 phase");
+  VPD_REQUIRE(in.rated_current.value > 0.0, "buck '", in.name,
+              "': non-positive rated current");
+  VPD_REQUIRE(in.f_sw.value > 0.0, "buck '", in.name,
+              "': non-positive switching frequency");
+  VPD_REQUIRE(in.ripple_fraction > 0.0 && in.ripple_fraction <= 2.0,
+              "buck '", in.name, "': ripple fraction ", in.ripple_fraction,
+              " outside (0, 2]");
+  VPD_REQUIRE(in.conduction_budget_fraction > 0.0, "buck '", in.name,
+              "': non-positive conduction budget");
+
+  const double duty = buck_duty(in.v_in, in.v_out);
+  const double i_phase = in.rated_current.value / in.phases;
+
+  // --- Device sizing --------------------------------------------------------
+  // Total FET conduction budget at rated load, split between the high side
+  // (conducting for duty D) and the low side (1 - D) in proportion to their
+  // conduction duty so both see the same silicon utilization.
+  const double p_out_rated = in.v_out.value * in.rated_current.value;
+  const double budget_total = in.conduction_budget_fraction * p_out_rated;
+  const double budget_per_phase = budget_total / in.phases;
+  const Voltage fet_rating{in.v_in.value * in.voltage_margin};
+  // Conduction losses: D * i^2 * R_hs + (1-D) * i^2 * R_ls = budget.
+  // Split the budget evenly: R_hs = budget/2 / (D i^2).
+  const Resistance r_hs{budget_per_phase / 2.0 /
+                        (duty * i_phase * i_phase)};
+  const Resistance r_ls{budget_per_phase / 2.0 /
+                        ((1.0 - duty) * i_phase * i_phase)};
+  PowerFet high_side =
+      PowerFet::for_on_resistance(in.device_tech, fet_rating, r_hs);
+  PowerFet low_side =
+      PowerFet::for_on_resistance(in.device_tech, fet_rating, r_ls);
+
+  // --- Filter sizing ----------------------------------------------------------
+  const Current ripple_pp{in.ripple_fraction * i_phase};
+  const Inductance l_phase =
+      buck_inductor_for_ripple(in.v_in, in.v_out, in.f_sw, ripple_pp);
+  // Saturation rating: DC + half ripple with 20% margin.
+  const Current l_rating{(i_phase + 0.5 * ripple_pp.value) * 1.2};
+  Inductor inductor(in.inductor_tech, l_phase, l_rating);
+
+  const double cancel = interleaving_ripple_factor(duty, in.phases);
+  const Current cap_ripple{std::max(ripple_pp.value * cancel,
+                                    0.05 * ripple_pp.value)};
+  const Capacitance c_out = buck_output_capacitor_for_ripple(
+      cap_ripple, in.f_sw, in.output_ripple);
+  Capacitor output_cap(in.capacitor_tech, c_out,
+                       Voltage{std::min(in.v_out.value * 4.0,
+                                        in.capacitor_tech.max_rating.value)});
+
+  // --- Loss model coefficients -------------------------------------------------
+  // k0: gate drive of both FETs (all phases) + hard-switched high-side Coss
+  //     + half-weighted low-side Coss (near-ZVS) + inductor AC ripple loss.
+  const double gate = in.phases * (high_side.gate_loss(in.f_sw).value +
+                                   low_side.gate_loss(in.f_sw).value);
+  const double coss =
+      in.phases * (high_side.coss_loss(in.v_in, in.f_sw).value +
+                   0.5 * low_side.coss_loss(in.v_in, in.f_sw).value);
+  const double inductor_ac =
+      in.phases *
+      (inductor.loss(Current{0.0}, ripple_pp).value);
+  const double cap_esr =
+      in.phases * output_cap.loss(Current{cap_ripple.value /
+                                          (2.0 * std::sqrt(3.0))})
+          .value;
+  const double k0 = gate + coss + inductor_ac + cap_esr;
+
+  // k1: high-side V-I overlap (hard switching), expressed per total output
+  // ampere; independent of phase count (see header discussion).
+  const double t_transition =
+      in.device_tech.transition_time_per_volt * in.v_in.value;
+  const double k1 = in.v_in.value * t_transition * in.f_sw.value;
+
+  // k2: conduction through FETs and inductor DCR; parallel phases divide
+  // the effective resistance.
+  const double r_eff_phase = duty * high_side.on_resistance().value +
+                             (1.0 - duty) * low_side.on_resistance().value +
+                             inductor.dcr().value;
+  const double k2 = r_eff_phase / in.phases;
+
+  ConverterSpec spec;
+  spec.name = in.name;
+  spec.v_in = in.v_in;
+  spec.v_out = in.v_out;
+  spec.max_current = in.rated_current;
+  spec.switch_count = 2 * in.phases;
+  spec.inductor_count = in.phases;
+  spec.capacitor_count = 1;
+  spec.total_inductance = Inductance{l_phase.value * in.phases};
+  spec.total_capacitance = c_out;
+  spec.area = Area{in.phases * (high_side.area().value +
+                                low_side.area().value +
+                                inductor.footprint().value) +
+                   output_cap.footprint().value};
+
+  return Design{std::move(spec),
+                QuadraticLossModel(k0, k1, k2),
+                duty,
+                std::move(high_side),
+                std::move(low_side),
+                std::move(inductor),
+                std::move(output_cap),
+                ripple_pp};
+}
+
+SynchronousBuck::SynchronousBuck(const BuckDesignInputs& inputs)
+    : SynchronousBuck(inputs, make_design(inputs)) {}
+
+SynchronousBuck::SynchronousBuck(const BuckDesignInputs& inputs,
+                                 Design&& design)
+    : Converter(std::move(design.spec), design.model),
+      inputs_(inputs),
+      duty_(design.duty),
+      high_side_(std::move(design.high_side)),
+      low_side_(std::move(design.low_side)),
+      inductor_(std::move(design.inductor)),
+      output_cap_(std::move(design.output_cap)),
+      ripple_pp_(design.ripple_pp) {}
+
+Power SynchronousBuck::loss_with_phases(Current load,
+                                        unsigned active) const {
+  VPD_REQUIRE(load.value > 0.0, "load must be positive");
+  VPD_REQUIRE(active >= 1 && active <= inputs_.phases, "active phases ",
+              active, " outside [1, ", inputs_.phases, "]");
+  // The design's model coefficients split as: k0 = N * per-phase fixed,
+  // k2 = per-phase conduction / N. With m phases active:
+  //   loss(m, I) = m * (k0/N) + k1 * I + (k2 * N / m) * I^2.
+  const double n = inputs_.phases;
+  const double m = active;
+  const QuadraticLossModel& full = loss_model();
+  return Power{m * (full.k0() / n) + full.k1() * load.value +
+               (full.k2() * n / m) * load.value * load.value};
+}
+
+unsigned SynchronousBuck::optimal_active_phases(Current load) const {
+  VPD_REQUIRE(load.value > 0.0, "load must be positive");
+  unsigned best = 1;
+  double best_loss = loss_with_phases(load, 1).value;
+  for (unsigned m = 2; m <= inputs_.phases; ++m) {
+    const double l = loss_with_phases(load, m).value;
+    if (l < best_loss) {
+      best_loss = l;
+      best = m;
+    }
+  }
+  return best;
+}
+
+double SynchronousBuck::efficiency_with_shedding(Current load) const {
+  const unsigned m = optimal_active_phases(load);
+  const double p_out = spec().v_out.value * load.value;
+  return p_out / (p_out + loss_with_phases(load, m).value);
+}
+
+BuckLossBreakdown SynchronousBuck::loss_breakdown(Current load) const {
+  VPD_REQUIRE(load.value > 0.0, "load must be positive");
+  const double i_phase = load.value / inputs_.phases;
+  BuckLossBreakdown b;
+  b.fet_conduction =
+      Power{inputs_.phases * i_phase * i_phase *
+            (duty_ * high_side_.on_resistance().value +
+             (1.0 - duty_) * low_side_.on_resistance().value)};
+  const double gate = inputs_.phases *
+                      (high_side_.gate_loss(inputs_.f_sw).value +
+                       low_side_.gate_loss(inputs_.f_sw).value);
+  const double coss =
+      inputs_.phases *
+      (high_side_.coss_loss(inputs_.v_in, inputs_.f_sw).value +
+       0.5 * low_side_.coss_loss(inputs_.v_in, inputs_.f_sw).value);
+  const double overlap =
+      inputs_.phases * high_side_
+                           .overlap_loss(inputs_.v_in, Current{i_phase},
+                                         inputs_.f_sw)
+                           .value;
+  b.fet_switching = Power{gate + coss + overlap};
+  b.inductor = Power{inputs_.phases *
+                     inductor_.loss(Current{i_phase}, ripple_pp_).value};
+  const double cancel =
+      interleaving_ripple_factor(duty_, inputs_.phases);
+  const double cap_ripple_rms =
+      ripple_pp_.value * cancel / (2.0 * std::sqrt(3.0));
+  b.capacitor = output_cap_.loss(Current{cap_ripple_rms});
+  return b;
+}
+
+}  // namespace vpd

@@ -1,0 +1,98 @@
+// Physically-designed synchronous (multiphase) buck converter: devices are
+// sized from a conduction-loss budget, the filter from ripple targets, and
+// the efficiency curve follows from the component models rather than a
+// fitted curve. This is the workhorse for medium-ratio stages (12V-to-1V,
+// 6V-to-1V) and the second stage of the reference architecture A0.
+#pragma once
+
+#include <vector>
+
+#include "vpd/converters/converter.hpp"
+#include "vpd/devices/power_fet.hpp"
+#include "vpd/devices/switching_loss.hpp"
+#include "vpd/passives/capacitor.hpp"
+#include "vpd/passives/inductor.hpp"
+
+namespace vpd {
+
+struct BuckDesignInputs {
+  std::string name{"buck"};
+  TechnologyParams device_tech;
+  InductorTechnology inductor_tech;
+  CapacitorTechnology capacitor_tech;
+  Voltage v_in{};
+  Voltage v_out{};
+  Current rated_current{};   // total output current across phases
+  unsigned phases{1};
+  Frequency f_sw{};
+  /// Per-phase inductor ripple, peak-to-peak, as a fraction of the
+  /// per-phase DC current at rating.
+  double ripple_fraction{0.4};
+  /// Output voltage ripple target (peak-to-peak).
+  Voltage output_ripple{Voltage{10e-3}};
+  /// Total FET conduction loss at rated load as a fraction of output power;
+  /// sets the device areas.
+  double conduction_budget_fraction{0.01};
+  /// Voltage-rating margin applied to the input voltage when sizing FETs.
+  double voltage_margin{1.3};
+};
+
+/// Per-category loss breakdown at a specific load.
+struct BuckLossBreakdown {
+  Power fet_conduction{0.0};
+  Power fet_switching{0.0};  // gate + Coss + overlap
+  Power inductor{0.0};
+  Power capacitor{0.0};
+  Power total() const {
+    return fet_conduction + fet_switching + inductor + capacitor;
+  }
+};
+
+class SynchronousBuck : public Converter {
+ public:
+  explicit SynchronousBuck(const BuckDesignInputs& inputs);
+
+  double duty() const { return duty_; }
+  unsigned phases() const { return inputs_.phases; }
+  Frequency switching_frequency() const { return inputs_.f_sw; }
+
+  const PowerFet& high_side_fet() const { return high_side_; }
+  const PowerFet& low_side_fet() const { return low_side_; }
+  /// Per-phase inductor.
+  const Inductor& inductor() const { return inductor_; }
+  const Capacitor& output_capacitor() const { return output_cap_; }
+
+  /// Per-phase peak-to-peak inductor current ripple.
+  Current inductor_ripple() const { return ripple_pp_; }
+
+  /// Physical loss decomposition at `load` (total output current).
+  BuckLossBreakdown loss_breakdown(Current load) const;
+
+  // --- Phase shedding ---------------------------------------------------------
+  // At light load a multiphase regulator disables phases: conduction loss
+  // rises as N/m but the per-phase fixed (gate/Coss/ripple) loss falls
+  // with m, so an interior optimum exists. Standard IVR practice and a
+  // direct lever on the light-load end of the paper's efficiency curves.
+
+  /// Loss with `active` of the designed phases running.
+  Power loss_with_phases(Current load, unsigned active) const;
+  /// The loss-minimizing active-phase count at `load`.
+  unsigned optimal_active_phases(Current load) const;
+  /// Efficiency with the optimal phase count engaged.
+  double efficiency_with_shedding(Current load) const;
+
+ private:
+  struct Design;  // full design bundle, built once in the .cpp
+  SynchronousBuck(const BuckDesignInputs& inputs, Design&& design);
+  static Design make_design(const BuckDesignInputs& inputs);
+
+  BuckDesignInputs inputs_;
+  double duty_;
+  PowerFet high_side_;
+  PowerFet low_side_;
+  Inductor inductor_;
+  Capacitor output_cap_;
+  Current ripple_pp_;
+};
+
+}  // namespace vpd

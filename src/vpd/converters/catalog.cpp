@@ -1,0 +1,103 @@
+#include "vpd/converters/catalog.hpp"
+
+#include "vpd/common/error.hpp"
+#include "vpd/converters/dickson.hpp"
+#include "vpd/converters/dpmih.hpp"
+#include "vpd/converters/dsch.hpp"
+
+namespace vpd {
+
+using namespace vpd::literals;
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kDpmih: return "DPMIH";
+    case TopologyKind::kDsch: return "DSCH";
+    case TopologyKind::kDickson: return "3LHD";
+  }
+  return "unknown";
+}
+
+std::vector<TopologyKind> all_topologies() {
+  return {TopologyKind::kDpmih, TopologyKind::kDsch, TopologyKind::kDickson};
+}
+
+HybridConverterData topology_data(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kDpmih: return dpmih_data();
+    case TopologyKind::kDsch: return dsch_data();
+    case TopologyKind::kDickson: return dickson_data();
+  }
+  throw InvalidArgument("unknown topology kind");
+}
+
+std::shared_ptr<HybridSwitchedConverter> make_topology(TopologyKind kind,
+                                                       DeviceTechnology tech) {
+  switch (kind) {
+    case TopologyKind::kDpmih: return dpmih_converter(tech);
+    case TopologyKind::kDsch: return dsch_converter(tech);
+    case TopologyKind::kDickson: return dickson_converter(tech);
+  }
+  throw InvalidArgument("unknown topology kind");
+}
+
+std::vector<TableTwoRow> published_table_two() {
+  std::vector<TableTwoRow> rows;
+  {
+    TableTwoRow r;
+    r.label = "DPMIH";
+    r.kind = TopologyKind::kDpmih;
+    r.conversion_scheme = "48V-to-1V";
+    r.max_load = 100.0_A;
+    r.peak_efficiency = 0.909;  // Table II prints 90.0%; text/[9] say 90.9%
+    r.current_at_peak = 30.0_A;
+    r.switches = 8;
+    r.switches_per_mm2 = 0.15;
+    r.inductors = 4;
+    r.total_inductance = 4.0_uH;
+    r.capacitors = 3;
+    r.total_capacitance = 15.0_uF;
+    r.vrs_along_periphery = 8;
+    r.vrs_below_die = 7;
+    rows.push_back(r);
+  }
+  {
+    TableTwoRow r;
+    r.label = "DSCH";
+    r.kind = TopologyKind::kDsch;
+    r.conversion_scheme = "48V-to-1V";
+    r.max_load = 30.0_A;
+    r.peak_efficiency = 0.915;
+    r.current_at_peak = 10.0_A;
+    r.switches = 5;
+    r.switches_per_mm2 = 0.69;
+    r.inductors = 2;
+    r.total_inductance = 0.88_uH;
+    r.capacitors = 2;
+    r.total_capacitance = 6.6_uF;
+    r.vrs_along_periphery = 48;
+    r.vrs_below_die = 48;
+    rows.push_back(r);
+  }
+  {
+    TableTwoRow r;
+    r.label = "3LHD";
+    r.kind = TopologyKind::kDickson;
+    r.conversion_scheme = "48V-to-1V";
+    r.max_load = 12.0_A;
+    r.peak_efficiency = 0.904;
+    r.current_at_peak = 3.0_A;
+    r.switches = 11;
+    r.switches_per_mm2 = 1.22;
+    r.inductors = 3;
+    r.total_inductance = 1.86_uH;
+    r.capacitors = 5;
+    r.total_capacitance = 5.0_uF;
+    r.vrs_along_periphery = 48;
+    r.vrs_below_die = 48;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace vpd

@@ -1,0 +1,54 @@
+// Converter catalog: enumeration of the paper's Table II topologies, their
+// published rows (for direct reproduction), and factories. Architectures
+// iterate this catalog when exploring the design space.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vpd/converters/hybrid.hpp"
+
+namespace vpd {
+
+enum class TopologyKind {
+  kDpmih,
+  kDsch,
+  kDickson,
+};
+
+const char* to_string(TopologyKind kind);
+std::vector<TopologyKind> all_topologies();
+
+/// Published prototype data for a topology.
+HybridConverterData topology_data(TopologyKind kind);
+
+/// Converter instance, optionally re-equipped with `tech` devices. The
+/// paper's Fig. 7 evaluates all topologies with GaN power transistors.
+std::shared_ptr<HybridSwitchedConverter> make_topology(
+    TopologyKind kind,
+    DeviceTechnology tech = DeviceTechnology::kGalliumNitride);
+
+/// One row of the paper's Table II, including the published VR placement
+/// counts (which this library also re-derives in vpd/arch/placement).
+struct TableTwoRow {
+  std::string label;
+  TopologyKind kind;
+  std::string conversion_scheme;
+  Current max_load{};
+  double peak_efficiency{0.0};
+  Current current_at_peak{};
+  unsigned switches{0};
+  double switches_per_mm2{0.0};
+  unsigned inductors{0};
+  Inductance total_inductance{};
+  unsigned capacitors{0};
+  Capacitance total_capacitance{};
+  unsigned vrs_along_periphery{0};  // published
+  unsigned vrs_below_die{0};        // published
+};
+
+/// The paper's Table II, as published.
+std::vector<TableTwoRow> published_table_two();
+
+}  // namespace vpd

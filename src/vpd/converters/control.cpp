@@ -1,0 +1,89 @@
+#include "vpd/converters/control.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+struct VoltageModePiController::State {
+  double duty{0.5};
+  double integral{0.0};        // integrated error [V s]
+  double last_sample{0.0};     // latest observed output voltage
+  double last_update_time{-1.0};
+};
+
+VoltageModePiController::VoltageModePiController(
+    PiControllerParams params, NodeId observed_node,
+    std::size_t high_switch_position, std::size_t low_switch_position)
+    : params_(params),
+      node_(observed_node),
+      high_position_(high_switch_position),
+      low_position_(low_switch_position),
+      state_(std::make_shared<State>()) {
+  VPD_REQUIRE(params.f_sw.value > 0.0, "f_sw must be positive");
+  VPD_REQUIRE(params.min_duty > 0.0 && params.max_duty < 1.0 &&
+                  params.min_duty < params.max_duty,
+              "need 0 < min_duty < max_duty < 1, got ", params.min_duty,
+              ", ", params.max_duty);
+  VPD_REQUIRE(params.initial_duty >= params.min_duty &&
+                  params.initial_duty <= params.max_duty,
+              "initial duty ", params.initial_duty, " outside limits");
+  VPD_REQUIRE(high_switch_position != low_switch_position,
+              "switch positions must differ");
+  state_->duty = params.initial_duty;
+}
+
+StepObserver VoltageModePiController::observer() {
+  auto state = state_;
+  const NodeId node = node_;
+  return [state, node](double /*t*/, const Vector& node_voltages) {
+    if (node < node_voltages.size()) state->last_sample = node_voltages[node];
+  };
+}
+
+SwitchController VoltageModePiController::controller() {
+  auto state = state_;
+  const PiControllerParams params = params_;
+  const std::size_t hi = high_position_;
+  const std::size_t lo = low_position_;
+  return [state, params, hi, lo](double t, SwitchStates& states) {
+    const double period = 1.0 / params.f_sw.value;
+    // Recompute the duty once per switching period, sampling the most
+    // recent observed output voltage.
+    const double cycle_index = std::floor(t / period);
+    const double cycle_start = cycle_index * period;
+    if (cycle_start > state->last_update_time + 0.5 * period) {
+      state->last_update_time = cycle_start;
+      const double error = params.reference.value - state->last_sample;
+      state->integral += error * period;
+      double duty = params.initial_duty + params.kp * error +
+                    params.ki * state->integral;
+      // Anti-windup: clamp and back-compute the integrator at the rails.
+      if (duty > params.max_duty) {
+        state->integral -=
+            (duty - params.max_duty) / std::max(params.ki, 1e-12);
+        duty = params.max_duty;
+      } else if (duty < params.min_duty) {
+        state->integral +=
+            (params.min_duty - duty) / std::max(params.ki, 1e-12);
+        duty = params.min_duty;
+      }
+      state->duty = duty;
+    }
+    double phase = t / period - cycle_index;
+    if (phase < 0.0) phase += 1.0;
+    const bool high_on = phase < state->duty;
+    if (hi < states.size()) states[hi] = high_on;
+    if (lo < states.size()) states[lo] = !high_on;
+  };
+}
+
+double VoltageModePiController::duty() const { return state_->duty; }
+
+double VoltageModePiController::integrator() const {
+  return state_->integral;
+}
+
+}  // namespace vpd

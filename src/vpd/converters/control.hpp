@@ -1,0 +1,60 @@
+// Closed-loop converter control for transient simulation: a sampled
+// voltage-mode PI regulator that adjusts a synchronous buck's duty cycle
+// once per switching period. Vertical power delivery relies on exactly
+// this regulation to hold the POL rail through load and line steps; the
+// open-loop netlists elsewhere in the library hold a fixed duty.
+//
+// Usage: construct, then hand `observer()` and `controller()` to
+// TransientOptions. The observer samples the output node each step; the
+// controller recomputes the duty at each period boundary and drives the
+// complementary switch pair.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "vpd/circuit/netlist.hpp"
+#include "vpd/circuit/transient.hpp"
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+struct PiControllerParams {
+  Voltage reference{Voltage{1.0}};
+  double kp{0.05};          // duty per volt of error
+  double ki{2.0e4};         // duty per volt-second of integrated error
+  Frequency f_sw{Frequency{1e6}};
+  double initial_duty{0.5};
+  double min_duty{0.02};
+  double max_duty{0.95};
+};
+
+/// Voltage-mode PI for a two-switch synchronous buck. The controlled
+/// switches are identified by their positions in netlist.switches()
+/// order; the observed node by its NodeId.
+class VoltageModePiController {
+ public:
+  VoltageModePiController(PiControllerParams params, NodeId observed_node,
+                          std::size_t high_switch_position,
+                          std::size_t low_switch_position);
+
+  /// Samples the regulated node; wire into TransientOptions::observer.
+  StepObserver observer();
+  /// Drives the switch pair; wire into TransientOptions::controller.
+  SwitchController controller();
+
+  /// Most recent duty command (for inspection after a run).
+  double duty() const;
+  /// Most recent integrator state.
+  double integrator() const;
+
+ private:
+  struct State;
+  PiControllerParams params_;
+  NodeId node_;
+  std::size_t high_position_;
+  std::size_t low_position_;
+  std::shared_ptr<State> state_;  // shared with the two callbacks
+};
+
+}  // namespace vpd

@@ -1,0 +1,62 @@
+#include "vpd/converters/converter.hpp"
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+double ConverterSpec::switches_per_mm2() const {
+  VPD_REQUIRE(area.value > 0.0, "converter '", name, "' has no area");
+  return switch_count / as_mm2(area);
+}
+
+Converter::Converter(ConverterSpec spec, QuadraticLossModel model)
+    : spec_(std::move(spec)), model_(model) {
+  VPD_REQUIRE(spec_.v_in.value > spec_.v_out.value && spec_.v_out.value > 0.0,
+              "converter '", spec_.name, "': need Vin > Vout > 0, got ",
+              spec_.v_in.value, " -> ", spec_.v_out.value);
+  VPD_REQUIRE(spec_.max_current.value > 0.0, "converter '", spec_.name,
+              "': non-positive max current");
+}
+
+bool Converter::supports(Current load) const {
+  return load.value > 0.0 && load.value <= spec_.max_current.value;
+}
+
+Power Converter::loss(Current load) const {
+  if (!supports(load)) {
+    throw InfeasibleDesign(detail::concat(
+        "converter '", spec_.name, "' cannot deliver ", load.value,
+        " A (rated ", spec_.max_current.value,
+        " A); use loss_extrapolated() to estimate anyway"));
+  }
+  return model_.loss(load);
+}
+
+Power Converter::loss_extrapolated(Current load) const {
+  VPD_REQUIRE(load.value > 0.0, "load must be positive");
+  return model_.loss(load);
+}
+
+double Converter::efficiency(Current load) const {
+  if (!supports(load)) {
+    throw InfeasibleDesign(detail::concat(
+        "converter '", spec_.name, "' cannot deliver ", load.value, " A"));
+  }
+  return model_.efficiency(load, spec_.v_out);
+}
+
+std::optional<double> Converter::efficiency_if_supported(Current load) const {
+  if (!supports(load)) return std::nullopt;
+  return model_.efficiency(load, spec_.v_out);
+}
+
+Power Converter::input_power(Current load) const {
+  return output_power(load) + loss(load);
+}
+
+Power Converter::output_power(Current load) const {
+  VPD_REQUIRE(load.value >= 0.0, "negative load");
+  return Power{spec_.v_out.value * load.value};
+}
+
+}  // namespace vpd

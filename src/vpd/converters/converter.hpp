@@ -1,0 +1,71 @@
+// The Converter interface consumed by the power-delivery architectures:
+// every topology exposes a conversion scheme (Vin -> Vout), a load-current
+// envelope, an efficiency curve, and an area model. Concrete topologies
+// live in buck.hpp, switched_capacitor.hpp, dsch.hpp, dpmih.hpp,
+// dickson.hpp, and transformer_stage.hpp.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "vpd/common/units.hpp"
+#include "vpd/converters/loss_model.hpp"
+
+namespace vpd {
+
+/// Static characteristics of a converter design (Table II columns).
+struct ConverterSpec {
+  std::string name;
+  Voltage v_in{};
+  Voltage v_out{};
+  Current max_current{};          // per-converter load limit
+  unsigned switch_count{0};
+  unsigned inductor_count{0};
+  unsigned capacitor_count{0};
+  Inductance total_inductance{};
+  Capacitance total_capacitance{};
+  Area area{};                    // VR footprint (switches + passives)
+
+  double conversion_ratio() const { return v_in.value / v_out.value; }
+  double switches_per_mm2() const;
+};
+
+class Converter {
+ public:
+  virtual ~Converter() = default;
+
+  const ConverterSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+  /// True if the converter can deliver `load` continuously.
+  bool supports(Current load) const;
+
+  /// Power lost inside the converter at output current `load`.
+  /// Throws InfeasibleDesign if `load` exceeds max_current (callers decide
+  /// whether to extrapolate via `loss_extrapolated`).
+  Power loss(Current load) const;
+
+  /// Model-extrapolated loss beyond the published rating; flagged so
+  /// benches can report it as an estimate, as the paper does for 3LHD.
+  Power loss_extrapolated(Current load) const;
+
+  double efficiency(Current load) const;
+  std::optional<double> efficiency_if_supported(Current load) const;
+
+  Power input_power(Current load) const;
+  Power output_power(Current load) const;
+
+  const QuadraticLossModel& loss_model() const { return model_; }
+
+ protected:
+  Converter(ConverterSpec spec, QuadraticLossModel model);
+
+ private:
+  ConverterSpec spec_;
+  QuadraticLossModel model_;
+};
+
+using ConverterPtr = std::shared_ptr<const Converter>;
+
+}  // namespace vpd

@@ -1,0 +1,33 @@
+#include "vpd/converters/dickson.hpp"
+
+namespace vpd {
+
+using namespace vpd::literals;
+
+HybridConverterData dickson_data() {
+  HybridConverterData d;
+  d.name = "3LHD";
+  d.v_in = 48.0_V;
+  d.v_out = 1.0_V;
+  d.max_current = 12.0_A;
+  d.peak_efficiency = 0.904;     // [10], Table II
+  d.current_at_peak = 3.0_A;
+  d.switch_count = 11;
+  d.inductor_count = 3;
+  d.capacitor_count = 5;
+  d.total_inductance = 1.86_uH;
+  d.total_capacitance = 5.0_uF;
+  d.switches_per_mm2 = 1.22;     // Table II
+  d.reference_tech = DeviceTechnology::kSilicon;  // 9 of 11 switches are Si
+  d.device_switching_fraction = 0.6;
+  return d;
+}
+
+std::shared_ptr<HybridSwitchedConverter> dickson_converter(
+    DeviceTechnology tech) {
+  auto base = std::make_shared<HybridSwitchedConverter>(dickson_data());
+  if (tech == DeviceTechnology::kSilicon) return base;
+  return base->with_technology(tech);
+}
+
+}  // namespace vpd

@@ -1,0 +1,33 @@
+#include "vpd/converters/dpmih.hpp"
+
+namespace vpd {
+
+using namespace vpd::literals;
+
+HybridConverterData dpmih_data() {
+  HybridConverterData d;
+  d.name = "DPMIH";
+  d.v_in = 48.0_V;
+  d.v_out = 1.0_V;
+  d.max_current = 100.0_A;
+  d.peak_efficiency = 0.909;     // [9] / paper text (Table II prints 90.0%)
+  d.current_at_peak = 30.0_A;
+  d.switch_count = 8;
+  d.inductor_count = 4;
+  d.capacitor_count = 3;
+  d.total_inductance = 4.0_uH;
+  d.total_capacitance = 15.0_uF;
+  d.switches_per_mm2 = 0.15;     // Table II
+  d.reference_tech = DeviceTechnology::kGalliumNitride;  // [9] uses GaN
+  d.device_switching_fraction = 0.6;
+  return d;
+}
+
+std::shared_ptr<HybridSwitchedConverter> dpmih_converter(
+    DeviceTechnology tech) {
+  auto base = std::make_shared<HybridSwitchedConverter>(dpmih_data());
+  if (tech == DeviceTechnology::kGalliumNitride) return base;
+  return base->with_technology(tech);
+}
+
+}  // namespace vpd

@@ -1,0 +1,22 @@
+// Dual-phase multi-inductor hybrid (DPMIH) converter [9] (Das & Le 2019):
+// an SC-derived topology where every flying capacitor is paired with an
+// inductor, enabling soft charging (no hard cap-to-cap switching) and a
+// continuously regulated conversion ratio. Published 48V-to-1V prototype:
+// 100 A max, 90.9% peak efficiency at 30 A, GaN devices. Large (0.15
+// switches/mm^2), so the paper reserves it for single-stage 48V-to-1V
+// conversion and for first-stage 48V-to-12V / 48V-to-6V duty.
+#pragma once
+
+#include "vpd/converters/hybrid.hpp"
+
+namespace vpd {
+
+/// Published Table II characterization of the DPMIH prototype.
+/// Note: Table II prints 90.0% peak efficiency while the paper text and
+/// [9] report 90.9% at 30 A; we use 90.9% (see EXPERIMENTS.md).
+HybridConverterData dpmih_data();
+
+std::shared_ptr<HybridSwitchedConverter> dpmih_converter(
+    DeviceTechnology tech = DeviceTechnology::kGalliumNitride);
+
+}  // namespace vpd

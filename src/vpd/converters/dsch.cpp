@@ -1,0 +1,33 @@
+#include "vpd/converters/dsch.hpp"
+
+namespace vpd {
+
+using namespace vpd::literals;
+
+HybridConverterData dsch_data() {
+  HybridConverterData d;
+  d.name = "DSCH";
+  d.v_in = 48.0_V;
+  d.v_out = 1.0_V;
+  d.max_current = 30.0_A;
+  d.peak_efficiency = 0.915;     // [8], Table II
+  d.current_at_peak = 10.0_A;
+  d.switch_count = 5;
+  d.inductor_count = 2;
+  d.capacitor_count = 2;
+  d.total_inductance = 0.88_uH;
+  d.total_capacitance = 6.6_uF;
+  d.switches_per_mm2 = 0.69;     // Table II
+  d.reference_tech = DeviceTechnology::kSilicon;  // [8] uses Si FETs
+  d.device_switching_fraction = 0.6;
+  return d;
+}
+
+std::shared_ptr<HybridSwitchedConverter> dsch_converter(
+    DeviceTechnology tech) {
+  auto base = std::make_shared<HybridSwitchedConverter>(dsch_data());
+  if (tech == DeviceTechnology::kSilicon) return base;
+  return base->with_technology(tech);
+}
+
+}  // namespace vpd

@@ -1,0 +1,22 @@
+// Double series-capacitor hybrid (DSCH) converter [8] (Kirshenboim &
+// Peretz 2017): a buck-derived topology whose compact SC front end (two
+// capacitors + one switch) steps the input down to one third before a
+// dual-phase buck stage, sidestepping the ultra-low on-time of a direct
+// 48V-to-1V buck. Published 48V-to-1V prototype: 30 A max, 91.5% peak
+// efficiency at 10 A, with Si devices. Compact (0.69 switches/mm^2), so
+// the paper prefers it for second-stage (12V/6V -> 1V) conversion.
+#pragma once
+
+#include "vpd/converters/hybrid.hpp"
+
+namespace vpd {
+
+/// Published Table II characterization of the DSCH prototype.
+HybridConverterData dsch_data();
+
+/// DSCH instance, optionally re-equipped with a different device
+/// technology (the paper evaluates a GaN variant).
+std::shared_ptr<HybridSwitchedConverter> dsch_converter(
+    DeviceTechnology tech = DeviceTechnology::kSilicon);
+
+}  // namespace vpd

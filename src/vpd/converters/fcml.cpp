@@ -1,0 +1,125 @@
+#include "vpd/converters/fcml.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+#include "vpd/passives/sizing.hpp"
+
+namespace vpd {
+
+struct FlyingCapMultilevel::Design {
+  ConverterSpec spec;
+  QuadraticLossModel model;
+  PowerFet cell_fet;
+  Inductor inductor;
+  Capacitance fly_cap_each;
+};
+
+FlyingCapMultilevel::Design FlyingCapMultilevel::make_design(
+    const FcmlInputs& in) {
+  VPD_REQUIRE(in.levels >= 3, "fcml '", in.name, "': need >= 3 levels");
+  VPD_REQUIRE(in.rated_current.value > 0.0, "fcml '", in.name,
+              "': non-positive rated current");
+  VPD_REQUIRE(in.f_sw.value > 0.0, "fcml '", in.name,
+              "': non-positive frequency");
+  const double duty = buck_duty(in.v_in, in.v_out);
+
+  const unsigned cells = in.levels - 1;           // series switch pairs
+  const unsigned switches = 2 * cells;
+  const unsigned fly_caps = in.levels - 2;
+  const Voltage cell_voltage{in.v_in.value / cells};
+  const Frequency f_eff{in.f_sw.value * cells};
+  const double i_out = in.rated_current.value;
+
+  // Conduction path: at any instant the inductor current flows through
+  // (N-1) switches in series. Budget sets the per-switch resistance.
+  const double p_out = in.v_out.value * i_out;
+  const double budget = in.conduction_budget_fraction * p_out;
+  const Resistance r_fet{budget / (cells * i_out * i_out)};
+  PowerFet fet = PowerFet::for_on_resistance(
+      in.device_tech, Voltage{cell_voltage.value * in.voltage_margin},
+      r_fet);
+
+  // Inductor: driven by Vin/(N-1) steps at (N-1) x f_sw — dramatically
+  // smaller than a plain buck's. Ripple from the equivalent buck relation
+  // at the cell voltage and effective frequency.
+  const Current ripple_pp{in.ripple_fraction * i_out};
+  // Guard: if Vout >= cell voltage the simple relation degenerates; the
+  // inductor then sees |Vout - k*Vcell| < Vcell steps, bounded by Vcell.
+  const double v_step =
+      std::min(in.v_out.value, cell_voltage.value - in.v_out.value) > 0.0
+          ? std::min(in.v_out.value, cell_voltage.value - in.v_out.value)
+          : 0.25 * cell_voltage.value;
+  const Inductance l{v_step / (ripple_pp.value * f_eff.value)};
+  Inductor inductor(in.inductor_tech, l,
+                    Current{(i_out + 0.5 * ripple_pp.value) * 1.2});
+
+  // Flying caps: each carries the full inductor current for a 1/(N-1)
+  // slice of the period; C = I * D_slice / (f * dV).
+  const double dv = in.fly_cap_ripple_fraction * cell_voltage.value;
+  const Capacitance c_each{i_out / (cells * in.f_sw.value * dv)};
+  const Capacitor fly(in.capacitor_tech, c_each,
+                      Voltage{std::min(cell_voltage.value * 2.0,
+                                       in.capacitor_tech.max_rating.value)});
+
+  // Loss model.
+  const double gate = switches * fet.gate_loss(in.f_sw).value;
+  const double coss =
+      switches * fet.coss_loss(cell_voltage, in.f_sw).value;
+  const double cap_esr =
+      fly_caps * fly.loss(Current{i_out / std::sqrt(2.0 * cells)}).value;
+  const double inductor_ac =
+      inductor.loss(Current{0.0}, ripple_pp).value;
+  const double k0 = gate + coss + cap_esr + inductor_ac;
+
+  const double t_transition =
+      in.device_tech.transition_time_per_volt * cell_voltage.value;
+  // One cell commutates per cell period -> cells transitions per f_sw
+  // period at the cell voltage.
+  const double k1 =
+      cell_voltage.value * t_transition * in.f_sw.value * cells;
+
+  const double k2 = cells * fet.on_resistance().value +
+                    inductor.dcr().value;
+
+  ConverterSpec spec;
+  spec.name = in.name;
+  spec.v_in = in.v_in;
+  spec.v_out = in.v_out;
+  spec.max_current = in.rated_current;
+  spec.switch_count = switches;
+  spec.inductor_count = 1;
+  spec.capacitor_count = fly_caps;
+  spec.total_inductance = l;
+  spec.total_capacitance = Capacitance{fly_caps * c_each.value};
+  spec.area = Area{switches * fet.area().value +
+                   inductor.footprint().value +
+                   fly_caps * fly.footprint().value};
+  (void)duty;
+
+  return Design{std::move(spec), QuadraticLossModel(std::max(k0, 1e-9), k1,
+                                                    std::max(k2, 1e-12)),
+                std::move(fet), std::move(inductor), c_each};
+}
+
+FlyingCapMultilevel::FlyingCapMultilevel(const FcmlInputs& inputs)
+    : FlyingCapMultilevel(inputs, make_design(inputs)) {}
+
+FlyingCapMultilevel::FlyingCapMultilevel(const FcmlInputs& inputs,
+                                         Design&& design)
+    : Converter(std::move(design.spec), design.model),
+      inputs_(inputs),
+      cell_fet_(std::move(design.cell_fet)),
+      inductor_(std::move(design.inductor)),
+      fly_cap_each_(design.fly_cap_each) {}
+
+Voltage FlyingCapMultilevel::switch_stress() const {
+  return Voltage{inputs_.v_in.value / (inputs_.levels - 1)};
+}
+
+Frequency FlyingCapMultilevel::effective_frequency() const {
+  return Frequency{inputs_.f_sw.value * (inputs_.levels - 1)};
+}
+
+}  // namespace vpd

@@ -1,0 +1,61 @@
+// Flying-capacitor multilevel (FCML) converter [7] (Rentmeister & Stauth,
+// 48V:2V): an N-level bridge whose flying capacitors divide the input so
+// each switch blocks only Vin/(N-1) and the inductor sees an effective
+// ripple frequency of (N-1) x f_sw. The paper's Section III cites it as a
+// high-ratio alternative whose balance must be actively managed
+// (current-limit control in [7]); here the capacitors are assumed
+// balanced and the model captures the loss/area consequences of the
+// level count.
+#pragma once
+
+#include "vpd/converters/converter.hpp"
+#include "vpd/devices/power_fet.hpp"
+#include "vpd/passives/capacitor.hpp"
+#include "vpd/passives/inductor.hpp"
+
+namespace vpd {
+
+struct FcmlInputs {
+  std::string name{"fcml"};
+  TechnologyParams device_tech;
+  InductorTechnology inductor_tech;
+  CapacitorTechnology capacitor_tech;
+  Voltage v_in{};
+  Voltage v_out{};
+  unsigned levels{4};  // N >= 3 (N-1 cells, N-2 flying caps)
+  Current rated_current{};
+  Frequency f_sw{};    // per-cell switching frequency
+  double ripple_fraction{0.4};
+  double conduction_budget_fraction{0.01};
+  double voltage_margin{1.3};
+  /// Flying-capacitor voltage ripple target as a fraction of the cell
+  /// voltage Vin/(N-1).
+  double fly_cap_ripple_fraction{0.05};
+};
+
+class FlyingCapMultilevel : public Converter {
+ public:
+  explicit FlyingCapMultilevel(const FcmlInputs& inputs);
+
+  unsigned levels() const { return inputs_.levels; }
+  /// Per-switch blocking voltage: Vin / (N-1).
+  Voltage switch_stress() const;
+  /// The inductor's effective frequency: (N-1) x f_sw.
+  Frequency effective_frequency() const;
+
+  const PowerFet& cell_fet() const { return cell_fet_; }
+  const Inductor& inductor() const { return inductor_; }
+  Capacitance fly_capacitance_each() const { return fly_cap_each_; }
+
+ private:
+  struct Design;
+  FlyingCapMultilevel(const FcmlInputs& inputs, Design&& design);
+  static Design make_design(const FcmlInputs& inputs);
+
+  FcmlInputs inputs_;
+  PowerFet cell_fet_;
+  Inductor inductor_;
+  Capacitance fly_cap_each_{};
+};
+
+}  // namespace vpd

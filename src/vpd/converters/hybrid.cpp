@@ -1,0 +1,105 @@
+#include "vpd/converters/hybrid.hpp"
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+ConverterSpec HybridSwitchedConverter::spec_from_data(
+    const HybridConverterData& d) {
+  VPD_REQUIRE(d.switches_per_mm2 > 0.0, "converter '", d.name,
+              "': non-positive switch density");
+  VPD_REQUIRE(d.switch_count > 0, "converter '", d.name, "': no switches");
+  ConverterSpec spec;
+  spec.name = d.name;
+  spec.v_in = d.v_in;
+  spec.v_out = d.v_out;
+  spec.max_current = d.max_current;
+  spec.switch_count = d.switch_count;
+  spec.inductor_count = d.inductor_count;
+  spec.capacitor_count = d.capacitor_count;
+  spec.total_inductance = d.total_inductance;
+  spec.total_capacitance = d.total_capacitance;
+  spec.area = Area{d.switch_count / d.switches_per_mm2 * 1e-6};
+  return spec;
+}
+
+double HybridSwitchedConverter::switching_scale(DeviceTechnology tech,
+                                                DeviceTechnology ref) {
+  if (tech == ref) return 1.0;
+  const TechnologyParams a = technology(tech);
+  const TechnologyParams b = technology(ref);
+  const double fom_a = a.specific_on_resistance * a.gate_charge_density *
+                       a.gate_drive.value;
+  const double fom_b = b.specific_on_resistance * b.gate_charge_density *
+                       b.gate_drive.value;
+  return fom_a / fom_b;
+}
+
+HybridSwitchedConverter::HybridSwitchedConverter(HybridConverterData data)
+    : HybridSwitchedConverter(
+          data, data.reference_tech,
+          QuadraticLossModel::fit_from_peak(data.peak_efficiency,
+                                            data.current_at_peak,
+                                            data.v_out)) {}
+
+HybridSwitchedConverter::HybridSwitchedConverter(HybridConverterData data,
+                                                 DeviceTechnology tech,
+                                                 QuadraticLossModel model)
+    : Converter(spec_from_data(data), model),
+      data_(std::move(data)),
+      tech_(tech) {}
+
+std::shared_ptr<HybridSwitchedConverter>
+HybridSwitchedConverter::with_technology(DeviceTechnology tech) const {
+  // Only the device-attributable share of the fixed loss scales with the
+  // technology FOM.
+  const double f = data_.device_switching_fraction;
+  VPD_REQUIRE(f >= 0.0 && f <= 1.0, "device_switching_fraction ", f,
+              " outside [0,1]");
+  const double scale =
+      f * switching_scale(tech, tech_) + (1.0 - f);
+  HybridConverterData d = data_;
+  d.name = d.name + "/" + to_string(tech);
+  // A shared_ptr-returning private-constructor factory: use new directly.
+  return std::shared_ptr<HybridSwitchedConverter>(new HybridSwitchedConverter(
+      std::move(d), tech, loss_model().scaled(scale, 1.0)));
+}
+
+std::shared_ptr<HybridSwitchedConverter>
+HybridSwitchedConverter::with_conversion(
+    Voltage v_in, Voltage v_out, ConversionRetarget mode,
+    double switching_voltage_exponent) const {
+  VPD_REQUIRE(v_in.value > v_out.value && v_out.value > 0.0,
+              "need Vin > Vout > 0, got ", v_in.value, " -> ", v_out.value);
+  VPD_REQUIRE(switching_voltage_exponent >= 0.0,
+              "negative voltage exponent");
+  HybridConverterData d = data_;
+  d.v_in = v_in;
+  d.v_out = v_out;
+  d.name = d.name + "@" + std::to_string(static_cast<int>(v_in.value)) +
+           "V-to-" + std::to_string(static_cast<int>(v_out.value)) + "V";
+
+  QuadraticLossModel model = loss_model();
+  switch (mode) {
+    case ConversionRetarget::kPreserveEfficiency: {
+      // eta(I) depends on loss/P_out = loss/(V_out I); scaling every loss
+      // coefficient by the output-voltage ratio keeps eta(I) identical.
+      const double v_ratio = v_out.value / data_.v_out.value;
+      model = QuadraticLossModel(model.k0() * v_ratio, model.k1() * v_ratio,
+                                 model.k2() * v_ratio);
+      break;
+    }
+    case ConversionRetarget::kScaleSwitchingWithVin: {
+      const double scale = std::pow(v_in.value / data_.v_in.value,
+                                    switching_voltage_exponent);
+      model = model.scaled(scale, 1.0);
+      break;
+    }
+  }
+  return std::shared_ptr<HybridSwitchedConverter>(
+      new HybridSwitchedConverter(std::move(d), tech_, model));
+}
+
+}  // namespace vpd

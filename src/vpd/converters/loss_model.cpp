@@ -1,0 +1,145 @@
+#include "vpd/converters/loss_model.hpp"
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+#include "vpd/common/matrix.hpp"
+
+namespace vpd {
+
+QuadraticLossModel::QuadraticLossModel(double k0, double k1, double k2)
+    : k0_(k0), k1_(k1), k2_(k2) {
+  VPD_REQUIRE(k0 > 0.0 && k1 >= 0.0 && k2 > 0.0,
+              "need k0 > 0, k1 >= 0, k2 > 0; got ", k0, ", ", k1, ", ", k2);
+}
+
+QuadraticLossModel QuadraticLossModel::fit_from_peak(double peak_efficiency,
+                                                     Current current_at_peak,
+                                                     Voltage v_out,
+                                                     double k1) {
+  VPD_REQUIRE(peak_efficiency > 0.0 && peak_efficiency < 1.0,
+              "peak efficiency ", peak_efficiency, " outside (0,1)");
+  VPD_REQUIRE(current_at_peak.value > 0.0, "peak current must be positive");
+  VPD_REQUIRE(v_out.value > 0.0, "output voltage must be positive");
+  VPD_REQUIRE(k1 >= 0.0, "negative k1");
+  // eta* = V / (V + k1 + 2 s) with s = sqrt(k0 k2); I* = sqrt(k0 / k2).
+  const double total = v_out.value * (1.0 / peak_efficiency - 1.0);
+  const double two_s = total - k1;
+  VPD_REQUIRE(two_s > 0.0, "k1 = ", k1,
+              " already exceeds the loss budget for peak efficiency ",
+              peak_efficiency, " at ", v_out.value, " V");
+  const double s = 0.5 * two_s;
+  return QuadraticLossModel(s * current_at_peak.value, k1,
+                            s / current_at_peak.value);
+}
+
+QuadraticLossModel QuadraticLossModel::fit_least_squares(
+    const std::vector<EfficiencyPoint>& points, Voltage v_out) {
+  VPD_REQUIRE(points.size() >= 3, "need at least 3 points, got ",
+              points.size());
+  VPD_REQUIRE(v_out.value > 0.0, "output voltage must be positive");
+  // Each measurement gives a loss sample:
+  //   P_loss = V I (1/eta - 1) = k0 + k1 I + k2 I^2.
+  // Solve the 3x3 normal equations of the linear least-squares problem.
+  // `pin` forces a coefficient to a small positive floor when the
+  // unconstrained solution leaves the valid domain.
+  auto solve_fit = [&](bool pin_k0, bool pin_k1,
+                       bool pin_k2) -> QuadraticLossModel {
+    constexpr double kFloor0 = 1e-9;   // W
+    constexpr double kFloor2 = 1e-12;  // Ohm
+    std::vector<unsigned> cols;
+    if (!pin_k0) cols.push_back(0);
+    if (!pin_k1) cols.push_back(1);
+    if (!pin_k2) cols.push_back(2);
+    VPD_REQUIRE(!cols.empty(), "all coefficients pinned");
+    Matrix ata(cols.size(), cols.size());
+    Vector atb(cols.size(), 0.0);
+    for (const EfficiencyPoint& p : points) {
+      VPD_REQUIRE(p.load.value > 0.0, "non-positive load point");
+      VPD_REQUIRE(p.efficiency > 0.0 && p.efficiency < 1.0,
+                  "efficiency ", p.efficiency, " outside (0,1)");
+      const double i = p.load.value;
+      const double basis[3] = {1.0, i, i * i};
+      double y = v_out.value * i * (1.0 / p.efficiency - 1.0);
+      if (pin_k0) y -= kFloor0;
+      if (pin_k2) y -= kFloor2 * i * i;
+      for (std::size_t r = 0; r < cols.size(); ++r) {
+        for (std::size_t c = 0; c < cols.size(); ++c)
+          ata(r, c) += basis[cols[r]] * basis[cols[c]];
+        atb[r] += basis[cols[r]] * y;
+      }
+    }
+    const Vector x = solve_dense(ata, atb);
+    double k[3] = {pin_k0 ? kFloor0 : 0.0, 0.0, pin_k2 ? kFloor2 : 0.0};
+    for (std::size_t r = 0; r < cols.size(); ++r) k[cols[r]] = x[r];
+    return QuadraticLossModel(k[0], k[1], k[2]);
+  };
+
+  // Try every pinning pattern, keep the fits that land in the valid
+  // domain, and return the one with the smallest squared loss residual.
+  auto residual = [&](const QuadraticLossModel& m) {
+    double sse = 0.0;
+    for (const EfficiencyPoint& p : points) {
+      const double i = p.load.value;
+      const double y = v_out.value * i * (1.0 / p.efficiency - 1.0);
+      const double e = y - (m.k0() + m.k1() * i + m.k2() * i * i);
+      sse += e * e;
+    }
+    return sse;
+  };
+  bool found = false;
+  QuadraticLossModel best(1e-9, 0.0, 1e-12);
+  double best_sse = 0.0;
+  const bool patterns[4][2] = {
+      {false, false}, {false, true}, {true, false}, {true, true}};
+  for (const auto& pat : patterns) {
+    try {
+      const QuadraticLossModel candidate =
+          solve_fit(pat[0], pat[1], false);
+      const double sse = residual(candidate);
+      if (!found || sse < best_sse) {
+        found = true;
+        best = candidate;
+        best_sse = sse;
+      }
+    } catch (const InvalidArgument&) {
+      continue;  // pattern left the valid domain
+    }
+  }
+  if (found) return best;
+  return solve_fit(true, true, false);  // last resort: fit k2 only
+}
+
+Power QuadraticLossModel::loss(Current output_current) const {
+  const double i = output_current.value;
+  VPD_REQUIRE(i >= 0.0, "negative output current ", i);
+  return Power{k0_ + k1_ * i + k2_ * i * i};
+}
+
+double QuadraticLossModel::efficiency(Current output_current,
+                                      Voltage v_out) const {
+  VPD_REQUIRE(output_current.value > 0.0,
+              "efficiency undefined at zero load");
+  VPD_REQUIRE(v_out.value > 0.0, "output voltage must be positive");
+  const double p_out = v_out.value * output_current.value;
+  return p_out / (p_out + loss(output_current).value);
+}
+
+Current QuadraticLossModel::peak_current() const {
+  return Current{std::sqrt(k0_ / k2_)};
+}
+
+double QuadraticLossModel::peak_efficiency(Voltage v_out) const {
+  return efficiency(peak_current(), v_out);
+}
+
+QuadraticLossModel QuadraticLossModel::scaled(double switching_scale,
+                                              double conduction_scale) const {
+  VPD_REQUIRE(switching_scale > 0.0 && conduction_scale > 0.0,
+              "scales must be positive, got ", switching_scale, ", ",
+              conduction_scale);
+  return QuadraticLossModel(k0_ * switching_scale, k1_,
+                            k2_ * conduction_scale);
+}
+
+}  // namespace vpd

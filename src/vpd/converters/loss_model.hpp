@@ -1,0 +1,78 @@
+// Load-dependent converter loss models.
+//
+// A switching converter's loss decomposes, to good accuracy, into a
+// load-independent term (gate drive, Coss, control), a load-linear term
+// (V-I overlap), and a load-quadratic term (conduction in switches,
+// inductor DCR, capacitor ESR):
+//
+//   P_loss(I) = k0 + k1 * I + k2 * I^2
+//
+// Efficiency at output voltage V is then eta(I) = V I / (V I + P_loss(I)),
+// which peaks at I* = sqrt(k0 / k2) with
+// eta* = V / (V + k1 + 2 sqrt(k0 k2)).
+//
+// The paper characterizes the published DSCH/DPMIH/3LHD prototypes by
+// (peak efficiency, current at peak, max current); `fit_from_peak` inverts
+// the relations above so the model curve passes exactly through the
+// published peak point. Technology ablations (Si <-> GaN, frequency) scale
+// k0 and k2 by physically-motivated ratios.
+#pragma once
+
+#include <vector>
+
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+class QuadraticLossModel {
+ public:
+  /// Direct coefficients: k0 [W], k1 [V], k2 [Ohm].
+  QuadraticLossModel(double k0, double k1, double k2);
+
+  /// Fits k0 and k2 so that the peak of eta(I) at output voltage `v_out`
+  /// is exactly (`current_at_peak`, `peak_efficiency`), with the linear
+  /// coefficient fixed at `k1`. Throws InvalidArgument if the requested
+  /// peak is unreachable (k1 already exceeds the total loss budget).
+  static QuadraticLossModel fit_from_peak(double peak_efficiency,
+                                          Current current_at_peak,
+                                          Voltage v_out, double k1 = 0.0);
+
+  /// One sample of a measured efficiency curve.
+  struct EfficiencyPoint {
+    Current load{};
+    double efficiency{0.0};
+  };
+
+  /// Least-squares fit of (k0, k1, k2) to a measured efficiency curve at
+  /// output voltage `v_out` (e.g. digitized from a datasheet or a
+  /// published prototype plot). Needs >= 3 points at distinct currents.
+  /// Coefficients are clamped to the model's validity domain (k0, k2 > 0,
+  /// k1 >= 0) by re-solving with the offending term pinned when the
+  /// unconstrained optimum leaves it.
+  static QuadraticLossModel fit_least_squares(
+      const std::vector<EfficiencyPoint>& points, Voltage v_out);
+
+  double k0() const { return k0_; }
+  double k1() const { return k1_; }
+  double k2() const { return k2_; }
+
+  Power loss(Current output_current) const;
+  double efficiency(Current output_current, Voltage v_out) const;
+
+  /// Output current of maximum efficiency.
+  Current peak_current() const;
+  double peak_efficiency(Voltage v_out) const;
+
+  /// Returns a model with the fixed term scaled by `switching_scale`
+  /// (e.g. device Qg/Coss FOM ratio, or a frequency ratio) and the
+  /// quadratic term scaled by `conduction_scale` (e.g. Ron ratio).
+  QuadraticLossModel scaled(double switching_scale,
+                            double conduction_scale) const;
+
+ private:
+  double k0_;
+  double k1_;
+  double k2_;
+};
+
+}  // namespace vpd

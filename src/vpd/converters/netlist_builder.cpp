@@ -1,0 +1,162 @@
+#include "vpd/converters/netlist_builder.hpp"
+
+#include <string>
+
+#include "vpd/circuit/pwm.hpp"
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+SimulatableConverter build_buck_circuit(const BuckCircuitParams& p) {
+  VPD_REQUIRE(p.duty > 0.0 && p.duty < 1.0, "duty ", p.duty,
+              " outside (0,1)");
+  VPD_REQUIRE(p.v_in.value > 0.0 && p.f_sw.value > 0.0,
+              "invalid Vin or f_sw");
+
+  SimulatableConverter sim;
+  Netlist& nl = sim.netlist;
+  const NodeId vin = nl.add_node("vin");
+  const NodeId sw = nl.add_node("sw");
+  const NodeId out = nl.add_node("out");
+
+  nl.add_vsource("Vin", vin, kGround, p.v_in);
+  nl.add_switch("S_hi", vin, sw, p.switch_on_resistance,
+                Resistance{1e8});
+  nl.add_switch("S_lo", sw, kGround, p.switch_on_resistance,
+                Resistance{1e8});
+
+  const double v_out_ideal = p.duty * p.v_in.value;
+  const Current il0{p.preload_steady_state
+                        ? v_out_ideal / p.load.value
+                        : 0.0};
+  const Voltage vc0{p.preload_steady_state ? v_out_ideal : 0.0};
+  nl.add_inductor("L1", sw, out, p.inductance, il0);
+  nl.add_capacitor("Cout", out, kGround, p.output_capacitance, vc0);
+  nl.add_resistor("Rload", out, kGround, p.load);
+
+  GateDrive drive(nl);
+  drive.assign_pair("S_hi", "S_lo", PwmSignal(p.f_sw, p.duty),
+                    Seconds{0.0});
+  sim.controller = drive.controller();
+  sim.switching_period = Seconds{1.0 / p.f_sw.value};
+  sim.output_node = "out";
+  sim.input_source = "Vin";
+  sim.load_element = "Rload";
+  return sim;
+}
+
+SimulatableConverter build_series_parallel_sc_circuit(
+    const ScCircuitParams& p) {
+  VPD_REQUIRE(p.ratio >= 2, "ratio must be >= 2, got ", p.ratio);
+  VPD_REQUIRE(p.v_in.value > 0.0 && p.f_sw.value > 0.0,
+              "invalid Vin or f_sw");
+
+  SimulatableConverter sim;
+  Netlist& nl = sim.netlist;
+  const unsigned n = p.ratio;
+  const unsigned caps = n - 1;
+
+  const NodeId vin = nl.add_node("vin");
+  const NodeId out = nl.add_node("out");
+  std::vector<NodeId> top(caps), bot(caps);
+  for (unsigned i = 0; i < caps; ++i) {
+    top[i] = nl.add_node("top" + std::to_string(i + 1));
+    bot[i] = nl.add_node("bot" + std::to_string(i + 1));
+  }
+
+  nl.add_vsource("Vin", vin, kGround, p.v_in);
+
+  const Resistance r_off{1e8};
+  // Phase-1 (series) switches: vin -> C1 -> C2 -> ... -> out.
+  nl.add_switch("Ss0", vin, top[0], p.switch_on_resistance, r_off);
+  for (unsigned i = 0; i + 1 < caps; ++i)
+    nl.add_switch("Ss" + std::to_string(i + 1), bot[i], top[i + 1],
+                  p.switch_on_resistance, r_off);
+  nl.add_switch("Ss" + std::to_string(caps), bot[caps - 1], out,
+                p.switch_on_resistance, r_off);
+
+  // Phase-2 (parallel) switches: each cap across the output.
+  for (unsigned i = 0; i < caps; ++i) {
+    nl.add_switch("Spt" + std::to_string(i + 1), top[i], out,
+                  p.switch_on_resistance, r_off);
+    nl.add_switch("Spb" + std::to_string(i + 1), bot[i], kGround,
+                  p.switch_on_resistance, r_off);
+  }
+
+  const double v_cell = p.v_in.value / n;
+  for (unsigned i = 0; i < caps; ++i)
+    nl.add_capacitor("Cfly" + std::to_string(i + 1), top[i], bot[i],
+                     p.fly_capacitance,
+                     Voltage{p.preload_steady_state ? v_cell : 0.0});
+  nl.add_capacitor("Cout", out, kGround, p.output_capacitance,
+                   Voltage{p.preload_steady_state ? v_cell : 0.0});
+  nl.add_resistor("Rload", out, kGround, p.load);
+
+  // Two non-overlapping 48% phases.
+  GateDrive drive(nl);
+  const PwmSignal phase1(p.f_sw, 0.48, 0.0);
+  const PwmSignal phase2(p.f_sw, 0.48, 0.5);
+  for (unsigned i = 0; i <= caps; ++i)
+    drive.assign("Ss" + std::to_string(i), phase1);
+  for (unsigned i = 1; i <= caps; ++i) {
+    drive.assign("Spt" + std::to_string(i), phase2);
+    drive.assign("Spb" + std::to_string(i), phase2);
+  }
+  sim.controller = drive.controller();
+  sim.switching_period = Seconds{1.0 / p.f_sw.value};
+  sim.output_node = "out";
+  sim.input_source = "Vin";
+  sim.load_element = "Rload";
+  return sim;
+}
+
+SimulatableConverter build_fcml3_circuit(const FcmlCircuitParams& p) {
+  VPD_REQUIRE(p.duty > 0.0 && p.duty < 0.5,
+              "3-level cell modeled for duty in (0, 0.5), got ", p.duty);
+  VPD_REQUIRE(p.v_in.value > 0.0 && p.f_sw.value > 0.0,
+              "invalid Vin or f_sw");
+
+  SimulatableConverter sim;
+  Netlist& nl = sim.netlist;
+  const NodeId vin = nl.add_node("vin");
+  const NodeId n1 = nl.add_node("n1");   // below S1 / flying-cap top
+  const NodeId sw = nl.add_node("sw");   // switch node
+  const NodeId n2 = nl.add_node("n2");   // flying-cap bottom / above S4
+  const NodeId out = nl.add_node("out");
+
+  nl.add_vsource("Vin", vin, kGround, p.v_in);
+  const Resistance r_off{1e8};
+  nl.add_switch("S1", vin, n1, p.switch_on_resistance, r_off);
+  nl.add_switch("S2", n1, sw, p.switch_on_resistance, r_off);
+  nl.add_switch("S3", sw, n2, p.switch_on_resistance, r_off);
+  nl.add_switch("S4", n2, kGround, p.switch_on_resistance, r_off);
+  nl.add_capacitor("Cfly", n1, n2, p.fly_capacitance,
+                   Voltage{p.preload_steady_state ? p.v_in.value / 2.0
+                                                  : 0.0});
+
+  const double v_out_ideal = p.duty * p.v_in.value;
+  nl.add_inductor("L1", sw, out, p.inductance,
+                  Current{p.preload_steady_state
+                              ? v_out_ideal / p.load.value
+                              : 0.0});
+  nl.add_capacitor("Cout", out, kGround, p.output_capacitance,
+                   Voltage{p.preload_steady_state ? v_out_ideal : 0.0});
+  nl.add_resistor("Rload", out, kGround, p.load);
+
+  // Outer cell: S1 at phase 0, S4 its complement. Inner cell: S2 at
+  // phase 0.5, S3 its complement. No dead time (no body diodes in the
+  // switch model).
+  GateDrive drive(nl);
+  drive.assign_pair("S1", "S4", PwmSignal(p.f_sw, p.duty, 0.0),
+                    Seconds{0.0});
+  drive.assign_pair("S2", "S3", PwmSignal(p.f_sw, p.duty, 0.5),
+                    Seconds{0.0});
+  sim.controller = drive.controller();
+  sim.switching_period = Seconds{1.0 / p.f_sw.value};
+  sim.output_node = "out";
+  sim.input_source = "Vin";
+  sim.load_element = "Rload";
+  return sim;
+}
+
+}  // namespace vpd

@@ -1,0 +1,79 @@
+// Builders that turn converter designs into simulatable netlists for the
+// circuit engine — used to validate the analytical loss/impedance models
+// against first-principles transient simulation, and to reproduce the
+// paper's Fig. 6 converter circuits (SMPS buck and SC series-parallel
+// charge pump).
+#pragma once
+
+#include <string>
+
+#include "vpd/circuit/netlist.hpp"
+#include "vpd/circuit/transient.hpp"
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+/// A netlist plus everything needed to run it: the switch schedule, the
+/// switching period, and the names of the probe points.
+struct SimulatableConverter {
+  Netlist netlist;
+  SwitchController controller;
+  Seconds switching_period{};
+  std::string output_node;
+  std::string input_source;   // element name of the input V source
+  std::string load_element;   // element name of the load
+};
+
+struct BuckCircuitParams {
+  Voltage v_in{Voltage{12.0}};
+  double duty{0.5};
+  Frequency f_sw{Frequency{1e6}};
+  Inductance inductance{Inductance{10e-6}};
+  Capacitance output_capacitance{Capacitance{100e-6}};
+  Resistance load{Resistance{1.0}};
+  Resistance switch_on_resistance{Resistance{1e-3}};
+  /// Start the filter at the ideal steady state to skip the LC settling.
+  bool preload_steady_state{true};
+};
+
+/// Synchronous buck of Fig. 6(a).
+SimulatableConverter build_buck_circuit(const BuckCircuitParams& params);
+
+struct ScCircuitParams {
+  Voltage v_in{Voltage{8.0}};
+  unsigned ratio{2};  // n:1 series-parallel
+  Frequency f_sw{Frequency{1e6}};
+  Capacitance fly_capacitance{Capacitance{10e-6}};  // per flying cap
+  Capacitance output_capacitance{Capacitance{100e-6}};
+  Resistance load{Resistance{1.0}};
+  Resistance switch_on_resistance{Resistance{10e-3}};
+  bool preload_steady_state{true};
+};
+
+/// Series-parallel SC charge pump of Fig. 6(b): phase 1 strings the flying
+/// capacitors in series with the input, phase 2 parallels them onto the
+/// load.
+SimulatableConverter build_series_parallel_sc_circuit(
+    const ScCircuitParams& params);
+
+struct FcmlCircuitParams {
+  Voltage v_in{Voltage{48.0}};
+  double duty{0.25};
+  Frequency f_sw{Frequency{500e3}};  // per-cell frequency
+  Inductance inductance{Inductance{2e-6}};
+  Capacitance fly_capacitance{Capacitance{20e-6}};
+  Capacitance output_capacitance{Capacitance{100e-6}};
+  Resistance load{Resistance{1.0}};
+  Resistance switch_on_resistance{Resistance{5e-3}};
+  bool preload_steady_state{true};
+};
+
+/// Three-level flying-capacitor bridge ([7]'s cell, N = 3): outer pair
+/// (S1/S4) and inner pair (S2/S3) run at `duty` with carriers 180 deg
+/// apart, so the switch node sees 0 / Vin/2 levels at twice the cell
+/// frequency and the flying capacitor (started at Vin/2) is exercised
+/// symmetrically. Demonstrates the FCML frequency-multiplication and
+/// stress-halving claims on the transient engine.
+SimulatableConverter build_fcml3_circuit(const FcmlCircuitParams& params);
+
+}  // namespace vpd

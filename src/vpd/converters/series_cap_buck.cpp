@@ -1,0 +1,115 @@
+#include "vpd/converters/series_cap_buck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+#include "vpd/passives/sizing.hpp"
+
+namespace vpd {
+
+struct SeriesCapacitorBuck::Design {
+  ConverterSpec spec;
+  QuadraticLossModel model;
+  double duty;
+  PowerFet phase_fet;
+  Inductor inductor;
+  Capacitor series_cap;
+};
+
+SeriesCapacitorBuck::Design SeriesCapacitorBuck::make_design(
+    const SeriesCapBuckInputs& in) {
+  VPD_REQUIRE(in.rated_current.value > 0.0, "scb '", in.name,
+              "': non-positive rated current");
+  VPD_REQUIRE(in.f_sw.value > 0.0, "scb '", in.name,
+              "': non-positive frequency");
+  const double duty = 2.0 * buck_duty(in.v_in, in.v_out);
+  VPD_REQUIRE(duty < 1.0, "scb '", in.name,
+              "': conversion ratio below 2:1 leaves no off-time");
+
+  const double i_phase = in.rated_current.value / 2.0;
+  const Voltage half_vin{in.v_in.value / 2.0};
+
+  // Device sizing: four identical switches (two per phase), each seeing
+  // ~Vin/2. Conduction budget split across the two phase paths.
+  const double p_out = in.v_out.value * in.rated_current.value;
+  const double budget_per_phase =
+      in.conduction_budget_fraction * p_out / 2.0;
+  // Per phase, one switch conducts at any time: R = budget / i^2.
+  const Resistance r_fet{budget_per_phase / (i_phase * i_phase)};
+  PowerFet fet = PowerFet::for_on_resistance(
+      in.device_tech, Voltage{half_vin.value * in.voltage_margin}, r_fet);
+
+  // Inductors: per phase, driven from Vin/2 at doubled duty.
+  const Current ripple_pp{in.ripple_fraction * i_phase};
+  const Inductance l_phase =
+      buck_inductor_for_ripple(half_vin, in.v_out, in.f_sw, ripple_pp);
+  Inductor inductor(in.inductor_tech, l_phase,
+                    Current{(i_phase + 0.5 * ripple_pp.value) * 1.2});
+
+  // Series capacitor: carries the phase current during its half-cycle;
+  // C = I_phase * D / (f * dV).
+  const double dv = in.series_cap_ripple_fraction * half_vin.value;
+  VPD_REQUIRE(dv > 0.0, "scb '", in.name, "': zero cap ripple target");
+  const Capacitance c_series{i_phase * duty / (in.f_sw.value * dv)};
+  Capacitor series_cap(
+      in.capacitor_tech, c_series,
+      Voltage{std::min(half_vin.value * 1.5,
+                       in.capacitor_tech.max_rating.value)});
+
+  // Loss model.
+  const double gate = 4.0 * fet.gate_loss(in.f_sw).value;
+  // Soft charging of the series cap removes most hard Coss loss on two of
+  // the four switches; count 2 hard + 2 half.
+  const double coss = (2.0 + 1.0) * fet.coss_loss(half_vin, in.f_sw).value;
+  const double cap_esr =
+      2.0 * series_cap.loss(Current{i_phase * std::sqrt(duty)}).value / 2.0;
+  const double inductor_ac =
+      2.0 * inductor.loss(Current{0.0}, ripple_pp).value;
+  const double k0 = gate + coss + cap_esr + inductor_ac;
+
+  const double t_transition =
+      in.device_tech.transition_time_per_volt * half_vin.value;
+  const double k1 = half_vin.value * t_transition * in.f_sw.value;
+
+  // Conduction: per phase one FET + DCR in series; two phases parallel.
+  const double r_eff_phase =
+      fet.on_resistance().value + inductor.dcr().value;
+  const double k2 = r_eff_phase / 2.0;
+
+  ConverterSpec spec;
+  spec.name = in.name;
+  spec.v_in = in.v_in;
+  spec.v_out = in.v_out;
+  spec.max_current = in.rated_current;
+  spec.switch_count = 4;
+  spec.inductor_count = 2;
+  spec.capacitor_count = 1;
+  spec.total_inductance = Inductance{2.0 * l_phase.value};
+  spec.total_capacitance = c_series;
+  spec.area = Area{4.0 * fet.area().value +
+                   2.0 * inductor.footprint().value +
+                   series_cap.footprint().value};
+
+  return Design{std::move(spec), QuadraticLossModel(k0, k1, k2), duty,
+                std::move(fet), std::move(inductor),
+                std::move(series_cap)};
+}
+
+SeriesCapacitorBuck::SeriesCapacitorBuck(const SeriesCapBuckInputs& inputs)
+    : SeriesCapacitorBuck(inputs, make_design(inputs)) {}
+
+SeriesCapacitorBuck::SeriesCapacitorBuck(const SeriesCapBuckInputs& inputs,
+                                         Design&& design)
+    : Converter(std::move(design.spec), design.model),
+      inputs_(inputs),
+      duty_(design.duty),
+      phase_fet_(std::move(design.phase_fet)),
+      inductor_(std::move(design.inductor)),
+      series_cap_(std::move(design.series_cap)) {}
+
+Voltage SeriesCapacitorBuck::switch_stress() const {
+  return Voltage{inputs_.v_in.value / 2.0};
+}
+
+}  // namespace vpd

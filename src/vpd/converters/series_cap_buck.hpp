@@ -1,0 +1,58 @@
+// Series-capacitor buck (SCB) converter [6] (Shenoy et al.): a two-phase
+// buck whose input-side series capacitor splits the input voltage in half
+// and soft-charges between the phases. Each phase then effectively
+// converts from Vin/2, doubling the usable duty cycle and halving the
+// switch stress — the first rung on the ladder from the plain buck toward
+// the high-ratio hybrids the paper prefers (the DSCH is its close
+// relative with a deeper 1/3 division).
+#pragma once
+
+#include "vpd/converters/converter.hpp"
+#include "vpd/devices/power_fet.hpp"
+#include "vpd/passives/capacitor.hpp"
+#include "vpd/passives/inductor.hpp"
+
+namespace vpd {
+
+struct SeriesCapBuckInputs {
+  std::string name{"series-cap-buck"};
+  TechnologyParams device_tech;
+  InductorTechnology inductor_tech;
+  CapacitorTechnology capacitor_tech;
+  Voltage v_in{};
+  Voltage v_out{};
+  Current rated_current{};  // total across both phases
+  Frequency f_sw{};
+  double ripple_fraction{0.4};
+  double conduction_budget_fraction{0.01};
+  double voltage_margin{1.3};
+  /// Series capacitor ripple target as a fraction of Vin/2.
+  double series_cap_ripple_fraction{0.05};
+};
+
+class SeriesCapacitorBuck : public Converter {
+ public:
+  explicit SeriesCapacitorBuck(const SeriesCapBuckInputs& inputs);
+
+  /// Effective per-phase duty: 2 Vout / Vin — twice the plain buck's.
+  double effective_duty() const { return duty_; }
+  /// Switch blocking voltage: half the input.
+  Voltage switch_stress() const;
+
+  const PowerFet& phase_fet() const { return phase_fet_; }
+  const Inductor& inductor() const { return inductor_; }
+  const Capacitor& series_capacitor() const { return series_cap_; }
+
+ private:
+  struct Design;
+  SeriesCapacitorBuck(const SeriesCapBuckInputs& inputs, Design&& design);
+  static Design make_design(const SeriesCapBuckInputs& inputs);
+
+  SeriesCapBuckInputs inputs_;
+  double duty_;
+  PowerFet phase_fet_;
+  Inductor inductor_;
+  Capacitor series_cap_;
+};
+
+}  // namespace vpd

@@ -1,0 +1,108 @@
+#include "vpd/converters/switched_capacitor.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+struct SeriesParallelSc::Design {
+  ConverterSpec spec;
+  QuadraticLossModel model;
+  double r_ssl;
+  double r_fsl;
+};
+
+unsigned SeriesParallelSc::switch_count_for_ratio(unsigned ratio) {
+  VPD_REQUIRE(ratio >= 2, "ratio must be >= 2, got ", ratio);
+  return 3 * ratio - 2;
+}
+
+SeriesParallelSc::Design SeriesParallelSc::make_design(
+    const ScDesignInputs& in) {
+  VPD_REQUIRE(in.ratio >= 2, "sc '", in.name, "': ratio must be >= 2");
+  VPD_REQUIRE(in.rated_current.value > 0.0, "sc '", in.name,
+              "': non-positive rated current");
+  VPD_REQUIRE(in.f_sw.value > 0.0, "sc '", in.name,
+              "': non-positive frequency");
+  VPD_REQUIRE(in.fly_capacitance.value > 0.0, "sc '", in.name,
+              "': non-positive flying capacitance");
+  VPD_REQUIRE(in.switch_resistance.value > 0.0, "sc '", in.name,
+              "': non-positive switch resistance");
+
+  const double n = in.ratio;
+  // Seeman-Sanders charge multipliers for series-parallel n:1 step-down:
+  // each of the (n-1) flying capacitors transfers q_out / n per cycle
+  // (a_c = 1/n); each switch also carries q_out / n.
+  const double r_ssl =
+      (n - 1.0) / (n * n * in.fly_capacitance.value * in.f_sw.value);
+  const unsigned switches = switch_count_for_ratio(in.ratio);
+  // FSL: R_FSL = 2 * sum_i a_{r,i}^2 * R_i over all switches, with the
+  // factor 2 from 50% duty conduction windows.
+  const double r_fsl =
+      2.0 * switches * (1.0 / (n * n)) * in.switch_resistance.value;
+  const double r_out = std::hypot(r_ssl, r_fsl);
+
+  // Device sizing for the switching overhead: each switch must block
+  // roughly Vin/n; size it for the requested on-resistance.
+  const Voltage block_voltage{in.v_in.value / n * in.voltage_margin};
+  const PowerFet sw_fet = PowerFet::for_on_resistance(
+      in.device_tech, block_voltage, in.switch_resistance);
+  const double gate = switches * sw_fet.gate_loss(in.f_sw).value;
+  // Hard charge-redistribution switching of Coss across ~Vin/n.
+  const double coss =
+      switches * sw_fet.coss_loss(Voltage{in.v_in.value / n}, in.f_sw).value;
+  const double k0 = std::max(gate + coss, 1e-9);
+
+  const Capacitor fly(in.capacitor_tech, in.fly_capacitance,
+                      Voltage{std::min(in.v_in.value / n * 2.0,
+                                       in.capacitor_tech.max_rating.value)});
+
+  ConverterSpec spec;
+  spec.name = in.name;
+  spec.v_in = in.v_in;
+  spec.v_out = Voltage{in.v_in.value / n};
+  spec.max_current = in.rated_current;
+  spec.switch_count = switches;
+  spec.inductor_count = 0;
+  spec.capacitor_count = in.ratio - 1;
+  spec.total_inductance = Inductance{1e-15};  // none
+  spec.total_capacitance =
+      Capacitance{(in.ratio - 1) * in.fly_capacitance.value};
+  spec.area = Area{switches * sw_fet.area().value +
+                   (in.ratio - 1) * fly.footprint().value};
+
+  return Design{std::move(spec), QuadraticLossModel(k0, 0.0, r_out), r_ssl,
+                r_fsl};
+}
+
+SeriesParallelSc::SeriesParallelSc(const ScDesignInputs& inputs)
+    : SeriesParallelSc(inputs, make_design(inputs)) {}
+
+SeriesParallelSc::SeriesParallelSc(const ScDesignInputs& inputs,
+                                   Design&& design)
+    : Converter(std::move(design.spec), design.model),
+      inputs_(inputs),
+      r_ssl_(design.r_ssl),
+      r_fsl_(design.r_fsl) {}
+
+Resistance SeriesParallelSc::ssl_resistance() const {
+  return Resistance{r_ssl_};
+}
+
+Resistance SeriesParallelSc::fsl_resistance() const {
+  return Resistance{r_fsl_};
+}
+
+Resistance SeriesParallelSc::output_resistance() const {
+  return Resistance{std::hypot(r_ssl_, r_fsl_)};
+}
+
+Voltage SeriesParallelSc::loaded_output_voltage(Current load) const {
+  VPD_REQUIRE(load.value >= 0.0, "negative load");
+  return Voltage{spec().v_out.value -
+                 load.value * output_resistance().value};
+}
+
+}  // namespace vpd

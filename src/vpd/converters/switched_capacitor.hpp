@@ -1,0 +1,62 @@
+// Series-parallel switched-capacitor converter with the Seeman-Sanders
+// output-impedance model: the converter behaves as an ideal n:1 transformer
+// followed by an output resistance R_out(f) that interpolates between the
+// slow-switching limit (SSL, charge-transfer dominated, ~1/(C f)) and the
+// fast-switching limit (FSL, switch-resistance dominated).
+//
+// The paper's Fig. 6(b) shows this topology; SC-derived converters are the
+// preferred front ends for high-ratio conversion because they avoid the
+// ultra-low on-time a 48V-to-1V buck would need (Section III).
+#pragma once
+
+#include "vpd/converters/converter.hpp"
+#include "vpd/devices/power_fet.hpp"
+#include "vpd/passives/capacitor.hpp"
+
+namespace vpd {
+
+struct ScDesignInputs {
+  std::string name{"sc-series-parallel"};
+  TechnologyParams device_tech;
+  CapacitorTechnology capacitor_tech;
+  Voltage v_in{};
+  unsigned ratio{2};               // n:1 step-down
+  Current rated_current{};
+  Frequency f_sw{};
+  Capacitance fly_capacitance{};   // per flying capacitor
+  Resistance switch_resistance{};  // per switch
+  double voltage_margin{1.3};
+};
+
+class SeriesParallelSc : public Converter {
+ public:
+  explicit SeriesParallelSc(const ScDesignInputs& inputs);
+
+  unsigned ratio() const { return inputs_.ratio; }
+  Frequency switching_frequency() const { return inputs_.f_sw; }
+
+  /// Slow-switching-limit output resistance: (n-1) / (n^2 C f).
+  Resistance ssl_resistance() const;
+  /// Fast-switching-limit output resistance: 2 * sum(a_r^2) * R_switch.
+  Resistance fsl_resistance() const;
+  /// Combined: sqrt(SSL^2 + FSL^2).
+  Resistance output_resistance() const;
+
+  /// Loaded output voltage: Vin/n - I * R_out.
+  Voltage loaded_output_voltage(Current load) const;
+
+  /// Switch count for the series-parallel n:1 cell: n series-phase
+  /// switches plus 2(n-1) parallel-phase switches = 3n - 2.
+  static unsigned switch_count_for_ratio(unsigned ratio);
+
+ private:
+  struct Design;
+  SeriesParallelSc(const ScDesignInputs& inputs, Design&& design);
+  static Design make_design(const ScDesignInputs& inputs);
+
+  ScDesignInputs inputs_;
+  double r_ssl_;
+  double r_fsl_;
+};
+
+}  // namespace vpd

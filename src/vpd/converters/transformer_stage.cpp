@@ -1,0 +1,58 @@
+#include "vpd/converters/transformer_stage.hpp"
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+using namespace vpd::literals;
+
+namespace {
+
+// Encodes a flat efficiency eta as a quadratic model whose loss curve is
+// almost purely linear-in-power over the load range: k1 dominates with
+// tiny k0/k2 so that eta(I) ~ Vout / (Vout + k1) for all I.
+QuadraticLossModel flat_model(double efficiency, Voltage v_out) {
+  VPD_REQUIRE(efficiency > 0.0 && efficiency < 1.0, "efficiency ",
+              efficiency, " outside (0,1)");
+  const double k1 = v_out.value * (1.0 / efficiency - 1.0);
+  return QuadraticLossModel(1e-9, k1, 1e-12);
+}
+
+}  // namespace
+
+FixedEfficiencyConverter::FixedEfficiencyConverter(std::string name,
+                                                   Voltage v_in,
+                                                   Voltage v_out,
+                                                   Current max_current,
+                                                   double efficiency)
+    : Converter(
+          [&] {
+            ConverterSpec spec;
+            spec.name = std::move(name);
+            spec.v_in = v_in;
+            spec.v_out = v_out;
+            spec.max_current = max_current;
+            spec.switch_count = 12;    // representative PCB SMPS
+            spec.inductor_count = 4;
+            spec.capacitor_count = 8;
+            spec.total_inductance = 20.0_uH;
+            spec.total_capacitance = 500.0_uF;
+            spec.area = 2000.0_mm2;    // PCB area, unconstrained
+            return spec;
+          }(),
+          flat_model(efficiency, v_out)),
+      rated_efficiency_(efficiency) {}
+
+std::shared_ptr<FixedEfficiencyConverter> pcb_reference_converter(
+    Current max_current) {
+  return std::make_shared<FixedEfficiencyConverter>(
+      "A0-PCB-48to1", 48.0_V, 1.0_V, max_current, 0.90);
+}
+
+std::shared_ptr<FixedEfficiencyConverter> transformer_first_stage(
+    Current max_current) {
+  return std::make_shared<FixedEfficiencyConverter>(
+      "PCB-transformer-48to12", 48.0_V, 12.0_V, max_current, 0.965);
+}
+
+}  // namespace vpd

@@ -1,0 +1,36 @@
+// PCB-level reference conversion for architecture A0: the paper models a
+// 90%-efficient 48V-to-1V chain built from a transformer-based 48V-to-12V
+// first stage and a multiphase synchronous 12V-to-1V buck second stage,
+// both on the PCB where area and frequency are unconstrained.
+#pragma once
+
+#include <memory>
+
+#include "vpd/converters/converter.hpp"
+
+namespace vpd {
+
+/// A converter with a flat efficiency over its load range — appropriate for
+/// PCB-scale converters operating far from their loss-curve extremes, and
+/// exactly how the paper models A0's regulator.
+class FixedEfficiencyConverter : public Converter {
+ public:
+  FixedEfficiencyConverter(std::string name, Voltage v_in, Voltage v_out,
+                           Current max_current, double efficiency);
+
+  double rated_efficiency() const { return rated_efficiency_; }
+
+ private:
+  double rated_efficiency_;
+};
+
+/// The A0 PCB regulator: 48V-to-1V at 90% efficiency (paper, Section IV),
+/// sized for the full 1 kA system current.
+std::shared_ptr<FixedEfficiencyConverter> pcb_reference_converter(
+    Current max_current = Current{1500.0});
+
+/// The transformer-based 48V-to-12V first stage alone (~96.5% efficient).
+std::shared_ptr<FixedEfficiencyConverter> transformer_first_stage(
+    Current max_current = Current{150.0});
+
+}  // namespace vpd

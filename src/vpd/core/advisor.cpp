@@ -1,0 +1,146 @@
+#include "vpd/core/advisor.hpp"
+
+#include <algorithm>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+std::vector<Recommendation> rank_architectures(
+    const ExplorationResult& result) {
+  std::vector<Recommendation> ranked;
+  for (const ExplorationEntry& entry : result.entries) {
+    if (entry.excluded()) continue;
+    Recommendation r;
+    r.architecture = entry.architecture;
+    r.topology = entry.topology;
+    r.loss_fraction =
+        entry.evaluation->loss_fraction(result.spec.total_power);
+    r.efficiency = entry.evaluation->efficiency(result.spec.total_power);
+    r.rationale = detail::concat(
+        to_string(entry.architecture),
+        entry.topology ? std::string(" with ") + to_string(*entry.topology)
+                       : std::string(" (PCB regulation)"),
+        ": ", entry.evaluation->vr_count_stage2 == 0
+                  ? 1u
+                  : entry.evaluation->vr_count_stage2,
+        " final-stage VRs, loss ",
+        static_cast<int>(r.loss_fraction * 1000.0) / 10.0, "%");
+    ranked.push_back(std::move(r));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              return a.loss_fraction < b.loss_fraction;
+            });
+  return ranked;
+}
+
+Recommendation recommend(const ExplorationResult& result) {
+  const auto ranked = rank_architectures(result);
+  if (ranked.empty()) {
+    throw InfeasibleDesign(
+        "no feasible (architecture, topology) combination in the "
+        "exploration result");
+  }
+  return ranked.front();
+}
+
+std::vector<SweepPoint> sweep_power(const PowerDeliverySpec& base,
+                                    ArchitectureKind architecture,
+                                    TopologyKind topology,
+                                    const std::vector<double>& watts,
+                                    const EvaluationOptions& options) {
+  VPD_REQUIRE(!watts.empty(), "empty sweep");
+  std::vector<SweepPoint> points;
+  points.reserve(watts.size());
+  for (double w : watts) {
+    PowerDeliverySpec spec = base;
+    spec.total_power = Power{w};
+    SweepPoint p;
+    p.parameter = w;
+    try {
+      const ArchitectureEvaluation eval = evaluate_architecture(
+          architecture, spec, topology,
+          DeviceTechnology::kGalliumNitride, options);
+      p.loss_fraction = eval.loss_fraction(spec.total_power);
+      p.feasible = eval.within_rating;
+    } catch (const Error&) {
+      p.feasible = false;
+      p.loss_fraction = 0.0;
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+VrCountChoice optimize_vr_count(const PowerDeliverySpec& spec,
+                                ArchitectureKind architecture,
+                                TopologyKind topology, unsigned min_count,
+                                unsigned max_count,
+                                const EvaluationOptions& options) {
+  VPD_REQUIRE(min_count >= 1 && max_count >= min_count,
+              "need 1 <= min_count <= max_count, got [", min_count, ", ",
+              max_count, "]");
+  VPD_REQUIRE(architecture != ArchitectureKind::kA0_PcbConversion,
+              "A0 has no final-stage VR deployment to optimize");
+  VrCountChoice choice;
+  bool found = false;
+  for (unsigned count = min_count; count <= max_count; ++count) {
+    EvaluationOptions opts = options;
+    opts.fixed_final_stage_vrs = count;
+    SweepPoint point;
+    point.parameter = count;
+    try {
+      const ArchitectureEvaluation eval = evaluate_architecture(
+          architecture, spec, topology,
+          DeviceTechnology::kGalliumNitride, opts);
+      point.loss_fraction = eval.loss_fraction(spec.total_power);
+      point.feasible = eval.within_rating;
+    } catch (const Error&) {
+      point.feasible = false;
+    }
+    choice.curve.push_back(point);
+    if (point.feasible &&
+        (!found || point.loss_fraction < choice.loss_fraction)) {
+      found = true;
+      choice.count = count;
+      choice.loss_fraction = point.loss_fraction;
+      choice.within_rating = true;
+    }
+  }
+  if (!found) {
+    throw InfeasibleDesign(detail::concat(
+        "no feasible VR count in [", min_count, ", ", max_count, "] for ",
+        to_string(architecture), " with ", to_string(topology)));
+  }
+  return choice;
+}
+
+std::vector<SweepPoint> sweep_sheet_resistance(
+    const PowerDeliverySpec& spec, ArchitectureKind architecture,
+    TopologyKind topology, const std::vector<double>& ohms_per_square,
+    const EvaluationOptions& options) {
+  VPD_REQUIRE(!ohms_per_square.empty(), "empty sweep");
+  std::vector<SweepPoint> points;
+  points.reserve(ohms_per_square.size());
+  for (double rs : ohms_per_square) {
+    EvaluationOptions opts = options;
+    opts.distribution_sheet_ohms = rs;
+    SweepPoint p;
+    p.parameter = rs;
+    try {
+      const ArchitectureEvaluation eval = evaluate_architecture(
+          architecture, spec, topology,
+          DeviceTechnology::kGalliumNitride, opts);
+      p.loss_fraction = eval.loss_fraction(spec.total_power);
+      p.feasible = eval.within_rating;
+    } catch (const Error&) {
+      p.feasible = false;
+      p.loss_fraction = 0.0;
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace vpd

@@ -1,0 +1,71 @@
+// Design advisor: ranks explored (architecture, topology) combinations and
+// runs sensitivity sweeps over the system parameters — the "tradeoff-aware
+// exploration of the power delivery architecture space" the paper calls
+// for in Section II.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vpd/core/explorer.hpp"
+
+namespace vpd {
+
+struct Recommendation {
+  ArchitectureKind architecture{};
+  std::optional<TopologyKind> topology;
+  double loss_fraction{0.0};
+  double efficiency{0.0};
+  std::string rationale;
+};
+
+/// Feasible combinations ranked by ascending total loss.
+std::vector<Recommendation> rank_architectures(
+    const ExplorationResult& result);
+
+/// The single best feasible combination. Throws InfeasibleDesign when
+/// nothing is feasible.
+Recommendation recommend(const ExplorationResult& result);
+
+struct SweepPoint {
+  double parameter{0.0};
+  double loss_fraction{0.0};
+  bool feasible{true};
+};
+
+/// Loss fraction vs total system power for one combination.
+std::vector<SweepPoint> sweep_power(const PowerDeliverySpec& base,
+                                    ArchitectureKind architecture,
+                                    TopologyKind topology,
+                                    const std::vector<double>& watts,
+                                    const EvaluationOptions& options = {});
+
+/// Loss fraction vs POL-rail distribution sheet resistance (the model's
+/// main calibration knob) for one combination.
+std::vector<SweepPoint> sweep_sheet_resistance(
+    const PowerDeliverySpec& spec, ArchitectureKind architecture,
+    TopologyKind topology, const std::vector<double>& ohms_per_square,
+    const EvaluationOptions& options = {});
+
+/// Outcome of a VR-count optimization.
+struct VrCountChoice {
+  unsigned count{0};
+  double loss_fraction{0.0};
+  bool within_rating{false};
+  /// Losses at every candidate count, for reporting.
+  std::vector<SweepPoint> curve;
+};
+
+/// Finds the final-stage VR count minimizing total loss for one
+/// combination, scanning [min_count, max_count]. More VRs cut the
+/// per-VR conduction loss (I^2/N) but add fixed switching loss (N x k0)
+/// and placement pressure — the optimum is interior. Counts that violate
+/// the rating or cannot be placed are kept in the curve but never win.
+/// Throws InfeasibleDesign if no candidate is feasible.
+VrCountChoice optimize_vr_count(const PowerDeliverySpec& spec,
+                                ArchitectureKind architecture,
+                                TopologyKind topology, unsigned min_count,
+                                unsigned max_count,
+                                const EvaluationOptions& options = {});
+
+}  // namespace vpd

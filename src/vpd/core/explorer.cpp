@@ -1,0 +1,75 @@
+#include "vpd/core/explorer.hpp"
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+const ExplorationEntry& ExplorationResult::find(
+    ArchitectureKind arch, std::optional<TopologyKind> topo) const {
+  for (const ExplorationEntry& e : entries) {
+    if (e.architecture == arch && e.topology == topo) return e;
+  }
+  throw InvalidArgument(detail::concat(
+      "no exploration entry for ", to_string(arch),
+      topo ? std::string(" / ") + to_string(*topo) : std::string()));
+}
+
+ArchitectureExplorer::ArchitectureExplorer(PowerDeliverySpec spec,
+                                           EvaluationOptions options)
+    : spec_(spec), options_(options) {
+  spec_.validate();
+}
+
+ExplorationEntry ArchitectureExplorer::evaluate(
+    ArchitectureKind architecture, std::optional<TopologyKind> topology,
+    DeviceTechnology tech) const {
+  ExplorationEntry entry;
+  entry.architecture = architecture;
+  entry.topology = topology;
+
+  if (architecture == ArchitectureKind::kA0_PcbConversion) {
+    entry.evaluation = evaluate_architecture(
+        architecture, spec_, TopologyKind::kDpmih, tech, options_);
+    return entry;
+  }
+  VPD_REQUIRE(topology.has_value(),
+              "VPD architectures need a topology selection");
+
+  ArchitectureEvaluation eval;
+  try {
+    eval = evaluate_architecture(architecture, spec_, *topology, tech,
+                                 options_);
+  } catch (const InfeasibleDesign& err) {
+    entry.exclusion_reason = err.what();
+    return entry;
+  }
+  if (eval.within_rating) {
+    entry.evaluation = std::move(eval);
+  } else {
+    // The paper's Fig. 7 rule: no published efficiency at the required
+    // per-VR current -> the combination is not plotted.
+    entry.extrapolated = std::move(eval);
+    entry.exclusion_reason = detail::concat(
+        to_string(*topology),
+        ": required per-VR current exceeds the published rating; "
+        "efficiency at that load is not reported (paper excludes this "
+        "combination from Fig. 7)");
+  }
+  return entry;
+}
+
+ExplorationResult ArchitectureExplorer::explore(DeviceTechnology tech) const {
+  ExplorationResult result;
+  result.spec = spec_;
+  result.entries.push_back(
+      evaluate(ArchitectureKind::kA0_PcbConversion, std::nullopt, tech));
+  for (ArchitectureKind arch : all_architectures()) {
+    if (arch == ArchitectureKind::kA0_PcbConversion) continue;
+    for (TopologyKind topo : all_topologies()) {
+      result.entries.push_back(evaluate(arch, topo, tech));
+    }
+  }
+  return result;
+}
+
+}  // namespace vpd

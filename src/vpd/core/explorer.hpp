@@ -1,0 +1,62 @@
+// Architecture-space exploration: evaluates every (architecture, topology)
+// combination the paper's Fig. 7 covers, applying the paper's exclusion
+// rule (a topology whose required per-VR current exceeds its published
+// rating is reported N/A rather than silently extrapolated — the 3LHD
+// case at ~20 A per VR).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vpd/arch/evaluator.hpp"
+#include "vpd/arch/report.hpp"
+#include "vpd/core/spec.hpp"
+
+namespace vpd {
+
+struct ExplorationEntry {
+  ArchitectureKind architecture{};
+  std::optional<TopologyKind> topology;  // nullopt for A0
+  /// Absent when the paper's exclusion rule applies (rating exceeded).
+  std::optional<ArchitectureEvaluation> evaluation;
+  /// The flagged, extrapolated evaluation for excluded combinations.
+  std::optional<ArchitectureEvaluation> extrapolated;
+  std::string exclusion_reason;
+
+  bool excluded() const { return !evaluation.has_value(); }
+};
+
+struct ExplorationResult {
+  PowerDeliverySpec spec;
+  std::vector<ExplorationEntry> entries;
+
+  /// Entry lookup; throws InvalidArgument when absent.
+  const ExplorationEntry& find(
+      ArchitectureKind arch,
+      std::optional<TopologyKind> topo = std::nullopt) const;
+};
+
+class ArchitectureExplorer {
+ public:
+  explicit ArchitectureExplorer(PowerDeliverySpec spec,
+                                EvaluationOptions options = {});
+
+  const PowerDeliverySpec& spec() const { return spec_; }
+  const EvaluationOptions& options() const { return options_; }
+
+  /// Full sweep: A0 once, then every VPD architecture x topology.
+  ExplorationResult explore(
+      DeviceTechnology tech = DeviceTechnology::kGalliumNitride) const;
+
+  /// Single combination with the exclusion rule applied.
+  ExplorationEntry evaluate(
+      ArchitectureKind architecture, std::optional<TopologyKind> topology,
+      DeviceTechnology tech = DeviceTechnology::kGalliumNitride) const;
+
+ private:
+  PowerDeliverySpec spec_;
+  EvaluationOptions options_;
+};
+
+}  // namespace vpd

@@ -1,0 +1,42 @@
+#include "vpd/core/spec.hpp"
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+Current PowerDeliverySpec::die_current() const {
+  return Current{total_power.value / die_voltage.value};
+}
+
+CurrentDensity PowerDeliverySpec::current_density() const {
+  return CurrentDensity{die_current().value / die_area.value};
+}
+
+Length PowerDeliverySpec::die_side() const {
+  return Length{std::sqrt(die_area.value)};
+}
+
+Current PowerDeliverySpec::input_current(Power input_power) const {
+  return Current{input_power.value / pcb_voltage.value};
+}
+
+void PowerDeliverySpec::validate() const {
+  VPD_REQUIRE(total_power.value > 0.0, "total power must be positive");
+  VPD_REQUIRE(die_voltage.value > 0.0, "die voltage must be positive");
+  VPD_REQUIRE(pcb_voltage.value > die_voltage.value,
+              "PCB voltage must exceed die voltage");
+  VPD_REQUIRE(die_area.value > 0.0, "die area must be positive");
+}
+
+PowerDeliverySpec paper_system() {
+  PowerDeliverySpec spec;
+  spec.total_power = Power{1000.0};
+  spec.pcb_voltage = Voltage{48.0};
+  spec.die_voltage = Voltage{1.0};
+  spec.die_area = Area{500e-6};
+  return spec;
+}
+
+}  // namespace vpd

@@ -1,0 +1,33 @@
+// The system under study: a high-power, high-current-density integrated
+// system fed at 48 V from the PCB. The paper's headline configuration is
+// 1 kW delivered to a 500 mm^2 die at 1 V (1 kA, 2 A/mm^2).
+#pragma once
+
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+struct PowerDeliverySpec {
+  /// Power consumed at the points of load (the paper normalizes loss
+  /// percentages to this 1 kW budget).
+  Power total_power{Power{1000.0}};
+  Voltage pcb_voltage{Voltage{48.0}};
+  Voltage die_voltage{Voltage{1.0}};
+  Area die_area{Area{500e-6}};
+
+  Current die_current() const;
+  CurrentDensity current_density() const;
+  /// Side of the (square) die.
+  Length die_side() const;
+  /// Input current drawn from the 48 V feed for a given delivered power.
+  Current input_current(Power input_power) const;
+
+  /// Throws InvalidArgument unless all quantities are positive and
+  /// pcb_voltage > die_voltage.
+  void validate() const;
+};
+
+/// The paper's headline system: 1 kW, 48 V in, 1 V / 1 kA die, 500 mm^2.
+PowerDeliverySpec paper_system();
+
+}  // namespace vpd

@@ -1,0 +1,69 @@
+#include "vpd/core/trends.hpp"
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+using namespace vpd::literals;
+
+CurrentDensity HpcSystemPoint::current_density(Voltage core_voltage) const {
+  VPD_REQUIRE(core_voltage.value > 0.0, "core voltage must be positive");
+  VPD_REQUIRE(silicon_area.value > 0.0, "point '", name, "' has no area");
+  return CurrentDensity{power.value / core_voltage.value /
+                        silicon_area.value};
+}
+
+std::vector<HpcSystemPoint> hpc_chip_dataset() {
+  // Public TDP / die-size data for the accelerator generations the paper's
+  // Fig. 1 covers; PDS efficiencies are the estimates the figure encodes
+  // in marker size ([1]: >30% loss reported for state-of-the-art).
+  return {
+      {"NVIDIA V100", 2017, 300.0_W, 815.0_mm2, 0.87, false},
+      {"NVIDIA A100", 2020, 400.0_W, 826.0_mm2, 0.85, false},
+      {"NVIDIA H100", 2022, 700.0_W, 814.0_mm2, 0.80, false},
+      {"Google TPUv3", 2018, 220.0_W, 700.0_mm2, 0.88, false},
+      {"Google TPUv4", 2021, 275.0_W, 600.0_mm2, 0.86, false},
+      {"Tesla Dojo D1", 2021, 400.0_W, 645.0_mm2, 0.70, false},
+      {"AMD MI250X", 2021, 560.0_W, 1540.0_mm2, 0.84, false},
+      {"Intel PVC", 2022, 600.0_W, 1280.0_mm2, 0.82, false},
+      {"Graphcore GC200", 2020, 300.0_W, 823.0_mm2, 0.86, false},
+  };
+}
+
+std::vector<HpcSystemPoint> hpc_server_dataset() {
+  return {
+      {"NVIDIA DGX-1", 2017, 3.5_kW, Area{8 * 815e-6}, 0.85, true},
+      {"NVIDIA DGX A100", 2020, 6.5_kW, Area{8 * 826e-6}, 0.83, true},
+      {"NVIDIA DGX H100", 2022, 10.2_kW, Area{8 * 814e-6}, 0.80, true},
+      {"Google TPUv4 board", 2021, 1.7_kW, Area{4 * 600e-6}, 0.85, true},
+      {"Tesla Dojo tile", 2021, 15.0_kW, Area{25 * 645e-6}, 0.70, true},
+      {"Cerebras CS-2", 2021, 20.0_kW, Area{46225e-6}, 0.78, true},
+  };
+}
+
+std::vector<TrendPoint> current_demand_trend() {
+  // Intel-reported power density on a typical 200 mm^2 die at ~1 V core:
+  // current = density [W/mm^2] * 200 mm^2 / 1 V.
+  return {
+      {1990, 4.0},    {1995, 12.0},  {2000, 40.0},  {2005, 130.0},
+      {2010, 260.0},  {2015, 400.0}, {2020, 700.0}, {2023, 1000.0},
+  };
+}
+
+std::vector<TrendPoint> packaging_feature_trend() {
+  // Vertical-interconnect pitch after Iyer [12]: from wire-bond /
+  // early-BGA era (~800 um) to C4-class (~200 um) — only ~4x over the
+  // decades the current demand grew by ~250x.
+  return {
+      {1990, 800.0}, {1995, 650.0}, {2000, 500.0}, {2005, 400.0},
+      {2010, 300.0}, {2015, 250.0}, {2020, 225.0}, {2023, 200.0},
+  };
+}
+
+double trend_growth(const std::vector<TrendPoint>& trend) {
+  VPD_REQUIRE(trend.size() >= 2, "trend needs at least two points");
+  VPD_REQUIRE(trend.front().value != 0.0, "zero-valued first point");
+  return trend.back().value / trend.front().value;
+}
+
+}  // namespace vpd

@@ -1,0 +1,52 @@
+// Industry trend datasets behind the paper's motivation figures.
+//
+// Fig. 1 plots power and current-density demand of state-of-the-art HPC
+// chips and server systems, sized by power-delivery-system efficiency.
+// Fig. 2 plots decades of current-demand growth against the comparatively
+// flat packaging-feature scaling. Both are built from public data on the
+// systems the paper cites ([1][2][3] and the Intel/Iyer trends); the
+// curated datasets here are the reproduction's substitute for the
+// authors' spreadsheets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+struct HpcSystemPoint {
+  std::string name;
+  int year{0};
+  Power power{};
+  Area silicon_area{};          // die (chips) or aggregate silicon (systems)
+  double pds_efficiency{0.0};   // estimated power-delivery efficiency
+  bool is_server{false};
+
+  CurrentDensity current_density(Voltage core_voltage = Voltage{1.0}) const;
+};
+
+/// Individual accelerator chips (Fig. 1, left).
+std::vector<HpcSystemPoint> hpc_chip_dataset();
+/// Server/system-scale points (Fig. 1, right).
+std::vector<HpcSystemPoint> hpc_server_dataset();
+
+struct TrendPoint {
+  int year{0};
+  double value{0.0};
+};
+
+/// Fig. 2: die current demand [A] over time — Intel-reported power density
+/// on a typical 200 mm^2 die at ~1 V.
+std::vector<TrendPoint> current_demand_trend();
+
+/// Fig. 2: packaging feature size [um] over time (after Iyer [12]): the
+/// vertical-interconnect pitch that effectively sets PPDN resistance.
+std::vector<TrendPoint> packaging_feature_trend();
+
+/// Ratio of the last to first value of a trend (e.g. the paper's "current
+/// grew by orders of magnitude, packaging feature only ~4x").
+double trend_growth(const std::vector<TrendPoint>& trend);
+
+}  // namespace vpd

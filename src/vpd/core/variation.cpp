@@ -1,0 +1,81 @@
+#include "vpd/core/variation.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "vpd/common/error.hpp"
+#include "vpd/common/rng.hpp"
+
+namespace vpd {
+
+namespace {
+
+/// Lognormal multiplier with median 1 and shape sigma.
+double lognormal(Rng& rng, double sigma) {
+  return std::exp(sigma * rng.normal());
+}
+
+}  // namespace
+
+EfficiencyDistribution sample_converter_efficiency(
+    const QuadraticLossModel& model, Voltage v_out, Current load,
+    double target, const ConverterTolerance& tolerance,
+    std::size_t samples, std::uint64_t seed) {
+  VPD_REQUIRE(samples >= 2, "need at least 2 samples");
+  VPD_REQUIRE(target > 0.0 && target < 1.0, "target outside (0,1)");
+  VPD_REQUIRE(tolerance.fixed_loss_sigma >= 0.0 &&
+                  tolerance.conduction_loss_sigma >= 0.0,
+              "negative tolerance");
+  Rng rng(seed);
+  std::vector<double> peaks, at_load;
+  peaks.reserve(samples);
+  at_load.reserve(samples);
+  std::size_t pass = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const QuadraticLossModel perturbed = model.scaled(
+        lognormal(rng, tolerance.fixed_loss_sigma),
+        lognormal(rng, tolerance.conduction_loss_sigma));
+    peaks.push_back(perturbed.peak_efficiency(v_out));
+    const double eta = perturbed.efficiency(load, v_out);
+    at_load.push_back(eta);
+    if (eta >= target) ++pass;
+  }
+  EfficiencyDistribution d;
+  d.peak_efficiency = summarize(std::move(peaks));
+  d.efficiency_at_load = summarize(std::move(at_load));
+  d.yield = static_cast<double>(pass) / static_cast<double>(samples);
+  d.samples = samples;
+  return d;
+}
+
+LossDistribution sample_architecture_loss(
+    const PowerDeliverySpec& spec, ArchitectureKind architecture,
+    TopologyKind topology, DeviceTechnology tech,
+    const EvaluationOptions& base_options, double target_loss_fraction,
+    const SystemTolerance& tolerance, std::size_t samples,
+    std::uint64_t seed) {
+  VPD_REQUIRE(samples >= 2, "need at least 2 samples");
+  VPD_REQUIRE(target_loss_fraction > 0.0, "target must be positive");
+  Rng rng(seed);
+  std::vector<double> fractions;
+  fractions.reserve(samples);
+  std::size_t pass = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    EvaluationOptions opts = base_options;
+    opts.distribution_sheet_ohms *= lognormal(rng, tolerance.sheet_sigma);
+    opts.vr_attach_series = Resistance{
+        opts.vr_attach_series.value * lognormal(rng, tolerance.attach_sigma)};
+    const ArchitectureEvaluation eval =
+        evaluate_architecture(architecture, spec, topology, tech, opts);
+    const double f = eval.loss_fraction(spec.total_power);
+    fractions.push_back(f);
+    if (eval.within_rating && f <= target_loss_fraction) ++pass;
+  }
+  LossDistribution d;
+  d.loss_fraction = summarize(std::move(fractions));
+  d.yield = static_cast<double>(pass) / static_cast<double>(samples);
+  d.samples = samples;
+  return d;
+}
+
+}  // namespace vpd

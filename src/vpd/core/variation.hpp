@@ -1,0 +1,61 @@
+// Monte Carlo variation analysis: how manufacturing tolerance on the
+// converters and the PPDN propagates into the system loss budget. The
+// paper characterizes nominal designs; a deployable methodology also has
+// to bound the spread — this module samples lognormal perturbations of
+// the dominant loss parameters and reports distributions and yield.
+#pragma once
+
+#include <cstdint>
+
+#include "vpd/arch/evaluator.hpp"
+#include "vpd/common/statistics.hpp"
+#include "vpd/converters/loss_model.hpp"
+#include "vpd/core/spec.hpp"
+
+namespace vpd {
+
+/// Relative (lognormal sigma) tolerances on a converter's loss terms.
+struct ConverterTolerance {
+  double fixed_loss_sigma{0.10};       // gate/Coss/magnetics spread
+  double conduction_loss_sigma{0.08};  // Rds_on / DCR spread
+};
+
+struct EfficiencyDistribution {
+  Summary peak_efficiency;
+  Summary efficiency_at_load;
+  /// Fraction of samples meeting `target` at the load point.
+  double yield{0.0};
+  std::size_t samples{0};
+};
+
+/// Samples perturbed copies of `model` and evaluates the efficiency at
+/// the peak and at `load`; yield counts eta(load) >= target.
+EfficiencyDistribution sample_converter_efficiency(
+    const QuadraticLossModel& model, Voltage v_out, Current load,
+    double target, const ConverterTolerance& tolerance,
+    std::size_t samples = 1000, std::uint64_t seed = 1);
+
+/// Relative tolerances on the PPDN model's calibrated parameters.
+struct SystemTolerance {
+  double sheet_sigma{0.15};
+  double attach_sigma{0.20};
+};
+
+struct LossDistribution {
+  Summary loss_fraction;
+  /// Fraction of samples with loss fraction <= target.
+  double yield{0.0};
+  std::size_t samples{0};
+};
+
+/// Samples perturbed PPDN parameters around `base_options` and evaluates
+/// the architecture each time. Samples where the per-VR rating is
+/// violated are counted as yield failures.
+LossDistribution sample_architecture_loss(
+    const PowerDeliverySpec& spec, ArchitectureKind architecture,
+    TopologyKind topology, DeviceTechnology tech,
+    const EvaluationOptions& base_options, double target_loss_fraction,
+    const SystemTolerance& tolerance, std::size_t samples = 100,
+    std::uint64_t seed = 1);
+
+}  // namespace vpd

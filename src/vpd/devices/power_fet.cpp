@@ -1,0 +1,74 @@
+#include "vpd/devices/power_fet.hpp"
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+PowerFet::PowerFet(TechnologyParams tech, Voltage rating, Area area)
+    : tech_(std::move(tech)), rating_(rating), area_(area) {
+  VPD_REQUIRE(rating.value > 0.0, "rating must be positive, got ",
+              rating.value);
+  VPD_REQUIRE(area.value > 0.0, "area must be positive, got ", area.value);
+}
+
+PowerFet PowerFet::for_on_resistance(TechnologyParams tech, Voltage rating,
+                                     Resistance target) {
+  VPD_REQUIRE(target.value > 0.0, "target Rds_on must be positive, got ",
+              target.value);
+  const double ron_area = tech.specific_on_resistance_at(rating);
+  const Area area{ron_area / target.value};
+  return PowerFet(std::move(tech), rating, area);
+}
+
+PowerFet PowerFet::for_conduction_budget(TechnologyParams tech,
+                                         Voltage rating, Current rms_current,
+                                         Power budget) {
+  VPD_REQUIRE(rms_current.value > 0.0, "rms current must be positive, got ",
+              rms_current.value);
+  VPD_REQUIRE(budget.value > 0.0, "budget must be positive, got ",
+              budget.value);
+  const Resistance target{budget.value /
+                          (rms_current.value * rms_current.value)};
+  return for_on_resistance(std::move(tech), rating, target);
+}
+
+Resistance PowerFet::on_resistance() const {
+  return Resistance{tech_.specific_on_resistance_at(rating_) / area_.value};
+}
+
+Charge PowerFet::gate_charge() const {
+  return Charge{tech_.gate_charge_density * area_.value};
+}
+
+Capacitance PowerFet::output_capacitance() const {
+  return Capacitance{tech_.coss_density * area_.value};
+}
+
+Power PowerFet::conduction_loss(Current rms_current) const {
+  return Power{rms_current.value * rms_current.value *
+               on_resistance().value};
+}
+
+Power PowerFet::gate_loss(Frequency f) const {
+  VPD_REQUIRE(f.value >= 0.0, "negative frequency");
+  return Power{gate_charge().value * tech_.gate_drive.value * f.value};
+}
+
+Power PowerFet::coss_loss(Voltage switched_voltage, Frequency f) const {
+  VPD_REQUIRE(f.value >= 0.0, "negative frequency");
+  return Power{0.5 * output_capacitance().value * switched_voltage.value *
+               switched_voltage.value * f.value};
+}
+
+Power PowerFet::overlap_loss(Voltage switched_voltage,
+                             Current switched_current, Frequency f) const {
+  VPD_REQUIRE(f.value >= 0.0, "negative frequency");
+  const double t_transition =
+      tech_.transition_time_per_volt * switched_voltage.value;
+  return Power{switched_voltage.value * std::fabs(switched_current.value) *
+               t_transition * f.value};
+}
+
+}  // namespace vpd

@@ -1,0 +1,50 @@
+// A sized power FET: a technology instance committed to a voltage rating
+// and a die area. On-resistance and parasitics follow from the technology's
+// area-normalized parameters; factory helpers size devices for a target
+// on-resistance or a target conduction loss at a given RMS current.
+#pragma once
+
+#include "vpd/common/units.hpp"
+#include "vpd/devices/technology.hpp"
+
+namespace vpd {
+
+class PowerFet {
+ public:
+  /// Device of `area` die area rated for `rating`.
+  PowerFet(TechnologyParams tech, Voltage rating, Area area);
+
+  /// Sizes the device area to meet `target` on-resistance at `rating`.
+  static PowerFet for_on_resistance(TechnologyParams tech, Voltage rating,
+                                    Resistance target);
+
+  /// Sizes the device so conduction loss equals `budget` at `rms_current`.
+  static PowerFet for_conduction_budget(TechnologyParams tech, Voltage rating,
+                                        Current rms_current, Power budget);
+
+  const TechnologyParams& technology() const { return tech_; }
+  Voltage rating() const { return rating_; }
+  Area area() const { return area_; }
+
+  Resistance on_resistance() const;
+  Charge gate_charge() const;
+  Capacitance output_capacitance() const;
+
+  /// Conduction loss at a given RMS current.
+  Power conduction_loss(Current rms_current) const;
+  /// Gate-drive loss at switching frequency f: Qg * Vdrive * f.
+  Power gate_loss(Frequency f) const;
+  /// Output-capacitance loss: 1/2 * Coss * Vds^2 * f (hard switching).
+  Power coss_loss(Voltage switched_voltage, Frequency f) const;
+  /// V-I overlap loss for hard switching: Vds * I * t_transition * f
+  /// (one turn-on plus one turn-off per cycle folded into t_transition).
+  Power overlap_loss(Voltage switched_voltage, Current switched_current,
+                     Frequency f) const;
+
+ private:
+  TechnologyParams tech_;
+  Voltage rating_;
+  Area area_;
+};
+
+}  // namespace vpd

@@ -1,0 +1,46 @@
+#include "vpd/devices/switching_loss.hpp"
+
+#include "vpd/common/error.hpp"
+#include "vpd/common/interpolation.hpp"
+
+namespace vpd {
+
+SwitchingLossBreakdown cell_loss(const SwitchingCell& cell, Frequency f) {
+  VPD_REQUIRE(f.value >= 0.0, "negative frequency");
+  VPD_REQUIRE(cell.conduction_duty >= 0.0 && cell.conduction_duty <= 1.0,
+              "conduction duty ", cell.conduction_duty, " outside [0,1]");
+  SwitchingLossBreakdown b;
+  b.conduction = cell.device.conduction_loss(cell.rms_current) *
+                 cell.conduction_duty;
+  b.gate = cell.device.gate_loss(f);
+
+  double soft_factor = 1.0;
+  switch (cell.mode) {
+    case SwitchingMode::kHard: soft_factor = 1.0; break;
+    case SwitchingMode::kPartialSoft: soft_factor = 0.5; break;
+    case SwitchingMode::kFullSoft: soft_factor = 0.0; break;
+  }
+  b.overlap = cell.device.overlap_loss(cell.switched_voltage,
+                                       cell.switched_current, f) *
+              soft_factor;
+  b.coss = cell.device.coss_loss(cell.switched_voltage, f) * soft_factor;
+  return b;
+}
+
+Frequency optimal_frequency(const SwitchingCell& cell, Frequency f_lo,
+                            Frequency f_hi,
+                            double ripple_loss_coefficient) {
+  VPD_REQUIRE(f_lo.value > 0.0 && f_hi.value > f_lo.value,
+              "need 0 < f_lo < f_hi, got [", f_lo.value, ", ", f_hi.value,
+              "]");
+  VPD_REQUIRE(ripple_loss_coefficient >= 0.0,
+              "negative ripple loss coefficient");
+  const auto total = [&](double f) {
+    const SwitchingLossBreakdown b = cell_loss(cell, Frequency{f});
+    return b.total().value + ripple_loss_coefficient / (f * f);
+  };
+  return Frequency{minimize_golden(total, f_lo.value, f_hi.value,
+                                   1.0 /* Hz resolution */)};
+}
+
+}  // namespace vpd

@@ -1,0 +1,52 @@
+// Aggregate switching-cell loss model: one high-side / low-side style
+// switching position characterized by its device, switched voltage and
+// current, frequency, and soft-switching factor. Converter topologies sum a
+// handful of these plus passive losses to produce their efficiency curves.
+#pragma once
+
+#include "vpd/common/units.hpp"
+#include "vpd/devices/power_fet.hpp"
+
+namespace vpd {
+
+/// How much of the hard-switching overlap + Coss loss a topology actually
+/// pays at this switch position.
+enum class SwitchingMode {
+  kHard,          // full overlap + Coss loss
+  kPartialSoft,   // zero-voltage transitions on one edge (half the loss)
+  kFullSoft,      // resonant / ZVS both edges (overlap and Coss recovered)
+};
+
+struct SwitchingCell {
+  PowerFet device;
+  Voltage switched_voltage;   // drain swing when commutating
+  Current rms_current;        // RMS conduction current
+  Current switched_current;   // current at the switching instant
+  double conduction_duty{1.0};  // fraction of the period the device conducts
+  SwitchingMode mode{SwitchingMode::kHard};
+};
+
+struct SwitchingLossBreakdown {
+  Power conduction{0.0};
+  Power overlap{0.0};
+  Power coss{0.0};
+  Power gate{0.0};
+
+  Power total() const { return conduction + overlap + coss + gate; }
+};
+
+/// Loss of one switching cell at frequency f. Conduction loss scales with
+/// the conduction duty (RMS current is interpreted as the during-conduction
+/// RMS).
+SwitchingLossBreakdown cell_loss(const SwitchingCell& cell, Frequency f);
+
+/// Frequency that minimizes total cell loss: balances frequency-linear
+/// (gate + overlap + Coss) terms against nothing else here — included for
+/// completeness when a ripple-driven conduction term is added by the
+/// caller via `extra_conduction_vs_f` (loss that shrinks as 1/f^2, e.g.
+/// inductor ripple). Returns the golden-section minimizer on [f_lo, f_hi].
+Frequency optimal_frequency(const SwitchingCell& cell, Frequency f_lo,
+                            Frequency f_hi,
+                            double ripple_loss_coefficient /* W*Hz^2 */);
+
+}  // namespace vpd

@@ -1,0 +1,71 @@
+#include "vpd/devices/technology.hpp"
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+const char* to_string(DeviceTechnology tech) {
+  switch (tech) {
+    case DeviceTechnology::kSilicon: return "Si";
+    case DeviceTechnology::kGalliumNitride: return "GaN";
+  }
+  return "unknown";
+}
+
+double TechnologyParams::specific_on_resistance_at(Voltage rating) const {
+  VPD_REQUIRE(rating.value > 0.0, "rating must be positive, got ",
+              rating.value);
+  return specific_on_resistance *
+         std::pow(rating.value / reference_rating.value, rating_exponent);
+}
+
+double TechnologyParams::figure_of_merit() const {
+  // (Ron * A) * (Qg / A) = Ron * Qg, independent of device size.
+  return specific_on_resistance * gate_charge_density;
+}
+
+TechnologyParams silicon_technology() {
+  TechnologyParams p;
+  p.technology = DeviceTechnology::kSilicon;
+  p.name = "Si-100V";
+  p.reference_rating = Voltage{100.0};
+  // ~50 mOhm*mm^2 = 50e-9 Ohm*m^2 (trench/OptiMOS-class).
+  p.specific_on_resistance = 50e-9;
+  // ~8 nC/mm^2 = 8e-3 C/m^2.
+  p.gate_charge_density = 8e-3;
+  // ~1.5 nF/mm^2 = 1.5e-3 F/m^2.
+  p.coss_density = 1.5e-3;
+  p.rating_exponent = 2.3;  // near-Baliga scaling for vertical Si
+  p.gate_drive = Voltage{10.0};
+  p.transition_time_per_volt = 0.25e-9;  // ~25 ns swing at 100 V
+  return p;
+}
+
+TechnologyParams gan_technology() {
+  TechnologyParams p;
+  p.technology = DeviceTechnology::kGalliumNitride;
+  p.name = "GaN-100V";
+  p.reference_rating = Voltage{100.0};
+  // ~12 mOhm*mm^2 (lateral eGaN-class).
+  p.specific_on_resistance = 12e-9;
+  // ~3 nC/mm^2.
+  p.gate_charge_density = 3e-3;
+  // ~0.9 nF/mm^2.
+  p.coss_density = 0.9e-3;
+  p.rating_exponent = 1.9;  // flatter scaling for lateral GaN
+  p.gate_drive = Voltage{5.0};
+  p.transition_time_per_volt = 0.05e-9;  // ~5 ns swing at 100 V
+  return p;
+}
+
+TechnologyParams technology(DeviceTechnology tech) {
+  switch (tech) {
+    case DeviceTechnology::kSilicon: return silicon_technology();
+    case DeviceTechnology::kGalliumNitride: return gan_technology();
+  }
+  throw InvalidArgument("unknown device technology");
+}
+
+}  // namespace vpd

@@ -1,0 +1,66 @@
+// Power-transistor technology models. The paper contrasts Si and GaN power
+// devices for integrated voltage regulators: GaN's higher electron mobility
+// gives a ~10x better on-resistance x gate-charge figure of merit at the
+// 48-100 V ratings relevant here, enabling higher switching frequency at
+// equal loss (Section III of the paper).
+//
+// Parameters are area-normalized so devices can be sized to a target
+// on-resistance and their parasitics (gate charge, output capacitance)
+// follow. Values are representative of published 100 V-class parts
+// (e.g. EPC eGaN FETs and OptiMOS Si MOSFETs) and scale with voltage
+// rating by technology-specific exponents (Baliga-style).
+#pragma once
+
+#include <string>
+
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+enum class DeviceTechnology {
+  kSilicon,
+  kGalliumNitride,
+};
+
+const char* to_string(DeviceTechnology tech);
+
+/// Area-normalized technology parameters at a reference voltage rating.
+struct TechnologyParams {
+  DeviceTechnology technology{DeviceTechnology::kSilicon};
+  std::string name;
+
+  /// Reference voltage rating for the normalized values below.
+  Voltage reference_rating{Voltage{100.0}};
+  /// Specific on-resistance at the reference rating [Ohm * m^2].
+  /// (engineering shorthand: mOhm * mm^2 = 1e-9 Ohm*m^2)
+  double specific_on_resistance{0.0};
+  /// Gate charge per device area [C / m^2].
+  double gate_charge_density{0.0};
+  /// Output capacitance per device area [F / m^2].
+  double coss_density{0.0};
+  /// Exponent of specific Ron growth with voltage rating:
+  /// Ron*A ~ (V / Vref)^exponent.
+  double rating_exponent{2.0};
+  /// Gate-drive voltage swing.
+  Voltage gate_drive{Voltage{5.0}};
+  /// Effective switching transition time per volt of drain swing at the
+  /// reference gate drive [s/V]; sets V*I overlap loss.
+  double transition_time_per_volt{0.0};
+
+  /// Specific on-resistance at an arbitrary rating [Ohm * m^2].
+  double specific_on_resistance_at(Voltage rating) const;
+
+  /// On-resistance x gate charge figure of merit at the reference rating
+  /// [Ohm * C]; lower is better.
+  double figure_of_merit() const;
+};
+
+/// Representative 100 V silicon power MOSFET technology.
+TechnologyParams silicon_technology();
+
+/// Representative 100 V lateral GaN HEMT technology.
+TechnologyParams gan_technology();
+
+TechnologyParams technology(DeviceTechnology tech);
+
+}  // namespace vpd

@@ -1,0 +1,75 @@
+// Vertical interconnect library reproducing the paper's Table I: BGAs,
+// C4 bumps, TSVs, micro-bumps, and advanced Cu-Cu pads, with the exact
+// published geometry (diameter, cross-section, height, pitch, platform
+// area). Per-via resistance follows from rho * height / cross-section;
+// available counts from platform area / pitch^2.
+//
+// Per-via current limits are model inputs calibrated so the library
+// reproduces the paper's Section IV utilization statements (A0 needs a
+// ~1200 mm^2 die under the 60%/85% BGA/C4 caps; the vertical architectures
+// use ~1% of BGAs, ~2% of C4s, ~10% of TSVs, <20% of Cu pads). See
+// EXPERIMENTS.md for the calibration note.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+enum class InterconnectLevel {
+  kPcbToPackage,          // BGAs
+  kPackageToInterposer,   // C4 bumps
+  kThroughInterposer,     // TSVs
+  kInterposerToDieBump,   // micro-bumps
+  kInterposerToDiePad,    // advanced Cu-Cu pads
+};
+
+const char* to_string(InterconnectLevel level);
+
+struct VerticalInterconnectSpec {
+  InterconnectLevel level{};
+  std::string type;       // "BGA", "C4", "TSV", "u-bump", "Cu pad"
+  std::string material;   // "solder" or "Cu"
+  Area platform_area{};   // Table I platform area
+  Length diameter{};      // 0 for pads
+  Area cross_section{};
+  Length height{};
+  Length pitch{};
+  Resistivity resistivity{};
+  Current max_current_per_via{};  // calibrated EM/thermal limit
+  /// Fraction of the platform's vias that power delivery may occupy
+  /// (per net; the paper's 60% / 85% caps for BGAs / C4s).
+  double max_power_fraction{1.0};
+
+  /// Single-via resistance: rho * height / cross-section.
+  Resistance per_via() const;
+
+  /// Vias available on the full platform (pitch-limited).
+  std::size_t available_count() const;
+  /// Vias available over a sub-area (e.g. the die shadow).
+  std::size_t available_count(Area over) const;
+
+  /// Vias needed on the power net to carry `current` within the per-via
+  /// limit.
+  std::size_t vias_for_current(Current current) const;
+
+  /// Round-trip (power + ground) resistance when `vias_per_net` vias carry
+  /// each net: 2 * per_via / vias_per_net.
+  Resistance net_pair_resistance(std::size_t vias_per_net) const;
+};
+
+/// The paper's Table I, with calibrated per-via limits.
+std::vector<VerticalInterconnectSpec> table_one();
+
+/// Lookup by level. For the interposer/die interface, both the micro-bump
+/// and Cu-pad variants exist; select with the specific enum value.
+VerticalInterconnectSpec interconnect_spec(InterconnectLevel level);
+
+/// Solder (SAC-class) and copper resistivities used across the library.
+inline constexpr Resistivity kSolderResistivity{1.3e-7};  // Ohm*m
+inline constexpr Resistivity kCopperResistivity{1.7e-8};  // Ohm*m
+
+}  // namespace vpd

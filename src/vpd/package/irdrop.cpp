@@ -1,0 +1,92 @@
+#include "vpd/package/irdrop.hpp"
+
+#include <algorithm>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+Summary IrDropResult::vr_current_summary() const {
+  return summarize(vr_currents);
+}
+
+IrDropResult solve_irdrop(const GridMesh& mesh,
+                          const std::vector<VrAttachment>& vrs,
+                          const Vector& sink_currents) {
+  VPD_REQUIRE(!vrs.empty(), "need at least one VR attachment");
+  VPD_REQUIRE(sink_currents.size() == mesh.node_count(),
+              "sink vector has ", sink_currents.size(), " entries, mesh has ",
+              mesh.node_count(), " nodes");
+
+  TripletList t = mesh.laplacian();
+  Vector rhs(mesh.node_count(), 0.0);
+  for (std::size_t i = 0; i < sink_currents.size(); ++i) {
+    VPD_REQUIRE(sink_currents[i] >= 0.0, "negative sink at node ", i);
+    rhs[i] -= sink_currents[i];
+  }
+  for (const VrAttachment& vr : vrs) {
+    VPD_REQUIRE(vr.node < mesh.node_count(), "VR node ", vr.node,
+                " outside mesh");
+    VPD_REQUIRE(vr.series.value > 0.0,
+                "VR series resistance must be positive");
+    const double g = 1.0 / vr.series.value;
+    t.add(vr.node, vr.node, g);
+    rhs[vr.node] += g * vr.source_voltage.value;
+  }
+
+  const CsrMatrix a(t);
+  CgOptions opts;
+  opts.relative_tolerance = 1e-12;
+  const CgResult cg = solve_cg(a, rhs, opts);
+  VPD_CHECK_NUMERIC(cg.converged, "IR-drop CG did not converge: residual ",
+                    cg.residual_norm, " after ", cg.iterations,
+                    " iterations");
+
+  IrDropResult result;
+  result.node_voltages = cg.x;
+  result.vr_currents.reserve(vrs.size());
+  double series_loss = 0.0;
+  for (const VrAttachment& vr : vrs) {
+    const double i =
+        (vr.source_voltage.value - cg.x[vr.node]) / vr.series.value;
+    result.vr_currents.push_back(i);
+    series_loss += i * i * vr.series.value;
+  }
+  result.grid_loss = mesh.edge_loss(cg.x);
+  result.series_loss = Power{series_loss};
+  const auto [mn, mx] =
+      std::minmax_element(cg.x.begin(), cg.x.end());
+  result.min_node_voltage = Voltage{*mn};
+  result.max_node_voltage = Voltage{*mx};
+  return result;
+}
+
+Vector uniform_sinks(const GridMesh& mesh, Current total) {
+  VPD_REQUIRE(total.value >= 0.0, "negative total current");
+  return Vector(mesh.node_count(),
+                total.value / static_cast<double>(mesh.node_count()));
+}
+
+std::vector<VrAttachment> patch_attachment(const GridMesh& mesh, Length cx,
+                                           Length cy, Length patch_side,
+                                           Voltage source_voltage,
+                                           Resistance series) {
+  VPD_REQUIRE(patch_side.value > 0.0, "patch side must be positive");
+  VPD_REQUIRE(series.value > 0.0, "series resistance must be positive");
+  const double half = 0.5 * patch_side.value;
+  std::vector<std::size_t> nodes;
+  for (std::size_t i = 0; i < mesh.node_count(); ++i) {
+    const double dx = mesh.x_of(i).value - cx.value;
+    const double dy = mesh.y_of(i).value - cy.value;
+    if (std::fabs(dx) <= half + 1e-12 && std::fabs(dy) <= half + 1e-12)
+      nodes.push_back(i);
+  }
+  if (nodes.empty()) nodes.push_back(mesh.nearest_node(cx, cy));
+  std::vector<VrAttachment> legs;
+  legs.reserve(nodes.size());
+  const Resistance per_leg{series.value * static_cast<double>(nodes.size())};
+  for (std::size_t n : nodes) legs.push_back({n, source_voltage, per_leg});
+  return legs;
+}
+
+}  // namespace vpd

@@ -1,0 +1,59 @@
+// IR-drop analysis on a GridMesh: voltage regulators are Thevenin sources
+// (ideal voltage behind a series resistance — their output impedance plus
+// the vertical interconnect under them), loads are per-node current sinks.
+// Sources are folded in by Norton equivalence, keeping the system SPD for
+// the conjugate-gradient solver.
+//
+// Outputs: the node-voltage map, per-VR delivered currents (the paper's
+// A1 16-27 A vs A2 10-93 A load-sharing observation), the lateral-grid
+// loss, and the worst-case droop.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vpd/common/statistics.hpp"
+#include "vpd/package/mesh.hpp"
+
+namespace vpd {
+
+struct VrAttachment {
+  std::size_t node{0};       // mesh node the VR output lands on
+  Voltage source_voltage{};  // regulated output voltage
+  Resistance series{};       // VR output + vertical interconnect resistance
+};
+
+struct IrDropResult {
+  Vector node_voltages;            // per mesh node
+  std::vector<double> vr_currents; // per VR, amps (positive = sourcing)
+  Power grid_loss{};               // lateral mesh I^2 R
+  Power series_loss{};             // loss in the VR series resistances
+  Voltage min_node_voltage{};
+  Voltage max_node_voltage{};
+
+  /// Summary of the per-VR current spread.
+  Summary vr_current_summary() const;
+};
+
+/// Solves the mesh with the given sources and per-node sink currents
+/// (sink_currents[i] = current drawn at node i; size = mesh.node_count()).
+/// Throws InvalidArgument on shape errors and NumericalError if CG fails.
+IrDropResult solve_irdrop(const GridMesh& mesh,
+                          const std::vector<VrAttachment>& vrs,
+                          const Vector& sink_currents);
+
+/// Uniform per-node sinks totalling `total` over the mesh.
+Vector uniform_sinks(const GridMesh& mesh, Current total);
+
+/// Attaches one VR over a physical footprint instead of a point node: all
+/// mesh nodes within the square patch of side `patch_side` centered at
+/// (cx, cy) become attachment points, with the VR's series resistance
+/// distributed among them (n parallel legs of n * series each). A
+/// footprint attachment keeps the solution mesh-independent — a point
+/// source's spreading resistance diverges logarithmically with refinement.
+std::vector<VrAttachment> patch_attachment(const GridMesh& mesh, Length cx,
+                                           Length cy, Length patch_side,
+                                           Voltage source_voltage,
+                                           Resistance series);
+
+}  // namespace vpd

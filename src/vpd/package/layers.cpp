@@ -1,0 +1,80 @@
+#include "vpd/package/layers.hpp"
+
+#include "vpd/common/error.hpp"
+#include "vpd/package/interconnect.hpp"
+
+namespace vpd {
+
+using namespace vpd::literals;
+
+double MetalLayerSpec::sheet_resistance() const {
+  VPD_REQUIRE(thickness.value > 0.0 && plane_count >= 1, "layer '", name,
+              "': invalid geometry");
+  return resistivity.value / thickness.value / plane_count;
+}
+
+MetalLayerSpec pcb_power_planes() {
+  MetalLayerSpec m;
+  m.name = "pcb-planes";
+  m.thickness = 70.0_um;  // 2 oz copper
+  m.plane_count = 4;
+  m.resistivity = kCopperResistivity;
+  return m;
+}
+
+MetalLayerSpec package_power_planes() {
+  MetalLayerSpec m;
+  m.name = "pkg-planes";
+  m.thickness = 15.0_um;
+  m.plane_count = 4;
+  m.resistivity = kCopperResistivity;
+  return m;
+}
+
+MetalLayerSpec interposer_rdl() {
+  MetalLayerSpec m;
+  m.name = "interposer-rdl";
+  m.thickness = 3.0_um;
+  m.plane_count = 2;
+  m.resistivity = kCopperResistivity;
+  return m;
+}
+
+MetalLayerSpec die_grid() {
+  MetalLayerSpec m;
+  m.name = "die-grid";
+  m.thickness = 1.0_um;  // effective aggregate of the BEOL power grid
+  m.plane_count = 2;
+  m.resistivity = kCopperResistivity;
+  return m;
+}
+
+Resistance LateralSegment::resistance() const {
+  VPD_REQUIRE(squares >= 0.0, "segment '", name, "': negative squares");
+  return Resistance{layer.sheet_resistance() * squares};
+}
+
+Power LateralSegment::loss(Current current) const {
+  return Power{current.value * current.value * resistance().value};
+}
+
+LateralSegment pcb_lateral_segment() {
+  // VRM-to-socket run: ~35 mm long over a ~30 mm wide corridor, round trip
+  // (power + ground) doubles the squares. Together with the package and
+  // interposer segments this yields ~0.3 mOhm PCB-to-die lateral
+  // resistance — the "few milliohm / sub-milliohm PPDN" regime the paper
+  // describes, calibrated so A0 lands at its reported >40% total loss.
+  return LateralSegment{"pcb-lateral", pcb_power_planes(), 2.2};
+}
+
+LateralSegment package_lateral_segment() {
+  // Socket footprint to die shadow: short but on thin build-up copper.
+  return LateralSegment{"pkg-lateral", package_power_planes(), 0.45};
+}
+
+LateralSegment interposer_lateral_segment() {
+  // Redistribution from the C4 field to the die footprint.
+  return LateralSegment{"interposer-lateral", interposer_rdl(), 0.015};
+}
+
+}  // namespace vpd

@@ -1,0 +1,53 @@
+// Lateral ("horizontal") interconnect: the laterally-routed portions of the
+// board-to-die path whose I^2 R loss dominates traditional PCB-level power
+// delivery (the paper's central observation). Each packaging level is
+// modeled as copper sheets of a given thickness with some number of
+// paralleled planes/layers; a routed segment is characterized by its
+// square count (length / width).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+struct MetalLayerSpec {
+  std::string name;
+  Length thickness{};       // per plane
+  unsigned plane_count{1};  // paralleled planes
+  Resistivity resistivity{};
+
+  /// Sheet resistance of the paralleled stack [Ohm/sq].
+  double sheet_resistance() const;
+};
+
+/// Representative stacks per packaging level.
+MetalLayerSpec pcb_power_planes();        // 2-oz copper, 4 planes
+MetalLayerSpec package_power_planes();    // 15 um build-up, 4 layers
+MetalLayerSpec interposer_rdl();          // 3 um RDL, 2 layers
+MetalLayerSpec die_grid();                // BEOL power grid, effective
+
+/// A lateral routed segment: `squares` = length / effective width.
+struct LateralSegment {
+  std::string name;
+  MetalLayerSpec layer;
+  double squares{0.0};
+
+  Resistance resistance() const;
+  Power loss(Current current) const;
+};
+
+/// The default lateral segments of the full PCB-to-die path, calibrated so
+/// the reference architecture A0 reproduces the paper's >40% total loss
+/// (see DESIGN.md section 5 and EXPERIMENTS.md).
+///
+/// Segment geometry: the PCB run is VRM-to-socket routing; the package
+/// spread is socket-to-die-shadow; the interposer spread covers
+/// redistribution under the die.
+LateralSegment pcb_lateral_segment();
+LateralSegment package_lateral_segment();
+LateralSegment interposer_lateral_segment();
+
+}  // namespace vpd

@@ -1,0 +1,107 @@
+#include "vpd/package/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+GridMesh::GridMesh(Length width, Length height, std::size_t nx,
+                   std::size_t ny, double sheet_ohms_per_square)
+    : width_(width), height_(height), nx_(nx), ny_(ny),
+      sheet_(sheet_ohms_per_square) {
+  VPD_REQUIRE(width.value > 0.0 && height.value > 0.0,
+              "mesh extent must be positive");
+  VPD_REQUIRE(nx >= 2 && ny >= 2, "mesh needs at least 2x2 nodes, got ", nx,
+              "x", ny);
+  VPD_REQUIRE(sheet_ohms_per_square > 0.0,
+              "sheet resistance must be positive");
+  // Edge resistances: a horizontal edge spans dx = width/(nx-1) and carries
+  // a strip of height dy = height/(ny-1)... strip width is the node
+  // spacing in the transverse direction.
+  const double dx = width.value / static_cast<double>(nx - 1);
+  const double dy = height.value / static_cast<double>(ny - 1);
+  gx_ = dy / (sheet_ * dx);  // conductance = width / (Rs * length)
+  gy_ = dx / (sheet_ * dy);
+}
+
+std::size_t GridMesh::node(std::size_t ix, std::size_t iy) const {
+  VPD_REQUIRE(ix < nx_ && iy < ny_, "grid index (", ix, ",", iy,
+              ") outside ", nx_, "x", ny_);
+  return iy * nx_ + ix;
+}
+
+Length GridMesh::x_of(std::size_t node_index) const {
+  VPD_REQUIRE(node_index < node_count(), "node index out of range");
+  const std::size_t ix = node_index % nx_;
+  return Length{width_.value * static_cast<double>(ix) /
+                static_cast<double>(nx_ - 1)};
+}
+
+Length GridMesh::y_of(std::size_t node_index) const {
+  VPD_REQUIRE(node_index < node_count(), "node index out of range");
+  const std::size_t iy = node_index / nx_;
+  return Length{height_.value * static_cast<double>(iy) /
+                static_cast<double>(ny_ - 1)};
+}
+
+std::size_t GridMesh::nearest_node(Length x, Length y) const {
+  const double fx = std::clamp(x.value / width_.value, 0.0, 1.0);
+  const double fy = std::clamp(y.value / height_.value, 0.0, 1.0);
+  const auto ix = static_cast<std::size_t>(
+      std::lround(fx * static_cast<double>(nx_ - 1)));
+  const auto iy = static_cast<std::size_t>(
+      std::lround(fy * static_cast<double>(ny_ - 1)));
+  return node(ix, iy);
+}
+
+double GridMesh::edge_conductance_x() const { return gx_; }
+double GridMesh::edge_conductance_y() const { return gy_; }
+
+TripletList GridMesh::laplacian() const {
+  TripletList t(node_count(), node_count());
+  for (std::size_t iy = 0; iy < ny_; ++iy) {
+    for (std::size_t ix = 0; ix < nx_; ++ix) {
+      const std::size_t a = node(ix, iy);
+      if (ix + 1 < nx_) {
+        const std::size_t b = node(ix + 1, iy);
+        t.add(a, a, gx_);
+        t.add(b, b, gx_);
+        t.add(a, b, -gx_);
+        t.add(b, a, -gx_);
+      }
+      if (iy + 1 < ny_) {
+        const std::size_t b = node(ix, iy + 1);
+        t.add(a, a, gy_);
+        t.add(b, b, gy_);
+        t.add(a, b, -gy_);
+        t.add(b, a, -gy_);
+      }
+    }
+  }
+  return t;
+}
+
+Power GridMesh::edge_loss(const Vector& node_voltages) const {
+  VPD_REQUIRE(node_voltages.size() == node_count(),
+              "solution has ", node_voltages.size(), " entries, mesh has ",
+              node_count(), " nodes");
+  double loss = 0.0;
+  for (std::size_t iy = 0; iy < ny_; ++iy) {
+    for (std::size_t ix = 0; ix < nx_; ++ix) {
+      const std::size_t a = node(ix, iy);
+      if (ix + 1 < nx_) {
+        const double dv = node_voltages[a] - node_voltages[node(ix + 1, iy)];
+        loss += dv * dv * gx_;
+      }
+      if (iy + 1 < ny_) {
+        const double dv = node_voltages[a] - node_voltages[node(ix, iy + 1)];
+        loss += dv * dv * gy_;
+      }
+    }
+  }
+  return Power{loss};
+}
+
+}  // namespace vpd

@@ -1,0 +1,60 @@
+// 2-D resistive grid model of an on-die / on-interposer power rail. Nodes
+// sit on a regular nx x ny lattice over the die footprint; horizontal and
+// vertical edges carry the sheet conductance. Used to compute the lateral
+// distribution loss on the 1 V net and the per-VR load sharing that the
+// paper reports for architectures A1 (16-27 A per VR) and A2 (10-93 A).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vpd/common/sparse.hpp"
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+class GridMesh {
+ public:
+  /// A `width` x `height` sheet discretized into nx x ny nodes with sheet
+  /// resistance `sheet_ohms_per_square` [Ohm/sq]. nx, ny >= 2.
+  GridMesh(Length width, Length height, std::size_t nx, std::size_t ny,
+           double sheet_ohms_per_square);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t node_count() const { return nx_ * ny_; }
+  Length width() const { return width_; }
+  Length height() const { return height_; }
+  double sheet_resistance() const { return sheet_; }
+
+  /// Node index at grid coordinates (ix, iy).
+  std::size_t node(std::size_t ix, std::size_t iy) const;
+
+  /// Physical position of a node (cell centers, origin at the die corner).
+  Length x_of(std::size_t node_index) const;
+  Length y_of(std::size_t node_index) const;
+
+  /// Nearest node to a physical position.
+  std::size_t nearest_node(Length x, Length y) const;
+
+  /// Conductance of one horizontal/vertical edge.
+  double edge_conductance_x() const;
+  double edge_conductance_y() const;
+
+  /// Grid Laplacian (no shunts): SPD after at least one shunt is added.
+  TripletList laplacian() const;
+
+  /// I^2 R loss summed over all edges for a given node-voltage solution.
+  Power edge_loss(const Vector& node_voltages) const;
+
+ private:
+  Length width_;
+  Length height_;
+  std::size_t nx_;
+  std::size_t ny_;
+  double sheet_;
+  double gx_;  // per-edge conductance, x-direction
+  double gy_;
+};
+
+}  // namespace vpd

@@ -1,0 +1,121 @@
+#include "vpd/package/stacked_mesh.hpp"
+
+#include <algorithm>
+
+#include "vpd/common/error.hpp"
+#include "vpd/package/irdrop.hpp"
+
+namespace vpd {
+
+StackedMesh::StackedMesh(Length die_side, std::size_t n,
+                         double interposer_sheet_ohms,
+                         double die_sheet_ohms,
+                         Resistance via_resistance_per_node)
+    : interposer_(die_side, die_side, n, n, interposer_sheet_ohms),
+      die_(die_side, die_side, n, n, die_sheet_ohms),
+      g_via_(0.0) {
+  VPD_REQUIRE(via_resistance_per_node.value > 0.0,
+              "via resistance must be positive");
+  g_via_ = 1.0 / via_resistance_per_node.value;
+}
+
+std::size_t StackedMesh::node(unsigned layer, std::size_t ix,
+                              std::size_t iy) const {
+  VPD_REQUIRE(layer <= 1, "layer must be 0 or 1");
+  return layer * nodes_per_layer() + interposer_.node(ix, iy);
+}
+
+const GridMesh& StackedMesh::grid(unsigned layer) const {
+  VPD_REQUIRE(layer <= 1, "layer must be 0 or 1");
+  return layer == 0 ? interposer_ : die_;
+}
+
+TripletList StackedMesh::laplacian() const {
+  const std::size_t per_layer = nodes_per_layer();
+  TripletList t(node_count(), node_count());
+  for (unsigned layer = 0; layer <= 1; ++layer) {
+    const TripletList sub = grid(layer).laplacian();
+    const std::size_t offset = layer * per_layer;
+    for (const auto& e : sub.entries())
+      t.add(e.row + offset, e.col + offset, e.value);
+  }
+  for (std::size_t i = 0; i < per_layer; ++i) {
+    t.add(i, i, g_via_);
+    t.add(i + per_layer, i + per_layer, g_via_);
+    t.add(i, i + per_layer, -g_via_);
+    t.add(i + per_layer, i, -g_via_);
+  }
+  return t;
+}
+
+StackedMesh::LayerLosses StackedMesh::losses(
+    const Vector& node_voltages) const {
+  VPD_REQUIRE(node_voltages.size() == node_count(), "solution has ",
+              node_voltages.size(), " entries, mesh has ", node_count());
+  const std::size_t per_layer = nodes_per_layer();
+  LayerLosses losses;
+  const Vector interposer_v(node_voltages.begin(),
+                            node_voltages.begin() +
+                                static_cast<long>(per_layer));
+  const Vector die_v(node_voltages.begin() + static_cast<long>(per_layer),
+                     node_voltages.end());
+  losses.interposer_lateral = interposer_.edge_loss(interposer_v);
+  losses.die_lateral = die_.edge_loss(die_v);
+  double via = 0.0;
+  for (std::size_t i = 0; i < per_layer; ++i) {
+    const double dv = interposer_v[i] - die_v[i];
+    via += dv * dv * g_via_;
+  }
+  losses.via_field = Power{via};
+  return losses;
+}
+
+StackedIrDropResult solve_stacked_irdrop(
+    const StackedMesh& mesh, const std::vector<VrAttachment>& vrs,
+    const Vector& die_sinks) {
+  VPD_REQUIRE(!vrs.empty(), "need at least one VR attachment");
+  VPD_REQUIRE(die_sinks.size() == mesh.nodes_per_layer(),
+              "die sinks have ", die_sinks.size(), " entries, layer has ",
+              mesh.nodes_per_layer(), " nodes");
+  const std::size_t per_layer = mesh.nodes_per_layer();
+
+  TripletList t = mesh.laplacian();
+  Vector rhs(mesh.node_count(), 0.0);
+  for (std::size_t i = 0; i < per_layer; ++i) {
+    VPD_REQUIRE(die_sinks[i] >= 0.0, "negative sink at die node ", i);
+    rhs[i + per_layer] -= die_sinks[i];
+  }
+  for (const VrAttachment& vr : vrs) {
+    VPD_REQUIRE(vr.node < per_layer,
+                "VR attachments must land on the interposer layer");
+    VPD_REQUIRE(vr.series.value > 0.0, "VR series must be positive");
+    const double g = 1.0 / vr.series.value;
+    t.add(vr.node, vr.node, g);
+    rhs[vr.node] += g * vr.source_voltage.value;
+  }
+
+  const CsrMatrix a(t);
+  CgOptions opts;
+  opts.relative_tolerance = 1e-12;
+  const CgResult cg = solve_cg(a, rhs, opts);
+  VPD_CHECK_NUMERIC(cg.converged,
+                    "stacked IR-drop CG did not converge: residual ",
+                    cg.residual_norm);
+
+  StackedIrDropResult result;
+  result.node_voltages = cg.x;
+  result.losses = mesh.losses(cg.x);
+  double attach = 0.0;
+  for (const VrAttachment& vr : vrs) {
+    const double i =
+        (vr.source_voltage.value - cg.x[vr.node]) / vr.series.value;
+    result.vr_currents.push_back(i);
+    attach += i * i * vr.series.value;
+  }
+  result.attach_loss = Power{attach};
+  result.min_die_voltage = Voltage{*std::min_element(
+      cg.x.begin() + static_cast<long>(per_layer), cg.x.end())};
+  return result;
+}
+
+}  // namespace vpd

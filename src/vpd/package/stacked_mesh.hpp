@@ -1,0 +1,73 @@
+// Two-layer PDN mesh: the interposer power metal and the die grid as
+// separate 2-D sheets coupled node-by-node through the interposer/die via
+// field (micro-bumps or Cu-Cu pads). A step up in fidelity from the
+// single effective sheet used in the Fig. 7 evaluation: VR outputs attach
+// to the interposer layer, loads draw from the die layer, and the solver
+// reports where the lateral loss actually occurs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vpd/common/sparse.hpp"
+#include "vpd/common/statistics.hpp"
+#include "vpd/common/units.hpp"
+#include "vpd/package/irdrop.hpp"
+#include "vpd/package/mesh.hpp"
+
+namespace vpd {
+
+class StackedMesh {
+ public:
+  /// Square die of side `die_side`, n x n nodes per layer. Layer 0 is the
+  /// interposer sheet, layer 1 the die grid; `via_resistance_per_node` is
+  /// the round-trip (power+ground) resistance of each node's share of the
+  /// interposer/die via field.
+  StackedMesh(Length die_side, std::size_t n, double interposer_sheet_ohms,
+              double die_sheet_ohms, Resistance via_resistance_per_node);
+
+  std::size_t nodes_per_layer() const { return grid(0).node_count(); }
+  std::size_t node_count() const { return 2 * nodes_per_layer(); }
+  /// Global node index of (layer, ix, iy).
+  std::size_t node(unsigned layer, std::size_t ix, std::size_t iy) const;
+  /// The layer's grid geometry (0 = interposer, 1 = die).
+  const GridMesh& grid(unsigned layer) const;
+
+  double via_conductance() const { return g_via_; }
+
+  /// Laplacian over both layers plus the inter-layer via conductances.
+  TripletList laplacian() const;
+
+  /// Per-region I^2 R losses of a node-voltage solution.
+  struct LayerLosses {
+    Power interposer_lateral{};
+    Power die_lateral{};
+    Power via_field{};
+    Power total() const {
+      return interposer_lateral + die_lateral + via_field;
+    }
+  };
+  LayerLosses losses(const Vector& node_voltages) const;
+
+ private:
+  GridMesh interposer_;
+  GridMesh die_;
+  double g_via_;
+};
+
+struct StackedIrDropResult {
+  Vector node_voltages;            // size = mesh.node_count()
+  std::vector<double> vr_currents; // per attachment leg
+  StackedMesh::LayerLosses losses;
+  Power attach_loss{};             // in the VR series resistances
+  Voltage min_die_voltage{};       // worst POL node on the die layer
+};
+
+/// Solves the stacked mesh: VR attachments reference interposer-layer
+/// node indices (global indices < nodes_per_layer), sinks are per-die-
+/// layer-node currents (size = nodes_per_layer).
+StackedIrDropResult solve_stacked_irdrop(
+    const StackedMesh& mesh, const std::vector<VrAttachment>& vrs,
+    const Vector& die_sinks);
+
+}  // namespace vpd

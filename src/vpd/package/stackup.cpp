@@ -1,0 +1,63 @@
+#include "vpd/package/stackup.hpp"
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+void PowerPath::add_vertical(const VerticalInterconnectSpec& spec,
+                             Current current,
+                             std::optional<std::size_t> vias_override) {
+  VPD_REQUIRE(current.value > 0.0, "stage current must be positive");
+  const std::size_t vias =
+      vias_override.value_or(spec.vias_for_current(current));
+  VPD_REQUIRE(vias > 0, "need at least one via for stage '", spec.type, "'");
+  PathStage stage;
+  stage.name = spec.type;
+  stage.resistance = spec.net_pair_resistance(vias);
+  stage.current = current;
+  stage.vertical = true;
+  stage.vias_per_net = vias;
+  stages_.push_back(std::move(stage));
+}
+
+void PowerPath::add_lateral(const LateralSegment& segment, Current current) {
+  VPD_REQUIRE(current.value > 0.0, "stage current must be positive");
+  PathStage stage;
+  stage.name = segment.name;
+  stage.resistance = segment.resistance();
+  stage.current = current;
+  stage.vertical = false;
+  stages_.push_back(std::move(stage));
+}
+
+void PowerPath::add_stage(PathStage stage) {
+  VPD_REQUIRE(stage.resistance.value >= 0.0 && stage.current.value >= 0.0,
+              "invalid stage '", stage.name, "'");
+  stages_.push_back(std::move(stage));
+}
+
+Power PowerPath::vertical_loss() const {
+  Power total{0.0};
+  for (const PathStage& s : stages_)
+    if (s.vertical) total += s.loss();
+  return total;
+}
+
+Power PowerPath::lateral_loss() const {
+  Power total{0.0};
+  for (const PathStage& s : stages_)
+    if (!s.vertical) total += s.loss();
+  return total;
+}
+
+Power PowerPath::total_loss() const {
+  return vertical_loss() + lateral_loss();
+}
+
+Voltage PowerPath::total_drop() const {
+  Voltage total{0.0};
+  for (const PathStage& s : stages_) total += s.drop();
+  return total;
+}
+
+}  // namespace vpd

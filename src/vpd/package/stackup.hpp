@@ -1,0 +1,54 @@
+// PCB-to-POL power path assembly: an ordered list of stages (vertical
+// interconnect fields and lateral routed segments), each carrying a known
+// current set by where in the stack voltage conversion happens. Summing
+// stage I^2 R gives the PPDN loss split the paper's Fig. 7 reports
+// (vertical vs horizontal).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vpd/common/units.hpp"
+#include "vpd/package/interconnect.hpp"
+#include "vpd/package/layers.hpp"
+
+namespace vpd {
+
+struct PathStage {
+  std::string name;
+  Resistance resistance{};
+  Current current{};
+  bool vertical{false};
+  std::size_t vias_per_net{0};  // 0 for lateral stages
+
+  Power loss() const { return current * current * resistance; }
+  Voltage drop() const { return current * resistance; }
+};
+
+class PowerPath {
+ public:
+  /// Appends a vertical interconnect stage carrying `current`. The number
+  /// of vias per net defaults to the current-limit-driven count; pass
+  /// `vias_override` to model a specific allocation.
+  void add_vertical(const VerticalInterconnectSpec& spec, Current current,
+                    std::optional<std::size_t> vias_override = std::nullopt);
+
+  /// Appends a lateral routed segment carrying `current`.
+  void add_lateral(const LateralSegment& segment, Current current);
+
+  void add_stage(PathStage stage);
+
+  const std::vector<PathStage>& stages() const { return stages_; }
+
+  Power vertical_loss() const;
+  Power lateral_loss() const;
+  Power total_loss() const;
+  Voltage total_drop() const;
+
+ private:
+  std::vector<PathStage> stages_;
+};
+
+}  // namespace vpd

@@ -1,0 +1,43 @@
+#include "vpd/package/utilization.hpp"
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+UtilizationRow utilization_for(const VerticalInterconnectSpec& spec,
+                               Current current, std::optional<Area> over) {
+  VPD_REQUIRE(current.value > 0.0, "current must be positive");
+  UtilizationRow row;
+  row.level = spec.level;
+  row.type = spec.type;
+  row.current = current;
+  row.available = spec.available_count(over.value_or(spec.platform_area));
+  row.used_per_net = spec.vias_for_current(current);
+  VPD_REQUIRE(row.available > 0, "no vias available for '", spec.type, "'");
+  row.fraction = static_cast<double>(row.used_per_net) /
+                 static_cast<double>(row.available);
+  row.feasible = row.fraction <= spec.max_power_fraction;
+  return row;
+}
+
+Area min_area_for_current(const VerticalInterconnectSpec& spec,
+                          Current current) {
+  VPD_REQUIRE(current.value > 0.0, "current must be positive");
+  const auto vias = static_cast<double>(spec.vias_for_current(current));
+  const double pitch_cell = spec.pitch.value * spec.pitch.value;
+  return Area{vias * pitch_cell / spec.max_power_fraction};
+}
+
+std::vector<UtilizationRow> utilization_report(
+    const std::vector<LevelCurrent>& levels) {
+  std::vector<UtilizationRow> rows;
+  rows.reserve(levels.size());
+  for (const LevelCurrent& lc : levels)
+    rows.push_back(
+        utilization_for(interconnect_spec(lc.level), lc.current, lc.over));
+  return rows;
+}
+
+}  // namespace vpd

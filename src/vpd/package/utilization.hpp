@@ -1,0 +1,50 @@
+// Vertical-interconnect utilization and feasibility analysis, reproducing
+// the paper's Section IV statements: under 60% / 85% BGA / C4 power
+// allocation caps the reference architecture needs a ~1200 mm^2 die to
+// sink 1 kA (0.8 A/mm^2), while vertical power delivery serves a 500 mm^2
+// die (2 A/mm^2) using ~1% of BGAs, ~2% of C4s, ~10% of TSVs and <20% of
+// the advanced Cu-Cu pads.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vpd/common/units.hpp"
+#include "vpd/package/interconnect.hpp"
+
+namespace vpd {
+
+struct UtilizationRow {
+  InterconnectLevel level{};
+  std::string type;
+  Current current{};              // current carried at this level
+  std::size_t available{0};       // vias on the (sub-)platform
+  std::size_t used_per_net{0};    // power-net vias required
+  double fraction{0.0};           // used / available
+  bool feasible{false};           // fraction <= max_power_fraction
+};
+
+/// Utilization of one interconnect level carrying `current`, counted over
+/// the full Table I platform or a sub-area (e.g. the die shadow).
+UtilizationRow utilization_for(const VerticalInterconnectSpec& spec,
+                               Current current,
+                               std::optional<Area> over = std::nullopt);
+
+/// Smallest platform area over which `spec` can carry `current` within
+/// both the per-via limit and the power-allocation cap.
+Area min_area_for_current(const VerticalInterconnectSpec& spec,
+                          Current current);
+
+/// Utilization report for a full delivery scenario: per-level currents are
+/// supplied by the architecture evaluator.
+struct LevelCurrent {
+  InterconnectLevel level{};
+  Current current{};
+  std::optional<Area> over;  // defaults to the Table I platform area
+};
+
+std::vector<UtilizationRow> utilization_report(
+    const std::vector<LevelCurrent>& levels);
+
+}  // namespace vpd

@@ -1,0 +1,83 @@
+#include "vpd/passives/capacitor.hpp"
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+const char* to_string(CapacitorIntegration integration) {
+  switch (integration) {
+    case CapacitorIntegration::kDiscreteMlcc: return "discrete-mlcc";
+    case CapacitorIntegration::kDeepTrench: return "deep-trench";
+    case CapacitorIntegration::kPlanarEmbedded: return "planar-embedded";
+  }
+  return "unknown";
+}
+
+CapacitorTechnology mlcc_technology() {
+  CapacitorTechnology t;
+  t.integration = CapacitorIntegration::kDiscreteMlcc;
+  t.name = "MLCC";
+  t.capacitance_density = 10e-6 / 1e-6;   // ~10 uF per mm^2 footprint
+  t.esr_coefficient = 2e-3 * 22e-6;       // 22 uF part -> ~2 mOhm
+  t.bias_derating = 0.55;                 // class-II ceramic at rated bias
+  t.max_rating = Voltage{100.0};
+  return t;
+}
+
+CapacitorTechnology deep_trench_technology() {
+  CapacitorTechnology t;
+  t.integration = CapacitorIntegration::kDeepTrench;
+  t.name = "deep-trench";
+  t.capacitance_density = 1e-6 / 1e-6;    // ~1 uF per mm^2
+  t.esr_coefficient = 5e-3 * 1e-6;        // 1 uF -> ~5 mOhm
+  t.bias_derating = 0.95;
+  t.max_rating = Voltage{14.0};
+  return t;
+}
+
+CapacitorTechnology planar_embedded_technology() {
+  CapacitorTechnology t;
+  t.integration = CapacitorIntegration::kPlanarEmbedded;
+  t.name = "planar-embedded";
+  t.capacitance_density = 50e-9 / 1e-6;   // ~50 nF per mm^2
+  t.esr_coefficient = 10e-3 * 100e-9;     // 100 nF -> ~10 mOhm
+  t.bias_derating = 0.98;
+  t.max_rating = Voltage{60.0};
+  return t;
+}
+
+Capacitor::Capacitor(CapacitorTechnology tech, Capacitance nominal,
+                     Voltage rating)
+    : tech_(std::move(tech)), nominal_(nominal), rating_(rating) {
+  VPD_REQUIRE(nominal.value > 0.0, "capacitance must be positive, got ",
+              nominal.value);
+  VPD_REQUIRE(rating.value > 0.0, "rating must be positive");
+  VPD_REQUIRE(rating.value <= tech_.max_rating.value, "rating ", rating.value,
+              " V exceeds technology '", tech_.name, "' limit ",
+              tech_.max_rating.value, " V");
+  VPD_REQUIRE(tech_.capacitance_density > 0.0 && tech_.esr_coefficient > 0.0,
+              "technology '", tech_.name, "' has non-positive parameters");
+}
+
+Capacitance Capacitor::effective() const {
+  return Capacitance{nominal_.value * tech_.bias_derating};
+}
+
+Area Capacitor::footprint() const {
+  return Area{nominal_.value / tech_.capacitance_density};
+}
+
+Resistance Capacitor::esr() const {
+  return Resistance{tech_.esr_coefficient / nominal_.value};
+}
+
+Power Capacitor::loss(Current ripple_rms) const {
+  VPD_REQUIRE(ripple_rms.value >= 0.0, "negative ripple current");
+  return Power{ripple_rms.value * ripple_rms.value * esr().value};
+}
+
+Energy Capacitor::stored_energy(Voltage bias) const {
+  return Energy{0.5 * effective().value * bias.value * bias.value};
+}
+
+}  // namespace vpd

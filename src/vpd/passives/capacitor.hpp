@@ -1,0 +1,64 @@
+// Capacitor models for integrated voltage regulators: discrete MLCCs,
+// silicon deep-trench capacitors (interposer-embeddable), and planar
+// build-up capacitors. Capacitance density and ESR set the area cost and
+// loss of the flying/decoupling banks in the converter topologies.
+#pragma once
+
+#include <string>
+
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+enum class CapacitorIntegration {
+  kDiscreteMlcc,      // surface-mount MLCC (PCB / interposer top)
+  kDeepTrench,        // Si deep-trench, in-interposer
+  kPlanarEmbedded,    // laminate build-up planar capacitor
+};
+
+const char* to_string(CapacitorIntegration integration);
+
+struct CapacitorTechnology {
+  CapacitorIntegration integration{CapacitorIntegration::kDiscreteMlcc};
+  std::string name;
+  /// Capacitance per footprint area [F/m^2].
+  double capacitance_density{0.0};
+  /// ESR coefficient: esr = coefficient / C [Ohm * F].
+  double esr_coefficient{0.0};
+  /// Fraction of nominal capacitance retained at rated DC bias (MLCC
+  /// class-II ceramics derate heavily; trench and planar caps barely).
+  double bias_derating{1.0};
+  Voltage max_rating{Voltage{100.0}};
+};
+
+CapacitorTechnology mlcc_technology();
+CapacitorTechnology deep_trench_technology();
+CapacitorTechnology planar_embedded_technology();
+
+class Capacitor {
+ public:
+  Capacitor(CapacitorTechnology tech, Capacitance nominal, Voltage rating);
+
+  const CapacitorTechnology& technology() const { return tech_; }
+  Capacitance nominal() const { return nominal_; }
+  Voltage rating() const { return rating_; }
+
+  /// Capacitance at full rated DC bias.
+  Capacitance effective() const;
+
+  Area footprint() const;
+  Resistance esr() const;
+
+  /// ESR loss at a given RMS ripple current.
+  Power loss(Current ripple_rms) const;
+
+  /// Energy stored at a given bias voltage: C_eff * V^2 / 2.
+  Energy stored_energy(Voltage bias) const;
+
+ private:
+  CapacitorTechnology tech_;
+  Capacitance nominal_;
+  Voltage rating_;
+};
+
+}  // namespace vpd

@@ -1,0 +1,74 @@
+// Inductor models for integrated voltage regulators. The key constraint the
+// paper highlights ([14], Section IV): state-of-the-art embedded (in-package
+// / in-interposer) inductors only support ~1 A/mm^2 of footprint current
+// density, so the inductor footprint — not the switch area — often limits
+// how much current a small-form-factor VR can deliver.
+#pragma once
+
+#include <string>
+
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+enum class InductorIntegration {
+  kEmbeddedInterposer,  // laminated in the interposer build-up layers
+  kEmbeddedPackage,     // package-embedded (e.g. [14])
+  kDiscreteOnInterposer,  // discrete chip inductor mounted on interposer
+  kDiscretePcb,           // discrete power inductor on the PCB
+};
+
+const char* to_string(InductorIntegration integration);
+
+/// Technology envelope for a class of inductors.
+struct InductorTechnology {
+  InductorIntegration integration{InductorIntegration::kEmbeddedPackage};
+  std::string name;
+  /// Max footprint current density [A/m^2].
+  CurrentDensity max_current_density{CurrentDensity{1e6}};  // 1 A/mm^2
+  /// Achievable inductance per footprint area [H/m^2].
+  double inductance_density{0.0};
+  /// DCR coefficient: dcr = coefficient * L / footprint [Ohm, with L in H
+  /// and footprint in m^2 normalized by the reference below].
+  double dcr_coefficient{0.0};
+  /// AC-resistance multiplier applied to DCR for ripple-frequency current.
+  double ac_resistance_factor{3.0};
+};
+
+InductorTechnology embedded_interposer_inductor_technology();
+InductorTechnology embedded_package_inductor_technology();
+InductorTechnology discrete_interposer_inductor_technology();
+InductorTechnology discrete_pcb_inductor_technology();
+
+/// An inductor instance: a technology committed to an inductance and a
+/// rated (saturation) current. The footprint is the larger of the
+/// current-density-limited and inductance-density-limited areas.
+class Inductor {
+ public:
+  Inductor(InductorTechnology tech, Inductance inductance,
+           Current rated_current);
+
+  const InductorTechnology& technology() const { return tech_; }
+  Inductance inductance() const { return inductance_; }
+  Current rated_current() const { return rated_; }
+
+  /// Footprint area implied by the technology limits.
+  Area footprint() const;
+
+  /// DC winding resistance.
+  Resistance dcr() const;
+
+  /// True if `peak` exceeds the rated (saturation) current.
+  bool saturates_at(Current peak) const;
+
+  /// Conduction loss: DCR * I_dc^2 plus AC loss on the triangular ripple
+  /// (RMS of a triangle of peak-to-peak `ripple_pp` is pp / (2*sqrt(3))).
+  Power loss(Current dc_current, Current ripple_pp) const;
+
+ private:
+  InductorTechnology tech_;
+  Inductance inductance_;
+  Current rated_;
+};
+
+}  // namespace vpd

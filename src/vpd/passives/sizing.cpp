@@ -1,0 +1,66 @@
+#include "vpd/passives/sizing.hpp"
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+double buck_duty(Voltage v_in, Voltage v_out) {
+  VPD_REQUIRE(v_in.value > 0.0 && v_out.value > 0.0 &&
+                  v_out.value < v_in.value,
+              "need 0 < Vout < Vin, got Vin=", v_in.value,
+              " Vout=", v_out.value);
+  return v_out.value / v_in.value;
+}
+
+Inductance buck_inductor_for_ripple(Voltage v_in, Voltage v_out,
+                                    Frequency f_sw, Current ripple_pp) {
+  const double d = buck_duty(v_in, v_out);
+  VPD_REQUIRE(f_sw.value > 0.0, "frequency must be positive");
+  VPD_REQUIRE(ripple_pp.value > 0.0, "ripple must be positive");
+  return Inductance{v_out.value * (1.0 - d) /
+                    (ripple_pp.value * f_sw.value)};
+}
+
+Current buck_inductor_ripple(Voltage v_in, Voltage v_out, Frequency f_sw,
+                             Inductance l) {
+  const double d = buck_duty(v_in, v_out);
+  VPD_REQUIRE(f_sw.value > 0.0, "frequency must be positive");
+  VPD_REQUIRE(l.value > 0.0, "inductance must be positive");
+  return Current{v_out.value * (1.0 - d) / (l.value * f_sw.value)};
+}
+
+Capacitance buck_output_capacitor_for_ripple(Current inductor_ripple_pp,
+                                             Frequency f_sw,
+                                             Voltage ripple_pp) {
+  VPD_REQUIRE(inductor_ripple_pp.value > 0.0, "ripple current must be positive");
+  VPD_REQUIRE(f_sw.value > 0.0, "frequency must be positive");
+  VPD_REQUIRE(ripple_pp.value > 0.0, "voltage ripple must be positive");
+  return Capacitance{inductor_ripple_pp.value /
+                     (8.0 * f_sw.value * ripple_pp.value)};
+}
+
+Voltage buck_output_ripple(Current inductor_ripple_pp, Frequency f_sw,
+                           Capacitance c_out) {
+  VPD_REQUIRE(inductor_ripple_pp.value >= 0.0, "negative ripple current");
+  VPD_REQUIRE(f_sw.value > 0.0, "frequency must be positive");
+  VPD_REQUIRE(c_out.value > 0.0, "capacitance must be positive");
+  return Voltage{inductor_ripple_pp.value /
+                 (8.0 * f_sw.value * c_out.value)};
+}
+
+double interleaving_ripple_factor(double duty, unsigned phases) {
+  VPD_REQUIRE(duty > 0.0 && duty < 1.0, "duty ", duty, " outside (0,1)");
+  VPD_REQUIRE(phases >= 1, "need at least one phase");
+  if (phases == 1) return 1.0;
+  // Aggregate ripple of N interleaved phases relative to a single phase:
+  // with m = floor(N*D), factor = (N*D - m) * (m + 1 - N*D) / (N * D * (1-D)).
+  const double nd = phases * duty;
+  const double m = std::floor(nd);
+  const double factor =
+      (nd - m) * (m + 1.0 - nd) / (phases * duty * (1.0 - duty));
+  return factor;
+}
+
+}  // namespace vpd

@@ -1,0 +1,40 @@
+// Ripple-driven filter sizing for buck-derived converter stages: the
+// standard steady-state relations between switching frequency, duty cycle,
+// inductance, capacitance, and ripple.
+#pragma once
+
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+/// Buck duty cycle D = Vout / Vin. Throws unless 0 < Vout < Vin.
+double buck_duty(Voltage v_in, Voltage v_out);
+
+/// Inductance for a target peak-to-peak inductor current ripple:
+/// L = Vout * (1 - D) / (dI * f).
+Inductance buck_inductor_for_ripple(Voltage v_in, Voltage v_out,
+                                    Frequency f_sw, Current ripple_pp);
+
+/// Peak-to-peak inductor ripple of a given inductor:
+/// dI = Vout * (1 - D) / (L * f).
+Current buck_inductor_ripple(Voltage v_in, Voltage v_out, Frequency f_sw,
+                             Inductance l);
+
+/// Output capacitance for a target output voltage ripple (capacitor-
+/// dominated): C = dI / (8 * f * dV).
+Capacitance buck_output_capacitor_for_ripple(Current inductor_ripple_pp,
+                                             Frequency f_sw,
+                                             Voltage ripple_pp);
+
+/// Output voltage ripple given the output capacitance.
+Voltage buck_output_ripple(Current inductor_ripple_pp, Frequency f_sw,
+                           Capacitance c_out);
+
+/// Effective duty seen by an N-phase interleaved buck's output capacitor:
+/// ripple cancellation reduces the per-phase ripple by the standard factor
+/// (N * D' - floor(N * D')) * (1 - (N * D' - floor(N * D'))) / (N * D' ...).
+/// We expose the simpler, widely used cancellation multiplier for the
+/// aggregate current ripple.
+double interleaving_ripple_factor(double duty, unsigned phases);
+
+}  // namespace vpd

@@ -1,0 +1,76 @@
+// Umbrella header: the library's public surface in one include.
+// Prefer the per-module headers in translation units that care about
+// compile time; this is the convenience entry point for examples, tools,
+// and exploratory code.
+#pragma once
+
+// Common substrate
+#include "vpd/common/complex_linear.hpp"
+#include "vpd/common/error.hpp"
+#include "vpd/common/interpolation.hpp"
+#include "vpd/common/matrix.hpp"
+#include "vpd/common/rng.hpp"
+#include "vpd/common/sparse.hpp"
+#include "vpd/common/statistics.hpp"
+#include "vpd/common/table.hpp"
+#include "vpd/common/units.hpp"
+
+// Circuit engine
+#include "vpd/circuit/ac_solver.hpp"
+#include "vpd/circuit/dc_solver.hpp"
+#include "vpd/circuit/mna.hpp"
+#include "vpd/circuit/netlist.hpp"
+#include "vpd/circuit/pwm.hpp"
+#include "vpd/circuit/spice_export.hpp"
+#include "vpd/circuit/transient.hpp"
+#include "vpd/circuit/waveform.hpp"
+
+// Devices and passives
+#include "vpd/devices/power_fet.hpp"
+#include "vpd/devices/switching_loss.hpp"
+#include "vpd/devices/technology.hpp"
+#include "vpd/passives/capacitor.hpp"
+#include "vpd/passives/inductor.hpp"
+#include "vpd/passives/sizing.hpp"
+
+// Converters
+#include "vpd/converters/buck.hpp"
+#include "vpd/converters/catalog.hpp"
+#include "vpd/converters/control.hpp"
+#include "vpd/converters/dickson.hpp"
+#include "vpd/converters/dpmih.hpp"
+#include "vpd/converters/dsch.hpp"
+#include "vpd/converters/fcml.hpp"
+#include "vpd/converters/hybrid.hpp"
+#include "vpd/converters/loss_model.hpp"
+#include "vpd/converters/netlist_builder.hpp"
+#include "vpd/converters/series_cap_buck.hpp"
+#include "vpd/converters/switched_capacitor.hpp"
+#include "vpd/converters/transformer_stage.hpp"
+
+// Packaging / PPDN
+#include "vpd/package/interconnect.hpp"
+#include "vpd/package/irdrop.hpp"
+#include "vpd/package/layers.hpp"
+#include "vpd/package/mesh.hpp"
+#include "vpd/package/stacked_mesh.hpp"
+#include "vpd/package/stackup.hpp"
+#include "vpd/package/utilization.hpp"
+
+// Architectures and core API
+#include "vpd/arch/architecture.hpp"
+#include "vpd/arch/evaluator.hpp"
+#include "vpd/arch/placement.hpp"
+#include "vpd/arch/report.hpp"
+#include "vpd/arch/transient_model.hpp"
+#include "vpd/arch/vr_allocation.hpp"
+#include "vpd/core/advisor.hpp"
+#include "vpd/core/explorer.hpp"
+#include "vpd/core/spec.hpp"
+#include "vpd/core/trends.hpp"
+#include "vpd/core/variation.hpp"
+
+// Thermal and workloads
+#include "vpd/thermal/thermal.hpp"
+#include "vpd/workload/load_transient.hpp"
+#include "vpd/workload/power_map.hpp"

@@ -1,0 +1,59 @@
+#include "vpd/workload/load_transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+SourceFn step_load(Current base, Current step, Seconds t_step,
+                   Seconds rise) {
+  VPD_REQUIRE(rise.value >= 0.0, "negative rise time");
+  const double b = base.value;
+  const double s = step.value;
+  const double t0 = t_step.value;
+  const double tr = rise.value;
+  return [b, s, t0, tr](double t) {
+    if (t <= t0) return b;
+    if (tr <= 0.0 || t >= t0 + tr) return b + s;
+    return b + s * (t - t0) / tr;
+  };
+}
+
+SourceFn burst_load(Current base, Current peak, Frequency frequency,
+                    double duty, Seconds edge) {
+  VPD_REQUIRE(frequency.value > 0.0, "frequency must be positive");
+  VPD_REQUIRE(duty > 0.0 && duty < 1.0, "duty ", duty, " outside (0,1)");
+  const double period = 1.0 / frequency.value;
+  VPD_REQUIRE(edge.value >= 0.0 && edge.value < 0.5 * duty * period,
+              "edge time too long for the burst plateau");
+  const double b = base.value;
+  const double p = peak.value;
+  const double d = duty;
+  const double e = edge.value;
+  return [b, p, period, d, e](double t) {
+    double u = std::fmod(t, period);
+    if (u < 0.0) u += period;
+    const double on = d * period;
+    if (u < e) return b + (p - b) * u / std::max(e, 1e-30);
+    if (u < on - e) return p;
+    if (u < on) return p - (p - b) * (u - (on - e)) / std::max(e, 1e-30);
+    return b;
+  };
+}
+
+SourceFn ramp_load(Current start, Current end, Seconds t0, Seconds t1) {
+  VPD_REQUIRE(t1.value > t0.value, "ramp needs t1 > t0");
+  const double a = start.value;
+  const double b = end.value;
+  const double lo = t0.value;
+  const double hi = t1.value;
+  return [a, b, lo, hi](double t) {
+    if (t <= lo) return a;
+    if (t >= hi) return b;
+    return a + (b - a) * (t - lo) / (hi - lo);
+  };
+}
+
+}  // namespace vpd

@@ -1,0 +1,22 @@
+// Time-domain load profiles for droop / transient-response studies of the
+// POL rail: step loads with finite slew, periodic burst workloads, and
+// ramps, expressed as circuit-engine current-source waveforms.
+#pragma once
+
+#include "vpd/circuit/netlist.hpp"
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+/// Step from `base` to `base + step` at t_step with linear `rise` time.
+SourceFn step_load(Current base, Current step, Seconds t_step, Seconds rise);
+
+/// Periodic burst: `base` current with `peak` plateaus of duty `duty` at
+/// `frequency` (square-ish with linear edges of `edge` seconds).
+SourceFn burst_load(Current base, Current peak, Frequency frequency,
+                    double duty, Seconds edge);
+
+/// Linear ramp from `start` to `end` over [t0, t1], flat outside.
+SourceFn ramp_load(Current start, Current end, Seconds t0, Seconds t1);
+
+}  // namespace vpd

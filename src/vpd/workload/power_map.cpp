@@ -1,0 +1,73 @@
+#include "vpd/workload/power_map.hpp"
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+#include "vpd/package/irdrop.hpp"
+
+namespace vpd {
+
+Vector uniform_power_map(const GridMesh& mesh, Current total) {
+  return uniform_sinks(mesh, total);
+}
+
+Vector hotspot_power_map(const GridMesh& mesh, Current total, double cx,
+                         double cy, double sigma,
+                         double background_fraction) {
+  VPD_REQUIRE(total.value >= 0.0, "negative total");
+  VPD_REQUIRE(cx >= 0.0 && cx <= 1.0 && cy >= 0.0 && cy <= 1.0,
+              "hotspot center outside the die");
+  VPD_REQUIRE(sigma > 0.0, "sigma must be positive");
+  VPD_REQUIRE(background_fraction >= 0.0 && background_fraction <= 1.0,
+              "background fraction outside [0,1]");
+
+  const double w = mesh.width().value;
+  const double h = mesh.height().value;
+  Vector weights(mesh.node_count(), 0.0);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < mesh.node_count(); ++i) {
+    const double dx = (mesh.x_of(i).value - cx * w) / (sigma * w);
+    const double dy = (mesh.y_of(i).value - cy * h) / (sigma * h);
+    weights[i] = std::exp(-0.5 * (dx * dx + dy * dy));
+    weight_sum += weights[i];
+  }
+  VPD_CHECK_NUMERIC(weight_sum > 0.0, "degenerate hotspot weights");
+
+  const double hot_total = (1.0 - background_fraction) * total.value;
+  const double background =
+      background_fraction * total.value / mesh.node_count();
+  Vector sinks(mesh.node_count());
+  for (std::size_t i = 0; i < mesh.node_count(); ++i)
+    sinks[i] = background + hot_total * weights[i] / weight_sum;
+  return sinks;
+}
+
+Vector checkerboard_power_map(const GridMesh& mesh, Current total,
+                              unsigned tiles, double contrast) {
+  VPD_REQUIRE(tiles >= 1, "need at least one tile");
+  VPD_REQUIRE(contrast >= 1.0, "contrast must be >= 1");
+  Vector weights(mesh.node_count());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < mesh.node_count(); ++i) {
+    const double fx = mesh.x_of(i).value / mesh.width().value;
+    const double fy = mesh.y_of(i).value / mesh.height().value;
+    const auto tx = std::min<unsigned>(
+        tiles - 1, static_cast<unsigned>(fx * tiles));
+    const auto ty = std::min<unsigned>(
+        tiles - 1, static_cast<unsigned>(fy * tiles));
+    weights[i] = ((tx + ty) % 2 == 0) ? contrast : 1.0;
+    sum += weights[i];
+  }
+  Vector sinks(mesh.node_count());
+  for (std::size_t i = 0; i < mesh.node_count(); ++i)
+    sinks[i] = total.value * weights[i] / sum;
+  return sinks;
+}
+
+Current map_total(const Vector& sinks) {
+  double s = 0.0;
+  for (double v : sinks) s += v;
+  return Current{s};
+}
+
+}  // namespace vpd

@@ -1,0 +1,31 @@
+// Die power maps: spatial current-draw distributions over the mesh. The
+// paper's headline numbers assume uniform draw; realistic accelerators
+// concentrate power in compute clusters, which is how per-VR load spreads
+// like A2's reported 10-93 A arise.
+#pragma once
+
+#include "vpd/common/matrix.hpp"
+#include "vpd/common/units.hpp"
+#include "vpd/package/mesh.hpp"
+
+namespace vpd {
+
+/// Uniform draw totalling `total`.
+Vector uniform_power_map(const GridMesh& mesh, Current total);
+
+/// Gaussian hotspot centered at fractional die coordinates (cx, cy) with
+/// fractional radius `sigma`, carrying (1 - background_fraction) of the
+/// total on top of a uniform background.
+Vector hotspot_power_map(const GridMesh& mesh, Current total, double cx,
+                         double cy, double sigma,
+                         double background_fraction = 0.3);
+
+/// Alternating high/low tiles (tiles x tiles), with `contrast` = high/low
+/// draw ratio.
+Vector checkerboard_power_map(const GridMesh& mesh, Current total,
+                              unsigned tiles, double contrast);
+
+/// Sum of a map's sinks.
+Current map_total(const Vector& sinks);
+
+}  // namespace vpd

@@ -1,0 +1,174 @@
+#include "vpd/circuit/ac_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(AcSolver, ResistiveDividerIsFrequencyFlat) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId mid = nl.add_node("mid");
+  const ElementId src = nl.add_vsource("V1", in, kGround, 1.0_V);
+  nl.add_resistor("R1", in, mid, 1.0_Ohm);
+  nl.add_resistor("R2", mid, kGround, 3.0_Ohm);
+  for (double f : {10.0, 1e3, 1e6}) {
+    const AcSolution sol = solve_ac(nl, Frequency{f}, src);
+    EXPECT_NEAR(std::abs(sol.voltage("mid")), 0.75, 1e-9) << f;
+    EXPECT_NEAR(std::arg(sol.voltage("mid")), 0.0, 1e-9) << f;
+  }
+}
+
+TEST(AcSolver, RcLowpassCornerFrequency) {
+  // R = 1k, C = 1uF: f_c = 1/(2 pi RC) ~ 159 Hz; |H| = 1/sqrt(2) there.
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  const ElementId src = nl.add_vsource("V1", in, kGround, 1.0_V);
+  nl.add_resistor("R1", in, out, Resistance{1000.0});
+  nl.add_capacitor("C1", out, kGround, 1.0_uF);
+  const double fc = 1.0 / (2.0 * M_PI * 1000.0 * 1e-6);
+  const AcSolution at_fc = solve_ac(nl, Frequency{fc}, src);
+  EXPECT_NEAR(std::abs(at_fc.voltage("out")), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_NEAR(std::arg(at_fc.voltage("out")), -M_PI / 4.0, 1e-6);
+  // A decade above: ~ -20 dB/decade.
+  const AcSolution decade = solve_ac(nl, Frequency{10.0 * fc}, src);
+  EXPECT_NEAR(std::abs(decade.voltage("out")), 1.0 / std::sqrt(101.0),
+              1e-4);
+}
+
+TEST(AcSolver, InductorImpedanceRisesWithFrequency) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  const ElementId src = nl.add_vsource("V1", in, kGround, 1.0_V);
+  nl.add_inductor("L1", in, out, Inductance{1e-3});
+  nl.add_resistor("R1", out, kGround, Resistance{100.0});
+  // f where wL = R: f = R/(2 pi L) ~ 15.9 kHz; |V_out| = 1/sqrt(2).
+  const double f_equal = 100.0 / (2.0 * M_PI * 1e-3);
+  const AcSolution sol = solve_ac(nl, Frequency{f_equal}, src);
+  EXPECT_NEAR(std::abs(sol.voltage("out")), 1.0 / std::sqrt(2.0), 1e-6);
+  // Inductor current lags: check branch current magnitude V/|Z|.
+  EXPECT_NEAR(std::abs(sol.current("L1")),
+              1.0 / std::hypot(100.0, 100.0), 1e-9);
+}
+
+TEST(AcSolver, SeriesRlcResonance) {
+  // L = 1 uH, C = 1 uF -> f0 ~ 159 kHz; at resonance the reactances
+  // cancel and the full source voltage lands on R.
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  const ElementId src = nl.add_vsource("V1", in, kGround, 1.0_V);
+  nl.add_inductor("L1", in, a, 1.0_uH);
+  nl.add_capacitor("C1", a, b, 1.0_uF);
+  nl.add_resistor("R1", b, kGround, Resistance{0.5});
+  const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(1e-6 * 1e-6));
+  const AcSolution sol = solve_ac(nl, Frequency{f0}, src);
+  EXPECT_NEAR(std::abs(sol.voltage("b")), 1.0, 1e-6);
+  EXPECT_NEAR(std::abs(sol.current("L1")), 2.0, 1e-5);
+}
+
+TEST(AcSolver, NonStimulusSourcesAreNulled) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  const ElementId s1 = nl.add_vsource("V1", a, kGround, 5.0_V);
+  nl.add_resistor("R1", a, b, 1.0_Ohm);
+  nl.add_vsource("V2", b, kGround, 7.0_V);  // nulled -> short
+  const AcSolution sol = solve_ac(nl, 1.0_kHz, s1);
+  // V2 shorts node b to ground; divider leaves all drive across R1.
+  EXPECT_NEAR(std::abs(sol.voltage("a")), 1.0, 1e-9);
+  EXPECT_NEAR(std::abs(sol.voltage("b")), 0.0, 1e-9);
+}
+
+TEST(AcSolver, StimulusValidation) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const ElementId r = nl.add_resistor("R1", a, kGround, 1.0_Ohm);
+  nl.add_vsource("V1", a, kGround, 1.0_V);
+  EXPECT_THROW(solve_ac(nl, 1.0_kHz, r), InvalidArgument);
+  EXPECT_THROW(solve_ac(nl, Frequency{0.0}, r), InvalidArgument);
+}
+
+TEST(Impedance, ResistivePdnIsFlat) {
+  Netlist nl;
+  const NodeId pol = nl.add_node("pol");
+  nl.add_resistor("Rpdn", pol, kGround, 1.0_mOhm);
+  const ElementId port = nl.add_isource("port", pol, kGround, 1.0_A);
+  const auto sweep = impedance_sweep(nl, port, {1e3, 1e5, 1e7});
+  for (const ImpedancePoint& p : sweep) {
+    EXPECT_NEAR(p.magnitude(), 1e-3, 1e-9) << p.frequency;
+    EXPECT_NEAR(p.phase_degrees(), 0.0, 1e-6) << p.frequency;
+  }
+}
+
+TEST(Impedance, RlcAntiResonancePeak) {
+  // Classic PDN shape: VRM inductance in parallel with decap.
+  // L = 1 nH (to an ideal VR), C = 100 uF with 0.1 mOhm ESR.
+  Netlist nl;
+  const NodeId pol = nl.add_node("pol");
+  const NodeId esr = nl.add_node("esr");
+  const NodeId vr = nl.add_node("vr");
+  nl.add_vsource("Vvr", vr, kGround, 1.0_V);
+  nl.add_inductor("Lvr", vr, pol, Inductance{1e-9});
+  nl.add_resistor("Resr", pol, esr, Resistance{1e-4});
+  nl.add_capacitor("Cdecap", esr, kGround, Capacitance{100e-6});
+  const ElementId port = nl.add_isource("port", pol, kGround, 1.0_A);
+
+  // Anti-resonance at f0 = 1/(2 pi sqrt(LC)) ~ 503 kHz.
+  const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(1e-9 * 100e-6));
+  std::vector<double> freqs;
+  for (double f = 1e4; f < 1e8; f *= 1.2) freqs.push_back(f);
+  const auto sweep = impedance_sweep(nl, port, freqs);
+  const ImpedancePoint peak = peak_impedance(sweep);
+  EXPECT_NEAR(peak.frequency, f0, 0.25 * f0);
+  // Peak exceeds both asymptotes.
+  EXPECT_GT(peak.magnitude(), 5e-4);
+  // Low-frequency end: the VR inductor shorts the port -> small Z.
+  EXPECT_LT(sweep.front().magnitude(), 1e-4);
+  // Inductive phase below resonance.
+  EXPECT_GT(sweep.front().phase_degrees(), 45.0);
+}
+
+TEST(Impedance, TargetImpedanceHelper) {
+  // 30 mV allowed ripple on a 300 A step -> 0.1 mOhm target.
+  EXPECT_NEAR(target_impedance(30.0_mV, Current{300.0}).value, 1e-4,
+              1e-12);
+  EXPECT_THROW(target_impedance(Voltage{0.0}, 1.0_A), InvalidArgument);
+}
+
+TEST(Impedance, PortMustBeCurrentSource) {
+  Netlist nl;
+  const NodeId pol = nl.add_node("pol");
+  const ElementId r = nl.add_resistor("R1", pol, kGround, 1.0_Ohm);
+  EXPECT_THROW(impedance_sweep(nl, r, {1e3}), InvalidArgument);
+  const ElementId port = nl.add_isource("port", pol, kGround, 1.0_A);
+  EXPECT_THROW(impedance_sweep(nl, port, {}), InvalidArgument);
+}
+
+TEST(Impedance, SwitchStateChangesImpedance) {
+  Netlist nl;
+  const NodeId pol = nl.add_node("pol");
+  nl.add_resistor("Rbase", pol, kGround, Resistance{10.0});
+  nl.add_switch("S1", pol, kGround, Resistance{1.0}, Resistance{1e9},
+                false);
+  const ElementId port = nl.add_isource("port", pol, kGround, 1.0_A);
+  AcOptions open_opts;
+  const auto open_sweep = impedance_sweep(nl, port, {1e3}, open_opts);
+  AcOptions closed_opts;
+  closed_opts.switch_states = SwitchStates{true};
+  const auto closed_sweep = impedance_sweep(nl, port, {1e3}, closed_opts);
+  EXPECT_NEAR(open_sweep[0].magnitude(), 10.0, 1e-6);
+  EXPECT_NEAR(closed_sweep[0].magnitude(), 10.0 / 11.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace vpd

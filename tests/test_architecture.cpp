@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "vpd/arch/architecture.hpp"
+#include "vpd/arch/placement.hpp"
+#include "vpd/arch/vr_allocation.hpp"
+#include "vpd/common/error.hpp"
+#include "vpd/converters/dsch.hpp"
+#include "vpd/converters/dickson.hpp"
+#include "vpd/converters/dpmih.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(Architecture, EnumRoundTrip) {
+  EXPECT_STREQ(to_string(ArchitectureKind::kA0_PcbConversion), "A0");
+  EXPECT_STREQ(to_string(ArchitectureKind::kA3_TwoStage12V), "A3@12V");
+  EXPECT_EQ(all_architectures().size(), 5u);
+}
+
+TEST(Architecture, TwoStageProperties) {
+  EXPECT_TRUE(is_two_stage(ArchitectureKind::kA3_TwoStage12V));
+  EXPECT_TRUE(is_two_stage(ArchitectureKind::kA3_TwoStage6V));
+  EXPECT_FALSE(is_two_stage(ArchitectureKind::kA1_InterposerPeriphery));
+  EXPECT_NEAR(
+      intermediate_voltage(ArchitectureKind::kA3_TwoStage12V).value, 12.0,
+      1e-12);
+  EXPECT_NEAR(intermediate_voltage(ArchitectureKind::kA3_TwoStage6V).value,
+              6.0, 1e-12);
+  EXPECT_THROW(intermediate_voltage(ArchitectureKind::kA0_PcbConversion),
+               InvalidArgument);
+}
+
+TEST(Placement, PeripheryRingCapacity) {
+  // DSCH: 7.25 mm^2 -> 2.69 mm side; floor(22.36/2.69) = 8 per edge -> 32.
+  const Length die_side{22.36e-3};
+  EXPECT_EQ(periphery_ring_capacity(die_side, Area{7.25e-6}), 32u);
+  // DPMIH: 53.3 mm^2 -> 7.3 mm side; 3 per edge -> 12.
+  EXPECT_EQ(periphery_ring_capacity(die_side, Area{53.3e-6}), 12u);
+  EXPECT_THROW(periphery_ring_capacity(die_side, Area{900e-6}),
+               InvalidArgument);
+}
+
+TEST(Placement, PeripherySitesLieOnBoundary) {
+  const Length die_side{22.36e-3};
+  const PlacementResult r =
+      periphery_placement(die_side, Area{7.25e-6}, 48);
+  EXPECT_EQ(r.sites.size(), 48u);
+  EXPECT_EQ(r.rings_used, 2u);  // 48 > 32 per ring
+  for (const VrSite& s : r.sites) {
+    const bool on_x_edge =
+        s.x.value < 1e-12 || std::abs(s.x.value - die_side.value) < 1e-12;
+    const bool on_y_edge =
+        s.y.value < 1e-12 || std::abs(s.y.value - die_side.value) < 1e-12;
+    EXPECT_TRUE(on_x_edge || on_y_edge);
+  }
+}
+
+TEST(Placement, PeripherySitesAreDistinct) {
+  const PlacementResult r =
+      periphery_placement(Length{22.36e-3}, Area{7.25e-6}, 48);
+  for (std::size_t i = 0; i < r.sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < r.sites.size(); ++j) {
+      const double dx = r.sites[i].x.value - r.sites[j].x.value;
+      const double dy = r.sites[i].y.value - r.sites[j].y.value;
+      EXPECT_GT(dx * dx + dy * dy, 1e-8)
+          << "sites " << i << " and " << j << " coincide";
+    }
+  }
+}
+
+TEST(Placement, PeripheryOverflowThrows) {
+  EXPECT_THROW(
+      periphery_placement(Length{22.36e-3}, Area{7.25e-6}, 300, 2),
+      InfeasibleDesign);
+}
+
+TEST(Placement, BelowDieGridInsideDie) {
+  const Length die_side{22.36e-3};
+  const PlacementResult r =
+      below_die_placement(die_side, Area{7.25e-6}, 48, 0.75);
+  EXPECT_EQ(r.sites.size(), 48u);
+  EXPECT_NEAR(r.area_utilization, 48 * 7.25 / 500.0, 1e-4);
+  for (const VrSite& s : r.sites) {
+    EXPECT_GT(s.x.value, 0.0);
+    EXPECT_LT(s.x.value, die_side.value);
+    EXPECT_GT(s.y.value, 0.0);
+    EXPECT_LT(s.y.value, die_side.value);
+  }
+}
+
+TEST(Placement, BelowDieAreaCapEnforced) {
+  // 15 DPMIH at 53.3 mm^2 = 800 mm^2 > 75% of 500 mm^2.
+  EXPECT_THROW(
+      below_die_placement(Length{22.36e-3}, Area{53.3e-6}, 15, 0.75),
+      InfeasibleDesign);
+  // The paper-mode oversubscription (fraction 1.6) allows it.
+  EXPECT_NO_THROW(
+      below_die_placement(Length{22.36e-3}, Area{53.3e-6}, 15, 1.6));
+}
+
+TEST(Allocation, DschNeedsFortyEightVrs) {
+  // ceil(1000 / (0.7 * 30)) = 48 — exactly the paper's Table II count.
+  const auto conv = dsch_converter();
+  const VrAllocation a = allocate_vrs(Current{1000.0}, *conv, 0.70);
+  EXPECT_EQ(a.count, 48u);
+  EXPECT_NEAR(a.nominal_per_vr.value, 20.8, 0.05);
+  EXPECT_TRUE(a.within_rating);
+}
+
+TEST(Allocation, DicksonAtFortyEightExceedsRating) {
+  // The paper's Fig. 7 exclusion: ~20.8 A per VR > the 12 A rating.
+  const auto conv = dickson_converter();
+  const VrAllocation a = allocate_vrs_fixed(Current{1000.0}, *conv, 48);
+  EXPECT_FALSE(a.within_rating);
+  EXPECT_GT(a.rating_utilization, 1.5);
+  EXPECT_FALSE(a.notes.empty());
+}
+
+TEST(Allocation, DpmihAutomaticCount) {
+  const auto conv = dpmih_converter();
+  const VrAllocation a = allocate_vrs(Current{1000.0}, *conv, 0.70);
+  EXPECT_EQ(a.count, 15u);  // ceil(1000 / 70)
+  EXPECT_TRUE(a.within_rating);
+}
+
+TEST(Allocation, Validation) {
+  const auto conv = dsch_converter();
+  EXPECT_THROW(allocate_vrs(Current{0.0}, *conv), InvalidArgument);
+  EXPECT_THROW(allocate_vrs(Current{100.0}, *conv, 0.0), InvalidArgument);
+  EXPECT_THROW(allocate_vrs_fixed(Current{100.0}, *conv, 0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

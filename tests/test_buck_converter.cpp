@@ -1,0 +1,159 @@
+#include "vpd/converters/buck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+BuckDesignInputs standard_12to1(unsigned phases = 4) {
+  BuckDesignInputs in;
+  in.name = "12to1-test";
+  in.device_tech = gan_technology();
+  in.inductor_tech = embedded_package_inductor_technology();
+  in.capacitor_tech = deep_trench_technology();
+  in.v_in = 12.0_V;
+  in.v_out = 1.0_V;
+  in.rated_current = 40.0_A;
+  in.phases = phases;
+  in.f_sw = 2.0_MHz;
+  return in;
+}
+
+TEST(Buck, DutyMatchesConversionRatio) {
+  const SynchronousBuck buck(standard_12to1());
+  EXPECT_NEAR(buck.duty(), 1.0 / 12.0, 1e-12);
+}
+
+TEST(Buck, SpecReflectsDesign) {
+  const SynchronousBuck buck(standard_12to1(4));
+  EXPECT_EQ(buck.spec().switch_count, 8u);
+  EXPECT_EQ(buck.spec().inductor_count, 4u);
+  EXPECT_NEAR(buck.spec().max_current.value, 40.0, 1e-12);
+  EXPECT_GT(as_mm2(buck.spec().area), 0.0);
+}
+
+TEST(Buck, ConductionBudgetHonoredAtRatedLoad) {
+  BuckDesignInputs in = standard_12to1();
+  in.conduction_budget_fraction = 0.02;
+  const SynchronousBuck buck(in);
+  const BuckLossBreakdown b = buck.loss_breakdown(40.0_A);
+  // FET conduction loss should be ~2% of the 40 W output.
+  EXPECT_NEAR(b.fet_conduction.value, 0.02 * 40.0, 0.02 * 40.0 * 0.05);
+}
+
+TEST(Buck, EfficiencyCurveIsReasonable) {
+  const SynchronousBuck buck(standard_12to1());
+  // 12->1 GaN buck at 2 MHz: expect peak efficiency somewhere in 85-97%.
+  const double peak = buck.loss_model().peak_efficiency(1.0_V);
+  EXPECT_GT(peak, 0.85);
+  EXPECT_LT(peak, 0.97);
+}
+
+TEST(Buck, PhaseCountInvariantsAtFixedConductionBudget) {
+  // At a fixed total conduction budget, each phase's allowed on-resistance
+  // grows as N (current I/N, budget/N), so per-FET area shrinks as 1/N and
+  // the total silicon is invariant. The multiphase win is elsewhere:
+  // smaller per-phase ripple and interleaving-cancelled output ripple.
+  const SynchronousBuck b1(standard_12to1(1));
+  const SynchronousBuck b4(standard_12to1(4));
+  const double area1 =
+      b1.high_side_fet().area().value + b1.low_side_fet().area().value;
+  const double area4 =
+      4.0 * (b4.high_side_fet().area().value +
+             b4.low_side_fet().area().value);
+  EXPECT_NEAR(area4, area1, 1e-9 * area1);
+  // FET conduction loss at rated load matches the budget in both designs.
+  EXPECT_NEAR(b1.loss_breakdown(40.0_A).fet_conduction.value,
+              b4.loss_breakdown(40.0_A).fet_conduction.value, 1e-9);
+  // Per-phase inductor ripple current is smaller with more phases.
+  EXPECT_LT(b4.inductor_ripple().value, b1.inductor_ripple().value);
+  // Interleaving shrinks the required output capacitance.
+  EXPECT_LE(b4.output_capacitor().nominal().value,
+            b1.output_capacitor().nominal().value);
+}
+
+TEST(Buck, HigherFrequencyShrinksInductorButRaisesFixedLoss) {
+  BuckDesignInputs slow = standard_12to1();
+  slow.f_sw = 1.0_MHz;
+  BuckDesignInputs fast = standard_12to1();
+  fast.f_sw = 8.0_MHz;
+  const SynchronousBuck b_slow(slow);
+  const SynchronousBuck b_fast(fast);
+  EXPECT_LT(b_fast.inductor().inductance().value,
+            b_slow.inductor().inductance().value);
+  EXPECT_GT(b_fast.loss_model().k0(), b_slow.loss_model().k0());
+}
+
+TEST(Buck, LossBreakdownConsistentWithModel) {
+  const SynchronousBuck buck(standard_12to1());
+  const Current load = 30.0_A;
+  const BuckLossBreakdown b = buck.loss_breakdown(load);
+  // The quadratic model and the physical breakdown should agree within a
+  // modest margin (the model folds ripple terms into k0).
+  const double model_loss = buck.loss(load).value;
+  EXPECT_NEAR(b.total().value, model_loss, 0.25 * model_loss);
+}
+
+TEST(Buck, InductorRippleMatchesSizingTarget) {
+  BuckDesignInputs in = standard_12to1();
+  in.ripple_fraction = 0.4;
+  const SynchronousBuck buck(in);
+  const double i_phase = 40.0 / 4.0;
+  EXPECT_NEAR(buck.inductor_ripple().value, 0.4 * i_phase, 1e-9);
+}
+
+TEST(Buck, SupportsOnlyUpToRatedCurrent) {
+  const SynchronousBuck buck(standard_12to1());
+  EXPECT_TRUE(buck.supports(40.0_A));
+  EXPECT_FALSE(buck.supports(41.0_A));
+  EXPECT_THROW(buck.loss(50.0_A), InfeasibleDesign);
+  EXPECT_NO_THROW(buck.loss_extrapolated(50.0_A));
+}
+
+TEST(Buck, InputPowerEqualsOutputPlusLoss) {
+  const SynchronousBuck buck(standard_12to1());
+  const Current load = 20.0_A;
+  EXPECT_NEAR(buck.input_power(load).value,
+              buck.output_power(load).value + buck.loss(load).value, 1e-12);
+  EXPECT_NEAR(buck.efficiency(load),
+              buck.output_power(load).value / buck.input_power(load).value,
+              1e-12);
+}
+
+TEST(Buck, Validation) {
+  BuckDesignInputs in = standard_12to1();
+  in.phases = 0;
+  EXPECT_THROW(SynchronousBuck{in}, InvalidArgument);
+  in = standard_12to1();
+  in.rated_current = Current{0.0};
+  EXPECT_THROW(SynchronousBuck{in}, InvalidArgument);
+  in = standard_12to1();
+  in.ripple_fraction = 0.0;
+  EXPECT_THROW(SynchronousBuck{in}, InvalidArgument);
+  in = standard_12to1();
+  in.v_out = 13.0_V;  // Vout > Vin
+  EXPECT_THROW(SynchronousBuck{in}, InvalidArgument);
+}
+
+// Parameterized: across phase counts the design stays self-consistent.
+class BuckPhaseSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BuckPhaseSweep, DesignInvariants) {
+  const SynchronousBuck buck(standard_12to1(GetParam()));
+  EXPECT_EQ(buck.spec().switch_count, 2 * GetParam());
+  EXPECT_GT(buck.efficiency(20.0_A), 0.5);
+  // Per-phase inductor saturation rating covers DC + half ripple.
+  const double i_phase = 40.0 / GetParam();
+  EXPECT_FALSE(buck.inductor().saturates_at(
+      Current{i_phase + 0.5 * buck.inductor_ripple().value}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, BuckPhaseSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,118 @@
+#include "vpd/converters/control.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vpd/circuit/transient.hpp"
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+PiControllerParams stable_pi() {
+  PiControllerParams p;
+  p.reference = 1.0_V;
+  p.f_sw = 1.0_MHz;
+  p.initial_duty = 1.0 / 12.0;
+  p.kp = 0.02;
+  p.ki = 3.0e3;
+  return p;
+}
+
+// A 12 V synchronous buck with a damping resistive load (0.1 Ohm = 10 A
+// at 1 V) and an optional extra current-source load.
+NodeId build_buck(Netlist& nl, SourceFn v_in, SourceFn extra_load) {
+  const NodeId vin = nl.add_node("vin");
+  const NodeId sw = nl.add_node("sw");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("Vin", vin, kGround, std::move(v_in));
+  nl.add_switch("S_hi", vin, sw, Resistance{1e-3}, Resistance{1e8});
+  nl.add_switch("S_lo", sw, kGround, Resistance{1e-3}, Resistance{1e8});
+  nl.add_inductor("L1", sw, out, Inductance{2e-6}, Current{10.0});
+  nl.add_capacitor("Cout", out, kGround, Capacitance{100e-6}, 1.0_V);
+  nl.add_resistor("Rload", out, kGround, Resistance{0.1});
+  if (extra_load) nl.add_isource("Iextra", out, kGround, std::move(extra_load));
+  return out;
+}
+
+TransientResult run(const Netlist& nl, VoltageModePiController& pi,
+                    double t_stop) {
+  TransientOptions opts;
+  opts.t_stop = Seconds{t_stop};
+  opts.dt = Seconds{4e-9};
+  opts.controller = pi.controller();
+  opts.observer = pi.observer();
+  return simulate(nl, opts);
+}
+
+TEST(Control, HoldsReferenceAtSteadyState) {
+  Netlist nl;
+  const NodeId out = build_buck(nl, [](double) { return 12.0; }, {});
+  VoltageModePiController pi(stable_pi(), out, 0, 1);
+  const TransientResult r = run(nl, pi, 300e-6);
+  EXPECT_NEAR(r.voltage(out).tail(30e-6).average(), 1.0, 0.01);
+  // Integral has absorbed the switch-drop error; duty near 1/12.
+  EXPECT_NEAR(pi.duty(), 1.0 / 12.0, 0.02);
+}
+
+TEST(Control, RejectsLineStep) {
+  // Vin steps 12 -> 16 V at t = 200 us; open loop would jump to ~1.33 V,
+  // the PI loop pulls the duty down and restores 1 V.
+  Netlist nl;
+  const NodeId out = build_buck(
+      nl, [](double t) { return t < 200e-6 ? 12.0 : 16.0; }, {});
+  VoltageModePiController pi(stable_pi(), out, 0, 1);
+  const TransientResult r = run(nl, pi, 900e-6);
+  const Trace vout = r.voltage(out);
+  // Disturbed right after the step...
+  EXPECT_GT(vout.max(200e-6, 300e-6), 1.02);
+  // ...but settled back near 1 V at the end.
+  EXPECT_NEAR(vout.tail(50e-6).average(), 1.0, 0.02);
+  // The duty command ended near the new conversion ratio 1/16.
+  EXPECT_LT(pi.duty(), 1.0 / 12.0 - 0.01);
+}
+
+TEST(Control, RecoversFromLoadStep) {
+  // Extra 15 A drawn from t = 200 us.
+  Netlist nl;
+  const NodeId out = build_buck(
+      nl, [](double) { return 12.0; },
+      [](double t) { return t < 200e-6 ? 0.0 : 15.0; });
+  VoltageModePiController pi(stable_pi(), out, 0, 1);
+  const TransientResult r = run(nl, pi, 700e-6);
+  const Trace vout = r.voltage(out);
+  // Visible droop right after the step, recovery by the end.
+  EXPECT_LT(vout.min(200e-6, 320e-6), 0.99);
+  EXPECT_NEAR(vout.tail(50e-6).average(), 1.0, 0.02);
+}
+
+TEST(Control, DutyStaysWithinLimits) {
+  // Unreachable reference saturates the duty at max_duty (anti-windup
+  // keeps the integrator bounded).
+  Netlist nl;
+  const NodeId out = build_buck(nl, [](double) { return 12.0; }, {});
+  PiControllerParams p = stable_pi();
+  p.reference = Voltage{20.0};  // cannot exceed Vin
+  VoltageModePiController pi(p, out, 0, 1);
+  run(nl, pi, 100e-6);
+  EXPECT_NEAR(pi.duty(), p.max_duty, 1e-9);
+}
+
+TEST(Control, ParameterValidation) {
+  PiControllerParams p = stable_pi();
+  p.f_sw = Frequency{0.0};
+  EXPECT_THROW(VoltageModePiController(p, 1, 0, 1), InvalidArgument);
+  p = stable_pi();
+  p.min_duty = 0.5;
+  p.max_duty = 0.4;
+  EXPECT_THROW(VoltageModePiController(p, 1, 0, 1), InvalidArgument);
+  p = stable_pi();
+  p.initial_duty = 0.001;  // below min
+  EXPECT_THROW(VoltageModePiController(p, 1, 0, 1), InvalidArgument);
+  EXPECT_THROW(VoltageModePiController(stable_pi(), 1, 2, 2),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

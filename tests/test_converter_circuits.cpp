@@ -1,0 +1,222 @@
+// Integration tests: the converter netlist builders simulated with the
+// circuit engine, cross-validated against the analytical models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vpd/circuit/transient.hpp"
+#include "vpd/common/error.hpp"
+#include "vpd/converters/netlist_builder.hpp"
+#include "vpd/converters/switched_capacitor.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TransientResult run(const SimulatableConverter& sim, double cycles,
+                    double steps_per_cycle = 400.0) {
+  TransientOptions opts;
+  opts.t_stop = Seconds{cycles * sim.switching_period.value};
+  opts.dt = Seconds{sim.switching_period.value / steps_per_cycle};
+  opts.controller = sim.controller;
+  return simulate(sim.netlist, opts);
+}
+
+TEST(BuckCircuit, OutputTracksDutyCycle) {
+  BuckCircuitParams p;
+  p.v_in = 12.0_V;
+  p.duty = 0.5;
+  p.f_sw = 1.0_MHz;
+  const SimulatableConverter sim = build_buck_circuit(p);
+  const TransientResult r = run(sim, 40.0);
+  const Trace vout = r.voltage(sim.output_node);
+  const double avg = vout.tail(10.0 * sim.switching_period.value).average();
+  EXPECT_NEAR(avg, 6.0, 0.15);
+}
+
+TEST(BuckCircuit, RippleMatchesSizingFormula) {
+  BuckCircuitParams p;
+  p.v_in = 12.0_V;
+  p.duty = 0.5;
+  p.f_sw = 1.0_MHz;
+  p.inductance = 10.0_uH;
+  const SimulatableConverter sim = build_buck_circuit(p);
+  const TransientResult r = run(sim, 40.0, 800.0);
+  const Trace il = r.current("L1");
+  // dI = Vout (1-D) / (L f) = 6 * 0.5 / (10u * 1M) = 0.3 A.
+  EXPECT_NEAR(il.tail(2.0 * sim.switching_period.value).peak_to_peak(), 0.3,
+              0.05);
+}
+
+TEST(BuckCircuit, LowDutyProducesLowVoltage) {
+  BuckCircuitParams p;
+  p.v_in = 12.0_V;
+  p.duty = 1.0 / 12.0;
+  p.f_sw = 2.0_MHz;
+  p.inductance = 1.0_uH;
+  const SimulatableConverter sim = build_buck_circuit(p);
+  const TransientResult r = run(sim, 60.0);
+  const double avg = r.voltage(sim.output_node)
+                         .tail(10.0 * sim.switching_period.value)
+                         .average();
+  EXPECT_NEAR(avg, 1.0, 0.1);
+}
+
+TEST(ScCircuit, TwoToOneConvertsToHalf) {
+  ScCircuitParams p;
+  p.v_in = 8.0_V;
+  p.ratio = 2;
+  p.output_capacitance = 4.7_uF;
+  const SimulatableConverter sim = build_series_parallel_sc_circuit(p);
+  const TransientResult r = run(sim, 60.0);
+  const double avg = r.voltage(sim.output_node)
+                         .tail(10.0 * sim.switching_period.value)
+                         .average();
+  // Ideal 4 V minus droop through R_out; expect within ~7% of ideal.
+  EXPECT_NEAR(avg, 4.0, 0.3);
+  EXPECT_LT(avg, 4.0);  // droop is real
+}
+
+TEST(ScCircuit, DroopMatchesSeemanSandersModel) {
+  ScCircuitParams p;
+  p.v_in = 8.0_V;
+  p.ratio = 2;
+  p.f_sw = 1.0_MHz;
+  p.fly_capacitance = 10.0_uF;
+  p.switch_on_resistance = 10.0_mOhm;
+  p.output_capacitance = 4.7_uF;
+  p.load = 1.0_Ohm;
+  const SimulatableConverter sim = build_series_parallel_sc_circuit(p);
+  const TransientResult r = run(sim, 80.0, 500.0);
+  const double window = 10.0 * sim.switching_period.value;
+  const double v_avg = r.voltage(sim.output_node).tail(window).average();
+  const double i_avg = r.current(sim.load_element).tail(window).average();
+  const double r_out_sim = (4.0 - v_avg) / i_avg;
+
+  // Analytic model for the same design point.
+  ScDesignInputs in;
+  in.device_tech = gan_technology();
+  in.capacitor_tech = mlcc_technology();
+  in.v_in = p.v_in;
+  in.ratio = p.ratio;
+  in.rated_current = 10.0_A;
+  in.f_sw = p.f_sw;
+  in.fly_capacitance = p.fly_capacitance;
+  in.switch_resistance = p.switch_on_resistance;
+  const SeriesParallelSc sc(in);
+  const double r_out_model = sc.output_resistance().value;
+
+  // Seeman-Sanders sqrt interpolation is accurate to a few tens of percent.
+  EXPECT_NEAR(r_out_sim, r_out_model, 0.35 * r_out_model)
+      << "sim=" << r_out_sim << " model=" << r_out_model;
+}
+
+TEST(ScCircuit, ThreeToOneConvertsToThird) {
+  ScCircuitParams p;
+  p.v_in = 9.0_V;
+  p.ratio = 3;
+  p.output_capacitance = 4.7_uF;
+  const SimulatableConverter sim = build_series_parallel_sc_circuit(p);
+  const TransientResult r = run(sim, 60.0);
+  const double avg = r.voltage(sim.output_node)
+                         .tail(10.0 * sim.switching_period.value)
+                         .average();
+  EXPECT_NEAR(avg, 3.0, 0.3);
+}
+
+TEST(ScCircuit, EnergyBalanceHolds) {
+  ScCircuitParams p;
+  p.v_in = 8.0_V;
+  p.ratio = 2;
+  p.output_capacitance = 4.7_uF;
+  const SimulatableConverter sim = build_series_parallel_sc_circuit(p);
+  const TransientResult r = run(sim, 40.0, 500.0);
+  // Average over whole run: input power >= load power, efficiency < 1 but
+  // high for this lightly loaded design.
+  const double window = 20.0 * sim.switching_period.value;
+  const double p_in = -r.average_power(sim.input_source,
+                                       Seconds{window})
+                           .value;
+  const double p_load =
+      r.average_power(sim.load_element, Seconds{window}).value;
+  EXPECT_GT(p_in, p_load);
+  EXPECT_GT(p_load / p_in, 0.85);
+  EXPECT_LT(p_load / p_in, 1.0);
+}
+
+TEST(ScCircuit, ColdStartChargesUp) {
+  ScCircuitParams p;
+  p.v_in = 8.0_V;
+  p.ratio = 2;
+  p.preload_steady_state = false;
+  p.output_capacitance = 2.0_uF;
+  const SimulatableConverter sim = build_series_parallel_sc_circuit(p);
+  const TransientResult r = run(sim, 80.0);
+  const Trace vout = r.voltage(sim.output_node);
+  EXPECT_LT(vout.at(0.0), 0.1);
+  EXPECT_GT(vout.back(), 3.4);
+}
+
+TEST(Fcml3Circuit, RegulatesToDutyTimesVin) {
+  FcmlCircuitParams p;
+  p.v_in = 48.0_V;
+  p.duty = 0.25;
+  const SimulatableConverter sim = build_fcml3_circuit(p);
+  const TransientResult r = run(sim, 40.0);
+  const double avg = r.voltage(sim.output_node)
+                         .tail(10.0 * sim.switching_period.value)
+                         .average();
+  EXPECT_NEAR(avg, 12.0, 0.6);
+}
+
+TEST(Fcml3Circuit, FlyingCapStaysBalanced) {
+  // Symmetric charge/discharge by the inductor current keeps the flying
+  // capacitor at Vin/2 without any balancing controller.
+  FcmlCircuitParams p;
+  const SimulatableConverter sim = build_fcml3_circuit(p);
+  const TransientResult r = run(sim, 60.0);
+  const Trace vc = [&] {
+    const Trace v1 = r.voltage("n1");
+    const Trace v2 = r.voltage("n2");
+    std::vector<double> diff(v1.sample_count());
+    for (std::size_t i = 0; i < diff.size(); ++i)
+      diff[i] = v1.values()[i] - v2.values()[i];
+    return Trace("vcfly", v1.times(), std::move(diff));
+  }();
+  EXPECT_NEAR(vc.tail(10.0 * sim.switching_period.value).average(), 24.0,
+              1.0);
+}
+
+TEST(Fcml3Circuit, SwitchNodeStressIsHalved) {
+  FcmlCircuitParams p;
+  const SimulatableConverter sim = build_fcml3_circuit(p);
+  const TransientResult r = run(sim, 20.0);
+  const Trace vsw =
+      r.voltage("sw").tail(4.0 * sim.switching_period.value);
+  // The switch node never sees the full 48 V input — only ~Vin/2.
+  EXPECT_LT(vsw.max(), 0.55 * 48.0 + 1.0);
+  EXPECT_GT(vsw.max(), 0.45 * 48.0 - 1.0);
+}
+
+TEST(Fcml3Circuit, RippleFrequencyIsDoubled) {
+  // The frequency-multiplication claim: the inductor ripple's dominant
+  // component sits at 2 x f_sw, not f_sw.
+  FcmlCircuitParams p;
+  p.f_sw = 500.0_kHz;
+  const SimulatableConverter sim = build_fcml3_circuit(p);
+  const TransientResult r = run(sim, 40.0, 500.0);
+  const Trace il = r.current("L1").tail(10.0 * sim.switching_period.value);
+  const double at_f = il.harmonic_magnitude(500e3);
+  const double at_2f = il.harmonic_magnitude(1000e3);
+  EXPECT_GT(at_2f, 3.0 * at_f);
+}
+
+TEST(Fcml3Circuit, Validation) {
+  FcmlCircuitParams p;
+  p.duty = 0.6;  // outside the modeled (0, 0.5) band
+  EXPECT_THROW(build_fcml3_circuit(p), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

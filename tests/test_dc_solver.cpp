@@ -1,0 +1,178 @@
+#include "vpd/circuit/dc_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(DcSolver, VoltageDivider) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId mid = nl.add_node("mid");
+  nl.add_vsource("V1", in, kGround, 10.0_V);
+  nl.add_resistor("R1", in, mid, 3.0_Ohm);
+  nl.add_resistor("R2", mid, kGround, 2.0_Ohm);
+  const DcSolution op = solve_dc(nl);
+  EXPECT_NEAR(op.voltage("in").value, 10.0, 1e-9);
+  EXPECT_NEAR(op.voltage("mid").value, 4.0, 1e-9);
+  EXPECT_NEAR(op.current("R1").value, 2.0, 1e-9);
+  // SPICE convention: source current flows + -> - internally, so a
+  // delivering source reports negative current.
+  EXPECT_NEAR(op.current("V1").value, -2.0, 1e-9);
+}
+
+TEST(DcSolver, CurrentSourceIntoResistor) {
+  Netlist nl;
+  const NodeId out = nl.add_node("out");
+  // 2 A drawn from ground into node out (source from gnd to out).
+  nl.add_isource("I1", kGround, out, 2.0_A);
+  nl.add_resistor("R1", out, kGround, 5.0_Ohm);
+  const DcSolution op = solve_dc(nl);
+  EXPECT_NEAR(op.voltage("out").value, 10.0, 1e-6);
+  EXPECT_NEAR(op.current("R1").value, 2.0, 1e-6);
+}
+
+TEST(DcSolver, LoadCurrentSourceConvention) {
+  // isource(out, gnd) draws current out of the node: a load.
+  Netlist nl;
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("V1", out, kGround, 1.0_V);
+  nl.add_isource("Iload", out, kGround, 7.0_A);
+  const DcSolution op = solve_dc(nl);
+  // Source must supply the 7 A: branch current = +7 into the + terminal...
+  // the load draws 7 A from 'out', supplied by V1 (negative by convention).
+  EXPECT_NEAR(op.current("V1").value, -7.0, 1e-9);
+  // The load absorbs 7 W, the source delivers 7 W.
+  EXPECT_NEAR(op.power("Iload").value, 7.0, 1e-9);
+  EXPECT_NEAR(op.power("V1").value, -7.0, 1e-9);
+}
+
+TEST(DcSolver, InductorIsShort) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId mid = nl.add_node("mid");
+  nl.add_vsource("V1", in, kGround, 5.0_V);
+  nl.add_inductor("L1", in, mid, 10.0_uH);
+  nl.add_resistor("R1", mid, kGround, 5.0_Ohm);
+  const DcSolution op = solve_dc(nl);
+  EXPECT_NEAR(op.voltage("mid").value, 5.0, 1e-9);
+  EXPECT_NEAR(op.current("L1").value, 1.0, 1e-9);
+}
+
+TEST(DcSolver, CapacitorIsOpen) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId mid = nl.add_node("mid");
+  nl.add_vsource("V1", in, kGround, 5.0_V);
+  nl.add_resistor("R1", in, mid, 1.0_Ohm);
+  nl.add_capacitor("C1", mid, kGround, 1.0_uF);
+  const DcSolution op = solve_dc(nl);
+  // No DC path to ground through C: mid floats to the source voltage.
+  EXPECT_NEAR(op.voltage("mid").value, 5.0, 1e-3);
+  EXPECT_DOUBLE_EQ(op.current("C1").value, 0.0);
+}
+
+TEST(DcSolver, SwitchStatesChangeTopology) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("V1", in, kGround, 1.0_V);
+  nl.add_switch("S1", in, out, Resistance{1e-6}, Resistance{1e9}, false);
+  nl.add_resistor("R1", out, kGround, 1.0_Ohm);
+
+  const DcSolution open_op = solve_dc(nl);
+  EXPECT_LT(open_op.voltage("out").value, 1e-3);
+
+  DcOptions opts;
+  opts.switch_states = SwitchStates{true};
+  const DcSolution closed_op = solve_dc(nl, opts);
+  EXPECT_NEAR(closed_op.voltage("out").value, 1.0, 1e-5);
+  EXPECT_NEAR(closed_op.current("S1").value, 1.0, 1e-4);
+}
+
+TEST(DcSolver, SwitchStateSizeMismatchThrows) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_vsource("V1", a, kGround, 1.0_V);
+  nl.add_switch("S1", a, kGround);
+  DcOptions opts;
+  opts.switch_states = SwitchStates{};  // wrong size
+  EXPECT_THROW(solve_dc(nl, opts), InvalidArgument);
+}
+
+TEST(DcSolver, TellegenTotalPowerIsZero) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId mid = nl.add_node("mid");
+  nl.add_vsource("V1", in, kGround, 12.0_V);
+  nl.add_resistor("R1", in, mid, 2.0_Ohm);
+  nl.add_resistor("R2", mid, kGround, 4.0_Ohm);
+  nl.add_isource("I1", mid, kGround, 0.5_A);
+  const DcSolution op = solve_dc(nl);
+  EXPECT_NEAR(op.total_power().value, 0.0, 1e-6);
+  EXPECT_GT(op.dissipated_power().value, 0.0);
+}
+
+TEST(DcSolver, TimeVaryingSourceEvaluatedAtRequestedTime) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_vsource("V1", a, kGround, [](double t) { return 1.0 + t; });
+  nl.add_resistor("R1", a, kGround, 1.0_Ohm);
+  DcOptions opts;
+  opts.time = 4.0;
+  const DcSolution op = solve_dc(nl, opts);
+  EXPECT_NEAR(op.voltage("a").value, 5.0, 1e-9);
+}
+
+TEST(DcSolver, LadderNetworkMatchesHandComputation) {
+  // Three-stage R-2R ladder (unterminated). Hand nodal analysis:
+  // v3 = (2/3) v2 and (11/3) v2 = 2 v1, so v2 = 6/11, v3 = 4/11 for v1 = 1.
+  Netlist nl;
+  const NodeId n1 = nl.add_node("n1");
+  const NodeId n2 = nl.add_node("n2");
+  const NodeId n3 = nl.add_node("n3");
+  nl.add_vsource("V1", n1, kGround, 1.0_V);
+  nl.add_resistor("R2a", n1, kGround, Resistance{2000.0});
+  nl.add_resistor("R1a", n1, n2, Resistance{1000.0});
+  nl.add_resistor("R2b", n2, kGround, Resistance{2000.0});
+  nl.add_resistor("R1b", n2, n3, Resistance{1000.0});
+  nl.add_resistor("R2c", n3, kGround, Resistance{2000.0});
+  const DcSolution op = solve_dc(nl);
+  EXPECT_NEAR(op.voltage("n2").value, 6.0 / 11.0, 1e-9);
+  EXPECT_NEAR(op.voltage("n3").value, 4.0 / 11.0, 1e-9);
+}
+
+TEST(DcSolver, GroundedVsourceLoopIsSingular) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_vsource("V1", a, kGround, 1.0_V);
+  nl.add_vsource("V2", a, kGround, 2.0_V);  // conflicting loop
+  EXPECT_THROW(solve_dc(nl), NumericalError);
+}
+
+TEST(DcSolver, PowerBalanceOnBridgeNetwork) {
+  // Wheatstone bridge, unbalanced.
+  Netlist nl;
+  const NodeId top = nl.add_node("top");
+  const NodeId left = nl.add_node("left");
+  const NodeId right = nl.add_node("right");
+  nl.add_vsource("V1", top, kGround, 10.0_V);
+  nl.add_resistor("Ra", top, left, 1.0_Ohm);
+  nl.add_resistor("Rb", top, right, 2.0_Ohm);
+  nl.add_resistor("Rc", left, kGround, 3.0_Ohm);
+  nl.add_resistor("Rd", right, kGround, 4.0_Ohm);
+  nl.add_resistor("Rbridge", left, right, 5.0_Ohm);
+  const DcSolution op = solve_dc(nl);
+  const double supplied = -op.power("V1").value;
+  EXPECT_NEAR(op.dissipated_power().value, supplied, 1e-6);
+  EXPECT_GT(supplied, 0.0);
+}
+
+}  // namespace
+}  // namespace vpd

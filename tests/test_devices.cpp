@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+#include "vpd/devices/power_fet.hpp"
+#include "vpd/devices/switching_loss.hpp"
+#include "vpd/devices/technology.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(Technology, GanBeatsSiliconFigureOfMerit) {
+  const TechnologyParams si = silicon_technology();
+  const TechnologyParams gan = gan_technology();
+  // The paper motivates GaN by its high electron mobility: expect roughly
+  // an order of magnitude FOM advantage at 100 V class.
+  EXPECT_GT(si.figure_of_merit() / gan.figure_of_merit(), 5.0);
+  EXPECT_LT(si.figure_of_merit() / gan.figure_of_merit(), 30.0);
+}
+
+TEST(Technology, SpecificRonGrowsWithRating) {
+  const TechnologyParams gan = gan_technology();
+  const double at48 = gan.specific_on_resistance_at(48.0_V);
+  const double at100 = gan.specific_on_resistance_at(100.0_V);
+  EXPECT_LT(at48, at100);
+  // Scaling exponent: R(100)/R(48) = (100/48)^1.9.
+  EXPECT_NEAR(at100 / at48, std::pow(100.0 / 48.0, 1.9), 1e-9);
+  EXPECT_THROW(gan.specific_on_resistance_at(Voltage{0.0}), InvalidArgument);
+}
+
+TEST(Technology, SiliconScalesFasterWithRating) {
+  const double si_ratio = silicon_technology().specific_on_resistance_at(
+                              Voltage{200.0}) /
+                          silicon_technology().specific_on_resistance;
+  const double gan_ratio = gan_technology().specific_on_resistance_at(
+                               Voltage{200.0}) /
+                           gan_technology().specific_on_resistance;
+  EXPECT_GT(si_ratio, gan_ratio);
+}
+
+TEST(Technology, LookupByEnum) {
+  EXPECT_EQ(technology(DeviceTechnology::kSilicon).technology,
+            DeviceTechnology::kSilicon);
+  EXPECT_EQ(technology(DeviceTechnology::kGalliumNitride).technology,
+            DeviceTechnology::kGalliumNitride);
+  EXPECT_STREQ(to_string(DeviceTechnology::kSilicon), "Si");
+  EXPECT_STREQ(to_string(DeviceTechnology::kGalliumNitride), "GaN");
+}
+
+TEST(PowerFet, OnResistanceScalesInverselyWithArea) {
+  const TechnologyParams gan = gan_technology();
+  const PowerFet small(gan, 100.0_V, 1.0_mm2);
+  const PowerFet large(gan, 100.0_V, 4.0_mm2);
+  EXPECT_NEAR(small.on_resistance().value / large.on_resistance().value, 4.0,
+              1e-9);
+  // 12 mOhm*mm^2 at 1 mm^2 -> 12 mOhm.
+  EXPECT_NEAR(as_mOhm(small.on_resistance()), 12.0, 1e-9);
+}
+
+TEST(PowerFet, ParasiticsScaleWithArea) {
+  const PowerFet fet(gan_technology(), 100.0_V, 2.0_mm2);
+  // 2 mm^2 at 3 nC/mm^2 -> 6 nC.
+  EXPECT_NEAR(fet.gate_charge().value, 6e-9, 1e-15);
+  EXPECT_GT(fet.output_capacitance().value, 0.0);
+}
+
+TEST(PowerFet, SizingForTargetOnResistance) {
+  const PowerFet fet = PowerFet::for_on_resistance(gan_technology(), 48.0_V,
+                                                   1.0_mOhm);
+  EXPECT_NEAR(as_mOhm(fet.on_resistance()), 1.0, 1e-9);
+  EXPECT_GT(as_mm2(fet.area()), 0.0);
+  EXPECT_THROW(PowerFet::for_on_resistance(gan_technology(), 48.0_V,
+                                           Resistance{0.0}),
+               InvalidArgument);
+}
+
+TEST(PowerFet, SizingForConductionBudget) {
+  const PowerFet fet = PowerFet::for_conduction_budget(
+      gan_technology(), 48.0_V, 10.0_A, 0.5_W);
+  EXPECT_NEAR(fet.conduction_loss(10.0_A).value, 0.5, 1e-9);
+}
+
+TEST(PowerFet, LossComponents) {
+  const PowerFet fet(gan_technology(), 100.0_V, 1.0_mm2);
+  // Conduction: I^2 R.
+  EXPECT_NEAR(fet.conduction_loss(10.0_A).value, 100.0 * 0.012, 1e-9);
+  // Gate: Qg * Vdrive * f = 3nC * 5V * 1MHz = 15 mW.
+  EXPECT_NEAR(fet.gate_loss(1.0_MHz).value, 15e-3, 1e-9);
+  // Coss: 0.5 * 0.9nF * 48^2 * 1MHz ~ 1.04 W.
+  EXPECT_NEAR(fet.coss_loss(48.0_V, 1.0_MHz).value,
+              0.5 * 0.9e-9 * 48.0 * 48.0 * 1e6, 1e-9);
+  // Overlap at 48 V, 10 A, 1 MHz: 48*10*(0.05ns*48)*1e6 ~ 1.15 W.
+  EXPECT_NEAR(fet.overlap_loss(48.0_V, 10.0_A, 1.0_MHz).value,
+              48.0 * 10.0 * 0.05e-9 * 48.0 * 1e6, 1e-9);
+}
+
+TEST(PowerFet, Validation) {
+  EXPECT_THROW(PowerFet(gan_technology(), Voltage{0.0}, 1.0_mm2),
+               InvalidArgument);
+  EXPECT_THROW(PowerFet(gan_technology(), 48.0_V, Area{0.0}),
+               InvalidArgument);
+  const PowerFet fet(gan_technology(), 48.0_V, 1.0_mm2);
+  EXPECT_THROW(fet.gate_loss(Frequency{-1.0}), InvalidArgument);
+}
+
+SwitchingCell make_cell(SwitchingMode mode) {
+  SwitchingCell cell{PowerFet(gan_technology(), 48.0_V, 2.0_mm2),
+                     48.0_V,
+                     10.0_A,
+                     10.0_A,
+                     0.5,
+                     mode};
+  return cell;
+}
+
+TEST(SwitchingLoss, BreakdownSumsToTotal) {
+  const SwitchingLossBreakdown b = cell_loss(make_cell(SwitchingMode::kHard),
+                                             1.0_MHz);
+  EXPECT_NEAR(b.total().value,
+              b.conduction.value + b.overlap.value + b.coss.value +
+                  b.gate.value,
+              1e-12);
+  EXPECT_GT(b.conduction.value, 0.0);
+  EXPECT_GT(b.overlap.value, 0.0);
+}
+
+TEST(SwitchingLoss, SoftSwitchingRemovesOverlapAndCoss) {
+  const SwitchingLossBreakdown hard =
+      cell_loss(make_cell(SwitchingMode::kHard), 1.0_MHz);
+  const SwitchingLossBreakdown partial =
+      cell_loss(make_cell(SwitchingMode::kPartialSoft), 1.0_MHz);
+  const SwitchingLossBreakdown soft =
+      cell_loss(make_cell(SwitchingMode::kFullSoft), 1.0_MHz);
+  EXPECT_NEAR(partial.overlap.value, 0.5 * hard.overlap.value, 1e-12);
+  EXPECT_DOUBLE_EQ(soft.overlap.value, 0.0);
+  EXPECT_DOUBLE_EQ(soft.coss.value, 0.0);
+  // Conduction and gate losses unaffected by switching mode.
+  EXPECT_DOUBLE_EQ(soft.conduction.value, hard.conduction.value);
+  EXPECT_DOUBLE_EQ(soft.gate.value, hard.gate.value);
+}
+
+TEST(SwitchingLoss, FrequencyLinearTerms) {
+  const SwitchingCell cell = make_cell(SwitchingMode::kHard);
+  const SwitchingLossBreakdown at1 = cell_loss(cell, 1.0_MHz);
+  const SwitchingLossBreakdown at2 = cell_loss(cell, 2.0_MHz);
+  EXPECT_NEAR(at2.gate.value, 2.0 * at1.gate.value, 1e-12);
+  EXPECT_NEAR(at2.overlap.value, 2.0 * at1.overlap.value, 1e-12);
+  EXPECT_NEAR(at2.coss.value, 2.0 * at1.coss.value, 1e-12);
+  EXPECT_DOUBLE_EQ(at2.conduction.value, at1.conduction.value);
+}
+
+TEST(SwitchingLoss, OptimalFrequencyBalancesRippleAgainstSwitching) {
+  const SwitchingCell cell = make_cell(SwitchingMode::kHard);
+  // Ripple loss ~ k/f^2 with k chosen so the optimum is interior.
+  const double k = 1e12;  // 1 W at 1 MHz
+  const Frequency f_opt =
+      optimal_frequency(cell, 100.0_kHz, 20.0_MHz, k);
+  EXPECT_GT(f_opt.value, 1e5);
+  EXPECT_LT(f_opt.value, 2e7);
+  // Total loss at the optimum is no worse than at the bracket edges.
+  const auto total = [&](double f) {
+    return cell_loss(cell, Frequency{f}).total().value + k / (f * f);
+  };
+  EXPECT_LE(total(f_opt.value), total(1e5) + 1e-9);
+  EXPECT_LE(total(f_opt.value), total(2e7) + 1e-9);
+}
+
+TEST(SwitchingLoss, Validation) {
+  SwitchingCell cell = make_cell(SwitchingMode::kHard);
+  cell.conduction_duty = 1.5;
+  EXPECT_THROW(cell_loss(cell, 1.0_MHz), InvalidArgument);
+  EXPECT_THROW(optimal_frequency(make_cell(SwitchingMode::kHard), 1.0_MHz,
+                                 1.0_MHz, 0.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

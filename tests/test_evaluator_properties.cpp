@@ -1,0 +1,112 @@
+// Property sweep of the architecture evaluator across the system-spec
+// space: invariants that must hold for any sane (power, area, feed
+// voltage) combination, not just the paper's headline point.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "vpd/arch/evaluator.hpp"
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+struct SpecPoint {
+  double watts;
+  double die_mm2;
+  double pcb_volts;
+};
+
+class EvaluatorSpecSweep : public ::testing::TestWithParam<SpecPoint> {
+ protected:
+  static PowerDeliverySpec make_spec(const SpecPoint& p) {
+    PowerDeliverySpec spec = paper_system();
+    spec.total_power = Power{p.watts};
+    spec.die_area = Area{p.die_mm2 * 1e-6};
+    spec.pcb_voltage = Voltage{p.pcb_volts};
+    return spec;
+  }
+  static EvaluationOptions options() {
+    EvaluationOptions o;
+    o.below_die_area_fraction = 1.6;
+    o.mesh_nodes = 31;
+    return o;
+  }
+};
+
+TEST_P(EvaluatorSpecSweep, BreakdownInvariants) {
+  const PowerDeliverySpec spec = make_spec(GetParam());
+  for (ArchitectureKind arch : all_architectures()) {
+    ArchitectureEvaluation eval;
+    try {
+      eval = evaluate_architecture(arch, spec, TopologyKind::kDsch,
+                                   DeviceTechnology::kGalliumNitride,
+                                   options());
+    } catch (const InfeasibleDesign&) {
+      continue;  // genuinely infeasible points are allowed to refuse
+    }
+    SCOPED_TRACE(std::string(to_string(arch)) + " @ " +
+                 std::to_string(GetParam().watts) + " W");
+    // All loss components are non-negative and sum to the total.
+    EXPECT_GE(eval.vertical_loss.value, 0.0);
+    EXPECT_GE(eval.horizontal_loss.value, 0.0);
+    EXPECT_GE(eval.conversion_stage1.value, 0.0);
+    EXPECT_GE(eval.conversion_stage2.value, 0.0);
+    EXPECT_NEAR(eval.total_loss().value,
+                eval.vertical_loss.value + eval.horizontal_loss.value +
+                    eval.conversion_loss().value,
+                1e-9);
+    // Efficiency is a valid fraction.
+    const double eta = eval.efficiency(spec.total_power);
+    EXPECT_GT(eta, 0.0);
+    EXPECT_LT(eta, 1.0);
+    // Vertical interconnect stays a minor contributor everywhere.
+    EXPECT_LT(eval.vertical_loss.value,
+              0.1 * spec.total_power.value + 1.0);
+    // Per-VR currents (when present) sum to the die current.
+    if (eval.vr_current_spread) {
+      const Summary& s = *eval.vr_current_spread;
+      EXPECT_NEAR(s.mean * static_cast<double>(s.count),
+                  arch == ArchitectureKind::kA3_TwoStage12V ||
+                          arch == ArchitectureKind::kA3_TwoStage6V
+                      ? (spec.total_power.value +
+                         eval.conversion_stage2.value) /
+                            intermediate_voltage(arch).value
+                      : spec.die_current().value,
+                  0.01 * spec.die_current().value);
+    }
+  }
+}
+
+TEST_P(EvaluatorSpecSweep, VpdBeatsPcbConversion) {
+  const PowerDeliverySpec spec = make_spec(GetParam());
+  const double a0 = evaluate_architecture(
+                        ArchitectureKind::kA0_PcbConversion, spec,
+                        TopologyKind::kDsch,
+                        DeviceTechnology::kGalliumNitride, options())
+                        .total_loss()
+                        .value;
+  try {
+    const double a2 = evaluate_architecture(
+                          ArchitectureKind::kA2_InterposerBelowDie, spec,
+                          TopologyKind::kDsch,
+                          DeviceTechnology::kGalliumNitride, options())
+                          .total_loss()
+                          .value;
+    EXPECT_LT(a2, a0);
+  } catch (const InfeasibleDesign&) {
+    // A2 may be unplaceable at extreme densities; A0's loss still stands.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecSpace, EvaluatorSpecSweep,
+    ::testing::Values(SpecPoint{400.0, 400.0, 48.0},
+                      SpecPoint{1000.0, 500.0, 48.0},   // the paper point
+                      SpecPoint{1000.0, 800.0, 48.0},
+                      SpecPoint{1500.0, 600.0, 48.0},
+                      SpecPoint{700.0, 500.0, 24.0},
+                      SpecPoint{2000.0, 900.0, 54.0}));
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+#include "vpd/core/advisor.hpp"
+#include "vpd/core/explorer.hpp"
+
+namespace vpd {
+namespace {
+
+EvaluationOptions paper_mode() {
+  EvaluationOptions o;
+  o.below_die_area_fraction = 1.6;
+  return o;
+}
+
+TEST(Explorer, CoversFullDesignSpace) {
+  const ArchitectureExplorer ex(paper_system(), paper_mode());
+  const ExplorationResult result = ex.explore();
+  // A0 once + 4 VPD architectures x 3 topologies.
+  EXPECT_EQ(result.entries.size(), 13u);
+}
+
+TEST(Explorer, A0HasNoTopology) {
+  const ArchitectureExplorer ex(paper_system(), paper_mode());
+  const auto entry =
+      ex.evaluate(ArchitectureKind::kA0_PcbConversion, std::nullopt);
+  ASSERT_FALSE(entry.excluded());
+  EXPECT_FALSE(entry.topology.has_value());
+}
+
+TEST(Explorer, SingleStageDicksonExcludedLikePaper) {
+  const ArchitectureExplorer ex(paper_system(), paper_mode());
+  const ExplorationResult result = ex.explore();
+  for (ArchitectureKind arch : {ArchitectureKind::kA1_InterposerPeriphery,
+                                ArchitectureKind::kA2_InterposerBelowDie}) {
+    const auto& entry = result.find(arch, TopologyKind::kDickson);
+    EXPECT_TRUE(entry.excluded()) << to_string(arch);
+    EXPECT_TRUE(entry.extrapolated.has_value()) << to_string(arch);
+    EXPECT_FALSE(entry.exclusion_reason.empty()) << to_string(arch);
+  }
+}
+
+TEST(Explorer, DschIncludedEverywhere) {
+  const ArchitectureExplorer ex(paper_system(), paper_mode());
+  const ExplorationResult result = ex.explore();
+  for (ArchitectureKind arch : all_architectures()) {
+    if (arch == ArchitectureKind::kA0_PcbConversion) continue;
+    const auto& entry = result.find(arch, TopologyKind::kDsch);
+    EXPECT_FALSE(entry.excluded()) << to_string(arch);
+  }
+}
+
+TEST(Explorer, FindThrowsOnMissingEntry) {
+  const ArchitectureExplorer ex(paper_system(), paper_mode());
+  ExplorationResult result;
+  result.spec = paper_system();
+  EXPECT_THROW(result.find(ArchitectureKind::kA0_PcbConversion),
+               InvalidArgument);
+}
+
+TEST(Explorer, VpdRequiresTopology) {
+  const ArchitectureExplorer ex(paper_system(), paper_mode());
+  EXPECT_THROW(
+      ex.evaluate(ArchitectureKind::kA1_InterposerPeriphery, std::nullopt),
+      InvalidArgument);
+}
+
+TEST(Advisor, RankingIsSortedAndBeatsA0) {
+  const ArchitectureExplorer ex(paper_system(), paper_mode());
+  const auto result = ex.explore();
+  const auto ranked = rank_architectures(result);
+  ASSERT_GE(ranked.size(), 5u);
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_LE(ranked[i - 1].loss_fraction, ranked[i].loss_fraction);
+  // A0 is never the winner.
+  EXPECT_NE(ranked.front().architecture,
+            ArchitectureKind::kA0_PcbConversion);
+  // The worst feasible option is A0 or a two-stage variant.
+  EXPECT_GT(ranked.back().loss_fraction, 0.25);
+}
+
+TEST(Advisor, RecommendPicksBestFeasible) {
+  const ArchitectureExplorer ex(paper_system(), paper_mode());
+  const auto result = ex.explore();
+  const Recommendation best = recommend(result);
+  // A2 with DSCH wins in our model: shortest 1 V path, densest VRs.
+  EXPECT_EQ(best.architecture, ArchitectureKind::kA2_InterposerBelowDie);
+  EXPECT_EQ(best.topology, TopologyKind::kDsch);
+  EXPECT_LT(best.loss_fraction, 0.15);
+  EXPECT_FALSE(best.rationale.empty());
+}
+
+TEST(Advisor, PowerSweepShowsRisingLossShare) {
+  // At higher power the fixed interconnect increasingly hurts: loss
+  // fraction grows with delivered power for a fixed design.
+  const auto points = sweep_power(
+      paper_system(), ArchitectureKind::kA1_InterposerPeriphery,
+      TopologyKind::kDsch, {400.0, 700.0, 1000.0}, paper_mode());
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_LT(points[0].loss_fraction, points[2].loss_fraction);
+}
+
+TEST(Advisor, SheetSweepMonotonic) {
+  const auto points = sweep_sheet_resistance(
+      paper_system(), ArchitectureKind::kA1_InterposerPeriphery,
+      TopologyKind::kDsch, {0.5e-3, 2e-3, 8e-3}, paper_mode());
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_LT(points[0].loss_fraction, points[1].loss_fraction);
+  EXPECT_LT(points[1].loss_fraction, points[2].loss_fraction);
+}
+
+TEST(Advisor, SweepValidation) {
+  EXPECT_THROW(sweep_power(paper_system(),
+                           ArchitectureKind::kA1_InterposerPeriphery,
+                           TopologyKind::kDsch, {}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

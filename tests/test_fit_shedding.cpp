@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+#include "vpd/converters/buck.hpp"
+#include "vpd/converters/loss_model.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+// ---- Least-squares calibration -------------------------------------------------
+
+TEST(LeastSquaresFit, RecoversExactQuadratic) {
+  const QuadraticLossModel truth(0.5, 0.02, 3e-3);
+  std::vector<QuadraticLossModel::EfficiencyPoint> points;
+  for (double i : {2.0, 5.0, 10.0, 20.0, 30.0, 45.0})
+    points.push_back({Current{i}, truth.efficiency(Current{i}, 1.0_V)});
+  const QuadraticLossModel fit =
+      QuadraticLossModel::fit_least_squares(points, 1.0_V);
+  EXPECT_NEAR(fit.k0(), 0.5, 1e-9);
+  EXPECT_NEAR(fit.k1(), 0.02, 1e-9);
+  EXPECT_NEAR(fit.k2(), 3e-3, 1e-12);
+}
+
+TEST(LeastSquaresFit, HandlesNoisyDatasheetPoints) {
+  // DPMIH-like published curve with 0.2% efficiency jitter.
+  const QuadraticLossModel truth =
+      QuadraticLossModel::fit_from_peak(0.909, 30.0_A, 1.0_V);
+  std::vector<QuadraticLossModel::EfficiencyPoint> points;
+  const double jitter[] = {0.002, -0.002, 0.001, -0.001, 0.002, -0.002};
+  int j = 0;
+  for (double i : {5.0, 10.0, 20.0, 40.0, 70.0, 100.0})
+    points.push_back({Current{i},
+                      truth.efficiency(Current{i}, 1.0_V) + jitter[j++]});
+  const QuadraticLossModel fit =
+      QuadraticLossModel::fit_least_squares(points, 1.0_V);
+  // Peak location and value land near the truth.
+  EXPECT_NEAR(fit.peak_current().value, 30.0, 6.0);
+  EXPECT_NEAR(fit.peak_efficiency(1.0_V), 0.909, 0.01);
+}
+
+TEST(LeastSquaresFit, PinsCoefficientsWhenDataIsDegenerate) {
+  // A perfectly flat-efficiency (loss ~ linear in I) curve drives k0 and
+  // k2 toward zero; the fit must still return a valid model.
+  std::vector<QuadraticLossModel::EfficiencyPoint> points;
+  for (double i : {5.0, 10.0, 20.0, 40.0})
+    points.push_back({Current{i}, 0.90});
+  const QuadraticLossModel fit =
+      QuadraticLossModel::fit_least_squares(points, 1.0_V);
+  EXPECT_GT(fit.k0(), 0.0);
+  EXPECT_GT(fit.k2(), 0.0);
+  EXPECT_NEAR(fit.efficiency(20.0_A, 1.0_V), 0.90, 0.01);
+}
+
+TEST(LeastSquaresFit, Validation) {
+  std::vector<QuadraticLossModel::EfficiencyPoint> two{
+      {Current{1.0}, 0.9}, {Current{2.0}, 0.9}};
+  EXPECT_THROW(QuadraticLossModel::fit_least_squares(two, 1.0_V),
+               InvalidArgument);
+  std::vector<QuadraticLossModel::EfficiencyPoint> bad{
+      {Current{1.0}, 0.9}, {Current{2.0}, 1.2}, {Current{3.0}, 0.9}};
+  EXPECT_THROW(QuadraticLossModel::fit_least_squares(bad, 1.0_V),
+               InvalidArgument);
+}
+
+// ---- Phase shedding -------------------------------------------------------------
+
+SynchronousBuck shedding_buck() {
+  BuckDesignInputs in;
+  in.device_tech = gan_technology();
+  in.inductor_tech = embedded_package_inductor_technology();
+  in.capacitor_tech = deep_trench_technology();
+  in.v_in = 12.0_V;
+  in.v_out = 1.0_V;
+  in.rated_current = 40.0_A;
+  in.phases = 4;
+  in.f_sw = 4.0_MHz;  // high f_sw -> meaningful fixed loss per phase
+  return SynchronousBuck(in);
+}
+
+TEST(PhaseShedding, AllPhasesAtFullLoad) {
+  const SynchronousBuck buck = shedding_buck();
+  EXPECT_EQ(buck.optimal_active_phases(40.0_A), 4u);
+}
+
+TEST(PhaseShedding, FewerPhasesAtLightLoad) {
+  const SynchronousBuck buck = shedding_buck();
+  EXPECT_LT(buck.optimal_active_phases(2.0_A), 4u);
+}
+
+TEST(PhaseShedding, NeverWorseThanFullPhaseCount) {
+  const SynchronousBuck buck = shedding_buck();
+  for (double i : {1.0, 3.0, 8.0, 15.0, 25.0, 40.0}) {
+    const double with = buck.efficiency_with_shedding(Current{i});
+    const double without = buck.efficiency(Current{i});
+    EXPECT_GE(with, without - 1e-12) << i;
+  }
+}
+
+TEST(PhaseShedding, FullCountMatchesBaseModel) {
+  const SynchronousBuck buck = shedding_buck();
+  EXPECT_NEAR(buck.loss_with_phases(30.0_A, 4).value,
+              buck.loss(30.0_A).value, 1e-12);
+}
+
+TEST(PhaseShedding, Validation) {
+  const SynchronousBuck buck = shedding_buck();
+  EXPECT_THROW(buck.loss_with_phases(10.0_A, 0), InvalidArgument);
+  EXPECT_THROW(buck.loss_with_phases(10.0_A, 5), InvalidArgument);
+  EXPECT_THROW(buck.optimal_active_phases(Current{0.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

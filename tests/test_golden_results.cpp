@@ -1,0 +1,96 @@
+// Golden-number regression guard for the headline reproduction: pins the
+// Fig. 7 table (paper mode) within tight bands so refactoring the models
+// cannot silently move the published comparison. If a deliberate model
+// change shifts these, update EXPERIMENTS.md alongside this file.
+#include <gtest/gtest.h>
+
+#include "vpd/core/explorer.hpp"
+
+namespace vpd {
+namespace {
+
+struct Golden {
+  ArchitectureKind arch;
+  std::optional<TopologyKind> topo;
+  double loss_fraction;  // as reproduced and recorded in EXPERIMENTS.md
+};
+
+TEST(GoldenResults, FigureSevenTable) {
+  EvaluationOptions options;
+  options.below_die_area_fraction = 1.6;
+  const ArchitectureExplorer explorer(paper_system(), options);
+  const ExplorationResult result = explorer.explore();
+
+  const Golden golden[] = {
+      {ArchitectureKind::kA0_PcbConversion, std::nullopt, 0.416},
+      {ArchitectureKind::kA1_InterposerPeriphery, TopologyKind::kDpmih,
+       0.222},
+      {ArchitectureKind::kA1_InterposerPeriphery, TopologyKind::kDsch,
+       0.175},
+      {ArchitectureKind::kA2_InterposerBelowDie, TopologyKind::kDpmih,
+       0.164},
+      {ArchitectureKind::kA2_InterposerBelowDie, TopologyKind::kDsch,
+       0.114},
+      {ArchitectureKind::kA3_TwoStage12V, TopologyKind::kDsch, 0.240},
+      {ArchitectureKind::kA3_TwoStage6V, TopologyKind::kDsch, 0.271},
+  };
+  for (const Golden& g : golden) {
+    const auto& entry = result.find(g.arch, g.topo);
+    ASSERT_FALSE(entry.excluded())
+        << to_string(g.arch) << (g.topo ? to_string(*g.topo) : "");
+    const double f =
+        entry.evaluation->loss_fraction(result.spec.total_power);
+    EXPECT_NEAR(f, g.loss_fraction, 0.01)
+        << to_string(g.arch) << " / "
+        << (g.topo ? to_string(*g.topo) : "PCB");
+  }
+
+  // The single-stage 3LHD exclusions are part of the golden behaviour.
+  EXPECT_TRUE(result
+                  .find(ArchitectureKind::kA1_InterposerPeriphery,
+                        TopologyKind::kDickson)
+                  .excluded());
+  EXPECT_TRUE(result
+                  .find(ArchitectureKind::kA2_InterposerBelowDie,
+                        TopologyKind::kDickson)
+                  .excluded());
+}
+
+TEST(GoldenResults, OrderingInvariants) {
+  EvaluationOptions options;
+  options.below_die_area_fraction = 1.6;
+  const ArchitectureExplorer explorer(paper_system(), options);
+  const ExplorationResult result = explorer.explore();
+  auto loss = [&](ArchitectureKind a, std::optional<TopologyKind> t) {
+    return result.find(a, t).evaluation->loss_fraction(
+        result.spec.total_power);
+  };
+  // The paper's coarse ordering: every VPD architecture beats A0; DSCH
+  // beats DPMIH everywhere; two-stage trails single-stage; 6 V trails
+  // 12 V.
+  const double a0 = loss(ArchitectureKind::kA0_PcbConversion, std::nullopt);
+  for (ArchitectureKind arch : {ArchitectureKind::kA1_InterposerPeriphery,
+                                ArchitectureKind::kA2_InterposerBelowDie,
+                                ArchitectureKind::kA3_TwoStage12V,
+                                ArchitectureKind::kA3_TwoStage6V}) {
+    for (TopologyKind topo : {TopologyKind::kDpmih, TopologyKind::kDsch}) {
+      EXPECT_LT(loss(arch, topo), a0)
+          << to_string(arch) << "/" << to_string(topo);
+    }
+    EXPECT_LT(loss(arch, TopologyKind::kDsch),
+              loss(arch, TopologyKind::kDpmih))
+        << to_string(arch);
+  }
+  EXPECT_LT(loss(ArchitectureKind::kA2_InterposerBelowDie,
+                 TopologyKind::kDsch),
+            loss(ArchitectureKind::kA1_InterposerPeriphery,
+                 TopologyKind::kDsch));
+  EXPECT_LT(loss(ArchitectureKind::kA1_InterposerPeriphery,
+                 TopologyKind::kDsch),
+            loss(ArchitectureKind::kA3_TwoStage12V, TopologyKind::kDsch));
+  EXPECT_LT(loss(ArchitectureKind::kA3_TwoStage12V, TopologyKind::kDsch),
+            loss(ArchitectureKind::kA3_TwoStage6V, TopologyKind::kDsch));
+}
+
+}  // namespace
+}  // namespace vpd

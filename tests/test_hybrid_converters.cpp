@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+#include "vpd/converters/catalog.hpp"
+#include "vpd/converters/dickson.hpp"
+#include "vpd/converters/dpmih.hpp"
+#include "vpd/converters/dsch.hpp"
+#include "vpd/converters/transformer_stage.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(Hybrid, DpmihMatchesPublishedPeak) {
+  const auto c = dpmih_converter();
+  EXPECT_NEAR(c->efficiency(30.0_A), 0.909, 1e-9);
+  EXPECT_NEAR(c->loss_model().peak_current().value, 30.0, 1e-9);
+  EXPECT_TRUE(c->supports(100.0_A));
+  EXPECT_FALSE(c->supports(101.0_A));
+}
+
+TEST(Hybrid, DschMatchesPublishedPeak) {
+  const auto c = dsch_converter();
+  EXPECT_NEAR(c->efficiency(10.0_A), 0.915, 1e-9);
+  EXPECT_TRUE(c->supports(30.0_A));
+  EXPECT_FALSE(c->supports(31.0_A));
+  EXPECT_EQ(c->device_technology(), DeviceTechnology::kSilicon);
+}
+
+TEST(Hybrid, DicksonMatchesPublishedPeak) {
+  const auto c = dickson_converter();
+  EXPECT_NEAR(c->efficiency(3.0_A), 0.904, 1e-9);
+  EXPECT_FALSE(c->supports(20.0_A));  // the paper's Fig. 7 exclusion
+  // Extrapolated estimate is still computable, clearly flagged by API name.
+  EXPECT_GT(c->loss_extrapolated(20.0_A).value, 0.0);
+}
+
+TEST(Hybrid, AreasFollowSwitchDensity) {
+  // Table II: area = switches / (switches per mm^2).
+  EXPECT_NEAR(as_mm2(dpmih_converter()->spec().area), 8.0 / 0.15, 1e-6);
+  EXPECT_NEAR(as_mm2(dsch_converter()->spec().area), 5.0 / 0.69, 1e-6);
+  EXPECT_NEAR(as_mm2(dickson_converter()->spec().area), 11.0 / 1.22, 1e-6);
+}
+
+TEST(Hybrid, SwitchDensityRoundTrips) {
+  EXPECT_NEAR(dpmih_converter()->spec().switches_per_mm2(), 0.15, 1e-9);
+  EXPECT_NEAR(dsch_converter()->spec().switches_per_mm2(), 0.69, 1e-9);
+  EXPECT_NEAR(dickson_converter()->spec().switches_per_mm2(), 1.22, 1e-9);
+}
+
+TEST(Hybrid, GanRetargetingImprovesSiliconDesigns) {
+  const auto si = dsch_converter(DeviceTechnology::kSilicon);
+  const auto gan = dsch_converter(DeviceTechnology::kGalliumNitride);
+  EXPECT_GT(gan->loss_model().peak_efficiency(1.0_V),
+            si->loss_model().peak_efficiency(1.0_V));
+  // The improvement is bounded: not all loss is device switching loss.
+  EXPECT_LT(gan->loss_model().peak_efficiency(1.0_V), 0.97);
+  EXPECT_EQ(gan->device_technology(), DeviceTechnology::kGalliumNitride);
+}
+
+TEST(Hybrid, GanRetargetingIsNoOpForGanDesigns) {
+  const auto a = dpmih_converter(DeviceTechnology::kGalliumNitride);
+  EXPECT_NEAR(a->loss_model().k0(), dpmih_converter()->loss_model().k0(),
+              1e-15);
+}
+
+TEST(Hybrid, PreserveEfficiencyRetargetKeepsEtaCurve) {
+  // The paper's methodology: the converter's efficiency at a given load
+  // current carries over to the new conversion scheme unchanged.
+  const auto full = dpmih_converter();
+  const auto first_stage = full->with_conversion(48.0_V, 12.0_V);
+  EXPECT_NEAR(first_stage->spec().v_out.value, 12.0, 1e-12);
+  for (double i : {10.0, 30.0, 60.0, 100.0}) {
+    EXPECT_NEAR(first_stage->efficiency(Current{i}),
+                full->efficiency(Current{i}), 1e-9)
+        << i;
+  }
+  // Loss at the same current is 12x larger (12x the processed power).
+  EXPECT_NEAR(first_stage->loss(30.0_A).value,
+              12.0 * full->loss(30.0_A).value, 1e-9);
+}
+
+TEST(Hybrid, PhysicsRetargetScalesSwitchingLoss) {
+  const auto full = dpmih_converter();
+  const auto same_vin = full->with_conversion(
+      48.0_V, 12.0_V,
+      HybridSwitchedConverter::ConversionRetarget::kScaleSwitchingWithVin);
+  // Same input voltage -> same fixed loss; efficiency at 12 V much better.
+  EXPECT_NEAR(same_vin->loss_model().k0(), full->loss_model().k0(), 1e-12);
+  EXPECT_GT(same_vin->efficiency(30.0_A), full->efficiency(30.0_A));
+
+  const auto second_stage = dsch_converter()->with_conversion(
+      12.0_V, 1.0_V,
+      HybridSwitchedConverter::ConversionRetarget::kScaleSwitchingWithVin);
+  // Quarter input voltage -> quarter switching loss (linear exponent).
+  EXPECT_NEAR(second_stage->loss_model().k0(),
+              dsch_converter()->loss_model().k0() * 12.0 / 48.0, 1e-12);
+}
+
+TEST(Hybrid, ConversionRetargetingValidation) {
+  const auto c = dpmih_converter();
+  EXPECT_THROW(c->with_conversion(1.0_V, 12.0_V), InvalidArgument);
+  EXPECT_THROW(
+      c->with_conversion(
+          12.0_V, 1.0_V,
+          HybridSwitchedConverter::ConversionRetarget::kScaleSwitchingWithVin,
+          -1.0),
+      InvalidArgument);
+}
+
+TEST(Catalog, EnumeratesAllTopologies) {
+  const auto all = all_topologies();
+  ASSERT_EQ(all.size(), 3u);
+  for (TopologyKind kind : all) {
+    const auto c = make_topology(kind);
+    EXPECT_EQ(c->device_technology(), DeviceTechnology::kGalliumNitride);
+    EXPECT_GT(c->spec().max_current.value, 0.0);
+  }
+  EXPECT_STREQ(to_string(TopologyKind::kDpmih), "DPMIH");
+  EXPECT_STREQ(to_string(TopologyKind::kDsch), "DSCH");
+  EXPECT_STREQ(to_string(TopologyKind::kDickson), "3LHD");
+}
+
+TEST(Catalog, PublishedTableTwoRowsMatchData) {
+  const auto rows = published_table_two();
+  ASSERT_EQ(rows.size(), 3u);
+  for (const TableTwoRow& row : rows) {
+    const HybridConverterData d = topology_data(row.kind);
+    EXPECT_EQ(row.switches, d.switch_count) << row.label;
+    EXPECT_EQ(row.inductors, d.inductor_count) << row.label;
+    EXPECT_EQ(row.capacitors, d.capacitor_count) << row.label;
+    EXPECT_NEAR(row.max_load.value, d.max_current.value, 1e-12) << row.label;
+    EXPECT_NEAR(row.switches_per_mm2, d.switches_per_mm2, 1e-12)
+        << row.label;
+  }
+  // Published placement counts (Table II, last two rows).
+  EXPECT_EQ(rows[0].vrs_along_periphery, 8u);
+  EXPECT_EQ(rows[0].vrs_below_die, 7u);
+  EXPECT_EQ(rows[1].vrs_along_periphery, 48u);
+  EXPECT_EQ(rows[2].vrs_below_die, 48u);
+}
+
+TEST(FixedEfficiency, FlatCurve) {
+  const auto pcb = pcb_reference_converter();
+  // 90% at any load in range (the paper's A0 model).
+  EXPECT_NEAR(pcb->efficiency(100.0_A), 0.90, 1e-3);
+  EXPECT_NEAR(pcb->efficiency(1000.0_A), 0.90, 1e-3);
+  EXPECT_NEAR(pcb->rated_efficiency(), 0.90, 1e-12);
+}
+
+TEST(FixedEfficiency, TransformerStage) {
+  const auto xfmr = transformer_first_stage();
+  EXPECT_NEAR(xfmr->efficiency(50.0_A), 0.965, 1e-3);
+  EXPECT_NEAR(xfmr->spec().v_out.value, 12.0, 1e-12);
+}
+
+TEST(Hybrid, EfficiencyCurveShapeAcrossLoadRange) {
+  // Below the peak current, efficiency rises; above, it falls.
+  const auto c = dpmih_converter();
+  double prev = c->efficiency(5.0_A);
+  for (double i = 10.0; i <= 30.0; i += 5.0) {
+    const double eta = c->efficiency(Current{i});
+    EXPECT_GT(eta, prev) << i;
+    prev = eta;
+  }
+  for (double i = 40.0; i <= 100.0; i += 10.0) {
+    const double eta = c->efficiency(Current{i});
+    EXPECT_LT(eta, prev) << i;
+    prev = eta;
+  }
+}
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,118 @@
+#include "vpd/package/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(TableOne, HasAllFiveLevels) {
+  const auto specs = table_one();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].type, "BGA");
+  EXPECT_EQ(specs[1].type, "C4");
+  EXPECT_EQ(specs[2].type, "TSV");
+  EXPECT_EQ(specs[3].type, "u-bump");
+  EXPECT_EQ(specs[4].type, "Cu pad");
+}
+
+TEST(TableOne, GeometryMatchesPublishedValues) {
+  const auto bga = interconnect_spec(InterconnectLevel::kPcbToPackage);
+  EXPECT_NEAR(as_um(bga.diameter), 400.0, 1e-9);
+  EXPECT_NEAR(as_um2(bga.cross_section), 125664.0, 1e-6);
+  EXPECT_NEAR(as_um(bga.height), 300.0, 1e-9);
+  EXPECT_NEAR(as_um(bga.pitch), 800.0, 1e-9);
+  EXPECT_NEAR(as_mm2(bga.platform_area), 1800.0, 1e-6);
+
+  const auto tsv = interconnect_spec(InterconnectLevel::kThroughInterposer);
+  EXPECT_EQ(tsv.material, "Cu");
+  EXPECT_NEAR(as_um2(tsv.cross_section), 20.0, 1e-9);
+  EXPECT_NEAR(as_um(tsv.pitch), 10.0, 1e-9);
+
+  const auto pad = interconnect_spec(InterconnectLevel::kInterposerToDiePad);
+  EXPECT_NEAR(as_um2(pad.cross_section), 100.0, 1e-9);
+  EXPECT_NEAR(as_um(pad.height), 10.0, 1e-9);
+}
+
+TEST(TableOne, PerViaResistances) {
+  // R = rho * h / A. BGA: 1.3e-7 * 300u / 125664u^2 ~ 0.31 mOhm.
+  const auto bga = interconnect_spec(InterconnectLevel::kPcbToPackage);
+  EXPECT_NEAR(as_mOhm(bga.per_via()), 0.310, 0.01);
+  // TSV: 1.7e-8 * 50u / 20u^2 = 42.5 mOhm.
+  const auto tsv = interconnect_spec(InterconnectLevel::kThroughInterposer);
+  EXPECT_NEAR(as_mOhm(tsv.per_via()), 42.5, 0.1);
+  // C4: ~1.16 mOhm; u-bump ~4.6 mOhm; Cu pad 1.7 mOhm.
+  EXPECT_NEAR(
+      as_mOhm(interconnect_spec(InterconnectLevel::kPackageToInterposer)
+                  .per_via()),
+      1.16, 0.02);
+  EXPECT_NEAR(
+      as_mOhm(interconnect_spec(InterconnectLevel::kInterposerToDieBump)
+                  .per_via()),
+      4.60, 0.05);
+  EXPECT_NEAR(
+      as_mOhm(interconnect_spec(InterconnectLevel::kInterposerToDiePad)
+                  .per_via()),
+      1.70, 0.01);
+}
+
+TEST(TableOne, AvailableCounts) {
+  // BGA: 1800 mm^2 at 800 um pitch -> 2812 sites.
+  const auto bga = interconnect_spec(InterconnectLevel::kPcbToPackage);
+  EXPECT_EQ(bga.available_count(), 2812u);
+  // TSV: 1200 mm^2 at 10 um pitch -> 12M sites.
+  const auto tsv = interconnect_spec(InterconnectLevel::kThroughInterposer);
+  EXPECT_EQ(tsv.available_count(), 12000000u);
+  // u-bumps over the 500 mm^2 die: 500 / (60u)^2 ~ 138,888.
+  const auto ub = interconnect_spec(InterconnectLevel::kInterposerToDieBump);
+  EXPECT_EQ(ub.available_count(), 138888u);
+  // Sub-area counting.
+  EXPECT_EQ(tsv.available_count(1.0_mm2), 10000u);
+}
+
+TEST(TableOne, ViasForCurrentCeils) {
+  const auto bga = interconnect_spec(InterconnectLevel::kPcbToPackage);
+  EXPECT_EQ(bga.vias_for_current(20.8_A), 21u);
+  EXPECT_EQ(bga.vias_for_current(1.0_A), 1u);
+  EXPECT_EQ(bga.vias_for_current(Current{0.0}), 0u);
+}
+
+TEST(TableOne, NetPairResistanceIsRoundTrip) {
+  const auto bga = interconnect_spec(InterconnectLevel::kPcbToPackage);
+  const Resistance r = bga.net_pair_resistance(100);
+  EXPECT_NEAR(r.value, 2.0 * bga.per_via().value / 100.0, 1e-15);
+  EXPECT_THROW(bga.net_pair_resistance(0), InvalidArgument);
+}
+
+TEST(TableOne, PowerAllocationCaps) {
+  EXPECT_NEAR(
+      interconnect_spec(InterconnectLevel::kPcbToPackage).max_power_fraction,
+      0.60, 1e-12);
+  EXPECT_NEAR(interconnect_spec(InterconnectLevel::kPackageToInterposer)
+                  .max_power_fraction,
+              0.85, 1e-12);
+}
+
+TEST(TableOne, SolderVsCopperMaterials) {
+  for (const auto& s : table_one()) {
+    if (s.material == "Cu") {
+      EXPECT_NEAR(s.resistivity.value, kCopperResistivity.value, 1e-12)
+          << s.type;
+    } else {
+      EXPECT_NEAR(s.resistivity.value, kSolderResistivity.value, 1e-12)
+          << s.type;
+    }
+  }
+}
+
+TEST(TableOne, LevelNames) {
+  EXPECT_STREQ(to_string(InterconnectLevel::kPcbToPackage), "PCB/PKG");
+  EXPECT_STREQ(to_string(InterconnectLevel::kThroughInterposer),
+               "Through-Interposer");
+}
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,110 @@
+#include "vpd/common/interpolation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+TEST(PiecewiseLinear, InterpolatesBetweenKnots) {
+  const PiecewiseLinear f({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 10.0);
+}
+
+TEST(PiecewiseLinear, ExactAtKnots) {
+  const PiecewiseLinear f({1.0, 2.0, 4.0}, {3.0, -1.0, 7.0});
+  EXPECT_DOUBLE_EQ(f(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(2.0), -1.0);
+  EXPECT_DOUBLE_EQ(f(4.0), 7.0);
+}
+
+TEST(PiecewiseLinear, ClampPolicyHoldsBoundary) {
+  const PiecewiseLinear f({0.0, 1.0}, {2.0, 4.0}, Extrapolation::kClamp);
+  EXPECT_DOUBLE_EQ(f(-5.0), 2.0);
+  EXPECT_DOUBLE_EQ(f(9.0), 4.0);
+}
+
+TEST(PiecewiseLinear, LinearPolicyExtendsSlope) {
+  const PiecewiseLinear f({0.0, 1.0}, {0.0, 2.0}, Extrapolation::kLinear);
+  EXPECT_DOUBLE_EQ(f(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(f(-1.0), -2.0);
+}
+
+TEST(PiecewiseLinear, ThrowPolicyThrows) {
+  const PiecewiseLinear f({0.0, 1.0}, {0.0, 1.0}, Extrapolation::kThrow);
+  EXPECT_THROW(f(1.5), InvalidArgument);
+  EXPECT_THROW(f(-0.1), InvalidArgument);
+  EXPECT_NO_THROW(f(0.5));
+}
+
+TEST(PiecewiseLinear, RejectsBadKnots) {
+  EXPECT_THROW(PiecewiseLinear({1.0, 1.0}, {0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(PiecewiseLinear({2.0, 1.0}, {0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(PiecewiseLinear({1.0}, {0.0}), InvalidArgument);
+  EXPECT_THROW(PiecewiseLinear({1.0, 2.0}, {0.0}), InvalidArgument);
+}
+
+TEST(PiecewiseLinear, ArgmaxAndMax) {
+  const PiecewiseLinear f({0.0, 10.0, 30.0, 100.0}, {0.5, 0.91, 0.88, 0.8});
+  EXPECT_DOUBLE_EQ(f.argmax(), 10.0);
+  EXPECT_DOUBLE_EQ(f.max_value(), 0.91);
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.25);
+  EXPECT_THROW(linspace(0.0, 1.0, 1), InvalidArgument);
+}
+
+TEST(Logspace, EndpointsAndMonotonicity) {
+  const auto v = logspace(1.0, 1000.0, 4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[2], 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(v[3], 1000.0);
+  EXPECT_THROW(logspace(0.0, 1.0, 3), InvalidArgument);
+}
+
+TEST(RootBisect, FindsSqrtTwo) {
+  const double r =
+      find_root_bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-10);
+}
+
+TEST(RootBisect, ReturnsEndpointRoot) {
+  EXPECT_DOUBLE_EQ(
+      find_root_bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+}
+
+TEST(RootBisect, NoSignChangeThrows) {
+  EXPECT_THROW(
+      find_root_bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+      InvalidArgument);
+}
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const double x =
+      minimize_golden([](double t) { return (t - 3.0) * (t - 3.0); }, 0.0,
+                      10.0);
+  EXPECT_NEAR(x, 3.0, 1e-6);
+}
+
+TEST(GoldenSection, FindsEfficiencyPeakShape) {
+  // eta(I) = I / (I + k0 + k2 I^2) peaks at sqrt(k0/k2).
+  const double k0 = 1.5, k2 = 1.0 / 600.0;
+  const auto loss = [&](double i) { return -(i / (i + k0 + k2 * i * i)); };
+  const double peak = minimize_golden(loss, 0.1, 100.0, 1e-9);
+  EXPECT_NEAR(peak, std::sqrt(k0 / k2), 1e-4);
+}
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+#include "vpd/package/layers.hpp"
+#include "vpd/package/stackup.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(Layers, SheetResistanceFromGeometry) {
+  // 70 um copper, 4 planes: 1.7e-8 / 70e-6 / 4 ~ 60.7 uOhm/sq.
+  EXPECT_NEAR(pcb_power_planes().sheet_resistance() * 1e6, 60.7, 0.5);
+  // Thinner layers have higher sheet resistance.
+  EXPECT_GT(package_power_planes().sheet_resistance(),
+            pcb_power_planes().sheet_resistance());
+  EXPECT_GT(interposer_rdl().sheet_resistance(),
+            package_power_planes().sheet_resistance());
+  EXPECT_GT(die_grid().sheet_resistance(),
+            interposer_rdl().sheet_resistance());
+}
+
+TEST(Layers, SegmentResistanceAndLoss) {
+  const LateralSegment seg{"test", pcb_power_planes(), 2.0};
+  EXPECT_NEAR(seg.resistance().value,
+              2.0 * pcb_power_planes().sheet_resistance(), 1e-15);
+  EXPECT_NEAR(seg.loss(10.0_A).value, 100.0 * seg.resistance().value,
+              1e-12);
+}
+
+TEST(Layers, DefaultSegmentsHaveSubMilliohmResistances) {
+  // Sanity band: each default lateral segment is in the 0.01-0.5 mOhm
+  // range — the regime where a 1 kA current produces the paper's tens of
+  // percent loss.
+  for (const LateralSegment& seg :
+       {pcb_lateral_segment(), package_lateral_segment(),
+        interposer_lateral_segment()}) {
+    EXPECT_GT(as_mOhm(seg.resistance()), 0.01) << seg.name;
+    EXPECT_LT(as_mOhm(seg.resistance()), 0.5) << seg.name;
+  }
+}
+
+TEST(Stackup, StageLossIsQuadraticInCurrent) {
+  PowerPath path;
+  path.add_lateral(pcb_lateral_segment(), 10.0_A);
+  const Power at10 = path.total_loss();
+  PowerPath path2;
+  path2.add_lateral(pcb_lateral_segment(), 20.0_A);
+  EXPECT_NEAR(path2.total_loss().value, 4.0 * at10.value, 1e-12);
+}
+
+TEST(Stackup, VerticalLateralSplit) {
+  PowerPath path;
+  const auto bga = interconnect_spec(InterconnectLevel::kPcbToPackage);
+  path.add_vertical(bga, 21.0_A);
+  path.add_lateral(pcb_lateral_segment(), 21.0_A);
+  EXPECT_GT(path.vertical_loss().value, 0.0);
+  EXPECT_GT(path.lateral_loss().value, 0.0);
+  EXPECT_NEAR(path.total_loss().value,
+              path.vertical_loss().value + path.lateral_loss().value,
+              1e-15);
+  ASSERT_EQ(path.stages().size(), 2u);
+  EXPECT_TRUE(path.stages()[0].vertical);
+  EXPECT_FALSE(path.stages()[1].vertical);
+}
+
+TEST(Stackup, ViaCountDefaultsToCurrentLimit) {
+  PowerPath path;
+  const auto bga = interconnect_spec(InterconnectLevel::kPcbToPackage);
+  path.add_vertical(bga, 21.0_A);  // 1 A per via -> 21 vias
+  EXPECT_EQ(path.stages()[0].vias_per_net, 21u);
+  // Override wins.
+  PowerPath path2;
+  path2.add_vertical(bga, 21.0_A, 100);
+  EXPECT_EQ(path2.stages()[0].vias_per_net, 100u);
+  EXPECT_LT(path2.stages()[0].resistance.value,
+            path.stages()[0].resistance.value);
+}
+
+TEST(Stackup, VerticalLossIsNegligibleAtHighViaCount) {
+  // The paper's observation: vertical interconnect loss is negligible.
+  // 1 kA through 25,000 C4 vias: R = 2 * 1.16 mOhm / 25000 ~ 93 nOhm
+  // -> less than 0.1 W of the 1 kW delivered.
+  PowerPath path;
+  const auto c4 = interconnect_spec(InterconnectLevel::kPackageToInterposer);
+  path.add_vertical(c4, Current{1000.0});
+  EXPECT_LT(path.total_loss().value, 0.5);
+}
+
+TEST(Stackup, DropAccumulates) {
+  PowerPath path;
+  path.add_lateral(pcb_lateral_segment(), 100.0_A);
+  path.add_lateral(package_lateral_segment(), 100.0_A);
+  const double expected = 100.0 * (pcb_lateral_segment().resistance().value +
+                                   package_lateral_segment().resistance().value);
+  EXPECT_NEAR(path.total_drop().value, expected, 1e-12);
+}
+
+TEST(Stackup, Validation) {
+  PowerPath path;
+  EXPECT_THROW(path.add_lateral(pcb_lateral_segment(), Current{0.0}),
+               InvalidArgument);
+  const auto bga = interconnect_spec(InterconnectLevel::kPcbToPackage);
+  EXPECT_THROW(path.add_vertical(bga, Current{-1.0}), InvalidArgument);
+  PathStage bad;
+  bad.name = "bad";
+  bad.resistance = Resistance{-1.0};
+  EXPECT_THROW(path.add_stage(bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

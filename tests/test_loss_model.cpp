@@ -1,0 +1,124 @@
+#include "vpd/converters/loss_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(LossModel, LossIsQuadratic) {
+  const QuadraticLossModel m(1.0, 0.1, 0.01);
+  EXPECT_NEAR(m.loss(10.0_A).value, 1.0 + 1.0 + 1.0, 1e-12);
+  EXPECT_NEAR(m.loss(Current{0.0}).value, 1.0, 1e-12);
+}
+
+TEST(LossModel, EfficiencyPeaksAtSqrtK0OverK2) {
+  const QuadraticLossModel m(1.5, 0.0, 1.0 / 600.0);
+  EXPECT_NEAR(m.peak_current().value, std::sqrt(1.5 * 600.0), 1e-9);
+  // Efficiency at the peak exceeds efficiency slightly off-peak.
+  const double at_peak = m.efficiency(m.peak_current(), 1.0_V);
+  EXPECT_GT(at_peak, m.efficiency(Current{m.peak_current().value * 0.7},
+                                  1.0_V));
+  EXPECT_GT(at_peak, m.efficiency(Current{m.peak_current().value * 1.4},
+                                  1.0_V));
+}
+
+TEST(LossModel, FitFromPeakReproducesRequestedPoint) {
+  // DPMIH's published point: 90.9% at 30 A, Vout = 1 V.
+  const QuadraticLossModel m =
+      QuadraticLossModel::fit_from_peak(0.909, 30.0_A, 1.0_V);
+  EXPECT_NEAR(m.peak_current().value, 30.0, 1e-9);
+  EXPECT_NEAR(m.peak_efficiency(1.0_V), 0.909, 1e-12);
+}
+
+TEST(LossModel, FitHonorsLinearTerm) {
+  const QuadraticLossModel m =
+      QuadraticLossModel::fit_from_peak(0.90, 10.0_A, 1.0_V, 0.05);
+  EXPECT_NEAR(m.k1(), 0.05, 1e-15);
+  EXPECT_NEAR(m.peak_efficiency(1.0_V), 0.90, 1e-12);
+  EXPECT_NEAR(m.peak_current().value, 10.0, 1e-9);
+}
+
+TEST(LossModel, FitRejectsImpossiblePeaks) {
+  // k1 alone already exceeds the allowed loss.
+  EXPECT_THROW(QuadraticLossModel::fit_from_peak(0.95, 10.0_A, 1.0_V, 0.2),
+               InvalidArgument);
+  EXPECT_THROW(QuadraticLossModel::fit_from_peak(1.0, 10.0_A, 1.0_V),
+               InvalidArgument);
+  EXPECT_THROW(QuadraticLossModel::fit_from_peak(0.9, Current{0.0}, 1.0_V),
+               InvalidArgument);
+}
+
+TEST(LossModel, EfficiencyIsAlwaysInUnitInterval) {
+  const QuadraticLossModel m =
+      QuadraticLossModel::fit_from_peak(0.915, 10.0_A, 1.0_V);
+  for (double i = 0.1; i <= 60.0; i += 0.7) {
+    const double eta = m.efficiency(Current{i}, 1.0_V);
+    EXPECT_GT(eta, 0.0) << i;
+    EXPECT_LT(eta, 1.0) << i;
+  }
+}
+
+TEST(LossModel, HigherOutputVoltageImprovesEfficiency) {
+  const QuadraticLossModel m(1.0, 0.0, 0.01);
+  EXPECT_GT(m.efficiency(10.0_A, 12.0_V), m.efficiency(10.0_A, 1.0_V));
+}
+
+TEST(LossModel, ScaledAdjustsCoefficients) {
+  const QuadraticLossModel m(2.0, 0.1, 0.04);
+  const QuadraticLossModel s = m.scaled(0.5, 2.0);
+  EXPECT_NEAR(s.k0(), 1.0, 1e-15);
+  EXPECT_NEAR(s.k1(), 0.1, 1e-15);
+  EXPECT_NEAR(s.k2(), 0.08, 1e-15);
+  EXPECT_THROW(m.scaled(0.0, 1.0), InvalidArgument);
+}
+
+TEST(LossModel, ScalingSwitchingDownShiftsPeakDown) {
+  // Halving k0 moves the peak to lower current: I* = sqrt(k0/k2).
+  const QuadraticLossModel m(2.0, 0.0, 0.02);
+  const QuadraticLossModel s = m.scaled(0.25, 1.0);
+  EXPECT_NEAR(s.peak_current().value, 0.5 * m.peak_current().value, 1e-12);
+  EXPECT_GT(s.peak_efficiency(1.0_V), m.peak_efficiency(1.0_V));
+}
+
+TEST(LossModel, Validation) {
+  EXPECT_THROW(QuadraticLossModel(0.0, 0.0, 0.1), InvalidArgument);
+  EXPECT_THROW(QuadraticLossModel(1.0, -0.1, 0.1), InvalidArgument);
+  EXPECT_THROW(QuadraticLossModel(1.0, 0.0, 0.0), InvalidArgument);
+  const QuadraticLossModel m(1.0, 0.0, 0.1);
+  EXPECT_THROW(m.loss(Current{-1.0}), InvalidArgument);
+  EXPECT_THROW(m.efficiency(Current{0.0}, 1.0_V), InvalidArgument);
+}
+
+// Parameterized sweep: fitting any (eta*, I*) pair and reading it back is
+// exact, a round-trip property of the fit.
+struct PeakPoint {
+  double eta;
+  double amps;
+};
+
+class LossModelFitSweep : public ::testing::TestWithParam<PeakPoint> {};
+
+TEST_P(LossModelFitSweep, RoundTripsPeakPoint) {
+  const PeakPoint p = GetParam();
+  const QuadraticLossModel m =
+      QuadraticLossModel::fit_from_peak(p.eta, Current{p.amps}, 1.0_V);
+  EXPECT_NEAR(m.peak_current().value, p.amps, 1e-9 * p.amps);
+  EXPECT_NEAR(m.peak_efficiency(1.0_V), p.eta, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PublishedPoints, LossModelFitSweep,
+    ::testing::Values(PeakPoint{0.909, 30.0},   // DPMIH
+                      PeakPoint{0.915, 10.0},   // DSCH
+                      PeakPoint{0.904, 3.0},    // 3LHD
+                      PeakPoint{0.80, 1.0}, PeakPoint{0.98, 100.0},
+                      PeakPoint{0.5, 7.0}));
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,132 @@
+#include "vpd/circuit/mna.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+Netlist voltage_divider() {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId mid = nl.add_node("mid");
+  nl.add_vsource("V1", in, kGround, 10.0_V);
+  nl.add_resistor("R1", in, mid, 1.0_Ohm);
+  nl.add_resistor("R2", mid, kGround, 1.0_Ohm);
+  return nl;
+}
+
+TEST(MnaLayout, CountsUnknowns) {
+  const Netlist nl = voltage_divider();
+  const MnaLayout layout(nl);
+  // 2 node voltages + 1 vsource branch current.
+  EXPECT_EQ(layout.node_unknowns(), 2u);
+  EXPECT_EQ(layout.unknown_count(), 3u);
+}
+
+TEST(MnaLayout, InductorsGetBranchRows) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  nl.add_vsource("V1", a, kGround, 1.0_V);
+  const ElementId l = nl.add_inductor("L1", a, b, 1.0_uH);
+  nl.add_resistor("R1", b, kGround, 1.0_Ohm);
+  const MnaLayout layout(nl);
+  EXPECT_EQ(layout.unknown_count(), 4u);  // 2 nodes + V + L
+  EXPECT_TRUE(layout.has_branch(l));
+  EXPECT_FALSE(layout.has_branch(nl.element_id("R1")));
+  EXPECT_EQ(layout.branch_row(l), 3u);
+  EXPECT_THROW(layout.branch_row(nl.element_id("R1")), InvalidArgument);
+}
+
+TEST(MnaLayout, GroundHasNoRow) {
+  const Netlist nl = voltage_divider();
+  const MnaLayout layout(nl);
+  EXPECT_EQ(layout.node_row(kGround), MnaLayout::kNoRow);
+  EXPECT_EQ(layout.node_row(1), 0u);
+  EXPECT_EQ(layout.node_row(2), 1u);
+}
+
+TEST(MnaStamper, ConductanceStampIsSymmetric) {
+  const Netlist nl = voltage_divider();
+  const MnaLayout layout(nl);
+  MnaStamper s(layout);
+  s.stamp_conductance(1, 2, 0.5);
+  const Matrix& a = s.matrix();
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(a(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 1), -0.5);
+  EXPECT_DOUBLE_EQ(a(1, 0), -0.5);
+}
+
+TEST(MnaStamper, GroundedConductanceOnlyTouchesDiagonal) {
+  const Netlist nl = voltage_divider();
+  const MnaLayout layout(nl);
+  MnaStamper s(layout);
+  s.stamp_conductance(2, kGround, 2.0);
+  EXPECT_DOUBLE_EQ(s.matrix()(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(s.matrix()(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(s.matrix()(0, 1), 0.0);
+}
+
+TEST(MnaStamper, CurrentInjectionSigns) {
+  const Netlist nl = voltage_divider();
+  const MnaLayout layout(nl);
+  MnaStamper s(layout);
+  s.stamp_current_injection(/*from=*/1, /*to=*/2, 3.0);
+  EXPECT_DOUBLE_EQ(s.rhs()[0], -3.0);
+  EXPECT_DOUBLE_EQ(s.rhs()[1], 3.0);
+  // Injection from ground only touches the non-ground side.
+  MnaStamper s2(layout);
+  s2.stamp_current_injection(kGround, 1, 2.0);
+  EXPECT_DOUBLE_EQ(s2.rhs()[0], 2.0);
+}
+
+TEST(MnaStamper, VoltageSourceStamp) {
+  const Netlist nl = voltage_divider();
+  const MnaLayout layout(nl);
+  MnaStamper s(layout);
+  s.stamp_voltage_source(2, /*pos=*/1, /*neg=*/kGround, 10.0);
+  EXPECT_DOUBLE_EQ(s.matrix()(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(s.matrix()(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s.rhs()[2], 10.0);
+}
+
+TEST(MnaStamper, GminOnlyOnNodeRows) {
+  const Netlist nl = voltage_divider();
+  const MnaLayout layout(nl);
+  MnaStamper s(layout);
+  s.stamp_gmin(1e-9);
+  EXPECT_DOUBLE_EQ(s.matrix()(0, 0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.matrix()(1, 1), 1e-9);
+  EXPECT_DOUBLE_EQ(s.matrix()(2, 2), 0.0);  // branch row untouched
+}
+
+TEST(SwitchHelpers, InitialStatesAndResistance) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_switch("S1", a, kGround, Resistance{0.01}, Resistance{1e6}, true);
+  nl.add_switch("S2", a, kGround, Resistance{0.02}, Resistance{1e7}, false);
+  const SwitchStates states = initial_switch_states(nl);
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_TRUE(states[0]);
+  EXPECT_FALSE(states[1]);
+  const Element& s1 = nl.element(nl.element_id("S1"));
+  EXPECT_DOUBLE_EQ(switch_resistance(s1, true), 0.01);
+  EXPECT_DOUBLE_EQ(switch_resistance(s1, false), 1e6);
+  const Element& r = nl.element(nl.element_id("S2"));
+  EXPECT_DOUBLE_EQ(switch_resistance(r, false), 1e7);
+}
+
+TEST(SwitchHelpers, ResistanceRejectsNonSwitch) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_resistor("R1", a, kGround, 1.0_Ohm);
+  EXPECT_THROW(switch_resistance(nl.element(0), true), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

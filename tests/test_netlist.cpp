@@ -1,0 +1,120 @@
+#include "vpd/circuit/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(Netlist, GroundIsNodeZero) {
+  Netlist nl;
+  EXPECT_EQ(nl.node_count(), 1u);
+  EXPECT_EQ(nl.node("gnd"), kGround);
+  EXPECT_EQ(nl.node("0"), kGround);
+  EXPECT_EQ(nl.node_name(kGround), "gnd");
+}
+
+TEST(Netlist, AddAndLookupNodes) {
+  Netlist nl;
+  const NodeId a = nl.add_node("in");
+  const NodeId b = nl.add_node("out");
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(nl.node("in"), a);
+  EXPECT_EQ(nl.node_name(b), "out");
+  EXPECT_THROW(nl.node("missing"), InvalidArgument);
+  EXPECT_THROW(nl.add_node("in"), InvalidArgument);
+  EXPECT_THROW(nl.add_node(""), InvalidArgument);
+}
+
+TEST(Netlist, AddElements) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  const ElementId r = nl.add_resistor("R1", in, out, 1.0_Ohm);
+  const ElementId c = nl.add_capacitor("C1", out, kGround, 1.0_uF);
+  const ElementId l = nl.add_inductor("L1", in, out, 1.0_uH);
+  const ElementId v = nl.add_vsource("V1", in, kGround, 5.0_V);
+  const ElementId i = nl.add_isource("I1", out, kGround, 1.0_A);
+  const ElementId s = nl.add_switch("S1", in, out);
+  EXPECT_EQ(nl.element_count(), 6u);
+  EXPECT_EQ(nl.element(r).kind, ElementKind::kResistor);
+  EXPECT_EQ(nl.element(c).kind, ElementKind::kCapacitor);
+  EXPECT_EQ(nl.element(l).kind, ElementKind::kInductor);
+  EXPECT_EQ(nl.element(v).kind, ElementKind::kVoltageSource);
+  EXPECT_EQ(nl.element(i).kind, ElementKind::kCurrentSource);
+  EXPECT_EQ(nl.element(s).kind, ElementKind::kSwitch);
+  EXPECT_EQ(nl.element_id("C1"), c);
+  EXPECT_THROW(nl.element_id("nope"), InvalidArgument);
+}
+
+TEST(Netlist, RejectsBadElementValues) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  EXPECT_THROW(nl.add_resistor("R", a, kGround, 0.0_Ohm), InvalidArgument);
+  EXPECT_THROW(nl.add_resistor("R", a, kGround, Resistance{-1.0}),
+               InvalidArgument);
+  EXPECT_THROW(nl.add_capacitor("C", a, kGround, Capacitance{0.0}),
+               InvalidArgument);
+  EXPECT_THROW(nl.add_inductor("L", a, kGround, Inductance{-1e-6}),
+               InvalidArgument);
+  EXPECT_THROW(
+      nl.add_switch("S", a, kGround, Resistance{1.0}, Resistance{0.5}),
+      InvalidArgument);
+}
+
+TEST(Netlist, RejectsSelfLoopAndDuplicateNames) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  EXPECT_THROW(nl.add_resistor("R", a, a, 1.0_Ohm), InvalidArgument);
+  nl.add_resistor("R", a, kGround, 1.0_Ohm);
+  EXPECT_THROW(nl.add_resistor("R", a, kGround, 1.0_Ohm), InvalidArgument);
+}
+
+TEST(Netlist, TimeVaryingSource) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_vsource("V1", a, kGround, [](double t) { return 2.0 * t; });
+  const Element& e = nl.element(nl.element_id("V1"));
+  EXPECT_DOUBLE_EQ(e.source(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.source(3.0), 6.0);
+}
+
+TEST(Netlist, SwitchEnumeration) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  nl.add_resistor("R1", a, b, 1.0_Ohm);
+  const ElementId s1 = nl.add_switch("S1", a, b);
+  const ElementId s2 = nl.add_switch("S2", b, kGround, Resistance{1e-3},
+                                     Resistance{1e9}, true);
+  const auto switches = nl.switches();
+  ASSERT_EQ(switches.size(), 2u);
+  EXPECT_EQ(switches[0], s1);
+  EXPECT_EQ(switches[1], s2);
+  EXPECT_FALSE(nl.element(s1).initially_closed);
+  EXPECT_TRUE(nl.element(s2).initially_closed);
+}
+
+TEST(Netlist, ElementsOfKind) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_resistor("R1", a, kGround, 1.0_Ohm);
+  nl.add_resistor("R2", a, kGround, 2.0_Ohm);
+  nl.add_vsource("V1", a, kGround, 1.0_V);
+  EXPECT_EQ(nl.elements_of_kind(ElementKind::kResistor).size(), 2u);
+  EXPECT_EQ(nl.elements_of_kind(ElementKind::kVoltageSource).size(), 1u);
+  EXPECT_TRUE(nl.elements_of_kind(ElementKind::kInductor).empty());
+}
+
+TEST(Netlist, ElementKindNames) {
+  EXPECT_STREQ(to_string(ElementKind::kResistor), "resistor");
+  EXPECT_STREQ(to_string(ElementKind::kSwitch), "switch");
+  EXPECT_STREQ(to_string(ElementKind::kVoltageSource), "vsource");
+}
+
+}  // namespace
+}  // namespace vpd

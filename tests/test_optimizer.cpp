@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+#include "vpd/core/advisor.hpp"
+
+namespace vpd {
+namespace {
+
+EvaluationOptions paper_mode() {
+  EvaluationOptions o;
+  o.below_die_area_fraction = 1.6;
+  o.mesh_nodes = 31;  // keep the scan quick; trends are resolution-stable
+  return o;
+}
+
+TEST(VrCountOptimizer, FindsInteriorOptimumForA2Dsch) {
+  const VrCountChoice choice = optimize_vr_count(
+      paper_system(), ArchitectureKind::kA2_InterposerBelowDie,
+      TopologyKind::kDsch, 36, 52, paper_mode());
+  EXPECT_TRUE(choice.within_rating);
+  EXPECT_GE(choice.count, 36u);
+  EXPECT_LE(choice.count, 52u);
+  EXPECT_GT(choice.loss_fraction, 0.08);
+  EXPECT_LT(choice.loss_fraction, 0.14);
+  EXPECT_EQ(choice.curve.size(), 17u);
+  // The winner is at least as good as every feasible candidate.
+  for (const SweepPoint& p : choice.curve) {
+    if (p.feasible) {
+      EXPECT_LE(choice.loss_fraction, p.loss_fraction + 1e-12);
+    }
+  }
+}
+
+TEST(VrCountOptimizer, FewVrsAreWorseOrInfeasible) {
+  // Too few DSCH VRs cannot carry 1 kA (> 30 A each): infeasible points
+  // stay in the curve but never win.
+  const VrCountChoice choice = optimize_vr_count(
+      paper_system(), ArchitectureKind::kA2_InterposerBelowDie,
+      TopologyKind::kDsch, 30, 50, paper_mode());
+  const SweepPoint& smallest = choice.curve.front();
+  EXPECT_FALSE(smallest.feasible);  // 30 VRs -> 33 A per VR
+  EXPECT_GT(choice.count, 30u);
+}
+
+TEST(VrCountOptimizer, NoFeasibleCountThrows) {
+  // 3LHD cannot deliver 1 kA with 20 VRs (50 A each, rating 12 A).
+  EXPECT_THROW(
+      optimize_vr_count(paper_system(),
+                        ArchitectureKind::kA2_InterposerBelowDie,
+                        TopologyKind::kDickson, 10, 20, paper_mode()),
+      InfeasibleDesign);
+}
+
+TEST(VrCountOptimizer, Validation) {
+  EXPECT_THROW(optimize_vr_count(paper_system(),
+                                 ArchitectureKind::kA0_PcbConversion,
+                                 TopologyKind::kDsch, 1, 10, paper_mode()),
+               InvalidArgument);
+  EXPECT_THROW(
+      optimize_vr_count(paper_system(),
+                        ArchitectureKind::kA2_InterposerBelowDie,
+                        TopologyKind::kDsch, 10, 5, paper_mode()),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+#include "vpd/passives/capacitor.hpp"
+#include "vpd/passives/inductor.hpp"
+#include "vpd/passives/sizing.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(Inductor, EmbeddedCurrentDensityLimitSetsFootprint) {
+  // The paper's constraint [14]: embedded inductors support ~1 A/mm^2.
+  // A 30 A rated embedded inductor therefore needs >= 30 mm^2.
+  const Inductor l(embedded_package_inductor_technology(), 100.0_nH, 30.0_A);
+  EXPECT_GE(as_mm2(l.footprint()), 30.0 - 1e-9);
+}
+
+TEST(Inductor, InductanceDensityLimitSetsFootprintForBigL) {
+  // A large L at small current is inductance-density limited.
+  const InductorTechnology tech = embedded_package_inductor_technology();
+  const Inductor l(tech, 4.0_uH, 1.0_A);
+  EXPECT_NEAR(as_mm2(l.footprint()), 4000.0 / 250.0, 1e-9);
+}
+
+TEST(Inductor, DiscreteBeatsEmbeddedDensity) {
+  const Inductor embedded(embedded_package_inductor_technology(), 1.0_uH,
+                          10.0_A);
+  const Inductor discrete(discrete_pcb_inductor_technology(), 1.0_uH,
+                          10.0_A);
+  EXPECT_LT(discrete.footprint().value, embedded.footprint().value);
+}
+
+TEST(Inductor, SaturationCheck) {
+  const Inductor l(embedded_package_inductor_technology(), 100.0_nH, 10.0_A);
+  EXPECT_FALSE(l.saturates_at(9.0_A));
+  EXPECT_TRUE(l.saturates_at(11.0_A));
+  EXPECT_TRUE(l.saturates_at(Current{-11.0}));
+}
+
+TEST(Inductor, LossHasDcAndAcComponents) {
+  const Inductor l(embedded_package_inductor_technology(), 1.0_uH, 10.0_A);
+  const double dc_only = l.loss(10.0_A, Current{0.0}).value;
+  const double with_ripple = l.loss(10.0_A, 4.0_A).value;
+  EXPECT_NEAR(dc_only, 100.0 * l.dcr().value, 1e-12);
+  EXPECT_GT(with_ripple, dc_only);
+  // AC part: (4 / (2 sqrt 3))^2 * 3.5 * DCR.
+  const double i_ac_rms = 4.0 / (2.0 * std::sqrt(3.0));
+  EXPECT_NEAR(with_ripple - dc_only,
+              i_ac_rms * i_ac_rms * 3.5 * l.dcr().value, 1e-12);
+}
+
+TEST(Inductor, Validation) {
+  EXPECT_THROW(Inductor(embedded_package_inductor_technology(),
+                        Inductance{0.0}, 1.0_A),
+               InvalidArgument);
+  EXPECT_THROW(Inductor(embedded_package_inductor_technology(), 1.0_uH,
+                        Current{0.0}),
+               InvalidArgument);
+  const Inductor l(embedded_package_inductor_technology(), 1.0_uH, 1.0_A);
+  EXPECT_THROW(l.loss(1.0_A, Current{-1.0}), InvalidArgument);
+}
+
+TEST(Inductor, IntegrationNames) {
+  EXPECT_STREQ(to_string(InductorIntegration::kEmbeddedPackage),
+               "embedded-package");
+  EXPECT_STREQ(to_string(InductorIntegration::kDiscretePcb), "discrete-pcb");
+}
+
+TEST(Capacitor, FootprintFromDensity) {
+  const Capacitor c(deep_trench_technology(), 5.0_uF, 6.0_V);
+  EXPECT_NEAR(as_mm2(c.footprint()), 5.0, 1e-9);  // 1 uF/mm^2
+}
+
+TEST(Capacitor, MlccDeratesUnderBias) {
+  const Capacitor mlcc(mlcc_technology(), 22.0_uF, 50.0_V);
+  const Capacitor trench(deep_trench_technology(), 1.0_uF, 6.0_V);
+  EXPECT_LT(mlcc.effective().value / mlcc.nominal().value, 0.7);
+  EXPECT_GT(trench.effective().value / trench.nominal().value, 0.9);
+}
+
+TEST(Capacitor, EsrInverselyProportionalToC) {
+  const Capacitor small(mlcc_technology(), 1.0_uF, 10.0_V);
+  const Capacitor large(mlcc_technology(), 10.0_uF, 10.0_V);
+  EXPECT_NEAR(small.esr().value / large.esr().value, 10.0, 1e-9);
+}
+
+TEST(Capacitor, LossAndStoredEnergy) {
+  const Capacitor c(mlcc_technology(), 22.0_uF, 10.0_V);
+  EXPECT_NEAR(c.loss(2.0_A).value, 4.0 * c.esr().value, 1e-12);
+  EXPECT_NEAR(c.stored_energy(10.0_V).value,
+              0.5 * 22e-6 * 0.55 * 100.0, 1e-9);
+}
+
+TEST(Capacitor, RatingLimitEnforced) {
+  EXPECT_THROW(Capacitor(deep_trench_technology(), 1.0_uF, 48.0_V),
+               InvalidArgument);
+  EXPECT_NO_THROW(Capacitor(mlcc_technology(), 1.0_uF, 48.0_V));
+}
+
+TEST(Sizing, BuckDuty) {
+  EXPECT_NEAR(buck_duty(12.0_V, 1.0_V), 1.0 / 12.0, 1e-12);
+  EXPECT_THROW(buck_duty(1.0_V, 1.0_V), InvalidArgument);
+  EXPECT_THROW(buck_duty(1.0_V, 2.0_V), InvalidArgument);
+}
+
+TEST(Sizing, InductorRippleRoundTrip) {
+  const Inductance l =
+      buck_inductor_for_ripple(12.0_V, 1.0_V, 1.0_MHz, 2.0_A);
+  const Current ripple = buck_inductor_ripple(12.0_V, 1.0_V, 1.0_MHz, l);
+  EXPECT_NEAR(ripple.value, 2.0, 1e-9);
+  // L = 1 * (1 - 1/12) / (2 * 1e6) ~ 458 nH.
+  EXPECT_NEAR(l.value, (1.0 - 1.0 / 12.0) / 2e6, 1e-12);
+}
+
+TEST(Sizing, OutputCapacitorRoundTrip) {
+  const Capacitance c =
+      buck_output_capacitor_for_ripple(2.0_A, 1.0_MHz, 10.0_mV);
+  const Voltage ripple = buck_output_ripple(2.0_A, 1.0_MHz, c);
+  EXPECT_NEAR(ripple.value, 10e-3, 1e-12);
+}
+
+TEST(Sizing, InterleavingCancellation) {
+  // At duty = 0.5 with 2 phases the ripple cancels completely.
+  EXPECT_NEAR(interleaving_ripple_factor(0.5, 2), 0.0, 1e-12);
+  // Single phase: no cancellation.
+  EXPECT_DOUBLE_EQ(interleaving_ripple_factor(0.3, 1), 1.0);
+  // More phases never increase ripple.
+  for (unsigned n : {2u, 3u, 4u, 6u}) {
+    EXPECT_LE(interleaving_ripple_factor(0.12, n), 1.0 + 1e-12) << n;
+  }
+  EXPECT_THROW(interleaving_ripple_factor(0.0, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

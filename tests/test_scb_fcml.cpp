@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+#include "vpd/converters/buck.hpp"
+#include "vpd/converters/fcml.hpp"
+#include "vpd/converters/series_cap_buck.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+SeriesCapBuckInputs scb_12to1() {
+  SeriesCapBuckInputs in;
+  in.device_tech = gan_technology();
+  in.inductor_tech = embedded_package_inductor_technology();
+  in.capacitor_tech = mlcc_technology();
+  in.v_in = 12.0_V;
+  in.v_out = 1.0_V;
+  in.rated_current = 40.0_A;
+  in.f_sw = 2.0_MHz;
+  return in;
+}
+
+FcmlInputs fcml_48(unsigned levels = 5) {
+  FcmlInputs in;
+  in.device_tech = gan_technology();
+  in.inductor_tech = embedded_package_inductor_technology();
+  in.capacitor_tech = mlcc_technology();
+  in.v_in = 48.0_V;
+  in.v_out = 2.0_V;  // the [7] operating point
+  in.levels = levels;
+  in.rated_current = 20.0_A;
+  in.f_sw = 1.0_MHz;
+  return in;
+}
+
+TEST(Scb, DoublesEffectiveDuty) {
+  const SeriesCapacitorBuck scb(scb_12to1());
+  EXPECT_NEAR(scb.effective_duty(), 2.0 / 12.0, 1e-12);
+  EXPECT_NEAR(scb.switch_stress().value, 6.0, 1e-12);
+  EXPECT_EQ(scb.spec().switch_count, 4u);
+  EXPECT_EQ(scb.spec().inductor_count, 2u);
+}
+
+TEST(Scb, BeatsPlainBuckAtMatchedDesign) {
+  // Same technologies, budget, frequency: the SCB's halved switch stress
+  // cuts Coss/overlap losses and improves peak efficiency.
+  const SeriesCapacitorBuck scb(scb_12to1());
+  BuckDesignInputs b;
+  b.device_tech = gan_technology();
+  b.inductor_tech = embedded_package_inductor_technology();
+  b.capacitor_tech = deep_trench_technology();
+  b.v_in = 12.0_V;
+  b.v_out = 1.0_V;
+  b.rated_current = 40.0_A;
+  b.phases = 2;
+  b.f_sw = 2.0_MHz;
+  const SynchronousBuck buck(b);
+  EXPECT_GT(scb.loss_model().peak_efficiency(1.0_V),
+            buck.loss_model().peak_efficiency(1.0_V));
+}
+
+TEST(Scb, RejectsSubTwoToOneRatios) {
+  SeriesCapBuckInputs in = scb_12to1();
+  in.v_in = 1.8_V;  // ratio < 2 -> effective duty >= 1
+  EXPECT_THROW(SeriesCapacitorBuck{in}, InvalidArgument);
+}
+
+TEST(Scb, EfficiencyIsReasonable) {
+  const SeriesCapacitorBuck scb(scb_12to1());
+  const double peak = scb.loss_model().peak_efficiency(1.0_V);
+  EXPECT_GT(peak, 0.90);
+  EXPECT_LT(peak, 0.99);
+}
+
+TEST(Fcml, StressAndFrequencyScaleWithLevels) {
+  const FlyingCapMultilevel f5(fcml_48(5));
+  EXPECT_NEAR(f5.switch_stress().value, 12.0, 1e-12);
+  EXPECT_NEAR(f5.effective_frequency().value, 4e6, 1e-6);
+  EXPECT_EQ(f5.spec().switch_count, 8u);
+  EXPECT_EQ(f5.spec().capacitor_count, 3u);
+  EXPECT_EQ(f5.spec().inductor_count, 1u);
+
+  const FlyingCapMultilevel f3(fcml_48(3));
+  EXPECT_NEAR(f3.switch_stress().value, 24.0, 1e-12);
+  EXPECT_EQ(f3.spec().switch_count, 4u);
+}
+
+TEST(Fcml, MoreLevelsShrinkTheInductor) {
+  const FlyingCapMultilevel f3(fcml_48(3));
+  const FlyingCapMultilevel f6(fcml_48(6));
+  EXPECT_LT(f6.inductor().inductance().value,
+            f3.inductor().inductance().value);
+}
+
+TEST(Fcml, ConductionGrowsWithSeriesSwitches) {
+  // At a fixed conduction budget the k2 is budget-determined; check the
+  // physical statement instead: per-switch resistance shrinks as levels
+  // grow (more series devices must share the same budget).
+  const FlyingCapMultilevel f3(fcml_48(3));
+  const FlyingCapMultilevel f6(fcml_48(6));
+  EXPECT_GT(f3.cell_fet().on_resistance().value,
+            f6.cell_fet().on_resistance().value);
+}
+
+TEST(Fcml, EfficiencyIsReasonable) {
+  const FlyingCapMultilevel f(fcml_48(5));
+  const double peak = f.loss_model().peak_efficiency(2.0_V);
+  EXPECT_GT(peak, 0.90);
+  EXPECT_LT(peak, 0.995);
+}
+
+TEST(Fcml, Validation) {
+  FcmlInputs in = fcml_48();
+  in.levels = 2;
+  EXPECT_THROW(FlyingCapMultilevel{in}, InvalidArgument);
+  in = fcml_48();
+  in.rated_current = Current{0.0};
+  EXPECT_THROW(FlyingCapMultilevel{in}, InvalidArgument);
+}
+
+// Level sweep: structure stays consistent.
+class FcmlLevelSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FcmlLevelSweep, StructuralInvariants) {
+  const FlyingCapMultilevel f(fcml_48(GetParam()));
+  EXPECT_EQ(f.spec().switch_count, 2 * (GetParam() - 1));
+  EXPECT_EQ(f.spec().capacitor_count, GetParam() - 2);
+  EXPECT_NEAR(f.switch_stress().value, 48.0 / (GetParam() - 1), 1e-9);
+  // Low level counts pay heavy overlap loss at 24 V cell stress; high
+  // counts approach the hybrid converters' efficiency.
+  EXPECT_GT(f.efficiency(10.0_A), 0.80);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, FcmlLevelSweep,
+                         ::testing::Values(3u, 4u, 5u, 6u, 8u));
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,46 @@
+#include "vpd/core/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(Spec, PaperSystemHeadlineNumbers) {
+  const PowerDeliverySpec spec = paper_system();
+  spec.validate();
+  EXPECT_NEAR(spec.total_power.value, 1000.0, 1e-12);
+  EXPECT_NEAR(spec.die_current().value, 1000.0, 1e-9);
+  EXPECT_NEAR(as_A_per_mm2(spec.current_density()), 2.0, 1e-9);
+  EXPECT_NEAR(as_mm(spec.die_side()), 22.36, 0.01);
+}
+
+TEST(Spec, InputCurrentAtFeedVoltage) {
+  const PowerDeliverySpec spec = paper_system();
+  EXPECT_NEAR(spec.input_current(Power{1200.0}).value, 25.0, 1e-9);
+}
+
+TEST(Spec, ValidationCatchesBadValues) {
+  PowerDeliverySpec spec = paper_system();
+  spec.total_power = Power{0.0};
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+  spec = paper_system();
+  spec.pcb_voltage = 0.5_V;  // below die voltage
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+  spec = paper_system();
+  spec.die_area = Area{0.0};
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+}
+
+TEST(Spec, DensityScalesWithArea) {
+  PowerDeliverySpec spec = paper_system();
+  spec.die_area = 1200.0_mm2;
+  // The paper's A0 observation: 1 kA over 1200 mm^2 ~ 0.8 A/mm^2.
+  EXPECT_NEAR(as_A_per_mm2(spec.current_density()), 0.83, 0.01);
+}
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,132 @@
+#include "vpd/package/stacked_mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+#include "vpd/package/irdrop.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+StackedMesh paper_stack(std::size_t n = 15,
+                        double via_per_node_uohm = 50.0) {
+  return StackedMesh(22.36_mm, n, /*interposer*/ 1.0e-3, /*die*/ 8.5e-3,
+                     Resistance{via_per_node_uohm * 1e-6});
+}
+
+TEST(StackedMesh, IndexingAndGeometry) {
+  const StackedMesh m = paper_stack(5);
+  EXPECT_EQ(m.nodes_per_layer(), 25u);
+  EXPECT_EQ(m.node_count(), 50u);
+  EXPECT_EQ(m.node(0, 2, 3), m.grid(0).node(2, 3));
+  EXPECT_EQ(m.node(1, 2, 3), 25u + m.grid(1).node(2, 3));
+  EXPECT_THROW(m.node(2, 0, 0), InvalidArgument);
+}
+
+TEST(StackedMesh, LaplacianSymmetricZeroRowSum) {
+  const StackedMesh m = paper_stack(6);
+  const CsrMatrix a(m.laplacian());
+  EXPECT_TRUE(a.is_symmetric(1e-12));
+  Vector ones(m.node_count(), 1.0);
+  EXPECT_LT(norm_inf(a.multiply(ones)), 1e-9);
+}
+
+TEST(StackedMesh, CurrentConservation) {
+  const StackedMesh m = paper_stack();
+  std::vector<VrAttachment> vrs{
+      {m.node(0, 0, 7), 1.0_V, Resistance{1e-4}},
+      {m.node(0, 14, 7), 1.0_V, Resistance{1e-4}}};
+  Vector sinks(m.nodes_per_layer(), 100.0 / m.nodes_per_layer());
+  const StackedIrDropResult r = solve_stacked_irdrop(m, vrs, sinks);
+  double sourced = 0.0;
+  for (double i : r.vr_currents) sourced += i;
+  EXPECT_NEAR(sourced, 100.0, 1e-6);
+}
+
+TEST(StackedMesh, EnergyBalance) {
+  const StackedMesh m = paper_stack(9);
+  std::vector<VrAttachment> vrs{{m.node(0, 4, 4), 1.0_V, Resistance{1e-4}}};
+  Vector sinks(m.nodes_per_layer(), 50.0 / m.nodes_per_layer());
+  const StackedIrDropResult r = solve_stacked_irdrop(m, vrs, sinks);
+  double source_power = 0.0;
+  for (std::size_t k = 0; k < vrs.size(); ++k)
+    source_power += r.vr_currents[k] * 1.0;
+  double sink_power = 0.0;
+  for (std::size_t i = 0; i < sinks.size(); ++i)
+    sink_power +=
+        sinks[i] * r.node_voltages[i + m.nodes_per_layer()];
+  EXPECT_NEAR(source_power,
+              sink_power + r.losses.total().value + r.attach_loss.value,
+              1e-6 * source_power);
+  EXPECT_GT(r.losses.via_field.value, 0.0);
+  EXPECT_GT(r.losses.interposer_lateral.value, 0.0);
+}
+
+TEST(StackedMesh, DieVoltageBelowInterposerVoltage) {
+  // Current flows interposer -> die, so every die node sits at or below
+  // its interposer counterpart.
+  const StackedMesh m = paper_stack(9);
+  std::vector<VrAttachment> vrs{{m.node(0, 0, 4), 1.0_V, Resistance{1e-4}}};
+  Vector sinks(m.nodes_per_layer(), 30.0 / m.nodes_per_layer());
+  const StackedIrDropResult r = solve_stacked_irdrop(m, vrs, sinks);
+  for (std::size_t i = 0; i < m.nodes_per_layer(); ++i)
+    EXPECT_LE(r.node_voltages[i + m.nodes_per_layer()],
+              r.node_voltages[i] + 1e-9);
+  EXPECT_LT(r.min_die_voltage.value, 1.0);
+}
+
+TEST(StackedMesh, TightViaCouplingApproachesSingleSheet) {
+  // With near-zero via resistance and an ultra-conductive die grid the
+  // stack degenerates to the interposer sheet alone: compare against the
+  // single-layer solver.
+  const std::size_t n = 11;
+  const double sheet = 1.0e-3;
+  const StackedMesh stacked(22.36_mm, n, sheet, /*die*/ 1e-9,
+                            Resistance{1e-12});
+  const GridMesh single(22.36_mm, 22.36_mm, n, n, sheet);
+
+  std::vector<VrAttachment> vrs{{single.node(0, 5), 1.0_V,
+                                 Resistance{1e-4}}};
+  Vector sinks(single.node_count(), 20.0 / single.node_count());
+  const IrDropResult flat = solve_irdrop(single, vrs, sinks);
+  const StackedIrDropResult stack = solve_stacked_irdrop(stacked, vrs, sinks);
+  EXPECT_NEAR(stack.vr_currents[0], flat.vr_currents[0],
+              5e-3);  // CG tolerance on the 2x larger system
+  // With an ideal die grid in parallel the lateral loss can only drop.
+  EXPECT_LE(stack.losses.total().value, flat.grid_loss.value + 1e-6);
+}
+
+TEST(StackedMesh, WeakerViaFieldShiftsLossIntoVias) {
+  auto run = [&](double via_uohm) {
+    const StackedMesh m = paper_stack(11, via_uohm);
+    std::vector<VrAttachment> vrs{
+        {m.node(0, 0, 5), 1.0_V, Resistance{1e-4}}};
+    Vector sinks(m.nodes_per_layer(), 200.0 / m.nodes_per_layer());
+    return solve_stacked_irdrop(m, vrs, sinks);
+  };
+  const auto strong = run(10.0);
+  const auto weak = run(500.0);
+  EXPECT_GT(weak.losses.via_field.value, strong.losses.via_field.value);
+  EXPECT_LT(weak.min_die_voltage.value, strong.min_die_voltage.value);
+}
+
+TEST(StackedMesh, Validation) {
+  EXPECT_THROW(StackedMesh(22.36_mm, 5, 1e-3, 1e-3, Resistance{0.0}),
+               InvalidArgument);
+  const StackedMesh m = paper_stack(5);
+  std::vector<VrAttachment> die_side{
+      {m.node(1, 0, 0), 1.0_V, Resistance{1e-4}}};
+  EXPECT_THROW(
+      solve_stacked_irdrop(m, die_side, Vector(m.nodes_per_layer(), 0.0)),
+      InvalidArgument);
+  std::vector<VrAttachment> ok{{m.node(0, 0, 0), 1.0_V, Resistance{1e-4}}};
+  EXPECT_THROW(solve_stacked_irdrop(m, ok, Vector(3, 0.0)),
+               InvalidArgument);
+  EXPECT_THROW(solve_stacked_irdrop(m, {}, Vector(25, 0.0)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

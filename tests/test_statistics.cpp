@@ -1,0 +1,98 @@
+#include "vpd/common/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+#include "vpd/common/rng.hpp"
+
+namespace vpd {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats rs;
+  rs.add(3.5);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.5);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), InvalidArgument);
+  EXPECT_THROW(rs.min(), InvalidArgument);
+  EXPECT_THROW(rs.max(), InvalidArgument);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats rs;
+  for (double x : {-1.0, -3.0, -5.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), -3.0);
+  EXPECT_DOUBLE_EQ(rs.min(), -5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), -1.0);
+}
+
+TEST(Percentile, MedianOfOddSet) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenSamples) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, 1.5), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, -0.1), InvalidArgument);
+}
+
+TEST(Summarize, AllFieldsConsistent) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+  EXPECT_LE(s.p05, s.median);
+  EXPECT_LE(s.median, s.p95);
+}
+
+TEST(Summarize, EmptyThrows) {
+  EXPECT_THROW(summarize({}), InvalidArgument);
+}
+
+TEST(Summarize, GaussianSampleMatchesParameters) {
+  Rng rng(99);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal(10.0, 2.0);
+  const Summary s = summarize(std::move(xs));
+  EXPECT_NEAR(s.mean, 10.0, 0.1);
+  EXPECT_NEAR(s.stddev, 2.0, 0.1);
+  EXPECT_NEAR(s.median, 10.0, 0.1);
+  // p95 of N(10, 2) is ~13.29
+  EXPECT_NEAR(s.p95, 13.29, 0.2);
+}
+
+}  // namespace
+}  // namespace vpd

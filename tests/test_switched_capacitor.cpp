@@ -1,0 +1,116 @@
+#include "vpd/converters/switched_capacitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+ScDesignInputs standard_4to1() {
+  ScDesignInputs in;
+  in.name = "sc-4to1";
+  in.device_tech = gan_technology();
+  in.capacitor_tech = mlcc_technology();
+  in.v_in = 48.0_V;
+  in.ratio = 4;
+  in.rated_current = 20.0_A;
+  in.f_sw = 500.0_kHz;
+  in.fly_capacitance = 10.0_uF;
+  in.switch_resistance = 5.0_mOhm;
+  return in;
+}
+
+TEST(Sc, IdealOutputVoltageIsVinOverN) {
+  const SeriesParallelSc sc(standard_4to1());
+  EXPECT_NEAR(sc.spec().v_out.value, 12.0, 1e-12);
+}
+
+TEST(Sc, SslMatchesClosedForm) {
+  const SeriesParallelSc sc(standard_4to1());
+  // SSL = (n-1) / (n^2 C f) = 3 / (16 * 10u * 500k).
+  EXPECT_NEAR(sc.ssl_resistance().value, 3.0 / (16.0 * 10e-6 * 5e5), 1e-12);
+}
+
+TEST(Sc, FslMatchesClosedForm) {
+  const SeriesParallelSc sc(standard_4to1());
+  // FSL = 2 * (3n-2) * R / n^2 = 2 * 10 * 5m / 16.
+  EXPECT_NEAR(sc.fsl_resistance().value, 2.0 * 10.0 * 5e-3 / 16.0, 1e-12);
+}
+
+TEST(Sc, OutputResistanceCombinesLimits) {
+  const SeriesParallelSc sc(standard_4to1());
+  EXPECT_NEAR(sc.output_resistance().value,
+              std::hypot(sc.ssl_resistance().value,
+                         sc.fsl_resistance().value),
+              1e-15);
+}
+
+TEST(Sc, HigherFrequencyMovesTowardFsl) {
+  ScDesignInputs slow = standard_4to1();
+  slow.f_sw = 100.0_kHz;
+  ScDesignInputs fast = standard_4to1();
+  fast.f_sw = 10.0_MHz;
+  const SeriesParallelSc sc_slow(slow);
+  const SeriesParallelSc sc_fast(fast);
+  EXPECT_GT(sc_slow.ssl_resistance().value, sc_slow.fsl_resistance().value);
+  EXPECT_LT(sc_fast.ssl_resistance().value, sc_fast.fsl_resistance().value);
+  EXPECT_LT(sc_fast.output_resistance().value,
+            sc_slow.output_resistance().value);
+}
+
+TEST(Sc, LoadedVoltageDroopsWithCurrent) {
+  const SeriesParallelSc sc(standard_4to1());
+  const double droop =
+      sc.spec().v_out.value - sc.loaded_output_voltage(20.0_A).value;
+  EXPECT_NEAR(droop, 20.0 * sc.output_resistance().value, 1e-12);
+}
+
+TEST(Sc, SwitchCounts) {
+  EXPECT_EQ(SeriesParallelSc::switch_count_for_ratio(2), 4u);
+  EXPECT_EQ(SeriesParallelSc::switch_count_for_ratio(4), 10u);
+  EXPECT_THROW(SeriesParallelSc::switch_count_for_ratio(1), InvalidArgument);
+}
+
+TEST(Sc, EfficiencyDegradesAtHighLoad) {
+  const SeriesParallelSc sc(standard_4to1());
+  EXPECT_GT(sc.efficiency(2.0_A), sc.efficiency(20.0_A));
+  EXPECT_GT(sc.efficiency(20.0_A), 0.9);  // 12 V out, small Rout
+}
+
+TEST(Sc, Validation) {
+  ScDesignInputs in = standard_4to1();
+  in.ratio = 1;
+  EXPECT_THROW(SeriesParallelSc{in}, InvalidArgument);
+  in = standard_4to1();
+  in.fly_capacitance = Capacitance{0.0};
+  EXPECT_THROW(SeriesParallelSc{in}, InvalidArgument);
+  in = standard_4to1();
+  in.switch_resistance = Resistance{0.0};
+  EXPECT_THROW(SeriesParallelSc{in}, InvalidArgument);
+}
+
+// Ratio sweep: SSL/FSL formulas stay consistent and the area grows with n.
+class ScRatioSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ScRatioSweep, ClosedFormsAndMonotonicity) {
+  ScDesignInputs in = standard_4to1();
+  in.ratio = GetParam();
+  const SeriesParallelSc sc(in);
+  const double n = GetParam();
+  EXPECT_NEAR(sc.ssl_resistance().value,
+              (n - 1.0) / (n * n * 10e-6 * 5e5), 1e-12);
+  EXPECT_EQ(sc.spec().switch_count, 3 * GetParam() - 2);
+  EXPECT_EQ(sc.spec().capacitor_count, GetParam() - 1);
+  EXPECT_NEAR(sc.spec().v_out.value, 48.0 / n, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, ScRatioSweep,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u));
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,87 @@
+#include "vpd/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // Column alignment: "value" starts at the same offset in each line.
+  std::istringstream is(s);
+  std::string header, underline, row1;
+  std::getline(is, header);
+  std::getline(is, underline);
+  std::getline(is, row1);
+  EXPECT_EQ(header.find("value"), row1.find("1"));
+}
+
+TEST(TextTable, ArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, CsvEscapesSpecialCells) {
+  TextTable t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "multi\nline"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+  EXPECT_EQ(csv.find("\"plain\""), std::string::npos);
+}
+
+TEST(TextTable, StreamOperator) {
+  TextTable t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.418), "41.8%");
+  EXPECT_EQ(format_percent(0.9, 0), "90%");
+  EXPECT_EQ(format_percent(1.0, 2), "100.00%");
+}
+
+TEST(Format, SiPrefixes) {
+  EXPECT_EQ(format_si(0.0), "0");
+  EXPECT_EQ(format_si(3.3e-3), "3.30m");
+  EXPECT_EQ(format_si(4.7e-6), "4.70u");
+  EXPECT_EQ(format_si(1.5e3), "1.50k");
+  EXPECT_EQ(format_si(2.0e6), "2.00M");
+  EXPECT_EQ(format_si(42.0), "42.0");
+}
+
+TEST(Format, SiNegativeValues) {
+  EXPECT_EQ(format_si(-3.3e-3), "-3.30m");
+}
+
+}  // namespace
+}  // namespace vpd

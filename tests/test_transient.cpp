@@ -1,0 +1,275 @@
+#include "vpd/circuit/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vpd/circuit/pwm.hpp"
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(Transient, OptionsValidation) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_vsource("V1", a, kGround, 1.0_V);
+  nl.add_resistor("R1", a, kGround, 1.0_Ohm);
+  TransientOptions opts;
+  opts.t_stop = Seconds{0.0};
+  opts.dt = Seconds{1e-3};
+  EXPECT_THROW(simulate(nl, opts), InvalidArgument);
+  opts.t_stop = Seconds{1.0};
+  opts.dt = Seconds{2.0};
+  EXPECT_THROW(simulate(nl, opts), InvalidArgument);
+}
+
+TEST(Transient, RcChargeMatchesAnalytic) {
+  // 1 V step into R = 1k, C = 1uF; tau = 1 ms.
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("V1", in, kGround, 1.0_V);
+  nl.add_resistor("R1", in, out, Resistance{1000.0});
+  nl.add_capacitor("C1", out, kGround, 1.0_uF);
+
+  TransientOptions opts;
+  opts.t_stop = Seconds{5e-3};
+  opts.dt = Seconds{1e-6};
+  opts.method = IntegrationMethod::kTrapezoidal;
+  const TransientResult r = simulate(nl, opts);
+  const Trace v = r.voltage("out");
+  const double tau = 1e-3;
+  for (double t : {0.5e-3, 1e-3, 2e-3, 4e-3}) {
+    const double expected = 1.0 - std::exp(-t / tau);
+    EXPECT_NEAR(v.at(t), expected, 2e-4) << "t=" << t;
+  }
+}
+
+TEST(Transient, BackwardEulerAlsoConverges) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("V1", in, kGround, 1.0_V);
+  nl.add_resistor("R1", in, out, Resistance{1000.0});
+  nl.add_capacitor("C1", out, kGround, 1.0_uF);
+  TransientOptions opts;
+  opts.t_stop = Seconds{3e-3};
+  opts.dt = Seconds{5e-7};
+  opts.method = IntegrationMethod::kBackwardEuler;
+  const TransientResult r = simulate(nl, opts);
+  EXPECT_NEAR(r.voltage("out").at(1e-3), 1.0 - std::exp(-1.0), 2e-3);
+}
+
+TEST(Transient, CapacitorInitialConditionHonored) {
+  // C charged to 2 V discharging through R.
+  Netlist nl;
+  const NodeId out = nl.add_node("out");
+  nl.add_capacitor("C1", out, kGround, 1.0_uF, 2.0_V);
+  nl.add_resistor("R1", out, kGround, Resistance{1000.0});
+  TransientOptions opts;
+  opts.t_stop = Seconds{3e-3};
+  opts.dt = Seconds{1e-6};
+  const TransientResult r = simulate(nl, opts);
+  const Trace v = r.voltage("out");
+  EXPECT_NEAR(v.at(0.0), 2.0, 1e-6);
+  EXPECT_NEAR(v.at(1e-3), 2.0 * std::exp(-1.0), 2e-3);
+}
+
+TEST(Transient, RlCurrentRiseMatchesAnalytic) {
+  // 1 V into L = 1 mH + R = 1 Ohm: tau = 1 ms, i_final = 1 A.
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId mid = nl.add_node("mid");
+  nl.add_vsource("V1", in, kGround, 1.0_V);
+  nl.add_inductor("L1", in, mid, Inductance{1e-3});
+  nl.add_resistor("R1", mid, kGround, 1.0_Ohm);
+  TransientOptions opts;
+  opts.t_stop = Seconds{5e-3};
+  opts.dt = Seconds{1e-6};
+  const TransientResult r = simulate(nl, opts);
+  const Trace i = r.current("L1");
+  for (double t : {1e-3, 2e-3, 4e-3}) {
+    EXPECT_NEAR(i.at(t), 1.0 - std::exp(-t / 1e-3), 2e-4) << "t=" << t;
+  }
+}
+
+TEST(Transient, InductorInitialConditionHonored) {
+  Netlist nl;
+  const NodeId out = nl.add_node("out");
+  nl.add_inductor("L1", out, kGround, Inductance{1e-3}, Current{2.0});
+  nl.add_resistor("R1", out, kGround, 1.0_Ohm);
+  TransientOptions opts;
+  opts.t_stop = Seconds{2e-3};
+  opts.dt = Seconds{1e-6};
+  const TransientResult r = simulate(nl, opts);
+  EXPECT_NEAR(r.current("L1").at(0.0), 2.0, 1e-9);
+  // L discharges through R... the loop current decays with tau = L/R = 1ms.
+  EXPECT_NEAR(std::fabs(r.current("L1").at(1e-3)), 2.0 * std::exp(-1.0),
+              5e-3);
+}
+
+TEST(Transient, LcOscillatorPeriodAndEnergy) {
+  // C = 1 uF charged to 1 V ringing into L = 1 mH.
+  // f = 1/(2 pi sqrt(LC)) ~ 5.03 kHz; trapezoidal preserves amplitude.
+  Netlist nl;
+  const NodeId out = nl.add_node("out");
+  nl.add_capacitor("C1", out, kGround, 1.0_uF, 1.0_V);
+  nl.add_inductor("L1", out, kGround, Inductance{1e-3});
+  TransientOptions opts;
+  opts.t_stop = Seconds{1e-3};
+  opts.dt = Seconds{2e-7};
+  opts.method = IntegrationMethod::kTrapezoidal;
+  const TransientResult r = simulate(nl, opts);
+  const Trace v = r.voltage("out");
+  const double period = 2.0 * M_PI * std::sqrt(1e-3 * 1e-6);
+  // After one full period the capacitor voltage returns to ~1 V.
+  EXPECT_NEAR(v.at(period), 1.0, 0.01);
+  // Amplitude preserved after 4 periods (no numerical damping for trap).
+  EXPECT_NEAR(v.at(4.0 * period), 1.0, 0.02);
+  // Backward Euler, by contrast, damps the oscillation measurably: the
+  // amplitude over the last period is visibly below 1 and below trap's.
+  opts.method = IntegrationMethod::kBackwardEuler;
+  const TransientResult rbe = simulate(nl, opts);
+  const double amp_be = rbe.voltage("out").tail(period).max();
+  const double amp_trap = v.tail(period).max();
+  EXPECT_LT(amp_be, 0.97);
+  EXPECT_LT(amp_be, amp_trap - 0.02);
+}
+
+TEST(Transient, EnergyConservationAudit) {
+  // Source energy = resistor dissipation + capacitor stored energy.
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("V1", in, kGround, 1.0_V);
+  nl.add_resistor("R1", in, out, Resistance{100.0});
+  nl.add_capacitor("C1", out, kGround, 1.0_uF);
+  TransientOptions opts;
+  opts.t_stop = Seconds{2e-3};
+  opts.dt = Seconds{5e-7};
+  const TransientResult r = simulate(nl, opts);
+  const double e_source = -r.energy("V1").value;  // delivered
+  const double e_r = r.energy("R1").value;
+  const double e_c = r.energy("C1").value;
+  EXPECT_GT(e_source, 0.0);
+  EXPECT_NEAR(e_source, e_r + e_c, 1e-3 * e_source);
+  // Stored energy approaches C V^2 / 2.
+  const double v_end = r.voltage("out").back();
+  EXPECT_NEAR(e_c, 0.5 * 1e-6 * v_end * v_end, 2e-9);
+}
+
+TEST(Transient, InitializeFromDcStartsSettled) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("V1", in, kGround, 2.0_V);
+  nl.add_resistor("R1", in, out, Resistance{100.0});
+  nl.add_capacitor("C1", out, kGround, 1.0_uF);
+  TransientOptions opts;
+  opts.t_stop = Seconds{1e-3};
+  opts.dt = Seconds{1e-6};
+  opts.initialize_from_dc = true;
+  const TransientResult r = simulate(nl, opts);
+  const Trace v = r.voltage("out");
+  EXPECT_NEAR(v.at(0.0), 2.0, 1e-3);
+  EXPECT_NEAR(v.peak_to_peak(), 0.0, 1e-3);  // already at equilibrium
+}
+
+TEST(Transient, SwitchControllerTogglesCircuit) {
+  // Switch connects a source to an RC at t >= 0.5 ms.
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("V1", in, kGround, 1.0_V);
+  nl.add_switch("S1", in, out, Resistance{1e-3}, Resistance{1e9}, false);
+  nl.add_resistor("R1", out, kGround, Resistance{100.0});
+  TransientOptions opts;
+  opts.t_stop = Seconds{1e-3};
+  opts.dt = Seconds{1e-6};
+  opts.controller = [](double t, SwitchStates& s) { s[0] = t >= 0.5e-3; };
+  const TransientResult r = simulate(nl, opts);
+  const Trace v = r.voltage("out");
+  EXPECT_LT(v.at(0.4e-3), 1e-3);
+  EXPECT_NEAR(v.at(0.9e-3), 1.0, 1e-3);
+}
+
+TEST(Transient, SynchronousBuckRegulatesToDutyRatio) {
+  // Ideal synchronous buck: Vin = 12 V, duty 0.5, L = 10 uH, C = 100 uF,
+  // load 1 Ohm, f = 500 kHz. Steady-state Vout ~ 6 V (minus switch drops).
+  Netlist nl;
+  const NodeId vin = nl.add_node("vin");
+  const NodeId sw = nl.add_node("sw");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("Vin", vin, kGround, 12.0_V);
+  nl.add_switch("S_hi", vin, sw, Resistance{1e-3}, Resistance{1e8});
+  nl.add_switch("S_lo", sw, kGround, Resistance{1e-3}, Resistance{1e8});
+  // Start at the analytic steady state (v = 6 V, i_L = i_load = 6 A); the
+  // output LC is underdamped with ~800 us settling, far longer than the
+  // simulated span, so a cold start would still be ringing.
+  nl.add_inductor("L1", sw, out, 10.0_uH, Current{6.0});
+  nl.add_capacitor("Cout", out, kGround, 100.0_uF, 6.0_V);
+  nl.add_resistor("Rload", out, kGround, 1.0_Ohm);
+
+  // Exact complementary drive (no dead time): the switch model has no body
+  // diode, so a both-off interval would leave the inductor without a
+  // freewheel path.
+  GateDrive drive(nl);
+  const PwmSignal pwm(500.0_kHz, 0.5);
+  drive.assign_pair("S_hi", "S_lo", pwm, 0.0_ns);
+
+  TransientOptions opts;
+  opts.t_stop = Seconds{200e-6};  // 100 cycles
+  opts.dt = Seconds{4e-9};        // 500 points per cycle
+  opts.controller = drive.controller();
+  const TransientResult r = simulate(nl, opts);
+
+  const Trace vout = r.voltage("out");
+  const double avg = vout.tail(20e-6).average();
+  EXPECT_NEAR(avg, 6.0, 0.1);
+
+  // Inductor current ripple ~ Vout * (1-D) / (L * f) = 0.6 A.
+  const Trace il = r.current("L1");
+  EXPECT_NEAR(il.tail(2e-6).peak_to_peak(), 0.6, 0.12);
+
+  // Average inductor current equals the load current (up to the residual
+  // slow LC oscillation that is still decaying).
+  EXPECT_NEAR(il.tail(20e-6).average(), avg / 1.0, 0.2);
+}
+
+TEST(Transient, CycleAveragesDetectSteadyState) {
+  std::vector<double> ts, vs;
+  // Exponential settling toward 5.0 with cycles of length 1.
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = i * 0.01;
+    ts.push_back(t);
+    vs.push_back(5.0 * (1.0 - std::exp(-t / 1.5)));
+  }
+  const Trace trace("x", std::move(ts), std::move(vs));
+  const auto averages = cycle_averages(trace, 1.0);
+  EXPECT_EQ(averages.size(), 10u);
+  EXPECT_LT(averages.front(), averages.back());
+  const auto steady = first_steady_cycle(trace, 1.0, 0.05);
+  ASSERT_TRUE(steady.has_value());
+  EXPECT_GT(*steady, 0u);
+  EXPECT_FALSE(first_steady_cycle(trace, 1.0, 1e-12).has_value());
+}
+
+TEST(Transient, CurrentSourceLoadDrawsFromNode) {
+  Netlist nl;
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("V1", out, kGround, 1.0_V);
+  nl.add_isource("Iload", out, kGround, 5.0_A);
+  TransientOptions opts;
+  opts.t_stop = Seconds{1e-4};
+  opts.dt = Seconds{1e-6};
+  const TransientResult r = simulate(nl, opts);
+  // Load absorbs 5 W continuously.
+  EXPECT_NEAR(r.power("Iload").back(), 5.0, 1e-9);
+  EXPECT_NEAR(r.power("V1").back(), -5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vpd

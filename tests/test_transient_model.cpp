@@ -1,0 +1,100 @@
+#include "vpd/arch/transient_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vpd/arch/evaluator.hpp"
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+EvaluationOptions paper_mode() {
+  EvaluationOptions o;
+  o.below_die_area_fraction = 1.6;
+  o.mesh_nodes = 31;
+  return o;
+}
+
+ArchitectureEvaluation eval(ArchitectureKind arch) {
+  return evaluate_architecture(arch, paper_system(), TopologyKind::kDsch,
+                               DeviceTechnology::kGalliumNitride,
+                               paper_mode());
+}
+
+TEST(ReducedPdn, EffectiveResistanceReproducesPpdnLoss) {
+  const auto a1 = eval(ArchitectureKind::kA1_InterposerPeriphery);
+  const ReducedPdnModel model = build_reduced_pdn(paper_system(), a1);
+  const double i = paper_system().die_current().value;
+  EXPECT_NEAR(model.effective_resistance.value * i * i,
+              a1.ppdn_loss().value, 1e-6 * a1.ppdn_loss().value);
+  EXPECT_GT(model.decap.value, 1e-6);
+}
+
+TEST(ReducedPdn, LoopInductanceOrderingMatchesArchitectures) {
+  const auto a0 = build_reduced_pdn(
+      paper_system(), eval(ArchitectureKind::kA0_PcbConversion));
+  const auto a1 = build_reduced_pdn(
+      paper_system(), eval(ArchitectureKind::kA1_InterposerPeriphery));
+  const auto a2 = build_reduced_pdn(
+      paper_system(), eval(ArchitectureKind::kA2_InterposerBelowDie));
+  EXPECT_GT(a0.loop_inductance.value, a1.loop_inductance.value);
+  EXPECT_GT(a1.loop_inductance.value, a2.loop_inductance.value);
+  EXPECT_GT(a0.effective_resistance.value, a1.effective_resistance.value);
+}
+
+TEST(ReducedPdn, DcOperatingPointHoldsRail) {
+  // No load step yet: the rail sits at die voltage minus the base drop.
+  const auto a2 = eval(ArchitectureKind::kA2_InterposerBelowDie);
+  const ReducedPdnModel model = build_reduced_pdn(paper_system(), a2);
+  const DroopResult r = simulate_load_step(
+      model, paper_system(), Current{200.0}, Current{1.0},
+      Seconds{100e-9});
+  // With a 1 A step the droop is microvolts-scale.
+  EXPECT_LT(r.droop.value, 5e-3);
+}
+
+TEST(ReducedPdn, DroopOrderingAcrossArchitectures) {
+  // Same 200 -> 500 A step: A0's board loop droops far more than the
+  // interposer architectures.
+  auto droop = [&](ArchitectureKind arch) {
+    const ReducedPdnModel model =
+        build_reduced_pdn(paper_system(), eval(arch));
+    return simulate_load_step(model, paper_system(), Current{200.0},
+                              Current{300.0}, Seconds{100e-9})
+        .droop.value;
+  };
+  const double d_a0 = droop(ArchitectureKind::kA0_PcbConversion);
+  const double d_a1 = droop(ArchitectureKind::kA1_InterposerPeriphery);
+  const double d_a2 = droop(ArchitectureKind::kA2_InterposerBelowDie);
+  EXPECT_GT(d_a0, 3.0 * d_a2);
+  EXPECT_GE(d_a1, d_a2 - 1e-4);
+  // All sensible magnitudes: millivolts to a few hundred millivolts.
+  EXPECT_LT(d_a0, 0.8);
+  EXPECT_GT(d_a2, 1e-4);
+}
+
+TEST(ReducedPdn, RecoveryWithinWindow) {
+  const auto a2 = eval(ArchitectureKind::kA2_InterposerBelowDie);
+  const ReducedPdnModel model = build_reduced_pdn(paper_system(), a2);
+  const DroopResult r = simulate_load_step(
+      model, paper_system(), Current{200.0}, Current{300.0},
+      Seconds{100e-9});
+  EXPECT_GT(r.recovery_time.value, 0.0);
+  EXPECT_LT(r.recovery_time.value, 18e-6);
+}
+
+TEST(ReducedPdn, Validation) {
+  const auto a2 = eval(ArchitectureKind::kA2_InterposerBelowDie);
+  const ReducedPdnModel model = build_reduced_pdn(paper_system(), a2);
+  EXPECT_THROW(simulate_load_step(model, paper_system(), Current{-1.0},
+                                  Current{1.0}, Seconds{1e-9}),
+               InvalidArgument);
+  EXPECT_THROW(simulate_load_step(model, paper_system(), Current{1.0},
+                                  Current{0.0}, Seconds{1e-9}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,87 @@
+#include "vpd/core/trends.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(Trends, ChipDatasetShapeMatchesFigureOne) {
+  const auto chips = hpc_chip_dataset();
+  ASSERT_GE(chips.size(), 6u);
+  for (const auto& c : chips) {
+    EXPECT_FALSE(c.is_server) << c.name;
+    EXPECT_GT(c.power.value, 100.0) << c.name;
+    EXPECT_LT(c.power.value, 1500.0) << c.name;
+    EXPECT_GT(c.pds_efficiency, 0.6) << c.name;
+    EXPECT_LT(c.pds_efficiency, 0.95) << c.name;
+  }
+}
+
+TEST(Trends, ChipsApproachOneAmpPerMm2) {
+  // The paper: power density in modern HPC accelerators approaches
+  // 1 A/mm^2 (Fig. 1).
+  const auto chips = hpc_chip_dataset();
+  double max_density = 0.0;
+  for (const auto& c : chips)
+    max_density = std::max(max_density, as_A_per_mm2(c.current_density()));
+  EXPECT_GT(max_density, 0.8);
+  EXPECT_LT(max_density, 1.5);
+}
+
+TEST(Trends, ChipsApproachOneKilowatt) {
+  const auto chips = hpc_chip_dataset();
+  double max_power = 0.0;
+  for (const auto& c : chips) max_power = std::max(max_power, c.power.value);
+  // "rapidly approaching a thousand watts for an individual chip".
+  EXPECT_GE(max_power, 600.0);
+}
+
+TEST(Trends, ServersReachTwentyKilowatts) {
+  const auto servers = hpc_server_dataset();
+  double max_power = 0.0;
+  for (const auto& s : servers) {
+    EXPECT_TRUE(s.is_server) << s.name;
+    max_power = std::max(max_power, s.power.value);
+  }
+  EXPECT_GE(max_power, 15000.0);  // "20 kW for a server system"
+}
+
+TEST(Trends, CurrentDemandGrewOrdersOfMagnitude) {
+  const auto current = current_demand_trend();
+  ASSERT_GE(current.size(), 5u);
+  // Monotonically increasing.
+  for (std::size_t i = 1; i < current.size(); ++i)
+    EXPECT_GT(current[i].value, current[i - 1].value);
+  EXPECT_GT(trend_growth(current), 100.0);  // orders of magnitude
+}
+
+TEST(Trends, PackagingFeatureOnlyShrankFourfold) {
+  const auto feature = packaging_feature_trend();
+  for (std::size_t i = 1; i < feature.size(); ++i)
+    EXPECT_LT(feature[i].value, feature[i - 1].value);
+  // The paper/Fig. 2: feature decreased by only ~4x.
+  EXPECT_NEAR(1.0 / trend_growth(feature), 4.0, 0.5);
+}
+
+TEST(Trends, CurrentDensityValidation) {
+  HpcSystemPoint p;
+  p.name = "x";
+  p.power = 100.0_W;
+  p.silicon_area = 100.0_mm2;
+  EXPECT_NEAR(as_A_per_mm2(p.current_density()), 1.0, 1e-9);
+  EXPECT_THROW(p.current_density(Voltage{0.0}), InvalidArgument);
+  p.silicon_area = Area{0.0};
+  EXPECT_THROW(p.current_density(), InvalidArgument);
+}
+
+TEST(Trends, GrowthValidation) {
+  EXPECT_THROW(trend_growth({{2000, 1.0}}), InvalidArgument);
+  EXPECT_THROW(trend_growth({{2000, 0.0}, {2010, 1.0}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

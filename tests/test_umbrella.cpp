@@ -1,0 +1,41 @@
+// Compilation test of the umbrella header plus a smoke use of each major
+// subsystem through it.
+#include "vpd/vpd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(Umbrella, EverySubsystemReachable) {
+  // common
+  EXPECT_NEAR((2.0_A * 3.0_Ohm).value, 6.0, 1e-12);
+  // circuit
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_vsource("V", a, kGround, 1.0_V);
+  nl.add_resistor("R", a, kGround, 2.0_Ohm);
+  EXPECT_NEAR(solve_dc(nl).current("R").value, 0.5, 1e-9);
+  // devices / passives
+  EXPECT_GT(gan_technology().figure_of_merit(), 0.0);
+  EXPECT_GT(
+      Inductor(embedded_package_inductor_technology(), 1.0_uH, 5.0_A)
+          .dcr()
+          .value,
+      0.0);
+  // converters
+  EXPECT_NEAR(dpmih_converter()->efficiency(30.0_A), 0.909, 1e-6);
+  // package
+  EXPECT_EQ(table_one().size(), 5u);
+  // arch / core
+  EXPECT_EQ(all_architectures().size(), 5u);
+  EXPECT_NEAR(paper_system().die_current().value, 1000.0, 1e-9);
+  // thermal / workload
+  const GridMesh m(10.0_mm, 10.0_mm, 5, 5, 1e-3);
+  EXPECT_NEAR(map_total(uniform_power_map(m, 10.0_A)).value, 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vpd

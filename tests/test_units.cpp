@@ -1,0 +1,124 @@
+#include "vpd/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+TEST(Units, OhmsLawProducesVoltage) {
+  const Current i{2.0};
+  const Resistance r{3.0};
+  const Voltage v = i * r;
+  EXPECT_DOUBLE_EQ(v.value, 6.0);
+}
+
+TEST(Units, PowerFromVoltageTimesCurrent) {
+  const Power p = Voltage{1.0} * Current{1000.0};
+  EXPECT_DOUBLE_EQ(p.value, 1000.0);
+}
+
+TEST(Units, PowerFromCurrentSquaredTimesResistance) {
+  const Current i{10.0};
+  const Power p = i * i * Resistance{0.5};
+  EXPECT_DOUBLE_EQ(p.value, 50.0);
+}
+
+TEST(Units, DimensionlessRatioDecaysToDouble) {
+  const double ratio = Voltage{48.0} / Voltage{12.0};
+  EXPECT_DOUBLE_EQ(ratio, 4.0);
+}
+
+TEST(Units, ResistanceFromResistivityGeometry) {
+  // R = rho * l / A, copper ~1.68e-8 Ohm*m, 1 m of 1 mm^2 wire.
+  const Resistivity rho{1.68e-8};
+  const Resistance r = rho * Length{1.0} / Area{1e-6};
+  EXPECT_NEAR(r.value, 1.68e-2, 1e-12);
+}
+
+TEST(Units, AdditionAndSubtraction) {
+  Voltage v{5.0};
+  v += 2.0_V;
+  v -= 1.0_V;
+  EXPECT_DOUBLE_EQ(v.value, 6.0);
+  EXPECT_DOUBLE_EQ((Voltage{5.0} + Voltage{1.0}).value, 6.0);
+  EXPECT_DOUBLE_EQ((Voltage{5.0} - Voltage{1.0}).value, 4.0);
+}
+
+TEST(Units, ScalarScaling) {
+  EXPECT_DOUBLE_EQ((2.0 * Current{3.0}).value, 6.0);
+  EXPECT_DOUBLE_EQ((Current{3.0} * 2.0).value, 6.0);
+  EXPECT_DOUBLE_EQ((Current{3.0} / 2.0).value, 1.5);
+  Current i{3.0};
+  i *= 2.0;
+  EXPECT_DOUBLE_EQ(i.value, 6.0);
+  i /= 3.0;
+  EXPECT_DOUBLE_EQ(i.value, 2.0);
+}
+
+TEST(Units, ScalarOverQuantityInverts) {
+  const Conductance g = 1.0 / Resistance{4.0};
+  EXPECT_DOUBLE_EQ(g.value, 0.25);
+}
+
+TEST(Units, ComparisonOperators) {
+  EXPECT_LT(Voltage{1.0}, Voltage{2.0});
+  EXPECT_EQ(Voltage{2.0}, Voltage{2.0});
+  EXPECT_GT(Voltage{3.0}, Voltage{2.0});
+}
+
+TEST(Units, Negation) { EXPECT_DOUBLE_EQ((-Voltage{2.0}).value, -2.0); }
+
+TEST(Units, LiteralsProduceScaledValues) {
+  EXPECT_DOUBLE_EQ((48.0_V).value, 48.0);
+  EXPECT_DOUBLE_EQ((48_V).value, 48.0);
+  EXPECT_DOUBLE_EQ((3.0_mV).value, 3e-3);
+  EXPECT_DOUBLE_EQ((1.0_kW).value, 1000.0);
+  EXPECT_DOUBLE_EQ((2.5_mOhm).value, 2.5e-3);
+  EXPECT_DOUBLE_EQ((400.0_um).value, 400e-6);
+  EXPECT_DOUBLE_EQ((500_mm2).value, 500e-6);
+  EXPECT_DOUBLE_EQ((1.0_MHz).value, 1e6);
+  EXPECT_DOUBLE_EQ((4.0_uH).value, 4e-6);
+  EXPECT_DOUBLE_EQ((15.0_uF).value, 15e-6);
+  EXPECT_DOUBLE_EQ((10.0_ns).value, 1e-8);
+}
+
+TEST(Units, EngineeringAccessors) {
+  EXPECT_DOUBLE_EQ(as_mm2(Area{500e-6}), 500.0);
+  EXPECT_DOUBLE_EQ(as_um2(Area{707e-12}), 707.0);
+  EXPECT_DOUBLE_EQ(as_mm(Length{0.025}), 25.0);
+  EXPECT_DOUBLE_EQ(as_um(Length{5e-6}), 5.0);
+  EXPECT_DOUBLE_EQ(as_mOhm(Resistance{0.005}), 5.0);
+  EXPECT_DOUBLE_EQ(as_MHz(Frequency{2e6}), 2.0);
+  EXPECT_DOUBLE_EQ(as_uH(Inductance{4e-6}), 4.0);
+  EXPECT_DOUBLE_EQ(as_uF(Capacitance{15e-6}), 15.0);
+  EXPECT_DOUBLE_EQ(as_A_per_mm2(CurrentDensity{2e6}), 2.0);
+}
+
+TEST(Units, StreamInsertionPrintsValue) {
+  std::ostringstream os;
+  os << Voltage{1.5};
+  EXPECT_EQ(os.str(), "1.5");
+}
+
+TEST(Units, ChargeTimesFrequencyIsCurrent) {
+  // Gate-charge loss bookkeeping: Q * f = I.
+  const Current i = Charge{10e-9} * Frequency{1e6};
+  EXPECT_NEAR(i.value, 1e-2, 1e-15);
+}
+
+TEST(Units, EnergyIsPowerTimesTime) {
+  const Energy e = Power{5.0} * Seconds{2.0};
+  EXPECT_DOUBLE_EQ(e.value, 10.0);
+}
+
+TEST(Units, CurrentDensityTimesAreaIsCurrent) {
+  const Current i = CurrentDensity{2e6} * Area{500e-6};
+  EXPECT_DOUBLE_EQ(i.value, 1000.0);
+}
+
+}  // namespace
+}  // namespace vpd

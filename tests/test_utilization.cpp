@@ -1,0 +1,91 @@
+#include "vpd/package/utilization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+// The paper's Section IV utilization claims, reproduced from the Table I
+// geometry and the calibrated per-via current limits.
+
+TEST(Utilization, VerticalDeliveryUsesOnePercentOfBgas) {
+  // 48 V feed: 1 kW / 48 V ~ 21 A through the BGAs.
+  const auto row = utilization_for(
+      interconnect_spec(InterconnectLevel::kPcbToPackage), 20.8_A);
+  EXPECT_NEAR(row.fraction, 0.01, 0.005);
+  EXPECT_TRUE(row.feasible);
+}
+
+TEST(Utilization, VerticalDeliveryUsesTwoPercentOfC4s) {
+  const auto row = utilization_for(
+      interconnect_spec(InterconnectLevel::kPackageToInterposer), 20.8_A);
+  EXPECT_NEAR(row.fraction, 0.02, 0.008);
+  EXPECT_TRUE(row.feasible);
+}
+
+TEST(Utilization, VerticalDeliveryUsesTenPercentOfTsvs) {
+  // After on-interposer conversion the full 1 kA crosses the TSVs at 1 V.
+  const auto row = utilization_for(
+      interconnect_spec(InterconnectLevel::kThroughInterposer),
+      Current{1000.0});
+  EXPECT_NEAR(row.fraction, 0.10, 0.02);
+  EXPECT_TRUE(row.feasible);
+}
+
+TEST(Utilization, VerticalDeliveryUsesUnderTwentyPercentOfCuPads) {
+  const auto row = utilization_for(
+      interconnect_spec(InterconnectLevel::kInterposerToDiePad),
+      Current{1000.0});
+  EXPECT_LT(row.fraction, 0.20);
+  EXPECT_TRUE(row.feasible);
+}
+
+TEST(Utilization, MicroBumpsAlsoFeasibleAtFullCurrent) {
+  const auto row = utilization_for(
+      interconnect_spec(InterconnectLevel::kInterposerToDieBump),
+      Current{1000.0});
+  EXPECT_LT(row.fraction, 0.20);
+  EXPECT_TRUE(row.feasible);
+}
+
+TEST(Utilization, ReferenceArchitectureNeedsTwelveHundredMm2) {
+  // A0 pushes 1 kA through the C4 field under the die; with the 85% cap
+  // the minimum die area is ~1200 mm^2 (paper: "an unreasonably large die
+  // of 1,200 mm^2"), limiting power density to ~0.8 A/mm^2.
+  const auto c4 = interconnect_spec(InterconnectLevel::kPackageToInterposer);
+  const Area min_die = min_area_for_current(c4, Current{1000.0});
+  EXPECT_NEAR(as_mm2(min_die), 1200.0, 100.0);
+  const double density = 1000.0 / as_mm2(min_die);
+  EXPECT_NEAR(density, 0.8, 0.1);
+}
+
+TEST(Utilization, ReferenceArchitectureInfeasibleOn500Mm2Die) {
+  // Over the 500 mm^2 die shadow, 1 kA exceeds the 85% C4 cap.
+  const auto c4 = interconnect_spec(InterconnectLevel::kPackageToInterposer);
+  const auto row = utilization_for(c4, Current{1000.0}, 500.0_mm2);
+  EXPECT_FALSE(row.feasible);
+  EXPECT_GT(row.fraction, 0.85);
+}
+
+TEST(Utilization, ReportCoversRequestedLevels) {
+  const auto rows = utilization_report(
+      {{InterconnectLevel::kPcbToPackage, 20.8_A, std::nullopt},
+       {InterconnectLevel::kThroughInterposer, Current{1000.0},
+        std::nullopt}});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].type, "BGA");
+  EXPECT_EQ(rows[1].type, "TSV");
+}
+
+TEST(Utilization, Validation) {
+  const auto bga = interconnect_spec(InterconnectLevel::kPcbToPackage);
+  EXPECT_THROW(utilization_for(bga, Current{0.0}), InvalidArgument);
+  EXPECT_THROW(min_area_for_current(bga, Current{-1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "vpd/circuit/spice_export.hpp"
+#include "vpd/common/error.hpp"
+#include "vpd/converters/dsch.hpp"
+#include "vpd/core/variation.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+// ---- Monte Carlo variation ---------------------------------------------------
+
+TEST(Variation, ConverterDistributionCentersOnNominal) {
+  const auto conv = dsch_converter();
+  const EfficiencyDistribution d = sample_converter_efficiency(
+      conv->loss_model(), 1.0_V, 20.0_A, 0.85, {}, 2000, 7);
+  EXPECT_EQ(d.samples, 2000u);
+  // Median stays near the nominal value; spread is finite.
+  const double nominal = conv->efficiency(20.0_A);
+  EXPECT_NEAR(d.efficiency_at_load.median, nominal, 0.01);
+  EXPECT_GT(d.efficiency_at_load.stddev, 0.001);
+  EXPECT_LT(d.efficiency_at_load.stddev, 0.05);
+  // 85% target at 20 A is comfortably met.
+  EXPECT_GT(d.yield, 0.99);
+}
+
+TEST(Variation, TighterToleranceNarrowsSpread) {
+  const auto conv = dsch_converter();
+  ConverterTolerance loose;
+  loose.fixed_loss_sigma = 0.3;
+  loose.conduction_loss_sigma = 0.3;
+  ConverterTolerance tight;
+  tight.fixed_loss_sigma = 0.03;
+  tight.conduction_loss_sigma = 0.03;
+  const auto dl = sample_converter_efficiency(conv->loss_model(), 1.0_V,
+                                              20.0_A, 0.85, loose, 1000, 3);
+  const auto dt = sample_converter_efficiency(conv->loss_model(), 1.0_V,
+                                              20.0_A, 0.85, tight, 1000, 3);
+  EXPECT_LT(dt.efficiency_at_load.stddev, dl.efficiency_at_load.stddev);
+}
+
+TEST(Variation, AggressiveTargetReducesYield) {
+  const auto conv = dsch_converter();
+  const auto relaxed = sample_converter_efficiency(
+      conv->loss_model(), 1.0_V, 20.0_A, 0.85, {}, 500, 11);
+  const auto harsh = sample_converter_efficiency(
+      conv->loss_model(), 1.0_V, 20.0_A, 0.92, {}, 500, 11);
+  EXPECT_GT(relaxed.yield, harsh.yield);
+  EXPECT_LT(harsh.yield, 0.5);  // 92% at 20 A is past the nominal curve
+}
+
+TEST(Variation, DeterministicForFixedSeed) {
+  const auto conv = dsch_converter();
+  const auto a = sample_converter_efficiency(conv->loss_model(), 1.0_V,
+                                             10.0_A, 0.9, {}, 200, 42);
+  const auto b = sample_converter_efficiency(conv->loss_model(), 1.0_V,
+                                             10.0_A, 0.9, {}, 200, 42);
+  EXPECT_DOUBLE_EQ(a.efficiency_at_load.mean, b.efficiency_at_load.mean);
+  EXPECT_DOUBLE_EQ(a.yield, b.yield);
+}
+
+TEST(Variation, ArchitectureLossDistribution) {
+  EvaluationOptions options;
+  options.below_die_area_fraction = 1.6;
+  // Full 41-node mesh: coarser grids overstate the corner-VR currents
+  // (patch granularity) and trip the rating check.
+  const LossDistribution d = sample_architecture_loss(
+      paper_system(), ArchitectureKind::kA1_InterposerPeriphery,
+      TopologyKind::kDsch, DeviceTechnology::kGalliumNitride, options,
+      /*target=*/0.22, {}, 25, 5);
+  EXPECT_EQ(d.samples, 25u);
+  // Nominal A1/DSCH is ~17.5%; the spread stays in a plausible band.
+  EXPECT_GT(d.loss_fraction.median, 0.14);
+  EXPECT_LT(d.loss_fraction.median, 0.21);
+  EXPECT_GT(d.yield, 0.8);
+}
+
+TEST(Variation, Validation) {
+  const auto conv = dsch_converter();
+  EXPECT_THROW(sample_converter_efficiency(conv->loss_model(), 1.0_V,
+                                           10.0_A, 1.5, {}, 100),
+               InvalidArgument);
+  EXPECT_THROW(sample_converter_efficiency(conv->loss_model(), 1.0_V,
+                                           10.0_A, 0.9, {}, 1),
+               InvalidArgument);
+}
+
+// ---- SPICE export -------------------------------------------------------------
+
+Netlist demo_netlist() {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("V1", in, kGround, 12.0_V);
+  nl.add_resistor("R1", in, out, Resistance{2.5});
+  nl.add_capacitor("C1", out, kGround, 10.0_uF, 1.0_V);
+  nl.add_inductor("L1", out, kGround, 4.7_uH, Current{0.5});
+  nl.add_isource("Iload", out, kGround, 3.0_A);
+  nl.add_switch("S1", in, out, Resistance{0.01}, Resistance{1e9}, true);
+  return nl;
+}
+
+TEST(SpiceExport, EmitsAllElements) {
+  const std::string deck = to_spice(demo_netlist());
+  EXPECT_NE(deck.find("V1 in 0 DC 12"), std::string::npos);
+  EXPECT_NE(deck.find("R1 in out 2.5"), std::string::npos);
+  EXPECT_NE(deck.find("C1 out 0 1e-05 IC=1"), std::string::npos);
+  EXPECT_NE(deck.find("L1 out 0 4.7e-06 IC=0.5"), std::string::npos);
+  EXPECT_NE(deck.find("Iload out 0 DC 3"), std::string::npos);
+  EXPECT_NE(deck.find(".op"), std::string::npos);
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+}
+
+TEST(SpiceExport, SwitchFrozenAtState) {
+  const std::string closed = to_spice(demo_netlist());
+  EXPECT_NE(closed.find("R_S1 in out 0.01"), std::string::npos);
+  EXPECT_NE(closed.find("switch frozen closed"), std::string::npos);
+
+  SpiceExportOptions opts;
+  opts.switch_states = SwitchStates{false};
+  const std::string open = to_spice(demo_netlist(), opts);
+  EXPECT_NE(open.find("R_S1 in out 1e+09"), std::string::npos);
+}
+
+TEST(SpiceExport, OptionsControlAnalysisCards) {
+  SpiceExportOptions opts;
+  opts.operating_point = false;
+  opts.tran_card = "1n 100u";
+  opts.initial_conditions = false;
+  opts.title = "my deck";
+  const std::string deck = to_spice(demo_netlist(), opts);
+  EXPECT_EQ(deck.find(".op"), std::string::npos);
+  EXPECT_NE(deck.find(".tran 1n 100u"), std::string::npos);
+  EXPECT_EQ(deck.find("IC="), std::string::npos);
+  EXPECT_NE(deck.find("* my deck"), std::string::npos);
+}
+
+TEST(SpiceExport, SanitizesAwkwardNames) {
+  Netlist nl;
+  const NodeId n = nl.add_node("node-1.a");
+  nl.add_resistor("weird name", n, kGround, Resistance{1.0});
+  nl.add_vsource("V1", n, kGround, 1.0_V);
+  const std::string deck = to_spice(nl);
+  EXPECT_NE(deck.find("R_weird_name node_1_a 0 1"), std::string::npos);
+}
+
+TEST(SpiceExport, StateSizeValidation) {
+  SpiceExportOptions opts;
+  opts.switch_states = SwitchStates{true, false};  // netlist has 1 switch
+  EXPECT_THROW(to_spice(demo_netlist(), opts), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,102 @@
+#include "vpd/circuit/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+#include "vpd/common/interpolation.hpp"
+
+namespace vpd {
+namespace {
+
+Trace ramp() {
+  // v(t) = t on [0, 1], 11 samples.
+  std::vector<double> ts = linspace(0.0, 1.0, 11);
+  std::vector<double> vs = ts;
+  return Trace("ramp", std::move(ts), std::move(vs));
+}
+
+Trace sine(double cycles, std::size_t samples_per_cycle) {
+  const std::size_t n = static_cast<std::size_t>(
+      cycles * static_cast<double>(samples_per_cycle)) + 1;
+  std::vector<double> ts(n), vs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ts[i] = static_cast<double>(i) /
+            static_cast<double>(samples_per_cycle);
+    vs[i] = std::sin(2.0 * M_PI * ts[i]);
+  }
+  return Trace("sine", std::move(ts), std::move(vs));
+}
+
+TEST(Trace, ValidationRejectsBadInput) {
+  EXPECT_THROW(Trace("t", {0.0, 1.0}, {1.0}), InvalidArgument);
+  EXPECT_THROW(Trace("t", {}, {}), InvalidArgument);
+  EXPECT_THROW(Trace("t", {0.0, 0.0}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(Trace("t", {1.0, 0.5}, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(Trace, InterpolatedLookup) {
+  const Trace t = ramp();
+  EXPECT_DOUBLE_EQ(t.at(0.55), 0.55);
+  EXPECT_DOUBLE_EQ(t.at(-1.0), 0.0);   // clamped
+  EXPECT_DOUBLE_EQ(t.at(2.0), 1.0);    // clamped
+  EXPECT_DOUBLE_EQ(t.front(), 0.0);
+  EXPECT_DOUBLE_EQ(t.back(), 1.0);
+}
+
+TEST(Trace, AverageOfRamp) {
+  const Trace t = ramp();
+  EXPECT_NEAR(t.average(), 0.5, 1e-12);
+  EXPECT_NEAR(t.average(0.0, 0.5), 0.25, 1e-12);
+  EXPECT_NEAR(t.average(0.25, 0.75), 0.5, 1e-12);
+}
+
+TEST(Trace, RmsOfRamp) {
+  // RMS of t on [0,1] = 1/sqrt(3); the quadrature is exact for
+  // piecewise-linear signals.
+  EXPECT_NEAR(ramp().rms(), 1.0 / std::sqrt(3.0), 1e-12);
+}
+
+TEST(Trace, RmsOfSineApproachesInvSqrt2) {
+  const Trace s = sine(4.0, 200);
+  EXPECT_NEAR(s.rms(), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(s.average(), 0.0, 1e-9);
+}
+
+TEST(Trace, MinMaxPeakToPeak) {
+  const Trace s = sine(2.0, 100);
+  EXPECT_NEAR(s.max(), 1.0, 1e-3);
+  EXPECT_NEAR(s.min(), -1.0, 1e-3);
+  EXPECT_NEAR(s.peak_to_peak(), 2.0, 2e-3);
+  EXPECT_NEAR(s.max(0.0, 0.5), 1.0, 1e-3);
+  EXPECT_NEAR(s.min(0.0, 0.5), 0.0, 1e-9);  // first half-cycle nonnegative
+}
+
+TEST(Trace, WindowValidation) {
+  const Trace t = ramp();
+  EXPECT_THROW(t.average(0.5, 0.5), InvalidArgument);
+  EXPECT_THROW(t.average(0.9, 2.0), InvalidArgument);
+  EXPECT_THROW(t.rms(-0.5, 0.5), InvalidArgument);
+}
+
+TEST(Trace, TailExtractsSuffix) {
+  const Trace t = ramp();
+  const Trace tl = t.tail(0.3);
+  EXPECT_NEAR(tl.times().front(), 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(tl.times().back(), 1.0);
+  EXPECT_EQ(tl.name(), "ramp");
+  EXPECT_THROW(t.tail(0.0), InvalidArgument);
+  // Tail longer than the trace returns the whole trace.
+  EXPECT_EQ(t.tail(100.0).sample_count(), t.sample_count());
+}
+
+TEST(Trace, SingleSampleBehaviour) {
+  const Trace t("dc", {0.0}, {3.0});
+  EXPECT_DOUBLE_EQ(t.average(), 3.0);
+  EXPECT_DOUBLE_EQ(t.rms(), 3.0);
+  EXPECT_DOUBLE_EQ(t.at(5.0), 3.0);
+}
+
+}  // namespace
+}  // namespace vpd

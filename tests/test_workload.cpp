@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+#include "vpd/workload/load_transient.hpp"
+#include "vpd/workload/power_map.hpp"
+
+namespace vpd {
+namespace {
+
+using namespace vpd::literals;
+
+GridMesh mesh() { return GridMesh(22.36_mm, 22.36_mm, 21, 21, 1e-3); }
+
+TEST(PowerMap, UniformTotalsCorrectly) {
+  const GridMesh m = mesh();
+  const Vector sinks = uniform_power_map(m, Current{1000.0});
+  EXPECT_NEAR(map_total(sinks).value, 1000.0, 1e-9);
+  for (double s : sinks) EXPECT_NEAR(s, 1000.0 / 441.0, 1e-12);
+}
+
+TEST(PowerMap, HotspotConcentratesAtCenter) {
+  const GridMesh m = mesh();
+  const Vector sinks =
+      hotspot_power_map(m, Current{1000.0}, 0.5, 0.5, 0.15, 0.3);
+  EXPECT_NEAR(map_total(sinks).value, 1000.0, 1e-6);
+  const std::size_t center = m.node(10, 10);
+  const std::size_t corner = m.node(0, 0);
+  EXPECT_GT(sinks[center], 10.0 * sinks[corner]);
+}
+
+TEST(PowerMap, HotspotBackgroundFloor) {
+  const GridMesh m = mesh();
+  const Vector sinks =
+      hotspot_power_map(m, Current{1000.0}, 0.5, 0.5, 0.1, 0.5);
+  // 50% background spread uniformly: every node gets at least that.
+  const double floor_per_node = 0.5 * 1000.0 / 441.0;
+  for (double s : sinks) EXPECT_GE(s, floor_per_node - 1e-9);
+}
+
+TEST(PowerMap, HotspotOffCenter) {
+  const GridMesh m = mesh();
+  const Vector sinks =
+      hotspot_power_map(m, Current{100.0}, 0.1, 0.9, 0.1, 0.2);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < sinks.size(); ++i)
+    if (sinks[i] > sinks[argmax]) argmax = i;
+  EXPECT_LT(m.x_of(argmax).value, 0.3 * m.width().value);
+  EXPECT_GT(m.y_of(argmax).value, 0.7 * m.height().value);
+}
+
+TEST(PowerMap, CheckerboardAlternates) {
+  const GridMesh m = mesh();
+  const Vector sinks =
+      checkerboard_power_map(m, Current{1000.0}, 4, 3.0);
+  EXPECT_NEAR(map_total(sinks).value, 1000.0, 1e-6);
+  // High and low tiles differ by the contrast ratio.
+  double lo = 1e9, hi = 0.0;
+  for (double s : sinks) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_NEAR(hi / lo, 3.0, 1e-9);
+}
+
+TEST(PowerMap, Validation) {
+  const GridMesh m = mesh();
+  EXPECT_THROW(hotspot_power_map(m, Current{1.0}, 1.5, 0.5, 0.1),
+               InvalidArgument);
+  EXPECT_THROW(hotspot_power_map(m, Current{1.0}, 0.5, 0.5, 0.0),
+               InvalidArgument);
+  EXPECT_THROW(checkerboard_power_map(m, Current{1.0}, 0, 2.0),
+               InvalidArgument);
+  EXPECT_THROW(checkerboard_power_map(m, Current{1.0}, 2, 0.5),
+               InvalidArgument);
+}
+
+TEST(LoadTransient, StepProfile) {
+  const SourceFn f = step_load(100.0_A, 400.0_A, Seconds{1e-6},
+                               Seconds{100e-9});
+  EXPECT_DOUBLE_EQ(f(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(f(1e-6), 100.0);
+  EXPECT_NEAR(f(1.05e-6), 300.0, 1e-9);  // halfway up the ramp
+  EXPECT_DOUBLE_EQ(f(2e-6), 500.0);
+}
+
+TEST(LoadTransient, InstantStep) {
+  const SourceFn f = step_load(0.0_A, 10.0_A, Seconds{1e-6}, Seconds{0.0});
+  EXPECT_DOUBLE_EQ(f(1e-6), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0000001e-6), 10.0);
+}
+
+TEST(LoadTransient, BurstProfile) {
+  const SourceFn f =
+      burst_load(10.0_A, 100.0_A, Frequency{1e6}, 0.4, Seconds{20e-9});
+  // Plateau inside the on-window.
+  EXPECT_NEAR(f(0.2e-6), 100.0, 1e-9);
+  // Off-window.
+  EXPECT_NEAR(f(0.7e-6), 10.0, 1e-9);
+  // Periodicity.
+  EXPECT_NEAR(f(1.2e-6), 100.0, 1e-9);
+  EXPECT_THROW(
+      burst_load(1.0_A, 2.0_A, Frequency{1e6}, 0.4, Seconds{300e-9}),
+      InvalidArgument);
+}
+
+TEST(LoadTransient, RampProfile) {
+  const SourceFn f =
+      ramp_load(5.0_A, 15.0_A, Seconds{1e-6}, Seconds{3e-6});
+  EXPECT_DOUBLE_EQ(f(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(2e-6), 10.0);
+  EXPECT_DOUBLE_EQ(f(5e-6), 15.0);
+  EXPECT_THROW(ramp_load(1.0_A, 2.0_A, Seconds{1.0}, Seconds{1.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

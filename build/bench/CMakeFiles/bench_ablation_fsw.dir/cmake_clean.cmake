@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fsw.dir/bench_ablation_fsw.cpp.o"
+  "CMakeFiles/bench_ablation_fsw.dir/bench_ablation_fsw.cpp.o.d"
+  "bench_ablation_fsw"
+  "bench_ablation_fsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

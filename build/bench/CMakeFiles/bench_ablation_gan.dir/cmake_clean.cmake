@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gan.dir/bench_ablation_gan.cpp.o"
+  "CMakeFiles/bench_ablation_gan.dir/bench_ablation_gan.cpp.o.d"
+  "bench_ablation_gan"
+  "bench_ablation_gan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

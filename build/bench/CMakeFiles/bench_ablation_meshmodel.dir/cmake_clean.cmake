@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_meshmodel.dir/bench_ablation_meshmodel.cpp.o"
+  "CMakeFiles/bench_ablation_meshmodel.dir/bench_ablation_meshmodel.cpp.o.d"
+  "bench_ablation_meshmodel"
+  "bench_ablation_meshmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_meshmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sheet.dir/bench_ablation_sheet.cpp.o"
+  "CMakeFiles/bench_ablation_sheet.dir/bench_ablation_sheet.cpp.o.d"
+  "bench_ablation_sheet"
+  "bench_ablation_sheet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

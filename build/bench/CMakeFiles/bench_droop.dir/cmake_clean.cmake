@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_droop.dir/bench_droop.cpp.o"
+  "CMakeFiles/bench_droop.dir/bench_droop.cpp.o.d"
+  "bench_droop"
+  "bench_droop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_droop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_efficiency_curves.dir/bench_efficiency_curves.cpp.o"
+  "CMakeFiles/bench_efficiency_curves.dir/bench_efficiency_curves.cpp.o.d"
+  "bench_efficiency_curves"
+  "bench_efficiency_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_efficiency_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

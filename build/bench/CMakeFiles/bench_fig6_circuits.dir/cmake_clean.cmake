@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_circuits.dir/bench_fig6_circuits.cpp.o"
+  "CMakeFiles/bench_fig6_circuits.dir/bench_fig6_circuits.cpp.o.d"
+  "bench_fig6_circuits"
+  "bench_fig6_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

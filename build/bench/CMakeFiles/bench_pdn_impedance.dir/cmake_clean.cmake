@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdn_impedance.dir/bench_pdn_impedance.cpp.o"
+  "CMakeFiles/bench_pdn_impedance.dir/bench_pdn_impedance.cpp.o.d"
+  "bench_pdn_impedance"
+  "bench_pdn_impedance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdn_impedance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

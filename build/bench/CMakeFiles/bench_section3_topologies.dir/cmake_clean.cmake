@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section3_topologies.dir/bench_section3_topologies.cpp.o"
+  "CMakeFiles/bench_section3_topologies.dir/bench_section3_topologies.cpp.o.d"
+  "bench_section3_topologies"
+  "bench_section3_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section3_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

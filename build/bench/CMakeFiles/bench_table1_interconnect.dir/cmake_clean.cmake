@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_interconnect.dir/bench_table1_interconnect.cpp.o"
+  "CMakeFiles/bench_table1_interconnect.dir/bench_table1_interconnect.cpp.o.d"
+  "bench_table1_interconnect"
+  "bench_table1_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

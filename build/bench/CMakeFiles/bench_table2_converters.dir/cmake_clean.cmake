@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_converters.dir/bench_table2_converters.cpp.o"
+  "CMakeFiles/bench_table2_converters.dir/bench_table2_converters.cpp.o.d"
+  "bench_table2_converters"
+  "bench_table2_converters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_converters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

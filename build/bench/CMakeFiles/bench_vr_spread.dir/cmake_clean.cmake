@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vr_spread.dir/bench_vr_spread.cpp.o"
+  "CMakeFiles/bench_vr_spread.dir/bench_vr_spread.cpp.o.d"
+  "bench_vr_spread"
+  "bench_vr_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vr_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

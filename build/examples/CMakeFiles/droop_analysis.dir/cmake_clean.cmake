@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droop_analysis.dir/droop_analysis.cpp.o"
+  "CMakeFiles/droop_analysis.dir/droop_analysis.cpp.o.d"
+  "droop_analysis"
+  "droop_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droop_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivr_circuit_sim.dir/ivr_circuit_sim.cpp.o"
+  "CMakeFiles/ivr_circuit_sim.dir/ivr_circuit_sim.cpp.o.d"
+  "ivr_circuit_sim"
+  "ivr_circuit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivr_circuit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

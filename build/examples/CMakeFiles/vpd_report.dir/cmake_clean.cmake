@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpd_report.dir/vpd_report.cpp.o"
+  "CMakeFiles/vpd_report.dir/vpd_report.cpp.o.d"
+  "vpd_report"
+  "vpd_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpd_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

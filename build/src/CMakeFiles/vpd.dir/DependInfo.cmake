@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vpd/arch/architecture.cpp" "src/CMakeFiles/vpd.dir/vpd/arch/architecture.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/arch/architecture.cpp.o.d"
+  "/root/repo/src/vpd/arch/evaluator.cpp" "src/CMakeFiles/vpd.dir/vpd/arch/evaluator.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/arch/evaluator.cpp.o.d"
+  "/root/repo/src/vpd/arch/placement.cpp" "src/CMakeFiles/vpd.dir/vpd/arch/placement.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/arch/placement.cpp.o.d"
+  "/root/repo/src/vpd/arch/report.cpp" "src/CMakeFiles/vpd.dir/vpd/arch/report.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/arch/report.cpp.o.d"
+  "/root/repo/src/vpd/arch/transient_model.cpp" "src/CMakeFiles/vpd.dir/vpd/arch/transient_model.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/arch/transient_model.cpp.o.d"
+  "/root/repo/src/vpd/arch/vr_allocation.cpp" "src/CMakeFiles/vpd.dir/vpd/arch/vr_allocation.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/arch/vr_allocation.cpp.o.d"
+  "/root/repo/src/vpd/circuit/ac_solver.cpp" "src/CMakeFiles/vpd.dir/vpd/circuit/ac_solver.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/circuit/ac_solver.cpp.o.d"
+  "/root/repo/src/vpd/circuit/dc_solver.cpp" "src/CMakeFiles/vpd.dir/vpd/circuit/dc_solver.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/circuit/dc_solver.cpp.o.d"
+  "/root/repo/src/vpd/circuit/mna.cpp" "src/CMakeFiles/vpd.dir/vpd/circuit/mna.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/circuit/mna.cpp.o.d"
+  "/root/repo/src/vpd/circuit/netlist.cpp" "src/CMakeFiles/vpd.dir/vpd/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/circuit/netlist.cpp.o.d"
+  "/root/repo/src/vpd/circuit/pwm.cpp" "src/CMakeFiles/vpd.dir/vpd/circuit/pwm.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/circuit/pwm.cpp.o.d"
+  "/root/repo/src/vpd/circuit/spice_export.cpp" "src/CMakeFiles/vpd.dir/vpd/circuit/spice_export.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/circuit/spice_export.cpp.o.d"
+  "/root/repo/src/vpd/circuit/transient.cpp" "src/CMakeFiles/vpd.dir/vpd/circuit/transient.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/circuit/transient.cpp.o.d"
+  "/root/repo/src/vpd/circuit/waveform.cpp" "src/CMakeFiles/vpd.dir/vpd/circuit/waveform.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/circuit/waveform.cpp.o.d"
+  "/root/repo/src/vpd/common/complex_linear.cpp" "src/CMakeFiles/vpd.dir/vpd/common/complex_linear.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/common/complex_linear.cpp.o.d"
+  "/root/repo/src/vpd/common/interpolation.cpp" "src/CMakeFiles/vpd.dir/vpd/common/interpolation.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/common/interpolation.cpp.o.d"
+  "/root/repo/src/vpd/common/matrix.cpp" "src/CMakeFiles/vpd.dir/vpd/common/matrix.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/common/matrix.cpp.o.d"
+  "/root/repo/src/vpd/common/rng.cpp" "src/CMakeFiles/vpd.dir/vpd/common/rng.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/common/rng.cpp.o.d"
+  "/root/repo/src/vpd/common/sparse.cpp" "src/CMakeFiles/vpd.dir/vpd/common/sparse.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/common/sparse.cpp.o.d"
+  "/root/repo/src/vpd/common/statistics.cpp" "src/CMakeFiles/vpd.dir/vpd/common/statistics.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/common/statistics.cpp.o.d"
+  "/root/repo/src/vpd/common/table.cpp" "src/CMakeFiles/vpd.dir/vpd/common/table.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/common/table.cpp.o.d"
+  "/root/repo/src/vpd/converters/buck.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/buck.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/buck.cpp.o.d"
+  "/root/repo/src/vpd/converters/catalog.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/catalog.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/catalog.cpp.o.d"
+  "/root/repo/src/vpd/converters/control.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/control.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/control.cpp.o.d"
+  "/root/repo/src/vpd/converters/converter.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/converter.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/converter.cpp.o.d"
+  "/root/repo/src/vpd/converters/dickson.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/dickson.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/dickson.cpp.o.d"
+  "/root/repo/src/vpd/converters/dpmih.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/dpmih.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/dpmih.cpp.o.d"
+  "/root/repo/src/vpd/converters/dsch.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/dsch.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/dsch.cpp.o.d"
+  "/root/repo/src/vpd/converters/fcml.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/fcml.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/fcml.cpp.o.d"
+  "/root/repo/src/vpd/converters/hybrid.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/hybrid.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/hybrid.cpp.o.d"
+  "/root/repo/src/vpd/converters/loss_model.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/loss_model.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/loss_model.cpp.o.d"
+  "/root/repo/src/vpd/converters/netlist_builder.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/netlist_builder.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/netlist_builder.cpp.o.d"
+  "/root/repo/src/vpd/converters/series_cap_buck.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/series_cap_buck.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/series_cap_buck.cpp.o.d"
+  "/root/repo/src/vpd/converters/switched_capacitor.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/switched_capacitor.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/switched_capacitor.cpp.o.d"
+  "/root/repo/src/vpd/converters/transformer_stage.cpp" "src/CMakeFiles/vpd.dir/vpd/converters/transformer_stage.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/converters/transformer_stage.cpp.o.d"
+  "/root/repo/src/vpd/core/advisor.cpp" "src/CMakeFiles/vpd.dir/vpd/core/advisor.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/core/advisor.cpp.o.d"
+  "/root/repo/src/vpd/core/explorer.cpp" "src/CMakeFiles/vpd.dir/vpd/core/explorer.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/core/explorer.cpp.o.d"
+  "/root/repo/src/vpd/core/spec.cpp" "src/CMakeFiles/vpd.dir/vpd/core/spec.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/core/spec.cpp.o.d"
+  "/root/repo/src/vpd/core/trends.cpp" "src/CMakeFiles/vpd.dir/vpd/core/trends.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/core/trends.cpp.o.d"
+  "/root/repo/src/vpd/core/variation.cpp" "src/CMakeFiles/vpd.dir/vpd/core/variation.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/core/variation.cpp.o.d"
+  "/root/repo/src/vpd/devices/power_fet.cpp" "src/CMakeFiles/vpd.dir/vpd/devices/power_fet.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/devices/power_fet.cpp.o.d"
+  "/root/repo/src/vpd/devices/switching_loss.cpp" "src/CMakeFiles/vpd.dir/vpd/devices/switching_loss.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/devices/switching_loss.cpp.o.d"
+  "/root/repo/src/vpd/devices/technology.cpp" "src/CMakeFiles/vpd.dir/vpd/devices/technology.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/devices/technology.cpp.o.d"
+  "/root/repo/src/vpd/package/interconnect.cpp" "src/CMakeFiles/vpd.dir/vpd/package/interconnect.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/package/interconnect.cpp.o.d"
+  "/root/repo/src/vpd/package/irdrop.cpp" "src/CMakeFiles/vpd.dir/vpd/package/irdrop.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/package/irdrop.cpp.o.d"
+  "/root/repo/src/vpd/package/layers.cpp" "src/CMakeFiles/vpd.dir/vpd/package/layers.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/package/layers.cpp.o.d"
+  "/root/repo/src/vpd/package/mesh.cpp" "src/CMakeFiles/vpd.dir/vpd/package/mesh.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/package/mesh.cpp.o.d"
+  "/root/repo/src/vpd/package/stacked_mesh.cpp" "src/CMakeFiles/vpd.dir/vpd/package/stacked_mesh.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/package/stacked_mesh.cpp.o.d"
+  "/root/repo/src/vpd/package/stackup.cpp" "src/CMakeFiles/vpd.dir/vpd/package/stackup.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/package/stackup.cpp.o.d"
+  "/root/repo/src/vpd/package/utilization.cpp" "src/CMakeFiles/vpd.dir/vpd/package/utilization.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/package/utilization.cpp.o.d"
+  "/root/repo/src/vpd/passives/capacitor.cpp" "src/CMakeFiles/vpd.dir/vpd/passives/capacitor.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/passives/capacitor.cpp.o.d"
+  "/root/repo/src/vpd/passives/inductor.cpp" "src/CMakeFiles/vpd.dir/vpd/passives/inductor.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/passives/inductor.cpp.o.d"
+  "/root/repo/src/vpd/passives/sizing.cpp" "src/CMakeFiles/vpd.dir/vpd/passives/sizing.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/passives/sizing.cpp.o.d"
+  "/root/repo/src/vpd/thermal/thermal.cpp" "src/CMakeFiles/vpd.dir/vpd/thermal/thermal.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/thermal/thermal.cpp.o.d"
+  "/root/repo/src/vpd/workload/load_transient.cpp" "src/CMakeFiles/vpd.dir/vpd/workload/load_transient.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/workload/load_transient.cpp.o.d"
+  "/root/repo/src/vpd/workload/power_map.cpp" "src/CMakeFiles/vpd.dir/vpd/workload/power_map.cpp.o" "gcc" "src/CMakeFiles/vpd.dir/vpd/workload/power_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

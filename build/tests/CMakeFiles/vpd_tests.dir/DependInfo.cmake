@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ac_solver.cpp" "tests/CMakeFiles/vpd_tests.dir/test_ac_solver.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_ac_solver.cpp.o.d"
+  "/root/repo/tests/test_architecture.cpp" "tests/CMakeFiles/vpd_tests.dir/test_architecture.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_architecture.cpp.o.d"
+  "/root/repo/tests/test_buck_converter.cpp" "tests/CMakeFiles/vpd_tests.dir/test_buck_converter.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_buck_converter.cpp.o.d"
+  "/root/repo/tests/test_control.cpp" "tests/CMakeFiles/vpd_tests.dir/test_control.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_control.cpp.o.d"
+  "/root/repo/tests/test_converter_circuits.cpp" "tests/CMakeFiles/vpd_tests.dir/test_converter_circuits.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_converter_circuits.cpp.o.d"
+  "/root/repo/tests/test_cross_validation.cpp" "tests/CMakeFiles/vpd_tests.dir/test_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_cross_validation.cpp.o.d"
+  "/root/repo/tests/test_dc_solver.cpp" "tests/CMakeFiles/vpd_tests.dir/test_dc_solver.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_dc_solver.cpp.o.d"
+  "/root/repo/tests/test_devices.cpp" "tests/CMakeFiles/vpd_tests.dir/test_devices.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_devices.cpp.o.d"
+  "/root/repo/tests/test_evaluator.cpp" "tests/CMakeFiles/vpd_tests.dir/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_evaluator.cpp.o.d"
+  "/root/repo/tests/test_evaluator_properties.cpp" "tests/CMakeFiles/vpd_tests.dir/test_evaluator_properties.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_evaluator_properties.cpp.o.d"
+  "/root/repo/tests/test_explorer_advisor.cpp" "tests/CMakeFiles/vpd_tests.dir/test_explorer_advisor.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_explorer_advisor.cpp.o.d"
+  "/root/repo/tests/test_fit_shedding.cpp" "tests/CMakeFiles/vpd_tests.dir/test_fit_shedding.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_fit_shedding.cpp.o.d"
+  "/root/repo/tests/test_golden_results.cpp" "tests/CMakeFiles/vpd_tests.dir/test_golden_results.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_golden_results.cpp.o.d"
+  "/root/repo/tests/test_hybrid_converters.cpp" "tests/CMakeFiles/vpd_tests.dir/test_hybrid_converters.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_hybrid_converters.cpp.o.d"
+  "/root/repo/tests/test_interconnect.cpp" "tests/CMakeFiles/vpd_tests.dir/test_interconnect.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_interconnect.cpp.o.d"
+  "/root/repo/tests/test_interpolation.cpp" "tests/CMakeFiles/vpd_tests.dir/test_interpolation.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_interpolation.cpp.o.d"
+  "/root/repo/tests/test_layers_stackup.cpp" "tests/CMakeFiles/vpd_tests.dir/test_layers_stackup.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_layers_stackup.cpp.o.d"
+  "/root/repo/tests/test_loss_model.cpp" "tests/CMakeFiles/vpd_tests.dir/test_loss_model.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_loss_model.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/vpd_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_mesh_irdrop.cpp" "tests/CMakeFiles/vpd_tests.dir/test_mesh_irdrop.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_mesh_irdrop.cpp.o.d"
+  "/root/repo/tests/test_mna.cpp" "tests/CMakeFiles/vpd_tests.dir/test_mna.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_mna.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/vpd_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/vpd_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_passives.cpp" "tests/CMakeFiles/vpd_tests.dir/test_passives.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_passives.cpp.o.d"
+  "/root/repo/tests/test_pwm.cpp" "tests/CMakeFiles/vpd_tests.dir/test_pwm.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_pwm.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/vpd_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scb_fcml.cpp" "tests/CMakeFiles/vpd_tests.dir/test_scb_fcml.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_scb_fcml.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/vpd_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_spec.cpp" "tests/CMakeFiles/vpd_tests.dir/test_spec.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_spec.cpp.o.d"
+  "/root/repo/tests/test_stacked_mesh.cpp" "tests/CMakeFiles/vpd_tests.dir/test_stacked_mesh.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_stacked_mesh.cpp.o.d"
+  "/root/repo/tests/test_statistics.cpp" "tests/CMakeFiles/vpd_tests.dir/test_statistics.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_statistics.cpp.o.d"
+  "/root/repo/tests/test_switched_capacitor.cpp" "tests/CMakeFiles/vpd_tests.dir/test_switched_capacitor.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_switched_capacitor.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/vpd_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_thermal.cpp" "tests/CMakeFiles/vpd_tests.dir/test_thermal.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_thermal.cpp.o.d"
+  "/root/repo/tests/test_transient.cpp" "tests/CMakeFiles/vpd_tests.dir/test_transient.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_transient.cpp.o.d"
+  "/root/repo/tests/test_transient_model.cpp" "tests/CMakeFiles/vpd_tests.dir/test_transient_model.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_transient_model.cpp.o.d"
+  "/root/repo/tests/test_trends.cpp" "tests/CMakeFiles/vpd_tests.dir/test_trends.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_trends.cpp.o.d"
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/vpd_tests.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_umbrella.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/vpd_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_utilization.cpp" "tests/CMakeFiles/vpd_tests.dir/test_utilization.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_utilization.cpp.o.d"
+  "/root/repo/tests/test_variation_spice.cpp" "tests/CMakeFiles/vpd_tests.dir/test_variation_spice.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_variation_spice.cpp.o.d"
+  "/root/repo/tests/test_waveform.cpp" "tests/CMakeFiles/vpd_tests.dir/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_waveform.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/vpd_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/vpd_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vpd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

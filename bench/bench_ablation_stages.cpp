@@ -5,8 +5,8 @@
 #include <cstdio>
 #include <iostream>
 
-#include "vpd/arch/evaluator.hpp"
 #include "vpd/common/table.hpp"
+#include "vpd/sweep/sweep.hpp"
 
 int main() {
   using namespace vpd;
@@ -15,31 +15,34 @@ int main() {
   EvaluationOptions options;
   options.below_die_area_fraction = 1.6;
 
+  const std::vector<SweepPoint> points =
+      SweepGridBuilder(options)
+          .architectures({ArchitectureKind::kA1_InterposerPeriphery,
+                          ArchitectureKind::kA2_InterposerBelowDie,
+                          ArchitectureKind::kA3_TwoStage12V,
+                          ArchitectureKind::kA3_TwoStage6V})
+          .topologies({TopologyKind::kDsch})
+          .build();
+  const SweepRunner runner(spec);
+  const SweepReport report = runner.run(points);
+
   std::printf("=== Ablation: conversion staging (DSCH final stage) ===\n\n");
 
   TextTable t({"Scheme", "Intermediate", "I_mid", "Horizontal",
                "VR stage 1", "VR stage 2", "Total loss"});
-
-  const auto a1 = evaluate_architecture(
-      ArchitectureKind::kA1_InterposerPeriphery, spec, TopologyKind::kDsch,
-      DeviceTechnology::kGalliumNitride, options);
-  t.add_row({"single-stage (A1)", "-", "-",
-             format_double(a1.horizontal_loss.value, 1) + " W", "-",
-             format_double(a1.conversion_stage2.value, 1) + " W",
-             format_percent(a1.loss_fraction(spec.total_power))});
-  const auto a2 = evaluate_architecture(
-      ArchitectureKind::kA2_InterposerBelowDie, spec, TopologyKind::kDsch,
-      DeviceTechnology::kGalliumNitride, options);
-  t.add_row({"single-stage (A2)", "-", "-",
-             format_double(a2.horizontal_loss.value, 1) + " W", "-",
-             format_double(a2.conversion_stage2.value, 1) + " W",
-             format_percent(a2.loss_fraction(spec.total_power))});
-
-  for (ArchitectureKind arch : {ArchitectureKind::kA3_TwoStage12V,
-                                ArchitectureKind::kA3_TwoStage6V}) {
-    const auto ev = evaluate_architecture(arch, spec, TopologyKind::kDsch,
-                                          DeviceTechnology::kGalliumNitride,
-                                          options);
+  for (const SweepOutcome& o : report.outcomes) {
+    const ArchitectureEvaluation& ev =
+        o.entry.evaluation ? *o.entry.evaluation : *o.entry.extrapolated;
+    const ArchitectureKind arch = o.point.architecture;
+    const bool two_stage = arch == ArchitectureKind::kA3_TwoStage12V ||
+                           arch == ArchitectureKind::kA3_TwoStage6V;
+    if (!two_stage) {
+      t.add_row({std::string("single-stage (") + to_string(arch) + ")", "-",
+                 "-", format_double(ev.horizontal_loss.value, 1) + " W", "-",
+                 format_double(ev.conversion_stage2.value, 1) + " W",
+                 format_percent(ev.loss_fraction(spec.total_power))});
+      continue;
+    }
     const double v_mid = intermediate_voltage(arch).value;
     t.add_row({std::string("two-stage (") + to_string(arch) + ")",
                format_double(v_mid, 0) + " V",
@@ -54,6 +57,13 @@ int main() {
                format_percent(ev.loss_fraction(spec.total_power))});
   }
   std::cout << t << '\n';
+
+  std::printf(
+      "Sweep engine: %zu points on %zu threads in %.1f ms; mesh cache "
+      "%zu hits / %zu misses.\n\n",
+      report.outcomes.size(), report.threads_used,
+      1e3 * report.wall_seconds, report.cache_stats.hits,
+      report.cache_stats.misses);
 
   std::printf(
       "Reading: with the paper's methodology (a converter's published\n"

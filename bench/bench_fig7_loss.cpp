@@ -3,6 +3,11 @@
 // vertical interconnect, horizontal interconnect, and VR conversion loss,
 // normalized to the 1 kW available at the PCB.
 //
+// The grid is evaluated twice: once serially through ArchitectureExplorer
+// (the reference path) and once through the parallel SweepRunner with the
+// shared mesh-operator cache. The two must agree bit for bit — the sweep
+// engine's determinism contract — and the timing comparison is printed.
+//
 // Paper claims checked at the bottom:
 //  * A0 loses >40%; the proposed architectures reach ~80% efficiency;
 //  * loss is dominated by VRs (>10%) and horizontal interconnect, with
@@ -10,11 +15,37 @@
 //  * two-stage conversion (A3) is less efficient than single-stage A1/A2;
 //  * 3LHD rows are N/A: the ~21 A per-VR load exceeds its 12 A rating;
 //  * horizontal loss shrinks ~19x / ~7x for A3@12V / A3@6V vs A0.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "vpd/common/table.hpp"
 #include "vpd/core/explorer.hpp"
+#include "vpd/sweep/sweep.hpp"
+
+namespace {
+
+bool entries_identical(const vpd::ExplorationEntry& a,
+                       const vpd::ExplorationEntry& b) {
+  if (a.excluded() != b.excluded()) return false;
+  const auto same = [](const vpd::ArchitectureEvaluation& x,
+                       const vpd::ArchitectureEvaluation& y) {
+    return x.total_loss().value == y.total_loss().value &&
+           x.vertical_loss.value == y.vertical_loss.value &&
+           x.horizontal_loss.value == y.horizontal_loss.value &&
+           x.input_power.value == y.input_power.value &&
+           x.cg_iterations == y.cg_iterations;
+  };
+  if (a.evaluation && !same(*a.evaluation, *b.evaluation)) return false;
+  if (a.extrapolated.has_value() != b.extrapolated.has_value()) return false;
+  if (a.extrapolated && !same(*a.extrapolated, *b.extrapolated)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main() {
   using namespace vpd;
@@ -22,8 +53,39 @@ int main() {
   const PowerDeliverySpec spec = paper_system();
   EvaluationOptions options;
   options.below_die_area_fraction = 1.6;  // paper mode, see EXPERIMENTS.md
+
+  // --- Before: serial explorer, one mesh assembly per point ------------------
+  const auto serial_start = std::chrono::steady_clock::now();
   const ArchitectureExplorer explorer(spec, options);
-  const ExplorationResult result = explorer.explore();
+  const ExplorationResult serial = explorer.explore();
+  const double serial_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    serial_start)
+          .count();
+
+  // --- After: parallel sweep over the same grid, cached mesh operators -------
+  const std::vector<SweepPoint> points = SweepGridBuilder(options).build();
+  SweepConfig config;  // threads = hardware concurrency, cache on
+  const SweepRunner runner(spec, config);
+  const SweepReport sweep = runner.run(points);
+
+  ExplorationResult result;
+  result.spec = spec;
+  for (const SweepOutcome& o : sweep.outcomes) result.entries.push_back(o.entry);
+
+  if (serial.entries.size() != result.entries.size()) {
+    std::fprintf(stderr, "sweep grid does not match the explorer grid\n");
+    return EXIT_FAILURE;
+  }
+  for (std::size_t i = 0; i < serial.entries.size(); ++i) {
+    if (!entries_identical(serial.entries[i], result.entries[i])) {
+      std::fprintf(stderr,
+                   "parallel sweep diverged from the serial explorer at "
+                   "point %zu (%s)\n",
+                   i, sweep.outcomes[i].point.label.c_str());
+      return EXIT_FAILURE;
+    }
+  }
 
   std::printf("=== Figure 7: PCB-to-POL loss breakdown (%% of 1 kW) ===\n\n");
 
@@ -48,6 +110,16 @@ int main() {
                format_percent(ev.efficiency(spec.total_power))});
   }
   std::cout << t << '\n';
+
+  std::printf(
+      "Sweep engine: %zu points, %zu threads — serial explorer %.1f ms, "
+      "parallel+cached sweep %.1f ms (%.2fx); mesh cache %zu hits / %zu "
+      "misses; %zu CG iterations; parallel results bit-identical to "
+      "serial.\n\n",
+      points.size(), sweep.threads_used, 1e3 * serial_seconds,
+      1e3 * sweep.wall_seconds, serial_seconds / sweep.wall_seconds,
+      sweep.cache_stats.hits, sweep.cache_stats.misses,
+      sweep.total_cg_iterations());
 
   // --- Claim-by-claim verification against the paper --------------------------
   const auto& a0 = *result.find(ArchitectureKind::kA0_PcbConversion)
@@ -85,6 +157,9 @@ int main() {
   check(a3_12.total_loss().value > a1.total_loss().value &&
             a3_12.total_loss().value > a2.total_loss().value,
         "two-stage conversion is less efficient than single-stage A1/A2");
+  check(a1.input_power.value ==
+            spec.total_power.value + a1.total_loss().value,
+        "input power balances delivered power plus every modeled loss");
   std::printf(
       "  [--] horizontal-loss reduction vs A0: %.0fx (A3@12V, paper 19x), "
       "%.0fx (A3@6V, paper 7x)\n",

@@ -45,6 +45,7 @@ struct DistributionResult {
   Power attach_loss{};
   std::vector<double> vr_currents;  // per site
   Voltage min_voltage{};
+  std::size_t cg_iterations{0};
 };
 
 /// Mesh solve of one distribution rail: VR outputs at `sites`, uniform
@@ -54,21 +55,31 @@ DistributionResult solve_distribution(const PowerDeliverySpec& spec,
                                       Voltage rail, Current total_current,
                                       Resistance attach_series,
                                       const EvaluationOptions& options) {
-  const GridMesh mesh(spec.die_side(), spec.die_side(), options.mesh_nodes,
-                      options.mesh_nodes, options.distribution_sheet_ohms);
-  // Patch footprint: never wider than the VR spacing, or neighbouring
-  // patches would overlap and share attachment nodes.
-  const double spacing =
-      4.0 * spec.die_side().value / static_cast<double>(sites.size());
-  const Length patch_side{std::min(options.vr_patch.value, 0.8 * spacing)};
+  // The mesh operator depends only on (die side, resolution, sheet): reuse
+  // a shared assembly across sweep points when the caller provides a
+  // cache. Cached and per-call assemblies are numerically identical.
+  const std::shared_ptr<const AssembledMesh> assembled =
+      options.mesh_cache
+          ? options.mesh_cache->get(spec.die_side(), spec.die_side(),
+                                    options.mesh_nodes, options.mesh_nodes,
+                                    options.distribution_sheet_ohms)
+          : assemble_mesh(spec.die_side(), spec.die_side(),
+                          options.mesh_nodes, options.mesh_nodes,
+                          options.distribution_sheet_ohms);
+  const GridMesh& mesh = assembled->mesh;
+  // Patch footprints: capped per site by the placement geometry so
+  // neighbouring patches can never overlap and share attachment nodes.
+  const std::vector<Length> patch_sides =
+      disjoint_patch_sides(sites, options.vr_patch);
   std::vector<VrAttachment> legs;
   std::vector<std::size_t> legs_per_site;
   legs_per_site.reserve(sites.size());
-  for (const VrSite& site : sites) {
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    const VrSite& site = sites[s];
     const double ring_extra = site.ring * options.ring_series_squares *
                               options.distribution_sheet_ohms;
     const auto patch = patch_attachment(
-        mesh, site.x, site.y, patch_side, rail,
+        mesh, site.x, site.y, patch_sides[s], rail,
         Resistance{attach_series.value + ring_extra});
     legs_per_site.push_back(patch.size());
     legs.insert(legs.end(), patch.begin(), patch.end());
@@ -83,12 +94,17 @@ DistributionResult solve_distribution(const PowerDeliverySpec& spec,
                   1e-3 * total_current.value,
               "sink map totals ", sink_total, " A, expected ",
               total_current.value);
-  const IrDropResult ir = solve_irdrop(mesh, legs, sinks);
+  IrDropOptions solve_options;
+  solve_options.relative_tolerance = options.irdrop_relative_tolerance;
+  if (options.cg_warm_start) solve_options.warm_start_voltage = rail.value;
+  const IrDropResult ir = solve_irdrop(*assembled, legs, sinks,
+                                       solve_options);
 
   DistributionResult result;
   result.grid_loss = ir.grid_loss;
   result.attach_loss = ir.series_loss;
   result.min_voltage = ir.min_node_voltage;
+  result.cg_iterations = ir.cg_iterations;
   result.vr_currents.reserve(sites.size());
   std::size_t cursor = 0;
   for (std::size_t count : legs_per_site) {
@@ -99,24 +115,51 @@ DistributionResult solve_distribution(const PowerDeliverySpec& spec,
   return result;
 }
 
-/// Adds the 48 V feed stages (PCB lateral, BGAs, package lateral, C4s) for
-/// input current `i48`; optionally TSVs at the same current.
-void add_upstream(ArchitectureEvaluation& eval, Current i48,
-                  bool tsv_at_input) {
-  PowerPath path;
-  path.add_lateral(pcb_lateral_segment(), i48);
-  path.add_vertical(interconnect_spec(InterconnectLevel::kPcbToPackage),
-                    i48);
-  path.add_lateral(package_lateral_segment(), i48);
-  path.add_vertical(
-      interconnect_spec(InterconnectLevel::kPackageToInterposer), i48);
-  if (tsv_at_input) {
+/// Adds the 48 V feed stages (PCB lateral, BGAs, package lateral, C4s;
+/// optionally TSVs), sized self-consistently: the feed must carry the
+/// power already accounted in `eval` *plus its own conduction loss*, so
+/// the input power is iterated to a fixed point (the upstream loss is
+/// ~1% of throughput, so the iteration contracts geometrically and 2-3
+/// passes converge to machine precision). Sizing the feed from the
+/// downstream power alone — the pre-fix behaviour — systematically
+/// underestimated i48 and the upstream loss.
+void add_upstream(ArchitectureEvaluation& eval,
+                  const PowerDeliverySpec& spec, bool tsv_at_input) {
+  const double p_downstream =
+      spec.total_power.value + eval.total_loss().value;
+  const auto build_path = [&](Current i48) {
+    PowerPath path;
+    path.add_lateral(pcb_lateral_segment(), i48);
+    path.add_vertical(interconnect_spec(InterconnectLevel::kPcbToPackage),
+                      i48);
+    path.add_lateral(package_lateral_segment(), i48);
     path.add_vertical(
-        interconnect_spec(InterconnectLevel::kThroughInterposer), i48);
+        interconnect_spec(InterconnectLevel::kPackageToInterposer), i48);
+    if (tsv_at_input) {
+      path.add_vertical(
+          interconnect_spec(InterconnectLevel::kThroughInterposer), i48);
+    }
+    return path;
+  };
+
+  double upstream_loss = 0.0;
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    const Current i48 =
+        spec.input_current(Power{p_downstream + upstream_loss});
+    const double next = build_path(i48).total_loss().value;
+    const bool converged =
+        std::fabs(next - upstream_loss) <= 1e-12 * p_downstream;
+    upstream_loss = next;
+    if (converged) break;
   }
+
+  const PowerPath path = build_path(
+      spec.input_current(Power{p_downstream + upstream_loss}));
   eval.horizontal_loss += path.lateral_loss();
   eval.vertical_loss += path.vertical_loss();
   for (const PathStage& s : path.stages()) eval.stages.push_back(s);
+  eval.input_power =
+      Power{spec.total_power.value + eval.total_loss().value};
 }
 
 /// Lumped vertical field crossing at `current` (e.g. the u-bump field
@@ -199,6 +242,8 @@ ArchitectureEvaluation evaluate_a0(const PowerDeliverySpec& spec,
         " mm^2 die to satisfy the C4 allocation cap (spec die is ",
         spec.die_area.value * 1e6, " mm^2)"));
   }
+  eval.input_power =
+      Power{spec.total_power.value + eval.total_loss().value};
   return eval;
 }
 
@@ -269,6 +314,7 @@ ArchitectureEvaluation evaluate_single_stage(ArchitectureKind kind,
   eval.vertical_loss += dist.attach_loss;
   eval.vr_current_spread = summarize(dist.vr_currents);
   eval.min_pol_voltage = dist.min_voltage;
+  eval.cg_iterations += dist.cg_iterations;
 
   eval.conversion_stage2 =
       vr_conversion_loss(*converter, dist.vr_currents, options, eval);
@@ -280,10 +326,8 @@ ArchitectureEvaluation evaluate_single_stage(ArchitectureKind kind,
                        i_die);
   }
 
-  // 48 V feed sized from the actual input power.
-  const double p_in = spec.total_power.value + eval.total_loss().value;
-  const Current i48 = spec.input_current(Power{p_in});
-  add_upstream(eval, i48, /*tsv_at_input=*/periphery);
+  // 48 V feed sized self-consistently from the actual input power.
+  add_upstream(eval, spec, /*tsv_at_input=*/periphery);
   return eval;
 }
 
@@ -345,6 +389,7 @@ ArchitectureEvaluation evaluate_two_stage(ArchitectureKind kind,
   eval.horizontal_loss += dist.grid_loss;
   eval.vertical_loss += dist.attach_loss;
   eval.vr_current_spread = summarize(dist.vr_currents);
+  eval.cg_iterations += dist.cg_iterations;
 
   eval.conversion_stage1 =
       vr_conversion_loss(*stage1, dist.vr_currents, options, eval);
@@ -352,9 +397,7 @@ ArchitectureEvaluation evaluate_two_stage(ArchitectureKind kind,
   // V_mid climbs into the power die through the u-bump field.
   add_vertical_field(eval, InterconnectLevel::kInterposerToDieBump, i_mid);
 
-  const double p_in = spec.total_power.value + eval.total_loss().value;
-  const Current i48 = spec.input_current(Power{p_in});
-  add_upstream(eval, i48, /*tsv_at_input=*/true);
+  add_upstream(eval, spec, /*tsv_at_input=*/true);
   return eval;
 }
 
@@ -370,6 +413,8 @@ ArchitectureEvaluation evaluate_architecture(ArchitectureKind architecture,
               options.mesh_nodes);
   VPD_REQUIRE(options.distribution_sheet_ohms > 0.0,
               "distribution sheet resistance must be positive");
+  VPD_REQUIRE(options.irdrop_relative_tolerance > 0.0,
+              "IR-drop relative tolerance must be positive");
 
   switch (architecture) {
     case ArchitectureKind::kA0_PcbConversion:

@@ -13,6 +13,7 @@
 #include "vpd/converters/catalog.hpp"
 #include "vpd/core/spec.hpp"
 #include "vpd/package/mesh.hpp"
+#include "vpd/package/mesh_cache.hpp"
 
 namespace vpd {
 
@@ -31,8 +32,14 @@ struct EvaluationOptions {
   /// Vertical interconnect and local feed under each VR output (its share
   /// of the TSV/u-bump/pad field plus output routing).
   Resistance vr_attach_series{Resistance{100e-6}};
-  /// Physical footprint of each VR's output attachment patch.
-  Length vr_patch{Length{2e-3}};
+  /// Physical footprint of each VR's output attachment patch (capped per
+  /// site so neighbouring patches never share a mesh node; see
+  /// disjoint_patch_sides). 1.5 mm is the footprint the paper-mode
+  /// calibration was pinned against: the paper's headline 48-VR
+  /// deployments sit on a ~1.9 mm periphery pitch / 3.2 mm below-die
+  /// pitch, and the per-VR current spreads of Section IV reproduce at
+  /// this patch size.
+  Length vr_patch{Length{1.5e-3}};
   /// Extra series resistance per periphery ring beyond the first (longer
   /// feed to the die edge), in units of the distribution sheet
   /// resistance. Zero by default: staggered rows feed their own edge
@@ -55,6 +62,18 @@ struct EvaluationOptions {
   unsigned max_periphery_rings{2};
   /// Spatial load profile on the POL rail; empty = uniform.
   SinkMapBuilder sink_map;
+  /// Relative CG tolerance for the distribution IR-drop solve (true
+  /// residual; see solve_cg).
+  double irdrop_relative_tolerance{1e-12};
+  /// Warm-start the mesh solve at the rail voltage. Deterministic per
+  /// point (no cross-point state), so sweep results are independent of
+  /// execution order; disable to reproduce the cold-start iteration
+  /// counts.
+  bool cg_warm_start{true};
+  /// Shared cache of assembled mesh operators; nullptr = assemble per
+  /// call. The cache is thread-safe and must outlive the evaluation; a
+  /// SweepRunner wires its own cache in here for every point.
+  MeshSolveCache* mesh_cache{nullptr};
 };
 
 /// Evaluates one (architecture, topology, device technology) combination.

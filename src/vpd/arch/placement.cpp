@@ -1,6 +1,8 @@
 #include "vpd/arch/placement.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "vpd/common/error.hpp"
 
@@ -105,6 +107,39 @@ PlacementResult below_die_placement(Length die_side, Area vr_area,
     }
   }
   return result;
+}
+
+std::vector<Length> disjoint_patch_sides(const std::vector<VrSite>& sites,
+                                         Length desired) {
+  VPD_REQUIRE(!sites.empty(), "need at least one site");
+  VPD_REQUIRE(desired.value > 0.0, "desired patch side must be positive");
+  if (sites.size() == 1) return {desired};
+  // d_i = nearest-neighbour Chebyshev distance of site i. A node is
+  // inside a patch of side s iff both coordinate offsets are within s/2,
+  // so patches i and j share a node only if their centers are within
+  // (s_i + s_j) / 2 on both axes. With s_i <= 0.9 d_i and
+  // d_i, d_j <= Cheb(i, j) the offset on the axis achieving Cheb(i, j)
+  // always exceeds (s_i + s_j) / 2, so the patches stay disjoint. The
+  // 0.9 leaves margin over the selection tolerance in patch_attachment.
+  std::vector<double> nearest(sites.size(),
+                              std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      const double dx = sites[i].x.value - sites[j].x.value;
+      const double dy = sites[i].y.value - sites[j].y.value;
+      const double cheb = std::max(std::fabs(dx), std::fabs(dy));
+      nearest[i] = std::min(nearest[i], cheb);
+      nearest[j] = std::min(nearest[j], cheb);
+    }
+  }
+  std::vector<Length> sides;
+  sides.reserve(sites.size());
+  for (const double d : nearest) {
+    VPD_REQUIRE(d > 0.0,
+                "two sites coincide; patches cannot be made disjoint");
+    sides.push_back(Length{std::min(desired.value, 0.9 * d)});
+  }
+  return sides;
 }
 
 }  // namespace vpd

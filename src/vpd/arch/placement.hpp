@@ -44,4 +44,23 @@ PlacementResult below_die_placement(Length die_side, Area vr_area,
                                     unsigned count,
                                     double area_fraction = 0.75);
 
+/// Per-site attachment-patch sides, each capped at `desired`, that
+/// guarantee two square patches centered on the sites never share a mesh
+/// node. Site i's side is bounded by its nearest-neighbour Chebyshev
+/// (L-infinity) distance d_i — the exact no-overlap metric for
+/// axis-aligned squares: patches i and j overlap on an axis only if the
+/// center offset there is at most (s_i + s_j) / 2, and with
+/// s_i <= 0.9 d_i, s_j <= 0.9 d_j, d_i, d_j <= Cheb(i, j) that offset
+/// stays strictly below the Chebyshev distance on its achieving axis.
+/// Sizing per site (not by the global minimum) keeps isolated sites at
+/// full footprint when only one tight pair exists, e.g. periphery rings
+/// whose corner-adjacent VRs sit closer than the edge pitch. Derived from
+/// the actual placement geometry rather than a per-count heuristic, so
+/// dense periphery rings cannot alias onto shared nodes and sparse
+/// below-die grids keep their full footprint. A single site has no
+/// neighbour constraint and gets `desired`. Throws InvalidArgument on
+/// coincident sites.
+std::vector<Length> disjoint_patch_sides(const std::vector<VrSite>& sites,
+                                         Length desired);
+
 }  // namespace vpd

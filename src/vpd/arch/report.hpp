@@ -45,6 +45,16 @@ struct ArchitectureEvaluation {
   /// Worst node voltage on the POL rail.
   std::optional<Voltage> min_pol_voltage;
 
+  /// Power drawn from the PCB feed: delivered power plus every modeled
+  /// loss. The 48 V feed is sized to a self-consistent fixed point — the
+  /// feed current covers the feed's own conduction loss — so
+  /// input_power == total_power + total_loss() holds by construction.
+  Power input_power{};
+  /// CG iterations spent in the distribution mesh solve (0 when the
+  /// architecture has no mesh solve, i.e. A0). Deterministic for a given
+  /// spec and options, cached or not.
+  std::size_t cg_iterations{0};
+
   bool within_rating{true};
   bool used_extrapolation{false};
   std::vector<std::string> notes;

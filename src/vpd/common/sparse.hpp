@@ -55,8 +55,19 @@ class CsrMatrix {
   /// Element lookup (O(log nnz_row)); returns 0 for structural zeros.
   double at(std::size_t row, std::size_t col) const;
 
+  /// In-place update of an existing entry: values[(row, col)] += delta.
+  /// Throws InvalidArgument if (row, col) is a structural zero — the
+  /// sparsity pattern is fixed at construction. Lets callers reuse one
+  /// assembled matrix (e.g. a cached mesh Laplacian) across solves that
+  /// differ only in shunt stamps.
+  void add_to_entry(std::size_t row, std::size_t col, double delta);
+
   /// Diagonal entries (0 where structurally absent).
   Vector diagonal() const;
+
+  /// ||A||_inf: maximum absolute row sum. Used by solve_cg to convert
+  /// tolerances into attainable normwise-backward-error targets.
+  double infinity_norm() const;
 
   /// True if A and A^T agree to within `tol` on every stored entry.
   bool is_symmetric(double tol = 1e-12) const;
@@ -77,16 +88,33 @@ class CsrMatrix {
 struct CgResult {
   Vector x;
   std::size_t iterations{0};
-  double residual_norm{0.0};  // ||b - A x||_2 at exit
+  double residual_norm{0.0};  // true ||b - A x||_2 at exit
   bool converged{false};
 };
 
 struct CgOptions {
   std::size_t max_iterations{0};  // 0 => 10 * n
   double relative_tolerance{1e-10};
+  /// Warm-start iterate; empty = start from zero. A good x0 (the previous
+  /// solution on the same mesh, or the rail voltage for an IR-drop solve)
+  /// cuts the iteration count dramatically because the residual starts at
+  /// the perturbation scale instead of ||b||.
+  Vector x0;
 };
 
 /// Jacobi-preconditioned conjugate gradient for SPD systems.
+/// Convergence is declared against the *true* residual b - A x: when the
+/// recurrence residual reaches the target the solver recomputes the exact
+/// residual (the two drift apart over many iterations) and keeps iterating
+/// from the corrected value if the target is not genuinely met.
+/// The certified criterion is
+///   ||b - A x||_2 <= rtol * (||A||_inf ||x||_2 + ||b||_2),
+/// the normwise backward error: x then solves a system perturbed by a
+/// relative rtol. For well-scaled systems ||A|| ||x|| ~ ||b|| and this
+/// matches the familiar rtol * ||b|| test; for stiff systems (mixing
+/// conductances many orders apart) rtol * ||b|| can sit below the
+/// floating-point rounding floor eps * ||A|| ||x|| of the residual
+/// itself, where no iterate could ever pass a b-relative test.
 /// Throws InvalidArgument on shape mismatch and NumericalError if the
 /// iteration breaks down (non-SPD matrix).
 CgResult solve_cg(const CsrMatrix& a, const Vector& b,

@@ -20,16 +20,17 @@ ArchitectureExplorer::ArchitectureExplorer(PowerDeliverySpec spec,
   spec_.validate();
 }
 
-ExplorationEntry ArchitectureExplorer::evaluate(
-    ArchitectureKind architecture, std::optional<TopologyKind> topology,
-    DeviceTechnology tech) const {
+ExplorationEntry evaluate_with_exclusion(
+    const PowerDeliverySpec& spec, ArchitectureKind architecture,
+    std::optional<TopologyKind> topology, DeviceTechnology tech,
+    const EvaluationOptions& options) {
   ExplorationEntry entry;
   entry.architecture = architecture;
   entry.topology = topology;
 
   if (architecture == ArchitectureKind::kA0_PcbConversion) {
     entry.evaluation = evaluate_architecture(
-        architecture, spec_, TopologyKind::kDpmih, tech, options_);
+        architecture, spec, TopologyKind::kDpmih, tech, options);
     return entry;
   }
   VPD_REQUIRE(topology.has_value(),
@@ -37,8 +38,8 @@ ExplorationEntry ArchitectureExplorer::evaluate(
 
   ArchitectureEvaluation eval;
   try {
-    eval = evaluate_architecture(architecture, spec_, *topology, tech,
-                                 options_);
+    eval = evaluate_architecture(architecture, spec, *topology, tech,
+                                 options);
   } catch (const InfeasibleDesign& err) {
     entry.exclusion_reason = err.what();
     return entry;
@@ -56,6 +57,13 @@ ExplorationEntry ArchitectureExplorer::evaluate(
         "combination from Fig. 7)");
   }
   return entry;
+}
+
+ExplorationEntry ArchitectureExplorer::evaluate(
+    ArchitectureKind architecture, std::optional<TopologyKind> topology,
+    DeviceTechnology tech) const {
+  return evaluate_with_exclusion(spec_, architecture, topology, tech,
+                                 options_);
 }
 
 ExplorationResult ArchitectureExplorer::explore(DeviceTechnology tech) const {

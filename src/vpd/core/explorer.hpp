@@ -37,6 +37,17 @@ struct ExplorationResult {
       std::optional<TopologyKind> topo = std::nullopt) const;
 };
 
+/// Evaluates one (architecture, topology, tech) combination with the
+/// paper's exclusion rule applied: InfeasibleDesign and over-rating
+/// results become excluded entries (with the flagged extrapolation kept
+/// for inspection) instead of throwing. This is the single evaluation
+/// path shared by ArchitectureExplorer and SweepRunner, so a parallel
+/// sweep is bit-identical to a serial exploration of the same points.
+ExplorationEntry evaluate_with_exclusion(
+    const PowerDeliverySpec& spec, ArchitectureKind architecture,
+    std::optional<TopologyKind> topology, DeviceTechnology tech,
+    const EvaluationOptions& options);
+
 class ArchitectureExplorer {
  public:
   explicit ArchitectureExplorer(PowerDeliverySpec spec,

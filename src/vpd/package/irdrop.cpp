@@ -10,15 +10,24 @@ Summary IrDropResult::vr_current_summary() const {
   return summarize(vr_currents);
 }
 
-IrDropResult solve_irdrop(const GridMesh& mesh,
-                          const std::vector<VrAttachment>& vrs,
-                          const Vector& sink_currents) {
+namespace {
+
+/// Shared solve core: takes the compiled Laplacian by value (a fresh
+/// assembly or a copy of a cached one — identical either way), stamps the
+/// VR shunts in place, and runs CG. Keeping one code path guarantees
+/// cached and uncached solves are bit-identical.
+IrDropResult solve_assembled(const GridMesh& mesh, CsrMatrix a,
+                             const std::vector<VrAttachment>& vrs,
+                             const Vector& sink_currents,
+                             const IrDropOptions& options) {
   VPD_REQUIRE(!vrs.empty(), "need at least one VR attachment");
   VPD_REQUIRE(sink_currents.size() == mesh.node_count(),
               "sink vector has ", sink_currents.size(), " entries, mesh has ",
               mesh.node_count(), " nodes");
+  VPD_REQUIRE(options.relative_tolerance > 0.0,
+              "relative tolerance must be positive, got ",
+              options.relative_tolerance);
 
-  TripletList t = mesh.laplacian();
   Vector rhs(mesh.node_count(), 0.0);
   for (std::size_t i = 0; i < sink_currents.size(); ++i) {
     VPD_REQUIRE(sink_currents[i] >= 0.0, "negative sink at node ", i);
@@ -30,13 +39,15 @@ IrDropResult solve_irdrop(const GridMesh& mesh,
     VPD_REQUIRE(vr.series.value > 0.0,
                 "VR series resistance must be positive");
     const double g = 1.0 / vr.series.value;
-    t.add(vr.node, vr.node, g);
+    a.add_to_entry(vr.node, vr.node, g);
     rhs[vr.node] += g * vr.source_voltage.value;
   }
 
-  const CsrMatrix a(t);
   CgOptions opts;
-  opts.relative_tolerance = 1e-12;
+  opts.relative_tolerance = options.relative_tolerance;
+  if (options.warm_start_voltage) {
+    opts.x0.assign(mesh.node_count(), *options.warm_start_voltage);
+  }
   const CgResult cg = solve_cg(a, rhs, opts);
   VPD_CHECK_NUMERIC(cg.converged, "IR-drop CG did not converge: residual ",
                     cg.residual_norm, " after ", cg.iterations,
@@ -44,6 +55,7 @@ IrDropResult solve_irdrop(const GridMesh& mesh,
 
   IrDropResult result;
   result.node_voltages = cg.x;
+  result.cg_iterations = cg.iterations;
   result.vr_currents.reserve(vrs.size());
   double series_loss = 0.0;
   for (const VrAttachment& vr : vrs) {
@@ -59,6 +71,24 @@ IrDropResult solve_irdrop(const GridMesh& mesh,
   result.min_node_voltage = Voltage{*mn};
   result.max_node_voltage = Voltage{*mx};
   return result;
+}
+
+}  // namespace
+
+IrDropResult solve_irdrop(const GridMesh& mesh,
+                          const std::vector<VrAttachment>& vrs,
+                          const Vector& sink_currents,
+                          const IrDropOptions& options) {
+  return solve_assembled(mesh, CsrMatrix(mesh.laplacian()), vrs,
+                         sink_currents, options);
+}
+
+IrDropResult solve_irdrop(const AssembledMesh& assembled,
+                          const std::vector<VrAttachment>& vrs,
+                          const Vector& sink_currents,
+                          const IrDropOptions& options) {
+  return solve_assembled(assembled.mesh, assembled.laplacian, vrs,
+                         sink_currents, options);
 }
 
 Vector uniform_sinks(const GridMesh& mesh, Current total) {

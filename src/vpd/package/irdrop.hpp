@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "vpd/common/statistics.hpp"
 #include "vpd/package/mesh.hpp"
+#include "vpd/package/mesh_cache.hpp"
 
 namespace vpd {
 
@@ -30,9 +32,22 @@ struct IrDropResult {
   Power series_loss{};             // loss in the VR series resistances
   Voltage min_node_voltage{};
   Voltage max_node_voltage{};
+  std::size_t cg_iterations{0};    // CG iterations the solve took
 
   /// Summary of the per-VR current spread.
   Summary vr_current_summary() const;
+};
+
+struct IrDropOptions {
+  /// Relative CG tolerance on the true residual ||b - A x|| / ||b||.
+  double relative_tolerance{1e-12};
+  /// Warm-start every node at this voltage (typically the rail voltage:
+  /// the solution is the rail minus millivolt-scale drops, so the initial
+  /// residual starts at the sink scale instead of the shunt scale and CG
+  /// converges in far fewer iterations). Unset = cold start from zero.
+  /// A constant warm start is deterministic per solve, which keeps sweep
+  /// results independent of execution order.
+  std::optional<double> warm_start_voltage;
 };
 
 /// Solves the mesh with the given sources and per-node sink currents
@@ -40,7 +55,17 @@ struct IrDropResult {
 /// Throws InvalidArgument on shape errors and NumericalError if CG fails.
 IrDropResult solve_irdrop(const GridMesh& mesh,
                           const std::vector<VrAttachment>& vrs,
-                          const Vector& sink_currents);
+                          const Vector& sink_currents,
+                          const IrDropOptions& options = {});
+
+/// Same solve against a pre-assembled (typically cached) mesh operator:
+/// skips triplet generation and CSR compilation, copying the Laplacian
+/// values and stamping the VR shunts in place. Numerically identical to
+/// the GridMesh overload.
+IrDropResult solve_irdrop(const AssembledMesh& assembled,
+                          const std::vector<VrAttachment>& vrs,
+                          const Vector& sink_currents,
+                          const IrDropOptions& options = {});
 
 /// Uniform per-node sinks totalling `total` over the mesh.
 Vector uniform_sinks(const GridMesh& mesh, Current total);

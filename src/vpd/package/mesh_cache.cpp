@@ -1,0 +1,57 @@
+#include "vpd/package/mesh_cache.hpp"
+
+#include <tuple>
+
+namespace vpd {
+
+std::shared_ptr<const AssembledMesh> assemble_mesh(Length width,
+                                                   Length height,
+                                                   std::size_t nx,
+                                                   std::size_t ny,
+                                                   double sheet_ohms) {
+  GridMesh mesh(width, height, nx, ny, sheet_ohms);
+  CsrMatrix laplacian(mesh.laplacian());
+  return std::make_shared<const AssembledMesh>(
+      AssembledMesh{mesh, std::move(laplacian)});
+}
+
+bool MeshSolveCache::Key::operator<(const Key& o) const {
+  return std::tie(width, height, nx, ny, sheet) <
+         std::tie(o.width, o.height, o.nx, o.ny, o.sheet);
+}
+
+std::shared_ptr<const AssembledMesh> MeshSolveCache::get(
+    Length width, Length height, std::size_t nx, std::size_t ny,
+    double sheet_ohms) {
+  const Key key{width.value, height.value, nx, ny, sheet_ohms};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  // Assemble under the lock: concurrent requests for the same key wait and
+  // then hit, so each mesh is built exactly once per cache lifetime.
+  ++stats_.misses;
+  auto assembled = assemble_mesh(width, height, nx, ny, sheet_ohms);
+  entries_.emplace(key, assembled);
+  return assembled;
+}
+
+MeshSolveCache::Stats MeshSolveCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t MeshSolveCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void MeshSolveCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace vpd

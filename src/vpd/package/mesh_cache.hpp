@@ -1,0 +1,68 @@
+// Keyed cache of assembled mesh solve operators. A distribution solve's
+// matrix is the GridMesh Laplacian plus per-VR shunt stamps; the Laplacian
+// depends only on (width, height, nx, ny, sheet resistance), so across a
+// design-space sweep the expensive part of assembly — triplet generation,
+// sort and CSR compilation — is identical for every point on the same
+// mesh. The cache shares one immutable AssembledMesh per key; solves copy
+// its value array and stamp their shunts via CsrMatrix::add_to_entry.
+//
+// Thread-safe: getters from concurrent sweep workers serialize on one
+// mutex, and a miss assembles while holding it, so each key is built
+// exactly once (misses == distinct keys regardless of scheduling).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "vpd/package/mesh.hpp"
+
+namespace vpd {
+
+/// An immutable, shareable mesh with its compiled Laplacian (no shunts).
+struct AssembledMesh {
+  GridMesh mesh;
+  CsrMatrix laplacian;
+};
+
+/// Builds the AssembledMesh for the given geometry (also the cache-miss
+/// path, so cached and uncached solves share one assembly routine).
+std::shared_ptr<const AssembledMesh> assemble_mesh(Length width,
+                                                   Length height,
+                                                   std::size_t nx,
+                                                   std::size_t ny,
+                                                   double sheet_ohms);
+
+class MeshSolveCache {
+ public:
+  struct Stats {
+    std::size_t hits{0};
+    std::size_t misses{0};
+  };
+
+  /// Returns the cached operator for the key, assembling it on first use.
+  std::shared_ptr<const AssembledMesh> get(Length width, Length height,
+                                           std::size_t nx, std::size_t ny,
+                                           double sheet_ohms);
+
+  Stats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Key {
+    double width;
+    double height;
+    std::size_t nx;
+    std::size_t ny;
+    double sheet;
+    bool operator<(const Key& o) const;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const AssembledMesh>> entries_;
+  Stats stats_;
+};
+
+}  // namespace vpd

@@ -1,0 +1,189 @@
+#include "vpd/sweep/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "vpd/common/error.hpp"
+#include "vpd/sweep/thread_pool.hpp"
+
+namespace vpd {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+std::size_t SweepReport::total_cg_iterations() const {
+  std::size_t total = 0;
+  for (const SweepOutcome& o : outcomes) total += o.stats.cg_iterations;
+  return total;
+}
+
+SweepRunner::SweepRunner(PowerDeliverySpec spec, SweepConfig config)
+    : spec_(spec), config_(config) {
+  spec_.validate();
+}
+
+SweepReport SweepRunner::run(const std::vector<SweepPoint>& points) const {
+  const auto run_start = std::chrono::steady_clock::now();
+
+  // Whichever cache the run uses lives at least as long as the workers.
+  MeshSolveCache private_cache;
+  MeshSolveCache* cache = nullptr;
+  if (config_.use_mesh_cache) {
+    cache = config_.cache != nullptr ? config_.cache : &private_cache;
+  }
+  const MeshSolveCache::Stats stats_before =
+      cache != nullptr ? cache->stats() : MeshSolveCache::Stats{};
+
+  SweepReport report;
+  report.outcomes.resize(points.size());
+  std::vector<std::exception_ptr> errors(points.size());
+
+  // Each task owns exactly one pre-assigned slot, so no result
+  // synchronization is needed beyond the pool's quiescence barrier; slot
+  // order (== input order) is independent of completion order.
+  const auto evaluate_point = [&](std::size_t index) {
+    const SweepPoint& point = points[index];
+    SweepOutcome& out = report.outcomes[index];
+    out.point = point;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      EvaluationOptions options = point.options;
+      options.mesh_cache = cache;
+      out.entry = evaluate_with_exclusion(spec_, point.architecture,
+                                          point.topology, point.tech,
+                                          options);
+      const ArchitectureEvaluation* eval =
+          out.entry.evaluation ? &*out.entry.evaluation
+                               : (out.entry.extrapolated
+                                      ? &*out.entry.extrapolated
+                                      : nullptr);
+      if (eval != nullptr) out.stats.cg_iterations = eval->cg_iterations;
+    } catch (...) {
+      errors[index] = std::current_exception();
+    }
+    out.stats.wall_seconds = seconds_since(start);
+  };
+
+  std::size_t threads = config_.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (threads == 1 || points.size() <= 1) {
+    // Serial reference path: same evaluation routine, calling thread.
+    for (std::size_t i = 0; i < points.size(); ++i) evaluate_point(i);
+    report.threads_used = 1;
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      pool.submit([&evaluate_point, i] { evaluate_point(i); });
+    }
+    pool.wait_idle();
+    report.threads_used = pool.thread_count();
+  }
+
+  // Surface the first failure in input order (deterministic, unlike
+  // completion order).
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  if (cache != nullptr) {
+    const MeshSolveCache::Stats after = cache->stats();
+    report.cache_stats.hits = after.hits - stats_before.hits;
+    report.cache_stats.misses = after.misses - stats_before.misses;
+  }
+  report.wall_seconds = seconds_since(run_start);
+  return report;
+}
+
+std::string sweep_point_label(ArchitectureKind arch,
+                              std::optional<TopologyKind> topo,
+                              DeviceTechnology tech,
+                              const std::string& variant) {
+  std::string label = to_string(arch);
+  if (topo) label += std::string("/") + to_string(*topo);
+  if (tech != DeviceTechnology::kGalliumNitride) {
+    label += std::string("/") + to_string(tech);
+  }
+  if (!variant.empty()) label += "/" + variant;
+  return label;
+}
+
+SweepGridBuilder::SweepGridBuilder(EvaluationOptions base_options)
+    : base_options_(std::move(base_options)),
+      architectures_(all_architectures()),
+      topologies_(all_topologies()),
+      technologies_{DeviceTechnology::kGalliumNitride} {}
+
+SweepGridBuilder& SweepGridBuilder::architectures(
+    std::vector<ArchitectureKind> archs) {
+  architectures_ = std::move(archs);
+  return *this;
+}
+
+SweepGridBuilder& SweepGridBuilder::topologies(
+    std::vector<TopologyKind> topos) {
+  topologies_ = std::move(topos);
+  return *this;
+}
+
+SweepGridBuilder& SweepGridBuilder::technologies(
+    std::vector<DeviceTechnology> techs) {
+  technologies_ = std::move(techs);
+  return *this;
+}
+
+SweepGridBuilder& SweepGridBuilder::add_option_variant(
+    EvaluationOptions options, std::string label) {
+  variants_.emplace_back(std::move(options), std::move(label));
+  return *this;
+}
+
+std::vector<SweepPoint> SweepGridBuilder::build() const {
+  VPD_REQUIRE(!architectures_.empty(), "no architectures selected");
+  VPD_REQUIRE(!technologies_.empty(), "no technologies selected");
+  const std::vector<std::pair<EvaluationOptions, std::string>> variants =
+      variants_.empty()
+          ? std::vector<std::pair<EvaluationOptions, std::string>>{
+                {base_options_, std::string()}}
+          : variants_;
+
+  std::vector<SweepPoint> points;
+  for (const auto& [options, variant] : variants) {
+    for (DeviceTechnology tech : technologies_) {
+      for (ArchitectureKind arch : architectures_) {
+        if (arch == ArchitectureKind::kA0_PcbConversion) {
+          SweepPoint p;
+          p.architecture = arch;
+          p.tech = tech;
+          p.options = options;
+          p.label = sweep_point_label(arch, std::nullopt, tech, variant);
+          points.push_back(std::move(p));
+          continue;
+        }
+        VPD_REQUIRE(!topologies_.empty(),
+                    "no topologies selected for a VPD architecture");
+        for (TopologyKind topo : topologies_) {
+          SweepPoint p;
+          p.architecture = arch;
+          p.topology = topo;
+          p.tech = tech;
+          p.options = options;
+          p.label = sweep_point_label(arch, topo, tech, variant);
+          points.push_back(std::move(p));
+        }
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace vpd

@@ -1,0 +1,130 @@
+// Design-space sweep engine: enumerates architecture x topology x device
+// technology x evaluation-option grids and evaluates every point on a
+// worker pool, sharing one MeshSolveCache so each distinct mesh geometry
+// is assembled exactly once per sweep.
+//
+// Determinism contract: results come back in input order, and a parallel
+// run is bit-identical to a serial run of the same points. This holds
+// because every point is evaluated by the same pure routine
+// (evaluate_with_exclusion) with no cross-point mutable state — the CG
+// warm start is a flat rail-voltage vector derived from the point itself,
+// and cached mesh operators are immutable and numerically identical to a
+// per-call assembly. Only SweepStats timing fields vary run to run.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vpd/arch/evaluator.hpp"
+#include "vpd/core/explorer.hpp"
+#include "vpd/core/spec.hpp"
+#include "vpd/package/mesh_cache.hpp"
+
+namespace vpd {
+
+/// One evaluation point. `options.mesh_cache` is overwritten by the
+/// runner (the sweep owns the cache); every other field is honoured.
+struct SweepPoint {
+  ArchitectureKind architecture{};
+  std::optional<TopologyKind> topology;  // nullopt only for A0
+  DeviceTechnology tech{DeviceTechnology::kGalliumNitride};
+  EvaluationOptions options;
+  std::string label;  // free-form; the grid builder fills "A1/DSCH/GaN"
+};
+
+/// Per-point measurements. `wall_seconds` is scheduling-dependent;
+/// `cg_iterations` is deterministic (it mirrors the evaluation).
+struct SweepStats {
+  double wall_seconds{0.0};
+  std::size_t cg_iterations{0};
+};
+
+struct SweepOutcome {
+  SweepPoint point;
+  ExplorationEntry entry;
+  SweepStats stats;
+};
+
+struct SweepConfig {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency(). A
+  /// value of 1 runs the points inline on the calling thread (the serial
+  /// reference path — bit-identical to any parallel run).
+  std::size_t threads{0};
+  /// Share assembled mesh operators across points. Off reproduces the
+  /// assemble-per-call behaviour (still bit-identical, just slower).
+  bool use_mesh_cache{true};
+  /// External cache to share across multiple run() calls; nullptr makes
+  /// the runner use one private cache per run(). Ignored when
+  /// use_mesh_cache is false. Must outlive the runner's run() calls.
+  MeshSolveCache* cache{nullptr};
+};
+
+struct SweepReport {
+  /// One outcome per input point, in input order.
+  std::vector<SweepOutcome> outcomes;
+  double wall_seconds{0.0};
+  std::size_t threads_used{0};
+  /// Aggregate over whichever cache the run used (external or private).
+  /// Hits + misses counts mesh lookups across all points; misses equals
+  /// the number of distinct mesh geometries regardless of scheduling.
+  MeshSolveCache::Stats cache_stats;
+
+  std::size_t total_cg_iterations() const;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(PowerDeliverySpec spec, SweepConfig config = {});
+
+  const PowerDeliverySpec& spec() const { return spec_; }
+  const SweepConfig& config() const { return config_; }
+
+  /// Evaluates every point. Infeasible/over-rating points come back as
+  /// excluded entries (the explorer's exclusion rule); any other error
+  /// is rethrown on the calling thread — the first one in input order,
+  /// after all workers have finished.
+  SweepReport run(const std::vector<SweepPoint>& points) const;
+
+ private:
+  PowerDeliverySpec spec_;
+  SweepConfig config_;
+};
+
+/// Builds the cross-product point list in the canonical exploration
+/// order: for each technology, A0 once, then every architecture x
+/// topology pair with architectures outermost. The default grid matches
+/// ArchitectureExplorer::explore (all architectures, all topologies,
+/// GaN).
+class SweepGridBuilder {
+ public:
+  explicit SweepGridBuilder(EvaluationOptions base_options = {});
+
+  SweepGridBuilder& architectures(std::vector<ArchitectureKind> archs);
+  SweepGridBuilder& topologies(std::vector<TopologyKind> topos);
+  SweepGridBuilder& technologies(std::vector<DeviceTechnology> techs);
+  /// Appends option variants (each produces a full grid copy, in the
+  /// order added). `label` tags the variant in the point labels. When no
+  /// variant is added the base options form the single variant.
+  SweepGridBuilder& add_option_variant(EvaluationOptions options,
+                                       std::string label = "");
+
+  std::vector<SweepPoint> build() const;
+
+ private:
+  EvaluationOptions base_options_;
+  std::vector<ArchitectureKind> architectures_;
+  std::vector<TopologyKind> topologies_;
+  std::vector<DeviceTechnology> technologies_;
+  std::vector<std::pair<EvaluationOptions, std::string>> variants_;
+};
+
+/// "A1" / "A1/DSCH" / "A1/DSCH/Si" / "A1/DSCH/Si/variant" label used by
+/// the grid builder (tech omitted for GaN, the paper's default).
+std::string sweep_point_label(ArchitectureKind arch,
+                              std::optional<TopologyKind> topo,
+                              DeviceTechnology tech,
+                              const std::string& variant = "");
+
+}  // namespace vpd

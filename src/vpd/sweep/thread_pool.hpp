@@ -1,0 +1,55 @@
+// Minimal fixed-size worker pool for the sweep engine. Tasks are opaque
+// closures executed in FIFO submission order (though completion order is
+// scheduler-dependent); the pool exists so a SweepRunner can saturate the
+// machine while each task writes only to its own pre-assigned result
+// slot. Exceptions must be handled inside the task — a throw that
+// escapes a worker terminates the process, which is the correct behaviour
+// for a bug in the harness itself (the runner wraps every evaluation in
+// its own try/catch and transports errors by std::exception_ptr).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vpd {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 picks std::thread::hardware_concurrency()
+  /// (at least one). The pool is fixed-size for its lifetime.
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue (pending tasks still run), then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Thread-safe; may be called from worker threads
+  /// (tasks may submit follow-up tasks).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle. Tasks
+  /// submitted while waiting extend the wait.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;   // workers wait for work/shutdown
+  std::condition_variable idle_;         // wait_idle waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_{0};  // tasks currently executing
+  bool shutdown_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vpd

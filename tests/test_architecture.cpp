@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "vpd/arch/architecture.hpp"
 #include "vpd/arch/placement.hpp"
 #include "vpd/arch/vr_allocation.hpp"
@@ -7,6 +9,7 @@
 #include "vpd/converters/dsch.hpp"
 #include "vpd/converters/dickson.hpp"
 #include "vpd/converters/dpmih.hpp"
+#include "vpd/package/irdrop.hpp"
 
 namespace vpd {
 namespace {
@@ -99,6 +102,63 @@ TEST(Placement, BelowDieAreaCapEnforced) {
   EXPECT_NO_THROW(
       below_die_placement(Length{22.36e-3}, Area{53.3e-6}, 15, 1.6));
 }
+
+TEST(Placement, DisjointPatchSidesRespectDesiredAndGeometry) {
+  // Single site: no neighbour constraint.
+  const std::vector<VrSite> lone{{Length{5e-3}, Length{5e-3}, 0}};
+  EXPECT_NEAR(disjoint_patch_sides(lone, Length{2e-3})[0].value, 2e-3,
+              1e-15);
+
+  // One tight pair must not shrink a distant site (per-site sizing).
+  const std::vector<VrSite> mixed{{Length{1e-3}, Length{1e-3}, 0},
+                                  {Length{1.5e-3}, Length{1e-3}, 0},
+                                  {Length{10e-3}, Length{10e-3}, 0}};
+  const auto sides = disjoint_patch_sides(mixed, Length{2e-3});
+  EXPECT_NEAR(sides[0].value, 0.9 * 0.5e-3, 1e-15);
+  EXPECT_NEAR(sides[1].value, 0.9 * 0.5e-3, 1e-15);
+  EXPECT_NEAR(sides[2].value, 2e-3, 1e-15);  // full footprint
+
+  // Coincident sites cannot be made disjoint.
+  const std::vector<VrSite> clash{{Length{1e-3}, Length{1e-3}, 0},
+                                  {Length{1e-3}, Length{1e-3}, 0}};
+  EXPECT_THROW(disjoint_patch_sides(clash, Length{2e-3}), InvalidArgument);
+}
+
+// The property the evaluator depends on: across the paper's actual
+// placements, no two attachment patches may claim the same mesh node —
+// overlapping patches would alias VR outputs into one super-source and
+// corrupt the per-VR current spread (this was a live bug for periphery
+// rings, whose corner-adjacent sites sit closer than the count-based
+// spacing heuristic assumed).
+class PatchDisjointness : public ::testing::TestWithParam<bool> {};
+
+TEST_P(PatchDisjointness, PaperPlacementsShareNoMeshNodes) {
+  const bool below_die = GetParam();
+  const Length die = Length{22.36e-3};
+  const PlacementResult placement =
+      below_die
+          ? below_die_placement(die, Area{7.25e-6}, 48, 0.75)
+          : periphery_placement(die, Area{7.25e-6}, 48, 4);
+  const GridMesh mesh(die, die, 41, 41, 2e-3);
+  const auto sides = disjoint_patch_sides(placement.sites, Length{1.5e-3});
+
+  std::map<std::size_t, std::size_t> owner;  // mesh node -> site index
+  for (std::size_t s = 0; s < placement.sites.size(); ++s) {
+    const auto legs =
+        patch_attachment(mesh, placement.sites[s].x, placement.sites[s].y,
+                         sides[s], Voltage{1.0}, Resistance{1e-4});
+    EXPECT_FALSE(legs.empty());
+    for (const VrAttachment& leg : legs) {
+      const auto [it, inserted] = owner.emplace(leg.node, s);
+      EXPECT_TRUE(inserted)
+          << "node " << leg.node << " claimed by sites " << it->second
+          << " and " << s << (below_die ? " (below-die)" : " (periphery)");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Placements, PatchDisjointness,
+                         ::testing::Bool());
 
 TEST(Allocation, DschNeedsFortyEightVrs) {
   // ceil(1000 / (0.7 * 30)) = 48 — exactly the paper's Table II count.

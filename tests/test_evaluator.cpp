@@ -190,6 +190,88 @@ TEST(Evaluator, LossBreakdownAddsUp) {
   EXPECT_GT(e.vr_count_stage2, 0u);
 }
 
+// Regression for the 48 V feed sizing: the feed current must cover the
+// feed's own conduction loss (fixed point), not just the downstream
+// demand. Before the fix the upstream path was sized from the losses
+// known *before* the feed stages were added, under-reporting both the
+// feed current and its I^2 R.
+TEST(Evaluator, InputPowerBalancesEveryModeledLoss) {
+  for (ArchitectureKind arch : {ArchitectureKind::kA0_PcbConversion,
+                                ArchitectureKind::kA1_InterposerPeriphery,
+                                ArchitectureKind::kA2_InterposerBelowDie,
+                                ArchitectureKind::kA3_TwoStage12V,
+                                ArchitectureKind::kA3_TwoStage6V}) {
+    const auto e = eval(arch);
+    // Energy balance: what the PCB supplies is the delivered power plus
+    // every modeled loss — never less.
+    EXPECT_NEAR(e.input_power.value, 1000.0 + e.total_loss().value,
+                1e-9 * e.input_power.value)
+        << to_string(arch);
+    EXPECT_GE(e.input_power.value, 1000.0 + e.total_loss().value - 1e-9)
+        << to_string(arch);
+  }
+}
+
+TEST(Evaluator, FeedCurrentIsSelfConsistentWithInputPower) {
+  const auto e = eval(ArchitectureKind::kA1_InterposerPeriphery);
+  const PowerDeliverySpec spec = paper_system();
+  // The PCB lateral segment carries the whole feed; at the fixed point
+  // its current times 48 V equals the reported input power. The naive
+  // (pre-fix) sizing from downstream demand alone is strictly smaller.
+  const PathStage* pcb = nullptr;
+  for (const PathStage& s : e.stages) {
+    if (s.name == "pcb-lateral") pcb = &s;
+  }
+  ASSERT_NE(pcb, nullptr);
+  EXPECT_NEAR(pcb->current.value * spec.pcb_voltage.value,
+              e.input_power.value, 1e-6 * e.input_power.value);
+  double upstream_feed_loss = 0.0;
+  for (const PathStage& s : e.stages) {
+    if (s.current.value == pcb->current.value) {
+      upstream_feed_loss += s.loss().value;
+    }
+  }
+  const double naive_current =
+      (e.input_power.value - upstream_feed_loss) / spec.pcb_voltage.value;
+  EXPECT_GT(pcb->current.value, naive_current);
+}
+
+TEST(Evaluator, IrdropToleranceOptionIsHonoured) {
+  EvaluationOptions tight = paper_mode();
+  tight.irdrop_relative_tolerance = 1e-12;
+  EvaluationOptions loose = paper_mode();
+  loose.irdrop_relative_tolerance = 1e-6;
+  const auto precise = eval(ArchitectureKind::kA1_InterposerPeriphery,
+                            TopologyKind::kDsch, tight);
+  const auto coarse = eval(ArchitectureKind::kA1_InterposerPeriphery,
+                           TopologyKind::kDsch, loose);
+  // A looser solve stops earlier but must land on the same physics.
+  EXPECT_LT(coarse.cg_iterations, precise.cg_iterations);
+  EXPECT_NEAR(coarse.total_loss().value, precise.total_loss().value,
+              1e-3 * precise.total_loss().value);
+
+  EvaluationOptions invalid = paper_mode();
+  invalid.irdrop_relative_tolerance = 0.0;
+  EXPECT_THROW(eval(ArchitectureKind::kA1_InterposerPeriphery,
+                    TopologyKind::kDsch, invalid),
+               InvalidArgument);
+}
+
+TEST(Evaluator, WarmStartDoesNotChangeThePhysics) {
+  EvaluationOptions warm = paper_mode();
+  EvaluationOptions cold = paper_mode();
+  cold.cg_warm_start = false;
+  const auto with = eval(ArchitectureKind::kA2_InterposerBelowDie,
+                         TopologyKind::kDsch, warm);
+  const auto without = eval(ArchitectureKind::kA2_InterposerBelowDie,
+                            TopologyKind::kDsch, cold);
+  EXPECT_NEAR(with.total_loss().value, without.total_loss().value,
+              1e-6 * without.total_loss().value);
+  // The flat rail-voltage start is much closer than zero: most of the
+  // rail sits within millivolts of nominal.
+  EXPECT_LT(with.cg_iterations, without.cg_iterations);
+}
+
 TEST(Evaluator, OptionValidation) {
   EvaluationOptions opts;
   opts.mesh_nodes = 2;

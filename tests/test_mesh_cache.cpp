@@ -1,0 +1,91 @@
+// MeshSolveCache: keying, hit/miss accounting, identity of shared
+// operators, and equivalence with per-call assembly (the property the
+// sweep engine's bit-identical guarantee rests on).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "vpd/package/irdrop.hpp"
+#include "vpd/package/mesh_cache.hpp"
+
+namespace vpd {
+namespace {
+
+using vpd::literals::operator""_mm;
+using vpd::literals::operator""_V;
+
+TEST(MeshSolveCache, HitsShareOneAssembly) {
+  MeshSolveCache cache;
+  const auto a = cache.get(10.0_mm, 10.0_mm, 11, 11, 2e-3);
+  const auto b = cache.get(10.0_mm, 10.0_mm, 11, 11, 2e-3);
+  EXPECT_EQ(a.get(), b.get());  // same immutable object
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(MeshSolveCache, DistinctKeysAssembleSeparately) {
+  MeshSolveCache cache;
+  const auto base = cache.get(10.0_mm, 10.0_mm, 11, 11, 2e-3);
+  EXPECT_NE(base.get(), cache.get(10.0_mm, 10.0_mm, 11, 11, 4e-3).get());
+  EXPECT_NE(base.get(), cache.get(10.0_mm, 10.0_mm, 21, 11, 2e-3).get());
+  EXPECT_NE(base.get(), cache.get(12.0_mm, 10.0_mm, 11, 11, 2e-3).get());
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(MeshSolveCache, CachedAssemblyMatchesDirectAssembly) {
+  MeshSolveCache cache;
+  const auto cached = cache.get(22.36_mm, 22.36_mm, 21, 21, 2e-3);
+  const auto direct = assemble_mesh(22.36_mm, 22.36_mm, 21, 21, 2e-3);
+  ASSERT_EQ(cached->laplacian.nonzero_count(),
+            direct->laplacian.nonzero_count());
+  EXPECT_EQ(cached->laplacian.values(), direct->laplacian.values());
+  EXPECT_EQ(cached->laplacian.col_indices(), direct->laplacian.col_indices());
+}
+
+TEST(MeshSolveCache, SolveThroughCacheIsBitIdenticalToDirectSolve) {
+  MeshSolveCache cache;
+  const auto assembled = cache.get(10.0_mm, 10.0_mm, 15, 15, 2e-3);
+  const GridMesh direct(10.0_mm, 10.0_mm, 15, 15, 2e-3);
+
+  std::vector<VrAttachment> vrs{
+      {assembled->mesh.node(7, 0), 1.0_V, Resistance{1e-4}},
+      {assembled->mesh.node(7, 14), 1.0_V, Resistance{1e-4}}};
+  Vector sinks(assembled->mesh.node_count(),
+               50.0 / assembled->mesh.node_count());
+  const IrDropResult via_cache = solve_irdrop(*assembled, vrs, sinks);
+  const IrDropResult via_mesh = solve_irdrop(direct, vrs, sinks);
+  ASSERT_EQ(via_cache.node_voltages.size(), via_mesh.node_voltages.size());
+  for (std::size_t i = 0; i < via_cache.node_voltages.size(); ++i) {
+    EXPECT_EQ(via_cache.node_voltages[i], via_mesh.node_voltages[i]);
+  }
+  EXPECT_EQ(via_cache.vr_currents, via_mesh.vr_currents);
+  EXPECT_EQ(via_cache.cg_iterations, via_mesh.cg_iterations);
+}
+
+TEST(MeshSolveCache, ConcurrentGettersBuildEachKeyOnce) {
+  MeshSolveCache cache;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const AssembledMesh>> seen(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&cache, &seen, t] {
+        seen[t] = cache.get(10.0_mm, 10.0_mm, 21, 21, 2e-3);
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0].get(), seen[t].get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, static_cast<std::size_t>(kThreads - 1));
+}
+
+}  // namespace
+}  // namespace vpd

@@ -175,5 +175,46 @@ TEST_P(MeshRefinementSweep, GridLossStableUnderRefinement) {
 INSTANTIATE_TEST_SUITE_P(Sizes, MeshRefinementSweep,
                          ::testing::Values<std::size_t>(9, 13, 17, 21));
 
+// Current-conservation property: for any mesh size, solver tolerance, and
+// start vector, the solved VR currents must sum to the total sink current
+// (Kirchhoff at the aggregate level — the Laplacian has zero row sums, so
+// whatever enters through the VR shunts must leave through the sinks).
+class CurrentConservationSweep
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CurrentConservationSweep, VrCurrentsSumToSinkTotal) {
+  const std::size_t n = GetParam();
+  const GridMesh m = die_mesh(n);
+  std::vector<VrAttachment> vrs;
+  for (const auto& leg :
+       patch_attachment(m, 4.0_mm, 4.0_mm, 3.0_mm, 1.0_V, 2.0_mOhm))
+    vrs.push_back(leg);
+  for (const auto& leg :
+       patch_attachment(m, 18.0_mm, 18.0_mm, 3.0_mm, 1.0_V, 2.0_mOhm))
+    vrs.push_back(leg);
+  // Non-uniform load: uniform background plus a hotspot node.
+  Vector sinks = uniform_sinks(m, Current{150.0});
+  sinks[m.node(n / 2, n / 2)] += 50.0;
+
+  for (const double rtol : {1e-8, 1e-12}) {
+    for (const bool warm : {false, true}) {
+      IrDropOptions opts;
+      opts.relative_tolerance = rtol;
+      if (warm) opts.warm_start_voltage = 1.0;
+      const IrDropResult r = solve_irdrop(m, vrs, sinks, opts);
+      EXPECT_GT(r.cg_iterations, 0u);
+      double sourced = 0.0;
+      for (double i : r.vr_currents) sourced += i;
+      // The residual bound transfers to the current sum: tolerance-scaled,
+      // not machine-epsilon, at the loose setting.
+      EXPECT_NEAR(sourced, 200.0, (rtol == 1e-8 ? 1e-3 : 1e-6) * 200.0)
+          << "n=" << n << " rtol=" << rtol << " warm=" << warm;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CurrentConservationSweep,
+                         ::testing::Values<std::size_t>(9, 15, 23, 31));
+
 }  // namespace
 }  // namespace vpd

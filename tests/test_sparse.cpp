@@ -167,6 +167,78 @@ TEST(Cg, RespectsIterationCap) {
   EXPECT_GT(r.residual_norm, 0.0);
 }
 
+TEST(Csr, AddToEntryUpdatesInPlace) {
+  const CsrMatrix base = poisson1d(4);
+  CsrMatrix m = base;
+  m.add_to_entry(1, 1, 2.5);   // diagonal shunt stamp
+  m.add_to_entry(0, 1, -0.5);  // off-diagonal update
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 4.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.5);
+  // The sparsity pattern is fixed: structural zeros cannot be created.
+  EXPECT_THROW(m.add_to_entry(0, 3, 1.0), InvalidArgument);
+  EXPECT_THROW(m.add_to_entry(4, 0, 1.0), InvalidArgument);
+}
+
+TEST(Csr, InfinityNormIsMaxAbsRowSum) {
+  TripletList t(3, 3);
+  t.add(0, 0, 2.0);
+  t.add(0, 2, -3.0);  // row 0: |2| + |-3| = 5
+  t.add(1, 1, 4.0);   // row 1: 4
+  t.add(2, 2, 1.0);   // row 2: 1
+  EXPECT_DOUBLE_EQ(CsrMatrix(t).infinity_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(poisson1d(5).infinity_norm(), 4.0);  // 1+2+1 interior
+}
+
+TEST(Cg, WarmStartCutsIterationsWithoutChangingTheAnswer) {
+  const std::size_t n = 100;
+  const CsrMatrix a = poisson1d(n);
+  Vector b(n, 1.0);
+  const CgResult cold = solve_cg(a, b);
+  ASSERT_TRUE(cold.converged);
+
+  CgOptions warm_opts;
+  warm_opts.x0 = cold.x;  // previous solution: residual starts tiny
+  const CgResult warm = solve_cg(a, b, warm_opts);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(warm.x[i], cold.x[i], 1e-6 * std::abs(cold.x[i]));
+
+  CgOptions bad;
+  bad.x0 = Vector(n + 1, 0.0);
+  EXPECT_THROW(solve_cg(a, b, bad), InvalidArgument);
+}
+
+TEST(Cg, StiffSystemConvergesViaBackwardError) {
+  // Conductances spanning nine decades (die sheet vs via shunts in the
+  // stacked-mesh model). rtol * ||b|| sits below the rounding floor
+  // eps * ||A|| * ||x||, so a pure relative-residual criterion can never
+  // fire; the normwise backward-error criterion is attainable and honest.
+  const std::size_t n = 40;
+  TripletList t(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double g = (i % 2 == 0) ? 1e3 : 1e12;  // branch conductance
+    t.add(i, i, g);
+    t.add(i + 1, i + 1, g);
+    t.add(i, i + 1, -g);
+    t.add(i + 1, i, -g);
+  }
+  t.add(0, 0, 1e12);  // stiff ground shunt makes the Laplacian SPD
+  const CsrMatrix a(t);
+  Vector b(n, 1.0);
+  CgOptions opts;
+  opts.relative_tolerance = 1e-12;
+  const CgResult r = solve_cg(a, b, opts);
+  ASSERT_TRUE(r.converged);
+  // The reported residual satisfies the backward-error bound.
+  const double eta =
+      r.residual_norm / (a.infinity_norm() * norm2(r.x) + norm2(b));
+  EXPECT_LE(eta, 1e-12);
+  // And the true residual matches what the solver reported.
+  EXPECT_NEAR(norm2(a.multiply(r.x) - b), r.residual_norm,
+              1e-6 * r.residual_norm + 1e-300);
+}
+
 // Property sweep: grounded resistive-grid Laplacians of varying size are
 // SPD; CG must converge and satisfy current conservation (A x = b).
 class CgGridSweep : public ::testing::TestWithParam<std::size_t> {};

@@ -1,0 +1,142 @@
+// Fault-tolerance comparison of the paper's vertical architectures.
+//
+// For each of A1, A2, A3@12V, A3@6V (DSCH final stage, GaN) this bench
+// runs a fault campaign on the sweep thread pool: the exhaustive N-1 set
+// over every modeled fault site (VR dropout / derate / attach cluster /
+// below-die stage-2 dropout / mesh-region damage) plus a Monte-Carlo
+// sample of N-2 scenarios, then scores every fault state against the
+// default resilience spec (5% DC droop budget, 1.2x VR overload
+// allowance, per-site via-field EM capacity).
+//
+// `--json` switches the output to a machine-readable JSON document with
+// the same numbers plus the per-architecture margin histograms.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "vpd/common/table.hpp"
+#include "vpd/fault/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vpd;
+
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const PowerDeliverySpec spec = paper_system();
+  EvaluationOptions options;
+  options.below_die_area_fraction = 1.6;  // paper mode (A2's 48 VRs)
+
+  FaultCampaignConfig config;
+  config.nk_samples = 32;
+  config.nk_order = 2;
+
+  const ArchitectureKind architectures[] = {
+      ArchitectureKind::kA1_InterposerPeriphery,
+      ArchitectureKind::kA2_InterposerBelowDie,
+      ArchitectureKind::kA3_TwoStage12V,
+      ArchitectureKind::kA3_TwoStage6V,
+  };
+
+  const FaultCampaignRunner runner(spec, config);
+  std::vector<FaultCampaignReport> reports;
+  for (ArchitectureKind arch : architectures) {
+    reports.push_back(
+        runner.run(arch, TopologyKind::kDsch,
+                   DeviceTechnology::kGalliumNitride, options));
+  }
+
+  constexpr std::size_t kHistogramBins = 8;
+
+  if (json) {
+    std::printf("{\n  \"spec\": {\"droop_tolerance\": %g, "
+                "\"vr_overcurrent_factor\": %g, "
+                "\"interconnect_stress_margin\": %g},\n",
+                config.resilience.droop_tolerance,
+                config.resilience.vr_overcurrent_factor,
+                config.resilience.interconnect_stress_margin);
+    std::printf("  \"nk_samples\": %zu,\n  \"nk_order\": %zu,\n",
+                config.nk_samples, config.nk_order);
+    std::printf("  \"campaigns\": [\n");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const FaultCampaignReport& r = reports[i];
+      const MarginHistogram h = r.margin_histogram(kHistogramBins);
+      std::printf("    {\"architecture\": \"%s\", \"topology\": \"DSCH\",\n",
+                  to_string(r.architecture));
+      std::printf("     \"vr_count_stage1\": %u, \"vr_count_stage2\": %u,\n",
+                  r.nominal.vr_count_stage1, r.nominal.vr_count_stage2);
+      std::printf("     \"scenarios\": %zu, \"survivors\": %zu, "
+                  "\"survivability\": %.6f,\n",
+                  r.scenario_count(), r.survivor_count(), r.survivability());
+      std::printf("     \"nominal_droop_fraction\": %.6g, "
+                  "\"worst_droop_fraction\": %.6g,\n",
+                  r.outcomes.front().resilience.droop_fraction,
+                  r.worst_droop_fraction());
+      std::printf("     \"worst_load_shed_fraction\": %.6g,\n",
+                  r.worst_load_shed_fraction());
+      std::printf("     \"margin_histogram\": {\"lo\": %.6g, \"hi\": %.6g, "
+                  "\"unevaluated\": %zu, \"counts\": [",
+                  h.lo, h.hi, h.unevaluated);
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        std::printf("%s%zu", b ? ", " : "", h.counts[b]);
+      }
+      std::printf("]},\n");
+      std::printf("     \"wall_seconds\": %.4f}%s\n", r.wall_seconds,
+                  i + 1 < reports.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+
+  std::printf("=== Fault campaigns: N-1 exhaustive + %zu sampled N-%zu "
+              "(DSCH final stage, GaN) ===\n\n",
+              config.nk_samples, config.nk_order);
+  TextTable t({"Architecture", "VRs", "Scenarios", "Survive", "Nominal droop",
+               "Worst droop", "Worst shed", "Min margin", "Wall"});
+  for (const FaultCampaignReport& r : reports) {
+    const MarginHistogram h = r.margin_histogram(kHistogramBins);
+    const std::string vrs =
+        r.nominal.vr_count_stage1 > 0
+            ? std::to_string(r.nominal.vr_count_stage1) + "+" +
+                  std::to_string(r.nominal.vr_count_stage2)
+            : std::to_string(r.nominal.vr_count_stage2);
+    t.add_row({to_string(r.architecture), vrs,
+               std::to_string(r.scenario_count()),
+               format_double(100.0 * r.survivability(), 1) + " %",
+               format_double(
+                   100.0 * r.outcomes.front().resilience.droop_fraction, 2) +
+                   " %",
+               format_double(100.0 * r.worst_droop_fraction(), 2) + " %",
+               format_double(100.0 * r.worst_load_shed_fraction(), 1) + " %",
+               format_double(h.lo, 3),
+               format_double(1e3 * r.wall_seconds, 0) + " ms"});
+  }
+  std::cout << t << '\n';
+
+  std::printf(
+      "Observations:\n"
+      " * A1 fails the 5%% DC droop budget even fault-free: periphery-only\n"
+      "   lateral distribution at 1 V droops ~14%% at the die center — the\n"
+      "   paper's core argument for vertical power delivery. Its\n"
+      "   survivability is 0 by definition; the shed column shows how much\n"
+      "   load a power-cap policy must drop to recover.\n"
+      " * A2 survives most single faults: 48 below-die VRs leave ~2%% load\n"
+      "   swing per dropout, but die-center dropouts concentrate current\n"
+      "   onto already-hot neighbours (the Section IV 1.5x spread) and\n"
+      "   exhaust the 1.2x overload allowance first.\n"
+      " * The two-stage A3s regulate at the die with an intermediate-rail\n"
+      "   mesh at 12 V / 6 V, so the same absolute droop costs 12x / 6x\n"
+      "   less margin; stage-1 dropouts are their dominant vulnerability,\n"
+      "   and the 6 V variant's doubled rail current makes it the tighter\n"
+      "   of the two.\n");
+  return 0;
+}

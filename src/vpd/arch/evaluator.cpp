@@ -16,16 +16,40 @@ namespace vpd {
 
 namespace {
 
+/// Per-site fault lookups against placement-order site indices. Linear
+/// scans: injections list at most a handful of faulted sites.
+const double* attach_scale_for(const FaultInjection& faults,
+                               std::size_t site) {
+  for (const auto& [s, scale] : faults.attach_scale) {
+    if (s == site) return &scale;
+  }
+  return nullptr;
+}
+
+const VrDerate* derate_for(const FaultInjection& faults, std::size_t site) {
+  for (const auto& [s, derate] : faults.derates) {
+    if (s == site) return &derate;
+  }
+  return nullptr;
+}
+
 /// Sum of per-VR conversion losses; flags rating violations.
+/// `loss_scales` (empty, or one multiplier per entry of `currents`)
+/// applies per-VR derating of the conversion loss; an empty vector takes
+/// the nominal arithmetic path exactly.
 Power vr_conversion_loss(const Converter& converter,
                          const std::vector<double>& currents,
+                         const std::vector<double>& loss_scales,
                          const EvaluationOptions& options,
                          ArchitectureEvaluation& eval) {
+  VPD_REQUIRE(loss_scales.empty() || loss_scales.size() == currents.size(),
+              "loss_scales must be empty or match the current vector");
   double total = 0.0;
-  for (double amps : currents) {
-    const Current load{std::max(amps, 1e-6)};
+  for (std::size_t k = 0; k < currents.size(); ++k) {
+    const Current load{std::max(currents[k], 1e-6)};
+    double loss = 0.0;
     if (converter.supports(load)) {
-      total += converter.loss(load).value;
+      loss = converter.loss(load).value;
     } else {
       eval.within_rating = false;
       if (!options.allow_extrapolation) {
@@ -34,8 +58,10 @@ Power vr_conversion_loss(const Converter& converter,
             " A per VR and extrapolation is disabled"));
       }
       eval.used_extrapolation = true;
-      total += converter.loss_extrapolated(load).value;
+      loss = converter.loss_extrapolated(load).value;
     }
+    if (!loss_scales.empty()) loss *= loss_scales[k];
+    total += loss;
   }
   return Power{total};
 }
@@ -43,44 +69,95 @@ Power vr_conversion_loss(const Converter& converter,
 struct DistributionResult {
   Power grid_loss{};
   Power attach_loss{};
-  std::vector<double> vr_currents;  // per site
+  std::vector<double> vr_currents;    // per surviving site
+  std::vector<std::size_t> site_map;  // surviving -> nominal placement index
   Voltage min_voltage{};
   std::size_t cg_iterations{0};
+
+  /// Conversion-loss multipliers for the surviving sites, aligned with
+  /// vr_currents; empty when no derate applies (nominal path).
+  std::vector<double> loss_scales(const FaultInjection& faults) const {
+    if (faults.derates.empty()) return {};
+    std::vector<double> scales(vr_currents.size(), 1.0);
+    for (std::size_t k = 0; k < site_map.size(); ++k) {
+      if (const VrDerate* derate = derate_for(faults, site_map[k])) {
+        scales[k] = derate->loss_scale;
+      }
+    }
+    return scales;
+  }
 };
 
 /// Mesh solve of one distribution rail: VR outputs at `sites`, uniform
-/// sinks totalling `total_current`.
+/// sinks totalling `total_current`. Fault injection drops sites, scales
+/// attach resistances and perturbs the mesh operator; the survivors pick
+/// up the redistributed load through the solve itself.
 DistributionResult solve_distribution(const PowerDeliverySpec& spec,
                                       const std::vector<VrSite>& sites,
                                       Voltage rail, Current total_current,
                                       Resistance attach_series,
                                       const EvaluationOptions& options) {
-  // The mesh operator depends only on (die side, resolution, sheet): reuse
-  // a shared assembly across sweep points when the caller provides a
-  // cache. Cached and per-call assemblies are numerically identical.
+  const FaultInjection& faults = options.faults;
+  // Surviving sites of the nominal deployment (dropped_sites is sorted).
+  std::vector<VrSite> active;
+  std::vector<std::size_t> site_map;
+  active.reserve(sites.size());
+  site_map.reserve(sites.size());
+  {
+    std::size_t cursor = 0;
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      if (cursor < faults.dropped_sites.size() &&
+          faults.dropped_sites[cursor] == s) {
+        ++cursor;
+        continue;
+      }
+      active.push_back(sites[s]);
+      site_map.push_back(s);
+    }
+  }
+  if (active.empty()) {
+    throw InfeasibleDesign(
+        "every distribution-stage VR is dropped: no source left to solve "
+        "the rail");
+  }
+  // The mesh operator depends only on (die side, resolution, sheet,
+  // conductance perturbation): reuse a shared assembly across sweep points
+  // when the caller provides a cache. Cached and per-call assemblies are
+  // numerically identical, and a perturbed operator can never alias the
+  // nominal cache entry (the key carries the perturbation digest).
   const std::shared_ptr<const AssembledMesh> assembled =
       options.mesh_cache
           ? options.mesh_cache->get(spec.die_side(), spec.die_side(),
                                     options.mesh_nodes, options.mesh_nodes,
-                                    options.distribution_sheet_ohms)
+                                    options.distribution_sheet_ohms,
+                                    faults.mesh_perturbation)
           : assemble_mesh(spec.die_side(), spec.die_side(),
                           options.mesh_nodes, options.mesh_nodes,
-                          options.distribution_sheet_ohms);
+                          options.distribution_sheet_ohms,
+                          faults.mesh_perturbation);
   const GridMesh& mesh = assembled->mesh;
   // Patch footprints: capped per site by the placement geometry so
   // neighbouring patches can never overlap and share attachment nodes.
+  // Computed over the survivors: a dropped neighbour frees no extra
+  // footprint at fault time (the cap only ever shrinks patches, and the
+  // survivors' positions are unchanged), but it must not re-introduce the
+  // dropped site's nodes either.
   const std::vector<Length> patch_sides =
-      disjoint_patch_sides(sites, options.vr_patch);
+      disjoint_patch_sides(active, options.vr_patch);
   std::vector<VrAttachment> legs;
   std::vector<std::size_t> legs_per_site;
-  legs_per_site.reserve(sites.size());
-  for (std::size_t s = 0; s < sites.size(); ++s) {
-    const VrSite& site = sites[s];
+  legs_per_site.reserve(active.size());
+  for (std::size_t s = 0; s < active.size(); ++s) {
+    const VrSite& site = active[s];
     const double ring_extra = site.ring * options.ring_series_squares *
                               options.distribution_sheet_ohms;
+    double attach_value = attach_series.value;
+    if (const double* scale = attach_scale_for(faults, site_map[s])) {
+      attach_value *= *scale;
+    }
     const auto patch = patch_attachment(
         mesh, site.x, site.y, patch_sides[s], rail,
-        Resistance{attach_series.value + ring_extra});
+        Resistance{attach_value + ring_extra});
     legs_per_site.push_back(patch.size());
     legs.insert(legs.end(), patch.begin(), patch.end());
   }
@@ -105,7 +182,8 @@ DistributionResult solve_distribution(const PowerDeliverySpec& spec,
   result.attach_loss = ir.series_loss;
   result.min_voltage = ir.min_node_voltage;
   result.cg_iterations = ir.cg_iterations;
-  result.vr_currents.reserve(sites.size());
+  result.site_map = std::move(site_map);
+  result.vr_currents.reserve(active.size());
   std::size_t cursor = 0;
   for (std::size_t count : legs_per_site) {
     double sum = 0.0;
@@ -203,7 +281,9 @@ unsigned area_capped_count(unsigned wanted, Area die_area, Area vr_area,
 
 ArchitectureEvaluation evaluate_a0(const PowerDeliverySpec& spec,
                                    const EvaluationOptions& options) {
-  (void)options;  // A0 has no mesh or VR placement to configure
+  VPD_REQUIRE(options.faults.empty(),
+              "fault injection is not supported for A0: a single PCB "
+              "regulator has no distributed VRs to drop or derate");
   ArchitectureEvaluation eval;
   eval.architecture = ArchitectureKind::kA0_PcbConversion;
   const Current i_die = spec.die_current();
@@ -308,16 +388,27 @@ ArchitectureEvaluation evaluate_single_stage(ArchitectureKind kind,
         options.vr_attach_series.value};
   }
 
+  options.faults.validate(placement.sites.size(), 0);
+
   const DistributionResult dist = solve_distribution(
       spec, placement.sites, spec.die_voltage, i_die, attach, options);
   eval.horizontal_loss += dist.grid_loss;
   eval.vertical_loss += dist.attach_loss;
   eval.vr_current_spread = summarize(dist.vr_currents);
   eval.min_pol_voltage = dist.min_voltage;
+  eval.distribution_rail = spec.die_voltage;
+  eval.min_distribution_voltage = dist.min_voltage;
   eval.cg_iterations += dist.cg_iterations;
+  if (!options.faults.empty()) {
+    eval.fault_site_currents.assign(placement.sites.size(), 0.0);
+    for (std::size_t k = 0; k < dist.site_map.size(); ++k) {
+      eval.fault_site_currents[dist.site_map[k]] = dist.vr_currents[k];
+    }
+  }
 
   eval.conversion_stage2 =
-      vr_conversion_loss(*converter, dist.vr_currents, options, eval);
+      vr_conversion_loss(*converter, dist.vr_currents,
+                         dist.loss_scales(options.faults), options, eval);
 
   // Die interface field: A1's 1 V current climbs the u-bump field after
   // its lateral journey; A2's climb is already inside the attach series.
@@ -358,30 +449,48 @@ ArchitectureEvaluation evaluate_two_stage(ArchitectureKind kind,
       alloc2.count, spec.die_area, stage2->spec().area,
       options.below_die_area_fraction, eval, stage2->name());
   eval.vr_count_stage2 = count2;
+  options.faults.validate_stage2(count2);
 
-  // Stage-2 VRs sit directly below their loads: uniform current split.
-  std::vector<double> stage2_currents(count2, i_die.value / count2);
+  // Stage-2 VRs sit directly below their loads: uniform current split,
+  // re-split among the survivors when final-stage VRs drop out.
+  const std::size_t live2 = count2 - options.faults.dropped_stage2.size();
+  std::vector<double> stage2_currents(live2, i_die.value / live2);
   eval.conversion_stage2 =
-      vr_conversion_loss(*stage2, stage2_currents, options, eval);
+      vr_conversion_loss(*stage2, stage2_currents, {}, options, eval);
 
   // 1 V crossing from power die to functional die: the Cu-pad field.
   add_vertical_field(eval, InterconnectLevel::kInterposerToDiePad, i_die);
 
   // --- Intermediate rail: V_mid from periphery stage-1 VRs to the
-  // below-die stage-2 inputs.
+  // below-die stage-2 inputs. The stage-1 deployment is sized at design
+  // time from the fault-free stage-2 loss (faults cannot add VRs), while
+  // the rail itself carries the actual, possibly fault-elevated current.
+  double stage2_design_loss = eval.conversion_stage2.value;
+  if (!options.faults.dropped_stage2.empty()) {
+    ArchitectureEvaluation sizing_scratch;
+    std::vector<double> nominal2(count2, i_die.value / count2);
+    stage2_design_loss =
+        vr_conversion_loss(*stage2, nominal2, {}, options, sizing_scratch)
+            .value;
+  }
+  const double p_mid_design =
+      spec.total_power.value + stage2_design_loss;
+  const Current i_mid_design{p_mid_design / v_mid.value};
   const double p_mid =
       spec.total_power.value + eval.conversion_stage2.value;
   const Current i_mid{p_mid / v_mid.value};
 
   const auto stage1 =
       dpmih_converter(tech)->with_conversion(Voltage{48.0}, v_mid);
-  VrAllocation alloc1 = allocate_vrs(i_mid, *stage1, options.derating);
+  VrAllocation alloc1 =
+      allocate_vrs(i_mid_design, *stage1, options.derating);
   for (const auto& note : alloc1.notes) eval.notes.push_back(note);
   eval.vr_count_stage1 = alloc1.count;
 
   const PlacementResult placement1 = periphery_placement(
       spec.die_side(), stage1->spec().area, alloc1.count);
   eval.periphery_rings = placement1.rings_used;
+  options.faults.validate_sites(placement1.sites.size());
 
   const DistributionResult dist =
       solve_distribution(spec, placement1.sites, v_mid, i_mid,
@@ -389,10 +498,19 @@ ArchitectureEvaluation evaluate_two_stage(ArchitectureKind kind,
   eval.horizontal_loss += dist.grid_loss;
   eval.vertical_loss += dist.attach_loss;
   eval.vr_current_spread = summarize(dist.vr_currents);
+  eval.distribution_rail = v_mid;
+  eval.min_distribution_voltage = dist.min_voltage;
   eval.cg_iterations += dist.cg_iterations;
+  if (!options.faults.empty()) {
+    eval.fault_site_currents.assign(placement1.sites.size(), 0.0);
+    for (std::size_t k = 0; k < dist.site_map.size(); ++k) {
+      eval.fault_site_currents[dist.site_map[k]] = dist.vr_currents[k];
+    }
+  }
 
   eval.conversion_stage1 =
-      vr_conversion_loss(*stage1, dist.vr_currents, options, eval);
+      vr_conversion_loss(*stage1, dist.vr_currents,
+                         dist.loss_scales(options.faults), options, eval);
 
   // V_mid climbs into the power die through the u-bump field.
   add_vertical_field(eval, InterconnectLevel::kInterposerToDieBump, i_mid);

@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "vpd/arch/architecture.hpp"
+#include "vpd/arch/fault_injection.hpp"
 #include "vpd/arch/report.hpp"
 #include "vpd/converters/catalog.hpp"
 #include "vpd/core/spec.hpp"
@@ -74,6 +75,13 @@ struct EvaluationOptions {
   /// call. The cache is thread-safe and must outlive the evaluation; a
   /// SweepRunner wires its own cache in here for every point.
   MeshSolveCache* mesh_cache{nullptr};
+  /// Fault state to evaluate the deployment under (see
+  /// arch/fault_injection.hpp). Allocation and placement stay nominal;
+  /// the injection drops/degrades placed VRs and perturbs the mesh, and
+  /// the distribution solve redistributes load across the survivors. An
+  /// empty injection (the default) is the nominal evaluation bit for bit.
+  /// Not supported for A0, which has no distributed VRs.
+  FaultInjection faults;
 };
 
 /// Evaluates one (architecture, topology, device technology) combination.

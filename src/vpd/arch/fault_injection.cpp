@@ -1,0 +1,89 @@
+#include "vpd/arch/fault_injection.hpp"
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+namespace {
+
+void require_sorted_unique(const std::vector<std::size_t>& indices,
+                           std::size_t bound, const char* field) {
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    VPD_REQUIRE(indices[i] < bound, field, " index ", indices[i],
+                " outside the deployment of ", bound, " VRs");
+    VPD_REQUIRE(i == 0 || indices[i - 1] < indices[i], field,
+                " indices must be sorted and unique");
+  }
+}
+
+template <typename T>
+void require_sorted_unique_pairs(
+    const std::vector<std::pair<std::size_t, T>>& entries, std::size_t bound,
+    const char* field) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    VPD_REQUIRE(entries[i].first < bound, field, " site ", entries[i].first,
+                " outside the deployment of ", bound, " VRs");
+    VPD_REQUIRE(i == 0 || entries[i - 1].first < entries[i].first, field,
+                " sites must be sorted and unique");
+  }
+}
+
+}  // namespace
+
+bool FaultInjection::empty() const {
+  return dropped_sites.empty() && attach_scale.empty() && derates.empty() &&
+         dropped_stage2.empty() && mesh_perturbation.empty();
+}
+
+void FaultInjection::validate(std::size_t site_count,
+                              std::size_t stage2_count) const {
+  validate_sites(site_count);
+  validate_stage2(stage2_count);
+}
+
+void FaultInjection::validate_sites(std::size_t site_count) const {
+  require_sorted_unique(dropped_sites, site_count, "dropped_sites");
+  if (site_count > 0 && dropped_sites.size() == site_count) {
+    throw InfeasibleDesign(
+        "every distribution-stage VR is dropped: no source left to solve "
+        "the rail");
+  }
+  require_sorted_unique_pairs(attach_scale, site_count, "attach_scale");
+  for (const auto& [site, scale] : attach_scale) {
+    (void)site;
+    VPD_REQUIRE(scale > 0.0, "attach resistance scale must be > 0, got ",
+                scale);
+  }
+  require_sorted_unique_pairs(derates, site_count, "derates");
+  for (const auto& [site, derate] : derates) {
+    (void)site;
+    VPD_REQUIRE(derate.current_limit_scale > 0.0,
+                "derate current_limit_scale must be > 0, got ",
+                derate.current_limit_scale);
+    VPD_REQUIRE(derate.loss_scale > 0.0, "derate loss_scale must be > 0, got ",
+                derate.loss_scale);
+  }
+  for (const EdgeScaleRegion& r : mesh_perturbation) {
+    VPD_REQUIRE(r.x1.value >= r.x0.value && r.y1.value >= r.y0.value,
+                "mesh perturbation region has negative extent");
+    VPD_REQUIRE(r.scale >= 0.0,
+                "mesh perturbation scale must be >= 0, got ", r.scale);
+  }
+}
+
+void FaultInjection::validate_stage2(std::size_t stage2_count) const {
+  if (stage2_count == 0) {
+    VPD_REQUIRE(dropped_stage2.empty(),
+                "dropped_stage2 set on an architecture without a separate "
+                "below-die final stage");
+    return;
+  }
+  require_sorted_unique(dropped_stage2, stage2_count, "dropped_stage2");
+  if (dropped_stage2.size() == stage2_count) {
+    throw InfeasibleDesign(
+        "every below-die final-stage VR is dropped: the die has no "
+        "regulated supply");
+  }
+}
+
+}  // namespace vpd

@@ -1,0 +1,67 @@
+// Low-level fault-injection description consumed by the architecture
+// evaluator: which VRs of the distribution stage have dropped out or
+// degraded, which attach paths have gone high-resistance, and how the
+// distribution mesh's conductance is perturbed. The evaluator applies an
+// injection against the *nominal* deployment — allocation and placement
+// stay as designed; faults remove or degrade placed VRs at run time and
+// the mesh solve redistributes the load across the survivors.
+//
+// The higher-level fault models (dropout / derating / interconnect
+// scenarios, campaign generation, spec checks) live in vpd/fault; this
+// header sits in vpd/arch so the evaluator itself stays fault-aware
+// without depending on the campaign machinery. An empty injection is the
+// nominal evaluation, bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "vpd/package/mesh.hpp"
+
+namespace vpd {
+
+/// A degraded-but-alive VR: its usable current limit shrinks and its
+/// conversion loss grows. The limit scale feeds the resilience layer's
+/// overcurrent check; the evaluator itself applies only the loss scale.
+struct VrDerate {
+  double current_limit_scale{1.0};  // usable fraction of the rating, > 0
+  double loss_scale{1.0};           // conversion-loss multiplier, > 0
+};
+
+/// One fault state of a deployment. Site indices address the VR stage
+/// that drives the distribution mesh (the final stage for A1/A2, the
+/// periphery first stage for A3) in placement order; `dropped_stage2`
+/// addresses the below-die final stage of the two-stage architectures,
+/// whose survivors re-split the die current uniformly.
+struct FaultInjection {
+  /// Distribution-stage sites whose VR has dropped out (sorted, unique).
+  std::vector<std::size_t> dropped_sites;
+  /// Per-site multiplier on the VR attach series resistance — a
+  /// high-resistance vertical-interconnect cluster under the VR output
+  /// (sorted by site, unique, scale > 0).
+  std::vector<std::pair<std::size_t, double>> attach_scale;
+  /// Per-site derating of the distribution-stage VRs (sorted, unique).
+  std::vector<std::pair<std::size_t, VrDerate>> derates;
+  /// Dropped below-die final-stage VRs, two-stage architectures only
+  /// (sorted, unique).
+  std::vector<std::size_t> dropped_stage2;
+  /// Conductance perturbation of the distribution mesh (open or
+  /// high-resistance lateral-metal regions).
+  MeshPerturbation mesh_perturbation;
+
+  bool empty() const;
+
+  /// Validates ranges, ordering and uniqueness against a deployment of
+  /// `site_count` distribution-stage VRs and `stage2_count` below-die
+  /// final-stage VRs (0 for single-stage architectures). Throws
+  /// InvalidArgument on any violation, and InfeasibleDesign if every VR
+  /// of a stage is dropped. The two halves are exposed separately because
+  /// the two-stage evaluator learns the two deployment sizes at different
+  /// points of the evaluation.
+  void validate(std::size_t site_count, std::size_t stage2_count) const;
+  void validate_sites(std::size_t site_count) const;
+  void validate_stage2(std::size_t stage2_count) const;
+};
+
+}  // namespace vpd

@@ -44,6 +44,18 @@ struct ArchitectureEvaluation {
   std::optional<Summary> vr_current_spread;
   /// Worst node voltage on the POL rail.
   std::optional<Voltage> min_pol_voltage;
+  /// Regulated voltage and worst node voltage of the distribution mesh
+  /// solve — the POL rail for A1/A2, the intermediate rail for the
+  /// two-stage architectures. Absent for A0 (no mesh solve). The pair
+  /// gives resilience analysis a rail-relative droop for every
+  /// architecture.
+  std::optional<Voltage> distribution_rail;
+  std::optional<Voltage> min_distribution_voltage;
+  /// Per-site currents of the distribution-stage VRs under fault
+  /// injection, indexed by nominal placement order with dropped sites at
+  /// 0 A. Populated only when the evaluation ran with a non-empty
+  /// FaultInjection (nominal evaluations report the spread only).
+  std::vector<double> fault_site_currents;
 
   /// Power drawn from the PCB feed: delivered power plus every modeled
   /// loss. The 48 V feed is sized to a self-consistent fixed point — the

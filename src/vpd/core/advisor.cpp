@@ -45,18 +45,18 @@ Recommendation recommend(const ExplorationResult& result) {
   return ranked.front();
 }
 
-std::vector<SweepPoint> sweep_power(const PowerDeliverySpec& base,
+std::vector<ParameterSweepPoint> sweep_power(const PowerDeliverySpec& base,
                                     ArchitectureKind architecture,
                                     TopologyKind topology,
                                     const std::vector<double>& watts,
                                     const EvaluationOptions& options) {
   VPD_REQUIRE(!watts.empty(), "empty sweep");
-  std::vector<SweepPoint> points;
+  std::vector<ParameterSweepPoint> points;
   points.reserve(watts.size());
   for (double w : watts) {
     PowerDeliverySpec spec = base;
     spec.total_power = Power{w};
-    SweepPoint p;
+    ParameterSweepPoint p;
     p.parameter = w;
     try {
       const ArchitectureEvaluation eval = evaluate_architecture(
@@ -88,7 +88,7 @@ VrCountChoice optimize_vr_count(const PowerDeliverySpec& spec,
   for (unsigned count = min_count; count <= max_count; ++count) {
     EvaluationOptions opts = options;
     opts.fixed_final_stage_vrs = count;
-    SweepPoint point;
+    ParameterSweepPoint point;
     point.parameter = count;
     try {
       const ArchitectureEvaluation eval = evaluate_architecture(
@@ -116,17 +116,17 @@ VrCountChoice optimize_vr_count(const PowerDeliverySpec& spec,
   return choice;
 }
 
-std::vector<SweepPoint> sweep_sheet_resistance(
+std::vector<ParameterSweepPoint> sweep_sheet_resistance(
     const PowerDeliverySpec& spec, ArchitectureKind architecture,
     TopologyKind topology, const std::vector<double>& ohms_per_square,
     const EvaluationOptions& options) {
   VPD_REQUIRE(!ohms_per_square.empty(), "empty sweep");
-  std::vector<SweepPoint> points;
+  std::vector<ParameterSweepPoint> points;
   points.reserve(ohms_per_square.size());
   for (double rs : ohms_per_square) {
     EvaluationOptions opts = options;
     opts.distribution_sheet_ohms = rs;
-    SweepPoint p;
+    ParameterSweepPoint p;
     p.parameter = rs;
     try {
       const ArchitectureEvaluation eval = evaluate_architecture(

@@ -27,14 +27,14 @@ std::vector<Recommendation> rank_architectures(
 /// nothing is feasible.
 Recommendation recommend(const ExplorationResult& result);
 
-struct SweepPoint {
+struct ParameterSweepPoint {
   double parameter{0.0};
   double loss_fraction{0.0};
   bool feasible{true};
 };
 
 /// Loss fraction vs total system power for one combination.
-std::vector<SweepPoint> sweep_power(const PowerDeliverySpec& base,
+std::vector<ParameterSweepPoint> sweep_power(const PowerDeliverySpec& base,
                                     ArchitectureKind architecture,
                                     TopologyKind topology,
                                     const std::vector<double>& watts,
@@ -42,7 +42,7 @@ std::vector<SweepPoint> sweep_power(const PowerDeliverySpec& base,
 
 /// Loss fraction vs POL-rail distribution sheet resistance (the model's
 /// main calibration knob) for one combination.
-std::vector<SweepPoint> sweep_sheet_resistance(
+std::vector<ParameterSweepPoint> sweep_sheet_resistance(
     const PowerDeliverySpec& spec, ArchitectureKind architecture,
     TopologyKind topology, const std::vector<double>& ohms_per_square,
     const EvaluationOptions& options = {});
@@ -53,7 +53,7 @@ struct VrCountChoice {
   double loss_fraction{0.0};
   bool within_rating{false};
   /// Losses at every candidate count, for reporting.
-  std::vector<SweepPoint> curve;
+  std::vector<ParameterSweepPoint> curve;
 };
 
 /// Finds the final-stage VR count minimizing total loss for one

@@ -1,0 +1,91 @@
+#include "vpd/fault/fault_model.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kVrDropout:
+      return "vr-dropout";
+    case FaultKind::kVrDerate:
+      return "vr-derate";
+    case FaultKind::kAttachFault:
+      return "attach-fault";
+    case FaultKind::kMeshRegionFault:
+      return "mesh-region";
+    case FaultKind::kStage2Dropout:
+      return "stage2-dropout";
+  }
+  return "unknown";
+}
+
+void FaultSeverity::validate() const {
+  VPD_REQUIRE(derate_current_limit_scale > 0.0,
+              "derate_current_limit_scale must be > 0");
+  VPD_REQUIRE(derate_loss_scale > 0.0, "derate_loss_scale must be > 0");
+  VPD_REQUIRE(attach_resistance_scale > 0.0,
+              "attach_resistance_scale must be > 0");
+  VPD_REQUIRE(mesh_conductance_scale > 0.0,
+              "mesh_conductance_scale must be > 0 (a zero scale can "
+              "disconnect mesh nodes)");
+  VPD_REQUIRE(mesh_region_side.value > 0.0, "mesh_region_side must be > 0");
+}
+
+FaultInjection to_injection(const FaultScenario& scenario,
+                            const FaultSeverity& severity) {
+  severity.validate();
+  std::set<std::size_t> dropped;
+  std::set<std::size_t> dropped2;
+  std::map<std::size_t, double> attach;
+  std::map<std::size_t, VrDerate> derates;
+  MeshPerturbation perturbation;
+  for (const Fault& fault : scenario.faults) {
+    switch (fault.kind) {
+      case FaultKind::kVrDropout:
+        dropped.insert(fault.site);
+        break;
+      case FaultKind::kVrDerate: {
+        VrDerate& d = derates[fault.site];  // starts at identity scales
+        d.current_limit_scale *= severity.derate_current_limit_scale;
+        d.loss_scale *= severity.derate_loss_scale;
+        break;
+      }
+      case FaultKind::kAttachFault: {
+        auto [it, inserted] = attach.emplace(fault.site, 1.0);
+        it->second *= severity.attach_resistance_scale;
+        break;
+      }
+      case FaultKind::kMeshRegionFault: {
+        const double half = 0.5 * severity.mesh_region_side.value;
+        perturbation.push_back(EdgeScaleRegion{
+            Length{fault.x.value - half}, Length{fault.y.value - half},
+            Length{fault.x.value + half}, Length{fault.y.value + half},
+            severity.mesh_conductance_scale});
+        break;
+      }
+      case FaultKind::kStage2Dropout:
+        dropped2.insert(fault.site);
+        break;
+    }
+  }
+
+  FaultInjection injection;
+  injection.dropped_sites.assign(dropped.begin(), dropped.end());
+  injection.dropped_stage2.assign(dropped2.begin(), dropped2.end());
+  for (const auto& [site, scale] : attach) {
+    // A dropped VR's attach path carries no defined current: dropout wins.
+    if (!dropped.count(site)) injection.attach_scale.emplace_back(site, scale);
+  }
+  for (const auto& [site, derate] : derates) {
+    if (!dropped.count(site)) injection.derates.emplace_back(site, derate);
+  }
+  injection.mesh_perturbation = std::move(perturbation);
+  return injection;
+}
+
+}  // namespace vpd

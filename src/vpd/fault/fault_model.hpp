@@ -1,0 +1,85 @@
+// High-level fault models for the resilience subsystem: named fault
+// events (VR dropout, VR derating, high-resistance attach clusters,
+// lateral-metal mesh damage, below-die final-stage dropout) with a
+// severity model that maps each event onto the evaluator's low-level
+// FaultInjection. Scenarios compose several events; the campaign runner
+// (campaign.hpp) generates and evaluates them in bulk.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "vpd/arch/fault_injection.hpp"
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+enum class FaultKind {
+  /// A distribution-stage VR stops sourcing current entirely.
+  kVrDropout,
+  /// A distribution-stage VR keeps running with a reduced usable current
+  /// limit and elevated conversion loss (thermal throttling, partial
+  /// phase failure).
+  kVrDerate,
+  /// The vertical interconnect cluster under a VR output goes
+  /// high-resistance (cracked solder, electromigrated vias).
+  kAttachFault,
+  /// A rectangular region of the distribution metal loses lateral
+  /// conductance (delamination, crack across the power planes).
+  kMeshRegionFault,
+  /// A below-die final-stage VR drops out (two-stage architectures only);
+  /// the survivors re-split the die current.
+  kStage2Dropout,
+};
+
+const char* to_string(FaultKind kind);
+
+/// One fault event. `site` addresses the mesh-driving VR stage in
+/// placement order (kVrDropout / kVrDerate / kAttachFault) or the
+/// below-die final stage (kStage2Dropout); `x`/`y` give the damaged-region
+/// center for kMeshRegionFault in the die coordinate frame.
+struct Fault {
+  FaultKind kind{FaultKind::kVrDropout};
+  std::size_t site{0};
+  Length x{};
+  Length y{};
+};
+
+/// Severity model: how hard each fault kind hits. The defaults describe a
+/// serious-but-survivable fault population — a derated VR keeps half its
+/// usable rating at 25% extra loss, a damaged attach cluster is 10x its
+/// nominal resistance, and a damaged mesh region keeps 10% of its lateral
+/// conductance over a 2 mm square (kept above zero so the mesh stays
+/// connected and the CG solve remains well-posed).
+struct FaultSeverity {
+  double derate_current_limit_scale{0.5};
+  double derate_loss_scale{1.25};
+  double attach_resistance_scale{10.0};
+  double mesh_conductance_scale{0.1};
+  Length mesh_region_side{Length{2e-3}};
+
+  /// Throws InvalidArgument unless every scale is positive (a zero
+  /// conductance scale can disconnect mesh nodes) and the region side is
+  /// positive.
+  void validate() const;
+};
+
+/// A named set of simultaneous fault events; the empty scenario is the
+/// nominal (N-0) state.
+struct FaultScenario {
+  std::string label;
+  std::vector<Fault> faults;
+
+  std::size_t order() const { return faults.size(); }
+};
+
+/// Lowers a scenario onto the evaluator's injection under a severity
+/// model. Duplicate events on one site collapse deterministically:
+/// dropout wins over derate/attach on the same site, repeated derates or
+/// attach faults on one site compound multiplicatively. The result's
+/// index vectors are sorted as FaultInjection::validate requires.
+FaultInjection to_injection(const FaultScenario& scenario,
+                            const FaultSeverity& severity);
+
+}  // namespace vpd

@@ -1,0 +1,224 @@
+#include "vpd/fault/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+#include "vpd/converters/dpmih.hpp"
+#include "vpd/converters/transformer_stage.hpp"
+#include "vpd/package/interconnect.hpp"
+
+namespace vpd {
+
+namespace {
+
+const VrDerate* derate_for(const FaultInjection& faults, std::size_t site) {
+  for (const auto& [s, derate] : faults.derates) {
+    if (s == site) return &derate;
+  }
+  return nullptr;
+}
+
+/// Published rating of the VR stage that drives the distribution mesh.
+Current mesh_stage_rating(const ResilienceContext& ctx) {
+  if (is_two_stage(ctx.architecture)) {
+    const Voltage v_mid = intermediate_voltage(ctx.architecture);
+    return dpmih_converter(ctx.tech)
+        ->with_conversion(Voltage{48.0}, v_mid)
+        ->spec()
+        .max_current;
+  }
+  VPD_REQUIRE(ctx.topology.has_value(),
+              "single-stage resilience check needs the topology");
+  return make_topology(*ctx.topology, ctx.tech)->spec().max_current;
+}
+
+/// Per-site electromigration capacity of the vertical attach field: the
+/// site's share of the power-net via field actually deployed at the die
+/// interface. Per the paper's Section IV utilization statements these
+/// fields are pitch-limited, not EM-limited — the deployed count is the
+/// die-shadow availability (capped by the level's power fraction, split
+/// evenly between the power and ground nets), so the nominal design
+/// carries the field well below its per-via limit and the check guards
+/// fault-driven current concentration. A2 sites cross both the TSV and
+/// Cu-pad fields; the tighter one governs.
+double site_attach_capacity(const ResilienceContext& ctx,
+                            std::size_t site_count) {
+  const auto capacity_at = [&](InterconnectLevel level) {
+    const auto spec = interconnect_spec(level);
+    const double power_net_vias =
+        static_cast<double>(spec.available_count(ctx.spec.die_area)) *
+        spec.max_power_fraction / 2.0;
+    const double vias =
+        std::max(power_net_vias / static_cast<double>(
+                                      std::max<std::size_t>(site_count, 1)),
+                 1.0);
+    return vias * spec.max_current_per_via.value;
+  };
+  switch (ctx.architecture) {
+    case ArchitectureKind::kA2_InterposerBelowDie:
+      return std::min(capacity_at(InterconnectLevel::kThroughInterposer),
+                      capacity_at(InterconnectLevel::kInterposerToDiePad));
+    case ArchitectureKind::kA1_InterposerPeriphery:
+    case ArchitectureKind::kA3_TwoStage12V:
+    case ArchitectureKind::kA3_TwoStage6V:
+      return capacity_at(InterconnectLevel::kInterposerToDieBump);
+    case ArchitectureKind::kA0_PcbConversion:
+      break;
+  }
+  throw InvalidArgument("architecture has no per-site attach field");
+}
+
+}  // namespace
+
+void ResilienceSpec::validate() const {
+  VPD_REQUIRE(droop_tolerance > 0.0 && droop_tolerance < 1.0,
+              "droop_tolerance must be in (0, 1)");
+  VPD_REQUIRE(vr_overcurrent_factor > 0.0,
+              "vr_overcurrent_factor must be > 0");
+  VPD_REQUIRE(interconnect_stress_margin >= 1.0,
+              "interconnect_stress_margin must be >= 1");
+}
+
+const char* to_string(SpecViolation::Kind kind) {
+  switch (kind) {
+    case SpecViolation::Kind::kDroop:
+      return "droop";
+    case SpecViolation::Kind::kVrOvercurrent:
+      return "vr-overcurrent";
+    case SpecViolation::Kind::kInterconnectOverstress:
+      return "interconnect-overstress";
+  }
+  return "unknown";
+}
+
+ResilienceReport check_resilience(const ArchitectureEvaluation& eval,
+                                  const FaultInjection& faults,
+                                  const ResilienceContext& context,
+                                  const ResilienceSpec& rspec) {
+  rspec.validate();
+  VPD_REQUIRE(eval.distribution_rail.has_value() &&
+                  eval.min_distribution_voltage.has_value(),
+              "resilience check needs a distribution mesh solve (A0 "
+              "evaluations have none)");
+  ResilienceReport report;
+  // Every surviving source sits at the same rail voltage, so the mesh
+  // solve is linear in the total sink current: shedding a fraction of the
+  // load scales droop and per-VR currents by the same fraction. Each
+  // failing check therefore yields the exact load fraction that restores
+  // its margin, and the policy takes the smallest.
+  double min_load_fraction = 1.0;
+  const auto require_fraction = [&](double fraction) {
+    min_load_fraction = std::min(min_load_fraction, fraction);
+  };
+  const auto note_margin = [&](double headroom) {
+    report.margin = std::min(report.margin, headroom);
+  };
+
+  // --- Rail droop -----------------------------------------------------
+  const double rail = eval.distribution_rail->value;
+  const double v_min = eval.min_distribution_voltage->value;
+  report.droop_fraction = (rail - v_min) / rail;
+  note_margin((rspec.droop_tolerance - report.droop_fraction) /
+              rspec.droop_tolerance);
+  if (report.droop_fraction > rspec.droop_tolerance) {
+    report.violations.push_back(SpecViolation{
+        SpecViolation::Kind::kDroop, static_cast<std::size_t>(-1),
+        report.droop_fraction, rspec.droop_tolerance,
+        detail::concat("distribution rail droops ",
+                       report.droop_fraction * 100.0, "% (tolerance ",
+                       rspec.droop_tolerance * 100.0, "%)")});
+    require_fraction(rspec.droop_tolerance * rail / (rail - v_min));
+  }
+
+  // --- Mesh-stage per-VR currents -------------------------------------
+  // Under fault the evaluator reports exact per-site currents; for the
+  // nominal (N-0) state the current spread summary stands in, with its
+  // max as the worst site (no per-site faults can apply).
+  const bool two_stage = is_two_stage(context.architecture);
+  std::vector<double> site_currents = eval.fault_site_currents;
+  if (site_currents.empty()) {
+    VPD_REQUIRE(eval.vr_current_spread.has_value(),
+                "evaluation carries neither per-site fault currents nor a "
+                "current spread");
+    site_currents.assign(eval.vr_current_spread->count,
+                         eval.vr_current_spread->mean);
+    site_currents.front() = eval.vr_current_spread->max;
+  }
+
+  const double rating = mesh_stage_rating(context).value;
+  for (std::size_t site = 0; site < site_currents.size(); ++site) {
+    const double amps = site_currents[site];
+    if (amps <= 0.0) continue;  // dropped site
+    double allowed = rating * rspec.vr_overcurrent_factor;
+    if (const VrDerate* derate = derate_for(faults, site)) {
+      allowed *= derate->current_limit_scale;
+    }
+    report.worst_vr_utilization =
+        std::max(report.worst_vr_utilization, amps / allowed);
+    note_margin((allowed - amps) / allowed);
+    if (amps > allowed) {
+      report.violations.push_back(SpecViolation{
+          SpecViolation::Kind::kVrOvercurrent, site, amps, allowed,
+          detail::concat("site ", site, " carries ", amps, " A, allowed ",
+                         allowed, " A")});
+      require_fraction(allowed / amps);
+    }
+  }
+
+  // --- Two-stage final-stage currents ----------------------------------
+  if (two_stage && eval.vr_count_stage2 > 0) {
+    const std::size_t live2 =
+        eval.vr_count_stage2 - faults.dropped_stage2.size();
+    const double i_die = context.spec.die_current().value;
+    const double per_vr = i_die / static_cast<double>(live2);
+    const Voltage v_mid = intermediate_voltage(context.architecture);
+    VPD_REQUIRE(context.topology.has_value(),
+                "two-stage resilience check needs the topology");
+    const double rating2 = make_topology(*context.topology, context.tech)
+                               ->with_conversion(v_mid,
+                                                 context.spec.die_voltage)
+                               ->spec()
+                               .max_current.value;
+    const double allowed2 = rating2 * rspec.vr_overcurrent_factor;
+    report.worst_vr_utilization =
+        std::max(report.worst_vr_utilization, per_vr / allowed2);
+    note_margin((allowed2 - per_vr) / allowed2);
+    if (per_vr > allowed2) {
+      report.violations.push_back(SpecViolation{
+          SpecViolation::Kind::kVrOvercurrent,
+          static_cast<std::size_t>(-1), per_vr, allowed2,
+          detail::concat("surviving final-stage VRs carry ", per_vr,
+                         " A each, allowed ", allowed2, " A")});
+      require_fraction(allowed2 / per_vr);
+    }
+  }
+
+  // --- Vertical attach-field stress -----------------------------------
+  const double capacity =
+      site_attach_capacity(context, site_currents.size());
+  const double allowed_ic = capacity / rspec.interconnect_stress_margin;
+  for (std::size_t site = 0; site < site_currents.size(); ++site) {
+    const double amps = site_currents[site];
+    if (amps <= 0.0) continue;
+    report.worst_interconnect_utilization =
+        std::max(report.worst_interconnect_utilization, amps / allowed_ic);
+    note_margin((allowed_ic - amps) / allowed_ic);
+    if (amps > allowed_ic) {
+      report.violations.push_back(SpecViolation{
+          SpecViolation::Kind::kInterconnectOverstress, site, amps,
+          allowed_ic,
+          detail::concat("site ", site, " attach field carries ", amps,
+                         " A against a ", capacity, " A capacity at ",
+                         rspec.interconnect_stress_margin, "x margin")});
+      require_fraction(allowed_ic / amps);
+    }
+  }
+
+  report.survives = report.violations.empty();
+  report.load_shed_fraction =
+      report.survives ? 0.0 : 1.0 - std::max(0.0, min_load_fraction);
+  return report;
+}
+
+}  // namespace vpd

@@ -1,0 +1,107 @@
+// Post-fault spec checks and the degradation policy. Given a faulted
+// ArchitectureEvaluation (the evaluator has already redistributed load
+// across the surviving VRs through the mesh solve), this layer decides
+// whether the design still meets spec — droop on the distribution rail,
+// per-VR current against the (possibly derated) converter rating, and
+// per-site vertical-interconnect stress against the attach field's
+// electromigration capacity — and, when it does not, computes the
+// load-shedding fraction that restores every margin.
+//
+// The shedding policy is closed-form: with every surviving source held at
+// the same rail voltage, the resistive solve is linear in the total sink
+// current, so node droop and per-VR currents scale proportionally with
+// the shed load. The policy is exact for the single-stage architectures
+// and first-order for the two-stage ones (the stage-2 conversion loss
+// feeding the intermediate rail is mildly nonlinear in load).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vpd/arch/architecture.hpp"
+#include "vpd/arch/fault_injection.hpp"
+#include "vpd/arch/report.hpp"
+#include "vpd/converters/catalog.hpp"
+#include "vpd/core/spec.hpp"
+
+namespace vpd {
+
+/// Resilience acceptance thresholds.
+struct ResilienceSpec {
+  /// Maximum fractional droop on the distribution rail, (rail - v_min) /
+  /// rail. 5% is a conventional DC IR-drop budget.
+  double droop_tolerance{0.05};
+  /// Per-VR currents may use the published rating (scaled by any derate
+  /// fault) times this overload factor. The allocation derates the MEAN
+  /// per-VR current to ~0.70 of rating, but the mesh solve's current
+  /// spread puts hot sites (A2's die-center VRs) at ~1.06x the published
+  /// limit even fault-free; 1.2 is the conventional short-duration
+  /// overload allowance that accepts the nominal spread while fault-driven
+  /// redistribution still trips the check.
+  double vr_overcurrent_factor{1.2};
+  /// Required headroom of the per-site vertical attach field: a site's
+  /// current times this margin must stay within its via-field
+  /// electromigration capacity. The per-via limits are already calibrated
+  /// EM/thermal ceilings (Table I), so the default demands no extra
+  /// headroom — A2's center sites nominally run at ~0.85 of their TSV
+  /// share, and fault-driven concentration onto a site's fixed share is
+  /// what trips the check. Raise above 1 to demand explicit headroom.
+  double interconnect_stress_margin{1.0};
+
+  void validate() const;
+};
+
+/// Identifies the evaluated combination so the checker can reconstruct
+/// converter ratings and interconnect capacities.
+struct ResilienceContext {
+  PowerDeliverySpec spec;
+  ArchitectureKind architecture{};
+  std::optional<TopologyKind> topology;
+  DeviceTechnology tech{DeviceTechnology::kGalliumNitride};
+};
+
+struct SpecViolation {
+  enum class Kind { kDroop, kVrOvercurrent, kInterconnectOverstress };
+  Kind kind{};
+  /// Faulted site (mesh-stage placement order) for per-site violations;
+  /// npos-like SIZE_MAX for rail-level violations.
+  std::size_t site{static_cast<std::size_t>(-1)};
+  double value{0.0};  // observed droop fraction / current [A]
+  double limit{0.0};  // allowed droop fraction / current [A]
+  std::string detail;
+};
+
+const char* to_string(SpecViolation::Kind kind);
+
+struct ResilienceReport {
+  bool survives{true};
+  std::vector<SpecViolation> violations;
+
+  /// Observed fractional droop on the distribution rail.
+  double droop_fraction{0.0};
+  /// Worst per-VR current / allowed current over the surviving mesh-stage
+  /// VRs (and the stage-2 survivors for the two-stage architectures).
+  double worst_vr_utilization{0.0};
+  /// Worst per-site current * margin / via-field capacity.
+  double worst_interconnect_utilization{0.0};
+  /// Smallest relative headroom over all checks: min over checks of
+  /// (limit - value) / limit. Negative when a check fails; feeds the
+  /// campaign's margin histogram.
+  double margin{1.0};
+  /// Degradation policy: the fraction of the die load that must be shed
+  /// (power-capped) to restore every margin; 0 when the fault state
+  /// already meets spec.
+  double load_shed_fraction{0.0};
+};
+
+/// Checks one faulted evaluation against `rspec`. `eval` must come from
+/// an evaluation with a distribution mesh solve (A1/A2/A3 — not A0);
+/// `faults` is the injection it was evaluated under (empty for N-0).
+ResilienceReport check_resilience(const ArchitectureEvaluation& eval,
+                                  const FaultInjection& faults,
+                                  const ResilienceContext& context,
+                                  const ResilienceSpec& rspec);
+
+}  // namespace vpd

@@ -13,12 +13,37 @@
 
 namespace vpd {
 
+/// Scales the conductance of every mesh edge whose midpoint falls inside
+/// the axis-aligned rectangle [x0, x1] x [y0, y1]. Models localized
+/// distribution-metal degradation: a cracked or delaminated region of the
+/// power plane (scale < 1), a void (scale = 0, which may disconnect nodes
+/// and make the solve singular — callers treat that as a dead rail), or a
+/// repaired/thickened region (scale > 1).
+struct EdgeScaleRegion {
+  Length x0{};
+  Length y0{};
+  Length x1{};
+  Length y1{};
+  double scale{1.0};
+};
+
+/// A conductance perturbation of the package mesh: the composition of the
+/// listed regions, applied in order (overlapping regions multiply).
+/// Empty = the nominal, uniform sheet.
+using MeshPerturbation = std::vector<EdgeScaleRegion>;
+
 class GridMesh {
  public:
   /// A `width` x `height` sheet discretized into nx x ny nodes with sheet
   /// resistance `sheet_ohms_per_square` [Ohm/sq]. nx, ny >= 2.
   GridMesh(Length width, Length height, std::size_t nx, std::size_t ny,
            double sheet_ohms_per_square);
+
+  /// Same sheet with a conductance perturbation applied. An empty
+  /// perturbation is bit-identical to the unperturbed constructor.
+  GridMesh(Length width, Length height, std::size_t nx, std::size_t ny,
+           double sheet_ohms_per_square,
+           const MeshPerturbation& perturbation);
 
   std::size_t nx() const { return nx_; }
   std::size_t ny() const { return ny_; }
@@ -37,9 +62,18 @@ class GridMesh {
   /// Nearest node to a physical position.
   std::size_t nearest_node(Length x, Length y) const;
 
-  /// Conductance of one horizontal/vertical edge.
+  /// Conductance of one horizontal/vertical edge (nominal, before any
+  /// perturbation scaling).
   double edge_conductance_x() const;
   double edge_conductance_y() const;
+
+  /// True if a non-trivial conductance perturbation is in effect.
+  bool perturbed() const { return !scale_x_.empty(); }
+
+  /// Conductance of the edge from (ix, iy) to (ix+1, iy) / (ix, iy+1),
+  /// perturbation included.
+  double edge_conductance_x_at(std::size_t ix, std::size_t iy) const;
+  double edge_conductance_y_at(std::size_t ix, std::size_t iy) const;
 
   /// Grid Laplacian (no shunts): SPD after at least one shunt is added.
   TripletList laplacian() const;
@@ -55,6 +89,10 @@ class GridMesh {
   double sheet_;
   double gx_;  // per-edge conductance, x-direction
   double gy_;
+  // Per-edge scale factors; empty when the mesh is unperturbed (the
+  // common case keeps the nominal uniform-conductance fast path).
+  std::vector<double> scale_x_;  // (nx-1) * ny, row-major by iy
+  std::vector<double> scale_y_;  // nx * (ny-1), row-major by iy
 };
 
 }  // namespace vpd

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,12 +28,25 @@ struct AssembledMesh {
 };
 
 /// Builds the AssembledMesh for the given geometry (also the cache-miss
-/// path, so cached and uncached solves share one assembly routine).
+/// path, so cached and uncached solves share one assembly routine). The
+/// perturbation overload applies a conductance perturbation; an empty
+/// perturbation is bit-identical to the plain overload.
 std::shared_ptr<const AssembledMesh> assemble_mesh(Length width,
                                                    Length height,
                                                    std::size_t nx,
                                                    std::size_t ny,
                                                    double sheet_ohms);
+std::shared_ptr<const AssembledMesh> assemble_mesh(
+    Length width, Length height, std::size_t nx, std::size_t ny,
+    double sheet_ohms, const MeshPerturbation& perturbation);
+
+/// Order-sensitive 64-bit FNV-1a digest of a conductance perturbation,
+/// part of the MeshSolveCache key: two meshes with identical macro
+/// geometry but different perturbations must never alias to the same
+/// cache entry. Exactly 0 for the empty (nominal) perturbation and
+/// guaranteed non-zero otherwise, so a perturbed mesh can never collide
+/// with the nominal operator.
+std::uint64_t mesh_perturbation_digest(const MeshPerturbation& perturbation);
 
 class MeshSolveCache {
  public:
@@ -46,6 +60,12 @@ class MeshSolveCache {
                                            std::size_t nx, std::size_t ny,
                                            double sheet_ohms);
 
+  /// Same, keyed additionally by the perturbation digest. An empty
+  /// perturbation shares the nominal entry.
+  std::shared_ptr<const AssembledMesh> get(
+      Length width, Length height, std::size_t nx, std::size_t ny,
+      double sheet_ohms, const MeshPerturbation& perturbation);
+
   Stats stats() const;
   std::size_t size() const;
   void clear();
@@ -57,6 +77,7 @@ class MeshSolveCache {
     std::size_t nx;
     std::size_t ny;
     double sheet;
+    std::uint64_t perturbation_digest;
     bool operator<(const Key& o) const;
   };
 

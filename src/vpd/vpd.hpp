@@ -60,6 +60,7 @@
 // Architectures and core API
 #include "vpd/arch/architecture.hpp"
 #include "vpd/arch/evaluator.hpp"
+#include "vpd/arch/fault_injection.hpp"
 #include "vpd/arch/placement.hpp"
 #include "vpd/arch/report.hpp"
 #include "vpd/arch/transient_model.hpp"
@@ -69,6 +70,13 @@
 #include "vpd/core/spec.hpp"
 #include "vpd/core/trends.hpp"
 #include "vpd/core/variation.hpp"
+
+// Sweep engine and fault campaigns
+#include "vpd/fault/campaign.hpp"
+#include "vpd/fault/fault_model.hpp"
+#include "vpd/fault/resilience.hpp"
+#include "vpd/sweep/sweep.hpp"
+#include "vpd/sweep/thread_pool.hpp"
 
 // Thermal and workloads
 #include "vpd/thermal/thermal.hpp"

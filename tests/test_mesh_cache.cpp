@@ -68,6 +68,54 @@ TEST(MeshSolveCache, SolveThroughCacheIsBitIdenticalToDirectSolve) {
   EXPECT_EQ(via_cache.cg_iterations, via_mesh.cg_iterations);
 }
 
+// Regression for the latent aliasing defect: the cache key originally
+// carried only (width, height, nx, ny, sheet), so a conductance-perturbed
+// request would have returned the nominal operator. The key now includes
+// a digest of the perturbation; a perturbed mesh must never hit the
+// nominal entry.
+TEST(MeshSolveCache, PerturbedRequestNeverHitsNominalEntry) {
+  MeshSolveCache cache;
+  const MeshPerturbation damage{
+      EdgeScaleRegion{2.0_mm, 2.0_mm, 4.0_mm, 4.0_mm, 0.1}};
+  const auto nominal = cache.get(10.0_mm, 10.0_mm, 15, 15, 2e-3);
+  const auto perturbed = cache.get(10.0_mm, 10.0_mm, 15, 15, 2e-3, damage);
+  EXPECT_NE(nominal.get(), perturbed.get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_TRUE(perturbed->mesh.perturbed());
+  EXPECT_FALSE(nominal->mesh.perturbed());
+  // The perturbed operator really differs from the nominal one.
+  EXPECT_NE(nominal->laplacian.values(), perturbed->laplacian.values());
+  // Same perturbation hits its own entry; the nominal entry stays intact.
+  EXPECT_EQ(perturbed.get(),
+            cache.get(10.0_mm, 10.0_mm, 15, 15, 2e-3, damage).get());
+  EXPECT_EQ(nominal.get(), cache.get(10.0_mm, 10.0_mm, 15, 15, 2e-3).get());
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(MeshSolveCache, PerturbationDigestSeparatesNominalAndVariants) {
+  EXPECT_EQ(mesh_perturbation_digest(MeshPerturbation{}), 0u);
+  const MeshPerturbation a{
+      EdgeScaleRegion{2.0_mm, 2.0_mm, 4.0_mm, 4.0_mm, 0.1}};
+  MeshPerturbation b = a;
+  b.front().scale = 0.2;
+  EXPECT_NE(mesh_perturbation_digest(a), 0u);  // non-empty never keys as 0
+  EXPECT_EQ(mesh_perturbation_digest(a), mesh_perturbation_digest(a));
+  EXPECT_NE(mesh_perturbation_digest(a), mesh_perturbation_digest(b));
+}
+
+TEST(MeshSolveCache, PerturbedCachedAssemblyMatchesDirectAssembly) {
+  const MeshPerturbation damage{
+      EdgeScaleRegion{1.0_mm, 1.0_mm, 5.0_mm, 3.0_mm, 0.25}};
+  MeshSolveCache cache;
+  const auto cached = cache.get(10.0_mm, 10.0_mm, 21, 21, 2e-3, damage);
+  const auto direct = assemble_mesh(10.0_mm, 10.0_mm, 21, 21, 2e-3, damage);
+  ASSERT_EQ(cached->laplacian.nonzero_count(),
+            direct->laplacian.nonzero_count());
+  EXPECT_EQ(cached->laplacian.values(), direct->laplacian.values());
+  EXPECT_EQ(cached->laplacian.col_indices(), direct->laplacian.col_indices());
+}
+
 TEST(MeshSolveCache, ConcurrentGettersBuildEachKeyOnce) {
   MeshSolveCache cache;
   constexpr int kThreads = 8;

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "vpd/common/error.hpp"
 #include "vpd/package/irdrop.hpp"
 #include "vpd/package/mesh.hpp"
+#include "vpd/package/mesh_cache.hpp"
 
 namespace vpd {
 namespace {
@@ -215,6 +217,112 @@ TEST_P(CurrentConservationSweep, VrCurrentsSumToSinkTotal) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, CurrentConservationSweep,
                          ::testing::Values<std::size_t>(9, 15, 23, 31));
+
+TEST(Mesh, PerturbationScalesEdgeConductancesInsideRegion) {
+  // 11x11 nodes on a 10 mm square: 1 mm grid spacing, nodes at integer mm.
+  const GridMesh nominal(10.0_mm, 10.0_mm, 11, 11, 2e-3);
+  const MeshPerturbation damage{
+      EdgeScaleRegion{2.0_mm, 2.0_mm, 5.0_mm, 5.0_mm, 0.25}};
+  const GridMesh damaged(10.0_mm, 10.0_mm, 11, 11, 2e-3, damage);
+  EXPECT_FALSE(nominal.perturbed());
+  EXPECT_TRUE(damaged.perturbed());
+  // x-edge (2,3)-(3,3): midpoint (2.5, 3) mm inside the region -> scaled.
+  EXPECT_DOUBLE_EQ(damaged.edge_conductance_x_at(2, 3),
+                   0.25 * nominal.edge_conductance_x_at(2, 3));
+  // y-edge (3,2)-(3,3): midpoint (3, 2.5) mm inside -> scaled.
+  EXPECT_DOUBLE_EQ(damaged.edge_conductance_y_at(3, 2),
+                   0.25 * nominal.edge_conductance_y_at(3, 2));
+  // Edges outside the region keep the nominal conductance exactly.
+  EXPECT_EQ(damaged.edge_conductance_x_at(0, 0),
+            nominal.edge_conductance_x_at(0, 0));
+  EXPECT_EQ(damaged.edge_conductance_y_at(9, 9),
+            nominal.edge_conductance_y_at(9, 9));
+  // An empty perturbation assembles the nominal operator bit for bit.
+  const GridMesh empty_pert(10.0_mm, 10.0_mm, 11, 11, 2e-3,
+                            MeshPerturbation{});
+  EXPECT_FALSE(empty_pert.perturbed());
+  EXPECT_EQ(CsrMatrix(empty_pert.laplacian()).values(),
+            CsrMatrix(nominal.laplacian()).values());
+  // The damaged operator differs from the nominal one.
+  EXPECT_NE(CsrMatrix(damaged.laplacian()).values(),
+            CsrMatrix(nominal.laplacian()).values());
+}
+
+TEST(IrDrop, DamagedRegionDeepensDownstreamDroop) {
+  // Sources along the left edge, a low-conductance band across the middle:
+  // the far side of the damage must droop deeper than the nominal mesh.
+  const auto solve_with = [](const MeshPerturbation& perturbation) {
+    const GridMesh m(10.0_mm, 10.0_mm, 21, 21, 2e-3, perturbation);
+    std::vector<VrAttachment> vrs;
+    for (std::size_t iy = 0; iy < 21; iy += 2)
+      vrs.push_back({m.node(0, iy), 1.0_V, 1.0_mOhm});
+    return solve_irdrop(m, vrs, uniform_sinks(m, Current{200.0}));
+  };
+  const IrDropResult nominal = solve_with({});
+  const IrDropResult damaged = solve_with(
+      {EdgeScaleRegion{4.0_mm, 0.0_mm, 6.0_mm, 10.0_mm, 0.1}});
+  EXPECT_LT(damaged.min_node_voltage.value, nominal.min_node_voltage.value);
+  double sourced = 0.0;
+  for (double i : damaged.vr_currents) sourced += i;
+  EXPECT_NEAR(sourced, 200.0, 1e-6);  // conservation survives the damage
+}
+
+TEST(IrDrop, WarmStartCertifiesTrueResidualOnPerturbedOperator) {
+  // The CG convergence criterion certifies the normwise backward error
+  // ||b - A x||_2 <= rtol * (||A||_inf ||x||_2 + ||b||_2) against the
+  // *stamped* operator. A conductance perturbation changes A; both the
+  // warm-started and the cold solve must still certify the true residual
+  // of the perturbed system, reconstructed here independently.
+  const MeshPerturbation damage{
+      EdgeScaleRegion{8.0_mm, 8.0_mm, 14.0_mm, 14.0_mm, 0.1}};
+  const auto assembled =
+      assemble_mesh(22.36_mm, 22.36_mm, 21, 21, 2e-3, damage);
+  const GridMesh& m = assembled->mesh;
+  std::vector<VrAttachment> legs;
+  for (const auto& leg :
+       patch_attachment(m, 2.0_mm, 11.0_mm, 3.0_mm, 1.0_V, 1.0_mOhm))
+    legs.push_back(leg);
+  for (const auto& leg :
+       patch_attachment(m, 20.0_mm, 11.0_mm, 3.0_mm, 1.0_V, 1.0_mOhm))
+    legs.push_back(leg);
+  const Vector sinks = uniform_sinks(m, Current{100.0});
+  const double rtol = 1e-12;
+
+  // Reconstruct the stamped system exactly as the solver does.
+  CsrMatrix a = assembled->laplacian;
+  Vector b(m.node_count(), 0.0);
+  for (std::size_t i = 0; i < sinks.size(); ++i) b[i] -= sinks[i];
+  for (const VrAttachment& leg : legs) {
+    const double g = 1.0 / leg.series.value;
+    a.add_to_entry(leg.node, leg.node, g);
+    b[leg.node] += g * leg.source_voltage.value;
+  }
+  const double a_inf = a.infinity_norm();
+  const double b_norm = norm2(b);
+
+  IrDropOptions cold_opts;
+  cold_opts.relative_tolerance = rtol;
+  IrDropOptions warm_opts = cold_opts;
+  warm_opts.warm_start_voltage = 1.0;
+  const IrDropResult cold = solve_irdrop(*assembled, legs, sinks, cold_opts);
+  const IrDropResult warm = solve_irdrop(*assembled, legs, sinks, warm_opts);
+
+  for (const IrDropResult* r : {&cold, &warm}) {
+    Vector residual = a.multiply(r->node_voltages);
+    for (std::size_t i = 0; i < residual.size(); ++i)
+      residual[i] = b[i] - residual[i];
+    EXPECT_LE(norm2(residual),
+              rtol * (a_inf * norm2(r->node_voltages) + b_norm));
+  }
+  // Both starts land on the same certified solution, and the rail-voltage
+  // warm start still pays off on the perturbed operator.
+  double max_dev = 0.0;
+  for (std::size_t i = 0; i < cold.node_voltages.size(); ++i)
+    max_dev = std::max(
+        max_dev, std::fabs(cold.node_voltages[i] - warm.node_voltages[i]));
+  EXPECT_LT(max_dev, 1e-9);
+  EXPECT_LE(warm.cg_iterations, cold.cg_iterations);
+}
 
 }  // namespace
 }  // namespace vpd

@@ -24,7 +24,7 @@ TEST(VrCountOptimizer, FindsInteriorOptimumForA2Dsch) {
   EXPECT_LT(choice.loss_fraction, 0.14);
   EXPECT_EQ(choice.curve.size(), 17u);
   // The winner is at least as good as every feasible candidate.
-  for (const SweepPoint& p : choice.curve) {
+  for (const ParameterSweepPoint& p : choice.curve) {
     if (p.feasible) {
       EXPECT_LE(choice.loss_fraction, p.loss_fraction + 1e-12);
     }
@@ -37,7 +37,7 @@ TEST(VrCountOptimizer, FewVrsAreWorseOrInfeasible) {
   const VrCountChoice choice = optimize_vr_count(
       paper_system(), ArchitectureKind::kA2_InterposerBelowDie,
       TopologyKind::kDsch, 30, 50, paper_mode());
-  const SweepPoint& smallest = choice.curve.front();
+  const ParameterSweepPoint& smallest = choice.curve.front();
   EXPECT_FALSE(smallest.feasible);  // 30 VRs -> 33 A per VR
   EXPECT_GT(choice.count, 30u);
 }

@@ -6,17 +6,16 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/converters/buck.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
   using namespace vpd::literals;
 
-  std::printf("=== Ablation: switching frequency of a 12V-to-1V IVR buck "
-              "===\n\n");
-  std::printf("4-phase GaN buck, 40 A rated, embedded package inductors, "
-              "deep-trench caps.\n\n");
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   TextTable t({"f_sw", "L/phase", "L footprint", "k0 (fixed loss)",
                "Loss @ 40 A", "Peak eff", "VR area"});
@@ -41,6 +40,18 @@ int main() {
                    buck.loss_model().peak_efficiency(in.v_out)),
                format_double(as_mm2(buck.spec().area), 1) + " mm^2"});
   }
+
+  if (json) {
+    benchio::JsonReport report("bench_ablation_fsw");
+    report.add_table("sweep", t);
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Ablation: switching frequency of a 12V-to-1V IVR buck "
+              "===\n\n");
+  std::printf("4-phase GaN buck, 40 A rated, embedded package inductors, "
+              "deep-trench caps.\n\n");
   std::cout << t << '\n';
 
   std::printf(

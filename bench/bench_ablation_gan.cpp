@@ -6,26 +6,22 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/converters/catalog.hpp"
 #include "vpd/devices/technology.hpp"
 #include "vpd/sweep/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
   using namespace vpd::literals;
 
-  std::printf("=== Ablation: Si vs GaN power transistors ===\n\n");
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   const TechnologyParams si = silicon_technology();
   const TechnologyParams gan = gan_technology();
-  std::printf("Device figure of merit (Ron x Qg, lower is better):\n");
-  std::printf("  Si : %.1f mOhm*nC\n", si.figure_of_merit() * 1e12);
-  std::printf("  GaN: %.1f mOhm*nC  (%.0fx better)\n\n",
-              gan.figure_of_merit() * 1e12,
-              si.figure_of_merit() / gan.figure_of_merit());
 
-  std::printf("Converter peak efficiency at 1 V output:\n");
   TextTable conv({"Topology", "Si peak eff", "GaN peak eff", "at current"});
   for (TopologyKind kind : all_topologies()) {
     const auto with_si = make_topology(kind, DeviceTechnology::kSilicon);
@@ -38,7 +34,6 @@ int main() {
          format_double(with_gan->loss_model().peak_current().value, 0) +
              " A"});
   }
-  std::cout << conv << '\n';
 
   const PowerDeliverySpec spec = paper_system();
   EvaluationOptions options;
@@ -60,7 +55,6 @@ int main() {
   const SweepRunner runner(spec);
   const SweepReport report = runner.run(points);
 
-  std::printf("Architecture-level loss (DSCH final stage):\n");
   TextTable table({"Architecture", "Si devices", "GaN devices", "GaN gain"});
   for (std::size_t a = 0; a < archs.size(); ++a) {
     const SweepOutcome& with_si = report.outcomes[a];
@@ -76,6 +70,35 @@ int main() {
                    format_percent(gan_loss),
                    format_double(100.0 * (si_loss - gan_loss), 1) + " pts"});
   }
+
+  if (json) {
+    benchio::JsonReport out("bench_ablation_gan");
+    io::Value fom = io::Value::object();
+    fom.set("si_mohm_nc", si.figure_of_merit() * 1e12);
+    fom.set("gan_mohm_nc", gan.figure_of_merit() * 1e12);
+    fom.set("advantage", si.figure_of_merit() / gan.figure_of_merit());
+    out.add("figure_of_merit", std::move(fom));
+    out.add_table("converter_peak_efficiency", conv);
+    out.add_table("architecture_loss", table);
+    io::Value sweep = io::Value::object();
+    sweep.set("points", report.outcomes.size());
+    sweep.set("threads", report.threads_used);
+    sweep.set("wall_seconds", report.wall_seconds);
+    out.add("sweep", std::move(sweep));
+    out.set_mesh_cache(report.cache_stats);
+    out.print();
+    return 0;
+  }
+
+  std::printf("=== Ablation: Si vs GaN power transistors ===\n\n");
+  std::printf("Device figure of merit (Ron x Qg, lower is better):\n");
+  std::printf("  Si : %.1f mOhm*nC\n", si.figure_of_merit() * 1e12);
+  std::printf("  GaN: %.1f mOhm*nC  (%.0fx better)\n\n",
+              gan.figure_of_merit() * 1e12,
+              si.figure_of_merit() / gan.figure_of_merit());
+  std::printf("Converter peak efficiency at 1 V output:\n");
+  std::cout << conv << '\n';
+  std::printf("Architecture-level loss (DSCH final stage):\n");
   std::cout << table << '\n';
 
   std::printf(

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/arch/placement.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/converters/catalog.hpp"
@@ -14,9 +15,12 @@
 #include "vpd/package/layers.hpp"
 #include "vpd/package/stacked_mesh.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
   using namespace vpd::literals;
+
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   const PowerDeliverySpec spec = paper_system();
   const std::size_t n = 41;
@@ -26,8 +30,6 @@ int main() {
   const auto conv = make_topology(TopologyKind::kDsch);
   const PlacementResult placement =
       periphery_placement(spec.die_side(), conv->spec().area, 48);
-
-  std::printf("=== Ablation: PDN mesh fidelity (A1, 48 DSCH VRs) ===\n\n");
 
   // --- Single effective sheet (the Fig. 7 model) -----------------------------
   const GridMesh flat(spec.die_side(), spec.die_side(), n, n, 2.0e-3);
@@ -81,6 +83,20 @@ int main() {
            " W",
        format_double(stacked_result.losses.via_field.value, 2) + " W",
        format_double(stacked_result.min_die_voltage.value, 3) + " V"});
+
+  if (json) {
+    benchio::JsonReport report("bench_ablation_meshmodel");
+    report.add_table("models", t);
+    io::Value split = io::Value::object();
+    split.set("interposer_w", stacked_result.losses.interposer_lateral.value);
+    split.set("die_grid_w", stacked_result.losses.die_lateral.value);
+    split.set("via_field_w", stacked_result.losses.via_field.value);
+    report.add("two_layer_loss_split", std::move(split));
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Ablation: PDN mesh fidelity (A1, 48 DSCH VRs) ===\n\n");
   std::cout << t << '\n';
 
   std::printf("Layer split of the two-layer lateral loss: interposer "

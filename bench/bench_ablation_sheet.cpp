@@ -9,11 +9,15 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/sweep/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
+
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   const PowerDeliverySpec spec = paper_system();
   const double sheets[] = {0.5e-3, 1e-3, 2e-3, 4e-3, 8e-3};
@@ -39,11 +43,6 @@ int main() {
   const SweepRunner runner(spec);
   const SweepReport report = runner.run(points);
 
-  std::printf("=== Ablation: distribution sheet resistance sensitivity "
-              "===\n\n");
-  std::printf("Loss fraction per architecture (DSCH, GaN) as the 1 V rail "
-              "metal quality varies:\n\n");
-
   TextTable t({"Sheet (mOhm/sq)", "A1", "A2", "A3@12V", "A3@6V",
                "ordering holds"});
   const std::size_t per_variant = std::size(archs);
@@ -67,6 +66,24 @@ int main() {
     t.add_row({format_double(sheets[v] * 1e3, 1), cell(0), cell(1),
                cell(2), cell(3), ordering ? "yes" : "no"});
   }
+
+  if (json) {
+    benchio::JsonReport out("bench_ablation_sheet");
+    out.add_table("sensitivity", t);
+    io::Value sweep = io::Value::object();
+    sweep.set("points", report.outcomes.size());
+    sweep.set("threads", report.threads_used);
+    sweep.set("wall_seconds", report.wall_seconds);
+    out.add("sweep", std::move(sweep));
+    out.set_mesh_cache(report.cache_stats);
+    out.print();
+    return 0;
+  }
+
+  std::printf("=== Ablation: distribution sheet resistance sensitivity "
+              "===\n\n");
+  std::printf("Loss fraction per architecture (DSCH, GaN) as the 1 V rail "
+              "metal quality varies:\n\n");
   std::cout << t << '\n';
   std::printf("(* = over the converter rating at that corner; flagged "
               "extrapolation, excluded from Fig. 7.)\n\n");

@@ -5,11 +5,15 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/sweep/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
+
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   const PowerDeliverySpec spec = paper_system();
   EvaluationOptions options;
@@ -25,8 +29,6 @@ int main() {
           .build();
   const SweepRunner runner(spec);
   const SweepReport report = runner.run(points);
-
-  std::printf("=== Ablation: conversion staging (DSCH final stage) ===\n\n");
 
   TextTable t({"Scheme", "Intermediate", "I_mid", "Horizontal",
                "VR stage 1", "VR stage 2", "Total loss"});
@@ -56,6 +58,21 @@ int main() {
                format_double(ev.conversion_stage2.value, 1) + " W",
                format_percent(ev.loss_fraction(spec.total_power))});
   }
+
+  if (json) {
+    benchio::JsonReport out("bench_ablation_stages");
+    out.add_table("staging", t);
+    io::Value sweep = io::Value::object();
+    sweep.set("points", report.outcomes.size());
+    sweep.set("threads", report.threads_used);
+    sweep.set("wall_seconds", report.wall_seconds);
+    out.add("sweep", std::move(sweep));
+    out.set_mesh_cache(report.cache_stats);
+    out.print();
+    return 0;
+  }
+
+  std::printf("=== Ablation: conversion staging (DSCH final stage) ===\n\n");
   std::cout << t << '\n';
 
   std::printf(

@@ -6,21 +6,23 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/arch/evaluator.hpp"
 #include "vpd/arch/transient_model.hpp"
 #include "vpd/common/table.hpp"
+#include "vpd/package/mesh_cache.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
 
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
+
   const PowerDeliverySpec spec = paper_system();
+  MeshSolveCache cache;
   EvaluationOptions options;
   options.below_die_area_fraction = 1.6;
-
-  std::printf("=== Extension: load-step droop per architecture ===\n\n");
-  std::printf("Step: 200 A -> 500 A in 100 ns on the 1 V rail (reduced "
-              "models from the\nFig. 7 evaluations; default decap "
-              "banks).\n\n");
+  options.mesh_cache = &cache;
 
   TextTable t({"Architecture", "R_eff", "L_loop", "Decap", "Worst VPOL",
                "Droop", "Recovery"});
@@ -40,6 +42,19 @@ int main() {
                format_double(1e3 * droop.droop.value, 1) + " mV",
                format_si(droop.recovery_time.value) + "s"});
   }
+
+  if (json) {
+    benchio::JsonReport report("bench_droop");
+    report.add_table("droop", t);
+    report.set_mesh_cache(cache.stats());
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Extension: load-step droop per architecture ===\n\n");
+  std::printf("Step: 200 A -> 500 A in 100 ns on the 1 V rail (reduced "
+              "models from the\nFig. 7 evaluations; default decap "
+              "banks).\n\n");
   std::cout << t << '\n';
 
   std::printf("Reading: vertical delivery improves the transient story by "

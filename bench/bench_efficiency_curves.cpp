@@ -7,14 +7,19 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/converters/catalog.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
   using namespace vpd::literals;
 
-  std::printf("=== Converter efficiency curves (48V-to-1V) ===\n\n");
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
+  benchio::JsonReport report("bench_efficiency_curves");
+
+  if (!json) std::printf("=== Converter efficiency curves (48V-to-1V) ===\n\n");
 
   const double currents[] = {1.0, 3.0, 5.0, 10.0, 20.0, 30.0,
                              50.0, 70.0, 100.0};
@@ -25,10 +30,12 @@ int main() {
         std::make_shared<HybridSwitchedConverter>(data);
     const auto gan = make_topology(kind, DeviceTechnology::kGalliumNitride);
 
-    std::printf("%s (published: %s, peak %.1f%% @ %.0f A, max %.0f A):\n",
-                data.name.c_str(), to_string(data.reference_tech),
-                100.0 * data.peak_efficiency, data.current_at_peak.value,
-                data.max_current.value);
+    if (!json) {
+      std::printf("%s (published: %s, peak %.1f%% @ %.0f A, max %.0f A):\n",
+                  data.name.c_str(), to_string(data.reference_tech),
+                  100.0 * data.peak_efficiency, data.current_at_peak.value,
+                  data.max_current.value);
+    }
     TextTable t({"Load", "as published", "all-GaN variant"});
     for (double i : currents) {
       const Current load{i};
@@ -39,7 +46,16 @@ int main() {
       t.add_row({format_double(i, 0) + " A", cell(*published),
                  cell(*gan)});
     }
-    std::cout << t << '\n';
+    if (json) {
+      report.add_table(data.name, t);
+    } else {
+      std::cout << t << '\n';
+    }
+  }
+
+  if (json) {
+    report.print();
+    return 0;
   }
 
   std::printf(

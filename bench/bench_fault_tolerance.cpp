@@ -11,11 +11,11 @@
 // `--json` switches the output to a machine-readable JSON document with
 // the same numbers plus the per-architecture margin histograms.
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/fault/campaign.hpp"
 
@@ -23,18 +23,13 @@ int main(int argc, char** argv) {
   using namespace vpd;
 
   bool json = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else {
-      std::fprintf(stderr, "usage: %s [--json]\n", argv[0]);
-      return 2;
-    }
-  }
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   const PowerDeliverySpec spec = paper_system();
+  MeshSolveCache cache;
   EvaluationOptions options;
   options.below_die_area_fraction = 1.6;  // paper mode (A2's 48 VRs)
+  options.mesh_cache = &cache;
 
   FaultCampaignConfig config;
   config.nk_samples = 32;
@@ -58,42 +53,45 @@ int main(int argc, char** argv) {
   constexpr std::size_t kHistogramBins = 8;
 
   if (json) {
-    std::printf("{\n  \"spec\": {\"droop_tolerance\": %g, "
-                "\"vr_overcurrent_factor\": %g, "
-                "\"interconnect_stress_margin\": %g},\n",
-                config.resilience.droop_tolerance,
-                config.resilience.vr_overcurrent_factor,
-                config.resilience.interconnect_stress_margin);
-    std::printf("  \"nk_samples\": %zu,\n  \"nk_order\": %zu,\n",
-                config.nk_samples, config.nk_order);
-    std::printf("  \"campaigns\": [\n");
-    for (std::size_t i = 0; i < reports.size(); ++i) {
-      const FaultCampaignReport& r = reports[i];
+    benchio::JsonReport out("bench_fault_tolerance");
+    io::Value resilience = io::Value::object();
+    resilience.set("droop_tolerance", config.resilience.droop_tolerance);
+    resilience.set("vr_overcurrent_factor",
+                   config.resilience.vr_overcurrent_factor);
+    resilience.set("interconnect_stress_margin",
+                   config.resilience.interconnect_stress_margin);
+    out.add("spec", std::move(resilience));
+    out.add("nk_samples", config.nk_samples);
+    out.add("nk_order", config.nk_order);
+    io::Value campaigns = io::Value::array();
+    for (const FaultCampaignReport& r : reports) {
       const MarginHistogram h = r.margin_histogram(kHistogramBins);
-      std::printf("    {\"architecture\": \"%s\", \"topology\": \"DSCH\",\n",
-                  to_string(r.architecture));
-      std::printf("     \"vr_count_stage1\": %u, \"vr_count_stage2\": %u,\n",
-                  r.nominal.vr_count_stage1, r.nominal.vr_count_stage2);
-      std::printf("     \"scenarios\": %zu, \"survivors\": %zu, "
-                  "\"survivability\": %.6f,\n",
-                  r.scenario_count(), r.survivor_count(), r.survivability());
-      std::printf("     \"nominal_droop_fraction\": %.6g, "
-                  "\"worst_droop_fraction\": %.6g,\n",
-                  r.outcomes.front().resilience.droop_fraction,
-                  r.worst_droop_fraction());
-      std::printf("     \"worst_load_shed_fraction\": %.6g,\n",
-                  r.worst_load_shed_fraction());
-      std::printf("     \"margin_histogram\": {\"lo\": %.6g, \"hi\": %.6g, "
-                  "\"unevaluated\": %zu, \"counts\": [",
-                  h.lo, h.hi, h.unevaluated);
-      for (std::size_t b = 0; b < h.counts.size(); ++b) {
-        std::printf("%s%zu", b ? ", " : "", h.counts[b]);
-      }
-      std::printf("]},\n");
-      std::printf("     \"wall_seconds\": %.4f}%s\n", r.wall_seconds,
-                  i + 1 < reports.size() ? "," : "");
+      io::Value c = io::Value::object();
+      c.set("architecture", to_string(r.architecture));
+      c.set("topology", "DSCH");
+      c.set("vr_count_stage1", r.nominal.vr_count_stage1);
+      c.set("vr_count_stage2", r.nominal.vr_count_stage2);
+      c.set("scenarios", r.scenario_count());
+      c.set("survivors", r.survivor_count());
+      c.set("survivability", r.survivability());
+      c.set("nominal_droop_fraction",
+            r.outcomes.front().resilience.droop_fraction);
+      c.set("worst_droop_fraction", r.worst_droop_fraction());
+      c.set("worst_load_shed_fraction", r.worst_load_shed_fraction());
+      io::Value hist = io::Value::object();
+      hist.set("lo", h.lo);
+      hist.set("hi", h.hi);
+      hist.set("unevaluated", h.unevaluated);
+      io::Value counts = io::Value::array();
+      for (std::size_t count : h.counts) counts.push_back(count);
+      hist.set("counts", std::move(counts));
+      c.set("margin_histogram", std::move(hist));
+      c.set("wall_seconds", r.wall_seconds);
+      campaigns.push_back(std::move(c));
     }
-    std::printf("  ]\n}\n");
+    out.add("campaigns", std::move(campaigns));
+    out.set_mesh_cache(cache.stats());
+    out.print();
     return 0;
   }
 

@@ -7,17 +7,17 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/core/trends.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
 
-  std::printf("=== Figure 1: HPC power and current-density demand ===\n\n");
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
-  auto print_dataset = [](const char* title,
-                          const std::vector<HpcSystemPoint>& points) {
-    std::printf("%s\n", title);
+  auto make_table = [](const std::vector<HpcSystemPoint>& points) {
     TextTable t({"System", "Year", "Power", "Silicon", "J (A/mm^2)",
                  "PDS eff"});
     for (const HpcSystemPoint& p : points) {
@@ -27,11 +27,11 @@ int main() {
                  format_double(as_A_per_mm2(p.current_density()), 2),
                  format_percent(p.pds_efficiency, 0)});
     }
-    std::cout << t << '\n';
+    return t;
   };
 
-  print_dataset("Individual chips (Fig. 1, left):", hpc_chip_dataset());
-  print_dataset("Server systems (Fig. 1, right):", hpc_server_dataset());
+  const TextTable chip_table = make_table(hpc_chip_dataset());
+  const TextTable server_table = make_table(hpc_server_dataset());
 
   const auto chips = hpc_chip_dataset();
   const auto servers = hpc_server_dataset();
@@ -45,6 +45,24 @@ int main() {
   }
   for (const auto& s : servers)
     max_server_w = std::max(max_server_w, s.power.value);
+
+  if (json) {
+    benchio::JsonReport report("bench_fig1_trends");
+    report.add_table("chips", chip_table);
+    report.add_table("servers", server_table);
+    report.add("max_chip_power_w", io::Value(max_chip_w));
+    report.add("max_current_density_a_per_mm2", io::Value(max_density));
+    report.add("max_server_power_w", io::Value(max_server_w));
+    report.add("worst_chip_pds_efficiency", io::Value(min_eff));
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Figure 1: HPC power and current-density demand ===\n\n");
+  std::printf("Individual chips (Fig. 1, left):\n");
+  std::cout << chip_table << '\n';
+  std::printf("Server systems (Fig. 1, right):\n");
+  std::cout << server_table << '\n';
 
   std::printf("Headline readings (paper claims in brackets):\n");
   std::printf("  max chip power      : %4.0f W    [approaching 1000 W]\n",

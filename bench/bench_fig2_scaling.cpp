@@ -6,14 +6,16 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/core/trends.hpp"
 #include "vpd/package/interconnect.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
 
-  std::printf("=== Figure 2: current demand vs packaging feature ===\n\n");
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   const auto current = current_demand_trend();
   const auto feature = packaging_feature_trend();
@@ -30,6 +32,28 @@ int main() {
                format_double(feature[i].value, 0),
                format_double(r_norm, 2)});
   }
+
+  if (json) {
+    benchio::JsonReport report("bench_fig2_scaling");
+    report.add_table("trend", t);
+    report.add("current_demand_growth", io::Value(trend_growth(current)));
+    report.add("feature_shrink", io::Value(1.0 / trend_growth(feature)));
+    const double i_growth = trend_growth(current);
+    report.add("i2r_growth_at_fixed_r", io::Value(i_growth * i_growth));
+    io::Value vias = io::Value::array();
+    for (const auto& spec : table_one()) {
+      io::Value v = io::Value::object();
+      v.set("type", spec.type);
+      v.set("per_via_mohm", as_mOhm(spec.per_via()));
+      v.set("available", spec.available_count());
+      vias.push_back(std::move(v));
+    }
+    report.add("per_via_resistance", std::move(vias));
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Figure 2: current demand vs packaging feature ===\n\n");
   std::cout << t << '\n';
 
   std::printf("Growth over the covered period:\n");

@@ -6,23 +6,22 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/core/spec.hpp"
 #include "vpd/package/interconnect.hpp"
 #include "vpd/package/layers.hpp"
 #include "vpd/package/stackup.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
+
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   const PowerDeliverySpec spec = paper_system();
   const Current i_die = spec.die_current();       // 1 kA at 1 V
   const Current i48 = spec.input_current(Power{1150.0});  // ~24 A at 48 V
-
-  std::printf("=== Figure 3: savings from conversion closer to the die ===\n");
-  std::printf("1 kW system; segments upstream of the converter carry %.0f A"
-              " at 48 V,\nsegments downstream carry %.0f A at 1 V.\n\n",
-              i48.value, i_die.value);
 
   struct Location {
     const char* name;
@@ -73,6 +72,20 @@ int main() {
                format_double(1e3 * drop48, 2) + " mV",
                format_double(1e3 * drop1, 1) + " mV"});
   }
+
+  if (json) {
+    benchio::JsonReport report("bench_fig3_savings");
+    report.add("input_current_a", io::Value(i48.value));
+    report.add("die_current_a", io::Value(i_die.value));
+    report.add_table("placements", t);
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Figure 3: savings from conversion closer to the die ===\n");
+  std::printf("1 kW system; segments upstream of the converter carry %.0f A"
+              " at 48 V,\nsegments downstream carry %.0f A at 1 V.\n\n",
+              i48.value, i_die.value);
   std::cout << t << '\n';
 
   std::printf("Reading: every lateral segment moved to the 48 V side of "

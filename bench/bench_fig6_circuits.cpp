@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/circuit/transient.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/converters/netlist_builder.hpp"
@@ -25,15 +26,14 @@ vpd::TransientResult run(const vpd::SimulatableConverter& sim,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
   using namespace vpd::literals;
 
-  std::printf("=== Figure 6: SMPS buck and SC charge pump operation ===\n\n");
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   // --- (a) Buck across duty cycles --------------------------------------------
-  std::printf("(a) Synchronous buck, Vin = 12 V, f = 1 MHz, L = 4.7 uH, "
-              "load 0.5 Ohm:\n");
   TextTable buck_table({"Duty", "Vout target", "Vout sim", "IL ripple pp",
                         "Vout ripple pp"});
   for (double duty : {1.0 / 12.0, 0.25, 0.5, 0.75}) {
@@ -63,14 +63,8 @@ int main() {
                        1) +
              " mV"});
   }
-  std::cout << buck_table << '\n';
-  std::printf("The 48V-to-1V case would need ~2%% duty — the ultra-low "
-              "on-time limitation\nthe paper cites for direct high-ratio "
-              "buck conversion.\n\n");
 
   // --- (b) SC charge pump across ratios ----------------------------------------
-  std::printf("(b) Series-parallel SC charge pump, f = 1 MHz, Cfly = 10 uF"
-              ", Rsw = 10 mOhm:\n");
   TextTable sc_table({"Ratio", "Vin", "Ideal Vout", "Sim Vout",
                       "R_out sim", "R_out model"});
   for (unsigned ratio : {2u, 3u, 4u}) {
@@ -110,6 +104,24 @@ int main() {
                           1e3 * analytic.output_resistance().value, 1) +
                           " mOhm"});
   }
+
+  if (json) {
+    benchio::JsonReport report("bench_fig6_circuits");
+    report.add_table("buck", buck_table);
+    report.add_table("sc_charge_pump", sc_table);
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Figure 6: SMPS buck and SC charge pump operation ===\n\n");
+  std::printf("(a) Synchronous buck, Vin = 12 V, f = 1 MHz, L = 4.7 uH, "
+              "load 0.5 Ohm:\n");
+  std::cout << buck_table << '\n';
+  std::printf("The 48V-to-1V case would need ~2%% duty — the ultra-low "
+              "on-time limitation\nthe paper cites for direct high-ratio "
+              "buck conversion.\n\n");
+  std::printf("(b) Series-parallel SC charge pump, f = 1 MHz, Cfly = 10 uF"
+              ", Rsw = 10 mOhm:\n");
   std::cout << sc_table << '\n';
   std::printf("The simulated droop tracks the Seeman-Sanders R_out model "
               "across ratios,\nvalidating the analytic SC converter "

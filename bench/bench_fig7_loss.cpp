@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/core/explorer.hpp"
 #include "vpd/sweep/sweep.hpp"
@@ -47,8 +48,11 @@ bool entries_identical(const vpd::ExplorationEntry& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
+
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   const PowerDeliverySpec spec = paper_system();
   EvaluationOptions options;
@@ -87,8 +91,6 @@ int main() {
     }
   }
 
-  std::printf("=== Figure 7: PCB-to-POL loss breakdown (%% of 1 kW) ===\n\n");
-
   TextTable t({"Architecture", "Converter", "Vertical", "Horizontal",
                "VR stage 1", "VR stage 2", "Total", "Efficiency"});
   for (const ExplorationEntry& entry : result.entries) {
@@ -109,6 +111,40 @@ int main() {
                format_percent(ev.loss_fraction(spec.total_power)),
                format_percent(ev.efficiency(spec.total_power))});
   }
+
+  if (json) {
+    benchio::JsonReport out("bench_fig7_loss");
+    out.add_table("loss_breakdown", t);
+    io::Value sweep_info = io::Value::object();
+    sweep_info.set("points", points.size());
+    sweep_info.set("threads", sweep.threads_used);
+    sweep_info.set("serial_seconds", serial_seconds);
+    sweep_info.set("wall_seconds", sweep.wall_seconds);
+    sweep_info.set("speedup", serial_seconds / sweep.wall_seconds);
+    sweep_info.set("cg_iterations", sweep.total_cg_iterations());
+    out.add("sweep", std::move(sweep_info));
+    io::Value extrapolated = io::Value::array();
+    for (ArchitectureKind arch : {ArchitectureKind::kA1_InterposerPeriphery,
+                                  ArchitectureKind::kA2_InterposerBelowDie}) {
+      const auto& entry = result.find(arch, TopologyKind::kDickson);
+      if (!entry.extrapolated) continue;
+      io::Value e = io::Value::object();
+      e.set("architecture", to_string(arch));
+      e.set("loss_fraction",
+            entry.extrapolated->loss_fraction(spec.total_power));
+      e.set("per_vr_current_a",
+            entry.extrapolated->vr_current_spread
+                ? entry.extrapolated->vr_current_spread->mean
+                : 0.0);
+      extrapolated.push_back(std::move(e));
+    }
+    out.add("dickson_extrapolated", std::move(extrapolated));
+    out.set_mesh_cache(sweep.cache_stats);
+    out.print();
+    return 0;
+  }
+
+  std::printf("=== Figure 7: PCB-to-POL loss breakdown (%% of 1 kW) ===\n\n");
   std::cout << t << '\n';
 
   std::printf(

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/circuit/ac_solver.hpp"
 #include "vpd/common/interpolation.hpp"
 #include "vpd/common/table.hpp"
@@ -25,9 +26,13 @@ struct LoopModel {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
   using namespace vpd::literals;
+
+  bool json = false;
+  if (!vpd::benchio::parse_json_flag(argc, argv, &json)) return 2;
+  vpd::benchio::JsonReport report("bench_pdn_impedance");
 
   const double r_pcb_loop = pcb_lateral_segment().resistance().value +
                             package_lateral_segment().resistance().value +
@@ -42,9 +47,13 @@ int main() {
 
   // Target: 50 mV allowed excursion on a 300 A step.
   const Resistance z_target = target_impedance(50.0_mV, Current{300.0});
-  std::printf("=== Extension: POL-rail impedance vs target ===\n\n");
-  std::printf("Target impedance: %.3f mOhm (50 mV / 300 A)\n\n",
-              as_mOhm(z_target));
+  if (json) {
+    report.add("target_impedance_mohm", io::Value(as_mOhm(z_target)));
+  } else {
+    std::printf("=== Extension: POL-rail impedance vs target ===\n\n");
+    std::printf("Target impedance: %.3f mOhm (50 mV / 300 A)\n\n",
+                as_mOhm(z_target));
+  }
 
   for (const LoopModel& m : loops) {
     Netlist nl;
@@ -66,7 +75,6 @@ int main() {
     const auto sweep = impedance_sweep(nl, port, freqs);
     const ImpedancePoint peak = peak_impedance(sweep);
 
-    std::printf("%s:\n", m.name);
     TextTable t({"f", "|Z| (mOhm)", "phase", "vs target"});
     for (std::size_t i = 0; i < sweep.size(); i += 10) {
       const ImpedancePoint& p = sweep[i];
@@ -75,12 +83,27 @@ int main() {
                  format_double(p.phase_degrees(), 0) + " deg",
                  p.magnitude() <= z_target.value ? "ok" : "EXCEEDS"});
     }
+    if (json) {
+      io::Value loop = io::Value::object();
+      loop.set("peak_mohm", 1e3 * peak.magnitude());
+      loop.set("peak_frequency_hz", peak.frequency);
+      loop.set("meets_target", peak.magnitude() <= z_target.value);
+      report.add(std::string(m.name) + " peak", std::move(loop));
+      report.add_table(m.name, t);
+      continue;
+    }
+    std::printf("%s:\n", m.name);
     std::cout << t;
     std::printf("  anti-resonance peak: %.3f mOhm at %s Hz -> %s\n\n",
                 1e3 * peak.magnitude(), format_si(peak.frequency).c_str(),
                 peak.magnitude() <= z_target.value
                     ? "meets target"
                     : "EXCEEDS target");
+  }
+
+  if (json) {
+    report.print();
+    return 0;
   }
 
   std::printf("Reading: the A0 loop's inductance pushes its anti-resonance "

@@ -6,21 +6,19 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/converters/buck.hpp"
 #include "vpd/converters/catalog.hpp"
 #include "vpd/converters/fcml.hpp"
 #include "vpd/converters/series_cap_buck.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
   using namespace vpd::literals;
 
-  std::printf("=== Section III: topology survey for 48V-class conversion "
-              "===\n\n");
-  std::printf("All physically-designed entries: GaN devices, embedded "
-              "package inductors,\n20 A rating, 1 MHz, matched 1%% "
-              "conduction budget.\n\n");
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   TextTable t({"Topology", "Scheme", "Duty/on-time", "Switch stress",
                "Switches", "Peak eff", "at current", "Eff @ 20 A"});
@@ -90,6 +88,19 @@ int main() {
     add_converter(*c, duty, kind == TopologyKind::kDickson ? "4.8-24 V"
                                                            : "divided");
   }
+
+  if (json) {
+    benchio::JsonReport report("bench_section3_topologies");
+    report.add_table("survey", t);
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Section III: topology survey for 48V-class conversion "
+              "===\n\n");
+  std::printf("All physically-designed entries: GaN devices, embedded "
+              "package inductors,\n20 A rating, 1 MHz, matched 1%% "
+              "conduction budget.\n\n");
   std::cout << t << '\n';
 
   std::printf(

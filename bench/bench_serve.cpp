@@ -1,0 +1,209 @@
+// Evaluation-service throughput on a realistic mixed workload: a
+// duplicate-heavy request stream (repeated design points, near-duplicate
+// option variants that share mesh geometry, and fault scenarios) served
+// two ways:
+//
+//  * baseline — one evaluator per request: every request runs
+//    evaluate_with_exclusion() with no shared state (mesh assembled per
+//    call, no result reuse), on the same worker pool;
+//  * service  — the EvaluationService: shared MeshSolveCache, in-flight
+//    coalescing, and the completed-result LRU.
+//
+// Every service response is checked bit-identical (canonical JSON) to the
+// baseline evaluation of the same request before any number is printed —
+// the speedup is only meaningful if the answers match. `--json` emits the
+// same numbers through vpd::io.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_output.hpp"
+#include "vpd/common/table.hpp"
+#include "vpd/core/explorer.hpp"
+#include "vpd/io/schema.hpp"
+#include "vpd/serve/service.hpp"
+#include "vpd/sweep/thread_pool.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vpd;
+
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
+
+  // --- Distinct design points -----------------------------------------------
+  EvaluationOptions paper_options;
+  paper_options.below_die_area_fraction = 1.6;  // paper mode (A2's 48 VRs)
+
+  std::vector<io::EvaluationRequest> distinct;
+  for (ArchitectureKind arch :
+       {ArchitectureKind::kA1_InterposerPeriphery,
+        ArchitectureKind::kA2_InterposerBelowDie,
+        ArchitectureKind::kA3_TwoStage12V, ArchitectureKind::kA3_TwoStage6V}) {
+    for (TopologyKind topo : {TopologyKind::kDpmih, TopologyKind::kDsch}) {
+      io::EvaluationRequest request;
+      request.architecture = arch;
+      request.topology = topo;
+      request.options = paper_options;
+      distinct.push_back(request);
+    }
+  }
+  // Near-duplicates: same mesh geometry (mesh-cache hit), different
+  // design point (result-cache miss).
+  for (ArchitectureKind arch : {ArchitectureKind::kA1_InterposerPeriphery,
+                                ArchitectureKind::kA2_InterposerBelowDie}) {
+    io::EvaluationRequest request;
+    request.architecture = arch;
+    request.topology = TopologyKind::kDsch;
+    request.options = paper_options;
+    request.options.derating = 0.65;
+    distinct.push_back(request);
+  }
+  // Fault scenarios: a dropped below-die VR and a damaged mesh region.
+  {
+    io::EvaluationRequest request;
+    request.architecture = ArchitectureKind::kA2_InterposerBelowDie;
+    request.topology = TopologyKind::kDsch;
+    request.options = paper_options;
+    request.options.faults.dropped_sites = {3};
+    distinct.push_back(request);
+
+    request.options.faults = {};
+    request.options.faults.mesh_perturbation.push_back(
+        EdgeScaleRegion{Length{9e-3}, Length{9e-3}, Length{12e-3},
+                        Length{12e-3}, 0.1});
+    distinct.push_back(request);
+  }
+
+  // --- Duplicate-heavy stream ------------------------------------------------
+  constexpr std::size_t kRequests = 180;
+  std::vector<io::EvaluationRequest> stream;
+  stream.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    // Deterministic interleaving (7 is coprime to the distinct count) so
+    // duplicates are spread through the stream rather than batched.
+    stream.push_back(distinct[(i * 7) % distinct.size()]);
+  }
+
+  const std::size_t threads = 0;  // hardware concurrency in both modes
+
+  // --- Baseline: one evaluator per request -----------------------------------
+  std::vector<std::string> baseline_results(stream.size());
+  const auto baseline_start = std::chrono::steady_clock::now();
+  {
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      pool.submit([&stream, &baseline_results, i] {
+        io::EvaluationRequest request = stream[i];
+        request.options.mesh_cache = nullptr;  // assemble per call
+        const ExplorationEntry entry = evaluate_with_exclusion(
+            request.spec, request.architecture, request.topology,
+            request.tech, request.options);
+        baseline_results[i] = io::dump(io::to_json(entry));
+      });
+    }
+    pool.wait_idle();
+  }
+  const double baseline_seconds = seconds_since(baseline_start);
+
+  // --- Service: coalescing + LRU + shared mesh cache -------------------------
+  serve::ServiceConfig config;
+  config.threads = threads;
+  config.queue_capacity = stream.size();  // backpressure out of the picture
+  serve::EvaluationService service(config);
+
+  // Submit in bursts of 30 (clients pipeline, but not infinitely): early
+  // duplicates coalesce onto in-flight evaluations, later ones hit the
+  // completed-result LRU.
+  constexpr std::size_t kBurst = 30;
+  std::vector<serve::ServiceResponse> responses;
+  responses.reserve(stream.size());
+  const auto service_start = std::chrono::steady_clock::now();
+  for (std::size_t base = 0; base < stream.size(); base += kBurst) {
+    std::vector<std::shared_future<serve::ServiceResponse>> futures;
+    const std::size_t end = std::min(base + kBurst, stream.size());
+    for (std::size_t i = base; i < end; ++i) {
+      futures.push_back(service.submit(stream[i]));
+    }
+    for (auto& future : futures) responses.push_back(future.get());
+  }
+  const double service_seconds = seconds_since(service_start);
+
+  // --- Bit-identity gate ------------------------------------------------------
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (responses[i].entry == nullptr ||
+        io::dump(io::to_json(*responses[i].entry)) != baseline_results[i]) {
+      std::fprintf(stderr,
+                   "service response %zu is not bit-identical to the "
+                   "per-request baseline\n",
+                   i);
+      return 1;
+    }
+  }
+
+  const double baseline_rps = static_cast<double>(stream.size()) / baseline_seconds;
+  const double service_rps = static_cast<double>(stream.size()) / service_seconds;
+  const double speedup = service_rps / baseline_rps;
+  const serve::ServiceMetrics metrics = service.metrics();
+
+  if (json) {
+    benchio::JsonReport report("bench_serve");
+    io::Value workload = io::Value::object();
+    workload.set("requests", stream.size());
+    workload.set("distinct_points", distinct.size());
+    workload.set("fault_scenarios", 2);
+    report.add("workload", std::move(workload));
+    io::Value baseline = io::Value::object();
+    baseline.set("wall_seconds", baseline_seconds);
+    baseline.set("requests_per_second", baseline_rps);
+    report.add("baseline", std::move(baseline));
+    io::Value served = io::Value::object();
+    served.set("wall_seconds", service_seconds);
+    served.set("requests_per_second", service_rps);
+    report.add("service", std::move(served));
+    report.add("speedup", speedup);
+    report.add("bit_identical", true);
+    report.add("service_metrics", serve::to_json(metrics));
+    report.set_mesh_cache(metrics.mesh_cache);
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Evaluation service vs one-evaluator-per-request "
+              "(%zu requests, %zu distinct, %zu threads) ===\n\n",
+              stream.size(), distinct.size(), metrics.threads);
+  TextTable t({"Mode", "Wall", "Req/s", "Evaluations", "Mesh assemblies"});
+  t.add_row({"per-request baseline", format_double(baseline_seconds, 3) + " s",
+             format_double(baseline_rps, 1), std::to_string(stream.size()),
+             std::to_string(stream.size())});
+  t.add_row({"service (coalesce+LRU)",
+             format_double(service_seconds, 3) + " s",
+             format_double(service_rps, 1), std::to_string(metrics.evaluated),
+             std::to_string(metrics.mesh_cache.misses)});
+  std::cout << t << '\n';
+
+  std::printf(
+      "Speedup: %.2fx requests/sec (bit-identical responses).\n"
+      "Service path: %zu evaluated, %zu coalesced onto in-flight twins, "
+      "%zu served from the result LRU (hit rate %.0f%%); mesh cache "
+      "%zu hits / %zu misses (hit rate %.0f%%); latency min/mean/max/p99 "
+      "= %.2f/%.2f/%.2f/%.2f ms; queue high-water %zu.\n",
+      speedup, metrics.evaluated, metrics.coalesced,
+      metrics.result_cache_hits, 100.0 * metrics.result_cache_hit_rate(),
+      metrics.mesh_cache.hits, metrics.mesh_cache.misses,
+      100.0 * metrics.mesh_cache_hit_rate(), 1e3 * metrics.latency_min_seconds,
+      1e3 * metrics.latency_mean_seconds, 1e3 * metrics.latency_max_seconds,
+      1e3 * metrics.latency_p99_seconds, metrics.queue_high_water);
+  return speedup >= 2.0 ? 0 : 1;
+}

@@ -5,13 +5,15 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/package/interconnect.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
 
-  std::printf("=== Table I: vertical interconnect characteristics ===\n\n");
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   TextTable published({"Packaging level", "Type", "Material",
                        "Diameter (um)", "Cross-area (um^2)", "Height (um)",
@@ -25,9 +27,7 @@ int main() {
          format_double(as_um(s.pitch), 0),
          format_double(as_mm2(s.platform_area), 0)});
   }
-  std::cout << published << '\n';
 
-  std::printf("Derived quantities (library models):\n");
   TextTable derived({"Type", "R per via", "Available", "I limit/via",
                      "Power-alloc cap"});
   for (const auto& s : table_one()) {
@@ -36,8 +36,19 @@ int main() {
                      format_si(s.max_current_per_via.value) + "A",
                      format_percent(s.max_power_fraction, 0)});
   }
-  std::cout << derived << '\n';
 
+  if (json) {
+    benchio::JsonReport report("bench_table1_interconnect");
+    report.add_table("published", published);
+    report.add_table("derived", derived);
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Table I: vertical interconnect characteristics ===\n\n");
+  std::cout << published << '\n';
+  std::printf("Derived quantities (library models):\n");
+  std::cout << derived << '\n';
   std::printf("Paper-vs-library check: published geometry columns match "
               "Table I verbatim;\nper-via limits are calibrated to "
               "reproduce Section IV utilization (see\nEXPERIMENTS.md).\n");

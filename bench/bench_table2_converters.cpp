@@ -5,16 +5,18 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/arch/placement.hpp"
 #include "vpd/arch/vr_allocation.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/converters/catalog.hpp"
 #include "vpd/core/spec.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
 
-  std::printf("=== Table II: compact high-current 48V-to-1V converters ===\n\n");
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   TextTable published({"", "DPMIH", "DSCH", "3LHD"});
   const auto rows = published_table_two();
@@ -61,11 +63,9 @@ int main() {
   add("VRs below die (published)", [](const TableTwoRow& r) {
     return std::to_string(r.vrs_below_die);
   });
-  std::cout << published << '\n';
 
   // --- Library re-derivation --------------------------------------------------
   const PowerDeliverySpec spec = paper_system();
-  std::printf("Library model (GaN devices, as evaluated in Fig. 7):\n");
   TextTable model({"Topology", "Model peak eff", "at current", "VR area",
                    "Ring capacity", "Deployed (2 rings)", "A per VR",
                    "Within rating"});
@@ -90,6 +90,18 @@ int main() {
          format_double(alloc.nominal_per_vr.value, 1),
          alloc.within_rating ? "yes" : "NO (paper: N/A in Fig. 7)"});
   }
+
+  if (json) {
+    benchio::JsonReport report("bench_table2_converters");
+    report.add_table("published", published);
+    report.add_table("library_model", model);
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Table II: compact high-current 48V-to-1V converters ===\n\n");
+  std::cout << published << '\n';
+  std::printf("Library model (GaN devices, as evaluated in Fig. 7):\n");
   std::cout << model << '\n';
 
   std::printf("Notes:\n"

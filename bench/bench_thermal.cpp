@@ -6,29 +6,30 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/arch/evaluator.hpp"
 #include "vpd/common/table.hpp"
+#include "vpd/package/mesh_cache.hpp"
 #include "vpd/thermal/thermal.hpp"
 #include "vpd/workload/power_map.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
   using namespace vpd::literals;
+
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   const PowerDeliverySpec spec = paper_system();
 
   // A2 / DSCH deployment from the Fig. 7 evaluation.
+  MeshSolveCache cache;
   EvaluationOptions options;
   options.below_die_area_fraction = 1.6;
+  options.mesh_cache = &cache;
   const ArchitectureEvaluation a2 = evaluate_architecture(
       ArchitectureKind::kA2_InterposerBelowDie, spec, TopologyKind::kDsch,
       DeviceTechnology::kGalliumNitride, options);
-
-  std::printf("=== Extension: electrothermal view of A2 ===\n\n");
-  std::printf("A2/DSCH: %u below-die VRs dissipating %.0f W beneath a "
-              "%.0f W die.\n\n",
-              a2.vr_count_stage2, a2.conversion_loss().value,
-              spec.total_power.value);
 
   TextTable t({"Cooling (K cm^2/W)", "Coolant", "Max Tj", "Mean Tj",
                "VR loss uplift", "Iterations"});
@@ -60,6 +61,23 @@ int main() {
                format_percent(r.loss_uplift),
                std::to_string(r.iterations)});
   }
+
+  if (json) {
+    benchio::JsonReport report("bench_thermal");
+    report.add("below_die_vrs", io::Value(a2.vr_count_stage2));
+    report.add("conversion_loss_w", io::Value(a2.conversion_loss().value));
+    report.add("die_power_w", io::Value(spec.total_power.value));
+    report.add_table("cooling_sweep", t);
+    report.set_mesh_cache(cache.stats());
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Extension: electrothermal view of A2 ===\n\n");
+  std::printf("A2/DSCH: %u below-die VRs dissipating %.0f W beneath a "
+              "%.0f W die.\n\n",
+              a2.vr_count_stage2, a2.conversion_loss().value,
+              spec.total_power.value);
   std::cout << t << '\n';
 
   std::printf(

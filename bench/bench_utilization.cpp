@@ -9,22 +9,22 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/core/spec.hpp"
 #include "vpd/package/utilization.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
   using namespace vpd::literals;
+
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   const PowerDeliverySpec spec = paper_system();
   const Current i48 = spec.input_current(Power{1150.0});
   const Current i_die = spec.die_current();
 
-  std::printf("=== Section IV: vertical interconnect utilization ===\n\n");
-
-  std::printf("Vertical power delivery (conversion on interposer, 48 V "
-              "feed):\n");
   const auto vpd_rows = utilization_report({
       {InterconnectLevel::kPcbToPackage, i48, std::nullopt},
       {InterconnectLevel::kPackageToInterposer, i48, std::nullopt},
@@ -41,20 +41,43 @@ int main() {
                std::to_string(r.used_per_net), std::to_string(r.available),
                format_percent(r.fraction), paper_claim[i++]});
   }
+
+  const auto c4 = interconnect_spec(InterconnectLevel::kPackageToInterposer);
+  const auto a0_row = utilization_for(c4, i_die, 500.0_mm2);
+  const Area min_die_area = min_area_for_current(c4, i_die);
+
+  if (json) {
+    benchio::JsonReport report("bench_utilization");
+    report.add_table("vertical_delivery", t);
+    io::Value a0 = io::Value::object();
+    a0.set("c4_used_per_net", a0_row.used_per_net);
+    a0.set("c4_available", a0_row.available);
+    a0.set("c4_fraction", a0_row.fraction);
+    a0.set("c4_cap_fraction", c4.max_power_fraction);
+    a0.set("feasible", a0_row.fraction <= c4.max_power_fraction);
+    a0.set("min_die_mm2", as_mm2(min_die_area));
+    a0.set("implied_density_a_per_mm2", i_die.value / as_mm2(min_die_area));
+    report.add("a0_reference", std::move(a0));
+    report.add("vpd_density_a_per_mm2",
+               io::Value(as_A_per_mm2(spec.current_density())));
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Section IV: vertical interconnect utilization ===\n\n");
+  std::printf("Vertical power delivery (conversion on interposer, 48 V "
+              "feed):\n");
   std::cout << t << '\n';
 
   std::printf("Reference architecture A0 (1 kA crosses every level):\n");
-  const auto c4 = interconnect_spec(InterconnectLevel::kPackageToInterposer);
-  const auto a0_row = utilization_for(c4, i_die, 500.0_mm2);
   std::printf("  C4 demand over the 500 mm^2 die shadow: %zu of %zu "
               "(%.0f%%) -> exceeds the %.0f%% cap: INFEASIBLE\n",
               a0_row.used_per_net, a0_row.available,
               100.0 * a0_row.fraction, 100.0 * c4.max_power_fraction);
-  const Area min_die = min_area_for_current(c4, i_die);
   std::printf("  minimum feasible die: %.0f mm^2 (paper: ~1200 mm^2)\n",
-              as_mm2(min_die));
+              as_mm2(min_die_area));
   std::printf("  implied power density: %.2f A/mm^2 (paper: 0.8 A/mm^2)\n",
-              i_die.value / as_mm2(min_die));
+              i_die.value / as_mm2(min_die_area));
   std::printf("\nVertical delivery sustains %.1f A/mm^2 on the 500 mm^2 "
               "die within every cap.\n",
               as_A_per_mm2(spec.current_density()));

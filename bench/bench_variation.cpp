@@ -5,19 +5,20 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/converters/catalog.hpp"
 #include "vpd/core/variation.hpp"
+#include "vpd/package/mesh_cache.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
   using namespace vpd::literals;
 
-  std::printf("=== Extension: Monte Carlo tolerance analysis ===\n\n");
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   // --- Converter-level spread -------------------------------------------------
-  std::printf("Converter efficiency at ~21 A (the Fig. 7 per-VR load), "
-              "1000 samples,\n10%% fixed-loss / 8%% conduction sigma:\n\n");
   TextTable conv({"Topology", "Nominal", "Median", "P5..P95",
                   "Yield >= 88%"});
   for (TopologyKind kind : {TopologyKind::kDpmih, TopologyKind::kDsch}) {
@@ -33,13 +34,12 @@ int main() {
                       format_percent(d.efficiency_at_load.p95),
                   format_percent(d.yield, 0)});
   }
-  std::cout << conv << '\n';
 
   // --- Architecture-level spread -----------------------------------------------
-  std::printf("System loss fraction under PPDN spread (15%% sheet / 20%% "
-              "attach sigma),\n40 samples each:\n\n");
+  MeshSolveCache cache;
   EvaluationOptions options;
   options.below_die_area_fraction = 1.6;
+  options.mesh_cache = &cache;
   TextTable arch({"Architecture", "Nominal", "Median", "P5..P95",
                   "Yield <= 22% loss"});
   struct Row {
@@ -64,6 +64,22 @@ int main() {
              format_percent(d.loss_fraction.p95),
          format_percent(d.yield, 0)});
   }
+
+  if (json) {
+    benchio::JsonReport report("bench_variation");
+    report.add_table("converter_spread", conv);
+    report.add_table("architecture_spread", arch);
+    report.set_mesh_cache(cache.stats());
+    report.print();
+    return 0;
+  }
+
+  std::printf("=== Extension: Monte Carlo tolerance analysis ===\n\n");
+  std::printf("Converter efficiency at ~21 A (the Fig. 7 per-VR load), "
+              "1000 samples,\n10%% fixed-loss / 8%% conduction sigma:\n\n");
+  std::cout << conv << '\n';
+  std::printf("System loss fraction under PPDN spread (15%% sheet / 20%% "
+              "attach sigma),\n40 samples each:\n\n");
   std::cout << arch << '\n';
 
   std::printf("Reading: the ~80%%-efficiency conclusion holds with margin "

@@ -13,12 +13,16 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/sweep/sweep.hpp"
 #include "vpd/workload/power_map.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vpd;
+
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
 
   const PowerDeliverySpec spec = paper_system();
   EvaluationOptions base;
@@ -63,7 +67,6 @@ int main() {
   const SweepRunner runner(spec);
   const SweepReport report = runner.run(points);
 
-  std::printf("=== Section IV: per-VR current spread ===\n\n");
   TextTable t({"Scenario", "VRs", "Min", "Mean", "Max", "Max/Min",
                "Paper", "Within rating"});
   for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
@@ -80,6 +83,21 @@ int main() {
                format_double(s.max / s.min, 1) + "x", cases[i].paper,
                ev.within_rating ? "yes" : "NO"});
   }
+
+  if (json) {
+    benchio::JsonReport out("bench_vr_spread");
+    out.add_table("scenarios", t);
+    io::Value sweep = io::Value::object();
+    sweep.set("points", report.outcomes.size());
+    sweep.set("threads", report.threads_used);
+    sweep.set("wall_seconds", report.wall_seconds);
+    out.add("sweep", std::move(sweep));
+    out.set_mesh_cache(report.cache_stats);
+    out.print();
+    return 0;
+  }
+
+  std::printf("=== Section IV: per-VR current spread ===\n\n");
   std::cout << t << '\n';
 
   std::printf(

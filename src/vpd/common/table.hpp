@@ -19,6 +19,11 @@ class TextTable {
 
   std::size_t row_count() const { return rows_.size(); }
 
+  /// Raw cells, for structured re-emission (the benches' --json mode
+  /// serializes tables as arrays of header-keyed objects).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   /// Renders with a header underline and 2-space column gaps.
   std::string to_string() const;
   /// Renders as CSV (quotes cells containing commas/quotes/newlines).

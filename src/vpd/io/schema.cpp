@@ -1,0 +1,586 @@
+#include "vpd/io/schema.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace io {
+namespace {
+
+// Strict object reader: fields are pulled by name, and finish() rejects
+// any member nobody asked for, so a typo in a request fails loudly
+// instead of silently evaluating the default.
+class FieldReader {
+ public:
+  FieldReader(const Value& v, const char* what)
+      : object_(v.as_object()), what_(what), consumed_(object_.size(), false) {}
+
+  const Value* get(std::string_view key) {
+    for (std::size_t i = 0; i < object_.size(); ++i) {
+      if (object_[i].first == key) {
+        consumed_[i] = true;
+        return &object_[i].second;
+      }
+    }
+    return nullptr;
+  }
+
+  const Value& require(std::string_view key) {
+    const Value* v = get(key);
+    if (v == nullptr) {
+      throw InvalidArgument(detail::concat(what_, ": missing required field \"",
+                                           key, "\""));
+    }
+    return *v;
+  }
+
+  void finish() const {
+    for (std::size_t i = 0; i < object_.size(); ++i) {
+      if (!consumed_[i]) {
+        throw InvalidArgument(detail::concat(what_, ": unknown field \"",
+                                             object_[i].first, "\""));
+      }
+    }
+  }
+
+ private:
+  const Value::Object& object_;
+  const char* what_;
+  std::vector<bool> consumed_;
+};
+
+std::size_t as_index(const Value& v, const char* what) {
+  const double n = v.as_number();
+  if (n < 0.0 || n != std::floor(n) || n > 9.007199254740992e15) {
+    throw InvalidArgument(
+        detail::concat(what, ": expected a non-negative integer, got ",
+                       dump_number(n)));
+  }
+  return static_cast<std::size_t>(n);
+}
+
+double number_or(FieldReader& r, std::string_view key, double fallback) {
+  const Value* v = r.get(key);
+  return v != nullptr ? v->as_number() : fallback;
+}
+
+bool bool_or(FieldReader& r, std::string_view key, bool fallback) {
+  const Value* v = r.get(key);
+  return v != nullptr ? v->as_bool() : fallback;
+}
+
+std::size_t index_or(FieldReader& r, std::string_view key,
+                     std::size_t fallback) {
+  const Value* v = r.get(key);
+  return v != nullptr ? as_index(*v, "field") : fallback;
+}
+
+template <typename Kind, typename FromString>
+Kind enum_from_json(const Value& v, const char* what, FromString candidates) {
+  const std::string& name = v.as_string();
+  for (Kind kind : candidates()) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw InvalidArgument(detail::concat("unknown ", what, " \"", name, "\""));
+}
+
+}  // namespace
+
+// --- Enums -----------------------------------------------------------------
+
+Value to_json(ArchitectureKind kind) { return Value(to_string(kind)); }
+Value to_json(TopologyKind kind) { return Value(to_string(kind)); }
+Value to_json(DeviceTechnology tech) { return Value(to_string(tech)); }
+Value to_json(FaultKind kind) { return Value(to_string(kind)); }
+
+ArchitectureKind architecture_from_json(const Value& v) {
+  return enum_from_json<ArchitectureKind>(v, "architecture",
+                                          all_architectures);
+}
+
+TopologyKind topology_from_json(const Value& v) {
+  return enum_from_json<TopologyKind>(v, "topology", all_topologies);
+}
+
+DeviceTechnology technology_from_json(const Value& v) {
+  return enum_from_json<DeviceTechnology>(v, "device technology", [] {
+    return std::vector<DeviceTechnology>{DeviceTechnology::kSilicon,
+                                         DeviceTechnology::kGalliumNitride};
+  });
+}
+
+FaultKind fault_kind_from_json(const Value& v) {
+  return enum_from_json<FaultKind>(v, "fault kind", [] {
+    return std::vector<FaultKind>{
+        FaultKind::kVrDropout, FaultKind::kVrDerate, FaultKind::kAttachFault,
+        FaultKind::kMeshRegionFault, FaultKind::kStage2Dropout};
+  });
+}
+
+// --- Spec and options ------------------------------------------------------
+
+Value to_json(const PowerDeliverySpec& spec) {
+  Value v = Value::object();
+  v.set("total_power", spec.total_power.value);
+  v.set("pcb_voltage", spec.pcb_voltage.value);
+  v.set("die_voltage", spec.die_voltage.value);
+  v.set("die_area", spec.die_area.value);
+  return v;
+}
+
+PowerDeliverySpec spec_from_json(const Value& v) {
+  FieldReader r(v, "spec");
+  PowerDeliverySpec spec;
+  spec.total_power = Power{number_or(r, "total_power", spec.total_power.value)};
+  spec.pcb_voltage = Voltage{number_or(r, "pcb_voltage", spec.pcb_voltage.value)};
+  spec.die_voltage = Voltage{number_or(r, "die_voltage", spec.die_voltage.value)};
+  spec.die_area = Area{number_or(r, "die_area", spec.die_area.value)};
+  r.finish();
+  spec.validate();
+  return spec;
+}
+
+Value to_json(const EdgeScaleRegion& region) {
+  Value v = Value::object();
+  v.set("x0", region.x0.value);
+  v.set("y0", region.y0.value);
+  v.set("x1", region.x1.value);
+  v.set("y1", region.y1.value);
+  v.set("scale", region.scale);
+  return v;
+}
+
+EdgeScaleRegion edge_scale_region_from_json(const Value& v) {
+  FieldReader r(v, "mesh_perturbation region");
+  EdgeScaleRegion region;
+  region.x0 = Length{r.require("x0").as_number()};
+  region.y0 = Length{r.require("y0").as_number()};
+  region.x1 = Length{r.require("x1").as_number()};
+  region.y1 = Length{r.require("y1").as_number()};
+  region.scale = number_or(r, "scale", region.scale);
+  r.finish();
+  return region;
+}
+
+Value to_json(const VrDerate& derate) {
+  Value v = Value::object();
+  v.set("current_limit_scale", derate.current_limit_scale);
+  v.set("loss_scale", derate.loss_scale);
+  return v;
+}
+
+VrDerate vr_derate_from_json(const Value& v) {
+  FieldReader r(v, "derate");
+  VrDerate derate;
+  derate.current_limit_scale =
+      number_or(r, "current_limit_scale", derate.current_limit_scale);
+  derate.loss_scale = number_or(r, "loss_scale", derate.loss_scale);
+  r.finish();
+  return derate;
+}
+
+Value to_json(const FaultInjection& injection) {
+  Value v = Value::object();
+  Value dropped = Value::array();
+  for (std::size_t site : injection.dropped_sites) dropped.push_back(site);
+  v.set("dropped_sites", std::move(dropped));
+  Value attach = Value::array();
+  for (const auto& [site, scale] : injection.attach_scale) {
+    Value entry = Value::object();
+    entry.set("site", site);
+    entry.set("scale", scale);
+    attach.push_back(std::move(entry));
+  }
+  v.set("attach_scale", std::move(attach));
+  Value derates = Value::array();
+  for (const auto& [site, derate] : injection.derates) {
+    Value entry = Value::object();
+    entry.set("site", site);
+    entry.set("current_limit_scale", derate.current_limit_scale);
+    entry.set("loss_scale", derate.loss_scale);
+    derates.push_back(std::move(entry));
+  }
+  v.set("derates", std::move(derates));
+  Value stage2 = Value::array();
+  for (std::size_t site : injection.dropped_stage2) stage2.push_back(site);
+  v.set("dropped_stage2", std::move(stage2));
+  Value regions = Value::array();
+  for (const EdgeScaleRegion& region : injection.mesh_perturbation) {
+    regions.push_back(to_json(region));
+  }
+  v.set("mesh_perturbation", std::move(regions));
+  return v;
+}
+
+FaultInjection fault_injection_from_json(const Value& v) {
+  FieldReader r(v, "faults");
+  FaultInjection injection;
+  if (const Value* sites = r.get("dropped_sites")) {
+    for (const Value& site : sites->as_array()) {
+      injection.dropped_sites.push_back(as_index(site, "dropped_sites"));
+    }
+  }
+  if (const Value* attach = r.get("attach_scale")) {
+    for (const Value& entry : attach->as_array()) {
+      FieldReader er(entry, "attach_scale entry");
+      const std::size_t site = as_index(er.require("site"), "attach site");
+      const double scale = er.require("scale").as_number();
+      er.finish();
+      injection.attach_scale.emplace_back(site, scale);
+    }
+  }
+  if (const Value* derates = r.get("derates")) {
+    for (const Value& entry : derates->as_array()) {
+      FieldReader er(entry, "derate entry");
+      const std::size_t site = as_index(er.require("site"), "derate site");
+      VrDerate derate;
+      derate.current_limit_scale =
+          number_or(er, "current_limit_scale", derate.current_limit_scale);
+      derate.loss_scale = number_or(er, "loss_scale", derate.loss_scale);
+      er.finish();
+      injection.derates.emplace_back(site, derate);
+    }
+  }
+  if (const Value* stage2 = r.get("dropped_stage2")) {
+    for (const Value& site : stage2->as_array()) {
+      injection.dropped_stage2.push_back(as_index(site, "dropped_stage2"));
+    }
+  }
+  if (const Value* regions = r.get("mesh_perturbation")) {
+    for (const Value& region : regions->as_array()) {
+      injection.mesh_perturbation.push_back(edge_scale_region_from_json(region));
+    }
+  }
+  r.finish();
+  return injection;
+}
+
+Value to_json(const EvaluationOptions& options) {
+  VPD_REQUIRE(!options.sink_map,
+              "EvaluationOptions::sink_map is a C++ callback and has no "
+              "wire representation");
+  Value v = Value::object();
+  v.set("mesh_nodes", options.mesh_nodes);
+  v.set("distribution_sheet_ohms", options.distribution_sheet_ohms);
+  v.set("vr_attach_series", options.vr_attach_series.value);
+  v.set("vr_patch", options.vr_patch.value);
+  v.set("ring_series_squares", options.ring_series_squares);
+  v.set("derating", options.derating);
+  v.set("below_die_area_fraction", options.below_die_area_fraction);
+  v.set("allow_extrapolation", options.allow_extrapolation);
+  v.set("fixed_final_stage_vrs", options.fixed_final_stage_vrs);
+  v.set("max_periphery_rings", options.max_periphery_rings);
+  v.set("irdrop_relative_tolerance", options.irdrop_relative_tolerance);
+  v.set("cg_warm_start", options.cg_warm_start);
+  v.set("faults", to_json(options.faults));
+  return v;
+}
+
+EvaluationOptions evaluation_options_from_json(const Value& v) {
+  FieldReader r(v, "options");
+  EvaluationOptions options;
+  options.mesh_nodes = index_or(r, "mesh_nodes", options.mesh_nodes);
+  options.distribution_sheet_ohms = number_or(
+      r, "distribution_sheet_ohms", options.distribution_sheet_ohms);
+  options.vr_attach_series =
+      Resistance{number_or(r, "vr_attach_series",
+                           options.vr_attach_series.value)};
+  options.vr_patch = Length{number_or(r, "vr_patch", options.vr_patch.value)};
+  options.ring_series_squares =
+      number_or(r, "ring_series_squares", options.ring_series_squares);
+  options.derating = number_or(r, "derating", options.derating);
+  options.below_die_area_fraction = number_or(
+      r, "below_die_area_fraction", options.below_die_area_fraction);
+  options.allow_extrapolation =
+      bool_or(r, "allow_extrapolation", options.allow_extrapolation);
+  options.fixed_final_stage_vrs = static_cast<unsigned>(
+      index_or(r, "fixed_final_stage_vrs", options.fixed_final_stage_vrs));
+  options.max_periphery_rings = static_cast<unsigned>(
+      index_or(r, "max_periphery_rings", options.max_periphery_rings));
+  options.irdrop_relative_tolerance = number_or(
+      r, "irdrop_relative_tolerance", options.irdrop_relative_tolerance);
+  options.cg_warm_start = bool_or(r, "cg_warm_start", options.cg_warm_start);
+  if (const Value* faults = r.get("faults")) {
+    options.faults = fault_injection_from_json(*faults);
+  }
+  r.finish();
+  return options;
+}
+
+// --- Fault scenarios -------------------------------------------------------
+
+Value to_json(const Fault& fault) {
+  Value v = Value::object();
+  v.set("kind", to_json(fault.kind));
+  if (fault.kind == FaultKind::kMeshRegionFault) {
+    v.set("x", fault.x.value);
+    v.set("y", fault.y.value);
+  } else {
+    v.set("site", fault.site);
+  }
+  return v;
+}
+
+Fault fault_from_json(const Value& v) {
+  FieldReader r(v, "fault");
+  Fault fault;
+  fault.kind = fault_kind_from_json(r.require("kind"));
+  if (fault.kind == FaultKind::kMeshRegionFault) {
+    fault.x = Length{r.require("x").as_number()};
+    fault.y = Length{r.require("y").as_number()};
+  } else {
+    fault.site = as_index(r.require("site"), "fault site");
+  }
+  r.finish();
+  return fault;
+}
+
+Value to_json(const FaultSeverity& severity) {
+  Value v = Value::object();
+  v.set("derate_current_limit_scale", severity.derate_current_limit_scale);
+  v.set("derate_loss_scale", severity.derate_loss_scale);
+  v.set("attach_resistance_scale", severity.attach_resistance_scale);
+  v.set("mesh_conductance_scale", severity.mesh_conductance_scale);
+  v.set("mesh_region_side", severity.mesh_region_side.value);
+  return v;
+}
+
+FaultSeverity fault_severity_from_json(const Value& v) {
+  FieldReader r(v, "fault_severity");
+  FaultSeverity severity;
+  severity.derate_current_limit_scale = number_or(
+      r, "derate_current_limit_scale", severity.derate_current_limit_scale);
+  severity.derate_loss_scale =
+      number_or(r, "derate_loss_scale", severity.derate_loss_scale);
+  severity.attach_resistance_scale = number_or(
+      r, "attach_resistance_scale", severity.attach_resistance_scale);
+  severity.mesh_conductance_scale = number_or(
+      r, "mesh_conductance_scale", severity.mesh_conductance_scale);
+  severity.mesh_region_side =
+      Length{number_or(r, "mesh_region_side", severity.mesh_region_side.value)};
+  r.finish();
+  severity.validate();
+  return severity;
+}
+
+Value to_json(const FaultScenario& scenario) {
+  Value v = Value::object();
+  v.set("label", scenario.label);
+  Value faults = Value::array();
+  for (const Fault& fault : scenario.faults) faults.push_back(to_json(fault));
+  v.set("faults", std::move(faults));
+  return v;
+}
+
+FaultScenario fault_scenario_from_json(const Value& v) {
+  FieldReader r(v, "fault_scenario");
+  FaultScenario scenario;
+  if (const Value* label = r.get("label")) scenario.label = label->as_string();
+  if (const Value* faults = r.get("faults")) {
+    for (const Value& fault : faults->as_array()) {
+      scenario.faults.push_back(fault_from_json(fault));
+    }
+  }
+  r.finish();
+  return scenario;
+}
+
+// --- Requests --------------------------------------------------------------
+
+Value to_json(const EvaluationRequest& request) {
+  Value v = Value::object();
+  v.set("architecture", to_json(request.architecture));
+  v.set("topology",
+        request.topology ? to_json(*request.topology) : Value());
+  v.set("tech", to_json(request.tech));
+  v.set("spec", to_json(request.spec));
+  v.set("options", to_json(request.options));
+  return v;
+}
+
+EvaluationRequest evaluation_request_from_json(const Value& v) {
+  FieldReader r(v, "request");
+  EvaluationRequest request;
+  request.architecture = architecture_from_json(r.require("architecture"));
+  request.topology.reset();
+  if (const Value* topo = r.get("topology")) {
+    if (!topo->is_null()) request.topology = topology_from_json(*topo);
+  } else if (request.architecture != ArchitectureKind::kA0_PcbConversion) {
+    request.topology = TopologyKind::kDsch;  // schema default
+  }
+  if (const Value* tech = r.get("tech")) {
+    request.tech = technology_from_json(*tech);
+  }
+  if (const Value* spec = r.get("spec")) {
+    request.spec = spec_from_json(*spec);
+  }
+  if (const Value* options = r.get("options")) {
+    request.options = evaluation_options_from_json(*options);
+  }
+  // A fault scenario may be given instead of a low-level injection; it is
+  // lowered here so the canonical key does not depend on which form the
+  // client used.
+  const Value* scenario = r.get("fault_scenario");
+  const Value* severity = r.get("fault_severity");
+  if (severity != nullptr && scenario == nullptr) {
+    throw InvalidArgument("request: fault_severity without fault_scenario");
+  }
+  if (scenario != nullptr) {
+    if (!request.options.faults.empty()) {
+      throw InvalidArgument(
+          "request: give either options.faults or fault_scenario, not both");
+    }
+    const FaultSeverity sev = severity != nullptr
+                                  ? fault_severity_from_json(*severity)
+                                  : FaultSeverity{};
+    request.options.faults =
+        to_injection(fault_scenario_from_json(*scenario), sev);
+  }
+  r.finish();
+  if (request.architecture == ArchitectureKind::kA0_PcbConversion) {
+    request.topology.reset();
+  } else if (!request.topology) {
+    throw InvalidArgument(
+        "request: topology must not be null for a VPD architecture");
+  }
+  return request;
+}
+
+std::string canonical_request_key(const EvaluationRequest& request) {
+  return dump(to_json(request));
+}
+
+Value to_json(const SweepPoint& point) {
+  Value v = Value::object();
+  v.set("architecture", to_json(point.architecture));
+  v.set("topology", point.topology ? to_json(*point.topology) : Value());
+  v.set("tech", to_json(point.tech));
+  v.set("options", to_json(point.options));
+  v.set("label", point.label);
+  return v;
+}
+
+SweepPoint sweep_point_from_json(const Value& v) {
+  FieldReader r(v, "sweep point");
+  SweepPoint point;
+  point.architecture = architecture_from_json(r.require("architecture"));
+  point.topology.reset();
+  if (const Value* topo = r.get("topology")) {
+    if (!topo->is_null()) point.topology = topology_from_json(*topo);
+  }
+  if (const Value* tech = r.get("tech")) {
+    point.tech = technology_from_json(*tech);
+  }
+  if (const Value* options = r.get("options")) {
+    point.options = evaluation_options_from_json(*options);
+  }
+  if (const Value* label = r.get("label")) point.label = label->as_string();
+  r.finish();
+  return point;
+}
+
+// --- Results ---------------------------------------------------------------
+
+Value to_json(const Summary& summary) {
+  Value v = Value::object();
+  v.set("count", summary.count);
+  v.set("min", summary.min);
+  v.set("max", summary.max);
+  v.set("mean", summary.mean);
+  v.set("stddev", summary.stddev);
+  v.set("median", summary.median);
+  v.set("p05", summary.p05);
+  v.set("p95", summary.p95);
+  return v;
+}
+
+Value to_json(const MeshSolveCache::Stats& stats) {
+  Value v = Value::object();
+  v.set("hits", stats.hits);
+  v.set("misses", stats.misses);
+  return v;
+}
+
+Value to_json(const SweepStats& stats) {
+  Value v = Value::object();
+  v.set("wall_seconds", stats.wall_seconds);
+  v.set("cg_iterations", stats.cg_iterations);
+  return v;
+}
+
+Value to_json(const PathStage& stage) {
+  Value v = Value::object();
+  v.set("name", stage.name);
+  v.set("resistance", stage.resistance.value);
+  v.set("current", stage.current.value);
+  v.set("vertical", stage.vertical);
+  v.set("vias_per_net", stage.vias_per_net);
+  v.set("loss", stage.loss().value);
+  return v;
+}
+
+Value to_json(const ArchitectureEvaluation& evaluation) {
+  Value v = Value::object();
+  v.set("architecture", to_json(evaluation.architecture));
+  v.set("converter", evaluation.converter_label);
+  v.set("vertical_loss", evaluation.vertical_loss.value);
+  v.set("horizontal_loss", evaluation.horizontal_loss.value);
+  v.set("conversion_stage1", evaluation.conversion_stage1.value);
+  v.set("conversion_stage2", evaluation.conversion_stage2.value);
+  v.set("conversion_loss", evaluation.conversion_loss().value);
+  v.set("ppdn_loss", evaluation.ppdn_loss().value);
+  v.set("total_loss", evaluation.total_loss().value);
+  v.set("input_power", evaluation.input_power.value);
+  v.set("vr_count_stage1", evaluation.vr_count_stage1);
+  v.set("vr_count_stage2", evaluation.vr_count_stage2);
+  v.set("periphery_rings", evaluation.periphery_rings);
+  v.set("vr_current_spread", evaluation.vr_current_spread
+                                 ? to_json(*evaluation.vr_current_spread)
+                                 : Value());
+  v.set("min_pol_voltage", evaluation.min_pol_voltage
+                               ? Value(evaluation.min_pol_voltage->value)
+                               : Value());
+  v.set("distribution_rail", evaluation.distribution_rail
+                                 ? Value(evaluation.distribution_rail->value)
+                                 : Value());
+  v.set("min_distribution_voltage",
+        evaluation.min_distribution_voltage
+            ? Value(evaluation.min_distribution_voltage->value)
+            : Value());
+  Value site_currents = Value::array();
+  for (double current : evaluation.fault_site_currents) {
+    site_currents.push_back(current);
+  }
+  v.set("fault_site_currents", std::move(site_currents));
+  v.set("cg_iterations", evaluation.cg_iterations);
+  v.set("within_rating", evaluation.within_rating);
+  v.set("used_extrapolation", evaluation.used_extrapolation);
+  Value notes = Value::array();
+  for (const std::string& note : evaluation.notes) notes.push_back(note);
+  v.set("notes", std::move(notes));
+  Value stages = Value::array();
+  for (const PathStage& stage : evaluation.stages) {
+    stages.push_back(to_json(stage));
+  }
+  v.set("stages", std::move(stages));
+  return v;
+}
+
+Value to_json(const ExplorationEntry& entry) {
+  Value v = Value::object();
+  v.set("architecture", to_json(entry.architecture));
+  v.set("topology", entry.topology ? to_json(*entry.topology) : Value());
+  v.set("excluded", entry.excluded());
+  v.set("exclusion_reason", entry.exclusion_reason);
+  v.set("evaluation",
+        entry.evaluation ? to_json(*entry.evaluation) : Value());
+  v.set("extrapolated",
+        entry.extrapolated ? to_json(*entry.extrapolated) : Value());
+  return v;
+}
+
+}  // namespace io
+}  // namespace vpd

@@ -1,0 +1,117 @@
+// JSON schema for the library's public request/response surface: every
+// design point, sweep point or fault scenario expressible through the C++
+// API round-trips through these functions, so external clients (the vpdd
+// daemon, scripted experiment harnesses) speak the same vocabulary as the
+// in-process evaluators.
+//
+// Conventions:
+//  * all quantities are bare numbers in SI units (W, V, A, Ohm, m, m^2);
+//  * enums serialize as their to_string() names ("A1", "DSCH", "GaN",
+//    "vr-dropout") and parse strictly — an unknown name is an
+//    InvalidArgument, never a silent default;
+//  * readers treat absent fields as the C++ default and reject unknown
+//    fields (catches typos at the wire instead of mis-evaluating);
+//  * writers materialize every field in a fixed order, which makes the
+//    compact dump of a request its canonical form — the evaluation
+//    service keys coalescing and its result cache on exactly that string.
+//
+// Not representable on the wire: EvaluationOptions::sink_map (an arbitrary
+// C++ callback; serialization throws if one is set) and
+// EvaluationOptions::mesh_cache (a process-local pointer; ignored on write,
+// always null after parse — the service wires in its own cache).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "vpd/arch/evaluator.hpp"
+#include "vpd/arch/report.hpp"
+#include "vpd/core/explorer.hpp"
+#include "vpd/fault/fault_model.hpp"
+#include "vpd/io/json.hpp"
+#include "vpd/package/mesh_cache.hpp"
+#include "vpd/sweep/sweep.hpp"
+
+namespace vpd {
+namespace io {
+
+// --- Enums -----------------------------------------------------------------
+
+Value to_json(ArchitectureKind kind);
+Value to_json(TopologyKind kind);
+Value to_json(DeviceTechnology tech);
+Value to_json(FaultKind kind);
+
+ArchitectureKind architecture_from_json(const Value& v);
+TopologyKind topology_from_json(const Value& v);
+DeviceTechnology technology_from_json(const Value& v);
+FaultKind fault_kind_from_json(const Value& v);
+
+// --- Spec and options ------------------------------------------------------
+
+Value to_json(const PowerDeliverySpec& spec);
+PowerDeliverySpec spec_from_json(const Value& v);
+
+Value to_json(const EdgeScaleRegion& region);
+EdgeScaleRegion edge_scale_region_from_json(const Value& v);
+
+Value to_json(const VrDerate& derate);
+VrDerate vr_derate_from_json(const Value& v);
+
+Value to_json(const FaultInjection& injection);
+FaultInjection fault_injection_from_json(const Value& v);
+
+Value to_json(const EvaluationOptions& options);
+EvaluationOptions evaluation_options_from_json(const Value& v);
+
+// --- Fault scenarios -------------------------------------------------------
+
+Value to_json(const Fault& fault);
+Fault fault_from_json(const Value& v);
+
+Value to_json(const FaultSeverity& severity);
+FaultSeverity fault_severity_from_json(const Value& v);
+
+Value to_json(const FaultScenario& scenario);
+FaultScenario fault_scenario_from_json(const Value& v);
+
+// --- Requests --------------------------------------------------------------
+
+/// One evaluation request: a design point plus the system spec it is
+/// evaluated against. The wire form accepts either explicit
+/// `options.faults` (low-level injection) or a `fault_scenario` +
+/// optional `fault_severity` pair, which is lowered onto the injection at
+/// parse time via to_injection() — after parsing, only `options.faults`
+/// is populated, so the canonical key is scenario-representation-blind.
+struct EvaluationRequest {
+  ArchitectureKind architecture{ArchitectureKind::kA1_InterposerPeriphery};
+  std::optional<TopologyKind> topology{TopologyKind::kDsch};  // nullopt: A0
+  DeviceTechnology tech{DeviceTechnology::kGalliumNitride};
+  PowerDeliverySpec spec;  // defaults to the paper's 1 kW system
+  EvaluationOptions options;
+};
+
+Value to_json(const EvaluationRequest& request);
+EvaluationRequest evaluation_request_from_json(const Value& v);
+
+/// Compact dump of the fully-materialized request — the canonical wire
+/// key used for coalescing and result caching. Two requests with equal
+/// canonical keys describe bit-identical evaluations.
+std::string canonical_request_key(const EvaluationRequest& request);
+
+/// Sweep points round-trip too, so a whole sweep grid is expressible as a
+/// JSON array of points.
+Value to_json(const SweepPoint& point);
+SweepPoint sweep_point_from_json(const Value& v);
+
+// --- Results (serialize-only: responses are produced, not consumed) --------
+
+Value to_json(const Summary& summary);
+Value to_json(const MeshSolveCache::Stats& stats);
+Value to_json(const SweepStats& stats);
+Value to_json(const PathStage& stage);
+Value to_json(const ArchitectureEvaluation& evaluation);
+Value to_json(const ExplorationEntry& entry);
+
+}  // namespace io
+}  // namespace vpd

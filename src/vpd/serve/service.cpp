@@ -1,0 +1,244 @@
+#include "vpd/serve/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace serve {
+
+const char* to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kExcluded: return "excluded";
+    case ResponseStatus::kRejected: return "rejected";
+    case ResponseStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+double ServiceMetrics::result_cache_hit_rate() const {
+  const std::size_t total = result_cache_hits + result_cache_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(result_cache_hits) /
+                          static_cast<double>(total);
+}
+
+double ServiceMetrics::mesh_cache_hit_rate() const {
+  const std::size_t total = mesh_cache.hits + mesh_cache.misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(mesh_cache.hits) /
+                          static_cast<double>(total);
+}
+
+io::Value to_json(const ServiceMetrics& metrics) {
+  io::Value v = io::Value::object();
+  v.set("requests", metrics.requests);
+  v.set("completed", metrics.completed);
+  v.set("rejected", metrics.rejected);
+  v.set("errors", metrics.errors);
+  v.set("evaluated", metrics.evaluated);
+  v.set("coalesced", metrics.coalesced);
+  v.set("result_cache_hits", metrics.result_cache_hits);
+  v.set("result_cache_misses", metrics.result_cache_misses);
+  v.set("result_cache_size", metrics.result_cache_size);
+  v.set("result_cache_hit_rate", metrics.result_cache_hit_rate());
+  v.set("queue_high_water", metrics.queue_high_water);
+  v.set("threads", metrics.threads);
+  io::Value latency = io::Value::object();
+  latency.set("samples", metrics.latency_samples);
+  latency.set("min_seconds", metrics.latency_min_seconds);
+  latency.set("mean_seconds", metrics.latency_mean_seconds);
+  latency.set("max_seconds", metrics.latency_max_seconds);
+  latency.set("p99_seconds", metrics.latency_p99_seconds);
+  v.set("latency", std::move(latency));
+  io::Value mesh = io::to_json(metrics.mesh_cache);
+  mesh.set("hit_rate", metrics.mesh_cache_hit_rate());
+  v.set("mesh_cache", std::move(mesh));
+  return v;
+}
+
+io::Value to_json(const ServiceResponse& response) {
+  io::Value v = io::Value::object();
+  v.set("status", to_string(response.status));
+  if (!response.error.empty()) v.set("error", response.error);
+  if (response.entry != nullptr) {
+    v.set("result", io::to_json(*response.entry));
+  }
+  v.set("from_cache", response.from_cache);
+  return v;
+}
+
+EvaluationService::EvaluationService(ServiceConfig config)
+    : config_(config), pool_(config.threads) {
+  VPD_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
+}
+
+EvaluationService::~EvaluationService() { pool_.wait_idle(); }
+
+ServiceResponse EvaluationService::evaluate(
+    const io::EvaluationRequest& request) {
+  return submit(request).get();
+}
+
+void EvaluationService::wait_idle() { pool_.wait_idle(); }
+
+std::shared_future<ServiceResponse> EvaluationService::submit(
+    const io::EvaluationRequest& request) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto ready = [](ServiceResponse response) {
+    std::promise<ServiceResponse> p;
+    p.set_value(std::move(response));
+    return std::shared_future<ServiceResponse>(p.get_future());
+  };
+
+  // Canonicalization exercises the same validation the schema applies to
+  // wire requests (e.g. a sink_map callback is not representable).
+  std::string key;
+  try {
+    key = io::canonical_request_key(request);
+  } catch (const Error& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.requests;
+    ++counters_.completed;
+    ++counters_.errors;
+    record_latency(now);
+    ServiceResponse response;
+    response.status = ResponseStatus::kError;
+    response.error = e.what();
+    return ready(std::move(response));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.requests;
+
+  if (std::shared_ptr<const ExplorationEntry> hit = cache_lookup(key)) {
+    ++counters_.result_cache_hits;
+    ++counters_.completed;
+    record_latency(now);
+    ServiceResponse response;
+    response.status = hit->excluded() ? ResponseStatus::kExcluded
+                                      : ResponseStatus::kOk;
+    response.entry = std::move(hit);
+    response.from_cache = true;
+    return ready(std::move(response));
+  }
+  ++counters_.result_cache_misses;
+
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    ++counters_.coalesced;
+    it->second->submitted.push_back(now);
+    return it->second->future;
+  }
+
+  if (pending_ >= config_.queue_capacity) {
+    ++counters_.rejected;
+    ServiceResponse response;
+    response.status = ResponseStatus::kRejected;
+    response.error = "queue full (capacity " +
+                     std::to_string(config_.queue_capacity) + ")";
+    return ready(std::move(response));
+  }
+
+  auto entry = std::make_shared<InFlight>();
+  entry->future = entry->promise.get_future().share();
+  entry->submitted.push_back(now);
+  inflight_.emplace(key, entry);
+  ++pending_;
+  counters_.queue_high_water = std::max(counters_.queue_high_water, pending_);
+
+  pool_.submit([this, key, request] { run_evaluation(key, request); });
+  return entry->future;
+}
+
+void EvaluationService::run_evaluation(std::string key,
+                                       io::EvaluationRequest request) {
+  ServiceResponse response;
+  try {
+    request.options.mesh_cache = &mesh_cache_;
+    auto result = std::make_shared<ExplorationEntry>(evaluate_with_exclusion(
+        request.spec, request.architecture, request.topology, request.tech,
+        request.options));
+    response.status = result->excluded() ? ResponseStatus::kExcluded
+                                         : ResponseStatus::kOk;
+    response.entry = std::move(result);
+  } catch (const std::exception& e) {
+    response.status = ResponseStatus::kError;
+    response.error = e.what();
+  } catch (...) {
+    response.status = ResponseStatus::kError;
+    response.error = "unknown evaluation failure";
+  }
+
+  std::shared_ptr<InFlight> flight;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_.find(key);
+    flight = it->second;
+    inflight_.erase(it);
+    --pending_;
+    ++counters_.evaluated;
+    counters_.completed += flight->submitted.size();
+    if (response.status == ResponseStatus::kError) {
+      counters_.errors += flight->submitted.size();
+    } else {
+      cache_insert(key, response.entry);
+    }
+    for (const auto& submitted : flight->submitted) {
+      record_latency(submitted);
+    }
+  }
+  // Publish outside the lock: promise consumers may run arbitrary code.
+  flight->promise.set_value(std::move(response));
+}
+
+void EvaluationService::cache_insert(
+    const std::string& key, std::shared_ptr<const ExplorationEntry> entry) {
+  if (config_.result_cache_capacity == 0) return;
+  lru_.emplace_front(key, std::move(entry));
+  lru_index_[key] = lru_.begin();
+  if (lru_.size() > config_.result_cache_capacity) {
+    lru_index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  counters_.result_cache_size = lru_.size();
+}
+
+std::shared_ptr<const ExplorationEntry> EvaluationService::cache_lookup(
+    const std::string& key) {
+  auto it = lru_index_.find(key);
+  if (it == lru_index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return lru_.front().second;
+}
+
+void EvaluationService::record_latency(
+    std::chrono::steady_clock::time_point submitted) {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    submitted)
+          .count();
+  latency_stats_.add(seconds);
+  latencies_.push_back(seconds);
+}
+
+ServiceMetrics EvaluationService::metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceMetrics m = counters_;
+  m.threads = pool_.thread_count();
+  m.result_cache_size = lru_.size();
+  m.latency_samples = latency_stats_.count();
+  if (latency_stats_.count() > 0) {
+    m.latency_min_seconds = latency_stats_.min();
+    m.latency_mean_seconds = latency_stats_.mean();
+    m.latency_max_seconds = latency_stats_.max();
+    m.latency_p99_seconds = percentile(latencies_, 0.99);
+  }
+  m.mesh_cache = mesh_cache_.stats();
+  return m;
+}
+
+}  // namespace serve
+}  // namespace vpd

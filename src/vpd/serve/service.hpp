@@ -1,0 +1,163 @@
+// Long-lived evaluation service: the process-resident answer to "query
+// the same PDN model many times fast". Owns a worker pool and one shared
+// MeshSolveCache so mesh operators are assembled once per geometry across
+// the whole request stream, accepts requests through a bounded queue with
+// explicit backpressure (a full queue rejects immediately with a status —
+// it never blocks the submitter), coalesces duplicate in-flight design
+// points onto a single evaluation, and keeps an LRU cache of completed
+// results keyed by the canonical serialized request.
+//
+// Determinism contract (same spirit as the sweep and fault subsystems):
+// the response for a request is bit-identical to a serial
+// evaluate_with_exclusion() of the same request, regardless of
+// concurrency, coalescing, or cache state — evaluations are pure
+// functions of the request, cached mesh operators are numerically
+// identical to per-call assembly, and cached/coalesced responses share
+// the one result object that evaluation produced. Only latency and
+// from_cache metadata vary run to run.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vpd/common/statistics.hpp"
+#include "vpd/core/explorer.hpp"
+#include "vpd/io/schema.hpp"
+#include "vpd/package/mesh_cache.hpp"
+#include "vpd/sweep/thread_pool.hpp"
+
+namespace vpd {
+namespace serve {
+
+enum class ResponseStatus {
+  kOk,        // evaluation available in `entry`
+  kExcluded,  // the paper's exclusion rule applied (entry holds details)
+  kRejected,  // bounded queue full — resubmit later
+  kError,     // invalid request or evaluation failure (see `error`)
+};
+
+const char* to_string(ResponseStatus status);
+
+struct ServiceConfig {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  std::size_t threads{0};
+  /// Maximum in-flight (queued + executing) evaluations. A submit that
+  /// would exceed this resolves immediately to kRejected. Cache hits and
+  /// coalesced submits do not consume queue slots.
+  std::size_t queue_capacity{256};
+  /// Completed-result LRU entries keyed by canonical request; 0 disables
+  /// result caching (every distinct submit evaluates).
+  std::size_t result_cache_capacity{1024};
+};
+
+struct ServiceResponse {
+  ResponseStatus status{ResponseStatus::kError};
+  /// Populated for kError / kRejected.
+  std::string error;
+  /// Populated for kOk / kExcluded; shared with the result cache and any
+  /// coalesced waiters (immutable once published).
+  std::shared_ptr<const ExplorationEntry> entry;
+  /// True when served from the completed-result LRU without evaluating.
+  bool from_cache{false};
+};
+
+/// Point-in-time service counters. Latency covers every resolved request
+/// (cache hits included, rejects excluded), measured submit-to-resolve.
+struct ServiceMetrics {
+  std::size_t requests{0};        // submits accepted into any path
+  std::size_t completed{0};       // responses resolved (incl. errors)
+  std::size_t rejected{0};        // backpressure rejections
+  std::size_t errors{0};          // kError responses
+  std::size_t evaluated{0};       // actual evaluator runs
+  std::size_t coalesced{0};       // submits attached to an in-flight twin
+  std::size_t result_cache_hits{0};
+  std::size_t result_cache_misses{0};
+  std::size_t result_cache_size{0};
+  std::size_t queue_high_water{0};  // max in-flight depth observed
+  std::size_t threads{0};
+  std::size_t latency_samples{0};
+  double latency_min_seconds{0.0};
+  double latency_mean_seconds{0.0};
+  double latency_max_seconds{0.0};
+  double latency_p99_seconds{0.0};
+  MeshSolveCache::Stats mesh_cache;
+
+  double result_cache_hit_rate() const;
+  double mesh_cache_hit_rate() const;
+};
+
+io::Value to_json(const ServiceMetrics& metrics);
+/// Full wire response body (status, error, result, from_cache). The
+/// daemon prepends the client's request id.
+io::Value to_json(const ServiceResponse& response);
+
+class EvaluationService {
+ public:
+  explicit EvaluationService(ServiceConfig config = {});
+  /// Waits for in-flight evaluations, then joins the workers.
+  ~EvaluationService();
+
+  EvaluationService(const EvaluationService&) = delete;
+  EvaluationService& operator=(const EvaluationService&) = delete;
+
+  /// Never blocks: the future resolves immediately for cache hits,
+  /// rejections and request errors, and on evaluation completion
+  /// otherwise. Coalesced duplicates share one future.
+  std::shared_future<ServiceResponse> submit(
+      const io::EvaluationRequest& request);
+
+  /// Convenience: submit + get.
+  ServiceResponse evaluate(const io::EvaluationRequest& request);
+
+  /// Blocks until every accepted request has resolved.
+  void wait_idle();
+
+  ServiceMetrics metrics() const;
+  io::Value metrics_json() const { return to_json(metrics()); }
+
+  std::size_t thread_count() const { return pool_.thread_count(); }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct InFlight {
+    std::promise<ServiceResponse> promise;
+    std::shared_future<ServiceResponse> future;
+    /// Submit timestamps of the original and every coalesced waiter, for
+    /// per-request latency accounting.
+    std::vector<std::chrono::steady_clock::time_point> submitted;
+  };
+
+  void run_evaluation(std::string key, io::EvaluationRequest request);
+  void cache_insert(const std::string& key,
+                    std::shared_ptr<const ExplorationEntry> entry);
+  std::shared_ptr<const ExplorationEntry> cache_lookup(const std::string& key);
+  void record_latency(std::chrono::steady_clock::time_point submitted);
+
+  ServiceConfig config_;
+  MeshSolveCache mesh_cache_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  /// LRU: most recent at the front; index maps key -> list node.
+  std::list<std::pair<std::string, std::shared_ptr<const ExplorationEntry>>>
+      lru_;
+  std::unordered_map<std::string, decltype(lru_)::iterator> lru_index_;
+  std::size_t pending_{0};  // queued + executing evaluations
+  ServiceMetrics counters_;  // latency fields filled lazily by metrics()
+  RunningStats latency_stats_;
+  std::vector<double> latencies_;
+
+  /// Last member: destroyed first, so worker tasks never outlive the
+  /// state they reference.
+  ThreadPool pool_;
+};
+
+}  // namespace serve
+}  // namespace vpd

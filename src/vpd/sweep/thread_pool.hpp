@@ -1,16 +1,20 @@
-// Minimal fixed-size worker pool for the sweep engine. Tasks are opaque
-// closures executed in FIFO submission order (though completion order is
-// scheduler-dependent); the pool exists so a SweepRunner can saturate the
-// machine while each task writes only to its own pre-assigned result
-// slot. Exceptions must be handled inside the task — a throw that
-// escapes a worker terminates the process, which is the correct behaviour
-// for a bug in the harness itself (the runner wraps every evaluation in
-// its own try/catch and transports errors by std::exception_ptr).
+// Minimal fixed-size worker pool for the sweep engine and the evaluation
+// service. Tasks are opaque closures executed in FIFO submission order
+// (though completion order is scheduler-dependent); the pool exists so a
+// SweepRunner or EvaluationService can saturate the machine while each
+// task writes only to its own pre-assigned result slot. An exception that
+// escapes a task no longer terminates the process: the worker catches it,
+// the first one per wait_idle() epoch is kept (later ones in the same
+// epoch are dropped — workers keep draining the queue), and the next
+// wait_idle() call rethrows it to the waiter. Harnesses that want
+// per-task error attribution (the sweep runner, the service) still wrap
+// their evaluations in their own try/catch and never trip this path.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -35,7 +39,10 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and every worker is idle. Tasks
-  /// submitted while waiting extend the wait.
+  /// submitted while waiting extend the wait. If any task threw since the
+  /// last wait_idle(), rethrows the first such exception (the epoch's
+  /// capture is cleared by the rethrow; the pool stays usable). An
+  /// exception still pending at destruction is discarded.
   void wait_idle();
 
   std::size_t thread_count() const { return workers_.size(); }
@@ -48,6 +55,7 @@ class ThreadPool {
   std::condition_variable idle_;         // wait_idle waits for quiescence
   std::deque<std::function<void()>> queue_;
   std::size_t active_{0};  // tasks currently executing
+  std::exception_ptr first_error_;  // first escaped task exception
   bool shutdown_{false};
   std::vector<std::thread> workers_;
 };

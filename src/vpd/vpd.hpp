@@ -78,6 +78,11 @@
 #include "vpd/sweep/sweep.hpp"
 #include "vpd/sweep/thread_pool.hpp"
 
+// JSON wire format and the evaluation service
+#include "vpd/io/json.hpp"
+#include "vpd/io/schema.hpp"
+#include "vpd/serve/service.hpp"
+
 // Thermal and workloads
 #include "vpd/thermal/thermal.hpp"
 #include "vpd/workload/load_transient.hpp"

@@ -1,0 +1,345 @@
+// JSON I/O layer: parser/writer conformance, canonical number formatting,
+// and the schema round-trip property — serialize→parse→serialize is a
+// fixed point for every enum value, the default options, and every fault
+// kind — plus malformed-input behaviour (structured errors, never a
+// crash).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "vpd/common/error.hpp"
+#include "vpd/fault/fault_model.hpp"
+#include "vpd/io/json.hpp"
+#include "vpd/io/schema.hpp"
+
+namespace vpd {
+namespace {
+
+using io::Value;
+
+// ---------------------------------------------------------------------------
+// Value + writer
+// ---------------------------------------------------------------------------
+
+TEST(JsonValue, TypedAccessorsThrowStructuredErrors) {
+  const Value v(42.0);
+  EXPECT_TRUE(v.is_number());
+  EXPECT_EQ(v.as_number(), 42.0);
+  EXPECT_THROW(v.as_string(), InvalidArgument);
+  EXPECT_THROW(v.as_array(), InvalidArgument);
+  EXPECT_THROW(v.as_bool(), InvalidArgument);
+  EXPECT_THROW(Value().as_number(), InvalidArgument);
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrderAndOverwritesInPlace) {
+  Value v = Value::object();
+  v.set("b", 1);
+  v.set("a", 2);
+  v.set("b", 3);  // overwrite keeps position
+  EXPECT_EQ(io::dump(v), "{\"b\":3,\"a\":2}");
+  EXPECT_EQ(v.at("b").as_number(), 3.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), InvalidArgument);
+}
+
+TEST(JsonWriter, EscapesStringsAndFormatsContainers) {
+  Value v = Value::object();
+  v.set("s", "a\"b\\c\n\t\x01");
+  Value arr = Value::array();
+  arr.push_back(Value());
+  arr.push_back(true);
+  arr.push_back(false);
+  v.set("a", arr);
+  EXPECT_EQ(io::dump(v),
+            "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\",\"a\":[null,true,false]}");
+}
+
+TEST(JsonWriter, NumberFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(io::dump_number(0.0), "0");
+  EXPECT_EQ(io::dump_number(48.0), "48");
+  EXPECT_EQ(io::dump_number(-3.0), "-3");
+  EXPECT_EQ(io::dump_number(0.1), "0.1");
+  EXPECT_EQ(io::dump_number(1e-12), "1e-12");
+  EXPECT_THROW(io::dump_number(std::nan("")), InvalidArgument);
+  EXPECT_THROW(io::dump_number(INFINITY), InvalidArgument);
+  // Bit-exact round trip for awkward doubles.
+  for (double x : {1.0 / 3.0, 2e-3, 1e300, 5e-324, 0.07000000000000001,
+                   123456789.123456789, -2.2250738585072014e-308}) {
+    EXPECT_EQ(std::strtod(io::dump_number(x).c_str(), nullptr), x) << x;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(JsonParser, ParsesScalarsContainersAndEscapes) {
+  EXPECT_TRUE(io::parse("null").is_null());
+  EXPECT_EQ(io::parse("true").as_bool(), true);
+  EXPECT_EQ(io::parse(" -12.5e2 ").as_number(), -1250.0);
+  EXPECT_EQ(io::parse("\"h\\u0065y \\uD83D\\uDE00\"").as_string(),
+            "hey \xF0\x9F\x98\x80");
+  const Value v = io::parse(R"({"a":[1,{"b":"c"}],"d":{}})");
+  EXPECT_EQ(v.at("a").as_array()[1].at("b").as_string(), "c");
+  EXPECT_EQ(v.at("d").size(), 0u);
+}
+
+TEST(JsonParser, DuplicateKeysLastWins) {
+  EXPECT_EQ(io::parse(R"({"k":1,"k":2})").at("k").as_number(), 2.0);
+}
+
+TEST(JsonParser, RoundTripsItsOwnOutput) {
+  const std::string doc =
+      R"({"s":"x\n","n":-0.125,"i":42,"a":[1,2,[3]],"o":{"k":null}})";
+  const Value parsed = io::parse(doc);
+  EXPECT_EQ(io::parse(io::dump(parsed)), parsed);
+  EXPECT_EQ(io::parse(io::dump_pretty(parsed)), parsed);
+}
+
+TEST(JsonParser, MalformedInputThrowsParseErrorNotCrash) {
+  const char* cases[] = {
+      "",
+      "{",
+      "[1,2",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{\"a\":1,}",
+      "[1,]",
+      "tru",
+      "nulll",
+      "01",
+      "1.",
+      "1e",
+      "+1",
+      "-",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"\\u12g4\"",
+      "\"\\uD800\"",       // unpaired high surrogate
+      "\"\\uDC00\"",       // unpaired low surrogate
+      "\"ctrl \x01\"",
+      "{\"a\":1} trailing",
+      "1 2",
+      "{\"a\":1e999}",     // overflows double
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(io::parse(text), io::ParseError) << text;
+  }
+}
+
+TEST(JsonParser, ParseErrorCarriesOffset) {
+  try {
+    io::parse("[1, fal]");
+    FAIL() << "expected ParseError";
+  } catch (const io::ParseError& e) {
+    EXPECT_EQ(e.offset(), 4u);
+    EXPECT_NE(std::string(e.what()).find("byte 4"), std::string::npos);
+  }
+}
+
+TEST(JsonParser, DeepNestingIsBoundedNotStackOverflow) {
+  std::string deep(5000, '[');
+  deep += std::string(5000, ']');
+  EXPECT_THROW(io::parse(deep), io::ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Schema round-trip fixed point
+// ---------------------------------------------------------------------------
+
+// serialize -> parse -> serialize must be the identity on serializations.
+template <typename T, typename FromJson>
+void expect_fixed_point(const T& value, FromJson from_json) {
+  const std::string first = io::dump(io::to_json(value));
+  const T reparsed = from_json(io::parse(first));
+  const std::string second = io::dump(io::to_json(reparsed));
+  EXPECT_EQ(first, second);
+}
+
+TEST(Schema, EnumsRoundTripStrictly) {
+  for (ArchitectureKind kind : all_architectures()) {
+    EXPECT_EQ(io::architecture_from_json(io::to_json(kind)), kind);
+  }
+  for (TopologyKind kind : all_topologies()) {
+    EXPECT_EQ(io::topology_from_json(io::to_json(kind)), kind);
+  }
+  for (DeviceTechnology tech :
+       {DeviceTechnology::kSilicon, DeviceTechnology::kGalliumNitride}) {
+    EXPECT_EQ(io::technology_from_json(io::to_json(tech)), tech);
+  }
+  for (FaultKind kind :
+       {FaultKind::kVrDropout, FaultKind::kVrDerate, FaultKind::kAttachFault,
+        FaultKind::kMeshRegionFault, FaultKind::kStage2Dropout}) {
+    EXPECT_EQ(io::fault_kind_from_json(io::to_json(kind)), kind);
+  }
+  EXPECT_THROW(io::architecture_from_json(Value("A7")), InvalidArgument);
+  EXPECT_THROW(io::topology_from_json(Value("DSC")), InvalidArgument);
+  EXPECT_THROW(io::technology_from_json(Value("SiC")), InvalidArgument);
+  EXPECT_THROW(io::fault_kind_from_json(Value("meteor")), InvalidArgument);
+  EXPECT_THROW(io::architecture_from_json(Value(1.0)), InvalidArgument);
+}
+
+TEST(Schema, RequestFixedPointForEveryEnumCombination) {
+  const auto from = [](const Value& v) {
+    return io::evaluation_request_from_json(v);
+  };
+  for (DeviceTechnology tech :
+       {DeviceTechnology::kSilicon, DeviceTechnology::kGalliumNitride}) {
+    {
+      io::EvaluationRequest request;
+      request.architecture = ArchitectureKind::kA0_PcbConversion;
+      request.topology.reset();
+      request.tech = tech;
+      expect_fixed_point(request, from);
+    }
+    for (ArchitectureKind arch : all_architectures()) {
+      if (arch == ArchitectureKind::kA0_PcbConversion) continue;
+      for (TopologyKind topo : all_topologies()) {
+        io::EvaluationRequest request;
+        request.architecture = arch;
+        request.topology = topo;
+        request.tech = tech;
+        expect_fixed_point(request, from);
+      }
+    }
+  }
+}
+
+TEST(Schema, OptionsDefaultsRoundTripAsFixedPoint) {
+  expect_fixed_point(EvaluationOptions{}, [](const Value& v) {
+    return io::evaluation_options_from_json(v);
+  });
+  expect_fixed_point(PowerDeliverySpec{}, [](const Value& v) {
+    return io::spec_from_json(v);
+  });
+  expect_fixed_point(FaultSeverity{}, [](const Value& v) {
+    return io::fault_severity_from_json(v);
+  });
+}
+
+TEST(Schema, EveryFaultKindScenarioRoundTrips) {
+  for (FaultKind kind :
+       {FaultKind::kVrDropout, FaultKind::kVrDerate, FaultKind::kAttachFault,
+        FaultKind::kMeshRegionFault, FaultKind::kStage2Dropout}) {
+    FaultScenario scenario;
+    scenario.label = std::string("one-") + to_string(kind);
+    Fault fault;
+    fault.kind = kind;
+    fault.site = 3;
+    fault.x = Length{5e-3};
+    fault.y = Length{7e-3};
+    scenario.faults.push_back(fault);
+
+    expect_fixed_point(scenario, [](const Value& v) {
+      return io::fault_scenario_from_json(v);
+    });
+
+    // The lowered injection round-trips inside a full request too.
+    io::EvaluationRequest request;
+    request.architecture = ArchitectureKind::kA2_InterposerBelowDie;
+    request.topology = TopologyKind::kDsch;
+    request.options.faults = to_injection(scenario, FaultSeverity{});
+    expect_fixed_point(request, [](const Value& v) {
+      return io::evaluation_request_from_json(v);
+    });
+  }
+}
+
+TEST(Schema, SweepPointRoundTrips) {
+  SweepPoint point;
+  point.architecture = ArchitectureKind::kA3_TwoStage6V;
+  point.topology = TopologyKind::kDpmih;
+  point.tech = DeviceTechnology::kSilicon;
+  point.options.mesh_nodes = 21;
+  point.label = "A3@6V/DPMIH/Si";
+  expect_fixed_point(point, [](const Value& v) {
+    return io::sweep_point_from_json(v);
+  });
+}
+
+TEST(Schema, ScenarioFormLowersToSameCanonicalKeyAsInjectionForm) {
+  FaultScenario scenario;
+  scenario.faults.push_back(Fault{FaultKind::kVrDropout, 2, {}, {}});
+  io::EvaluationRequest explicit_form;
+  explicit_form.architecture = ArchitectureKind::kA2_InterposerBelowDie;
+  explicit_form.topology = TopologyKind::kDsch;
+  explicit_form.options.faults = to_injection(scenario, FaultSeverity{});
+
+  Value wire = io::to_json(explicit_form);
+  wire.as_object().erase(
+      std::find_if(wire.as_object().begin(), wire.as_object().end(),
+                   [](const auto& m) { return m.first == "options"; }));
+  wire.set("fault_scenario", io::to_json(scenario));
+  const io::EvaluationRequest scenario_form =
+      io::evaluation_request_from_json(wire);
+
+  EXPECT_EQ(io::canonical_request_key(scenario_form),
+            io::canonical_request_key(explicit_form));
+}
+
+TEST(Schema, CanonicalKeyIsInputOrderBlind) {
+  const io::EvaluationRequest reference =
+      io::evaluation_request_from_json(io::parse(
+          R"({"architecture":"A1","topology":"DSCH","options":{"mesh_nodes":21,"derating":0.6}})"));
+  const io::EvaluationRequest shuffled =
+      io::evaluation_request_from_json(io::parse(
+          R"({"options":{"derating":0.6,"mesh_nodes":21},"topology":"DSCH","architecture":"A1"})"));
+  EXPECT_EQ(io::canonical_request_key(reference),
+            io::canonical_request_key(shuffled));
+}
+
+// ---------------------------------------------------------------------------
+// Malformed schema input: structured errors, never crashes
+// ---------------------------------------------------------------------------
+
+TEST(Schema, WrongTypesAndUnknownFieldsAreInvalidArgument) {
+  const char* cases[] = {
+      R"({"architecture":"A1","topology":"DSCH","options":{"mesh_nodes":"41"}})",
+      R"({"architecture":"A1","topology":"DSCH","options":{"mesh_nodes":-1}})",
+      R"({"architecture":"A1","topology":"DSCH","options":{"mesh_nodes":2.5}})",
+      R"({"architecture":"A1","topology":"DSCH","options":{"cg_warm_start":"yes"}})",
+      R"({"architecture":"A1","topology":"DSCH","optoins":{}})",
+      R"({"architecture":"A1","topology":"DSCH","options":{"mesh_noodles":41}})",
+      R"({"architecture":"A1","topology":null})",
+      R"({"topology":"DSCH"})",
+      R"({"architecture":"A1","topology":"DSCH","spec":{"die_voltage":-1}})",
+      R"({"architecture":"A1","topology":"DSCH","fault_severity":{}})",
+      R"({"architecture":"A1","topology":"DSCH","options":{"faults":{"dropped_sites":[0]}},"fault_scenario":{"faults":[{"kind":"vr-dropout","site":0}]}})",
+      R"({"architecture":"A1","topology":"DSCH","options":{"faults":{"dropped_sites":[-1]}}})",
+      R"({"architecture":"A1","topology":"DSCH","options":{"faults":{"attach_scale":[{"site":0}]}}})",
+      R"([1,2,3])",
+      R"("A1")",
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(io::evaluation_request_from_json(io::parse(text)),
+                 InvalidArgument)
+        << text;
+  }
+}
+
+TEST(Schema, TruncatedDocumentsAreParseErrors) {
+  io::EvaluationRequest request;
+  request.architecture = ArchitectureKind::kA2_InterposerBelowDie;
+  request.topology = TopologyKind::kDsch;
+  request.options.faults.dropped_sites = {1, 4};
+  const std::string full = io::canonical_request_key(request);
+  for (std::size_t cut : {1ul, full.size() / 4, full.size() / 2,
+                          full.size() - 1}) {
+    EXPECT_THROW(io::parse(full.substr(0, cut)), io::ParseError) << cut;
+  }
+}
+
+TEST(Schema, SinkMapCallbacksAreNotSerializable) {
+  EvaluationOptions options;
+  options.sink_map = [](const GridMesh& mesh, Current total) {
+    Vector v(mesh.node_count(), 0.0);
+    v[0] = total.value;
+    return v;
+  };
+  EXPECT_THROW(io::to_json(options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vpd

@@ -1,0 +1,356 @@
+// Evaluation service: the acceptance bit-identity property (concurrent
+// service responses match serial evaluate_with_exclusion exactly),
+// coalescing, result-LRU behaviour, bounded-queue backpressure, error
+// paths, service metrics, and the ThreadPool exception-rethrow contract
+// the service relies on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vpd/core/explorer.hpp"
+#include "vpd/io/schema.hpp"
+#include "vpd/serve/service.hpp"
+#include "vpd/sweep/thread_pool.hpp"
+
+namespace vpd {
+namespace {
+
+// A 31-node mesh keeps each evaluation cheap while A1/DSCH stays
+// feasible (21 nodes is coarse enough to trip the exclusion rule); a
+// 161-node mesh makes one request deliberately slow (hundreds of
+// milliseconds) so in-flight states are observable without sleeps.
+io::EvaluationRequest make_request(
+    ArchitectureKind arch, std::optional<TopologyKind> topo,
+    std::size_t mesh_nodes = 31) {
+  io::EvaluationRequest request;
+  request.architecture = arch;
+  request.topology = topo;
+  request.options.mesh_nodes = mesh_nodes;
+  return request;
+}
+
+io::EvaluationRequest slow_request() {
+  return make_request(ArchitectureKind::kA2_InterposerBelowDie,
+                      TopologyKind::kDsch, 161);
+}
+
+std::string serial_dump(const io::EvaluationRequest& request) {
+  const ExplorationEntry entry =
+      evaluate_with_exclusion(request.spec, request.architecture,
+                              request.topology, request.tech, request.options);
+  return io::dump(io::to_json(entry));
+}
+
+// --- Acceptance: concurrent responses are bit-identical to serial ----------
+
+TEST(EvaluationService, ConcurrentResponsesBitIdenticalToSerial) {
+  std::vector<io::EvaluationRequest> distinct;
+  distinct.push_back(
+      make_request(ArchitectureKind::kA1_InterposerPeriphery,
+                   TopologyKind::kDsch));
+  distinct.push_back(
+      make_request(ArchitectureKind::kA2_InterposerBelowDie,
+                   TopologyKind::kDpmih));
+  distinct.push_back(
+      make_request(ArchitectureKind::kA3_TwoStage12V, TopologyKind::kDsch));
+  distinct.push_back(
+      make_request(ArchitectureKind::kA3_TwoStage6V, TopologyKind::kDpmih));
+  distinct.push_back(
+      make_request(ArchitectureKind::kA0_PcbConversion, std::nullopt));
+  // Excluded by the paper's rule (Dickson ladder over-rates here).
+  distinct.push_back(
+      make_request(ArchitectureKind::kA1_InterposerPeriphery,
+                   TopologyKind::kDickson));
+  // A fault scenario rides the same path.
+  {
+    io::EvaluationRequest faulted =
+        make_request(ArchitectureKind::kA2_InterposerBelowDie,
+                     TopologyKind::kDsch);
+    faulted.options.faults.dropped_sites = {1};
+    distinct.push_back(faulted);
+  }
+
+  // Duplicate-heavy stream: every distinct point appears several times,
+  // interleaved.
+  std::vector<io::EvaluationRequest> stream;
+  for (std::size_t i = 0; i < 4 * distinct.size(); ++i) {
+    stream.push_back(distinct[(i * 3) % distinct.size()]);
+  }
+
+  std::vector<std::string> expected;
+  expected.reserve(stream.size());
+  for (const auto& request : stream) expected.push_back(serial_dump(request));
+
+  serve::ServiceConfig config;
+  config.threads = 4;
+  serve::EvaluationService service(config);
+  std::vector<std::shared_future<serve::ServiceResponse>> futures;
+  for (const auto& request : stream) futures.push_back(service.submit(request));
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::ServiceResponse response = futures[i].get();
+    ASSERT_NE(response.entry, nullptr) << "request " << i;
+    EXPECT_TRUE(response.status == serve::ResponseStatus::kOk ||
+                response.status == serve::ResponseStatus::kExcluded);
+    EXPECT_EQ(io::dump(io::to_json(*response.entry)), expected[i])
+        << "request " << i;
+  }
+
+  const serve::ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.requests, stream.size());
+  EXPECT_EQ(metrics.completed, stream.size());
+  EXPECT_EQ(metrics.evaluated, distinct.size());
+  EXPECT_EQ(metrics.coalesced + metrics.result_cache_hits,
+            stream.size() - distinct.size());
+  EXPECT_EQ(metrics.rejected, 0u);
+  EXPECT_EQ(metrics.errors, 0u);
+}
+
+TEST(EvaluationService, ExcludedCombinationReportsStatusAndReason) {
+  serve::EvaluationService service;
+  const serve::ServiceResponse response = service.evaluate(
+      make_request(ArchitectureKind::kA1_InterposerPeriphery,
+                   TopologyKind::kDickson));
+  EXPECT_EQ(response.status, serve::ResponseStatus::kExcluded);
+  ASSERT_NE(response.entry, nullptr);
+  EXPECT_TRUE(response.entry->excluded());
+  EXPECT_FALSE(response.entry->exclusion_reason.empty());
+}
+
+// --- Result cache ----------------------------------------------------------
+
+TEST(EvaluationService, RepeatedRequestIsServedFromResultCache) {
+  serve::EvaluationService service;
+  const io::EvaluationRequest request =
+      make_request(ArchitectureKind::kA1_InterposerPeriphery,
+                   TopologyKind::kDsch);
+  const serve::ServiceResponse first = service.evaluate(request);
+  const serve::ServiceResponse second = service.evaluate(request);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_TRUE(second.from_cache);
+  // The cached response shares the one result object evaluation produced.
+  EXPECT_EQ(first.entry.get(), second.entry.get());
+
+  const serve::ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.evaluated, 1u);
+  EXPECT_EQ(metrics.result_cache_hits, 1u);
+  EXPECT_EQ(metrics.result_cache_size, 1u);
+}
+
+TEST(EvaluationService, LruEvictsLeastRecentlyUsedResult) {
+  serve::ServiceConfig config;
+  config.result_cache_capacity = 2;
+  serve::EvaluationService service(config);
+
+  const io::EvaluationRequest a = make_request(
+      ArchitectureKind::kA1_InterposerPeriphery, TopologyKind::kDsch);
+  const io::EvaluationRequest b = make_request(
+      ArchitectureKind::kA2_InterposerBelowDie, TopologyKind::kDsch);
+  const io::EvaluationRequest c = make_request(
+      ArchitectureKind::kA3_TwoStage12V, TopologyKind::kDsch);
+
+  service.evaluate(a);
+  service.evaluate(b);
+  service.evaluate(a);  // refresh a: b is now least recent
+  service.evaluate(c);  // evicts b
+  EXPECT_TRUE(service.evaluate(a).from_cache);
+  EXPECT_TRUE(service.evaluate(c).from_cache);
+  EXPECT_FALSE(service.evaluate(b).from_cache);  // evicted: re-evaluated
+  EXPECT_LE(service.metrics().result_cache_size, 2u);
+}
+
+TEST(EvaluationService, ZeroCapacityDisablesResultCache) {
+  serve::ServiceConfig config;
+  config.result_cache_capacity = 0;
+  serve::EvaluationService service(config);
+  const io::EvaluationRequest request = make_request(
+      ArchitectureKind::kA1_InterposerPeriphery, TopologyKind::kDsch);
+  service.evaluate(request);
+  EXPECT_FALSE(service.evaluate(request).from_cache);
+  EXPECT_EQ(service.metrics().evaluated, 2u);
+  EXPECT_EQ(service.metrics().result_cache_size, 0u);
+}
+
+// --- Coalescing ------------------------------------------------------------
+
+TEST(EvaluationService, DuplicateInFlightSubmitsCoalesce) {
+  serve::ServiceConfig config;
+  config.threads = 1;
+  serve::EvaluationService service(config);
+
+  // The slow request occupies the single worker, so the duplicates are
+  // guaranteed to find it in flight.
+  const io::EvaluationRequest request = slow_request();
+  auto first = service.submit(request);
+  auto second = service.submit(request);
+  auto third = service.submit(request);
+
+  const serve::ServiceResponse r1 = first.get();
+  const serve::ServiceResponse r2 = second.get();
+  const serve::ServiceResponse r3 = third.get();
+  ASSERT_NE(r1.entry, nullptr);
+  EXPECT_EQ(r1.entry.get(), r2.entry.get());
+  EXPECT_EQ(r1.entry.get(), r3.entry.get());
+
+  const serve::ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.evaluated, 1u);
+  EXPECT_EQ(metrics.coalesced, 2u);
+  EXPECT_EQ(metrics.completed, 3u);
+  EXPECT_EQ(metrics.latency_samples, 3u);
+}
+
+// --- Backpressure ----------------------------------------------------------
+
+TEST(EvaluationService, FullQueueRejectsImmediatelyWithoutBlocking) {
+  serve::ServiceConfig config;
+  config.threads = 1;
+  config.queue_capacity = 1;
+  serve::EvaluationService service(config);
+
+  auto slow = service.submit(slow_request());
+  // The queue (capacity 1) is now full with the in-flight slow request; a
+  // distinct submit must resolve immediately with kRejected.
+  const io::EvaluationRequest light = make_request(
+      ArchitectureKind::kA1_InterposerPeriphery, TopologyKind::kDsch);
+  auto rejected = service.submit(light);
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const serve::ServiceResponse response = rejected.get();
+  EXPECT_EQ(response.status, serve::ResponseStatus::kRejected);
+  EXPECT_FALSE(response.error.empty());
+  EXPECT_EQ(response.entry, nullptr);
+
+  // A duplicate of the in-flight request still coalesces (no queue slot
+  // needed), and the slot frees once the evaluation completes.
+  auto coalesced = service.submit(slow_request());
+  EXPECT_EQ(coalesced.get().status, slow.get().status);
+  service.wait_idle();
+  EXPECT_EQ(service.evaluate(light).status, serve::ResponseStatus::kOk);
+
+  const serve::ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.rejected, 1u);
+  EXPECT_EQ(metrics.coalesced, 1u);
+  EXPECT_EQ(metrics.queue_high_water, 1u);
+}
+
+// --- Error path ------------------------------------------------------------
+
+TEST(EvaluationService, EvaluationFailureYieldsStructuredErrorAndServiceSurvives) {
+  serve::EvaluationService service;
+  io::EvaluationRequest bad = make_request(
+      ArchitectureKind::kA2_InterposerBelowDie, TopologyKind::kDsch);
+  bad.options.faults.dropped_sites = {9999};  // out of range at evaluation
+  const serve::ServiceResponse response = service.evaluate(bad);
+  EXPECT_EQ(response.status, serve::ResponseStatus::kError);
+  EXPECT_FALSE(response.error.empty());
+  EXPECT_EQ(response.entry, nullptr);
+
+  // Errors are not cached; the service keeps serving.
+  const serve::ServiceResponse again = service.evaluate(bad);
+  EXPECT_EQ(again.status, serve::ResponseStatus::kError);
+  EXPECT_EQ(service.evaluate(make_request(
+                                 ArchitectureKind::kA1_InterposerPeriphery,
+                                 TopologyKind::kDsch))
+                .status,
+            serve::ResponseStatus::kOk);
+
+  const serve::ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.errors, 2u);
+  EXPECT_EQ(metrics.result_cache_size, 1u);  // only the good result
+}
+
+// --- Metrics ---------------------------------------------------------------
+
+TEST(EvaluationService, MetricsAreInternallyConsistent) {
+  serve::ServiceConfig config;
+  config.threads = 2;
+  serve::EvaluationService service(config);
+  const io::EvaluationRequest a = make_request(
+      ArchitectureKind::kA1_InterposerPeriphery, TopologyKind::kDsch);
+  const io::EvaluationRequest b = make_request(
+      ArchitectureKind::kA2_InterposerBelowDie, TopologyKind::kDpmih);
+  service.evaluate(a);
+  service.evaluate(b);
+  service.evaluate(a);  // cache hit
+
+  const serve::ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.threads, 2u);
+  EXPECT_EQ(metrics.requests, 3u);
+  EXPECT_EQ(metrics.completed, 3u);
+  EXPECT_EQ(metrics.latency_samples, 3u);
+  EXPECT_GT(metrics.latency_min_seconds, 0.0);
+  EXPECT_LE(metrics.latency_min_seconds, metrics.latency_mean_seconds);
+  EXPECT_LE(metrics.latency_mean_seconds, metrics.latency_max_seconds);
+  EXPECT_LE(metrics.latency_p99_seconds, metrics.latency_max_seconds);
+  EXPECT_GE(metrics.queue_high_water, 1u);
+  EXPECT_DOUBLE_EQ(metrics.result_cache_hit_rate(), 1.0 / 3.0);
+
+  // The JSON export carries every counter.
+  const io::Value v = service.metrics_json();
+  EXPECT_EQ(v.at("requests").as_number(), 3.0);
+  EXPECT_EQ(v.at("result_cache_hits").as_number(), 1.0);
+  EXPECT_EQ(v.at("mesh_cache").at("misses").as_number(),
+            static_cast<double>(metrics.mesh_cache.misses));
+  EXPECT_GT(v.at("latency").at("p99_seconds").as_number(), 0.0);
+}
+
+TEST(EvaluationService, ResponseJsonCarriesStatusAndResult) {
+  serve::EvaluationService service;
+  const io::Value ok = serve::to_json(service.evaluate(make_request(
+      ArchitectureKind::kA1_InterposerPeriphery, TopologyKind::kDsch)));
+  EXPECT_EQ(ok.at("status").as_string(), "ok");
+  EXPECT_NE(ok.find("result"), nullptr);
+
+  io::EvaluationRequest bad = make_request(
+      ArchitectureKind::kA2_InterposerBelowDie, TopologyKind::kDsch);
+  bad.options.faults.dropped_sites = {9999};
+  const io::Value err = serve::to_json(service.evaluate(bad));
+  EXPECT_EQ(err.at("status").as_string(), "error");
+  EXPECT_FALSE(err.at("error").as_string().empty());
+  EXPECT_EQ(err.find("result"), nullptr);
+}
+
+// --- ThreadPool exception contract (the service depends on it) -------------
+
+TEST(ThreadPoolExceptions, FirstExceptionPerEpochRethrownByWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("task exploded"); });
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&completed] { ++completed; });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "expected wait_idle to rethrow the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task exploded");
+  }
+  // The exception did not kill the workers; the other tasks all ran.
+  EXPECT_EQ(completed.load(), 8);
+  // The epoch was cleared by the rethrow.
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPoolExceptions, OnlyFirstExceptionOfAnEpochIsKept) {
+  ThreadPool pool(1);  // single worker serializes the tasks
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected wait_idle to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_NO_THROW(pool.wait_idle());
+
+  // A fresh epoch reports its own first exception.
+  pool.submit([] { throw std::runtime_error("third"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vpd

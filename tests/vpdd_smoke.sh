@@ -1,0 +1,75 @@
+#!/bin/sh
+# End-to-end vpdd smoke test: pipe 10 NDJSON requests (pipelined, one of
+# them malformed) through the daemon and check that every request gets an
+# in-order, id-tagged response with the expected status. Pure POSIX shell
+# + grep so it runs in every CI matrix, sanitizers included.
+set -eu
+
+VPDD="${1:?usage: vpdd_smoke.sh /path/to/vpdd}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+requests="$workdir/requests.ndjson"
+responses="$workdir/responses.ndjson"
+
+cat > "$requests" <<'EOF'
+{"id":1,"architecture":"A1","topology":"DSCH"}
+{"id":2,"architecture":"A2","topology":"DPMIH"}
+{"id":3,"architecture":"A1","topology":"DSCH"}
+{"id":4,"architecture":"A0"}
+{"id":5,"architecture":"A3@12V","topology":"DSCH"}
+{"id":6,"architecture":"A1","topology":"3LHD"}
+this line is not JSON {{{
+{"id":8,"architecture":"A9","topology":"DSCH"}
+{"id":9,"architecture":"A2","topology":"DSCH","fault_scenario":{"faults":[{"kind":"vr-dropout","site":3}]}}
+{"id":10,"architecture":"A3@12V","topology":"DSCH","options":{"mesh_nodes":21}}
+EOF
+
+"$VPDD" --threads 2 --metrics < "$requests" > "$responses" 2> "$workdir/metrics.json"
+
+fail() {
+  echo "vpdd_smoke: $1" >&2
+  echo "--- responses ---" >&2
+  cat "$responses" >&2
+  exit 1
+}
+
+# One response line per request, in request order.
+[ "$(wc -l < "$responses")" -eq 10 ] || fail "expected 10 response lines"
+expected_ids='1 2 3 4 5 6 null 8 9 10'
+actual_ids="$(grep -o '^{"id":[^,]*' "$responses" | sed 's/^{"id"://' | tr '\n' ' ' | sed 's/ $//')"
+[ "$actual_ids" = "$expected_ids" ] || fail "response ids/order wrong: $actual_ids"
+
+# Statuses: the malformed line and the unknown architecture produce
+# structured errors, the over-rated A2/DPMIH and 3LHD combinations are
+# excluded, the rest evaluate.
+check_status() {
+  grep -q "^{\"id\":$1,\"status\":\"$2\"" "$responses" \
+    || fail "request id=$1 did not report status=$2"
+}
+check_status 1 ok
+check_status 2 excluded
+check_status 3 ok
+check_status 4 ok
+check_status 5 ok
+check_status 6 excluded
+check_status null error
+check_status 8 error
+check_status 9 ok
+check_status 10 ok
+
+# Error responses carry a message, never a result body.
+grep '"status":"error"' "$responses" | grep -q '"error":"' \
+  || fail "error responses must carry an error message"
+grep '"status":"error"' "$responses" | grep -q '"result"' \
+  && fail "error responses must not carry a result body"
+
+# The duplicate (id=3) is served without a second evaluation, and the
+# --metrics shutdown dump is valid enough to grep.
+grep -q '"requests": 8' "$workdir/metrics.json" \
+  || fail "metrics dump should count 8 schema-valid requests"
+grep -q '"evaluated": 7' "$workdir/metrics.json" \
+  || fail "metrics dump should show the duplicate was not re-evaluated"
+
+echo "vpdd_smoke: OK (10 pipelined requests, 1 malformed, ids in order)"

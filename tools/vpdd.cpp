@@ -1,0 +1,154 @@
+// vpdd — the VPD evaluation daemon.
+//
+// Reads newline-delimited JSON evaluation requests on stdin and writes
+// one JSON response line per request on stdout. Requests carry an
+// optional "id" member which is echoed verbatim in the response, so
+// clients may pipeline: send many requests without waiting, match
+// responses by id. Responses are written in request order (evaluation
+// itself is parallel and out of order; ordering costs nothing because
+// every response is buffered in its future until its turn).
+//
+// A malformed or invalid request produces a {"status":"error"} response
+// line — the daemon never crashes on bad input and keeps serving. See
+// docs/serve.md for the wire protocol.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "vpd/io/json.hpp"
+#include "vpd/io/schema.hpp"
+#include "vpd/serve/service.hpp"
+
+namespace {
+
+using vpd::io::Value;
+
+void print_usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--threads N] [--queue N] [--cache N] [--pretty] "
+      "[--metrics]\n"
+      "  --threads N   worker threads (default: hardware concurrency)\n"
+      "  --queue N     max in-flight evaluations before rejecting "
+      "(default 256)\n"
+      "  --cache N     completed-result LRU capacity (default 1024)\n"
+      "  --pretty      indent response JSON (default: one compact line)\n"
+      "  --metrics     dump service metrics JSON to stderr on shutdown\n",
+      argv0);
+}
+
+/// Response line: the client's id (null when absent or unparseable)
+/// followed by the service response body.
+void print_response(const Value& id, const vpd::serve::ServiceResponse& response,
+                    bool pretty) {
+  Value body = Value::object();
+  body.set("id", id);
+  const Value service_body = vpd::serve::to_json(response);
+  for (const auto& [key, value] : service_body.as_object()) {
+    body.set(key, value);
+  }
+  const std::string line =
+      pretty ? vpd::io::dump_pretty(body) : vpd::io::dump(body);
+  std::fputs(line.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vpd;
+
+  serve::ServiceConfig config;
+  bool metrics = false;
+  bool pretty = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto size_arg = [&](const char* flag, std::size_t* out) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      *out = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      return true;
+    };
+    if (size_arg("--threads", &config.threads) ||
+        size_arg("--queue", &config.queue_capacity) ||
+        size_arg("--cache", &config.result_cache_capacity)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--pretty") == 0) {
+      pretty = true;
+    } else {
+      print_usage(argv[0]);
+      return 2;
+    }
+  }
+
+  serve::EvaluationService service(config);
+  std::deque<std::pair<Value, std::shared_future<serve::ServiceResponse>>>
+      pending;
+
+  const auto drain_ready = [&](bool block) {
+    while (!pending.empty()) {
+      auto& [id, future] = pending.front();
+      if (!block && future.wait_for(std::chrono::seconds(0)) !=
+                        std::future_status::ready) {
+        return;
+      }
+      print_response(id, future.get(), pretty);
+      pending.pop_front();
+    }
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    Value id;  // null until the request parses far enough to have one
+    try {
+      Value doc = io::parse(line);
+      if (const Value* requested_id = doc.find("id")) {
+        id = *requested_id;
+        // The schema reader is strict about unknown fields; "id" is the
+        // transport envelope's, not the request's.
+        Value::Object& members = doc.as_object();
+        for (auto it = members.begin(); it != members.end(); ++it) {
+          if (it->first == "id") {
+            members.erase(it);
+            break;
+          }
+        }
+      }
+      const io::EvaluationRequest request =
+          io::evaluation_request_from_json(doc);
+      pending.emplace_back(std::move(id), service.submit(request));
+    } catch (const Error& e) {
+      // Queue a resolved error response so output order stays request
+      // order even when a bad line lands between in-flight evaluations.
+      serve::ServiceResponse response;
+      response.status = serve::ResponseStatus::kError;
+      response.error = e.what();
+      std::promise<serve::ServiceResponse> resolved;
+      resolved.set_value(std::move(response));
+      pending.emplace_back(std::move(id), resolved.get_future().share());
+    }
+    drain_ready(/*block=*/false);
+  }
+  drain_ready(/*block=*/true);
+
+  if (metrics) {
+    const std::string dump = io::dump_pretty(service.metrics_json());
+    std::fputs(dump.c_str(), stderr);
+    std::fputc('\n', stderr);
+  }
+  return 0;
+}

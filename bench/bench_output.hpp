@@ -67,6 +67,17 @@ class JsonReport {
     doc_.set("mesh_cache", std::move(v));
   }
 
+  /// Serializes a solver counter delta (typically solver_counters()
+  /// around the timed section) as `solver: {...}`.
+  void set_solver(const SolverCounters& counters) {
+    io::Value v = io::Value::object();
+    v.set("cg_solves", counters.cg_solves);
+    v.set("cg_iterations", counters.cg_iterations);
+    v.set("precond_factorizations", counters.precond_factorizations);
+    v.set("precond_reuses", counters.precond_reuses);
+    doc_.set("solver", std::move(v));
+  }
+
   void print() const {
     io::Value doc = doc_;
     if (doc.find("mesh_cache") == nullptr) {

@@ -176,6 +176,7 @@ int main(int argc, char** argv) {
     report.add("bit_identical", true);
     report.add("service_metrics", serve::to_json(metrics));
     report.set_mesh_cache(metrics.mesh_cache);
+    report.set_solver(metrics.solver);
     report.print();
     return 0;
   }

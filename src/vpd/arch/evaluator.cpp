@@ -173,6 +173,7 @@ DistributionResult solve_distribution(const PowerDeliverySpec& spec,
               total_current.value);
   IrDropOptions solve_options;
   solve_options.relative_tolerance = options.irdrop_relative_tolerance;
+  solve_options.preconditioner = options.irdrop_preconditioner;
   if (options.cg_warm_start) solve_options.warm_start_voltage = rail.value;
   const IrDropResult ir = solve_irdrop(*assembled, legs, sinks,
                                        solve_options);

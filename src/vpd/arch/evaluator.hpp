@@ -71,6 +71,11 @@ struct EvaluationOptions {
   /// execution order; disable to reproduce the cold-start iteration
   /// counts.
   bool cg_warm_start{true};
+  /// Preconditioner for the distribution IR-drop solve. IC(0) (the
+  /// default) cuts CG iteration counts several-fold over Jacobi on mesh
+  /// operators; either choice converges to the same certified criterion.
+  CgPreconditioner irdrop_preconditioner{
+      CgPreconditioner::kIncompleteCholesky};
   /// Shared cache of assembled mesh operators; nullptr = assemble per
   /// call. The cache is thread-safe and must outlive the evaluation; a
   /// SweepRunner wires its own cache in here for every point.

@@ -1,11 +1,16 @@
 // Sparse linear algebra for PDN mesh solves: triplet assembly, CSR storage,
-// matrix-vector product, and a Jacobi-preconditioned conjugate-gradient
+// in-place matrix-vector products, and a preconditioned conjugate-gradient
 // solver for symmetric positive-definite systems. Power-grid IR-drop
 // matrices (Laplacian + source shunts) are SPD, so CG is the natural solver
-// and scales to meshes with 10^5+ nodes.
+// and scales to meshes with 10^5+ nodes. Two preconditioners are offered:
+// Jacobi (diagonal scaling) and IC(0) (incomplete Cholesky with no fill,
+// falling back to SSOR when the factorization breaks down), selectable via
+// CgOptions. A CgWorkspace makes repeated solves allocation-free and reuses
+// the factorization when the matrix values have not changed.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "vpd/common/matrix.hpp"  // for Vector
@@ -14,12 +19,16 @@ namespace vpd {
 
 /// Coordinate-format accumulator. Duplicate (row, col) entries are summed
 /// when compiled to CSR — exactly the stamping pattern MNA/mesh assembly
-/// wants.
+/// wants. Exact zeros are kept: a severed mesh edge (conductance scale 0)
+/// must keep its slot in the compiled sparsity pattern so later shunt
+/// stamps via CsrMatrix::add_to_entry still land on an existing entry.
 class TripletList {
  public:
   TripletList(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
 
   void add(std::size_t row, std::size_t col, double value);
+  /// Pre-size the entry storage (pure capacity hint).
+  void reserve(std::size_t entries) { entries_.reserve(entries); }
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -42,15 +51,23 @@ class TripletList {
 class CsrMatrix {
  public:
   CsrMatrix() = default;
-  /// Compiles a triplet list, summing duplicates and dropping exact zeros.
+  /// Compiles a triplet list, summing duplicates. Entries that sum to
+  /// exactly zero are retained as structural (stored) zeros — the pattern
+  /// of a damaged mesh must match the nominal one so in-place stamping and
+  /// cached symbolic factorizations stay valid.
   explicit CsrMatrix(const TripletList& triplets);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
+  /// Number of stored entries (stored zeros included).
   std::size_t nonzero_count() const { return values_.size(); }
 
   /// y = A x
   Vector multiply(const Vector& x) const;
+
+  /// y = A x into caller storage (resized to rows()); x and y must be
+  /// distinct objects. The allocation-free SpMV the CG iteration uses.
+  void multiply_into(const Vector& x, Vector& y) const;
 
   /// Element lookup (O(log nnz_row)); returns 0 for structural zeros.
   double at(std::size_t row, std::size_t col) const;
@@ -64,6 +81,8 @@ class CsrMatrix {
 
   /// Diagonal entries (0 where structurally absent).
   Vector diagonal() const;
+  /// Same, into caller storage (resized to min(rows, cols)).
+  void diagonal_into(Vector& d) const;
 
   /// ||A||_inf: maximum absolute row sum. Used by solve_cg to convert
   /// tolerances into attainable normwise-backward-error targets.
@@ -76,12 +95,123 @@ class CsrMatrix {
   const std::vector<std::size_t>& col_indices() const { return col_indices_; }
   const std::vector<double>& values() const { return values_; }
 
+  /// Mutable value array for in-place operator surgery with the pattern
+  /// fixed (e.g. grounding disconnected nodes out of a fault-severed
+  /// solve). Same order as values().
+  std::vector<double>& values_mut() { return values_; }
+
  private:
   std::size_t rows_{0};
   std::size_t cols_{0};
   std::vector<std::size_t> row_offsets_;  // size rows_+1
   std::vector<std::size_t> col_indices_;
   std::vector<double> values_;
+};
+
+/// Preconditioner for solve_cg.
+enum class CgPreconditioner {
+  /// M = diag(A). Cheapest setup; the right choice for one-off solves on
+  /// small or well-conditioned systems.
+  kJacobi,
+  /// M = L L^T from a modified IC(0) factorization (no fill beyond A's
+  /// lower triangle; dropped fill compensated into the diagonal, which
+  /// improves the conditioning *order* on mesh Laplacians, not just the
+  /// constant). Cuts mesh-solve iteration counts by ~3-5x over Jacobi for
+  /// ~1 extra SpMV-equivalent per application. Falls back to SSOR
+  /// (M = (D+L) D^{-1} (D+L)^T, always SPD for SPD A) if a pivot loses
+  /// positivity, so the preconditioned system stays SPD unconditionally.
+  kIncompleteCholesky,
+};
+
+const char* to_string(CgPreconditioner preconditioner);
+
+/// Lower-triangle sparsity pattern of a square CSR matrix, precomputed for
+/// IC(0)/SSOR factorizations: per-row column lists (diagonal last) plus the
+/// mapping from each lower-triangle slot back to the source value index.
+/// The pattern depends only on the matrix structure, so one IcSymbolic can
+/// be shared by every matrix with that pattern — e.g. cached alongside a
+/// mesh Laplacian whose VR shunt stamps only touch existing diagonal
+/// entries.
+class IcSymbolic {
+ public:
+  /// Default fill level: level-1 fill (entries reachable through one
+  /// eliminated neighbor join the pattern). On 5-point mesh stencils this
+  /// costs ~2 extra entries per lower row and cuts CG iterations by
+  /// another ~30-40% over the no-fill pattern.
+  static constexpr unsigned kDefaultFillLevel = 1;
+
+  IcSymbolic() = default;
+  /// Builds the pattern from `a` (must be square with every diagonal entry
+  /// structurally present): A's lower triangle plus fill entries up to
+  /// `fill_level` (0 = A's pattern only, the classic IC(0) pattern).
+  explicit IcSymbolic(const CsrMatrix& a,
+                      unsigned fill_level = kDefaultFillLevel);
+
+  bool empty() const { return offsets_.empty(); }
+  std::size_t rows() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t entry_count() const { return cols_.size(); }
+
+ private:
+  friend class IcPreconditioner;
+  std::vector<std::size_t> offsets_;  // rows+1; row r = [offsets_[r], offsets_[r+1])
+  std::vector<std::size_t> cols_;     // ascending per row; last entry is the diagonal
+  std::vector<std::size_t> source_;   // index into CsrMatrix::values() per slot
+  // Strict-lower entries regrouped by column for the right-looking
+  // factorization: column k = [col_offsets_[k], col_offsets_[k+1]), each
+  // entry naming its storage slot and row (rows ascending per column).
+  std::vector<std::size_t> col_offsets_;  // rows+1
+  std::vector<std::size_t> col_slots_;
+  std::vector<std::size_t> col_rows_;
+};
+
+/// Numeric IC(0) factorization (with SSOR fallback) over an IcSymbolic
+/// pattern. factor() computes L (or captures D+L for the fallback);
+/// apply() evaluates z = M^{-1} r allocation-free.
+class IcPreconditioner {
+ public:
+  /// Factors `a`. `shared` supplies a precomputed pattern of `a` (must
+  /// describe exactly a's structure); nullptr builds one on demand.
+  void factor(const CsrMatrix& a, const IcSymbolic* shared = nullptr);
+
+  /// z = M^{-1} r. Requires a prior factor(); z is resized to fit.
+  /// Self-contained: reads only state owned by this object, never the
+  /// shared IcSymbolic, so a factorization cached in a CgWorkspace stays
+  /// valid after the shared pattern's owner (e.g. a mesh cache entry) is
+  /// gone.
+  void apply(const Vector& r, Vector& z) const;
+
+  bool empty() const { return fwd_off_.empty(); }
+  /// True when the last factor() hit a non-positive (or relatively
+  /// negligible) pivot and produced the SSOR preconditioner instead.
+  bool ssor_fallback() const { return ssor_; }
+
+ private:
+  void setup_ssor(const CsrMatrix& a);
+  void finalize_apply_arrays();
+
+  IcSymbolic owned_;  // used when no shared pattern given
+  // &owned_ or the caller's shared pattern. Dereferenced only inside
+  // factor(); may dangle afterwards (see apply()).
+  const IcSymbolic* symbolic_{nullptr};
+  std::size_t n_{0};  // rows of the factored matrix
+  std::vector<double> values_;  // L values (IC) or lower-triangle A (SSOR)
+  Vector diag_;                 // L_rr (IC) or A_rr (SSOR)
+  Vector inv_diag_;             // 1 / diag_
+  bool ssor_{false};
+  // Compact gather form of the strict-lower triangle for apply(): the
+  // forward sweep walks L by rows, the backward sweep walks L^T by rows
+  // (i.e. L by columns, via the symbolic column view), so both sweeps are
+  // branch-free gathers. Rows are stored in wavefront (dependency-level)
+  // order — fwd_row_/bwd_row_ name the original row per slot — so the
+  // out-of-order core overlaps independent rows instead of serializing on
+  // the sweep's dependency chain; the arithmetic per row is unchanged, so
+  // results are bit-identical to a natural-order sweep. 32-bit indices
+  // keep the hot arrays in L1.
+  std::vector<std::uint32_t> fwd_off_, fwd_cols_, fwd_row_;
+  std::vector<std::uint32_t> bwd_off_, bwd_cols_, bwd_row_;
+  std::vector<double> fwd_vals_, bwd_vals_;
 };
 
 /// Outcome of an iterative solve.
@@ -100,9 +230,68 @@ struct CgOptions {
   /// cuts the iteration count dramatically because the residual starts at
   /// the perturbation scale instead of ||b||.
   Vector x0;
+  CgPreconditioner preconditioner{CgPreconditioner::kJacobi};
+  /// Optional precomputed lower-triangle pattern of the matrix for
+  /// kIncompleteCholesky (e.g. cached next to a mesh Laplacian whose
+  /// stamps never change the pattern). nullptr builds it at factor time.
+  const IcSymbolic* ic_symbolic{nullptr};
 };
 
-/// Jacobi-preconditioned conjugate gradient for SPD systems.
+/// Reusable solver state: the iteration vectors, the diagonal scratch, and
+/// the most recent IC(0)/SSOR factorization together with an exact copy of
+/// the matrix (pattern + values) it was computed from. A repeat solve on a
+/// value-identical matrix — the common case in fault campaigns re-solving
+/// the same stamped operator and in warm-started sweeps — reuses the
+/// factorization, verified by exact comparison so reuse can never change a
+/// result bit. Not thread-safe: use one workspace per thread.
+class CgWorkspace {
+ public:
+  struct Stats {
+    std::size_t solves{0};
+    std::size_t iterations{0};
+    std::size_t factorizations{0};
+    std::size_t factorization_reuses{0};
+  };
+
+  const Stats& stats() const { return stats_; }
+  /// Forgets the cached factorization; the next IC solve refactors.
+  void invalidate() { key_valid_ = false; }
+
+ private:
+  friend CgResult solve_cg(const CsrMatrix&, const Vector&, const CgOptions&,
+                           CgWorkspace&);
+
+  bool key_matches(const CsrMatrix& a) const;
+  void capture_key(const CsrMatrix& a);
+
+  Vector diag_;                // Jacobi inverse diagonal / SPD pre-check
+  Vector r_, z_, p_, ap_;      // CG iteration vectors
+  IcPreconditioner ic_;
+  std::vector<std::size_t> key_offsets_;  // matrix the factorization is for
+  std::vector<std::size_t> key_cols_;
+  std::vector<double> key_values_;
+  bool key_valid_{false};
+  Stats stats_;
+};
+
+/// Process-wide solver activity counters (monotonic since process start).
+/// Snapshot with solver_counters() and subtract two snapshots to meter a
+/// region; sweep/fault/serve reports expose such deltas. cg_solves and
+/// cg_iterations are deterministic for a deterministic workload; the
+/// factorizations/reuses split depends on how work lands on per-thread
+/// workspaces.
+struct SolverCounters {
+  std::uint64_t cg_solves{0};
+  std::uint64_t cg_iterations{0};
+  std::uint64_t precond_factorizations{0};
+  std::uint64_t precond_reuses{0};
+};
+
+SolverCounters solver_counters();
+SolverCounters operator-(const SolverCounters& a, const SolverCounters& b);
+SolverCounters operator+(const SolverCounters& a, const SolverCounters& b);
+
+/// Preconditioned conjugate gradient for SPD systems.
 /// Convergence is declared against the *true* residual b - A x: when the
 /// recurrence residual reaches the target the solver recomputes the exact
 /// residual (the two drift apart over many iterations) and keeps iterating
@@ -115,9 +304,24 @@ struct CgOptions {
 /// conductances many orders apart) rtol * ||b|| can sit below the
 /// floating-point rounding floor eps * ||A|| ||x|| of the residual
 /// itself, where no iterate could ever pass a b-relative test.
+/// The workspace overload performs no per-iteration allocations and reuses
+/// a cached factorization when the matrix is value-identical to the
+/// previous IC solve; the convenience overload uses a transient workspace.
+/// Results are identical either way (the workspace only provides storage).
 /// Throws InvalidArgument on shape mismatch and NumericalError if the
 /// iteration breaks down (non-SPD matrix).
 CgResult solve_cg(const CsrMatrix& a, const Vector& b,
+                  const CgOptions& options, CgWorkspace& workspace);
+CgResult solve_cg(const CsrMatrix& a, const Vector& b,
                   const CgOptions& options = {});
+
+/// Solves A x = b for every right-hand side in `rhs` against one
+/// factorization: the first solve factors (IC kinds), the rest reuse it
+/// through the workspace. Each result is bit-identical to a standalone
+/// solve_cg call with the same options.
+std::vector<CgResult> solve_cg_batch(const CsrMatrix& a,
+                                     const std::vector<Vector>& rhs,
+                                     const CgOptions& options,
+                                     CgWorkspace& workspace);
 
 }  // namespace vpd

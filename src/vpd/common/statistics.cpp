@@ -38,20 +38,29 @@ double RunningStats::mean() const {
 
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
-  return m2_ / static_cast<double>(count_);
+  return m2_ / static_cast<double>(count_ - 1);
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+
+/// Linear-interpolated percentile over an already-sorted sample set.
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
 
 double percentile(std::vector<double> samples, double q) {
   VPD_REQUIRE(!samples.empty(), "no samples");
   VPD_REQUIRE(q >= 0.0 && q <= 1.0, "q=", q, " outside [0,1]");
   std::sort(samples.begin(), samples.end());
-  const double pos = q * static_cast<double>(samples.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return samples[lo] + frac * (samples[hi] - samples[lo]);
+  return sorted_percentile(samples, q);
 }
 
 Summary summarize(std::vector<double> samples) {
@@ -64,9 +73,11 @@ Summary summarize(std::vector<double> samples) {
   s.max = rs.max();
   s.mean = rs.mean();
   s.stddev = rs.stddev();
-  s.median = percentile(samples, 0.5);
-  s.p05 = percentile(samples, 0.05);
-  s.p95 = percentile(std::move(samples), 0.95);
+  // One sort serves all three percentile reads.
+  std::sort(samples.begin(), samples.end());
+  s.median = sorted_percentile(samples, 0.5);
+  s.p05 = sorted_percentile(samples, 0.05);
+  s.p95 = sorted_percentile(samples, 0.95);
   return s;
 }
 

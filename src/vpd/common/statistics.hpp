@@ -17,7 +17,11 @@ class RunningStats {
   double min() const;
   double max() const;
   double mean() const;
-  /// Population variance; 0 for fewer than 2 samples.
+  /// Sample (Bessel-corrected, n-1 divisor) variance; 0 for fewer than 2
+  /// samples. The samples here are always a finite draw from a larger
+  /// population — VR currents from one design point, Monte-Carlo
+  /// variation runs — so the unbiased estimator is the right default,
+  /// and it matches how Summary.stddev is consumed downstream.
   double variance() const;
   double stddev() const;
   double sum() const { return sum_; }

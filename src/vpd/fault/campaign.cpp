@@ -263,6 +263,7 @@ FaultCampaignReport FaultCampaignRunner::run(
   report.nominal = *nominal;
   report.wall_seconds = nominal_report.wall_seconds +
                         sweep_report.wall_seconds;
+  report.solver = nominal_report.solver + sweep_report.solver;
   report.outcomes.reserve(scenarios.size());
   const ResilienceContext context{spec_, architecture, topology, tech};
   for (std::size_t i = 0; i < scenarios.size(); ++i) {

@@ -81,6 +81,10 @@ struct FaultCampaignReport {
   ArchitectureEvaluation nominal;
   std::vector<FaultScenarioOutcome> outcomes;
   double wall_seconds{0.0};
+  /// Solver counter delta across the campaign's two sweeps (nominal +
+  /// scenarios). Solves/iterations are deterministic; the
+  /// factorization/reuse split is scheduling-dependent (see SweepReport).
+  SolverCounters solver;
 
   std::size_t scenario_count() const { return outcomes.size(); }
   std::size_t survivor_count() const;

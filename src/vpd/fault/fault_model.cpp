@@ -30,9 +30,9 @@ void FaultSeverity::validate() const {
   VPD_REQUIRE(derate_loss_scale > 0.0, "derate_loss_scale must be > 0");
   VPD_REQUIRE(attach_resistance_scale > 0.0,
               "attach_resistance_scale must be > 0");
-  VPD_REQUIRE(mesh_conductance_scale > 0.0,
-              "mesh_conductance_scale must be > 0 (a zero scale can "
-              "disconnect mesh nodes)");
+  VPD_REQUIRE(mesh_conductance_scale >= 0.0,
+              "mesh_conductance_scale must be >= 0 (0 = fully severed "
+              "copper; disconnected nodes are grounded out of the solve)");
   VPD_REQUIRE(mesh_region_side.value > 0.0, "mesh_region_side must be > 0");
 }
 

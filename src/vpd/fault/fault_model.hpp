@@ -59,9 +59,10 @@ struct FaultSeverity {
   double mesh_conductance_scale{0.1};
   Length mesh_region_side{Length{2e-3}};
 
-  /// Throws InvalidArgument unless every scale is positive (a zero
-  /// conductance scale can disconnect mesh nodes) and the region side is
-  /// positive.
+  /// Throws InvalidArgument unless every scale is positive — except
+  /// mesh_conductance_scale, where 0 is the fully-severed-copper damage
+  /// model (nodes cut off from every VR are grounded out of the solve and
+  /// report 0 V) — and the region side is positive.
   void validate() const;
 };
 

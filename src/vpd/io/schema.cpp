@@ -275,6 +275,8 @@ Value to_json(const EvaluationOptions& options) {
   v.set("max_periphery_rings", options.max_periphery_rings);
   v.set("irdrop_relative_tolerance", options.irdrop_relative_tolerance);
   v.set("cg_warm_start", options.cg_warm_start);
+  v.set("irdrop_preconditioner",
+        std::string(to_string(options.irdrop_preconditioner)));
   v.set("faults", to_json(options.faults));
   return v;
 }
@@ -303,6 +305,19 @@ EvaluationOptions evaluation_options_from_json(const Value& v) {
   options.irdrop_relative_tolerance = number_or(
       r, "irdrop_relative_tolerance", options.irdrop_relative_tolerance);
   options.cg_warm_start = bool_or(r, "cg_warm_start", options.cg_warm_start);
+  // Optional with a default so pre-preconditioner requests keep parsing.
+  if (const Value* precond = r.get("irdrop_preconditioner")) {
+    const std::string& name = precond->as_string();
+    if (name == to_string(CgPreconditioner::kJacobi)) {
+      options.irdrop_preconditioner = CgPreconditioner::kJacobi;
+    } else if (name == to_string(CgPreconditioner::kIncompleteCholesky)) {
+      options.irdrop_preconditioner = CgPreconditioner::kIncompleteCholesky;
+    } else {
+      throw InvalidArgument(detail::concat(
+          "unknown irdrop_preconditioner \"", name,
+          "\" (expected \"jacobi\" or \"ic0\")"));
+    }
+  }
   if (const Value* faults = r.get("faults")) {
     options.faults = fault_injection_from_json(*faults);
   }

@@ -1,6 +1,8 @@
 #include "vpd/package/irdrop.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "vpd/common/error.hpp"
 
@@ -12,11 +14,63 @@ Summary IrDropResult::vr_current_summary() const {
 
 namespace {
 
-/// Shared solve core: takes the compiled Laplacian by value (a fresh
-/// assembly or a copy of a cached one — identical either way), stamps the
-/// VR shunts in place, and runs CG. Keeping one code path guarantees
-/// cached and uncached solves are bit-identical.
-IrDropResult solve_assembled(const GridMesh& mesh, CsrMatrix a,
+/// Marks every node reachable from a VR attachment over nonzero-conductance
+/// edges, then grounds the rest out of the system: their rows become the
+/// identity (the off-diagonals are already stored zeros — a node with a
+/// live edge would be reachable) and their rhs becomes 0, so they solve to
+/// 0 V. Keeps a fault-severed operator SPD with the nominal sparsity
+/// pattern. Fills `grounded_mask` (resized to the node count) with 1 for
+/// every grounded node — the caller pins those voltages to exactly 0 after
+/// the solve, since CG itself only reaches 0 to within the tolerance —
+/// and returns the number of grounded nodes.
+std::size_t ground_floating_nodes(CsrMatrix& a, Vector& rhs,
+                                  const std::vector<VrAttachment>& vrs,
+                                  std::vector<char>& grounded_mask) {
+  const std::size_t n = a.rows();
+  std::vector<char> reachable(n, 0);
+  std::vector<std::size_t> stack;
+  stack.reserve(n);
+  for (const VrAttachment& vr : vrs) {
+    if (!reachable[vr.node]) {
+      reachable[vr.node] = 1;
+      stack.push_back(vr.node);
+    }
+  }
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& values = a.values();
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (std::size_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+      const std::size_t v = cols[k];
+      if (v != u && values[k] != 0.0 && !reachable[v]) {
+        reachable[v] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  std::size_t grounded = 0;
+  auto& mut = a.values_mut();
+  grounded_mask.assign(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (reachable[r]) continue;
+    for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k)
+      mut[k] = cols[k] == r ? 1.0 : 0.0;
+    rhs[r] = 0.0;
+    grounded_mask[r] = 1;
+    ++grounded;
+  }
+  return grounded;
+}
+
+/// Shared solve core: copies the compiled Laplacian (a fresh assembly or a
+/// cached one — identical either way) into per-thread storage, stamps the
+/// VR shunts in place, and runs preconditioned CG through a reusable
+/// workspace. Keeping one code path guarantees cached and uncached solves
+/// are bit-identical.
+IrDropResult solve_assembled(const GridMesh& mesh, const CsrMatrix& base,
+                             const IcSymbolic* symbolic,
                              const std::vector<VrAttachment>& vrs,
                              const Vector& sink_currents,
                              const IrDropOptions& options) {
@@ -28,7 +82,10 @@ IrDropResult solve_assembled(const GridMesh& mesh, CsrMatrix a,
               "relative tolerance must be positive, got ",
               options.relative_tolerance);
 
-  Vector rhs(mesh.node_count(), 0.0);
+  thread_local CsrMatrix a;
+  thread_local Vector rhs;
+  a = base;
+  rhs.assign(mesh.node_count(), 0.0);
   for (std::size_t i = 0; i < sink_currents.size(); ++i) {
     VPD_REQUIRE(sink_currents[i] >= 0.0, "negative sink at node ", i);
     rhs[i] -= sink_currents[i];
@@ -43,12 +100,24 @@ IrDropResult solve_assembled(const GridMesh& mesh, CsrMatrix a,
     rhs[vr.node] += g * vr.source_voltage.value;
   }
 
+  // Only a perturbed mesh can sever nodes (nominal grids are connected and
+  // every edge conductance is positive), so the nominal path skips the
+  // reachability sweep entirely.
+  thread_local std::vector<char> grounded_mask;
+  const std::size_t floating =
+      mesh.perturbed() ? ground_floating_nodes(a, rhs, vrs, grounded_mask) : 0;
+
   CgOptions opts;
   opts.relative_tolerance = options.relative_tolerance;
+  opts.preconditioner = options.preconditioner;
+  opts.ic_symbolic = symbolic;
   if (options.warm_start_voltage) {
     opts.x0.assign(mesh.node_count(), *options.warm_start_voltage);
   }
-  const CgResult cg = solve_cg(a, rhs, opts);
+  thread_local CgWorkspace tls_workspace;
+  CgWorkspace& workspace =
+      options.workspace != nullptr ? *options.workspace : tls_workspace;
+  const CgResult cg = solve_cg(a, rhs, opts, workspace);
   VPD_CHECK_NUMERIC(cg.converged, "IR-drop CG did not converge: residual ",
                     cg.residual_norm, " after ", cg.iterations,
                     " iterations");
@@ -56,18 +125,27 @@ IrDropResult solve_assembled(const GridMesh& mesh, CsrMatrix a,
   IrDropResult result;
   result.node_voltages = cg.x;
   result.cg_iterations = cg.iterations;
+  result.floating_nodes = floating;
+  // Grounded nodes solve an identity row with rhs 0: the exact answer is
+  // 0 V, but a warm-started CG only reaches it to within the tolerance.
+  // Pin them so a dead rail reads exactly 0 V as documented. (Their edges
+  // all have zero conductance, so edge_loss is unaffected either way.)
+  if (floating > 0) {
+    for (std::size_t i = 0; i < result.node_voltages.size(); ++i)
+      if (grounded_mask[i]) result.node_voltages[i] = 0.0;
+  }
+  const Vector& x = result.node_voltages;
   result.vr_currents.reserve(vrs.size());
   double series_loss = 0.0;
   for (const VrAttachment& vr : vrs) {
     const double i =
-        (vr.source_voltage.value - cg.x[vr.node]) / vr.series.value;
+        (vr.source_voltage.value - x[vr.node]) / vr.series.value;
     result.vr_currents.push_back(i);
     series_loss += i * i * vr.series.value;
   }
-  result.grid_loss = mesh.edge_loss(cg.x);
+  result.grid_loss = mesh.edge_loss(x);
   result.series_loss = Power{series_loss};
-  const auto [mn, mx] =
-      std::minmax_element(cg.x.begin(), cg.x.end());
+  const auto [mn, mx] = std::minmax_element(x.begin(), x.end());
   result.min_node_voltage = Voltage{*mn};
   result.max_node_voltage = Voltage{*mx};
   return result;
@@ -79,16 +157,17 @@ IrDropResult solve_irdrop(const GridMesh& mesh,
                           const std::vector<VrAttachment>& vrs,
                           const Vector& sink_currents,
                           const IrDropOptions& options) {
-  return solve_assembled(mesh, CsrMatrix(mesh.laplacian()), vrs,
-                         sink_currents, options);
+  const CsrMatrix laplacian(mesh.laplacian());
+  return solve_assembled(mesh, laplacian, nullptr, vrs, sink_currents,
+                         options);
 }
 
 IrDropResult solve_irdrop(const AssembledMesh& assembled,
                           const std::vector<VrAttachment>& vrs,
                           const Vector& sink_currents,
                           const IrDropOptions& options) {
-  return solve_assembled(assembled.mesh, assembled.laplacian, vrs,
-                         sink_currents, options);
+  return solve_assembled(assembled.mesh, assembled.laplacian,
+                         &assembled.ic_symbolic, vrs, sink_currents, options);
 }
 
 Vector uniform_sinks(const GridMesh& mesh, Current total) {
@@ -104,12 +183,37 @@ std::vector<VrAttachment> patch_attachment(const GridMesh& mesh, Length cx,
   VPD_REQUIRE(patch_side.value > 0.0, "patch side must be positive");
   VPD_REQUIRE(series.value > 0.0, "series resistance must be positive");
   const double half = 0.5 * patch_side.value;
+  // Candidate index window from the uniform grid geometry (conservatively
+  // widened by one cell), then the exact per-node test used before — same
+  // node set in the same row-major order as the full scan this replaces.
+  const auto index_window = [half](double c, double extent,
+                                   std::size_t count) {
+    const double pitch = extent / static_cast<double>(count - 1);
+    const double lo = (c - half - 1e-12) / pitch - 1.0;
+    const double hi = (c + half + 1e-12) / pitch + 1.0;
+    const std::size_t first =
+        lo <= 0.0 ? 0
+                  : std::min(count - 1,
+                             static_cast<std::size_t>(std::floor(lo)));
+    const std::size_t last =
+        hi <= 0.0 ? 0
+                  : std::min(count - 1,
+                             static_cast<std::size_t>(std::ceil(hi)));
+    return std::pair<std::size_t, std::size_t>{first, last};
+  };
+  const auto [ix_lo, ix_hi] =
+      index_window(cx.value, mesh.width().value, mesh.nx());
+  const auto [iy_lo, iy_hi] =
+      index_window(cy.value, mesh.height().value, mesh.ny());
   std::vector<std::size_t> nodes;
-  for (std::size_t i = 0; i < mesh.node_count(); ++i) {
-    const double dx = mesh.x_of(i).value - cx.value;
-    const double dy = mesh.y_of(i).value - cy.value;
-    if (std::fabs(dx) <= half + 1e-12 && std::fabs(dy) <= half + 1e-12)
-      nodes.push_back(i);
+  for (std::size_t iy = iy_lo; iy <= iy_hi; ++iy) {
+    for (std::size_t ix = ix_lo; ix <= ix_hi; ++ix) {
+      const std::size_t i = mesh.node(ix, iy);
+      const double dx = mesh.x_of(i).value - cx.value;
+      const double dy = mesh.y_of(i).value - cy.value;
+      if (std::fabs(dx) <= half + 1e-12 && std::fabs(dy) <= half + 1e-12)
+        nodes.push_back(i);
+    }
   }
   if (nodes.empty()) nodes.push_back(mesh.nearest_node(cx, cy));
   std::vector<VrAttachment> legs;

@@ -33,6 +33,11 @@ struct IrDropResult {
   Voltage min_node_voltage{};
   Voltage max_node_voltage{};
   std::size_t cg_iterations{0};    // CG iterations the solve took
+  /// Nodes severed from every VR by a zero-conductance perturbation (fully
+  /// cut copper). They are grounded out of the solve and report 0 V — a
+  /// dead rail with finite metrics — and any sink current at them goes
+  /// unserved. 0 on an intact mesh.
+  std::size_t floating_nodes{0};
 
   /// Summary of the per-VR current spread.
   Summary vr_current_summary() const;
@@ -48,6 +53,16 @@ struct IrDropOptions {
   /// A constant warm start is deterministic per solve, which keeps sweep
   /// results independent of execution order.
   std::optional<double> warm_start_voltage;
+  /// Preconditioner for the CG solve. IC(0) (the default) cuts mesh
+  /// iteration counts several-fold over Jacobi; the factorization is
+  /// reused automatically when the same stamped operator is solved again
+  /// through the same workspace.
+  CgPreconditioner preconditioner{CgPreconditioner::kIncompleteCholesky};
+  /// Solver workspace override. nullptr (the default) uses a per-thread
+  /// workspace, which keeps repeated solves allocation-free with no
+  /// caller coordination; pass an explicit workspace to scope stats or
+  /// factorization reuse. Never shared across threads by the solver.
+  CgWorkspace* workspace{nullptr};
 };
 
 /// Solves the mesh with the given sources and per-node sink currents

@@ -110,6 +110,7 @@ double GridMesh::edge_conductance_y_at(std::size_t ix, std::size_t iy) const {
 
 TripletList GridMesh::laplacian() const {
   TripletList t(node_count(), node_count());
+  t.reserve(8 * node_count());  // 4 stamps per edge, ~2 edges per node
   for (std::size_t iy = 0; iy < ny_; ++iy) {
     for (std::size_t ix = 0; ix < nx_; ++ix) {
       const std::size_t a = node(ix, iy);

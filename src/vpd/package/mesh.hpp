@@ -16,9 +16,11 @@ namespace vpd {
 /// Scales the conductance of every mesh edge whose midpoint falls inside
 /// the axis-aligned rectangle [x0, x1] x [y0, y1]. Models localized
 /// distribution-metal degradation: a cracked or delaminated region of the
-/// power plane (scale < 1), a void (scale = 0, which may disconnect nodes
-/// and make the solve singular — callers treat that as a dead rail), or a
-/// repaired/thickened region (scale > 1).
+/// power plane (scale < 1), a void (scale = 0: fully severed copper —
+/// severed edges stay in the sparsity pattern as stored zeros, and nodes
+/// cut off from every VR are grounded out of the solve and report 0 V, a
+/// dead rail with finite metrics), or a repaired/thickened region
+/// (scale > 1).
 struct EdgeScaleRegion {
   Length x0{};
   Length y0{};

@@ -12,8 +12,9 @@ std::shared_ptr<const AssembledMesh> assemble_mesh(Length width,
                                                    double sheet_ohms) {
   GridMesh mesh(width, height, nx, ny, sheet_ohms);
   CsrMatrix laplacian(mesh.laplacian());
+  IcSymbolic symbolic(laplacian);
   return std::make_shared<const AssembledMesh>(
-      AssembledMesh{mesh, std::move(laplacian)});
+      AssembledMesh{mesh, std::move(laplacian), std::move(symbolic)});
 }
 
 std::shared_ptr<const AssembledMesh> assemble_mesh(
@@ -21,8 +22,9 @@ std::shared_ptr<const AssembledMesh> assemble_mesh(
     double sheet_ohms, const MeshPerturbation& perturbation) {
   GridMesh mesh(width, height, nx, ny, sheet_ohms, perturbation);
   CsrMatrix laplacian(mesh.laplacian());
+  IcSymbolic symbolic(laplacian);
   return std::make_shared<const AssembledMesh>(
-      AssembledMesh{mesh, std::move(laplacian)});
+      AssembledMesh{mesh, std::move(laplacian), std::move(symbolic)});
 }
 
 std::uint64_t mesh_perturbation_digest(const MeshPerturbation& perturbation) {

@@ -21,10 +21,16 @@
 
 namespace vpd {
 
-/// An immutable, shareable mesh with its compiled Laplacian (no shunts).
+/// An immutable, shareable mesh with its compiled Laplacian (no shunts)
+/// and the symbolic lower-triangle pattern for IC(0)/SSOR factorizations
+/// of the stamped operator. VR shunt stamps only touch existing diagonal
+/// entries, so one pattern — keyed, like the Laplacian itself, by the
+/// cache key including the perturbation digest — serves every solve on
+/// this mesh.
 struct AssembledMesh {
   GridMesh mesh;
   CsrMatrix laplacian;
+  IcSymbolic ic_symbolic;
 };
 
 /// Builds the AssembledMesh for the given geometry (also the cache-miss

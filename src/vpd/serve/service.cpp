@@ -57,6 +57,14 @@ io::Value to_json(const ServiceMetrics& metrics) {
   io::Value mesh = io::to_json(metrics.mesh_cache);
   mesh.set("hit_rate", metrics.mesh_cache_hit_rate());
   v.set("mesh_cache", std::move(mesh));
+  v.set("cg_iterations", metrics.cg_iterations);
+  io::Value solver = io::Value::object();
+  solver.set("cg_solves", metrics.solver.cg_solves);
+  solver.set("cg_iterations", metrics.solver.cg_iterations);
+  solver.set("precond_factorizations",
+             metrics.solver.precond_factorizations);
+  solver.set("precond_reuses", metrics.solver.precond_reuses);
+  v.set("solver", std::move(solver));
   return v;
 }
 
@@ -72,7 +80,8 @@ io::Value to_json(const ServiceResponse& response) {
 }
 
 EvaluationService::EvaluationService(ServiceConfig config)
-    : config_(config), pool_(config.threads) {
+    : config_(config), solver_baseline_(solver_counters()),
+      pool_(config.threads) {
   VPD_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
 }
 
@@ -180,6 +189,15 @@ void EvaluationService::run_evaluation(std::string key,
     inflight_.erase(it);
     --pending_;
     ++counters_.evaluated;
+    if (response.entry != nullptr) {
+      const ArchitectureEvaluation* eval =
+          response.entry->evaluation
+              ? &*response.entry->evaluation
+              : (response.entry->extrapolated
+                     ? &*response.entry->extrapolated
+                     : nullptr);
+      if (eval != nullptr) counters_.cg_iterations += eval->cg_iterations;
+    }
     counters_.completed += flight->submitted.size();
     if (response.status == ResponseStatus::kError) {
       counters_.errors += flight->submitted.size();
@@ -237,6 +255,7 @@ ServiceMetrics EvaluationService::metrics() const {
     m.latency_p99_seconds = percentile(latencies_, 0.99);
   }
   m.mesh_cache = mesh_cache_.stats();
+  m.solver = solver_counters() - solver_baseline_;
   return m;
 }
 

@@ -88,6 +88,13 @@ struct ServiceMetrics {
   double latency_max_seconds{0.0};
   double latency_p99_seconds{0.0};
   MeshSolveCache::Stats mesh_cache;
+  /// CG iterations accumulated over completed evaluator runs (from each
+  /// evaluation's own deterministic count; cache hits add nothing).
+  std::size_t cg_iterations{0};
+  /// Process-wide solver counter delta since the service was constructed
+  /// (includes preconditioner factorization/reuse traffic of this
+  /// service's workers; see solver_counters()).
+  SolverCounters solver;
 
   double result_cache_hit_rate() const;
   double mesh_cache_hit_rate() const;
@@ -141,6 +148,9 @@ class EvaluationService {
   void record_latency(std::chrono::steady_clock::time_point submitted);
 
   ServiceConfig config_;
+  /// Process-wide solver counters at construction; metrics() reports the
+  /// delta since then.
+  SolverCounters solver_baseline_;
   MeshSolveCache mesh_cache_;
 
   mutable std::mutex mutex_;

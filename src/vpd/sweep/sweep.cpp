@@ -41,6 +41,7 @@ SweepReport SweepRunner::run(const std::vector<SweepPoint>& points) const {
   }
   const MeshSolveCache::Stats stats_before =
       cache != nullptr ? cache->stats() : MeshSolveCache::Stats{};
+  const SolverCounters solver_before = solver_counters();
 
   SweepReport report;
   report.outcomes.resize(points.size());
@@ -100,6 +101,7 @@ SweepReport SweepRunner::run(const std::vector<SweepPoint>& points) const {
     report.cache_stats.hits = after.hits - stats_before.hits;
     report.cache_stats.misses = after.misses - stats_before.misses;
   }
+  report.solver = solver_counters() - solver_before;
   report.wall_seconds = seconds_since(run_start);
   return report;
 }

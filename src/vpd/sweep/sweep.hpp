@@ -70,6 +70,11 @@ struct SweepReport {
   /// Hits + misses counts mesh lookups across all points; misses equals
   /// the number of distinct mesh geometries regardless of scheduling.
   MeshSolveCache::Stats cache_stats;
+  /// Process-wide solver counter delta across the run (see
+  /// solver_counters()). cg_solves and cg_iterations are deterministic;
+  /// the factorization/reuse split depends on how points land on the
+  /// thread-local solver workspaces, i.e. on scheduling.
+  SolverCounters solver;
 
   std::size_t total_cg_iterations() const;
 };

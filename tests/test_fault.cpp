@@ -87,7 +87,11 @@ TEST(FaultModel, LoweringCollapsesAndSortsEvents) {
   EXPECT_DOUBLE_EQ(injection.mesh_perturbation[0].scale, 0.1);
   EXPECT_NO_THROW(injection.validate(4, 3));
   EXPECT_NO_THROW(to_injection(FaultScenario{"N-0", {}}, severity));
+  // Scale 0 is the fully-severed-copper damage model, not an error; only
+  // negative scales are rejected.
   severity.mesh_conductance_scale = 0.0;
+  EXPECT_NO_THROW(to_injection(scenario, severity));
+  severity.mesh_conductance_scale = -0.1;
   EXPECT_THROW(to_injection(scenario, severity), InvalidArgument);
 }
 
@@ -335,6 +339,50 @@ TEST(FaultCampaign, ParallelCampaignIsBitIdenticalToSerial) {
   }
   EXPECT_EQ(a.survivor_count(), b.survivor_count());
   EXPECT_EQ(a.worst_droop_fraction(), b.worst_droop_fraction());
+}
+
+// Regression (issue satellite): a campaign whose mesh damage model is
+// fully severed copper (conductance scale 0) must run to completion with
+// finite post-fault metrics. Before the severing fix the zero-scale
+// regions dropped entries out of the compiled sparsity pattern and handed
+// CG a singular operator, aborting the whole campaign.
+TEST(FaultCampaign, ZeroScaleSeveringCampaignCompletesWithFiniteMetrics) {
+  const PowerDeliverySpec spec = paper_system();
+  const EvaluationOptions options = paper_options(21);
+  FaultCampaignConfig config;
+  config.include_dropouts = false;       // mesh-region N-1 set only
+  config.include_derates = false;
+  config.include_attach_faults = false;
+  config.include_stage2_dropouts = false;
+  config.severity.mesh_conductance_scale = 0.0;
+  // Wide enough to fully disconnect interior nodes at the 21-node mesh.
+  config.severity.mesh_region_side = Length{4e-3};
+  config.mesh_region_grid = 3;
+  config.sweep.threads = 2;
+  const FaultCampaignRunner runner(spec, config);
+
+  const FaultCampaignReport report =
+      runner.run(ArchitectureKind::kA1_InterposerPeriphery, TopologyKind::kDsch,
+                 DeviceTechnology::kGalliumNitride, options);
+
+  ASSERT_EQ(report.outcomes.size(),
+            1u + config.mesh_region_grid * config.mesh_region_grid);
+  for (const FaultScenarioOutcome& outcome : report.outcomes) {
+    ASSERT_TRUE(outcome.evaluated) << outcome.scenario.label;
+    const ArchitectureEvaluation& eval = *outcome.evaluation;
+    EXPECT_TRUE(std::isfinite(eval.total_loss().value))
+        << outcome.scenario.label;
+    EXPECT_TRUE(std::isfinite(eval.input_power.value))
+        << outcome.scenario.label;
+    ASSERT_TRUE(eval.min_distribution_voltage.has_value())
+        << outcome.scenario.label;
+    EXPECT_TRUE(std::isfinite(eval.min_distribution_voltage->value))
+        << outcome.scenario.label;
+    EXPECT_GE(eval.min_distribution_voltage->value, 0.0)
+        << outcome.scenario.label;
+  }
+  EXPECT_GT(report.solver.cg_solves, 0u);
+  EXPECT_GT(report.solver.cg_iterations, 0u);
 }
 
 TEST(FaultCampaign, SampledScenariosArePrefixStable) {

@@ -1,0 +1,429 @@
+// Preconditioned solver core: IC(0)-vs-dense-reference property tests on
+// random SPD grid Laplacians, workspace/factorization reuse semantics,
+// batched solves, the CG edge paths (zero RHS, warm start at the
+// solution, max-iteration exit with certified acceptance), the SSOR
+// fallback, and the zero-scale fault-severing regressions (a fully cut
+// copper region must ground its floating nodes instead of handing CG a
+// singular operator). Runs in its own ctest executable labelled `solver`.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "vpd/common/error.hpp"
+#include "vpd/common/matrix.hpp"
+#include "vpd/common/rng.hpp"
+#include "vpd/common/sparse.hpp"
+#include "vpd/package/irdrop.hpp"
+#include "vpd/package/mesh.hpp"
+
+namespace vpd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers: random SPD grid Laplacians and a dense Cholesky reference
+// ---------------------------------------------------------------------------
+
+/// nx x ny grid Laplacian with random positive edge conductances plus
+/// random shunts (to ground) on a few nodes — the exact structure of an
+/// IR-drop operator, with none of its symmetry to hide bugs behind.
+CsrMatrix random_spd_laplacian(Rng& rng, std::size_t nx, std::size_t ny,
+                               std::size_t shunt_count) {
+  const std::size_t n = nx * ny;
+  TripletList t(n, n);
+  const auto node = [nx](std::size_t ix, std::size_t iy) {
+    return iy * nx + ix;
+  };
+  const auto stamp = [&](std::size_t a, std::size_t b, double g) {
+    t.add(a, a, g);
+    t.add(b, b, g);
+    t.add(a, b, -g);
+    t.add(b, a, -g);
+  };
+  for (std::size_t iy = 0; iy < ny; ++iy)
+    for (std::size_t ix = 0; ix + 1 < nx; ++ix)
+      stamp(node(ix, iy), node(ix + 1, iy), rng.uniform(0.5, 2.0));
+  for (std::size_t iy = 0; iy + 1 < ny; ++iy)
+    for (std::size_t ix = 0; ix < nx; ++ix)
+      stamp(node(ix, iy), node(ix, iy + 1), rng.uniform(0.5, 2.0));
+  for (std::size_t s = 0; s < shunt_count; ++s) {
+    const std::size_t shunted = rng.next_below(static_cast<std::uint32_t>(n));
+    t.add(shunted, shunted, rng.uniform(0.1, 1.0));
+  }
+  return CsrMatrix(t);
+}
+
+Vector random_vector(Rng& rng, std::size_t n) {
+  Vector v(n);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+/// Dense Cholesky solve — the O(n^3) reference the sparse path is checked
+/// against. Throws via ADD_FAILURE on a non-positive pivot.
+Vector dense_cholesky_solve(const CsrMatrix& a, const Vector& b) {
+  const std::size_t n = a.rows();
+  std::vector<double> dense(n * n, 0.0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t k = a.row_offsets()[r]; k < a.row_offsets()[r + 1]; ++k)
+      dense[r * n + a.col_indices()[k]] = a.values()[k];
+  // In-place lower Cholesky.
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = dense[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) d -= dense[j * n + k] * dense[j * n + k];
+    EXPECT_GT(d, 0.0) << "dense reference lost positive definiteness";
+    const double l_jj = std::sqrt(d);
+    dense[j * n + j] = l_jj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = dense[i * n + j];
+      for (std::size_t k = 0; k < j; ++k)
+        s -= dense[i * n + k] * dense[j * n + k];
+      dense[i * n + j] = s / l_jj;
+    }
+  }
+  Vector x = b;
+  for (std::size_t i = 0; i < n; ++i) {  // L y = b
+    for (std::size_t k = 0; k < i; ++k) x[i] -= dense[i * n + k] * x[k];
+    x[i] /= dense[i * n + i];
+  }
+  for (std::size_t i = n; i-- > 0;) {  // L^T x = y
+    for (std::size_t k = i + 1; k < n; ++k) x[i] -= dense[k * n + i] * x[k];
+    x[i] /= dense[i * n + i];
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// IC(0) vs dense reference
+// ---------------------------------------------------------------------------
+
+TEST(SolverCore, IcMatchesDenseReferenceOnRandomSpdLaplacians) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const std::size_t nx = 3 + seed;  // 4x5 up to 8x9 grids
+    const std::size_t ny = nx + 1;
+    const CsrMatrix a = random_spd_laplacian(rng, nx, ny, 4);
+    ASSERT_TRUE(a.is_symmetric());
+    const Vector b = random_vector(rng, a.rows());
+    const Vector reference = dense_cholesky_solve(a, b);
+
+    CgOptions options;
+    options.relative_tolerance = 1e-13;
+    options.preconditioner = CgPreconditioner::kIncompleteCholesky;
+    const CgResult result = solve_cg(a, b, options);
+    ASSERT_TRUE(result.converged) << "seed " << seed;
+    ASSERT_EQ(result.x.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      EXPECT_NEAR(result.x[i], reference[i],
+                  1e-8 * (1.0 + std::fabs(reference[i])))
+          << "seed " << seed << " node " << i;
+  }
+}
+
+TEST(SolverCore, JacobiAndIcConvergeToTheSameSolution) {
+  Rng rng(42);
+  const CsrMatrix a = random_spd_laplacian(rng, 7, 7, 5);
+  const Vector b = random_vector(rng, a.rows());
+  CgOptions jacobi;
+  jacobi.relative_tolerance = 1e-13;
+  jacobi.preconditioner = CgPreconditioner::kJacobi;
+  CgOptions ic = jacobi;
+  ic.preconditioner = CgPreconditioner::kIncompleteCholesky;
+  const CgResult xj = solve_cg(a, b, jacobi);
+  const CgResult xi = solve_cg(a, b, ic);
+  ASSERT_TRUE(xj.converged);
+  ASSERT_TRUE(xi.converged);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    EXPECT_NEAR(xj.x[i], xi.x[i], 1e-8 * (1.0 + std::fabs(xj.x[i])));
+  // The whole point of the factorization: fewer iterations than Jacobi.
+  EXPECT_LT(xi.iterations, xj.iterations);
+}
+
+TEST(SolverCore, SharedSymbolicPatternIsBitIdenticalToOwned) {
+  Rng rng(7);
+  const CsrMatrix a = random_spd_laplacian(rng, 9, 8, 6);
+  const Vector b = random_vector(rng, a.rows());
+  CgOptions options;
+  options.preconditioner = CgPreconditioner::kIncompleteCholesky;
+  const CgResult owned = solve_cg(a, b, options);
+  const IcSymbolic symbolic(a);
+  EXPECT_GT(symbolic.entry_count(), 0u);
+  EXPECT_EQ(symbolic.rows(), a.rows());
+  options.ic_symbolic = &symbolic;
+  const CgResult shared = solve_cg(a, b, options);
+  EXPECT_EQ(owned.iterations, shared.iterations);
+  EXPECT_EQ(owned.residual_norm, shared.residual_norm);
+  EXPECT_EQ(owned.x, shared.x);
+}
+
+// ---------------------------------------------------------------------------
+// Workspace reuse and batched solves
+// ---------------------------------------------------------------------------
+
+TEST(SolverCore, WorkspaceReusesFactorizationOnIdenticalMatrix) {
+  Rng rng(3);
+  CsrMatrix a = random_spd_laplacian(rng, 8, 8, 4);
+  const Vector b = random_vector(rng, a.rows());
+  CgOptions options;
+  options.preconditioner = CgPreconditioner::kIncompleteCholesky;
+
+  CgWorkspace ws;
+  const CgResult first = solve_cg(a, b, options, ws);
+  const CgResult second = solve_cg(a, b, options, ws);
+  EXPECT_EQ(ws.stats().solves, 2u);
+  EXPECT_EQ(ws.stats().factorizations, 1u);
+  EXPECT_EQ(ws.stats().factorization_reuses, 1u);
+  // Reuse is keyed on an exact value match, so it can never change a bit.
+  EXPECT_EQ(first.x, second.x);
+  EXPECT_EQ(first.iterations, second.iterations);
+  EXPECT_EQ(first.residual_norm, second.residual_norm);
+
+  // Any value change (same pattern) forces a refactorization.
+  a.add_to_entry(0, 0, 0.25);
+  (void)solve_cg(a, b, options, ws);
+  EXPECT_EQ(ws.stats().factorizations, 2u);
+
+  // invalidate() drops the cached key even though the values still match.
+  ws.invalidate();
+  (void)solve_cg(a, b, options, ws);
+  EXPECT_EQ(ws.stats().factorizations, 3u);
+  EXPECT_EQ(ws.stats().factorization_reuses, 1u);
+}
+
+TEST(SolverCore, BatchSolveSharesOneFactorizationBitIdentically) {
+  Rng rng(11);
+  const CsrMatrix a = random_spd_laplacian(rng, 9, 7, 5);
+  std::vector<Vector> rhs;
+  for (int k = 0; k < 3; ++k) rhs.push_back(random_vector(rng, a.rows()));
+  CgOptions options;
+  options.preconditioner = CgPreconditioner::kIncompleteCholesky;
+
+  CgWorkspace ws;
+  const std::vector<CgResult> batch = solve_cg_batch(a, rhs, options, ws);
+  ASSERT_EQ(batch.size(), rhs.size());
+  EXPECT_EQ(ws.stats().solves, rhs.size());
+  EXPECT_EQ(ws.stats().factorizations, 1u);
+  EXPECT_EQ(ws.stats().factorization_reuses, rhs.size() - 1);
+  for (std::size_t k = 0; k < rhs.size(); ++k) {
+    const CgResult standalone = solve_cg(a, rhs[k], options);
+    EXPECT_EQ(batch[k].x, standalone.x) << "rhs " << k;
+    EXPECT_EQ(batch[k].iterations, standalone.iterations) << "rhs " << k;
+    EXPECT_EQ(batch[k].residual_norm, standalone.residual_norm) << "rhs " << k;
+    EXPECT_TRUE(batch[k].converged) << "rhs " << k;
+  }
+}
+
+TEST(SolverCore, MultiplyIntoMatchesMultiply) {
+  Rng rng(23);
+  const CsrMatrix a = random_spd_laplacian(rng, 6, 10, 3);
+  const Vector x = random_vector(rng, a.rows());
+  Vector y;
+  a.multiply_into(x, y);
+  EXPECT_EQ(y, a.multiply(x));
+}
+
+// ---------------------------------------------------------------------------
+// CG edge paths
+// ---------------------------------------------------------------------------
+
+TEST(SolverCore, ZeroRhsConvergesInZeroIterations) {
+  Rng rng(5);
+  const CsrMatrix a = random_spd_laplacian(rng, 6, 6, 3);
+  const Vector b(a.rows(), 0.0);
+  for (CgPreconditioner p :
+       {CgPreconditioner::kJacobi, CgPreconditioner::kIncompleteCholesky}) {
+    CgOptions options;
+    options.preconditioner = p;
+    const CgResult result = solve_cg(a, b, options);
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.iterations, 0u);
+    EXPECT_EQ(result.residual_norm, 0.0);
+    EXPECT_EQ(result.x, Vector(a.rows(), 0.0));
+  }
+}
+
+TEST(SolverCore, WarmStartAtTheSolutionConvergesInZeroIterations) {
+  Rng rng(9);
+  const CsrMatrix a = random_spd_laplacian(rng, 8, 8, 4);
+  const Vector b = random_vector(rng, a.rows());
+  CgOptions options;
+  options.relative_tolerance = 1e-12;
+  options.preconditioner = CgPreconditioner::kIncompleteCholesky;
+  const CgResult cold = solve_cg(a, b, options);
+  ASSERT_TRUE(cold.converged);
+  EXPECT_GT(cold.iterations, 0u);
+
+  options.x0 = cold.x;
+  const CgResult warm = solve_cg(a, b, options);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_EQ(warm.iterations, 0u);
+  EXPECT_EQ(warm.x, cold.x);
+}
+
+TEST(SolverCore, MaxIterationExitHonoursTheCertifiedCriterion) {
+  Rng rng(13);
+  const CsrMatrix a = random_spd_laplacian(rng, 12, 12, 2);
+  const Vector b = random_vector(rng, a.rows());
+
+  // Tight tolerance, one iteration: the solve must report non-convergence
+  // with the true residual, not silently accept the iterate.
+  CgOptions tight;
+  tight.relative_tolerance = 1e-12;
+  tight.max_iterations = 1;
+  tight.preconditioner = CgPreconditioner::kJacobi;
+  const CgResult failed = solve_cg(a, b, tight);
+  EXPECT_EQ(failed.iterations, 1u);
+  EXPECT_FALSE(failed.converged);
+  // residual_norm is the true ||b - A x||, recomputed at exit.
+  Vector check = a.multiply(failed.x);
+  for (std::size_t i = 0; i < check.size(); ++i) check[i] = b[i] - check[i];
+  EXPECT_NEAR(failed.residual_norm, norm2(check),
+              1e-12 * (1.0 + norm2(check)));
+
+  // Loose tolerance, same single iteration: the certified normwise
+  // backward-error criterion accepts the iterate at the cap.
+  CgOptions loose = tight;
+  loose.relative_tolerance = 0.5;
+  const CgResult accepted = solve_cg(a, b, loose);
+  EXPECT_EQ(accepted.iterations, 1u);
+  EXPECT_TRUE(accepted.converged);
+  EXPECT_LE(accepted.residual_norm,
+            loose.relative_tolerance *
+                (a.infinity_norm() * norm2(accepted.x) + norm2(b)));
+}
+
+TEST(SolverCore, RejectsShapeMismatchesAndIndefiniteMatrices) {
+  TripletList rect(2, 3);
+  rect.add(0, 0, 1.0);
+  EXPECT_THROW(solve_cg(CsrMatrix(rect), Vector(2, 1.0)), InvalidArgument);
+
+  TripletList square(2, 2);
+  square.add(0, 0, 1.0);
+  square.add(1, 1, 1.0);
+  const CsrMatrix identity(square);
+  EXPECT_THROW(solve_cg(identity, Vector(3, 1.0)), InvalidArgument);
+
+  TripletList negative(2, 2);
+  negative.add(0, 0, 1.0);
+  negative.add(1, 1, -1.0);
+  EXPECT_THROW(solve_cg(CsrMatrix(negative), Vector(2, 1.0)), NumericalError);
+}
+
+// ---------------------------------------------------------------------------
+// SSOR fallback
+// ---------------------------------------------------------------------------
+
+TEST(SolverCore, FactorizationFallsBackToSsorWhenAPivotBreaksDown) {
+  // Positive diagonal but indefinite: the IC pivot at row 1 is
+  // 1 - 2^2 = -3, so factor() must fall back to SSOR,
+  // M = (D + L) D^{-1} (D + L)^T = [[1, 2], [2, 5]].
+  TripletList t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  t.add(0, 1, 2.0);
+  t.add(1, 0, 2.0);
+  const CsrMatrix a(t);
+
+  IcPreconditioner precond;
+  precond.factor(a);
+  EXPECT_TRUE(precond.ssor_fallback());
+  const Vector r{1.0, 1.0};
+  Vector z;
+  precond.apply(r, z);
+  ASSERT_EQ(z.size(), 2u);
+  EXPECT_NEAR(z[0], 3.0, 1e-12);   // M^{-1} [1 1]^T = [3 -1]^T
+  EXPECT_NEAR(z[1], -1.0, 1e-12);
+
+  // Positive control: a genuinely SPD operator factors without fallback.
+  Rng rng(17);
+  IcPreconditioner healthy;
+  healthy.factor(random_spd_laplacian(rng, 5, 5, 2));
+  EXPECT_FALSE(healthy.ssor_fallback());
+}
+
+// ---------------------------------------------------------------------------
+// Zero-scale fault severing (the crash this PR fixes)
+// ---------------------------------------------------------------------------
+
+TEST(Severing, ZeroScaleRegionKeepsTheSparsityPattern) {
+  const Length side{10e-3};
+  const GridMesh nominal(side, side, 21, 21, 2e-3);
+  const MeshPerturbation cut{
+      EdgeScaleRegion{Length{0.0}, Length{0.0}, Length{3e-3}, Length{3e-3},
+                      0.0}};
+  const GridMesh damaged(side, side, 21, 21, 2e-3, cut);
+  ASSERT_TRUE(damaged.perturbed());
+  const CsrMatrix a_nominal(nominal.laplacian());
+  const CsrMatrix a_damaged(damaged.laplacian());
+  // Severed edges stay as stored zeros: identical pattern, so cached
+  // symbolic factorizations and in-place stamping stay valid.
+  EXPECT_EQ(a_damaged.nonzero_count(), a_nominal.nonzero_count());
+  EXPECT_EQ(a_damaged.row_offsets(), a_nominal.row_offsets());
+  EXPECT_EQ(a_damaged.col_indices(), a_nominal.col_indices());
+}
+
+TEST(Severing, FullyCutRegionGroundsFloatingNodesInsteadOfAborting) {
+  const Length side{10e-3};
+  const double rail = 1.0;
+  const MeshPerturbation cut{
+      EdgeScaleRegion{Length{0.0}, Length{0.0}, Length{3e-3}, Length{3e-3},
+                      0.0}};
+  const GridMesh mesh(side, side, 21, 21, 2e-3, cut);
+
+  // One VR patch *inside* the dead region (its nodes survive through
+  // their source shunts), one healthy patch far away.
+  std::vector<VrAttachment> vrs;
+  for (const auto& center :
+       std::vector<std::pair<double, double>>{{1.5e-3, 1.5e-3},
+                                              {8e-3, 8e-3}}) {
+    const auto patch =
+        patch_attachment(mesh, Length{center.first}, Length{center.second},
+                         Length{1.5e-3}, Voltage{rail}, Resistance{100e-6});
+    vrs.insert(vrs.end(), patch.begin(), patch.end());
+  }
+  const Vector sinks = uniform_sinks(mesh, Current{100.0});
+
+  IrDropOptions options;
+  options.warm_start_voltage = rail;
+  IrDropResult result;
+  // Before the fix this threw NumericalError: the severed nodes left a
+  // zero diagonal (singular operator) in the CG solve.
+  ASSERT_NO_THROW(result = solve_irdrop(mesh, vrs, sinks, options));
+
+  // The 6x6 node block strictly inside the cut is severed; the 3x3 VR
+  // patch within it keeps its shunts, the other 27 nodes float.
+  EXPECT_EQ(result.floating_nodes, 27u);
+  EXPECT_EQ(result.min_node_voltage.value, 0.0);  // dead rail reads 0 V
+  EXPECT_GT(result.max_node_voltage.value, 0.9);
+  ASSERT_EQ(result.node_voltages.size(), mesh.node_count());
+  for (double v : result.node_voltages) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, rail + 1e-9);
+  }
+  EXPECT_TRUE(std::isfinite(result.grid_loss.value));
+  EXPECT_TRUE(std::isfinite(result.series_loss.value));
+  for (double i : result.vr_currents) EXPECT_TRUE(std::isfinite(i));
+
+  // An intact mesh keeps reporting zero floating nodes.
+  const GridMesh intact(side, side, 21, 21, 2e-3);
+  std::vector<VrAttachment> intact_vrs;
+  for (const auto& center :
+       std::vector<std::pair<double, double>>{{1.5e-3, 1.5e-3},
+                                              {8e-3, 8e-3}}) {
+    const auto patch =
+        patch_attachment(intact, Length{center.first}, Length{center.second},
+                         Length{1.5e-3}, Voltage{rail}, Resistance{100e-6});
+    intact_vrs.insert(intact_vrs.end(), patch.begin(), patch.end());
+  }
+  const IrDropResult healthy =
+      solve_irdrop(intact, intact_vrs, uniform_sinks(intact, Current{100.0}),
+                   options);
+  EXPECT_EQ(healthy.floating_nodes, 0u);
+  EXPECT_GT(healthy.min_node_voltage.value, 0.9);
+}
+
+}  // namespace
+}  // namespace vpd

@@ -22,14 +22,22 @@ TEST(Triplets, DuplicatesSumOnCompile) {
   EXPECT_EQ(m.nonzero_count(), 2u);
 }
 
-TEST(Triplets, ZeroEntriesDropped) {
+TEST(Triplets, ZeroEntriesStayStructural) {
+  // Exact-zero entries (a fully severed mesh edge) must stay in the
+  // pattern: in-place stamping and cached symbolic factorizations key off
+  // the nominal structure, so a scale=0 fault may not change it.
   TripletList t(2, 2);
   t.add(0, 0, 0.0);
   t.add(0, 1, 1.0);
   t.add(0, 1, -1.0);  // cancels to zero
-  const CsrMatrix m(t);
-  EXPECT_EQ(m.nonzero_count(), 0u);
+  CsrMatrix m(t);
+  EXPECT_EQ(m.nonzero_count(), 2u);  // stored zeros, both slots kept
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
   EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  // The retained slot accepts in-place stamps, exactly like its nominal
+  // counterpart.
+  m.add_to_entry(0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
 }
 
 TEST(Triplets, OutOfRangeThrows) {

@@ -15,8 +15,10 @@ TEST(RunningStats, BasicMoments) {
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
   EXPECT_EQ(rs.count(), 8u);
   EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
-  EXPECT_DOUBLE_EQ(rs.variance(), 4.0);
-  EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);
+  // Sample (Bessel-corrected) variance: sum of squared deviations is 32
+  // over n - 1 = 7 observations.
+  EXPECT_DOUBLE_EQ(rs.variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), std::sqrt(32.0 / 7.0));
   EXPECT_DOUBLE_EQ(rs.min(), 2.0);
   EXPECT_DOUBLE_EQ(rs.max(), 9.0);
   EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
@@ -73,7 +75,7 @@ TEST(Summarize, AllFieldsConsistent) {
   EXPECT_DOUBLE_EQ(s.max, 5.0);
   EXPECT_DOUBLE_EQ(s.mean, 3.0);
   EXPECT_DOUBLE_EQ(s.median, 3.0);
-  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);  // sample variance 10 / 4
   EXPECT_LE(s.p05, s.median);
   EXPECT_LE(s.median, s.p95);
 }

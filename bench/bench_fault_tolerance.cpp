@@ -10,6 +10,7 @@
 //
 // `--json` switches the output to a machine-readable JSON document with
 // the same numbers plus the per-architecture margin histograms.
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -91,6 +92,25 @@ int main(int argc, char** argv) {
     }
     out.add("campaigns", std::move(campaigns));
     out.set_mesh_cache(cache.stats());
+    // Merge the per-architecture campaign snapshots: counters accumulate
+    // per campaign; the merged document keeps the last architecture's
+    // gauges, so expose only the aggregate counters here.
+    obs::Snapshot merged;
+    for (const FaultCampaignReport& r : reports) {
+      const obs::Snapshot s = r.snapshot();
+      const auto acc = [&](const char* name) {
+        const std::uint64_t* prev = merged.counter(name);
+        const std::uint64_t* cur = s.counter(name);
+        merged.set_counter(name, (prev ? *prev : 0) + (cur ? *cur : 0));
+      };
+      acc("fault.scenarios");
+      acc("fault.survivors");
+      acc("solver.cg_solves");
+      acc("solver.cg_iterations");
+      acc("solver.precond_factorizations");
+      acc("solver.precond_reuses");
+    }
+    out.set_observability(merged);
     out.print();
     return 0;
   }

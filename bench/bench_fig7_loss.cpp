@@ -140,6 +140,7 @@ int main(int argc, char** argv) {
     }
     out.add("dickson_extrapolated", std::move(extrapolated));
     out.set_mesh_cache(sweep.cache_stats);
+    out.set_observability(sweep.snapshot());
     out.print();
     return 0;
   }

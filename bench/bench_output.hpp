@@ -15,6 +15,7 @@
 
 #include "vpd/common/table.hpp"
 #include "vpd/io/json.hpp"
+#include "vpd/obs/registry.hpp"
 #include "vpd/package/mesh_cache.hpp"
 
 namespace vpd {
@@ -65,6 +66,8 @@ class JsonReport {
     v.set("hits", stats.hits);
     v.set("misses", stats.misses);
     doc_.set("mesh_cache", std::move(v));
+    snapshot_.set_counter("mesh_cache.hits", stats.hits);
+    snapshot_.set_counter("mesh_cache.misses", stats.misses);
   }
 
   /// Serializes a solver counter delta (typically solver_counters()
@@ -76,6 +79,18 @@ class JsonReport {
     v.set("precond_factorizations", counters.precond_factorizations);
     v.set("precond_reuses", counters.precond_reuses);
     doc_.set("solver", std::move(v));
+    snapshot_.set_counter("solver.cg_solves", counters.cg_solves);
+    snapshot_.set_counter("solver.cg_iterations", counters.cg_iterations);
+    snapshot_.set_counter("solver.precond_factorizations",
+                          counters.precond_factorizations);
+    snapshot_.set_counter("solver.precond_reuses", counters.precond_reuses);
+  }
+
+  /// Merges a unified-telemetry snapshot (e.g. SweepReport::snapshot(),
+  /// FaultCampaignReport::snapshot() or ServiceMetrics::observability)
+  /// into the document's "observability" member.
+  void set_observability(const obs::Snapshot& snapshot) {
+    snapshot_.merge(snapshot);
   }
 
   void print() const {
@@ -88,6 +103,9 @@ class JsonReport {
       v.set("misses", 0);
       doc.set("mesh_cache", std::move(v));
     }
+    // Every bench document carries the unified telemetry shape alongside
+    // its bench-specific fields (see docs/observability.md).
+    doc.set("observability", snapshot_.to_json());
     std::string out = io::dump_pretty(doc);
     std::fputs(out.c_str(), stdout);
     std::fputc('\n', stdout);
@@ -95,6 +113,7 @@ class JsonReport {
 
  private:
   io::Value doc_ = io::Value::object();
+  obs::Snapshot snapshot_;
 };
 
 }  // namespace benchio

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -157,6 +158,25 @@ int main(int argc, char** argv) {
   const double speedup = service_rps / baseline_rps;
   const serve::ServiceMetrics metrics = service.metrics();
 
+  // Per-stage latency breakdown over the evaluated (non-cached) responses;
+  // cache hits carry all-zero timings and coalesced waiters share the
+  // evaluated response, so count each distinct evaluation once.
+  obs::StageTimings stage_totals;
+  std::size_t timed = 0;
+  std::set<const ExplorationEntry*> counted;
+  for (const auto& response : responses) {
+    if (response.from_cache || response.timings.evaluate_seconds <= 0.0 ||
+        !counted.insert(response.entry.get()).second) {
+      continue;
+    }
+    stage_totals.queue_seconds += response.timings.queue_seconds;
+    stage_totals.mesh_seconds += response.timings.mesh_seconds;
+    stage_totals.solve_seconds += response.timings.solve_seconds;
+    stage_totals.evaluate_seconds += response.timings.evaluate_seconds;
+    ++timed;
+  }
+  const double timed_n = timed == 0 ? 1.0 : static_cast<double>(timed);
+
   if (json) {
     benchio::JsonReport report("bench_serve");
     io::Value workload = io::Value::object();
@@ -174,9 +194,25 @@ int main(int argc, char** argv) {
     report.add("service", std::move(served));
     report.add("speedup", speedup);
     report.add("bit_identical", true);
+    io::Value stages = io::Value::object();
+    const auto stage = [&](const char* name, double total) {
+      io::Value s = io::Value::object();
+      s.set("total_seconds", total);
+      s.set("mean_seconds", total / timed_n);
+      stages.set(name, std::move(s));
+    };
+    stage("queue", stage_totals.queue_seconds);
+    stage("mesh", stage_totals.mesh_seconds);
+    stage("solve", stage_totals.solve_seconds);
+    stage("evaluate", stage_totals.evaluate_seconds);
+    io::Value breakdown = io::Value::object();
+    breakdown.set("evaluated_requests", timed);
+    breakdown.set("stages", std::move(stages));
+    report.add("stage_breakdown", std::move(breakdown));
     report.add("service_metrics", serve::to_json(metrics));
     report.set_mesh_cache(metrics.mesh_cache);
     report.set_solver(metrics.solver);
+    report.set_observability(metrics.observability);
     report.print();
     return 0;
   }
@@ -206,5 +242,12 @@ int main(int argc, char** argv) {
       100.0 * metrics.mesh_cache_hit_rate(), 1e3 * metrics.latency_min_seconds,
       1e3 * metrics.latency_mean_seconds, 1e3 * metrics.latency_max_seconds,
       1e3 * metrics.latency_p99_seconds, metrics.queue_high_water);
+  std::printf(
+      "Stage breakdown (mean over %zu evaluated requests): queue %.2f ms, "
+      "mesh %.2f ms, solve %.2f ms, evaluate %.2f ms.\n",
+      timed, 1e3 * stage_totals.queue_seconds / timed_n,
+      1e3 * stage_totals.mesh_seconds / timed_n,
+      1e3 * stage_totals.solve_seconds / timed_n,
+      1e3 * stage_totals.evaluate_seconds / timed_n);
   return speedup >= 2.0 ? 0 : 1;
 }

@@ -125,16 +125,20 @@ DistributionResult solve_distribution(const PowerDeliverySpec& spec,
   // when the caller provides a cache. Cached and per-call assemblies are
   // numerically identical, and a perturbed operator can never alias the
   // nominal cache entry (the key carries the perturbation digest).
-  const std::shared_ptr<const AssembledMesh> assembled =
-      options.mesh_cache
-          ? options.mesh_cache->get(spec.die_side(), spec.die_side(),
-                                    options.mesh_nodes, options.mesh_nodes,
-                                    options.distribution_sheet_ohms,
-                                    faults.mesh_perturbation)
-          : assemble_mesh(spec.die_side(), spec.die_side(),
-                          options.mesh_nodes, options.mesh_nodes,
-                          options.distribution_sheet_ohms,
-                          faults.mesh_perturbation);
+  std::shared_ptr<const AssembledMesh> assembled;
+  {
+    const obs::StageTimer mesh_timer(obs::Stage::kMesh);
+    assembled =
+        options.mesh_cache
+            ? options.mesh_cache->get(spec.die_side(), spec.die_side(),
+                                      options.mesh_nodes, options.mesh_nodes,
+                                      options.distribution_sheet_ohms,
+                                      faults.mesh_perturbation, options.trace)
+            : assemble_mesh(spec.die_side(), spec.die_side(),
+                            options.mesh_nodes, options.mesh_nodes,
+                            options.distribution_sheet_ohms,
+                            faults.mesh_perturbation);
+  }
   const GridMesh& mesh = assembled->mesh;
   // Patch footprints: capped per site by the placement geometry so
   // neighbouring patches can never overlap and share attachment nodes.
@@ -174,6 +178,7 @@ DistributionResult solve_distribution(const PowerDeliverySpec& spec,
   IrDropOptions solve_options;
   solve_options.relative_tolerance = options.irdrop_relative_tolerance;
   solve_options.preconditioner = options.irdrop_preconditioner;
+  solve_options.trace = options.trace;
   if (options.cg_warm_start) solve_options.warm_start_voltage = rail.value;
   const IrDropResult ir = solve_irdrop(*assembled, legs, sinks,
                                        solve_options);
@@ -535,17 +540,31 @@ ArchitectureEvaluation evaluate_architecture(ArchitectureKind architecture,
   VPD_REQUIRE(options.irdrop_relative_tolerance > 0.0,
               "IR-drop relative tolerance must be positive");
 
+  obs::Span span("vpd.evaluate", options.trace);
+  // Child spans (mesh assembly, IR-drop, CG) parent onto this one. The
+  // copy only happens when tracing is live, so the disabled path stays a
+  // single relaxed load with zero extra work.
+  const EvaluationOptions* opts = &options;
+  EvaluationOptions traced;
+  if (span.active()) {
+    span.set_arg("architecture", double(static_cast<int>(architecture)));
+    span.set_arg("mesh_nodes", double(options.mesh_nodes));
+    traced = options;
+    traced.trace = span.context();
+    opts = &traced;
+  }
+
   switch (architecture) {
     case ArchitectureKind::kA0_PcbConversion:
-      return evaluate_a0(spec, options);
+      return evaluate_a0(spec, *opts);
     case ArchitectureKind::kA1_InterposerPeriphery:
     case ArchitectureKind::kA2_InterposerBelowDie:
       return evaluate_single_stage(architecture, spec, topology, tech,
-                                   options);
+                                   *opts);
     case ArchitectureKind::kA3_TwoStage12V:
     case ArchitectureKind::kA3_TwoStage6V:
       return evaluate_two_stage(architecture, spec, topology, tech,
-                                options);
+                                *opts);
   }
   throw InvalidArgument("unknown architecture kind");
 }

@@ -87,6 +87,10 @@ struct EvaluationOptions {
   /// empty injection (the default) is the nominal evaluation bit for bit.
   /// Not supported for A0, which has no distributed VRs.
   FaultInjection faults;
+  /// Parent span for this evaluation's "vpd.evaluate" trace span.
+  /// Process-local observability plumbing (like mesh_cache): never on the
+  /// wire, never read by the numerics.
+  obs::TraceContext trace{};
 };
 
 /// Evaluates one (architecture, topology, device technology) combination.

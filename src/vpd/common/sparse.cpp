@@ -533,6 +533,8 @@ CgResult solve_cg(const CsrMatrix& a, const Vector& b,
   VPD_REQUIRE(b.size() == a.rows(), "rhs has ", b.size(),
               " entries, expected ", a.rows());
 
+  obs::Span span("solve.cg", options.trace);
+
   const std::size_t n = a.rows();
   const std::size_t max_iterations =
       options.max_iterations > 0 ? options.max_iterations : 10 * n + 100;
@@ -577,6 +579,11 @@ CgResult solve_cg(const CsrMatrix& a, const Vector& b,
     AtomicSolverCounters& g = global_counters();
     g.cg_solves.fetch_add(1, std::memory_order_relaxed);
     g.cg_iterations.fetch_add(result.iterations, std::memory_order_relaxed);
+    if (span.active()) {
+      span.set_arg("nodes", double(n));
+      span.set_arg("iterations", double(result.iterations));
+      span.set_arg("converged", result.converged ? 1.0 : 0.0);
+    }
     return result;
   };
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "vpd/common/matrix.hpp"  // for Vector
+#include "vpd/obs/trace.hpp"
 
 namespace vpd {
 
@@ -235,6 +236,9 @@ struct CgOptions {
   /// kIncompleteCholesky (e.g. cached next to a mesh Laplacian whose
   /// stamps never change the pattern). nullptr builds it at factor time.
   const IcSymbolic* ic_symbolic{nullptr};
+  /// Parent span for the solve's trace span. Process-local observability
+  /// plumbing only — never serialized, never read by the numerics.
+  obs::TraceContext trace{};
 };
 
 /// Reusable solver state: the iteration vectors, the diagonal scratch, and

@@ -86,6 +86,24 @@ MarginHistogram FaultCampaignReport::margin_histogram(
   return histogram;
 }
 
+obs::Snapshot FaultCampaignReport::snapshot() const {
+  obs::Snapshot s;
+  s.set_counter("fault.scenarios", scenario_count());
+  s.set_counter("fault.survivors", survivor_count());
+  s.set_counter("solver.cg_solves", solver.cg_solves);
+  s.set_counter("solver.cg_iterations", solver.cg_iterations);
+  s.set_counter("solver.precond_factorizations",
+                solver.precond_factorizations);
+  s.set_counter("solver.precond_reuses", solver.precond_reuses);
+  s.set_gauge("fault.survivability", survivability(), survivability());
+  s.set_gauge("fault.worst_droop_fraction", worst_droop_fraction(),
+              worst_droop_fraction());
+  s.set_gauge("fault.worst_load_shed_fraction", worst_load_shed_fraction(),
+              worst_load_shed_fraction());
+  s.set_gauge("fault.wall_seconds", wall_seconds, wall_seconds);
+  return s;
+}
+
 FaultCampaignRunner::FaultCampaignRunner(PowerDeliverySpec spec,
                                          FaultCampaignConfig config)
     : spec_(spec), config_(std::move(config)) {

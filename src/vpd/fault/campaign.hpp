@@ -18,6 +18,7 @@
 #include "vpd/core/spec.hpp"
 #include "vpd/fault/fault_model.hpp"
 #include "vpd/fault/resilience.hpp"
+#include "vpd/obs/registry.hpp"
 #include "vpd/sweep/sweep.hpp"
 
 namespace vpd {
@@ -95,6 +96,11 @@ struct FaultCampaignReport {
   /// Worst load-shedding fraction the degradation policy had to apply.
   double worst_load_shed_fraction() const;
   MarginHistogram margin_histogram(std::size_t bins) const;
+
+  /// The report's metrics in the unified telemetry shape (fault.* counters
+  /// and gauges plus solver.* counters); emitted via
+  /// obs::Snapshot::to_json() by the campaign benches.
+  obs::Snapshot snapshot() const;
 };
 
 class FaultCampaignRunner {

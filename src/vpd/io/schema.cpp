@@ -10,25 +10,24 @@ namespace vpd {
 namespace io {
 namespace {
 
-// Strict object reader: fields are pulled by name, and finish() rejects
-// any member nobody asked for, so a typo in a request fails loudly
-// instead of silently evaluating the default.
+// Tolerant object reader: fields are pulled by name, absent fields fall
+// back to the C++ default, and members nobody asked for are ignored — the
+// v2 compatibility rule, which lets a v2 peer add fields without breaking
+// a v1-era reader. Values remain strict: a present field with the wrong
+// type or an unknown enum name still throws.
 class FieldReader {
  public:
   FieldReader(const Value& v, const char* what)
-      : object_(v.as_object()), what_(what), consumed_(object_.size(), false) {}
+      : object_(v.as_object()), what_(what) {}
 
-  const Value* get(std::string_view key) {
+  const Value* get(std::string_view key) const {
     for (std::size_t i = 0; i < object_.size(); ++i) {
-      if (object_[i].first == key) {
-        consumed_[i] = true;
-        return &object_[i].second;
-      }
+      if (object_[i].first == key) return &object_[i].second;
     }
     return nullptr;
   }
 
-  const Value& require(std::string_view key) {
+  const Value& require(std::string_view key) const {
     const Value* v = get(key);
     if (v == nullptr) {
       throw InvalidArgument(detail::concat(what_, ": missing required field \"",
@@ -37,19 +36,9 @@ class FieldReader {
     return *v;
   }
 
-  void finish() const {
-    for (std::size_t i = 0; i < object_.size(); ++i) {
-      if (!consumed_[i]) {
-        throw InvalidArgument(detail::concat(what_, ": unknown field \"",
-                                             object_[i].first, "\""));
-      }
-    }
-  }
-
  private:
   const Value::Object& object_;
   const char* what_;
-  std::vector<bool> consumed_;
 };
 
 std::size_t as_index(const Value& v, const char* what) {
@@ -88,6 +77,19 @@ Kind enum_from_json(const Value& v, const char* what, FromString candidates) {
 }
 
 }  // namespace
+
+void check_schema_version(const Value& v, const char* what) {
+  if (!v.is_object()) return;  // shape errors surface in the field reads
+  const Value* version = v.find("schema_version");
+  if (version == nullptr) return;  // v1: the field did not exist yet
+  const double n = version->as_number();
+  if (n != std::floor(n) || n < 1.0 ||
+      n > static_cast<double>(kSchemaVersion)) {
+    throw InvalidArgument(detail::concat(
+        what, ": unsupported schema_version ", dump_number(n),
+        " (this build speaks versions 1..", kSchemaVersion, ")"));
+  }
+}
 
 // --- Enums -----------------------------------------------------------------
 
@@ -138,7 +140,6 @@ PowerDeliverySpec spec_from_json(const Value& v) {
   spec.pcb_voltage = Voltage{number_or(r, "pcb_voltage", spec.pcb_voltage.value)};
   spec.die_voltage = Voltage{number_or(r, "die_voltage", spec.die_voltage.value)};
   spec.die_area = Area{number_or(r, "die_area", spec.die_area.value)};
-  r.finish();
   spec.validate();
   return spec;
 }
@@ -161,7 +162,6 @@ EdgeScaleRegion edge_scale_region_from_json(const Value& v) {
   region.x1 = Length{r.require("x1").as_number()};
   region.y1 = Length{r.require("y1").as_number()};
   region.scale = number_or(r, "scale", region.scale);
-  r.finish();
   return region;
 }
 
@@ -178,7 +178,6 @@ VrDerate vr_derate_from_json(const Value& v) {
   derate.current_limit_scale =
       number_or(r, "current_limit_scale", derate.current_limit_scale);
   derate.loss_scale = number_or(r, "loss_scale", derate.loss_scale);
-  r.finish();
   return derate;
 }
 
@@ -228,7 +227,6 @@ FaultInjection fault_injection_from_json(const Value& v) {
       FieldReader er(entry, "attach_scale entry");
       const std::size_t site = as_index(er.require("site"), "attach site");
       const double scale = er.require("scale").as_number();
-      er.finish();
       injection.attach_scale.emplace_back(site, scale);
     }
   }
@@ -240,7 +238,6 @@ FaultInjection fault_injection_from_json(const Value& v) {
       derate.current_limit_scale =
           number_or(er, "current_limit_scale", derate.current_limit_scale);
       derate.loss_scale = number_or(er, "loss_scale", derate.loss_scale);
-      er.finish();
       injection.derates.emplace_back(site, derate);
     }
   }
@@ -254,7 +251,6 @@ FaultInjection fault_injection_from_json(const Value& v) {
       injection.mesh_perturbation.push_back(edge_scale_region_from_json(region));
     }
   }
-  r.finish();
   return injection;
 }
 
@@ -321,7 +317,6 @@ EvaluationOptions evaluation_options_from_json(const Value& v) {
   if (const Value* faults = r.get("faults")) {
     options.faults = fault_injection_from_json(*faults);
   }
-  r.finish();
   return options;
 }
 
@@ -349,7 +344,6 @@ Fault fault_from_json(const Value& v) {
   } else {
     fault.site = as_index(r.require("site"), "fault site");
   }
-  r.finish();
   return fault;
 }
 
@@ -376,7 +370,6 @@ FaultSeverity fault_severity_from_json(const Value& v) {
       r, "mesh_conductance_scale", severity.mesh_conductance_scale);
   severity.mesh_region_side =
       Length{number_or(r, "mesh_region_side", severity.mesh_region_side.value)};
-  r.finish();
   severity.validate();
   return severity;
 }
@@ -399,7 +392,6 @@ FaultScenario fault_scenario_from_json(const Value& v) {
       scenario.faults.push_back(fault_from_json(fault));
     }
   }
-  r.finish();
   return scenario;
 }
 
@@ -407,6 +399,7 @@ FaultScenario fault_scenario_from_json(const Value& v) {
 
 Value to_json(const EvaluationRequest& request) {
   Value v = Value::object();
+  v.set("schema_version", kSchemaVersion);
   v.set("architecture", to_json(request.architecture));
   v.set("topology",
         request.topology ? to_json(*request.topology) : Value());
@@ -417,6 +410,7 @@ Value to_json(const EvaluationRequest& request) {
 }
 
 EvaluationRequest evaluation_request_from_json(const Value& v) {
+  check_schema_version(v, "request");
   FieldReader r(v, "request");
   EvaluationRequest request;
   request.architecture = architecture_from_json(r.require("architecture"));
@@ -454,7 +448,6 @@ EvaluationRequest evaluation_request_from_json(const Value& v) {
     request.options.faults =
         to_injection(fault_scenario_from_json(*scenario), sev);
   }
-  r.finish();
   if (request.architecture == ArchitectureKind::kA0_PcbConversion) {
     request.topology.reset();
   } else if (!request.topology) {
@@ -493,7 +486,6 @@ SweepPoint sweep_point_from_json(const Value& v) {
     point.options = evaluation_options_from_json(*options);
   }
   if (const Value* label = r.get("label")) point.label = label->as_string();
-  r.finish();
   return point;
 }
 

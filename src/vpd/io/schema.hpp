@@ -9,8 +9,13 @@
 //  * enums serialize as their to_string() names ("A1", "DSCH", "GaN",
 //    "vr-dropout") and parse strictly — an unknown name is an
 //    InvalidArgument, never a silent default;
-//  * readers treat absent fields as the C++ default and reject unknown
-//    fields (catches typos at the wire instead of mis-evaluating);
+//  * readers treat absent fields as the C++ default and IGNORE unknown
+//    fields (the v2 compatibility rule: a newer client may send fields an
+//    older server does not know, and vice versa). Field *values* are still
+//    strict — a wrong type or unknown enum name is an InvalidArgument;
+//  * requests and responses carry "schema_version" (see kSchemaVersion).
+//    Readers accept an absent field (v1, the pre-versioning wire form) and
+//    any version up to kSchemaVersion; writers always emit the current one;
 //  * writers materialize every field in a fixed order, which makes the
 //    compact dump of a request its canonical form — the evaluation
 //    service keys coalescing and its result cache on exactly that string.
@@ -34,6 +39,18 @@
 
 namespace vpd {
 namespace io {
+
+/// Current wire schema version, stamped as "schema_version" on every
+/// request and response. v1 is the unversioned PR-3 wire form (the field
+/// is simply absent); v2 adds the field, the ignore-unknown-keys rule and
+/// the unified telemetry shape (obs::kTelemetrySchemaVersion mirrors it).
+inline constexpr int kSchemaVersion = 2;
+
+/// Validates an optional "schema_version" member of `v`: absent (v1) and
+/// 1..kSchemaVersion are accepted, anything else throws InvalidArgument
+/// naming `what`. Call sites parse the rest of the object normally — the
+/// schema is backward-compatible within the accepted range.
+void check_schema_version(const Value& v, const char* what);
 
 // --- Enums -----------------------------------------------------------------
 

@@ -82,6 +82,9 @@ IrDropResult solve_assembled(const GridMesh& mesh, const CsrMatrix& base,
               "relative tolerance must be positive, got ",
               options.relative_tolerance);
 
+  const obs::StageTimer stage_timer(obs::Stage::kSolve);
+  obs::Span span("irdrop.solve", options.trace);
+
   thread_local CsrMatrix a;
   thread_local Vector rhs;
   a = base;
@@ -111,6 +114,7 @@ IrDropResult solve_assembled(const GridMesh& mesh, const CsrMatrix& base,
   opts.relative_tolerance = options.relative_tolerance;
   opts.preconditioner = options.preconditioner;
   opts.ic_symbolic = symbolic;
+  opts.trace = span.context();
   if (options.warm_start_voltage) {
     opts.x0.assign(mesh.node_count(), *options.warm_start_voltage);
   }
@@ -121,6 +125,12 @@ IrDropResult solve_assembled(const GridMesh& mesh, const CsrMatrix& base,
   VPD_CHECK_NUMERIC(cg.converged, "IR-drop CG did not converge: residual ",
                     cg.residual_norm, " after ", cg.iterations,
                     " iterations");
+
+  if (span.active()) {
+    span.set_arg("nodes", double(mesh.node_count()));
+    span.set_arg("vrs", double(vrs.size()));
+    span.set_arg("iterations", double(cg.iterations));
+  }
 
   IrDropResult result;
   result.node_voltages = cg.x;

@@ -63,6 +63,9 @@ struct IrDropOptions {
   /// caller coordination; pass an explicit workspace to scope stats or
   /// factorization reuse. Never shared across threads by the solver.
   CgWorkspace* workspace{nullptr};
+  /// Parent span for the solve's "irdrop.solve" trace span. Observability
+  /// plumbing only; never read by the numerics.
+  obs::TraceContext trace{};
 };
 
 /// Solves the mesh with the given sources and per-node sink currents

@@ -58,13 +58,14 @@ bool MeshSolveCache::Key::operator<(const Key& o) const {
 
 std::shared_ptr<const AssembledMesh> MeshSolveCache::get(
     Length width, Length height, std::size_t nx, std::size_t ny,
-    double sheet_ohms) {
-  return get(width, height, nx, ny, sheet_ohms, MeshPerturbation{});
+    double sheet_ohms, obs::TraceContext trace) {
+  return get(width, height, nx, ny, sheet_ohms, MeshPerturbation{}, trace);
 }
 
 std::shared_ptr<const AssembledMesh> MeshSolveCache::get(
     Length width, Length height, std::size_t nx, std::size_t ny,
-    double sheet_ohms, const MeshPerturbation& perturbation) {
+    double sheet_ohms, const MeshPerturbation& perturbation,
+    obs::TraceContext trace) {
   const Key key{width.value, height.value, nx, ny, sheet_ohms,
                 mesh_perturbation_digest(perturbation)};
   std::lock_guard<std::mutex> lock(mutex_);
@@ -76,6 +77,9 @@ std::shared_ptr<const AssembledMesh> MeshSolveCache::get(
   // Assemble under the lock: concurrent requests for the same key wait and
   // then hit, so each mesh is built exactly once per cache lifetime.
   ++stats_.misses;
+  obs::Span span("mesh.assemble", trace);
+  span.set_arg("nx", double(nx));
+  span.set_arg("ny", double(ny));
   auto assembled =
       assemble_mesh(width, height, nx, ny, sheet_ohms, perturbation);
   entries_.emplace(key, assembled);

@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 
+#include "vpd/obs/trace.hpp"
 #include "vpd/package/mesh.hpp"
 
 namespace vpd {
@@ -62,15 +63,19 @@ class MeshSolveCache {
   };
 
   /// Returns the cached operator for the key, assembling it on first use.
+  /// `trace` parents the "mesh.assemble" span a miss records; it never
+  /// affects what is returned.
   std::shared_ptr<const AssembledMesh> get(Length width, Length height,
                                            std::size_t nx, std::size_t ny,
-                                           double sheet_ohms);
+                                           double sheet_ohms,
+                                           obs::TraceContext trace = {});
 
   /// Same, keyed additionally by the perturbation digest. An empty
   /// perturbation shares the nominal entry.
   std::shared_ptr<const AssembledMesh> get(
       Length width, Length height, std::size_t nx, std::size_t ny,
-      double sheet_ohms, const MeshPerturbation& perturbation);
+      double sheet_ohms, const MeshPerturbation& perturbation,
+      obs::TraceContext trace = {});
 
   Stats stats() const;
   std::size_t size() const;

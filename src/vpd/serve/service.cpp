@@ -1,6 +1,7 @@
 #include "vpd/serve/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <utility>
 
@@ -34,7 +35,10 @@ double ServiceMetrics::mesh_cache_hit_rate() const {
 }
 
 io::Value to_json(const ServiceMetrics& metrics) {
-  io::Value v = io::Value::object();
+  // The unified telemetry document is the primary shape; the pre-v2 flat
+  // keys ride along as deprecated aliases for one release so existing
+  // scrapers keep parsing.
+  io::Value v = metrics.observability.to_json();
   v.set("requests", metrics.requests);
   v.set("completed", metrics.completed);
   v.set("rejected", metrics.rejected);
@@ -47,6 +51,7 @@ io::Value to_json(const ServiceMetrics& metrics) {
   v.set("result_cache_hit_rate", metrics.result_cache_hit_rate());
   v.set("queue_high_water", metrics.queue_high_water);
   v.set("threads", metrics.threads);
+  v.set("slow_requests", metrics.slow_requests);
   io::Value latency = io::Value::object();
   latency.set("samples", metrics.latency_samples);
   latency.set("min_seconds", metrics.latency_min_seconds);
@@ -69,20 +74,47 @@ io::Value to_json(const ServiceMetrics& metrics) {
 }
 
 io::Value to_json(const ServiceResponse& response) {
+  const auto serialize_start = std::chrono::steady_clock::now();
   io::Value v = io::Value::object();
+  // "status" stays the first member (wire shape consumers grep on it);
+  // schema_version follows immediately.
   v.set("status", to_string(response.status));
+  v.set("schema_version", io::kSchemaVersion);
   if (!response.error.empty()) v.set("error", response.error);
   if (response.entry != nullptr) {
     v.set("result", io::to_json(*response.entry));
   }
   v.set("from_cache", response.from_cache);
+  io::Value timings = io::Value::object();
+  timings.set("queue_seconds", response.timings.queue_seconds);
+  timings.set("mesh_seconds", response.timings.mesh_seconds);
+  timings.set("solve_seconds", response.timings.solve_seconds);
+  timings.set("evaluate_seconds", response.timings.evaluate_seconds);
+  timings.set("serialize_seconds",
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - serialize_start)
+                  .count());
+  v.set("timings", std::move(timings));
   return v;
 }
 
 EvaluationService::EvaluationService(ServiceConfig config)
-    : config_(config), solver_baseline_(solver_counters()),
-      pool_(config.threads) {
+    : config_(std::move(config)), solver_baseline_(solver_counters()),
+      latency_hist_(registry_.latency_histogram("serve.latency_seconds")),
+      queue_wait_hist_(
+          registry_.latency_histogram("serve.stage.queue_seconds")),
+      mesh_stage_hist_(registry_.latency_histogram("serve.stage.mesh_seconds")),
+      solve_stage_hist_(
+          registry_.latency_histogram("serve.stage.solve_seconds")),
+      evaluate_stage_hist_(
+          registry_.latency_histogram("serve.stage.evaluate_seconds")),
+      queue_depth_hist_(registry_.histogram("serve.queue_depth",
+                                            obs::default_depth_bounds())),
+      queue_depth_gauge_(registry_.gauge("serve.queue_depth")),
+      pool_(config_.threads) {
   VPD_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
+  VPD_REQUIRE(config_.slow_request_seconds >= 0.0,
+              "slow_request_seconds must be non-negative");
 }
 
 EvaluationService::~EvaluationService() { pool_.wait_idle(); }
@@ -157,6 +189,11 @@ std::shared_future<ServiceResponse> EvaluationService::submit(
   inflight_.emplace(key, entry);
   ++pending_;
   counters_.queue_high_water = std::max(counters_.queue_high_water, pending_);
+  // Depth instruments: the gauge tracks the point-in-time level (its high
+  // water preserves the peak) and the histogram the depth distribution at
+  // admission, so backpressure onset stays visible after the fact.
+  queue_depth_gauge_.set(static_cast<double>(pending_));
+  queue_depth_hist_.record(static_cast<double>(pending_));
 
   pool_.submit([this, key, request] { run_evaluation(key, request); });
   return entry->future;
@@ -164,9 +201,30 @@ std::shared_future<ServiceResponse> EvaluationService::submit(
 
 void EvaluationService::run_evaluation(std::string key,
                                        io::EvaluationRequest request) {
+  const auto start = std::chrono::steady_clock::now();
+  // Queue wait of the original submitter (coalesced waiters joined later;
+  // their extra wait is covered by the latency metric).
+  std::chrono::steady_clock::time_point submitted = start;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = inflight_.find(key); it != inflight_.end() &&
+                                       !it->second->submitted.empty()) {
+      submitted = it->second->submitted.front();
+    }
+  }
+
+  obs::Span span("serve.request");
+  obs::record_span("serve.queue_wait", span.context(), submitted, start);
+
   ServiceResponse response;
+  response.timings.queue_seconds =
+      std::chrono::duration<double>(start - submitted).count();
   try {
     request.options.mesh_cache = &mesh_cache_;
+    request.options.trace = span.context();
+    // Stage capture: the evaluator's mesh and solve sections add their
+    // elapsed time into this thread's response timings.
+    const obs::ScopedStageCapture capture(&response.timings);
     auto result = std::make_shared<ExplorationEntry>(evaluate_with_exclusion(
         request.spec, request.architecture, request.topology, request.tech,
         request.options));
@@ -180,6 +238,20 @@ void EvaluationService::run_evaluation(std::string key,
     response.status = ResponseStatus::kError;
     response.error = "unknown evaluation failure";
   }
+  response.timings.evaluate_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  queue_wait_hist_.record(response.timings.queue_seconds);
+  mesh_stage_hist_.record(response.timings.mesh_seconds);
+  solve_stage_hist_.record(response.timings.solve_seconds);
+  evaluate_stage_hist_.record(response.timings.evaluate_seconds);
+
+  const double request_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    submitted)
+          .count();
+  const bool slow = config_.slow_request_seconds > 0.0 &&
+                    request_seconds >= config_.slow_request_seconds;
 
   std::shared_ptr<InFlight> flight;
   {
@@ -188,7 +260,9 @@ void EvaluationService::run_evaluation(std::string key,
     flight = it->second;
     inflight_.erase(it);
     --pending_;
+    queue_depth_gauge_.set(static_cast<double>(pending_));
     ++counters_.evaluated;
+    if (slow) ++counters_.slow_requests;
     if (response.entry != nullptr) {
       const ArchitectureEvaluation* eval =
           response.entry->evaluation
@@ -204,12 +278,33 @@ void EvaluationService::run_evaluation(std::string key,
     } else {
       cache_insert(key, response.entry);
     }
-    for (const auto& submitted : flight->submitted) {
-      record_latency(submitted);
+    for (const auto& waiter_submitted : flight->submitted) {
+      record_latency(waiter_submitted);
     }
   }
+  if (slow) log_slow_request(key, request_seconds, response.timings);
   // Publish outside the lock: promise consumers may run arbitrary code.
   flight->promise.set_value(std::move(response));
+}
+
+void EvaluationService::log_slow_request(const std::string& key,
+                                         double seconds,
+                                         const obs::StageTimings& timings) {
+  // One parseable line with the stage breakdown, so "where did this slow
+  // request spend its time" is answerable from the log alone.
+  io::Value line = io::Value::object();
+  line.set("slow_request", key);
+  line.set("seconds", seconds);
+  line.set("queue_seconds", timings.queue_seconds);
+  line.set("mesh_seconds", timings.mesh_seconds);
+  line.set("solve_seconds", timings.solve_seconds);
+  line.set("evaluate_seconds", timings.evaluate_seconds);
+  const std::string text = io::dump(line);
+  if (config_.slow_request_sink) {
+    config_.slow_request_sink(text);
+  } else {
+    std::fprintf(stderr, "%s\n", text.c_str());
+  }
 }
 
 void EvaluationService::cache_insert(
@@ -240,6 +335,7 @@ void EvaluationService::record_latency(
           .count();
   latency_stats_.add(seconds);
   latencies_.push_back(seconds);
+  latency_hist_.record(seconds);
 }
 
 ServiceMetrics EvaluationService::metrics() const {
@@ -256,6 +352,33 @@ ServiceMetrics EvaluationService::metrics() const {
   }
   m.mesh_cache = mesh_cache_.stats();
   m.solver = solver_counters() - solver_baseline_;
+
+  // Unified shape: registry instruments (histograms + queue gauge) plus
+  // the mutex-guarded counters, mesh-cache stats and solver deltas, all
+  // under one namespace-per-subsystem naming scheme.
+  m.observability = registry_.snapshot();
+  m.observability.set_counter("serve.requests", m.requests);
+  m.observability.set_counter("serve.completed", m.completed);
+  m.observability.set_counter("serve.rejected", m.rejected);
+  m.observability.set_counter("serve.errors", m.errors);
+  m.observability.set_counter("serve.evaluated", m.evaluated);
+  m.observability.set_counter("serve.coalesced", m.coalesced);
+  m.observability.set_counter("serve.result_cache_hits", m.result_cache_hits);
+  m.observability.set_counter("serve.result_cache_misses",
+                              m.result_cache_misses);
+  m.observability.set_counter("serve.result_cache_size", m.result_cache_size);
+  m.observability.set_counter("serve.slow_requests", m.slow_requests);
+  m.observability.set_counter("serve.threads", m.threads);
+  m.observability.set_counter("serve.cg_iterations", m.cg_iterations);
+  m.observability.set_counter("mesh_cache.hits", m.mesh_cache.hits);
+  m.observability.set_counter("mesh_cache.misses", m.mesh_cache.misses);
+  m.observability.set_counter("solver.cg_solves", m.solver.cg_solves);
+  m.observability.set_counter("solver.cg_iterations",
+                              m.solver.cg_iterations);
+  m.observability.set_counter("solver.precond_factorizations",
+                              m.solver.precond_factorizations);
+  m.observability.set_counter("solver.precond_reuses",
+                              m.solver.precond_reuses);
   return m;
 }
 

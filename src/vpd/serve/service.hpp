@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -30,6 +31,8 @@
 #include "vpd/common/statistics.hpp"
 #include "vpd/core/explorer.hpp"
 #include "vpd/io/schema.hpp"
+#include "vpd/obs/registry.hpp"
+#include "vpd/obs/trace.hpp"
 #include "vpd/package/mesh_cache.hpp"
 #include "vpd/sweep/thread_pool.hpp"
 
@@ -55,6 +58,14 @@ struct ServiceConfig {
   /// Completed-result LRU entries keyed by canonical request; 0 disables
   /// result caching (every distinct submit evaluates).
   std::size_t result_cache_capacity{1024};
+  /// Evaluated requests whose submit-to-resolve latency exceeds this are
+  /// counted in ServiceMetrics::slow_requests and reported through
+  /// `slow_request_sink` with their stage breakdown. 0 (the default)
+  /// disables the slow-request log.
+  double slow_request_seconds{0.0};
+  /// Destination for slow-request log lines; nullptr writes to stderr.
+  /// Called outside the service lock, possibly from multiple workers.
+  std::function<void(const std::string& line)> slow_request_sink;
 };
 
 struct ServiceResponse {
@@ -66,6 +77,12 @@ struct ServiceResponse {
   std::shared_ptr<const ExplorationEntry> entry;
   /// True when served from the completed-result LRU without evaluating.
   bool from_cache{false};
+  /// Where this request spent its wall time (queue wait, mesh get/build,
+  /// CG solve, whole evaluator run). All zero for cache hits, rejections
+  /// and request errors — nothing was queued or evaluated. serialize is
+  /// filled by to_json(ServiceResponse), which times the body build.
+  /// Timings are measurements only: they never affect the result.
+  obs::StageTimings timings;
 };
 
 /// Point-in-time service counters. Latency covers every resolved request
@@ -95,14 +112,28 @@ struct ServiceMetrics {
   /// (includes preconditioner factorization/reuse traffic of this
   /// service's workers; see solver_counters()).
   SolverCounters solver;
+  /// Evaluated requests over config.slow_request_seconds (0 when the slow
+  /// log is disabled).
+  std::size_t slow_requests{0};
+  /// The same metrics in the unified telemetry shape: serve.* counters,
+  /// the serve.queue_depth gauge (+ high water), and the latency, stage
+  /// and queue-depth histograms kept by the service registry, merged with
+  /// mesh_cache.* and solver.* counters. to_json(ServiceMetrics) is this
+  /// snapshot's JSON plus the pre-v2 flat keys as deprecated aliases.
+  obs::Snapshot observability;
 
   double result_cache_hit_rate() const;
   double mesh_cache_hit_rate() const;
 };
 
+/// Unified telemetry shape (metrics.observability.to_json()) with the
+/// pre-v2 flat keys — requests/completed/.../latency/mesh_cache/solver —
+/// kept as deprecated aliases for one release.
 io::Value to_json(const ServiceMetrics& metrics);
-/// Full wire response body (status, error, result, from_cache). The
-/// daemon prepends the client's request id.
+/// Full wire response body (status, schema_version, error, result,
+/// from_cache, timings). The daemon prepends the client's request id.
+/// Fills the serialized "timings.serialize_seconds" with the time spent
+/// building the body itself.
 io::Value to_json(const ServiceResponse& response);
 
 class EvaluationService {
@@ -129,6 +160,11 @@ class EvaluationService {
   ServiceMetrics metrics() const;
   io::Value metrics_json() const { return to_json(metrics()); }
 
+  /// The service's instrument registry (latency/stage/queue histograms and
+  /// the queue-depth gauge). Exposed for tests and embedding processes
+  /// that want to add their own instruments to the same snapshot.
+  obs::Registry& registry() { return registry_; }
+
   std::size_t thread_count() const { return pool_.thread_count(); }
   const ServiceConfig& config() const { return config_; }
 
@@ -147,11 +183,24 @@ class EvaluationService {
   std::shared_ptr<const ExplorationEntry> cache_lookup(const std::string& key);
   void record_latency(std::chrono::steady_clock::time_point submitted);
 
+  void log_slow_request(const std::string& key, double seconds,
+                        const obs::StageTimings& timings);
+
   ServiceConfig config_;
   /// Process-wide solver counters at construction; metrics() reports the
   /// delta since then.
   SolverCounters solver_baseline_;
   MeshSolveCache mesh_cache_;
+  /// Service-scoped instruments. References resolved once in the
+  /// constructor; instruments are lock-free to update afterwards.
+  obs::Registry registry_;
+  obs::Histogram& latency_hist_;
+  obs::Histogram& queue_wait_hist_;
+  obs::Histogram& mesh_stage_hist_;
+  obs::Histogram& solve_stage_hist_;
+  obs::Histogram& evaluate_stage_hist_;
+  obs::Histogram& queue_depth_hist_;
+  obs::Gauge& queue_depth_gauge_;
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;

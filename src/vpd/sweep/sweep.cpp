@@ -25,6 +25,27 @@ std::size_t SweepReport::total_cg_iterations() const {
   return total;
 }
 
+obs::Snapshot SweepReport::snapshot() const {
+  obs::Snapshot s;
+  s.set_counter("sweep.points", outcomes.size());
+  s.set_counter("sweep.threads", threads_used);
+  s.set_counter("sweep.cg_iterations", total_cg_iterations());
+  s.set_counter("mesh_cache.hits", cache_stats.hits);
+  s.set_counter("mesh_cache.misses", cache_stats.misses);
+  s.set_counter("solver.cg_solves", solver.cg_solves);
+  s.set_counter("solver.cg_iterations", solver.cg_iterations);
+  s.set_counter("solver.precond_factorizations",
+                solver.precond_factorizations);
+  s.set_counter("solver.precond_reuses", solver.precond_reuses);
+  s.set_gauge("sweep.wall_seconds", wall_seconds, wall_seconds);
+  obs::HistogramData point_seconds(obs::default_latency_bounds());
+  for (const SweepOutcome& o : outcomes) {
+    point_seconds.record(o.stats.wall_seconds);
+  }
+  s.set_histogram("sweep.point_seconds", std::move(point_seconds));
+  return s;
+}
+
 SweepRunner::SweepRunner(PowerDeliverySpec spec, SweepConfig config)
     : spec_(spec), config_(config) {
   spec_.validate();

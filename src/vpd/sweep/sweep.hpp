@@ -20,6 +20,7 @@
 #include "vpd/arch/evaluator.hpp"
 #include "vpd/core/explorer.hpp"
 #include "vpd/core/spec.hpp"
+#include "vpd/obs/registry.hpp"
 #include "vpd/package/mesh_cache.hpp"
 
 namespace vpd {
@@ -77,6 +78,12 @@ struct SweepReport {
   SolverCounters solver;
 
   std::size_t total_cg_iterations() const;
+
+  /// The report's metrics in the unified telemetry shape (sweep.* counters
+  /// and gauges, mesh_cache.* and solver.* counters, and a
+  /// sweep.point_seconds histogram over the per-point wall times); emitted
+  /// via obs::Snapshot::to_json() by the --json benches.
+  obs::Snapshot snapshot() const;
 };
 
 class SweepRunner {

@@ -294,14 +294,12 @@ TEST(Schema, CanonicalKeyIsInputOrderBlind) {
 // Malformed schema input: structured errors, never crashes
 // ---------------------------------------------------------------------------
 
-TEST(Schema, WrongTypesAndUnknownFieldsAreInvalidArgument) {
+TEST(Schema, WrongTypesAndInvalidValuesAreInvalidArgument) {
   const char* cases[] = {
       R"({"architecture":"A1","topology":"DSCH","options":{"mesh_nodes":"41"}})",
       R"({"architecture":"A1","topology":"DSCH","options":{"mesh_nodes":-1}})",
       R"({"architecture":"A1","topology":"DSCH","options":{"mesh_nodes":2.5}})",
       R"({"architecture":"A1","topology":"DSCH","options":{"cg_warm_start":"yes"}})",
-      R"({"architecture":"A1","topology":"DSCH","optoins":{}})",
-      R"({"architecture":"A1","topology":"DSCH","options":{"mesh_noodles":41}})",
       R"({"architecture":"A1","topology":null})",
       R"({"topology":"DSCH"})",
       R"({"architecture":"A1","topology":"DSCH","spec":{"die_voltage":-1}})",
@@ -311,6 +309,59 @@ TEST(Schema, WrongTypesAndUnknownFieldsAreInvalidArgument) {
       R"({"architecture":"A1","topology":"DSCH","options":{"faults":{"attach_scale":[{"site":0}]}}})",
       R"([1,2,3])",
       R"("A1")",
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(io::evaluation_request_from_json(io::parse(text)),
+                 InvalidArgument)
+        << text;
+  }
+}
+
+TEST(Schema, UnknownFieldsAreIgnoredNotErrors) {
+  // v2 compatibility rule: a peer may send fields this build does not
+  // know; they must parse as if absent, at every nesting level.
+  const io::EvaluationRequest defaults;
+  const char* cases[] = {
+      R"({"architecture":"A1","topology":"DSCH","future_field":123})",
+      R"({"architecture":"A1","topology":"DSCH","options":{"mesh_noodles":41}})",
+      R"({"architecture":"A1","topology":"DSCH","optoins":{}})",
+      R"({"architecture":"A1","topology":"DSCH","spec":{"color":"red"}})",
+      R"({"architecture":"A1","topology":"DSCH","options":{"faults":{"exotic":[]}}})",
+  };
+  for (const char* text : cases) {
+    const io::EvaluationRequest request =
+        io::evaluation_request_from_json(io::parse(text));
+    EXPECT_EQ(io::canonical_request_key(request),
+              io::canonical_request_key(defaults))
+        << text;
+  }
+}
+
+TEST(Schema, SchemaVersionRoundTripsV1InV2Out) {
+  // A v1 request (no schema_version) and its v2 form parse identically...
+  const io::EvaluationRequest v1 = io::evaluation_request_from_json(
+      io::parse(R"({"architecture":"A2","topology":"DSCH"})"));
+  const io::EvaluationRequest v2 = io::evaluation_request_from_json(
+      io::parse(
+          R"({"schema_version":2,"architecture":"A2","topology":"DSCH"})"));
+  EXPECT_EQ(io::canonical_request_key(v1), io::canonical_request_key(v2));
+  // ...and the writer always stamps the current version.
+  const Value out = io::to_json(v1);
+  ASSERT_NE(out.find("schema_version"), nullptr);
+  EXPECT_EQ(out.at("schema_version").as_number(),
+            static_cast<double>(io::kSchemaVersion));
+  // Explicit version 1 is accepted too (the field was introduced in v2,
+  // but a cautious v1-era client may stamp it).
+  EXPECT_NO_THROW(io::evaluation_request_from_json(io::parse(
+      R"({"schema_version":1,"architecture":"A2","topology":"DSCH"})")));
+}
+
+TEST(Schema, UnsupportedSchemaVersionsAreRejected) {
+  const char* cases[] = {
+      R"({"schema_version":3,"architecture":"A1","topology":"DSCH"})",
+      R"({"schema_version":0,"architecture":"A1","topology":"DSCH"})",
+      R"({"schema_version":1.5,"architecture":"A1","topology":"DSCH"})",
+      R"({"schema_version":"2","architecture":"A1","topology":"DSCH"})",
   };
   for (const char* text : cases) {
     EXPECT_THROW(io::evaluation_request_from_json(io::parse(text)),

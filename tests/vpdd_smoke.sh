@@ -1,8 +1,11 @@
 #!/bin/sh
-# End-to-end vpdd smoke test: pipe 10 NDJSON requests (pipelined, one of
-# them malformed) through the daemon and check that every request gets an
-# in-order, id-tagged response with the expected status. Pure POSIX shell
-# + grep so it runs in every CI matrix, sanitizers included.
+# End-to-end vpdd smoke test: pipe 13 NDJSON lines (10 pipelined
+# evaluation requests, one of them malformed, plus metrics / trace /
+# unknown control verbs) through the daemon with tracing enabled, and
+# check that every line gets an in-order, id-tagged response with the
+# expected status and that the trace file is a Chrome trace-event
+# document. Pure POSIX shell + grep so it runs in every CI matrix,
+# sanitizers included.
 set -eu
 
 VPDD="${1:?usage: vpdd_smoke.sh /path/to/vpdd}"
@@ -12,6 +15,7 @@ trap 'rm -rf "$workdir"' EXIT
 
 requests="$workdir/requests.ndjson"
 responses="$workdir/responses.ndjson"
+trace="$workdir/trace.json"
 
 cat > "$requests" <<'EOF'
 {"id":1,"architecture":"A1","topology":"DSCH"}
@@ -24,9 +28,13 @@ this line is not JSON {{{
 {"id":8,"architecture":"A9","topology":"DSCH"}
 {"id":9,"architecture":"A2","topology":"DSCH","fault_scenario":{"faults":[{"kind":"vr-dropout","site":3}]}}
 {"id":10,"architecture":"A3@12V","topology":"DSCH","options":{"mesh_nodes":21}}
+{"id":11,"cmd":"metrics"}
+{"id":12,"cmd":"trace"}
+{"id":13,"cmd":"frobnicate"}
 EOF
 
-"$VPDD" --threads 2 --metrics < "$requests" > "$responses" 2> "$workdir/metrics.json"
+"$VPDD" --threads 2 --metrics --trace "$trace" \
+  < "$requests" > "$responses" 2> "$workdir/metrics.json"
 
 fail() {
   echo "vpdd_smoke: $1" >&2
@@ -36,14 +44,14 @@ fail() {
 }
 
 # One response line per request, in request order.
-[ "$(wc -l < "$responses")" -eq 10 ] || fail "expected 10 response lines"
-expected_ids='1 2 3 4 5 6 null 8 9 10'
+[ "$(wc -l < "$responses")" -eq 13 ] || fail "expected 13 response lines"
+expected_ids='1 2 3 4 5 6 null 8 9 10 11 12 13'
 actual_ids="$(grep -o '^{"id":[^,]*' "$responses" | sed 's/^{"id"://' | tr '\n' ' ' | sed 's/ $//')"
 [ "$actual_ids" = "$expected_ids" ] || fail "response ids/order wrong: $actual_ids"
 
-# Statuses: the malformed line and the unknown architecture produce
-# structured errors, the over-rated A2/DPMIH and 3LHD combinations are
-# excluded, the rest evaluate.
+# Statuses: the malformed line, the unknown architecture and the unknown
+# cmd produce structured errors, the over-rated A2/DPMIH and 3LHD
+# combinations are excluded, the control verbs succeed, the rest evaluate.
 check_status() {
   grep -q "^{\"id\":$1,\"status\":\"$2\"" "$responses" \
     || fail "request id=$1 did not report status=$2"
@@ -58,6 +66,9 @@ check_status null error
 check_status 8 error
 check_status 9 ok
 check_status 10 ok
+check_status 11 ok
+check_status 12 ok
+check_status 13 error
 
 # Error responses carry a message, never a result body.
 grep '"status":"error"' "$responses" | grep -q '"error":"' \
@@ -65,11 +76,35 @@ grep '"status":"error"' "$responses" | grep -q '"error":"' \
 grep '"status":"error"' "$responses" | grep -q '"result"' \
   && fail "error responses must not carry a result body"
 
+# Evaluated responses carry a versioned body with the stage breakdown.
+grep '^{"id":1,' "$responses" | grep -q '"schema_version":2' \
+  || fail "responses must carry schema_version 2"
+grep '^{"id":1,' "$responses" | grep -q '"timings":{"queue_seconds":' \
+  || fail "evaluated responses must carry stage timings"
+
+# The "metrics" verb resolves after every earlier request and reports the
+# unified telemetry shape.
+grep '^{"id":11,' "$responses" | grep -q '"metrics":{' \
+  || fail "the metrics verb must return a metrics body"
+grep '^{"id":11,' "$responses" | grep -q '"counters":{' \
+  || fail "metrics bodies must carry the unified counters shape"
+
+# The "trace" verb flushed the buffer to the --trace file, which must be
+# a Chrome trace-event document with at least one recorded span.
+grep '^{"id":12,' "$responses" | grep -q '"trace":{"path":' \
+  || fail "the trace verb must report the written path"
+[ "$(head -c 15 "$trace")" = '{"traceEvents":' ] \
+  || fail "trace file is not a Chrome trace-event document"
+grep -q '"name":"vpd.evaluate"' "$trace" \
+  || fail "trace file should contain evaluator spans"
+
 # The duplicate (id=3) is served without a second evaluation, and the
 # --metrics shutdown dump is valid enough to grep.
 grep -q '"requests": 8' "$workdir/metrics.json" \
   || fail "metrics dump should count 8 schema-valid requests"
 grep -q '"evaluated": 7' "$workdir/metrics.json" \
   || fail "metrics dump should show the duplicate was not re-evaluated"
+grep -q '"counters": {' "$workdir/metrics.json" \
+  || fail "metrics dump should carry the unified telemetry shape"
 
-echo "vpdd_smoke: OK (10 pipelined requests, 1 malformed, ids in order)"
+echo "vpdd_smoke: OK (13 pipelined lines: 10 requests, 1 malformed, 3 control verbs)"

@@ -1,16 +1,25 @@
 // vpdd — the VPD evaluation daemon.
 //
-// Reads newline-delimited JSON evaluation requests on stdin and writes
-// one JSON response line per request on stdout. Requests carry an
-// optional "id" member which is echoed verbatim in the response, so
-// clients may pipeline: send many requests without waiting, match
-// responses by id. Responses are written in request order (evaluation
-// itself is parallel and out of order; ordering costs nothing because
-// every response is buffered in its future until its turn).
+// Reads newline-delimited JSON on stdin and writes one JSON response
+// line per request on stdout. Each line is either a bare evaluation
+// request (the v1 wire form) or a control envelope selected by "cmd":
+//
+//   {"cmd":"evaluate", ...request fields...}   evaluate (same as bare)
+//   {"cmd":"metrics"}                          unified telemetry snapshot
+//   {"cmd":"trace", "path":"out.json"}         flush the trace buffer
+//
+// Requests carry an optional "id" member which is echoed verbatim in the
+// response, so clients may pipeline: send many requests without waiting,
+// match responses by id. Responses are written in request order
+// (evaluation itself is parallel and out of order; ordering costs
+// nothing because every response is buffered in its future until its
+// turn). Control verbs resolve when their turn in the output order
+// comes, so a "metrics" line reflects every request before it.
 //
 // A malformed or invalid request produces a {"status":"error"} response
 // line — the daemon never crashes on bad input and keeps serving. See
-// docs/serve.md for the wire protocol.
+// docs/serve.md for the wire protocol and docs/observability.md for the
+// telemetry and trace formats.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +32,7 @@
 
 #include "vpd/io/json.hpp"
 #include "vpd/io/schema.hpp"
+#include "vpd/obs/trace.hpp"
 #include "vpd/serve/service.hpp"
 
 namespace {
@@ -33,23 +43,25 @@ void print_usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--threads N] [--queue N] [--cache N] [--pretty] "
-      "[--metrics]\n"
+      "[--metrics] [--trace FILE] [--slow-ms MS]\n"
       "  --threads N   worker threads (default: hardware concurrency)\n"
       "  --queue N     max in-flight evaluations before rejecting "
       "(default 256)\n"
       "  --cache N     completed-result LRU capacity (default 1024)\n"
       "  --pretty      indent response JSON (default: one compact line)\n"
-      "  --metrics     dump service metrics JSON to stderr on shutdown\n",
+      "  --metrics     dump service metrics JSON to stderr on shutdown\n"
+      "  --trace FILE  enable tracing; write Chrome trace-event JSON\n"
+      "                (or NDJSON if FILE ends in .ndjson) on shutdown\n"
+      "  --slow-ms MS  log requests slower than MS milliseconds to "
+      "stderr\n",
       argv0);
 }
 
 /// Response line: the client's id (null when absent or unparseable)
-/// followed by the service response body.
-void print_response(const Value& id, const vpd::serve::ServiceResponse& response,
-                    bool pretty) {
+/// followed by the response body, "status" first.
+void print_response(const Value& id, const Value& service_body, bool pretty) {
   Value body = Value::object();
   body.set("id", id);
-  const Value service_body = vpd::serve::to_json(response);
   for (const auto& [key, value] : service_body.as_object()) {
     body.set(key, value);
   }
@@ -60,6 +72,26 @@ void print_response(const Value& id, const vpd::serve::ServiceResponse& response
   std::fflush(stdout);
 }
 
+Value error_body(const std::string& message) {
+  Value body = Value::object();
+  body.set("status", "error");
+  body.set("schema_version", vpd::io::kSchemaVersion);
+  body.set("error", message);
+  return body;
+}
+
+/// One queued output line, resolved in request order. Exactly one of
+/// `future` (evaluations) and `kind` != kBody (control verbs, built when
+/// their turn comes so they observe every earlier request) is active.
+struct Pending {
+  enum class Kind { kEvaluate, kBody, kMetrics, kTrace };
+  Kind kind{Kind::kEvaluate};
+  Value id;
+  std::shared_future<vpd::serve::ServiceResponse> future;  // kEvaluate
+  Value body;        // kBody: prebuilt (parse errors)
+  std::string path;  // kTrace: output file ("" = --trace file)
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,6 +100,7 @@ int main(int argc, char** argv) {
   serve::ServiceConfig config;
   bool metrics = false;
   bool pretty = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const auto size_arg = [&](const char* flag, std::size_t* out) {
       if (std::strcmp(argv[i], flag) != 0) return false;
@@ -87,24 +120,81 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (std::strcmp(argv[i], "--pretty") == 0) {
       pretty = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace needs a file path\n");
+        return 2;
+      }
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--slow-ms") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--slow-ms needs a value\n");
+        return 2;
+      }
+      config.slow_request_seconds = std::strtod(argv[++i], nullptr) / 1000.0;
     } else {
       print_usage(argv[0]);
       return 2;
     }
   }
 
+  if (!trace_path.empty()) obs::set_tracing_enabled(true);
+
   serve::EvaluationService service(config);
-  std::deque<std::pair<Value, std::shared_future<serve::ServiceResponse>>>
-      pending;
+  std::deque<Pending> pending;
+
+  const auto write_trace_to = [&](const std::string& path) {
+    if (!obs::write_trace(path)) {
+      return error_body("trace: cannot write " + path);
+    }
+    Value body = Value::object();
+    body.set("status", "ok");
+    body.set("schema_version", io::kSchemaVersion);
+    Value trace = Value::object();
+    trace.set("path", path);
+    trace.set("events", double(obs::trace_event_count()));
+    trace.set("dropped", double(obs::trace_events_dropped()));
+    body.set("trace", trace);
+    return body;
+  };
+
+  /// Builds a control verb's body at drain time: every earlier request
+  /// has resolved (and been counted) by the time its turn comes.
+  const auto resolve = [&](Pending& item) -> Value {
+    switch (item.kind) {
+      case Pending::Kind::kBody:
+        return std::move(item.body);
+      case Pending::Kind::kMetrics: {
+        Value body = Value::object();
+        body.set("status", "ok");
+        body.set("schema_version", io::kSchemaVersion);
+        body.set("metrics", service.metrics_json());
+        return body;
+      }
+      case Pending::Kind::kTrace: {
+        const std::string& path = item.path.empty() ? trace_path : item.path;
+        if (path.empty()) {
+          return error_body(
+              "trace: no output path (pass \"path\" or start vpdd with "
+              "--trace FILE)");
+        }
+        return write_trace_to(path);
+      }
+      case Pending::Kind::kEvaluate:
+        break;
+    }
+    return serve::to_json(item.future.get());
+  };
 
   const auto drain_ready = [&](bool block) {
     while (!pending.empty()) {
-      auto& [id, future] = pending.front();
-      if (!block && future.wait_for(std::chrono::seconds(0)) !=
-                        std::future_status::ready) {
+      Pending& item = pending.front();
+      if (item.kind == Pending::Kind::kEvaluate && !block &&
+          item.future.wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready) {
         return;
       }
-      print_response(id, future.get(), pretty);
+      print_response(item.id, resolve(item), pretty);
       pending.pop_front();
     }
   };
@@ -113,38 +203,53 @@ int main(int argc, char** argv) {
   while (std::getline(std::cin, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
 
-    Value id;  // null until the request parses far enough to have one
+    Pending item;
     try {
-      Value doc = io::parse(line);
-      if (const Value* requested_id = doc.find("id")) {
-        id = *requested_id;
-        // The schema reader is strict about unknown fields; "id" is the
-        // transport envelope's, not the request's.
-        Value::Object& members = doc.as_object();
-        for (auto it = members.begin(); it != members.end(); ++it) {
-          if (it->first == "id") {
-            members.erase(it);
-            break;
-          }
-        }
+      const Value doc = io::parse(line);
+      if (const Value* requested_id = doc.find("id")) item.id = *requested_id;
+      // The envelope's "cmd" and "id" need no stripping: the schema
+      // reader ignores unknown fields (the v2 compatibility rule).
+      std::string cmd = "evaluate";
+      if (const Value* requested_cmd = doc.find("cmd")) {
+        cmd = requested_cmd->as_string();
       }
-      const io::EvaluationRequest request =
-          io::evaluation_request_from_json(doc);
-      pending.emplace_back(std::move(id), service.submit(request));
+      if (cmd == "evaluate") {
+        const io::EvaluationRequest request =
+            io::evaluation_request_from_json(doc);
+        item.kind = Pending::Kind::kEvaluate;
+        item.future = service.submit(request);
+      } else if (cmd == "metrics") {
+        item.kind = Pending::Kind::kMetrics;
+      } else if (cmd == "trace") {
+        item.kind = Pending::Kind::kTrace;
+        if (const Value* path = doc.find("path")) {
+          item.path = path->as_string();
+        }
+      } else {
+        item.kind = Pending::Kind::kBody;
+        item.body = error_body("unknown cmd \"" + cmd +
+                               "\" (expected evaluate, metrics or trace)");
+      }
     } catch (const Error& e) {
       // Queue a resolved error response so output order stays request
       // order even when a bad line lands between in-flight evaluations.
-      serve::ServiceResponse response;
-      response.status = serve::ResponseStatus::kError;
-      response.error = e.what();
-      std::promise<serve::ServiceResponse> resolved;
-      resolved.set_value(std::move(response));
-      pending.emplace_back(std::move(id), resolved.get_future().share());
+      item.kind = Pending::Kind::kBody;
+      item.body = error_body(e.what());
     }
+    pending.push_back(std::move(item));
     drain_ready(/*block=*/false);
   }
   drain_ready(/*block=*/true);
 
+  if (!trace_path.empty()) {
+    if (obs::write_trace(trace_path)) {
+      std::fprintf(stderr, "vpdd: wrote %zu trace events to %s\n",
+                   obs::trace_event_count(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "vpdd: failed to write trace to %s\n",
+                   trace_path.c_str());
+    }
+  }
   if (metrics) {
     const std::string dump = io::dump_pretty(service.metrics_json());
     std::fputs(dump.c_str(), stderr);

@@ -1,0 +1,125 @@
+// Droop-campaign comparison of the paper's vertical architectures.
+//
+// For each of A1, A2, A3@12V, A3@6V (DSCH final stage, GaN) this bench
+// runs the default-grid transient droop campaign on the sweep thread
+// pool: load-step / burst / ramp di/dt scenarios on the 2x2 power-map
+// tile grid plus per-VR dropout transients, every scenario integrated by
+// the MNA time-domain engine against the default dynamic-droop limits
+// (10% transient undershoot, settling/steady-cycle deadlines). This is
+// the time-domain companion of bench_fault_tolerance: that bench scores
+// static post-fault DC states, this one scores the trajectories between
+// them.
+//
+// `--json` switches the output to a machine-readable JSON document with
+// the same numbers plus each campaign's unified telemetry snapshot
+// (transient.* / solver.* counters and the per-scenario integration
+// histogram).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_output.hpp"
+#include "vpd/common/table.hpp"
+#include "vpd/workload/droop_campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vpd;
+
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
+
+  const PowerDeliverySpec spec = paper_system();
+  MeshSolveCache cache;
+  EvaluationOptions options;
+  options.below_die_area_fraction = 1.6;  // paper mode (A2's 48 VRs)
+
+  DroopCampaignConfig config;  // default grid: 12 load + <=8 dropouts
+  config.sweep.cache = &cache;
+
+  const ArchitectureKind architectures[] = {
+      ArchitectureKind::kA1_InterposerPeriphery,
+      ArchitectureKind::kA2_InterposerBelowDie,
+      ArchitectureKind::kA3_TwoStage12V,
+      ArchitectureKind::kA3_TwoStage6V,
+  };
+
+  const SolverCounters solver_before = solver_counters();
+  const DroopCampaignRunner runner(spec, config);
+  std::vector<DroopCampaignReport> reports;
+  for (ArchitectureKind arch : architectures) {
+    reports.push_back(runner.run(arch, TopologyKind::kDsch,
+                                 DeviceTechnology::kGalliumNitride, options));
+  }
+  const SolverCounters solver_delta = solver_counters() - solver_before;
+
+  if (json) {
+    benchio::JsonReport out("bench_droop_campaign");
+    io::Value limits = io::Value::object();
+    limits.set("transient_droop_tolerance",
+               config.resilience.transient_droop_tolerance);
+    limits.set("settling_time_limit", config.resilience.settling_time_limit);
+    limits.set("steady_cycle_limit",
+               double(config.resilience.steady_cycle_limit));
+    out.add("limits", std::move(limits));
+    out.add("t_stop", config.t_stop.value);
+    out.add("dt", config.dt.value);
+    io::Value campaigns = io::Value::array();
+    for (const DroopCampaignReport& r : reports) {
+      io::Value c = io::Value::object();
+      c.set("architecture", to_string(r.architecture));
+      c.set("topology", "DSCH");
+      c.set("scenarios", r.scenario_count());
+      c.set("passed", r.pass_count());
+      c.set("pass_fraction", r.pass_fraction());
+      c.set("worst_undershoot_fraction", r.worst_undershoot_fraction());
+      c.set("worst_settling_seconds", r.worst_settling_time().value);
+      c.set("worst_margin", r.worst_margin());
+      c.set("transient_steps", r.transient_steps);
+      io::Value factors = io::Value::object();
+      factors.set("hits", r.factors.hits);
+      factors.set("misses", r.factors.misses);
+      c.set("factor_cache", std::move(factors));
+      c.set("wall_seconds", r.wall_seconds);
+      c.set("observability", r.snapshot().to_json());
+      campaigns.push_back(std::move(c));
+    }
+    out.add("campaigns", std::move(campaigns));
+    out.set_mesh_cache(cache.stats());
+    out.set_solver(solver_delta);
+    out.print();
+    return 0;
+  }
+
+  TextTable t({"Architecture", "Scenarios", "Pass", "Worst droop",
+               "Worst settle", "Margin", "Steps", "LU hit/miss", "Wall"});
+  for (const DroopCampaignReport& r : reports) {
+    t.add_row({to_string(r.architecture),
+               format_double(double(r.scenario_count()), 0),
+               format_double(double(r.pass_count()), 0),
+               format_double(100.0 * r.worst_undershoot_fraction(), 2) + " %",
+               format_si(r.worst_settling_time().value) + "s",
+               format_double(r.worst_margin(), 3),
+               format_double(double(r.transient_steps), 0),
+               format_double(double(r.factors.hits), 0) + "/" +
+                   format_double(double(r.factors.misses), 0),
+               format_double(r.wall_seconds, 2) + " s"});
+  }
+
+  std::printf("=== Transient droop campaigns per architecture ===\n\n");
+  std::printf(
+      "Default population (2x2 tile grid: steps, bursts, ramps; per-VR\n"
+      "dropouts capped at 8) integrated over %g us at dt = %g ns against\n"
+      "the default dynamic-droop limits (%.0f%% undershoot budget).\n\n",
+      1e6 * config.t_stop.value, 1e9 * config.dt.value,
+      100.0 * config.resilience.transient_droop_tolerance);
+  std::cout << t << '\n';
+
+  std::printf(
+      "Reading: the same vertical proximity that removes DC I^2R shrinks\n"
+      "the supply loop inductance, so the first droop shrinks with it —\n"
+      "the interposer architectures ride out di/dt events that would blow\n"
+      "through the budget on a board-loop supply. The LU column is the\n"
+      "shared factor cache: distinct matrices factorized once (misses),\n"
+      "then reused across every integration on every thread (hits).\n");
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "vpd/circuit/transient.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <memory>
 
@@ -8,6 +9,34 @@
 #include "vpd/common/error.hpp"
 
 namespace vpd {
+
+const LuFactorization& TransientFactorCache::get(
+    const std::string& key, const std::function<Matrix()>& build_matrix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    return *it->second;
+  }
+  // Factor under the lock: factorizations are rare (a handful per netlist
+  // per campaign) and this guarantees each key is factored exactly once,
+  // from a matrix the key determines bit for bit.
+  ++stats_.misses;
+  it = entries_
+           .emplace(key, std::make_unique<LuFactorization>(build_matrix()))
+           .first;
+  return *it->second;
+}
+
+TransientFactorCache::Stats TransientFactorCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t TransientFactorCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
 
 TransientResult::TransientResult(const Netlist& netlist,
                                  std::vector<double> times,
@@ -86,6 +115,47 @@ struct ReactiveState {
   Vector ind_current;     // i_ab through each inductor
   Vector ind_voltage;     // v_ab across each inductor
 };
+
+/// Appends the bit pattern of a double to a cache key (exact match, no
+/// formatting round-trip).
+void append_bits(std::string& key, double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int shift = 0; shift < 64; shift += 8) {
+    key.push_back(static_cast<char>((bits >> shift) & 0xff));
+  }
+}
+
+/// Everything matrix-relevant about the netlist itself: element kinds,
+/// terminals and values (sources excluded — they only enter the RHS) plus
+/// gmin. Shared-cache keys prefix this so distinct netlists never alias.
+std::string netlist_matrix_key(const Netlist& netlist, double gmin) {
+  std::string key;
+  key.reserve(netlist.element_count() * 24 + 16);
+  append_bits(key, static_cast<double>(netlist.node_count()));
+  append_bits(key, gmin);
+  for (const Element& e : netlist.elements()) {
+    key.push_back(static_cast<char>(e.kind));
+    append_bits(key, static_cast<double>(e.node_a));
+    append_bits(key, static_cast<double>(e.node_b));
+    switch (e.kind) {
+      case ElementKind::kResistor:
+      case ElementKind::kCapacitor:
+      case ElementKind::kInductor:
+        append_bits(key, e.value);
+        break;
+      case ElementKind::kSwitch:
+        append_bits(key, e.r_on);
+        append_bits(key, e.r_off);
+        break;
+      case ElementKind::kVoltageSource:
+      case ElementKind::kCurrentSource:
+        break;
+    }
+  }
+  return key;
+}
 
 }  // namespace
 
@@ -183,8 +253,23 @@ TransientResult simulate(const Netlist& netlist,
     }
   }
 
+  // --- Step schedule ---------------------------------------------------------
+  // Full steps of dt plus, when dt does not divide t_stop, one shortened
+  // final step, so the last sample lands exactly on t_stop. Step times are
+  // multiples of dt (never accumulated), so long runs do not drift.
+  std::size_t n_full = static_cast<std::size_t>(std::floor(t_stop / dt));
+  double remainder = t_stop - static_cast<double>(n_full) * dt;
+  if (remainder <= 1e-9 * dt) {
+    // dt divides t_stop (up to FP slop): no partial step.
+    remainder = 0.0;
+  } else if (remainder >= (1.0 - 1e-9) * dt) {
+    // floor() landed one full step short of an exact multiple.
+    ++n_full;
+    remainder = 0.0;
+  }
+  const std::size_t n_steps = n_full + (remainder > 0.0 ? 1 : 0);
+
   // --- Recording -------------------------------------------------------------
-  const auto n_steps = static_cast<std::size_t>(std::ceil(t_stop / dt));
   std::vector<double> times;
   std::vector<Vector> node_voltages;
   std::vector<Vector> element_currents;
@@ -285,13 +370,19 @@ TransientResult simulate(const Netlist& netlist,
     record(0.0, v_nodes, std::move(currents0));
   }
 
-  // --- LU cache keyed by switch-state pattern --------------------------------
-  // The MNA matrix depends only on (topology, dt, method, switch states);
+  // --- LU cache keyed by (step size, method, switch states) -----------------
+  // The MNA matrix depends only on (topology, h, method, switch states);
   // sources and history enter through the RHS. PWM simulations revisit a
-  // handful of patterns thousands of times.
-  std::map<std::vector<bool>, std::unique_ptr<LuFactorization>> lu_cache;
+  // handful of patterns thousands of times. With a shared factor_cache the
+  // reuse extends across simulate() calls: the key is prefixed with the
+  // netlist's matrix-relevant content, so distinct netlists never alias.
+  std::map<std::string, const LuFactorization*> lu_cache;
+  std::vector<std::unique_ptr<LuFactorization>> owned_factors;
+  const std::string base_key = options.factor_cache != nullptr
+                                   ? netlist_matrix_key(netlist, options.gmin)
+                                   : std::string();
 
-  auto build_matrix = [&](IntegrationMethod method,
+  auto build_matrix = [&](IntegrationMethod method, double h,
                           const SwitchStates& sw) -> Matrix {
     MnaStamper stamper(layout);
     std::size_t sw_pos = 0;
@@ -308,15 +399,15 @@ TransientResult simulate(const Netlist& netlist,
           break;
         case ElementKind::kCapacitor: {
           const double g = (method == IntegrationMethod::kBackwardEuler
-                                ? e.value / dt
-                                : 2.0 * e.value / dt);
+                                ? e.value / h
+                                : 2.0 * e.value / h);
           stamper.stamp_conductance(e.node_a, e.node_b, g);
           break;
         }
         case ElementKind::kInductor: {
           const double r_eq = (method == IntegrationMethod::kBackwardEuler
-                                   ? e.value / dt
-                                   : 2.0 * e.value / dt);
+                                   ? e.value / h
+                                   : 2.0 * e.value / h);
           stamper.stamp_inductor_branch(layout.branch_row(i), e.node_a,
                                         e.node_b, r_eq, 0.0);
           break;
@@ -333,11 +424,37 @@ TransientResult simulate(const Netlist& netlist,
     return stamper.matrix();
   };
 
+  auto factorization_for = [&](IntegrationMethod method, double h,
+                               const SwitchStates& sw)
+      -> const LuFactorization& {
+    std::string key;
+    key.reserve(base_key.size() + sw.size() + 10);
+    key = base_key;
+    key.push_back(method == IntegrationMethod::kBackwardEuler ? 'b' : 't');
+    append_bits(key, h);
+    for (bool s : sw) key.push_back(s ? '1' : '0');
+    auto it = lu_cache.find(key);
+    if (it != lu_cache.end()) return *it->second;
+    const LuFactorization* factors = nullptr;
+    if (options.factor_cache != nullptr) {
+      factors = &options.factor_cache->get(
+          key, [&] { return build_matrix(method, h, sw); });
+    } else {
+      owned_factors.push_back(
+          std::make_unique<LuFactorization>(build_matrix(method, h, sw)));
+      factors = owned_factors.back().get();
+    }
+    lu_cache.emplace(std::move(key), factors);
+    return *factors;
+  };
+
   // --- Time stepping ----------------------------------------------------------
-  double t = 0.0;
   bool first_step = true;
-  while (t < t_stop - 0.5 * dt) {
-    const double t_next = t + dt;
+  for (std::size_t step = 1; step <= n_steps; ++step) {
+    const bool final_partial = remainder > 0.0 && step == n_steps;
+    const double h = final_partial ? remainder : dt;
+    const double t_next =
+        step == n_steps ? t_stop : static_cast<double>(step) * dt;
     // First step uses backward Euler: trapezoidal needs consistent initial
     // element currents, which the ICs do not provide.
     const IntegrationMethod method = first_step
@@ -346,18 +463,7 @@ TransientResult simulate(const Netlist& netlist,
 
     if (options.controller) options.controller(t_next, states);
 
-    // Cache key combines the method (first step vs rest) and switch states.
-    std::vector<bool> key;
-    key.reserve(states.size() + 1);
-    key.push_back(method == IntegrationMethod::kBackwardEuler);
-    for (bool s : states) key.push_back(s);
-    auto it = lu_cache.find(key);
-    if (it == lu_cache.end()) {
-      it = lu_cache
-               .emplace(key, std::make_unique<LuFactorization>(
-                                 build_matrix(method, states)))
-               .first;
-    }
+    const LuFactorization& factors = factorization_for(method, h, states);
 
     // RHS for this step.
     MnaStamper rhs_stamper(layout);
@@ -366,11 +472,11 @@ TransientResult simulate(const Netlist& netlist,
       switch (e.kind) {
         case ElementKind::kCapacitor: {
           if (method == IntegrationMethod::kBackwardEuler) {
-            const double g = e.value / dt;
+            const double g = e.value / h;
             rhs_stamper.stamp_current_injection(e.node_b, e.node_a,
                                                 g * rs.cap_voltage[i]);
           } else {
-            const double g = 2.0 * e.value / dt;
+            const double g = 2.0 * e.value / h;
             rhs_stamper.stamp_current_injection(
                 e.node_b, e.node_a,
                 g * rs.cap_voltage[i] + rs.cap_current[i]);
@@ -380,10 +486,10 @@ TransientResult simulate(const Netlist& netlist,
         case ElementKind::kInductor: {
           const std::size_t row = layout.branch_row(i);
           if (method == IntegrationMethod::kBackwardEuler) {
-            rhs_stamper.rhs()[row] = -(e.value / dt) * rs.ind_current[i];
+            rhs_stamper.rhs()[row] = -(e.value / h) * rs.ind_current[i];
           } else {
             rhs_stamper.rhs()[row] =
-                -(2.0 * e.value / dt) * rs.ind_current[i] - rs.ind_voltage[i];
+                -(2.0 * e.value / h) * rs.ind_current[i] - rs.ind_voltage[i];
           }
           break;
         }
@@ -399,7 +505,7 @@ TransientResult simulate(const Netlist& netlist,
       }
     }
 
-    const Vector x = it->second->solve(rhs_stamper.rhs());
+    const Vector x = factors.solve(rhs_stamper.rhs());
 
     Vector v_new(netlist.node_count(), 0.0);
     for (NodeId n = 1; n < netlist.node_count(); ++n)
@@ -413,10 +519,10 @@ TransientResult simulate(const Netlist& netlist,
       if (e.kind == ElementKind::kCapacitor) {
         const double v_ab = v_new[e.node_a] - v_new[e.node_b];
         if (method == IntegrationMethod::kBackwardEuler) {
-          rs.cap_current[i] = (e.value / dt) * (v_ab - rs.cap_voltage[i]);
+          rs.cap_current[i] = (e.value / h) * (v_ab - rs.cap_voltage[i]);
         } else {
           rs.cap_current[i] =
-              (2.0 * e.value / dt) * (v_ab - rs.cap_voltage[i]) -
+              (2.0 * e.value / h) * (v_ab - rs.cap_voltage[i]) -
               rs.cap_current[i];
         }
         rs.cap_voltage[i] = v_ab;
@@ -429,7 +535,6 @@ TransientResult simulate(const Netlist& netlist,
 
     if (options.observer) options.observer(t_next, v_new);
     record(t_next, v_new, compute_currents(t_next, v_new, rs, branch, states));
-    t = t_next;
     first_step = false;
   }
 
@@ -441,9 +546,22 @@ std::vector<double> cycle_averages(const Trace& trace, double period) {
   VPD_REQUIRE(period > 0.0, "period must be positive");
   const double t0 = trace.times().front();
   const double t_end = trace.times().back();
+  // Each window is anchored at t0 + i * period (never accumulated with
+  // repeated += period, which drifts by an ulp per cycle and loses or
+  // gains windows over thousands of MHz-burst cycles). The tolerance is
+  // relative to the period, not absolute, for the same reason.
+  const double tol = 1e-9 * period;
   std::vector<double> averages;
-  for (double start = t0; start + period <= t_end + 1e-15; start += period)
-    averages.push_back(trace.average(start, std::min(start + period, t_end)));
+  for (std::size_t i = 0;; ++i) {
+    const double start = t0 + static_cast<double>(i) * period;
+    const double end = start + period;
+    if (end > t_end + tol) break;
+    const double clamped_end = std::min(end, t_end);
+    VPD_REQUIRE(start >= t0 && start < clamped_end,
+                "cycle window [", start, ", ", clamped_end,
+                ") escaped the trace span [", t0, ", ", t_end, "]");
+    averages.push_back(trace.average(start, clamped_end));
+  }
   return averages;
 }
 

@@ -1,14 +1,27 @@
 // Fixed-step transient simulation with switch scheduling. Capacitors and
 // inductors are replaced by their companion models each step (backward
 // Euler for the first step, then the configured method); the resulting
-// linear system is LU-solved. LU factorizations are cached per switch-state
-// pattern, so periodic PWM simulations re-factor only when a new switching
-// configuration first appears.
+// linear system is LU-solved. LU factorizations are cached per
+// (step size, method, switch-state) pattern, so periodic PWM simulations
+// re-factor only when a new switching configuration first appears; an
+// optional shared TransientFactorCache extends that reuse across
+// simulations of the same netlist (campaign runners revisit one reduced
+// PDN with many source waveforms).
+//
+// End-time contract: the returned samples are t = 0, dt, 2 dt, ..., and
+// the final sample lands exactly on t_stop. When dt does not divide
+// t_stop the engine takes one shortened final step (companion models are
+// re-stamped for the partial step size), so droop and settling metrics
+// near the window end are never computed on a truncated record.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "vpd/circuit/mna.hpp"
@@ -32,6 +45,36 @@ using SwitchController = std::function<void(double, SwitchStates&)>;
 /// the output rail.
 using StepObserver = std::function<void(double, const Vector&)>;
 
+/// Shared cache of transient-step LU factorizations, keyed exactly on
+/// everything that enters the stamped matrix (netlist topology and element
+/// values, gmin, integration method, step size, switch states). The MNA
+/// matrix is independent of sources and history — they enter through the
+/// RHS — so simulations of one netlist under different waveforms share
+/// factorizations, and a campaign of thousands of steps amortizes a
+/// handful of factorizations. Thread-safe: concurrent simulations may
+/// share one cache, and because a key determines the matrix bit for bit,
+/// results are identical whichever thread populated an entry.
+class TransientFactorCache {
+ public:
+  struct Stats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+  };
+
+  /// Returns the factorization for `key`, building it from `build_matrix`
+  /// on first use. The reference stays valid for the cache's lifetime.
+  const LuFactorization& get(const std::string& key,
+                             const std::function<Matrix()>& build_matrix);
+
+  Stats stats() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<LuFactorization>> entries_;
+  Stats stats_;
+};
+
 struct TransientOptions {
   Seconds t_stop{0.0};
   Seconds dt{0.0};
@@ -44,10 +87,16 @@ struct TransientOptions {
   /// Start from the DC operating point (with initial switch states) instead
   /// of element initial conditions.
   bool initialize_from_dc{false};
+  /// Optional shared factorization cache (see TransientFactorCache).
+  /// nullptr keeps the per-simulation cache; the pointed-to cache must
+  /// outlive the simulate() call. Results are bit-identical either way.
+  TransientFactorCache* factor_cache{nullptr};
 };
 
 /// Full simulation record: node voltages and element currents at every
-/// sample (t = 0, dt, 2 dt, ..., t_stop).
+/// sample (t = 0, dt, 2 dt, ..., t_stop — the final sample lands exactly
+/// on t_stop even when dt does not divide it; see the end-time contract
+/// above).
 class TransientResult {
  public:
   TransientResult(const Netlist& netlist, std::vector<double> times,

@@ -78,6 +78,15 @@ void ResilienceSpec::validate() const {
               "vr_overcurrent_factor must be > 0");
   VPD_REQUIRE(interconnect_stress_margin >= 1.0,
               "interconnect_stress_margin must be >= 1");
+  VPD_REQUIRE(transient_droop_tolerance > 0.0 &&
+                  transient_droop_tolerance < 1.0,
+              "transient_droop_tolerance must be in (0, 1)");
+  VPD_REQUIRE(settling_time_limit > 0.0,
+              "settling_time_limit must be positive");
+  VPD_REQUIRE(recovery_band > 0.0 && recovery_band < 1.0,
+              "recovery_band must be in (0, 1)");
+  VPD_REQUIRE(steady_cycle_limit > 0,
+              "steady_cycle_limit must be >= 1");
 }
 
 const char* to_string(SpecViolation::Kind kind) {
@@ -88,6 +97,12 @@ const char* to_string(SpecViolation::Kind kind) {
       return "vr-overcurrent";
     case SpecViolation::Kind::kInterconnectOverstress:
       return "interconnect-overstress";
+    case SpecViolation::Kind::kTransientDroop:
+      return "transient-droop";
+    case SpecViolation::Kind::kSettlingTime:
+      return "settling-time";
+    case SpecViolation::Kind::kNoSteadyState:
+      return "no-steady-state";
   }
   return "unknown";
 }

@@ -50,6 +50,26 @@ struct ResilienceSpec {
   /// what trips the check. Raise above 1 to demand explicit headroom.
   double interconnect_stress_margin{1.0};
 
+  // --- Dynamic (time-domain) droop limits -------------------------------
+  // Checked by the droop campaign (workload/droop_campaign.hpp) against
+  // transient simulations of the reduced PDN; the DC checks above are
+  // untouched by these.
+
+  /// Maximum fractional undershoot of the POL rail during a transient,
+  /// (rail - min_t v(t)) / rail. Wider than the DC budget: the first
+  /// droop rides on the loop inductance before regulation catches up.
+  double transient_droop_tolerance{0.10};
+  /// Maximum time the rail may take after a disturbance to re-enter (and
+  /// stay inside) the recovery band around its settled value [s].
+  double settling_time_limit{10e-6};
+  /// Half-width of the recovery band, as a fraction of the regulated
+  /// rail voltage (1% is the conventional settling band).
+  double recovery_band{0.01};
+  /// Periodic (burst) scenarios must reach a steady cycle — successive
+  /// cycle averages within recovery_band * rail of each other, via
+  /// first_steady_cycle — within this many cycles.
+  std::size_t steady_cycle_limit{16};
+
   void validate() const;
 };
 
@@ -63,7 +83,15 @@ struct ResilienceContext {
 };
 
 struct SpecViolation {
-  enum class Kind { kDroop, kVrOvercurrent, kInterconnectOverstress };
+  enum class Kind {
+    kDroop,
+    kVrOvercurrent,
+    kInterconnectOverstress,
+    // Dynamic (droop-campaign) violations.
+    kTransientDroop,
+    kSettlingTime,
+    kNoSteadyState,
+  };
   Kind kind{};
   /// Faulted site (mesh-stage placement order) for per-site violations;
   /// npos-like SIZE_MAX for rail-level violations.

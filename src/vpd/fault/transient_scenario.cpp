@@ -1,0 +1,53 @@
+#include "vpd/fault/transient_scenario.hpp"
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+
+const char* to_string(TransientKind kind) {
+  switch (kind) {
+    case TransientKind::kLoadStep:
+      return "load-step";
+    case TransientKind::kLoadBurst:
+      return "load-burst";
+    case TransientKind::kLoadRamp:
+      return "load-ramp";
+    case TransientKind::kVrDropout:
+      return "vr-dropout";
+  }
+  return "unknown";
+}
+
+std::vector<TransientKind> all_transient_kinds() {
+  return {TransientKind::kLoadStep, TransientKind::kLoadBurst,
+          TransientKind::kLoadRamp, TransientKind::kVrDropout};
+}
+
+void TransientScenario::validate() const {
+  VPD_REQUIRE(base_fraction >= 0.0 && base_fraction <= 1.0,
+              "base_fraction ", base_fraction, " outside [0, 1]");
+  VPD_REQUIRE(t_event.value >= 0.0, "t_event must be >= 0");
+  VPD_REQUIRE(edge.value >= 0.0, "edge must be >= 0");
+  if (kind == TransientKind::kVrDropout) return;
+  VPD_REQUIRE(tile_x >= 0.0 && tile_x <= 1.0 && tile_y >= 0.0 &&
+                  tile_y <= 1.0,
+              "tile (", tile_x, ", ", tile_y, ") outside the unit die");
+  VPD_REQUIRE(tile_sigma > 0.0, "tile_sigma must be positive");
+  VPD_REQUIRE(tile_background >= 0.0 && tile_background < 1.0,
+              "tile_background ", tile_background, " outside [0, 1)");
+  VPD_REQUIRE(step_fraction > 0.0, "step_fraction must be positive");
+  VPD_REQUIRE(base_fraction + step_fraction <= 1.2,
+              "base + step load fraction ", base_fraction + step_fraction,
+              " exceeds the 1.2x overload ceiling");
+  if (kind == TransientKind::kLoadBurst) {
+    VPD_REQUIRE(burst_frequency.value > 0.0,
+                "burst_frequency must be positive");
+    VPD_REQUIRE(burst_duty > 0.0 && burst_duty < 1.0, "burst_duty ",
+                burst_duty, " outside (0, 1)");
+    const double on = burst_duty / burst_frequency.value;
+    VPD_REQUIRE(edge.value <= 0.5 * on, "burst edge ", edge.value,
+                " s longer than half the on-window (", 0.5 * on, " s)");
+  }
+}
+
+}  // namespace vpd

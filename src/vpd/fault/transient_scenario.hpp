@@ -1,0 +1,79 @@
+// Time-domain disturbance models for the droop campaign, the dynamic
+// counterpart of fault_model.hpp's static fault events: load-step /
+// burst / ramp di/dt scenarios anchored at a power-map tile, and per-VR
+// dropout transients (the VR's sourced current collapses over a finite
+// fall time instead of the fault subsystem's instantaneous DC re-solve).
+// The campaign runner (workload/droop_campaign.hpp) lowers each scenario
+// onto a DC operating point (sweep/evaluator machinery) plus a reduced
+// transient netlist the MNA time-domain engine integrates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "vpd/common/units.hpp"
+
+namespace vpd {
+
+enum class TransientKind {
+  /// Load step at a power-map tile: base -> base + step over `edge`.
+  kLoadStep,
+  /// Periodic burst workload at a tile: base/peak plateaus at
+  /// `burst_frequency` with duty `burst_duty` and `edge` slews.
+  kLoadBurst,
+  /// Linear load ramp at a tile: base -> base + step over [t_event,
+  /// t_event + edge].
+  kLoadRamp,
+  /// A mesh-driving VR's sourced current collapses to zero over `edge`
+  /// starting at t_event; the supply impedance steps to the post-fault
+  /// DC re-solve's value.
+  kVrDropout,
+};
+
+const char* to_string(TransientKind kind);
+std::vector<TransientKind> all_transient_kinds();
+
+/// One time-domain disturbance. Load scenarios address a power-map tile
+/// in fractional die coordinates (the DC operating point concentrates
+/// the die draw there, which sets the tile-local supply impedance of the
+/// reduced model); kVrDropout addresses a mesh-driving VR site in
+/// placement order, like fault_model.hpp's Fault::site.
+struct TransientScenario {
+  TransientKind kind{TransientKind::kLoadStep};
+  std::string label;
+
+  // --- Power-map tile (load scenarios) ---------------------------------
+  double tile_x{0.5};
+  double tile_y{0.5};
+  /// Fractional hotspot radius and uniform-background share of the
+  /// tile's sink map (hotspot_power_map semantics).
+  double tile_sigma{0.15};
+  double tile_background{0.3};
+
+  // --- Disturbance shape -----------------------------------------------
+  /// Pre-disturbance load as a fraction of the die current.
+  double base_fraction{0.5};
+  /// Disturbance amplitude on top of base, as a fraction of die current
+  /// (di = step_fraction * I_die; di/dt = di / edge).
+  double step_fraction{0.4};
+  /// Disturbance onset. Ignored by kLoadBurst (bursts run from t = 0 so
+  /// steady-cycle detection sees whole periods).
+  Seconds t_event{Seconds{2e-6}};
+  /// Slew of the disturbance: step rise time, burst edge time, ramp
+  /// duration, or the VR current's fall time.
+  Seconds edge{Seconds{100e-9}};
+  // Burst shape (kLoadBurst only).
+  Frequency burst_frequency{Frequency{2e6}};
+  double burst_duty{0.4};
+
+  // --- kVrDropout -------------------------------------------------------
+  /// Placement-order site of the mesh-driving VR that drops out.
+  std::size_t site{0};
+
+  /// Throws InvalidArgument for out-of-range fractions, non-positive
+  /// times, or burst edges longer than half the on-window.
+  void validate() const;
+};
+
+}  // namespace vpd

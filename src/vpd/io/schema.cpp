@@ -395,6 +395,190 @@ FaultScenario fault_scenario_from_json(const Value& v) {
   return scenario;
 }
 
+// --- Transient droop campaigns ---------------------------------------------
+
+Value to_json(TransientKind kind) { return Value(to_string(kind)); }
+
+TransientKind transient_kind_from_json(const Value& v) {
+  return enum_from_json<TransientKind>(v, "transient kind",
+                                       all_transient_kinds);
+}
+
+Value to_json(const TransientScenario& scenario) {
+  Value v = Value::object();
+  v.set("kind", to_json(scenario.kind));
+  v.set("label", scenario.label);
+  if (scenario.kind == TransientKind::kVrDropout) {
+    v.set("site", scenario.site);
+  } else {
+    v.set("tile_x", scenario.tile_x);
+    v.set("tile_y", scenario.tile_y);
+    v.set("tile_sigma", scenario.tile_sigma);
+    v.set("tile_background", scenario.tile_background);
+    v.set("step_fraction", scenario.step_fraction);
+  }
+  v.set("base_fraction", scenario.base_fraction);
+  v.set("t_event", scenario.t_event.value);
+  v.set("edge", scenario.edge.value);
+  if (scenario.kind == TransientKind::kLoadBurst) {
+    v.set("burst_frequency", scenario.burst_frequency.value);
+    v.set("burst_duty", scenario.burst_duty);
+  }
+  return v;
+}
+
+TransientScenario transient_scenario_from_json(const Value& v) {
+  FieldReader r(v, "transient_scenario");
+  TransientScenario scenario;
+  scenario.kind = transient_kind_from_json(r.require("kind"));
+  if (const Value* label = r.get("label")) {
+    scenario.label = label->as_string();
+  }
+  scenario.tile_x = number_or(r, "tile_x", scenario.tile_x);
+  scenario.tile_y = number_or(r, "tile_y", scenario.tile_y);
+  scenario.tile_sigma = number_or(r, "tile_sigma", scenario.tile_sigma);
+  scenario.tile_background =
+      number_or(r, "tile_background", scenario.tile_background);
+  scenario.base_fraction =
+      number_or(r, "base_fraction", scenario.base_fraction);
+  scenario.step_fraction =
+      number_or(r, "step_fraction", scenario.step_fraction);
+  scenario.t_event = Seconds{number_or(r, "t_event", scenario.t_event.value)};
+  scenario.edge = Seconds{number_or(r, "edge", scenario.edge.value)};
+  scenario.burst_frequency = Frequency{
+      number_or(r, "burst_frequency", scenario.burst_frequency.value)};
+  scenario.burst_duty = number_or(r, "burst_duty", scenario.burst_duty);
+  scenario.site = index_or(r, "site", scenario.site);
+  scenario.validate();
+  return scenario;
+}
+
+Value to_json(const ResilienceSpec& rspec) {
+  Value v = Value::object();
+  v.set("droop_tolerance", rspec.droop_tolerance);
+  v.set("vr_overcurrent_factor", rspec.vr_overcurrent_factor);
+  v.set("interconnect_stress_margin", rspec.interconnect_stress_margin);
+  v.set("transient_droop_tolerance", rspec.transient_droop_tolerance);
+  v.set("settling_time_limit", rspec.settling_time_limit);
+  v.set("recovery_band", rspec.recovery_band);
+  v.set("steady_cycle_limit", rspec.steady_cycle_limit);
+  return v;
+}
+
+ResilienceSpec resilience_spec_from_json(const Value& v) {
+  FieldReader r(v, "resilience");
+  ResilienceSpec rspec;
+  rspec.droop_tolerance =
+      number_or(r, "droop_tolerance", rspec.droop_tolerance);
+  rspec.vr_overcurrent_factor =
+      number_or(r, "vr_overcurrent_factor", rspec.vr_overcurrent_factor);
+  rspec.interconnect_stress_margin = number_or(
+      r, "interconnect_stress_margin", rspec.interconnect_stress_margin);
+  rspec.transient_droop_tolerance = number_or(
+      r, "transient_droop_tolerance", rspec.transient_droop_tolerance);
+  rspec.settling_time_limit =
+      number_or(r, "settling_time_limit", rspec.settling_time_limit);
+  rspec.recovery_band = number_or(r, "recovery_band", rspec.recovery_band);
+  rspec.steady_cycle_limit =
+      index_or(r, "steady_cycle_limit", rspec.steady_cycle_limit);
+  rspec.validate();
+  return rspec;
+}
+
+namespace {
+
+const char* method_name(IntegrationMethod method) {
+  return method == IntegrationMethod::kBackwardEuler ? "backward-euler"
+                                                     : "trapezoidal";
+}
+
+IntegrationMethod method_from_json(const Value& v) {
+  const std::string& name = v.as_string();
+  if (name == "trapezoidal") return IntegrationMethod::kTrapezoidal;
+  if (name == "backward-euler") return IntegrationMethod::kBackwardEuler;
+  throw InvalidArgument(detail::concat(
+      "unknown integration method \"", name,
+      "\" (expected \"trapezoidal\" or \"backward-euler\")"));
+}
+
+}  // namespace
+
+Value to_json(const DroopCampaignConfig& config) {
+  Value v = Value::object();
+  v.set("resilience", to_json(config.resilience));
+  Value model = Value::object();
+  model.set("decap",
+            config.model.decap ? Value(config.model.decap->value) : Value());
+  model.set("decap_esr", config.model.decap_esr.value);
+  v.set("model", std::move(model));
+  v.set("t_stop", config.t_stop.value);
+  v.set("dt", config.dt.value);
+  v.set("method", std::string(method_name(config.method)));
+  v.set("tile_grid", config.tile_grid);
+  v.set("tile_sigma", config.tile_sigma);
+  v.set("tile_background", config.tile_background);
+  v.set("base_fraction", config.base_fraction);
+  v.set("step_fraction", config.step_fraction);
+  v.set("t_event", config.t_event.value);
+  v.set("edge", config.edge.value);
+  v.set("burst_frequency", config.burst_frequency.value);
+  v.set("burst_duty", config.burst_duty);
+  v.set("include_load_steps", config.include_load_steps);
+  v.set("include_bursts", config.include_bursts);
+  v.set("include_ramps", config.include_ramps);
+  v.set("include_vr_dropouts", config.include_vr_dropouts);
+  v.set("max_dropout_sites", config.max_dropout_sites);
+  v.set("threads", config.sweep.threads);
+  return v;
+}
+
+DroopCampaignConfig droop_campaign_config_from_json(const Value& v) {
+  FieldReader r(v, "campaign config");
+  DroopCampaignConfig config;
+  if (const Value* rspec = r.get("resilience")) {
+    config.resilience = resilience_spec_from_json(*rspec);
+  }
+  if (const Value* model = r.get("model")) {
+    FieldReader mr(*model, "campaign model");
+    if (const Value* decap = mr.get("decap")) {
+      if (!decap->is_null()) {
+        config.model.decap = Capacitance{decap->as_number()};
+      }
+    }
+    config.model.decap_esr =
+        Resistance{number_or(mr, "decap_esr", config.model.decap_esr.value)};
+  }
+  config.t_stop = Seconds{number_or(r, "t_stop", config.t_stop.value)};
+  config.dt = Seconds{number_or(r, "dt", config.dt.value)};
+  if (const Value* method = r.get("method")) {
+    config.method = method_from_json(*method);
+  }
+  config.tile_grid = index_or(r, "tile_grid", config.tile_grid);
+  config.tile_sigma = number_or(r, "tile_sigma", config.tile_sigma);
+  config.tile_background =
+      number_or(r, "tile_background", config.tile_background);
+  config.base_fraction =
+      number_or(r, "base_fraction", config.base_fraction);
+  config.step_fraction =
+      number_or(r, "step_fraction", config.step_fraction);
+  config.t_event = Seconds{number_or(r, "t_event", config.t_event.value)};
+  config.edge = Seconds{number_or(r, "edge", config.edge.value)};
+  config.burst_frequency = Frequency{
+      number_or(r, "burst_frequency", config.burst_frequency.value)};
+  config.burst_duty = number_or(r, "burst_duty", config.burst_duty);
+  config.include_load_steps =
+      bool_or(r, "include_load_steps", config.include_load_steps);
+  config.include_bursts = bool_or(r, "include_bursts", config.include_bursts);
+  config.include_ramps = bool_or(r, "include_ramps", config.include_ramps);
+  config.include_vr_dropouts =
+      bool_or(r, "include_vr_dropouts", config.include_vr_dropouts);
+  config.max_dropout_sites =
+      index_or(r, "max_dropout_sites", config.max_dropout_sites);
+  config.sweep.threads = index_or(r, "threads", config.sweep.threads);
+  config.validate();
+  return config;
+}
+
 // --- Requests --------------------------------------------------------------
 
 Value to_json(const EvaluationRequest& request) {
@@ -487,6 +671,58 @@ SweepPoint sweep_point_from_json(const Value& v) {
   }
   if (const Value* label = r.get("label")) point.label = label->as_string();
   return point;
+}
+
+Value to_json(const TransientRequest& request) {
+  VPD_REQUIRE(request.options.faults.empty(),
+              "transient request: base options must be fault-free (the "
+              "campaign owns the injections)");
+  Value v = Value::object();
+  v.set("schema_version", kSchemaVersion);
+  v.set("architecture", to_json(request.architecture));
+  v.set("topology", to_json(request.topology));
+  v.set("tech", to_json(request.tech));
+  v.set("spec", to_json(request.spec));
+  v.set("options", to_json(request.options));
+  v.set("config", to_json(request.config));
+  return v;
+}
+
+TransientRequest transient_request_from_json(const Value& v) {
+  check_schema_version(v, "transient request");
+  FieldReader r(v, "transient request");
+  TransientRequest request;
+  request.architecture = architecture_from_json(r.require("architecture"));
+  if (request.architecture == ArchitectureKind::kA0_PcbConversion) {
+    throw InvalidArgument(
+        "transient request: droop campaigns need a distribution mesh; A0 "
+        "has none");
+  }
+  if (const Value* topo = r.get("topology")) {
+    request.topology = topology_from_json(*topo);
+  }
+  if (const Value* tech = r.get("tech")) {
+    request.tech = technology_from_json(*tech);
+  }
+  if (const Value* spec = r.get("spec")) {
+    request.spec = spec_from_json(*spec);
+  }
+  if (const Value* options = r.get("options")) {
+    request.options = evaluation_options_from_json(*options);
+    if (!request.options.faults.empty()) {
+      throw InvalidArgument(
+          "transient request: options.faults must be empty (give dropout "
+          "scenarios through the campaign config instead)");
+    }
+  }
+  if (const Value* config = r.get("config")) {
+    request.config = droop_campaign_config_from_json(*config);
+  }
+  return request;
+}
+
+std::string canonical_transient_key(const TransientRequest& request) {
+  return dump(to_json(request));
 }
 
 // --- Results ---------------------------------------------------------------
@@ -586,6 +822,76 @@ Value to_json(const ExplorationEntry& entry) {
         entry.evaluation ? to_json(*entry.evaluation) : Value());
   v.set("extrapolated",
         entry.extrapolated ? to_json(*entry.extrapolated) : Value());
+  return v;
+}
+
+Value to_json(const SpecViolation& violation) {
+  Value v = Value::object();
+  v.set("kind", std::string(to_string(violation.kind)));
+  v.set("site", violation.site == static_cast<std::size_t>(-1)
+                    ? Value()
+                    : Value(static_cast<double>(violation.site)));
+  v.set("value", violation.value);
+  v.set("limit", violation.limit);
+  v.set("detail", violation.detail);
+  return v;
+}
+
+Value to_json(const DroopMetrics& metrics) {
+  Value v = Value::object();
+  v.set("rail", metrics.rail);
+  v.set("v_min", metrics.v_min);
+  v.set("v_settled", metrics.v_settled);
+  v.set("v_predicted", metrics.v_predicted);
+  v.set("undershoot_fraction", metrics.undershoot_fraction);
+  v.set("settled_droop_fraction", metrics.settled_droop_fraction);
+  v.set("settling_time", metrics.settling_time.value);
+  v.set("steady_cycle",
+        metrics.steady_cycle
+            ? Value(static_cast<double>(*metrics.steady_cycle))
+            : Value());
+  v.set("samples", metrics.samples);
+  return v;
+}
+
+Value to_json(const TransientScenarioOutcome& outcome) {
+  Value v = Value::object();
+  v.set("scenario", to_json(outcome.scenario));
+  v.set("evaluated", outcome.evaluated);
+  v.set("extrapolated", outcome.extrapolated);
+  v.set("failure_reason", outcome.failure_reason);
+  v.set("metrics", outcome.evaluated ? to_json(outcome.metrics) : Value());
+  Value violations = Value::array();
+  for (const SpecViolation& violation : outcome.violations) {
+    violations.push_back(to_json(violation));
+  }
+  v.set("violations", std::move(violations));
+  v.set("margin", outcome.margin);
+  v.set("passes", outcome.passes());
+  return v;
+}
+
+Value to_json(const DroopCampaignReport& report) {
+  Value v = Value::object();
+  v.set("architecture", to_json(report.architecture));
+  v.set("topology", report.topology ? to_json(*report.topology) : Value());
+  v.set("tech", to_json(report.tech));
+  v.set("scenario_count", report.scenario_count());
+  v.set("pass_count", report.pass_count());
+  v.set("pass_fraction", report.pass_fraction());
+  v.set("worst_undershoot_fraction", report.worst_undershoot_fraction());
+  v.set("worst_settling_seconds", report.worst_settling_time().value);
+  v.set("worst_margin", report.worst_margin());
+  v.set("transient_steps", report.transient_steps);
+  v.set("wall_seconds", report.wall_seconds);
+  v.set("nominal", to_json(report.nominal));
+  Value outcomes = Value::array();
+  for (const TransientScenarioOutcome& outcome : report.outcomes) {
+    outcomes.push_back(to_json(outcome));
+  }
+  v.set("outcomes", std::move(outcomes));
+  /// The unified telemetry shape (transient.* + solver.* instruments).
+  v.set("observability", report.snapshot().to_json());
   return v;
 }
 

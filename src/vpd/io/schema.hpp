@@ -33,9 +33,12 @@
 #include "vpd/arch/report.hpp"
 #include "vpd/core/explorer.hpp"
 #include "vpd/fault/fault_model.hpp"
+#include "vpd/fault/resilience.hpp"
+#include "vpd/fault/transient_scenario.hpp"
 #include "vpd/io/json.hpp"
 #include "vpd/package/mesh_cache.hpp"
 #include "vpd/sweep/sweep.hpp"
+#include "vpd/workload/droop_campaign.hpp"
 
 namespace vpd {
 namespace io {
@@ -92,6 +95,26 @@ FaultSeverity fault_severity_from_json(const Value& v);
 Value to_json(const FaultScenario& scenario);
 FaultScenario fault_scenario_from_json(const Value& v);
 
+// --- Transient droop campaigns ---------------------------------------------
+
+Value to_json(TransientKind kind);
+TransientKind transient_kind_from_json(const Value& v);
+
+Value to_json(const TransientScenario& scenario);
+TransientScenario transient_scenario_from_json(const Value& v);
+
+/// Serializes both the DC thresholds and the dynamic (time-domain) droop
+/// limits of the resilience spec.
+Value to_json(const ResilienceSpec& rspec);
+ResilienceSpec resilience_spec_from_json(const Value& v);
+
+/// Campaign knobs. Not representable on the wire: the trace parent (a
+/// process-local context, omitted on write, default after parse) and the
+/// sweep mesh-cache pointer (the server wires in its own); the worker
+/// count rides along as "threads".
+Value to_json(const DroopCampaignConfig& config);
+DroopCampaignConfig droop_campaign_config_from_json(const Value& v);
+
 // --- Requests --------------------------------------------------------------
 
 /// One evaluation request: a design point plus the system spec it is
@@ -121,6 +144,26 @@ std::string canonical_request_key(const EvaluationRequest& request);
 Value to_json(const SweepPoint& point);
 SweepPoint sweep_point_from_json(const Value& v);
 
+/// One droop-campaign request: the combination to integrate plus the
+/// campaign configuration. `options` are the campaign's base evaluation
+/// options and must arrive fault-free (the campaign owns its injections);
+/// the parser rejects a populated `options.faults`.
+struct TransientRequest {
+  ArchitectureKind architecture{ArchitectureKind::kA1_InterposerPeriphery};
+  TopologyKind topology{TopologyKind::kDsch};
+  DeviceTechnology tech{DeviceTechnology::kGalliumNitride};
+  PowerDeliverySpec spec;  // defaults to the paper's 1 kW system
+  EvaluationOptions options;
+  DroopCampaignConfig config;
+};
+
+Value to_json(const TransientRequest& request);
+TransientRequest transient_request_from_json(const Value& v);
+
+/// Canonical wire key of a fully-materialized transient request (same
+/// convention as canonical_request_key).
+std::string canonical_transient_key(const TransientRequest& request);
+
 // --- Results (serialize-only: responses are produced, not consumed) --------
 
 Value to_json(const Summary& summary);
@@ -129,6 +172,11 @@ Value to_json(const SweepStats& stats);
 Value to_json(const PathStage& stage);
 Value to_json(const ArchitectureEvaluation& evaluation);
 Value to_json(const ExplorationEntry& entry);
+
+Value to_json(const SpecViolation& violation);
+Value to_json(const DroopMetrics& metrics);
+Value to_json(const TransientScenarioOutcome& outcome);
+Value to_json(const DroopCampaignReport& report);
 
 }  // namespace io
 }  // namespace vpd

@@ -124,6 +124,54 @@ ServiceResponse EvaluationService::evaluate(
   return submit(request).get();
 }
 
+io::Value to_json(const TransientServiceResponse& response) {
+  io::Value v = io::Value::object();
+  v.set("status", to_string(response.status));
+  v.set("schema_version", io::kSchemaVersion);
+  if (!response.error.empty()) v.set("error", response.error);
+  if (response.report != nullptr) {
+    v.set("result", io::to_json(*response.report));
+  }
+  return v;
+}
+
+TransientServiceResponse EvaluationService::run_transient(
+    const io::TransientRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  registry_.counter("serve.transient.requests").add(1);
+  TransientServiceResponse response;
+  try {
+    DroopCampaignConfig config = request.config;
+    // Campaign DC sweeps share the service's mesh cache, so repeated
+    // campaigns over one geometry reuse assembled operators like the
+    // point-evaluation path does.
+    if (config.sweep.use_mesh_cache && config.sweep.cache == nullptr) {
+      config.sweep.cache = &mesh_cache_;
+    }
+    const DroopCampaignRunner runner(request.spec, config);
+    auto report = std::make_shared<DroopCampaignReport>(
+        runner.run(request.architecture, request.topology, request.tech,
+                   request.options));
+    registry_.counter("serve.transient.scenarios")
+        .add(report->scenario_count());
+    registry_.counter("serve.transient.steps").add(report->transient_steps);
+    response.status = ResponseStatus::kOk;
+    response.report = std::move(report);
+  } catch (const InfeasibleDesign& e) {
+    response.status = ResponseStatus::kExcluded;
+    response.error = e.what();
+  } catch (const std::exception& e) {
+    registry_.counter("serve.transient.errors").add(1);
+    response.status = ResponseStatus::kError;
+    response.error = e.what();
+  }
+  registry_.latency_histogram("serve.transient.latency_seconds")
+      .record(std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+  return response;
+}
+
 void EvaluationService::wait_idle() { pool_.wait_idle(); }
 
 std::shared_future<ServiceResponse> EvaluationService::submit(

@@ -126,10 +126,27 @@ struct ServiceMetrics {
   double mesh_cache_hit_rate() const;
 };
 
+/// One resolved droop-campaign request (the {"cmd":"transient"} verb).
+/// Campaigns run synchronously on the caller's thread — their inner
+/// parallelism lives on the campaign's own pool — sharing the service's
+/// mesh cache, and are not queued, coalesced or result-cached (a campaign
+/// is thousands of solves, not a cacheable point lookup).
+struct TransientServiceResponse {
+  ResponseStatus status{ResponseStatus::kError};
+  /// Populated for kError (bad request / integration failure) and
+  /// kExcluded (the nominal design point is excluded outright).
+  std::string error;
+  /// Populated for kOk.
+  std::shared_ptr<const DroopCampaignReport> report;
+};
+
 /// Unified telemetry shape (metrics.observability.to_json()) with the
 /// pre-v2 flat keys — requests/completed/.../latency/mesh_cache/solver —
 /// kept as deprecated aliases for one release.
 io::Value to_json(const ServiceMetrics& metrics);
+/// Wire body for a transient response: status, schema_version, error, and
+/// the report (with its own observability member) when kOk.
+io::Value to_json(const TransientServiceResponse& response);
 /// Full wire response body (status, schema_version, error, result,
 /// from_cache, timings). The daemon prepends the client's request id.
 /// Fills the serialized "timings.serialize_seconds" with the time spent
@@ -153,6 +170,13 @@ class EvaluationService {
 
   /// Convenience: submit + get.
   ServiceResponse evaluate(const io::EvaluationRequest& request);
+
+  /// Runs a droop campaign synchronously against the service's shared
+  /// mesh cache, recording serve.transient.* instruments (request /
+  /// scenario / step counters and the campaign latency histogram) in the
+  /// service registry. Deterministic like evaluate(): the report is
+  /// bit-identical to running the campaign standalone.
+  TransientServiceResponse run_transient(const io::TransientRequest& request);
 
   /// Blocks until every accepted request has resolved.
   void wait_idle();

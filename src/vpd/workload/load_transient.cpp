@@ -26,12 +26,21 @@ SourceFn burst_load(Current base, Current peak, Frequency frequency,
   VPD_REQUIRE(frequency.value > 0.0, "frequency must be positive");
   VPD_REQUIRE(duty > 0.0 && duty < 1.0, "duty ", duty, " outside (0,1)");
   const double period = 1.0 / frequency.value;
-  VPD_REQUIRE(edge.value >= 0.0 && edge.value < 0.5 * duty * period,
-              "edge time too long for the burst plateau");
+  // The boundary edge == 0.5 * duty * period is the degenerate triangular
+  // plateau (rise meets fall at the peak); it is continuous and accepted,
+  // matching step_load's acceptance of rise == 0. Callers compute the
+  // boundary with their own arithmetic (duty / f vs duty * (1 / f)), so
+  // accept within a relative ulp-scale slop and clamp onto the exact
+  // half-window.
+  const double half_on = 0.5 * duty * period;
+  VPD_REQUIRE(edge.value >= 0.0 &&
+                  edge.value <= half_on * (1.0 + 1e-12),
+              "edge time ", edge.value, " s longer than half the burst "
+              "plateau (", half_on, " s)");
   const double b = base.value;
   const double p = peak.value;
   const double d = duty;
-  const double e = edge.value;
+  const double e = std::min(edge.value, half_on);
   return [b, p, period, d, e](double t) {
     double u = std::fmod(t, period);
     if (u < 0.0) u += period;

@@ -12,7 +12,10 @@ namespace vpd {
 SourceFn step_load(Current base, Current step, Seconds t_step, Seconds rise);
 
 /// Periodic burst: `base` current with `peak` plateaus of duty `duty` at
-/// `frequency` (square-ish with linear edges of `edge` seconds).
+/// `frequency` (square-ish with linear edges of `edge` seconds). The
+/// waveform is continuous at the edge/plateau boundaries; edge may reach
+/// half the on-window (0.5 * duty / frequency), the degenerate triangular
+/// plateau.
 SourceFn burst_load(Current base, Current peak, Frequency frequency,
                     double duty, Seconds edge);
 

@@ -11,8 +11,10 @@
 
 #include "vpd/common/error.hpp"
 #include "vpd/fault/fault_model.hpp"
+#include "vpd/fault/transient_scenario.hpp"
 #include "vpd/io/json.hpp"
 #include "vpd/io/schema.hpp"
+#include "vpd/workload/droop_campaign.hpp"
 
 namespace vpd {
 namespace {
@@ -288,6 +290,121 @@ TEST(Schema, CanonicalKeyIsInputOrderBlind) {
           R"({"options":{"derating":0.6,"mesh_nodes":21},"topology":"DSCH","architecture":"A1"})"));
   EXPECT_EQ(io::canonical_request_key(reference),
             io::canonical_request_key(shuffled));
+}
+
+// ---------------------------------------------------------------------------
+// Transient droop campaigns
+// ---------------------------------------------------------------------------
+
+TEST(Schema, TransientScenarioRoundTripsForEveryKind) {
+  for (TransientKind kind : all_transient_kinds()) {
+    TransientScenario scenario;
+    scenario.kind = kind;
+    scenario.label = std::string("wire/") + to_string(kind);
+    scenario.tile_x = 0.25;
+    scenario.tile_y = 0.75;
+    scenario.base_fraction = 0.6;
+    scenario.step_fraction = 0.3;
+    scenario.t_event = Seconds{3e-6};
+    scenario.edge = Seconds{80e-9};
+    scenario.site = 5;
+    expect_fixed_point(scenario, [](const Value& v) {
+      return io::transient_scenario_from_json(v);
+    });
+    // The enum name itself round-trips strictly.
+    EXPECT_EQ(io::transient_kind_from_json(io::to_json(kind)), kind);
+  }
+  EXPECT_THROW(io::transient_kind_from_json(Value("load-stomp")),
+               InvalidArgument);
+}
+
+TEST(Schema, TransientScenarioParserValidatesShapes) {
+  // The parser runs validate(): a structurally well-formed document with
+  // an out-of-range shape is InvalidArgument, not a silent acceptance.
+  const char* cases[] = {
+      R"({"kind":"load-step","tile_x":1.5})",
+      R"({"kind":"load-step","base_fraction":0.9,"step_fraction":0.5})",
+      R"({"kind":"load-burst","edge":2.01e-7,"burst_frequency":2e6,"burst_duty":0.4})",
+      R"({"kind":"vr-dropout","edge":-1e-9})",
+      R"({"kind":"no-such-kind"})",
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(io::transient_scenario_from_json(io::parse(text)),
+                 InvalidArgument)
+        << text;
+  }
+}
+
+TEST(Schema, ResilienceSpecRoundTrips) {
+  ResilienceSpec rspec;
+  rspec.droop_tolerance = 0.04;
+  rspec.vr_overcurrent_factor = 1.3;
+  rspec.interconnect_stress_margin = 1.1;
+  rspec.transient_droop_tolerance = 0.12;
+  expect_fixed_point(rspec, [](const Value& v) {
+    return io::resilience_spec_from_json(v);
+  });
+}
+
+TEST(Schema, DroopCampaignConfigRoundTrips) {
+  DroopCampaignConfig config;
+  config.method = IntegrationMethod::kBackwardEuler;
+  config.t_stop = Seconds{10e-6};
+  config.dt = Seconds{1e-9};
+  config.tile_grid = 3;
+  config.include_bursts = false;
+  config.max_dropout_sites = 4;
+  config.model.decap = Capacitance{40e-6};
+  config.model.decap_esr = Resistance{0.1e-3};
+  config.sweep.threads = 3;
+  expect_fixed_point(config, [](const Value& v) {
+    return io::droop_campaign_config_from_json(v);
+  });
+  // The default decap (auto-sized by the lowering) serializes as null and
+  // parses back to "unset".
+  DroopCampaignConfig defaults;
+  EXPECT_FALSE(defaults.model.decap.has_value());
+  expect_fixed_point(defaults, [](const Value& v) {
+    return io::droop_campaign_config_from_json(v);
+  });
+  const DroopCampaignConfig reparsed =
+      io::droop_campaign_config_from_json(io::to_json(defaults));
+  EXPECT_FALSE(reparsed.model.decap.has_value());
+}
+
+TEST(Schema, TransientRequestRoundTripsAndKeyIsOrderBlind) {
+  io::TransientRequest request;
+  request.architecture = ArchitectureKind::kA2_InterposerBelowDie;
+  request.topology = TopologyKind::kDpmih;
+  request.tech = DeviceTechnology::kSilicon;
+  request.options.mesh_nodes = 21;
+  request.config.tile_grid = 1;
+  expect_fixed_point(request, [](const Value& v) {
+    return io::transient_request_from_json(v);
+  });
+
+  // Same request, shuffled member order and an envelope "cmd"/"id" the
+  // schema reader must ignore: one canonical key.
+  const io::TransientRequest reference = io::transient_request_from_json(
+      io::parse(
+          R"({"architecture":"A1","topology":"DSCH","config":{"tile_grid":1,"threads":2}})"));
+  const io::TransientRequest shuffled = io::transient_request_from_json(
+      io::parse(
+          R"({"cmd":"transient","id":7,"config":{"threads":2,"tile_grid":1},"topology":"DSCH","architecture":"A1"})"));
+  EXPECT_EQ(io::canonical_transient_key(reference),
+            io::canonical_transient_key(shuffled));
+}
+
+TEST(Schema, TransientRequestRejectsMeshlessAndFaultedForms) {
+  // A0 has no distribution mesh to integrate.
+  EXPECT_THROW(
+      io::transient_request_from_json(io::parse(R"({"architecture":"A0"})")),
+      InvalidArgument);
+  // The campaign owns its fault injections: pre-faulted base options are
+  // rejected rather than silently composed.
+  EXPECT_THROW(io::transient_request_from_json(io::parse(
+                   R"({"architecture":"A1","topology":"DSCH","options":{"faults":{"dropped_sites":[0]}}})")),
+               InvalidArgument);
 }
 
 // ---------------------------------------------------------------------------

@@ -257,6 +257,136 @@ TEST(Transient, CycleAveragesDetectSteadyState) {
   EXPECT_FALSE(first_steady_cycle(trace, 1.0, 1e-12).has_value());
 }
 
+TEST(Transient, FinalSampleLandsExactlyOnStopTime) {
+  // Regression: dt does not divide t_stop. The engine must take one
+  // shortened final step so the record ends exactly at t_stop, not at the
+  // last full multiple of dt below it.
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("V1", in, kGround, 1.0_V);
+  nl.add_resistor("R1", in, out, Resistance{1000.0});
+  nl.add_capacitor("C1", out, kGround, 1.0_uF);
+
+  TransientOptions opts;
+  opts.t_stop = Seconds{1.05e-3};  // 10 full steps + a half step
+  opts.dt = Seconds{1e-4};
+  opts.method = IntegrationMethod::kTrapezoidal;
+  const TransientResult r = simulate(nl, opts);
+  ASSERT_EQ(r.sample_count(), 12u);
+  EXPECT_EQ(r.times().front(), 0.0);
+  EXPECT_EQ(r.times()[10], 10.0 * 1e-4);
+  EXPECT_EQ(r.times().back(), 1.05e-3);  // exact, not approximate
+  // The partial step is a real integration step, not padding: the final
+  // sample tracks the analytic RC charge at t_stop.
+  const double expected = 1.0 - std::exp(-1.05e-3 / 1e-3);
+  EXPECT_NEAR(r.voltage("out").back(), expected, 5e-3);
+}
+
+TEST(Transient, StepScheduleAbsorbsFloatingPointSlop) {
+  Netlist nl;
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource("V1", out, kGround, 1.0_V);
+  nl.add_resistor("R1", out, kGround, 1.0_Ohm);
+
+  TransientOptions opts;
+  // 0.7e-6 / 1e-7 = 6.999... in floating point; floor() lands one step
+  // short of the exact multiple. The schedule must recognize this as 7
+  // full steps, not 6 plus a dt-sized "partial".
+  opts.t_stop = Seconds{0.7e-6};
+  opts.dt = Seconds{1e-7};
+  const TransientResult slop = simulate(nl, opts);
+  EXPECT_EQ(slop.sample_count(), 8u);
+  EXPECT_EQ(slop.times().back(), 0.7e-6);
+
+  // And a clean divide stays a clean divide.
+  opts.t_stop = Seconds{0.5e-6};
+  const TransientResult clean = simulate(nl, opts);
+  EXPECT_EQ(clean.sample_count(), 6u);
+  EXPECT_EQ(clean.times().back(), 0.5e-6);
+}
+
+TEST(Transient, CycleAveragesDoNotDriftOverThousandsOfCycles) {
+  // Regression: the cycle windows are anchored at t0 + i * period, not
+  // accumulated (t += period), so thousands of cycles cannot drift a
+  // window boundary across a sample. A ramp makes any drift visible in
+  // the per-window means.
+  const double period = 1e-6;
+  const std::size_t cycles = 4000;
+  const std::size_t per_cycle = 50;
+  std::vector<double> ts, vs;
+  ts.reserve(cycles * per_cycle + 1);
+  for (std::size_t i = 0; i <= cycles * per_cycle; ++i) {
+    const double t = static_cast<double>(i) * (period / per_cycle);
+    ts.push_back(t);
+    vs.push_back(t);  // value == time: window i averages (i + 0.5) * period
+  }
+  const Trace trace("x", std::move(ts), std::move(vs));
+  const auto averages = cycle_averages(trace, period);
+  ASSERT_EQ(averages.size(), cycles);
+  for (std::size_t i : {std::size_t{0}, cycles / 2, cycles - 1}) {
+    // Time-weighted average of the ramp over [i*p, (i+1)*p) is exactly the
+    // window midpoint; a drifted window boundary would shift it by a
+    // sample spacing or drop the window entirely.
+    const double expected = (static_cast<double>(i) + 0.5) * period;
+    EXPECT_NEAR(averages[i], expected, 1e-12) << "cycle " << i;
+  }
+  // Consecutive window averages of the ramp differ by exactly one period,
+  // so it never reads as steady.
+  EXPECT_FALSE(first_steady_cycle(trace, period, 1e-12).has_value());
+}
+
+TEST(Transient, SharedFactorCacheIsBitIdenticalAndDeterministic) {
+  // Two simulations of the same netlist under different load waveforms
+  // share step matrices (sources enter the RHS only): the second run's
+  // lookups all hit. Cached results are bit-identical to uncached ones.
+  const auto make_netlist = [](SourceFn load) {
+    Netlist nl;
+    const NodeId in = nl.add_node("in");
+    const NodeId out = nl.add_node("out");
+    nl.add_vsource("V1", in, kGround, 1.0_V);
+    nl.add_resistor("R1", in, out, Resistance{10.0});
+    nl.add_capacitor("C1", out, kGround, 1.0_uF);
+    nl.add_isource("Iload", out, kGround, std::move(load));
+    return nl;
+  };
+  const Netlist quiet = make_netlist([](double) { return 0.01; });
+  const Netlist stepping =
+      make_netlist([](double t) { return t < 0.5e-3 ? 0.01 : 0.05; });
+
+  TransientOptions opts;
+  opts.t_stop = Seconds{1e-3};
+  opts.dt = Seconds{1e-6};
+  opts.method = IntegrationMethod::kTrapezoidal;
+  const TransientResult baseline = simulate(quiet, opts);
+
+  TransientFactorCache cache;
+  opts.factor_cache = &cache;
+  const TransientResult cached = simulate(quiet, opts);
+  // First-step backward Euler + trapezoidal full steps: two distinct
+  // matrices, each missed exactly once.
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  const TransientResult other = simulate(stepping, opts);
+  EXPECT_EQ(cache.stats().misses, 2u);  // same matrices, different RHS
+  EXPECT_EQ(cache.stats().hits, 2u);
+
+  ASSERT_EQ(cached.sample_count(), baseline.sample_count());
+  const Trace vb = baseline.voltage("out");
+  const Trace vc = cached.voltage("out");
+  for (std::size_t i = 0; i < vb.sample_count(); ++i) {
+    EXPECT_EQ(vc.values()[i], vb.values()[i]) << "sample " << i;
+  }
+
+  // A shortened final step stamps its own matrix: one more distinct key.
+  opts.t_stop = Seconds{1.0005e-3};
+  (void)simulate(quiet, opts);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
 TEST(Transient, CurrentSourceLoadDrawsFromNode) {
   Netlist nl;
   const NodeId out = nl.add_node("out");

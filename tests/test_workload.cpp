@@ -105,6 +105,27 @@ TEST(LoadTransient, BurstProfile) {
       InvalidArgument);
 }
 
+TEST(LoadTransient, BurstAcceptsHalfOnWindowEdge) {
+  // Regression: edge == 0.5 * duty / frequency (the degenerate triangular
+  // plateau) is the documented boundary and must be accepted, not rejected
+  // by an off-by-one-ulp strict comparison.
+  const double duty = 0.4;
+  const Frequency f{1e6};
+  const Seconds half_on{0.5 * duty / f.value};  // 200 ns
+  SourceFn burst;
+  ASSERT_NO_THROW(burst = burst_load(10.0_A, 100.0_A, f, duty, half_on));
+  // Triangular cycle: rises to the peak exactly at the (zero-width)
+  // plateau, back to base at the end of the on-window, flat after.
+  EXPECT_NEAR(burst(200e-9), 100.0, 1e-9);
+  EXPECT_NEAR(burst(400e-9), 10.0, 1e-9);
+  EXPECT_NEAR(burst(100e-9), 55.0, 1e-9);  // halfway up the edge
+  EXPECT_NEAR(burst(0.7e-6), 10.0, 1e-9);
+  // One ulp past the boundary still throws.
+  EXPECT_THROW(
+      burst_load(10.0_A, 100.0_A, f, duty, Seconds{200.0000001e-9}),
+      InvalidArgument);
+}
+
 TEST(LoadTransient, RampProfile) {
   const SourceFn f =
       ramp_load(5.0_A, 15.0_A, Seconds{1e-6}, Seconds{3e-6});

@@ -1,6 +1,7 @@
 #!/bin/sh
-# End-to-end vpdd smoke test: pipe 13 NDJSON lines (10 pipelined
-# evaluation requests, one of them malformed, plus metrics / trace /
+# End-to-end vpdd smoke test: pipe 15 NDJSON lines (10 pipelined
+# evaluation requests, one of them malformed, two droop-campaign
+# requests — one valid, one rejected — plus metrics / trace /
 # unknown control verbs) through the daemon with tracing enabled, and
 # check that every line gets an in-order, id-tagged response with the
 # expected status and that the trace file is a Chrome trace-event
@@ -28,6 +29,8 @@ this line is not JSON {{{
 {"id":8,"architecture":"A9","topology":"DSCH"}
 {"id":9,"architecture":"A2","topology":"DSCH","fault_scenario":{"faults":[{"kind":"vr-dropout","site":3}]}}
 {"id":10,"architecture":"A3@12V","topology":"DSCH","options":{"mesh_nodes":21}}
+{"id":14,"cmd":"transient","architecture":"A1","topology":"DSCH","options":{"mesh_nodes":21},"config":{"tile_grid":1,"include_bursts":false,"include_ramps":false,"max_dropout_sites":1,"threads":2}}
+{"id":15,"cmd":"transient","architecture":"A0"}
 {"id":11,"cmd":"metrics"}
 {"id":12,"cmd":"trace"}
 {"id":13,"cmd":"frobnicate"}
@@ -44,8 +47,8 @@ fail() {
 }
 
 # One response line per request, in request order.
-[ "$(wc -l < "$responses")" -eq 13 ] || fail "expected 13 response lines"
-expected_ids='1 2 3 4 5 6 null 8 9 10 11 12 13'
+[ "$(wc -l < "$responses")" -eq 15 ] || fail "expected 15 response lines"
+expected_ids='1 2 3 4 5 6 null 8 9 10 14 15 11 12 13'
 actual_ids="$(grep -o '^{"id":[^,]*' "$responses" | sed 's/^{"id"://' | tr '\n' ' ' | sed 's/ $//')"
 [ "$actual_ids" = "$expected_ids" ] || fail "response ids/order wrong: $actual_ids"
 
@@ -66,6 +69,8 @@ check_status null error
 check_status 8 error
 check_status 9 ok
 check_status 10 ok
+check_status 14 ok
+check_status 15 error
 check_status 11 ok
 check_status 12 ok
 check_status 13 error
@@ -82,12 +87,26 @@ grep '^{"id":1,' "$responses" | grep -q '"schema_version":2' \
 grep '^{"id":1,' "$responses" | grep -q '"timings":{"queue_seconds":' \
   || fail "evaluated responses must carry stage timings"
 
+# The "transient" verb runs a droop campaign: the response carries the
+# per-scenario outcomes and the campaign's own telemetry snapshot; the A0
+# request is rejected with a structured error.
+grep '^{"id":14,' "$responses" | grep -q '"pass_fraction":' \
+  || fail "transient responses must carry the campaign pass fraction"
+grep '^{"id":14,' "$responses" | grep -q '"outcomes":\[' \
+  || fail "transient responses must carry per-scenario outcomes"
+grep '^{"id":14,' "$responses" | grep -q '"observability":{' \
+  || fail "transient responses must carry the telemetry snapshot"
+grep '^{"id":15,' "$responses" | grep -q 'distribution mesh' \
+  || fail "the A0 transient request must explain the rejection"
+
 # The "metrics" verb resolves after every earlier request and reports the
-# unified telemetry shape.
+# unified telemetry shape, including the serve.transient.* instruments.
 grep '^{"id":11,' "$responses" | grep -q '"metrics":{' \
   || fail "the metrics verb must return a metrics body"
 grep '^{"id":11,' "$responses" | grep -q '"counters":{' \
   || fail "metrics bodies must carry the unified counters shape"
+grep '^{"id":11,' "$responses" | grep -q '"serve.transient.requests":1' \
+  || fail "metrics must count the resolved transient request"
 
 # The "trace" verb flushed the buffer to the --trace file, which must be
 # a Chrome trace-event document with at least one recorded span.
@@ -107,4 +126,4 @@ grep -q '"evaluated": 7' "$workdir/metrics.json" \
 grep -q '"counters": {' "$workdir/metrics.json" \
   || fail "metrics dump should carry the unified telemetry shape"
 
-echo "vpdd_smoke: OK (13 pipelined lines: 10 requests, 1 malformed, 3 control verbs)"
+echo "vpdd_smoke: OK (15 pipelined lines: 10 requests, 1 malformed, 2 transient, 3 control verbs)"

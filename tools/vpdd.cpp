@@ -5,6 +5,8 @@
 // request (the v1 wire form) or a control envelope selected by "cmd":
 //
 //   {"cmd":"evaluate", ...request fields...}   evaluate (same as bare)
+//   {"cmd":"transient", ...request fields...}  droop campaign (see
+//                                              docs/transient.md)
 //   {"cmd":"metrics"}                          unified telemetry snapshot
 //   {"cmd":"trace", "path":"out.json"}         flush the trace buffer
 //
@@ -27,6 +29,7 @@
 #include <deque>
 #include <future>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -84,12 +87,15 @@ Value error_body(const std::string& message) {
 /// `future` (evaluations) and `kind` != kBody (control verbs, built when
 /// their turn comes so they observe every earlier request) is active.
 struct Pending {
-  enum class Kind { kEvaluate, kBody, kMetrics, kTrace };
+  enum class Kind { kEvaluate, kBody, kMetrics, kTrace, kTransient };
   Kind kind{Kind::kEvaluate};
   Value id;
   std::shared_future<vpd::serve::ServiceResponse> future;  // kEvaluate
   Value body;        // kBody: prebuilt (parse errors)
   std::string path;  // kTrace: output file ("" = --trace file)
+  /// kTransient: parsed at enqueue (parse errors become kBody lines), run
+  /// when its turn in the output order comes.
+  std::optional<vpd::io::TransientRequest> transient;
 };
 
 }  // namespace
@@ -180,6 +186,11 @@ int main(int argc, char** argv) {
         }
         return write_trace_to(path);
       }
+      case Pending::Kind::kTransient:
+        // Runs synchronously at its output turn: the campaign owns its
+        // own worker pool, and resolving in order keeps the pipelining
+        // contract (a later "metrics" line sees the whole campaign).
+        return serve::to_json(service.run_transient(*item.transient));
       case Pending::Kind::kEvaluate:
         break;
     }
@@ -218,6 +229,9 @@ int main(int argc, char** argv) {
             io::evaluation_request_from_json(doc);
         item.kind = Pending::Kind::kEvaluate;
         item.future = service.submit(request);
+      } else if (cmd == "transient") {
+        item.kind = Pending::Kind::kTransient;
+        item.transient = io::transient_request_from_json(doc);
       } else if (cmd == "metrics") {
         item.kind = Pending::Kind::kMetrics;
       } else if (cmd == "trace") {
@@ -227,8 +241,9 @@ int main(int argc, char** argv) {
         }
       } else {
         item.kind = Pending::Kind::kBody;
-        item.body = error_body("unknown cmd \"" + cmd +
-                               "\" (expected evaluate, metrics or trace)");
+        item.body = error_body(
+            "unknown cmd \"" + cmd +
+            "\" (expected evaluate, transient, metrics or trace)");
       }
     } catch (const Error& e) {
       // Queue a resolved error response so output order stays request

@@ -90,7 +90,10 @@ class JsonReport {
   /// FaultCampaignReport::snapshot() or ServiceMetrics::observability)
   /// into the document's "observability" member.
   void set_observability(const obs::Snapshot& snapshot) {
-    snapshot_.merge(snapshot);
+    // Overlay, not merge: the report's own mesh_cache.*/solver.* counters
+    // and the subsystem snapshot describe the same instruments, so
+    // same-name entries replace rather than double-count.
+    snapshot_.overlay(snapshot);
   }
 
   void print() const {

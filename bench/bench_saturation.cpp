@@ -1,0 +1,225 @@
+// Scale-out saturation study: the same duplicate-free request stream
+// pushed through an in-process shard fleet (N independent
+// EvaluationServices routed by net::shard_for_key on the canonical
+// request key — exactly the router's placement rule) at fleet sizes 1..N.
+//
+//  * closed loop — C client threads each issue their next request only
+//    after the previous response arrives. Reports sustained RPS and the
+//    p50/p99 service latency from the fleet-merged serve.latency_seconds
+//    histogram (obs::Snapshot::merge, the router's fleet aggregation).
+//  * open loop — bursts of B requests submitted without waiting, for B
+//    from well under the per-shard queue capacity to far past it, so the
+//    table shows the reject-not-block knee: the accepted fraction is 1.0
+//    until the queue fills, then rejections grow instead of latency.
+//
+// Every routed response is status-checked (ok); the point of the bench is
+// that sharding multiplies throughput without changing any answer.
+// `--json` emits the same numbers through vpd::io.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_output.hpp"
+#include "vpd/common/table.hpp"
+#include "vpd/io/schema.hpp"
+#include "vpd/net/protocol.hpp"
+#include "vpd/obs/registry.hpp"
+#include "vpd/serve/service.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vpd;
+
+  bool json = false;
+  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
+
+  // Distinct cheap design points: one shared mesh geometry (the 31-node
+  // grid is assembled once per shard), distinct canonical keys (the
+  // total-power sweep defeats coalescing and the result LRU), so every
+  // request exercises the full submit→evaluate→respond path.
+  constexpr int kRequests = 192;
+  std::vector<io::EvaluationRequest> workload;
+  std::vector<std::string> keys;
+  workload.reserve(kRequests);
+  keys.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    io::EvaluationRequest request;
+    request.architecture = ArchitectureKind::kA1_InterposerPeriphery;
+    request.topology = TopologyKind::kDsch;
+    request.spec.total_power = Power{900.0 + double(i)};
+    request.options.mesh_nodes = 31;
+    workload.push_back(request);
+    keys.push_back(io::canonical_request_key(request));
+  }
+
+  constexpr std::size_t kThreadsPerShard = 2;
+  constexpr std::size_t kQueueCapacity = 16;
+  // Enough closed-loop clients to keep even the largest fleet busy — the
+  // sweep varies shard count, so the offered concurrency must not be the
+  // bottleneck.
+  constexpr std::size_t kClients = 16;
+  const std::vector<std::size_t> fleet_sizes = {1, 2, 4};
+
+  auto make_fleet = [&](std::size_t shards) {
+    std::vector<std::unique_ptr<serve::EvaluationService>> fleet;
+    for (std::size_t s = 0; s < shards; ++s) {
+      serve::ServiceConfig config;
+      config.threads = kThreadsPerShard;
+      config.queue_capacity = kQueueCapacity;
+      fleet.push_back(std::make_unique<serve::EvaluationService>(config));
+    }
+    return fleet;
+  };
+
+  // --- Closed loop: 1 vs N shards -------------------------------------------
+
+  TextTable closed({"shards", "clients", "requests", "seconds", "rps",
+                    "p50_ms", "p99_ms", "speedup"});
+  io::Value closed_json = io::Value::array();
+  double base_rps = 0.0;
+  for (std::size_t shards : fleet_sizes) {
+    auto fleet = make_fleet(shards);
+    std::atomic<int> next{0};
+    std::atomic<int> not_ok{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&] {
+        for (;;) {
+          const int i = next.fetch_add(1);
+          if (i >= kRequests) return;
+          const std::size_t shard = net::shard_for_key(keys[i], shards);
+          const serve::ServiceResponse response =
+              fleet[shard]->evaluate(workload[i]);
+          // The power sweep crosses the paper's exclusion rule for a few
+          // points; excluded is still a full, correct evaluation.
+          if (response.status != serve::ResponseStatus::kOk &&
+              response.status != serve::ResponseStatus::kExcluded) {
+            ++not_ok;
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double seconds = seconds_since(start);
+    if (not_ok.load() != 0) {
+      std::fprintf(stderr,
+                   "bench_saturation: %d closed-loop responses not ok\n",
+                   not_ok.load());
+      return 1;
+    }
+
+    // The router's fleet rule: merge per-shard snapshots, then read the
+    // percentiles off the combined latency histogram.
+    obs::Snapshot merged;
+    for (const auto& service : fleet) {
+      merged.merge(service->registry().snapshot());
+    }
+    const obs::HistogramData* latency =
+        merged.histogram("serve.latency_seconds");
+    const double p50 = latency ? latency->quantile(0.50) : 0.0;
+    const double p99 = latency ? latency->quantile(0.99) : 0.0;
+    const double rps = double(kRequests) / seconds;
+    if (shards == 1) base_rps = rps;
+
+    closed.add_row({std::to_string(shards), std::to_string(kClients),
+                    std::to_string(kRequests), format_double(seconds, 3),
+                    format_double(rps, 1), format_double(p50 * 1e3, 2),
+                    format_double(p99 * 1e3, 2),
+                    format_double(rps / base_rps, 2)});
+    io::Value row = io::Value::object();
+    row.set("shards", double(shards));
+    row.set("clients", double(kClients));
+    row.set("requests", double(kRequests));
+    row.set("seconds", seconds);
+    row.set("rps", rps);
+    row.set("p50_seconds", p50);
+    row.set("p99_seconds", p99);
+    row.set("speedup_vs_one_shard", rps / base_rps);
+    closed_json.push_back(std::move(row));
+  }
+
+  // --- Open loop: bursts across the backpressure knee -----------------------
+
+  // One fresh 2-shard fleet per burst size; each burst submits without
+  // waiting, then resolves every future and counts rejections. The knee
+  // sits at shards * queue_capacity in-flight requests.
+  constexpr std::size_t kOpenShards = 2;
+  TextTable open({"burst", "capacity", "accepted", "rejected",
+                  "accepted_fraction"});
+  io::Value open_json = io::Value::array();
+  const std::size_t fleet_capacity = kOpenShards * kQueueCapacity;
+  for (std::size_t burst :
+       {fleet_capacity / 2, fleet_capacity, 2 * fleet_capacity,
+        4 * fleet_capacity}) {
+    auto fleet = make_fleet(kOpenShards);
+    std::vector<std::shared_future<serve::ServiceResponse>> futures;
+    futures.reserve(burst);
+    for (std::size_t i = 0; i < burst; ++i) {
+      const std::size_t request_index = i % std::size_t(kRequests);
+      // Make every burst entry a distinct key so nothing coalesces.
+      io::EvaluationRequest request = workload[request_index];
+      request.spec.total_power =
+          Power{2000.0 + double(i) + 0.5 * double(request_index)};
+      const std::size_t shard = net::shard_for_key(
+          io::canonical_request_key(request), kOpenShards);
+      futures.push_back(fleet[shard]->submit(request));
+    }
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    for (auto& future : futures) {
+      const serve::ServiceResponse response = future.get();
+      if (response.status == serve::ResponseStatus::kRejected) {
+        ++rejected;
+      } else {
+        ++accepted;
+      }
+    }
+    const double fraction = double(accepted) / double(burst);
+    open.add_row({std::to_string(burst), std::to_string(fleet_capacity),
+                  std::to_string(accepted), std::to_string(rejected),
+                  format_double(fraction, 3)});
+    io::Value row = io::Value::object();
+    row.set("burst", double(burst));
+    row.set("fleet_capacity", double(fleet_capacity));
+    row.set("accepted", double(accepted));
+    row.set("rejected", double(rejected));
+    row.set("accepted_fraction", fraction);
+    open_json.push_back(std::move(row));
+  }
+
+  if (json) {
+    benchio::JsonReport report("bench_saturation");
+    report.add("closed_loop", std::move(closed_json));
+    report.add("open_loop", std::move(open_json));
+    report.print();
+    return 0;
+  }
+
+  std::printf("Closed-loop saturation: %d distinct requests, %zu client "
+              "threads,\n%zu worker threads and a %zu-deep queue per "
+              "shard.\n\n",
+              kRequests, kClients, kThreadsPerShard, kQueueCapacity);
+  std::printf("%s", closed.to_string().c_str());
+  std::printf("\nOpen-loop bursts against a %zu-shard fleet (knee at %zu "
+              "in-flight):\n\n",
+              kOpenShards, fleet_capacity);
+  std::printf("%s", open.to_string().c_str());
+  std::printf("\nPast the knee the fleet rejects instead of queueing — "
+              "p99 stays bounded\nand the client decides when to "
+              "resubmit.\n");
+  return 0;
+}

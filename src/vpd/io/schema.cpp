@@ -91,6 +91,92 @@ void check_schema_version(const Value& v, const char* what) {
   }
 }
 
+Value recover_wire_id(std::string_view line) {
+  // Hand-rolled scan, not a parse: the whole point is that `line` already
+  // failed the strict parser. Track brace/bracket depth and string state,
+  // find the "id" key at depth 1, then parse just its scalar value.
+  std::size_t depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  std::size_t token_start = std::string_view::npos;  // current string token
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+        if (depth == 1 && token_start != std::string_view::npos &&
+            line.substr(token_start, i - token_start) == "id") {
+          // Key candidate: confirm the next non-space char is ':'.
+          std::size_t j = i + 1;
+          while (j < line.size() &&
+                 (line[j] == ' ' || line[j] == '\t')) {
+            ++j;
+          }
+          if (j >= line.size() || line[j] != ':') continue;
+          ++j;
+          while (j < line.size() &&
+                 (line[j] == ' ' || line[j] == '\t')) {
+            ++j;
+          }
+          if (j >= line.size() || line[j] == '{' || line[j] == '[') {
+            return Value();  // structured or truncated id: unrecoverable
+          }
+          // Scalar extent: a complete string, or the run up to the next
+          // top-level delimiter.
+          std::size_t end = j;
+          if (line[j] == '"') {
+            bool value_escaped = false;
+            for (end = j + 1; end < line.size(); ++end) {
+              if (value_escaped) {
+                value_escaped = false;
+              } else if (line[end] == '\\') {
+                value_escaped = true;
+              } else if (line[end] == '"') {
+                ++end;
+                break;
+              }
+            }
+          } else {
+            while (end < line.size() && line[end] != ',' &&
+                   line[end] != '}' && line[end] != ' ' &&
+                   line[end] != '\t' && line[end] != '\r') {
+              ++end;
+            }
+          }
+          try {
+            return parse(line.substr(j, end - j));
+          } catch (const Error&) {
+            return Value();  // the id itself is malformed
+          }
+        }
+        token_start = std::string_view::npos;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        token_start = i + 1;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        if (depth > 0) --depth;
+        break;
+      default:
+        break;
+    }
+  }
+  return Value();
+}
+
 // --- Enums -----------------------------------------------------------------
 
 Value to_json(ArchitectureKind kind) { return Value(to_string(kind)); }

@@ -55,6 +55,15 @@ inline constexpr int kSchemaVersion = 2;
 /// schema is backward-compatible within the accepted range.
 void check_schema_version(const Value& v, const char* what);
 
+/// Best-effort recovery of the transport "id" from a request line that
+/// failed full parsing, so even malformed-payload error replies keep the
+/// client's correlation id (a pipelining client cannot match an
+/// {"id":null} error to anything). Scans the raw line for a top-level
+/// "id" member and parses its scalar value (string / number / bool /
+/// null); returns null when the line does not get far enough to contain
+/// one, or when the id itself is unparseable or structured.
+Value recover_wire_id(std::string_view line);
+
 // --- Enums -----------------------------------------------------------------
 
 Value to_json(ArchitectureKind kind);

@@ -1,0 +1,68 @@
+#include "vpd/net/protocol.hpp"
+
+#include "vpd/io/schema.hpp"
+
+namespace vpd {
+namespace net {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+std::size_t shard_for_key(std::string_view canonical_key,
+                          std::size_t shard_count) {
+  VPD_REQUIRE(shard_count > 0, "shard_for_key needs at least one shard");
+  return static_cast<std::size_t>(fnv1a64(canonical_key) % shard_count);
+}
+
+RouteInfo classify_line(std::string_view line) {
+  RouteInfo info;
+  io::Value doc;
+  try {
+    doc = io::parse(line);
+  } catch (const Error& e) {
+    info.id = io::recover_wire_id(line);
+    info.error = e.what();
+    return info;
+  }
+  if (const io::Value* id = doc.find("id")) info.id = *id;
+  std::string cmd = "evaluate";
+  try {
+    if (const io::Value* requested = doc.find("cmd")) {
+      cmd = requested->as_string();
+    }
+    if (cmd == "evaluate") {
+      info.key_hash = fnv1a64(
+          io::canonical_request_key(io::evaluation_request_from_json(doc)));
+      info.verb = Verb::kEvaluate;
+    } else if (cmd == "transient") {
+      info.key_hash = fnv1a64(
+          io::canonical_transient_key(io::transient_request_from_json(doc)));
+      info.verb = Verb::kTransient;
+    } else if (cmd == "metrics") {
+      info.verb = Verb::kMetrics;
+    } else if (cmd == "trace") {
+      info.verb = Verb::kTrace;
+    } else if (cmd == "shutdown") {
+      info.verb = Verb::kShutdown;
+    } else if (cmd == "fleet_metrics") {
+      info.verb = Verb::kFleetMetrics;
+    } else {
+      info.verb = Verb::kUnknown;
+    }
+  } catch (const Error& e) {
+    // Invalid body (unknown enum, bad schema version, ...): forward to a
+    // shard for the authoritative error reply.
+    info.verb = Verb::kUnroutable;
+    info.error = e.what();
+  }
+  return info;
+}
+
+}  // namespace net
+}  // namespace vpd

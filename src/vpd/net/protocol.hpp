@@ -1,0 +1,62 @@
+// Wire-protocol vocabulary shared by the socket front-end and the shard
+// router: the control-verb taxonomy, best-effort id recovery for
+// malformed lines, and the stable key-affinity hash that pins a canonical
+// request key to one shard — the property the whole fleet design rests
+// on: identical requests always land on the same shard's coalescer and
+// result LRU, so fleet-wide dedup needs no shared state at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "vpd/io/json.hpp"
+
+namespace vpd {
+namespace net {
+
+/// 64-bit FNV-1a. Deterministic across processes and runs (no seed), so
+/// a restarted router keeps routing keys to the same shards.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Shard index for a canonical request key. Plain modulo: the fleet size
+/// is fixed for a router's lifetime, and a deterministic mapping beats a
+/// consistent-hash ring's complexity at this scale.
+std::size_t shard_for_key(std::string_view canonical_key,
+                          std::size_t shard_count);
+
+/// Everything the router needs to place one raw input line.
+enum class Verb {
+  kEvaluate,      // bare request or {"cmd":"evaluate"}
+  kTransient,     // droop campaign
+  kMetrics,       // per-process telemetry snapshot
+  kTrace,         // flush the trace buffer
+  kShutdown,      // graceful drain (vpdd and router)
+  kFleetMetrics,  // router-level: aggregated fleet snapshot
+  kUnknown,       // parseable envelope, unrecognized cmd
+  kUnroutable,    // malformed JSON or an invalid request body
+};
+
+struct RouteInfo {
+  Verb verb{Verb::kUnroutable};
+  /// Transport id: parsed from the envelope, or recovered from the raw
+  /// bytes (io::recover_wire_id) when the line is unroutable.
+  io::Value id;
+  /// FNV-1a of the canonical key; present only for routable
+  /// evaluate/transient lines (control verbs round-robin instead).
+  std::optional<std::uint64_t> key_hash;
+  /// Diagnostic for kUnroutable (the authoritative error text comes from
+  /// the shard that replays the line).
+  std::string error;
+};
+
+/// Classifies one raw NDJSON line. Never throws: any failure degrades to
+/// kUnroutable with the recovered id, because the router's contract is
+/// that every line — however broken — gets exactly one response, and the
+/// shard that replays the line produces the same error body vpdd would.
+RouteInfo classify_line(std::string_view line);
+
+}  // namespace net
+}  // namespace vpd

@@ -1,0 +1,364 @@
+#include "vpd/net/router.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <utility>
+
+namespace vpd {
+namespace net {
+
+ShardRouter::ShardRouter(RouterConfig config, obs::Registry& registry)
+    : config_(std::move(config)),
+      registry_(registry),
+      forwarded_(registry.counter("net.router.forwarded")),
+      failed_(registry.counter("net.router.failed")),
+      restarts_(registry.counter("net.router.restarts")),
+      shards_up_(registry.gauge("net.router.shards_up")) {
+  VPD_REQUIRE(config_.shards > 0, "router needs at least one shard");
+  VPD_REQUIRE(!config_.shard_command.empty(),
+              "router needs a shard command to exec");
+  // execvp wants a mutable char* array; the strings live in config_ and
+  // never move after this point.
+  for (std::string& arg : config_.shard_command) {
+    argv_.push_back(arg.data());
+  }
+  argv_.push_back(nullptr);
+
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    Shard& shard = *shards_.back();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.backoff_seconds = config_.backoff_initial_seconds;
+    spawn_locked(shard);
+  }
+  shards_up_.set(static_cast<double>(shards_.size()));
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->reader = std::thread([this, i] { reader_loop(i); });
+  }
+}
+
+ShardRouter::~ShardRouter() {
+  try {
+    drain();
+  } catch (...) {
+    // Best-effort teardown; reader threads still need joining below.
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->reader.joinable()) shard->reader.join();
+  }
+}
+
+void ShardRouter::spawn_locked(Shard& shard) {
+  int to_child[2];    // router writes requests -> shard stdin
+  int from_child[2];  // shard stdout -> router reads replies
+  // O_CLOEXEC keeps one shard's pipe ends out of its siblings (dup2 onto
+  // 0/1 in the child clears the flag for the two fds it actually needs).
+  if (::pipe2(to_child, O_CLOEXEC) != 0) {
+    throw IoError("pipe2 failed spawning shard");
+  }
+  if (::pipe2(from_child, O_CLOEXEC) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    throw IoError("pipe2 failed spawning shard");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    throw IoError("fork failed spawning shard");
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::execvp(argv_[0], argv_.data());
+    ::_exit(127);  // exec failed; the reader sees instant EOF
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  shard.pid = pid;
+  shard.conn = Connection(from_child[0], to_child[1]);
+  shard.up = true;
+  shard.closing = false;
+}
+
+std::size_t ShardRouter::route(const RouteInfo& info) {
+  if ((info.verb == Verb::kEvaluate || info.verb == Verb::kTransient) &&
+      info.key_hash.has_value()) {
+    return static_cast<std::size_t>(*info.key_hash % shards_.size());
+  }
+  return round_robin_.fetch_add(1) % shards_.size();
+}
+
+std::string ShardRouter::synth_error(const io::Value& id,
+                                     const std::string& message) const {
+  return response_line(id, error_body(message), /*pretty=*/false);
+}
+
+void ShardRouter::forward(std::size_t shard_index, const std::string& line,
+                          io::Value id, Reply reply) {
+  Shard& shard = *shards_.at(shard_index);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!draining_.load() && shard.up && !shard.closing) {
+      try {
+        shard.conn.write_line(line);
+        shard.inflight.push_back({std::move(id), std::move(reply)});
+        forwarded_.add(1);
+        return;
+      } catch (const IoError&) {
+        // Shard died under the write; its reader notices the EOF and
+        // respawns. This line was never accepted, so answer here.
+      }
+    }
+  }
+  failed_.add(1);
+  const std::string reason =
+      draining_.load()
+          ? "router is draining; request rejected"
+          : "shard " + std::to_string(shard_index) +
+                " is down (restarting); request rejected";
+  reply(synth_error(id, reason));
+}
+
+void ShardRouter::fail_locked(Shard& shard,
+                              std::deque<PendingReply>* orphans) {
+  orphans->clear();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  orphans->swap(shard.inflight);
+  shard.up = false;
+  shard.conn.close();
+}
+
+void ShardRouter::reader_loop(std::size_t index) {
+  Shard& shard = *shards_[index];
+  std::string line;
+  for (;;) {
+    bool got = false;
+    try {
+      got = shard.conn.read_line(&line);
+    } catch (const IoError&) {
+      got = false;
+    }
+    if (got) {
+      PendingReply pending;
+      bool matched = false;
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (!shard.inflight.empty()) {
+          pending = std::move(shard.inflight.front());
+          shard.inflight.pop_front();
+          matched = true;
+        }
+        // A full round trip proves the shard healthy again.
+        shard.backoff_seconds = config_.backoff_initial_seconds;
+      }
+      // Unsolicited output (a shard writing junk to stdout) is dropped;
+      // FIFO correlation only pairs lines we actually forwarded.
+      if (matched) pending.reply(std::move(line));
+      continue;
+    }
+
+    // EOF: the shard exited (drain) or crashed. Reap it and answer every
+    // outstanding request with an error — replies are never dropped.
+    std::deque<PendingReply> orphans;
+    fail_locked(shard, &orphans);
+    if (shard.pid > 0) {
+      int status = 0;
+      ::waitpid(shard.pid, &status, 0);
+      shard.pid = -1;
+    }
+    for (PendingReply& orphan : orphans) {
+      failed_.add(1);
+      orphan.reply(synth_error(
+          orphan.id, "shard " + std::to_string(index) +
+                         " exited before replying; request was lost"));
+    }
+    shards_up_.set(shards_up_.value() - 1.0);
+    if (draining_.load()) return;
+
+    // Crash: respawn with doubling backoff, interruptible by drain().
+    {
+      std::unique_lock<std::mutex> wait_lock(backoff_mutex_);
+      backoff_cv_.wait_for(
+          wait_lock,
+          std::chrono::duration<double>(shard.backoff_seconds),
+          [this] { return draining_.load(); });
+    }
+    if (draining_.load()) return;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.backoff_seconds = std::min(shard.backoff_seconds * 2.0,
+                                       config_.backoff_max_seconds);
+      try {
+        spawn_locked(shard);
+      } catch (const IoError&) {
+        continue;  // pipes exhausted; retry after the next backoff
+      }
+    }
+    restarts_.add(1);
+    shards_up_.set(shards_up_.value() + 1.0);
+  }
+}
+
+namespace {
+
+/// Parses one shard metrics reply and merges body["metrics"] into
+/// `merged`. Returns false (and leaves `merged` untouched) when the reply
+/// is an error line or malformed.
+bool merge_metrics_reply(const std::string& reply_line,
+                         obs::Snapshot* merged) {
+  try {
+    const io::Value doc = io::parse(reply_line);
+    const io::Value* metrics = doc.find("metrics");
+    if (metrics == nullptr) return false;
+    merged->merge(obs::snapshot_from_json(*metrics));
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+obs::Snapshot ShardRouter::fleet_snapshot() {
+  std::vector<std::future<std::string>> replies;
+  replies.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    auto promise = std::make_shared<std::promise<std::string>>();
+    replies.push_back(promise->get_future());
+    forward(i, "{\"cmd\":\"metrics\",\"id\":\"__fleet__\"}",
+            io::Value("__fleet__"),
+            [promise](std::string reply) {
+              promise->set_value(std::move(reply));
+            });
+  }
+  obs::Snapshot merged;
+  std::uint64_t reporting = 0;
+  for (std::future<std::string>& reply : replies) {
+    if (merge_metrics_reply(reply.get(), &merged)) ++reporting;
+  }
+  merged.merge(registry_.snapshot());
+  merged.set_counter("net.router.shards_reporting", reporting);
+  return merged;
+}
+
+obs::Snapshot ShardRouter::drain() {
+  std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  if (drained_) return drain_result_;
+  draining_.store(true);
+  {
+    std::lock_guard<std::mutex> wake(backoff_mutex_);
+  }
+  backoff_cv_.notify_all();  // crashed shards stop waiting to respawn
+
+  // The shutdown verb queues behind every in-flight line on the shard's
+  // stdin, so each shard finishes accepted work, replies with its final
+  // metrics, and exits 0 — zero loss by construction.
+  std::vector<std::future<std::string>> finals;
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!shard.up || shard.closing) continue;
+    auto promise = std::make_shared<std::promise<std::string>>();
+    try {
+      shard.conn.write_line("{\"cmd\":\"shutdown\",\"id\":\"__drain__\"}");
+    } catch (const IoError&) {
+      continue;  // died this instant; its reader synthesizes the errors
+    }
+    shard.closing = true;
+    shard.inflight.push_back(
+        {io::Value("__drain__"), [promise](std::string reply) {
+           promise->set_value(std::move(reply));
+         }});
+    finals.push_back(promise->get_future());
+  }
+
+  obs::Snapshot merged;
+  std::uint64_t reporting = 0;
+  for (std::future<std::string>& final_line : finals) {
+    if (merge_metrics_reply(final_line.get(), &merged)) ++reporting;
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->reader.joinable()) shard->reader.join();
+  }
+  merged.merge(registry_.snapshot());
+  merged.set_counter("net.router.shards_reporting", reporting);
+  drained_ = true;
+  drain_result_ = merged;
+  return drain_result_;
+}
+
+RouterSession::RouterSession(ShardRouter& router, Sink sink, bool pretty)
+    : router_(router), pretty_(pretty), queue_(std::move(sink)) {}
+
+bool RouterSession::feed(std::string_view line) {
+  if (shutdown_requested_) return false;
+  if (line.find_first_not_of(" \t\r") == std::string_view::npos) {
+    return true;
+  }
+  const RouteInfo info = classify_line(line);
+  const io::Value id = info.id;
+  switch (info.verb) {
+    case Verb::kShutdown:
+      // Resolved at its output turn, after every earlier line of this
+      // stream: the drained snapshot is the stream's complete fleet
+      // accounting.
+      shutdown_requested_ = true;
+      queue_.push([this, id] {
+        return response_line(id, fleet_body(router_.drain(),
+                                            /*shutdown=*/true),
+                             pretty_);
+      });
+      break;
+    case Verb::kFleetMetrics:
+      queue_.push([this, id] {
+        return response_line(id, fleet_body(router_.fleet_snapshot(),
+                                            /*shutdown=*/false),
+                             pretty_);
+      });
+      break;
+    default: {
+      // Everything else — including lines that did not parse — goes to a
+      // shard verbatim: the shard produces the authoritative reply (or
+      // error), byte-identical to a lone vpdd reading the same stream.
+      auto promise = std::make_shared<std::promise<std::string>>();
+      auto reply = std::make_shared<std::shared_future<std::string>>(
+          promise->get_future().share());
+      router_.forward(router_.route(info), std::string(line), info.id,
+                      [promise](std::string shard_reply) {
+                        promise->set_value(std::move(shard_reply));
+                      });
+      queue_.push([reply] { return reply->get(); });
+      break;
+    }
+  }
+  return !shutdown_requested_;
+}
+
+void RouterSession::drain() { queue_.wait_idle(); }
+
+io::Value RouterSession::fleet_body(const obs::Snapshot& snapshot,
+                                    bool shutdown) const {
+  io::Value body = io::Value::object();
+  body.set("status", "ok");
+  body.set("schema_version", io::kSchemaVersion);
+  if (shutdown) body.set("shutdown", true);
+  io::Value fleet = io::Value::object();
+  fleet.set("shards", double(router_.shard_count()));
+  fleet.set("restarts", double(router_.restarts()));
+  body.set("fleet", fleet);
+  body.set("metrics", snapshot.to_json());
+  return body;
+}
+
+}  // namespace net
+}  // namespace vpd

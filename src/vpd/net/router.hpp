@@ -1,0 +1,165 @@
+// Sharded-fleet front-end: ShardRouter spawns N vpdd worker processes
+// (NDJSON over stdin/stdout pipes) and routes each request line to a
+// shard by stable hash of its canonical key, so identical requests always
+// land on the same shard and its caches. Control verbs without a key
+// round-robin. Lines are forwarded verbatim and shard replies are passed
+// through untouched, which keeps fleet responses bit-identical to a
+// single vpdd process reading the same lines.
+//
+// Supervision: a crashed shard fails its outstanding requests with error
+// replies (never silent loss), then respawns with doubling backoff capped
+// at RouterConfig::backoff_max_seconds. Graceful drain sends every shard
+// the {"cmd":"shutdown"} verb, lets in-flight work finish, and merges the
+// final per-shard metrics into one fleet Snapshot (obs::Snapshot::merge).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "vpd/net/protocol.hpp"
+#include "vpd/net/session.hpp"
+#include "vpd/net/socket.hpp"
+#include "vpd/obs/registry.hpp"
+
+namespace vpd {
+namespace net {
+
+struct RouterConfig {
+  /// Worker process count (>= 1).
+  std::size_t shards{2};
+  /// argv of one shard worker, e.g. {"./vpdd", "--threads", "2"}. The
+  /// command must speak the NDJSON protocol on stdin/stdout and honor
+  /// {"cmd":"shutdown"}.
+  std::vector<std::string> shard_command;
+  /// Restart backoff: starts at `backoff_initial_seconds` after a crash,
+  /// doubles per consecutive crash, capped at `backoff_max_seconds`;
+  /// resets on the first successful reply from the respawned shard.
+  double backoff_initial_seconds{0.05};
+  double backoff_max_seconds{2.0};
+};
+
+/// Receives one complete response line. Invoked exactly once per
+/// forwarded line — with the shard's verbatim reply, or with a
+/// synthesized {"status":"error"} line if the shard died or the router
+/// is draining. May be called from a shard reader thread.
+using Reply = std::function<void(std::string line)>;
+
+class ShardRouter {
+ public:
+  /// Spawns every shard immediately; throws IoError if the pipes cannot
+  /// be created. `registry` receives the net.router.* instruments and is
+  /// folded into fleet snapshots.
+  ShardRouter(RouterConfig config, obs::Registry& registry);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Key-affinity shard choice: evaluate/transient map by canonical-key
+  /// hash, everything else round-robins.
+  std::size_t route(const RouteInfo& info);
+
+  /// Forwards `line` verbatim to `shard`'s stdin and registers `reply`
+  /// for its FIFO-correlated response. `id` is used only for synthesized
+  /// error replies. Never blocks on the shard; never drops a reply.
+  void forward(std::size_t shard, const std::string& line, io::Value id,
+               Reply reply);
+
+  /// Broadcasts {"cmd":"metrics"} to every live shard and merges the
+  /// replies (plus this router's own registry) into one fleet Snapshot.
+  /// Shards that are down or crash mid-request are skipped; the returned
+  /// snapshot's net.router.shards_reporting counter says how many
+  /// answered.
+  obs::Snapshot fleet_snapshot();
+
+  /// Graceful drain (idempotent, thread-safe): stop accepting forwards,
+  /// send every shard the shutdown verb, wait for all in-flight replies
+  /// and the shards' final metrics lines, reap the processes, and return
+  /// the merged fleet snapshot. Concurrent callers block and receive the
+  /// same snapshot.
+  obs::Snapshot drain();
+
+  bool draining() const { return draining_.load(); }
+  std::uint64_t restarts() const { return restarts_.value(); }
+
+ private:
+  /// One forwarded line awaiting its shard reply, in write order (vpdd
+  /// replies in request order, so FIFO position is the correlation).
+  struct PendingReply {
+    io::Value id;
+    Reply reply;
+  };
+
+  struct Shard {
+    std::mutex mutex;  // guards conn writes, inflight, up, closing
+    Connection conn;   // read = shard stdout, write = shard stdin
+    std::deque<PendingReply> inflight;
+    pid_t pid{-1};
+    bool up{false};
+    bool closing{false};  // shutdown verb written; no further forwards
+    double backoff_seconds{0.0};
+    std::thread reader;
+  };
+
+  void spawn_locked(Shard& shard);
+  void reader_loop(std::size_t index);
+  void fail_locked(Shard& shard, std::deque<PendingReply>* orphans);
+  std::string synth_error(const io::Value& id,
+                          const std::string& message) const;
+
+  RouterConfig config_;
+  std::vector<char*> argv_;  // points into config_.shard_command + nullptr
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> round_robin_{0};
+
+  std::atomic<bool> draining_{false};
+  std::mutex backoff_mutex_;
+  std::condition_variable backoff_cv_;  // wakes crash-backoff sleepers
+
+  std::mutex drain_mutex_;  // serializes drain(); holders own drained_
+  bool drained_{false};
+  obs::Snapshot drain_result_;
+
+  obs::Registry& registry_;
+  obs::Counter& forwarded_;
+  obs::Counter& failed_;
+  obs::Counter& restarts_;
+  obs::Gauge& shards_up_;
+};
+
+/// The router-side Session: classifies each client line, forwards it to
+/// its shard (passing the shard's reply through verbatim), and resolves
+/// the two fleet-level verbs locally — {"cmd":"fleet_metrics"} (merged
+/// fleet snapshot) and {"cmd":"shutdown"} (drain the whole fleet, reply
+/// with the final merged metrics). Output order is request order, and
+/// like LineSession each response is emitted (by the ResponseQueue
+/// writer) the moment its turn completes.
+class RouterSession : public Session {
+ public:
+  RouterSession(ShardRouter& router, Sink sink, bool pretty = false);
+
+  bool feed(std::string_view line) override;
+  void drain() override;
+
+ private:
+  io::Value fleet_body(const obs::Snapshot& snapshot, bool shutdown) const;
+
+  ShardRouter& router_;
+  bool pretty_;
+  bool shutdown_requested_{false};
+  ResponseQueue queue_;  // last member: writer stops before the rest dies
+};
+
+}  // namespace net
+}  // namespace vpd

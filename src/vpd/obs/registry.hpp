@@ -127,7 +127,16 @@ class Snapshot {
   void set_gauge(std::string name, double value, double high_water);
   void set_histogram(std::string name, HistogramData data);
   /// Copies every entry of `other` into this snapshot (same-name entries
-  /// are overwritten in place).
+  /// are overwritten in place). Use for layering subsystem snapshots whose
+  /// names describe the same instruments (e.g. a report refreshing its own
+  /// counters); use merge() to aggregate across independent processes.
+  void overlay(const Snapshot& other);
+  /// Aggregates `other` into this snapshot as an independent peer (the
+  /// fleet rule): same-name counters sum, same-name gauges take the max of
+  /// value and of high_water (a fleet's level is its busiest member's),
+  /// and same-name histograms merge exactly bucket-by-bucket — counts and
+  /// sums add, min/max combine — which requires identical bucket bounds;
+  /// mismatched bounds throw InvalidArgument rather than approximating.
   void merge(const Snapshot& other);
 
   /// Lookup helpers (nullptr when absent), mainly for tests.
@@ -147,6 +156,15 @@ class Snapshot {
   std::vector<std::pair<std::string, std::pair<double, double>>> gauges_;
   std::vector<std::pair<std::string, HistogramData>> histograms_;
 };
+
+/// Rebuilds a Snapshot from its to_json() document (the reverse wire
+/// direction: a fleet router parsing per-shard {"cmd":"metrics"} replies).
+/// The document must carry "schema_version" equal to
+/// kTelemetrySchemaVersion — a missing or mismatched version throws
+/// InvalidArgument (aggregating across telemetry schemas would silently
+/// mix shapes). Unknown members are ignored (the v2 rule); derived
+/// histogram fields (mean/p50/p90/p99) are recomputed, not trusted.
+Snapshot snapshot_from_json(const io::Value& v);
 
 /// Named-instrument registry. counter()/gauge()/histogram() find or create
 /// (first registration wins the histogram bounds) and return a reference

@@ -382,7 +382,6 @@ void EvaluationService::record_latency(
                                     submitted)
           .count();
   latency_stats_.add(seconds);
-  latencies_.push_back(seconds);
   latency_hist_.record(seconds);
 }
 
@@ -396,7 +395,10 @@ ServiceMetrics EvaluationService::metrics() const {
     m.latency_min_seconds = latency_stats_.min();
     m.latency_mean_seconds = latency_stats_.mean();
     m.latency_max_seconds = latency_stats_.max();
-    m.latency_p99_seconds = percentile(latencies_, 0.99);
+    // Bucket-interpolated from the latency histogram (exact at the
+    // recorded min/max): memory stays O(buckets) for unbounded request
+    // streams, where a per-request sample vector would grow forever.
+    m.latency_p99_seconds = latency_hist_.data().quantile(0.99);
   }
   m.mesh_cache = mesh_cache_.stats();
   m.solver = solver_counters() - solver_baseline_;

@@ -1,0 +1,137 @@
+#!/bin/sh
+# End-to-end fleet smoke test for the scale-out serving layer.
+#
+# Part 1 (bit-identity): the same pipelined NDJSON stream — evaluations
+# with duplicates, an excluded design point, a malformed line carrying an
+# id — is answered identically by a single vpdd on stdin and by a
+# vpd-router fronting a 3-shard vpdd fleet, modulo the from_cache/timings
+# tail (cache placement and wall times legitimately differ).
+#
+# Part 2 (socket fleet): vpd-router listens on a Unix socket in front of
+# 2 vpdd shards; vpd-client pipelines requests, a fleet_metrics verb and
+# a graceful shutdown through the socket. Every line must be answered in
+# order (zero loss through the drain), the fleet snapshot must carry the
+# summed per-shard serve counters, and the router must exit 0.
+#
+# Pure POSIX shell + grep so it runs in every CI matrix, sanitizers
+# included.
+set -eu
+
+VPD_ROUTER="${1:?usage: fleet_smoke.sh /path/to/vpd-router /path/to/vpdd /path/to/vpd-client}"
+VPDD="${2:?usage: fleet_smoke.sh /path/to/vpd-router /path/to/vpdd /path/to/vpd-client}"
+VPD_CLIENT="${3:?usage: fleet_smoke.sh /path/to/vpd-router /path/to/vpdd /path/to/vpd-client}"
+
+workdir="$(mktemp -d)"
+router_pid=""
+cleanup() {
+  [ -n "$router_pid" ] && kill "$router_pid" 2>/dev/null
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "fleet_smoke: $1" >&2
+  for f in "$workdir"/*.ndjson; do
+    echo "--- $f ---" >&2
+    cat "$f" >&2 || true
+  done
+  exit 1
+}
+
+# --- Part 1: router responses are bit-identical to a single vpdd -----------
+
+stream="$workdir/stream.ndjson"
+cat > "$stream" <<'EOF'
+{"id":1,"architecture":"A1","topology":"DSCH"}
+{"id":2,"architecture":"A2","topology":"DPMIH"}
+{"id":3,"architecture":"A1","topology":"DSCH"}
+{"id":4,"architecture":"A0"}
+{"id":5,"architecture":"A3@12V","topology":"DSCH"}
+{"id":6,"architecture":"A9","topology":"DSCH"}
+{"id":7,"architecture":
+{"id":8,"architecture":"A1","topology":"DSCH","options":{"mesh_nodes":21}}
+EOF
+
+"$VPDD" --threads 2 < "$stream" > "$workdir/single.ndjson" \
+  || fail "single vpdd exited non-zero"
+"$VPD_ROUTER" --shards 3 --vpdd "$VPDD" --threads 2 \
+  < "$stream" > "$workdir/fleet.ndjson" \
+  || fail "vpd-router exited non-zero"
+
+# from_cache and the timing tail differ run to run (they are metadata,
+# not results); everything before them must match byte for byte.
+strip_meta() { sed 's/,"from_cache".*//' "$1"; }
+strip_meta "$workdir/single.ndjson" > "$workdir/single.stripped"
+strip_meta "$workdir/fleet.ndjson" > "$workdir/fleet.stripped"
+cmp -s "$workdir/single.stripped" "$workdir/fleet.stripped" \
+  || { diff "$workdir/single.stripped" "$workdir/fleet.stripped" >&2 || true
+       fail "fleet responses differ from single-process vpdd"; }
+
+# The malformed id=7 line still got an id-tagged error through the fleet.
+grep '^{"id":7,' "$workdir/fleet.ndjson" | grep -q '"status":"error"' \
+  || fail "malformed line must get an id-tagged error through the router"
+
+# --- Part 2: socket fleet with drain ---------------------------------------
+
+sock="$workdir/fleet.sock"
+"$VPD_ROUTER" --shards 2 --vpdd "$VPDD" --threads 2 \
+  --listen "unix:$sock" 2> "$workdir/router.log" &
+router_pid=$!
+
+tries=0
+while [ ! -S "$sock" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || fail "router socket never appeared"
+  kill -0 "$router_pid" 2>/dev/null || fail "router died during startup"
+  sleep 0.1
+done
+
+cat > "$workdir/socket_requests.ndjson" <<'EOF'
+{"id":10,"architecture":"A1","topology":"DSCH"}
+{"id":11,"architecture":"A2","topology":"DSCH"}
+{"id":12,"architecture":"A1","topology":"DSCH"}
+{"id":13,"cmd":"fleet_metrics"}
+{"id":14,"cmd":"shutdown"}
+EOF
+
+"$VPD_CLIENT" "unix:$sock" \
+  < "$workdir/socket_requests.ndjson" > "$workdir/socket.ndjson" \
+  || fail "vpd-client exited non-zero"
+
+# Zero loss through the graceful drain: every line answered, in order.
+[ "$(wc -l < "$workdir/socket.ndjson")" -eq 5 ] \
+  || fail "expected 5 socket responses (zero-loss drain)"
+ids="$(grep -o '^{"id":[^,]*' "$workdir/socket.ndjson" \
+       | sed 's/^{"id"://' | tr '\n' ' ' | sed 's/ $//')"
+[ "$ids" = "10 11 12 13 14" ] || fail "socket response ids/order wrong: $ids"
+grep '^{"id":10,' "$workdir/socket.ndjson" | grep -q '"status":"ok"' \
+  || fail "evaluation through the socket fleet must succeed"
+
+# The fleet snapshot is the merge of both shards plus the router's own
+# net.* instruments: 3 evaluations were forwarded before the verb, and
+# both shards must have reported in.
+fleet_line="$(grep '^{"id":13,' "$workdir/socket.ndjson")"
+echo "$fleet_line" | grep -q '"fleet":{"shards":2' \
+  || fail "fleet_metrics must report the shard count"
+echo "$fleet_line" | grep -q '"serve.requests":3' \
+  || fail "fleet_metrics must sum per-shard serve.requests to 3"
+echo "$fleet_line" | grep -q '"net.router.shards_reporting":2' \
+  || fail "both shards must contribute to the fleet snapshot"
+echo "$fleet_line" | grep -q '"net.router.forwarded":' \
+  || fail "fleet_metrics must include the router's own instruments"
+
+# The shutdown ack carries the drained fleet's final merged metrics.
+grep '^{"id":14,' "$workdir/socket.ndjson" | grep -q '"shutdown":true' \
+  || fail "the shutdown response must acknowledge the drain"
+grep '^{"id":14,' "$workdir/socket.ndjson" | grep -q '"metrics":{' \
+  || fail "the shutdown response must carry the final fleet metrics"
+
+# The duplicate id=12 landed on the same shard as id=10 (key affinity),
+# so the fleet evaluated only 2 distinct points before the metrics verb.
+echo "$fleet_line" | grep -q '"serve.evaluated":2' \
+  || fail "key affinity must dedup the duplicate onto one shard's caches"
+
+wait "$router_pid" || fail "router must exit 0 after a client-driven drain"
+router_pid=""
+
+echo "fleet_smoke: OK (bit-identity vs single vpdd, 2-shard socket fleet, zero-loss drain)"

@@ -1,12 +1,14 @@
 #!/bin/sh
-# End-to-end vpdd smoke test: pipe 15 NDJSON lines (10 pipelined
+# End-to-end vpdd smoke test: pipe 17 NDJSON lines (10 pipelined
 # evaluation requests, one of them malformed, two droop-campaign
-# requests — one valid, one rejected — plus metrics / trace /
-# unknown control verbs) through the daemon with tracing enabled, and
-# check that every line gets an in-order, id-tagged response with the
-# expected status and that the trace file is a Chrome trace-event
-# document. Pure POSIX shell + grep so it runs in every CI matrix,
-# sanitizers included.
+# requests — one valid, one rejected — plus metrics / trace / unknown
+# control verbs, a malformed line whose "id" must still be echoed, and
+# a final graceful-shutdown verb) through the daemon with tracing
+# enabled, and check that every line gets an in-order, id-tagged
+# response with the expected status, that the trace file is a Chrome
+# trace-event document, and that the shutdown verb drains and exits 0.
+# Pure POSIX shell + grep so it runs in every CI matrix, sanitizers
+# included.
 set -eu
 
 VPDD="${1:?usage: vpdd_smoke.sh /path/to/vpdd}"
@@ -34,10 +36,13 @@ this line is not JSON {{{
 {"id":11,"cmd":"metrics"}
 {"id":12,"cmd":"trace"}
 {"id":13,"cmd":"frobnicate"}
+{"id":21,"architecture":
+{"id":99,"cmd":"shutdown"}
 EOF
 
 "$VPDD" --threads 2 --metrics --trace "$trace" \
-  < "$requests" > "$responses" 2> "$workdir/metrics.json"
+  < "$requests" > "$responses" 2> "$workdir/metrics.json" \
+  || fail "vpdd must exit 0 after a graceful shutdown verb"
 
 fail() {
   echo "vpdd_smoke: $1" >&2
@@ -47,8 +52,8 @@ fail() {
 }
 
 # One response line per request, in request order.
-[ "$(wc -l < "$responses")" -eq 15 ] || fail "expected 15 response lines"
-expected_ids='1 2 3 4 5 6 null 8 9 10 14 15 11 12 13'
+[ "$(wc -l < "$responses")" -eq 17 ] || fail "expected 17 response lines"
+expected_ids='1 2 3 4 5 6 null 8 9 10 14 15 11 12 13 21 99'
 actual_ids="$(grep -o '^{"id":[^,]*' "$responses" | sed 's/^{"id"://' | tr '\n' ' ' | sed 's/ $//')"
 [ "$actual_ids" = "$expected_ids" ] || fail "response ids/order wrong: $actual_ids"
 
@@ -74,6 +79,20 @@ check_status 15 error
 check_status 11 ok
 check_status 12 ok
 check_status 13 error
+check_status 21 error
+check_status 99 ok
+
+# A malformed line still echoes its request id when the raw bytes carry
+# one, so pipelining clients never receive an orphaned error.
+grep '^{"id":21,' "$responses" | grep -q '"status":"error"' \
+  || fail "the truncated id=21 line must get an id-tagged error"
+
+# The shutdown verb drains in-flight work and replies with the final
+# metrics snapshot before the daemon exits 0.
+grep '^{"id":99,' "$responses" | grep -q '"shutdown":true' \
+  || fail "the shutdown response must acknowledge the drain"
+grep '^{"id":99,' "$responses" | grep -q '"metrics":{' \
+  || fail "the shutdown response must carry the final metrics"
 
 # Error responses carry a message, never a result body.
 grep '"status":"error"' "$responses" | grep -q '"error":"' \
@@ -126,4 +145,4 @@ grep -q '"evaluated": 7' "$workdir/metrics.json" \
 grep -q '"counters": {' "$workdir/metrics.json" \
   || fail "metrics dump should carry the unified telemetry shape"
 
-echo "vpdd_smoke: OK (15 pipelined lines: 10 requests, 1 malformed, 2 transient, 3 control verbs)"
+echo "vpdd_smoke: OK (17 pipelined lines: 10 requests, 2 malformed, 2 transient, 3 control verbs, 1 shutdown)"

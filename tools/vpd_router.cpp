@@ -1,0 +1,156 @@
+// vpd-router — sharded-fleet front-end for vpdd.
+//
+// Spawns N vpdd worker processes and routes each NDJSON request line to
+// a shard by stable hash of its canonical request key, so identical
+// requests always reach the same shard (and its caches) and fleet
+// responses stay bit-identical to a single vpdd reading the same lines.
+// Control verbs without a key round-robin. Crashed shards are restarted
+// with bounded backoff; their outstanding requests get error replies,
+// never silence.
+//
+// Two fleet-level verbs resolve in the router itself:
+//
+//   {"cmd":"fleet_metrics"}   per-shard {"cmd":"metrics"} snapshots,
+//                             merged (counters summed, gauges max,
+//                             histograms bucket-merged) plus the
+//                             router's own net.router.* instruments
+//   {"cmd":"shutdown"}        graceful fleet drain: every shard finishes
+//                             its in-flight work, the final per-shard
+//                             metrics are merged into the response, all
+//                             workers exit 0
+//
+// Like vpdd, the router speaks NDJSON on stdin/stdout by default, or
+// serves many concurrent clients with --listen. See docs/sharding.md.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vpd/net/router.hpp"
+#include "vpd/net/server.hpp"
+#include "vpd/obs/registry.hpp"
+
+namespace {
+
+void print_usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--shards N] [--vpdd PATH] [--listen ADDR] "
+      "[--max-conns N] [--metrics] [--threads N] [--queue N] [--cache N]\n"
+      "  --shards N     worker processes (default 2)\n"
+      "  --vpdd PATH    shard binary (default: vpdd next to this binary)\n"
+      "  --listen ADDR  serve NDJSON over a socket instead of stdin:\n"
+      "                 unix:/path/to.sock or tcp:127.0.0.1:PORT\n"
+      "  --max-conns N  socket mode: reject clients beyond N concurrent "
+      "connections (default 64)\n"
+      "  --metrics      dump the merged fleet metrics to stderr on "
+      "shutdown\n"
+      "  --threads/--queue/--cache N   passed through to every shard\n",
+      argv0);
+}
+
+/// "dir/vpd-router" -> "dir/vpdd"; a bare name defers to PATH lookup.
+std::string default_vpdd_path(const char* argv0) {
+  std::string path(argv0);
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "vpdd";
+  return path.substr(0, slash + 1) + "vpdd";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vpd;
+
+  net::RouterConfig config;
+  net::ServerOptions server_options;
+  std::string listen_address;
+  std::string vpdd_path = default_vpdd_path(argv[0]);
+  std::vector<std::string> shard_flags;
+  bool metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto value_arg = [&](const char* flag, std::string* out) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (value_arg("--shards", &value)) {
+      config.shards = static_cast<std::size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    } else if (value_arg("--vpdd", &vpdd_path)) {
+    } else if (value_arg("--listen", &listen_address)) {
+    } else if (value_arg("--max-conns", &value)) {
+      server_options.max_connections = static_cast<std::size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (value_arg("--threads", &value) ||
+               value_arg("--queue", &value) ||
+               value_arg("--cache", &value)) {
+      shard_flags.push_back(argv[i - 1]);
+      shard_flags.push_back(value);
+    } else {
+      print_usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Dying shards and dying clients must not kill the router mid-write.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  config.shard_command.push_back(vpdd_path);
+  for (std::string& flag : shard_flags) {
+    config.shard_command.push_back(std::move(flag));
+  }
+
+  obs::Registry registry;
+  try {
+    net::ShardRouter router(config, registry);
+
+    if (!listen_address.empty()) {
+      const net::Endpoint endpoint = net::Endpoint::parse(listen_address);
+      net::NdjsonServer server(
+          endpoint,
+          [&](net::Sink sink) {
+            return std::make_unique<net::RouterSession>(router,
+                                                        std::move(sink));
+          },
+          registry, server_options);
+      std::fprintf(stderr, "vpd-router: %zu shards (%s) on %s\n",
+                   router.shard_count(), vpdd_path.c_str(),
+                   server.endpoint().to_string().c_str());
+      server.serve();
+    } else {
+      net::RouterSession session(router, [](const std::string& response) {
+        std::fputs(response.c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+      });
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        if (!session.feed(line)) break;  // {"cmd":"shutdown"} accepted
+      }
+      session.drain();
+    }
+
+    const obs::Snapshot fleet = router.drain();
+    if (metrics) {
+      const std::string dump = io::dump_pretty(fleet.to_json());
+      std::fputs(dump.c_str(), stderr);
+      std::fputc('\n', stderr);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "vpd-router: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,102 +1,71 @@
 // vpdd — the VPD evaluation daemon.
 //
-// Reads newline-delimited JSON on stdin and writes one JSON response
-// line per request on stdout. Each line is either a bare evaluation
-// request (the v1 wire form) or a control envelope selected by "cmd":
+// Reads newline-delimited JSON on stdin (or, with --listen, serves many
+// concurrent socket clients) and writes one JSON response line per
+// request. Each line is either a bare evaluation request (the v1 wire
+// form) or a control envelope selected by "cmd":
 //
 //   {"cmd":"evaluate", ...request fields...}   evaluate (same as bare)
 //   {"cmd":"transient", ...request fields...}  droop campaign (see
 //                                              docs/transient.md)
 //   {"cmd":"metrics"}                          unified telemetry snapshot
 //   {"cmd":"trace", "path":"out.json"}         flush the trace buffer
+//   {"cmd":"shutdown"}                         graceful drain: finish
+//                                              in-flight work, reply with
+//                                              the final metrics, exit 0
 //
 // Requests carry an optional "id" member which is echoed verbatim in the
-// response, so clients may pipeline: send many requests without waiting,
-// match responses by id. Responses are written in request order
-// (evaluation itself is parallel and out of order; ordering costs
-// nothing because every response is buffered in its future until its
-// turn). Control verbs resolve when their turn in the output order
-// comes, so a "metrics" line reflects every request before it.
+// response — even when the line is malformed, as long as the id is
+// recoverable from the raw bytes — so clients may pipeline: send many
+// requests without waiting, match responses by id. Responses are written
+// in request order (evaluation itself is parallel and out of order;
+// ordering costs nothing because every response is buffered in its
+// future until its turn). Control verbs resolve when their turn in the
+// output order comes, so a "metrics" line reflects every request before
+// it.
 //
 // A malformed or invalid request produces a {"status":"error"} response
 // line — the daemon never crashes on bad input and keeps serving. See
-// docs/serve.md for the wire protocol and docs/observability.md for the
-// telemetry and trace formats.
-#include <chrono>
+// docs/serve.md for the wire protocol, docs/sharding.md for the socket
+// and fleet topology, and docs/observability.md for telemetry formats.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
-#include <future>
 #include <iostream>
-#include <optional>
+#include <memory>
 #include <string>
-#include <utility>
 
-#include "vpd/io/json.hpp"
-#include "vpd/io/schema.hpp"
+#include "vpd/net/server.hpp"
+#include "vpd/net/session.hpp"
 #include "vpd/obs/trace.hpp"
 #include "vpd/serve/service.hpp"
 
 namespace {
 
-using vpd::io::Value;
-
 void print_usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--threads N] [--queue N] [--cache N] [--pretty] "
-      "[--metrics] [--trace FILE] [--slow-ms MS]\n"
-      "  --threads N   worker threads (default: hardware concurrency)\n"
-      "  --queue N     max in-flight evaluations before rejecting "
+      "[--metrics] [--trace FILE] [--slow-ms MS] [--listen ADDR] "
+      "[--max-conns N]\n"
+      "  --threads N    worker threads (default: hardware concurrency)\n"
+      "  --queue N      max in-flight evaluations before rejecting "
       "(default 256)\n"
-      "  --cache N     completed-result LRU capacity (default 1024)\n"
-      "  --pretty      indent response JSON (default: one compact line)\n"
-      "  --metrics     dump service metrics JSON to stderr on shutdown\n"
-      "  --trace FILE  enable tracing; write Chrome trace-event JSON\n"
-      "                (or NDJSON if FILE ends in .ndjson) on shutdown\n"
-      "  --slow-ms MS  log requests slower than MS milliseconds to "
-      "stderr\n",
+      "  --cache N      completed-result LRU capacity (default 1024)\n"
+      "  --pretty       indent response JSON (default: one compact line)\n"
+      "  --metrics      dump service metrics JSON to stderr on shutdown\n"
+      "  --trace FILE   enable tracing; write Chrome trace-event JSON\n"
+      "                 (or NDJSON if FILE ends in .ndjson) on shutdown\n"
+      "  --slow-ms MS   log requests slower than MS milliseconds to "
+      "stderr\n"
+      "  --listen ADDR  serve NDJSON over a socket instead of stdin:\n"
+      "                 unix:/path/to.sock or tcp:127.0.0.1:PORT\n"
+      "                 (tcp:...:0 picks a port; printed on stderr)\n"
+      "  --max-conns N  socket mode: reject clients beyond N concurrent "
+      "connections (default 64)\n",
       argv0);
 }
-
-/// Response line: the client's id (null when absent or unparseable)
-/// followed by the response body, "status" first.
-void print_response(const Value& id, const Value& service_body, bool pretty) {
-  Value body = Value::object();
-  body.set("id", id);
-  for (const auto& [key, value] : service_body.as_object()) {
-    body.set(key, value);
-  }
-  const std::string line =
-      pretty ? vpd::io::dump_pretty(body) : vpd::io::dump(body);
-  std::fputs(line.c_str(), stdout);
-  std::fputc('\n', stdout);
-  std::fflush(stdout);
-}
-
-Value error_body(const std::string& message) {
-  Value body = Value::object();
-  body.set("status", "error");
-  body.set("schema_version", vpd::io::kSchemaVersion);
-  body.set("error", message);
-  return body;
-}
-
-/// One queued output line, resolved in request order. Exactly one of
-/// `future` (evaluations) and `kind` != kBody (control verbs, built when
-/// their turn comes so they observe every earlier request) is active.
-struct Pending {
-  enum class Kind { kEvaluate, kBody, kMetrics, kTrace, kTransient };
-  Kind kind{Kind::kEvaluate};
-  Value id;
-  std::shared_future<vpd::serve::ServiceResponse> future;  // kEvaluate
-  Value body;        // kBody: prebuilt (parse errors)
-  std::string path;  // kTrace: output file ("" = --trace file)
-  /// kTransient: parsed at enqueue (parse errors become kBody lines), run
-  /// when its turn in the output order comes.
-  std::optional<vpd::io::TransientRequest> transient;
-};
 
 }  // namespace
 
@@ -104,9 +73,10 @@ int main(int argc, char** argv) {
   using namespace vpd;
 
   serve::ServiceConfig config;
+  net::ServerOptions server_options;
+  net::SessionOptions session_options;
   bool metrics = false;
-  bool pretty = false;
-  std::string trace_path;
+  std::string listen_address;
   for (int i = 1; i < argc; ++i) {
     const auto size_arg = [&](const char* flag, std::size_t* out) {
       if (std::strcmp(argv[i], flag) != 0) return false;
@@ -119,144 +89,82 @@ int main(int argc, char** argv) {
     };
     if (size_arg("--threads", &config.threads) ||
         size_arg("--queue", &config.queue_capacity) ||
-        size_arg("--cache", &config.result_cache_capacity)) {
+        size_arg("--cache", &config.result_cache_capacity) ||
+        size_arg("--max-conns", &server_options.max_connections)) {
       continue;
     }
     if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
     } else if (std::strcmp(argv[i], "--pretty") == 0) {
-      pretty = true;
+      session_options.pretty = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--trace needs a file path\n");
         return 2;
       }
-      trace_path = argv[++i];
+      session_options.default_trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--slow-ms") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--slow-ms needs a value\n");
         return 2;
       }
       config.slow_request_seconds = std::strtod(argv[++i], nullptr) / 1000.0;
+    } else if (std::strcmp(argv[i], "--listen") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--listen needs an address\n");
+        return 2;
+      }
+      listen_address = argv[++i];
     } else {
       print_usage(argv[0]);
       return 2;
     }
   }
 
-  if (!trace_path.empty()) obs::set_tracing_enabled(true);
+  if (!session_options.default_trace_path.empty()) {
+    obs::set_tracing_enabled(true);
+  }
 
   serve::EvaluationService service(config);
-  std::deque<Pending> pending;
 
-  const auto write_trace_to = [&](const std::string& path) {
-    if (!obs::write_trace(path)) {
-      return error_body("trace: cannot write " + path);
-    }
-    Value body = Value::object();
-    body.set("status", "ok");
-    body.set("schema_version", io::kSchemaVersion);
-    Value trace = Value::object();
-    trace.set("path", path);
-    trace.set("events", double(obs::trace_event_count()));
-    trace.set("dropped", double(obs::trace_events_dropped()));
-    body.set("trace", trace);
-    return body;
-  };
-
-  /// Builds a control verb's body at drain time: every earlier request
-  /// has resolved (and been counted) by the time its turn comes.
-  const auto resolve = [&](Pending& item) -> Value {
-    switch (item.kind) {
-      case Pending::Kind::kBody:
-        return std::move(item.body);
-      case Pending::Kind::kMetrics: {
-        Value body = Value::object();
-        body.set("status", "ok");
-        body.set("schema_version", io::kSchemaVersion);
-        body.set("metrics", service.metrics_json());
-        return body;
-      }
-      case Pending::Kind::kTrace: {
-        const std::string& path = item.path.empty() ? trace_path : item.path;
-        if (path.empty()) {
-          return error_body(
-              "trace: no output path (pass \"path\" or start vpdd with "
-              "--trace FILE)");
-        }
-        return write_trace_to(path);
-      }
-      case Pending::Kind::kTransient:
-        // Runs synchronously at its output turn: the campaign owns its
-        // own worker pool, and resolving in order keeps the pipelining
-        // contract (a later "metrics" line sees the whole campaign).
-        return serve::to_json(service.run_transient(*item.transient));
-      case Pending::Kind::kEvaluate:
-        break;
-    }
-    return serve::to_json(item.future.get());
-  };
-
-  const auto drain_ready = [&](bool block) {
-    while (!pending.empty()) {
-      Pending& item = pending.front();
-      if (item.kind == Pending::Kind::kEvaluate && !block &&
-          item.future.wait_for(std::chrono::seconds(0)) !=
-              std::future_status::ready) {
-        return;
-      }
-      print_response(item.id, resolve(item), pretty);
-      pending.pop_front();
-    }
-  };
-
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-
-    Pending item;
+  if (!listen_address.empty()) {
+    // Socket mode: a dying client must not kill the daemon mid-write.
+    std::signal(SIGPIPE, SIG_IGN);
     try {
-      const Value doc = io::parse(line);
-      if (const Value* requested_id = doc.find("id")) item.id = *requested_id;
-      // The envelope's "cmd" and "id" need no stripping: the schema
-      // reader ignores unknown fields (the v2 compatibility rule).
-      std::string cmd = "evaluate";
-      if (const Value* requested_cmd = doc.find("cmd")) {
-        cmd = requested_cmd->as_string();
-      }
-      if (cmd == "evaluate") {
-        const io::EvaluationRequest request =
-            io::evaluation_request_from_json(doc);
-        item.kind = Pending::Kind::kEvaluate;
-        item.future = service.submit(request);
-      } else if (cmd == "transient") {
-        item.kind = Pending::Kind::kTransient;
-        item.transient = io::transient_request_from_json(doc);
-      } else if (cmd == "metrics") {
-        item.kind = Pending::Kind::kMetrics;
-      } else if (cmd == "trace") {
-        item.kind = Pending::Kind::kTrace;
-        if (const Value* path = doc.find("path")) {
-          item.path = path->as_string();
-        }
-      } else {
-        item.kind = Pending::Kind::kBody;
-        item.body = error_body(
-            "unknown cmd \"" + cmd +
-            "\" (expected evaluate, transient, metrics or trace)");
-      }
+      const net::Endpoint endpoint = net::Endpoint::parse(listen_address);
+      net::NdjsonServer server(
+          endpoint,
+          [&](net::Sink sink) {
+            return std::make_unique<net::LineSession>(
+                service, std::move(sink), session_options);
+          },
+          service.registry(), server_options);
+      std::fprintf(stderr, "vpdd: listening on %s (%zu threads)\n",
+                   server.endpoint().to_string().c_str(),
+                   service.thread_count());
+      server.serve();
     } catch (const Error& e) {
-      // Queue a resolved error response so output order stays request
-      // order even when a bad line lands between in-flight evaluations.
-      item.kind = Pending::Kind::kBody;
-      item.body = error_body(e.what());
+      std::fprintf(stderr, "vpdd: %s\n", e.what());
+      return 1;
     }
-    pending.push_back(std::move(item));
-    drain_ready(/*block=*/false);
+  } else {
+    net::LineSession session(
+        service,
+        [](const std::string& response) {
+          std::fputs(response.c_str(), stdout);
+          std::fputc('\n', stdout);
+          std::fflush(stdout);
+        },
+        session_options);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!session.feed(line)) break;  // {"cmd":"shutdown"} accepted
+    }
+    session.drain();
   }
-  drain_ready(/*block=*/true);
 
-  if (!trace_path.empty()) {
+  if (!session_options.default_trace_path.empty()) {
+    const std::string& trace_path = session_options.default_trace_path;
     if (obs::write_trace(trace_path)) {
       std::fprintf(stderr, "vpdd: wrote %zu trace events to %s\n",
                    obs::trace_event_count(), trace_path.c_str());

@@ -811,6 +811,282 @@ std::string canonical_transient_key(const TransientRequest& request) {
   return dump(to_json(request));
 }
 
+// --- Design-space optimization ---------------------------------------------
+
+Value to_json(const opt::ParamRange& range) {
+  Value v = Value::object();
+  v.set("lo", range.lo);
+  v.set("hi", range.hi);
+  return v;
+}
+
+opt::ParamRange param_range_from_json(const Value& v) {
+  FieldReader r(v, "param range");
+  opt::ParamRange range;
+  range.lo = r.require("lo").as_number();
+  range.hi = r.require("hi").as_number();
+  return range;
+}
+
+Value to_json(const opt::CountRange& range) {
+  Value v = Value::object();
+  v.set("lo", range.lo);
+  v.set("hi", range.hi);
+  return v;
+}
+
+opt::CountRange count_range_from_json(const Value& v) {
+  FieldReader r(v, "count range");
+  opt::CountRange range;
+  range.lo = static_cast<unsigned>(as_index(r.require("lo"), "count range"));
+  range.hi = static_cast<unsigned>(as_index(r.require("hi"), "count range"));
+  return range;
+}
+
+Value to_json(const opt::DesignSpace& space) {
+  Value v = Value::object();
+  Value architectures = Value::array();
+  for (ArchitectureKind arch : space.architectures) {
+    architectures.push_back(to_json(arch));
+  }
+  v.set("architectures", std::move(architectures));
+  Value topologies = Value::array();
+  for (TopologyKind topo : space.topologies) {
+    topologies.push_back(to_json(topo));
+  }
+  v.set("topologies", std::move(topologies));
+  Value technologies = Value::array();
+  for (DeviceTechnology tech : space.technologies) {
+    technologies.push_back(to_json(tech));
+  }
+  v.set("technologies", std::move(technologies));
+  v.set("vr_count", to_json(space.vr_count));
+  v.set("periphery_rings", to_json(space.periphery_rings));
+  v.set("below_die_area_fraction", to_json(space.below_die_area_fraction));
+  v.set("vr_attach_series_ohms", to_json(space.vr_attach_series_ohms));
+  v.set("distribution_sheet_ohms", to_json(space.distribution_sheet_ohms));
+  return v;
+}
+
+opt::DesignSpace design_space_from_json(const Value& v) {
+  FieldReader r(v, "design space");
+  opt::DesignSpace space;
+  if (const Value* archs = r.get("architectures")) {
+    space.architectures.clear();
+    for (const Value& e : archs->as_array()) {
+      space.architectures.push_back(architecture_from_json(e));
+    }
+  }
+  if (const Value* topos = r.get("topologies")) {
+    space.topologies.clear();
+    for (const Value& e : topos->as_array()) {
+      space.topologies.push_back(topology_from_json(e));
+    }
+  }
+  if (const Value* techs = r.get("technologies")) {
+    space.technologies.clear();
+    for (const Value& e : techs->as_array()) {
+      space.technologies.push_back(technology_from_json(e));
+    }
+  }
+  if (const Value* range = r.get("vr_count")) {
+    space.vr_count = count_range_from_json(*range);
+  }
+  if (const Value* range = r.get("periphery_rings")) {
+    space.periphery_rings = count_range_from_json(*range);
+  }
+  if (const Value* range = r.get("below_die_area_fraction")) {
+    space.below_die_area_fraction = param_range_from_json(*range);
+  }
+  if (const Value* range = r.get("vr_attach_series_ohms")) {
+    space.vr_attach_series_ohms = param_range_from_json(*range);
+  }
+  if (const Value* range = r.get("distribution_sheet_ohms")) {
+    space.distribution_sheet_ohms = param_range_from_json(*range);
+  }
+  space.validate();
+  return space;
+}
+
+Value to_json(const opt::DesignPoint& point) {
+  Value v = Value::object();
+  v.set("architecture", to_json(point.architecture));
+  v.set("topology", to_json(point.topology));
+  v.set("tech", to_json(point.tech));
+  v.set("vr_count", point.vr_count);
+  v.set("periphery_rings", point.periphery_rings);
+  v.set("below_die_area_fraction", point.below_die_area_fraction);
+  v.set("vr_attach_series_ohms", point.vr_attach_series_ohms);
+  v.set("distribution_sheet_ohms", point.distribution_sheet_ohms);
+  return v;
+}
+
+opt::DesignPoint design_point_from_json(const Value& v) {
+  FieldReader r(v, "design point");
+  opt::DesignPoint point;
+  point.architecture = architecture_from_json(r.require("architecture"));
+  point.topology = topology_from_json(r.require("topology"));
+  if (const Value* tech = r.get("tech")) {
+    point.tech = technology_from_json(*tech);
+  }
+  point.vr_count = static_cast<unsigned>(
+      index_or(r, "vr_count", point.vr_count));
+  point.periphery_rings = static_cast<unsigned>(
+      index_or(r, "periphery_rings", point.periphery_rings));
+  point.below_die_area_fraction = number_or(
+      r, "below_die_area_fraction", point.below_die_area_fraction);
+  point.vr_attach_series_ohms = number_or(
+      r, "vr_attach_series_ohms", point.vr_attach_series_ohms);
+  point.distribution_sheet_ohms = number_or(
+      r, "distribution_sheet_ohms", point.distribution_sheet_ohms);
+  return point;
+}
+
+Value to_json(const opt::SurvivabilityScoring& scoring) {
+  Value v = Value::object();
+  v.set("max_elites", scoring.max_elites);
+  v.set("severity", to_json(scoring.severity));
+  v.set("resilience", to_json(scoring.resilience));
+  v.set("include_attach_faults", scoring.include_attach_faults);
+  v.set("include_mesh_regions", scoring.include_mesh_regions);
+  v.set("mesh_region_grid", scoring.mesh_region_grid);
+  return v;
+}
+
+opt::SurvivabilityScoring survivability_scoring_from_json(const Value& v) {
+  FieldReader r(v, "survivability scoring");
+  opt::SurvivabilityScoring scoring;
+  scoring.max_elites = index_or(r, "max_elites", scoring.max_elites);
+  if (const Value* severity = r.get("severity")) {
+    scoring.severity = fault_severity_from_json(*severity);
+  }
+  if (const Value* rspec = r.get("resilience")) {
+    scoring.resilience = resilience_spec_from_json(*rspec);
+  }
+  scoring.include_attach_faults =
+      bool_or(r, "include_attach_faults", scoring.include_attach_faults);
+  scoring.include_mesh_regions =
+      bool_or(r, "include_mesh_regions", scoring.include_mesh_regions);
+  scoring.mesh_region_grid =
+      index_or(r, "mesh_region_grid", scoring.mesh_region_grid);
+  return scoring;
+}
+
+Value to_json(const opt::OptimizerConfig& config) {
+  Value v = Value::object();
+  v.set("population", config.population);
+  v.set("generations", config.generations);
+  v.set("max_evaluations", config.max_evaluations);
+  v.set("seed", static_cast<double>(config.seed));
+  v.set("crossover_rate", config.crossover_rate);
+  v.set("mutation_rate", config.mutation_rate);
+  v.set("mutation_scale", config.mutation_scale);
+  Value epsilon = Value::array();
+  for (double e : config.epsilon) epsilon.push_back(e);
+  v.set("epsilon", std::move(epsilon));
+  Value reference = Value::array();
+  for (double rf : config.reference) reference.push_back(rf);
+  v.set("reference", std::move(reference));
+  v.set("survivability", to_json(config.survivability));
+  Value warm = Value::array();
+  for (const opt::DesignPoint& point : config.warm_start) {
+    warm.push_back(to_json(point));
+  }
+  v.set("warm_start", std::move(warm));
+  v.set("threads", config.sweep.threads);
+  return v;
+}
+
+opt::OptimizerConfig optimizer_config_from_json(const Value& v) {
+  FieldReader r(v, "optimizer config");
+  opt::OptimizerConfig config;
+  config.population = index_or(r, "population", config.population);
+  config.generations = index_or(r, "generations", config.generations);
+  config.max_evaluations =
+      index_or(r, "max_evaluations", config.max_evaluations);
+  if (const Value* seed = r.get("seed")) {
+    config.seed = as_index(*seed, "optimizer seed");
+  }
+  config.crossover_rate =
+      number_or(r, "crossover_rate", config.crossover_rate);
+  config.mutation_rate = number_or(r, "mutation_rate", config.mutation_rate);
+  config.mutation_scale =
+      number_or(r, "mutation_scale", config.mutation_scale);
+  if (const Value* epsilon = r.get("epsilon")) {
+    config.epsilon.clear();
+    for (const Value& e : epsilon->as_array()) {
+      config.epsilon.push_back(e.as_number());
+    }
+  }
+  if (const Value* reference = r.get("reference")) {
+    config.reference.clear();
+    for (const Value& e : reference->as_array()) {
+      config.reference.push_back(e.as_number());
+    }
+  }
+  if (const Value* scoring = r.get("survivability")) {
+    config.survivability = survivability_scoring_from_json(*scoring);
+  }
+  if (const Value* warm = r.get("warm_start")) {
+    for (const Value& e : warm->as_array()) {
+      config.warm_start.push_back(design_point_from_json(e));
+    }
+  }
+  config.sweep.threads = index_or(r, "threads", config.sweep.threads);
+  return config;
+}
+
+Value to_json(const OptimizeRequest& request) {
+  VPD_REQUIRE(request.config.base_options.faults.empty(),
+              "optimize request: base options must be fault-free "
+              "(survivability scoring owns the injections)");
+  Value v = Value::object();
+  v.set("schema_version", kSchemaVersion);
+  v.set("spec", to_json(request.spec));
+  v.set("space", to_json(request.space));
+  v.set("config", to_json(request.config));
+  v.set("options", to_json(request.config.base_options));
+  return v;
+}
+
+OptimizeRequest optimize_request_from_json(const Value& v) {
+  check_schema_version(v, "optimize request");
+  FieldReader r(v, "optimize request");
+  OptimizeRequest request;
+  if (const Value* spec = r.get("spec")) {
+    request.spec = spec_from_json(*spec);
+  }
+  if (const Value* space = r.get("space")) {
+    request.space = design_space_from_json(*space);
+  }
+  if (const Value* config = r.get("config")) {
+    request.config = optimizer_config_from_json(*config);
+  }
+  if (const Value* options = r.get("options")) {
+    request.config.base_options = evaluation_options_from_json(*options);
+    if (!request.config.base_options.faults.empty()) {
+      throw InvalidArgument(
+          "optimize request: options.faults must be empty (survivability "
+          "scoring owns the injections)");
+    }
+  }
+  request.spec.validate();
+  request.space.validate();
+  request.config.validate();
+  for (const opt::DesignPoint& point : request.config.warm_start) {
+    if (!opt::contains(request.space, point)) {
+      throw InvalidArgument(detail::concat(
+          "optimize request: warm-start point \"",
+          opt::design_point_key(point), "\" lies outside the design space"));
+    }
+  }
+  return request;
+}
+
+std::string canonical_optimize_key(const OptimizeRequest& request) {
+  return dump(to_json(request));
+}
+
 // --- Results ---------------------------------------------------------------
 
 Value to_json(const Summary& summary) {
@@ -977,6 +1253,60 @@ Value to_json(const DroopCampaignReport& report) {
   }
   v.set("outcomes", std::move(outcomes));
   /// The unified telemetry shape (transient.* + solver.* instruments).
+  v.set("observability", report.snapshot().to_json());
+  return v;
+}
+
+Value to_json(const opt::Candidate& candidate) {
+  Value v = Value::object();
+  v.set("id", candidate.id);
+  v.set("generation", candidate.generation);
+  v.set("point", to_json(candidate.point));
+  v.set("feasible", candidate.feasible);
+  v.set("exclusion_reason", candidate.exclusion_reason);
+  v.set("loss_fraction", candidate.loss_fraction);
+  v.set("droop_fraction", candidate.droop_fraction);
+  v.set("area_fraction", candidate.area_fraction);
+  v.set("survivability", candidate.survivability
+                             ? Value(*candidate.survivability)
+                             : Value());
+  return v;
+}
+
+Value to_json(const opt::FrontEntry& entry) {
+  Value v = Value::object();
+  v.set("candidate", to_json(entry.candidate));
+  Value objectives = Value::array();
+  for (double f : entry.objectives) objectives.push_back(f);
+  v.set("objectives", std::move(objectives));
+  return v;
+}
+
+Value to_json(const opt::OptimizeReport& report) {
+  // Deterministic members first; everything from "wall_seconds" onward is
+  // the scheduling-dependent tail (the bit-identity smoke tests cut the
+  // line at `,"wall_seconds"`).
+  Value v = Value::object();
+  Value front = Value::array();
+  for (const opt::FrontEntry& entry : report.front) {
+    front.push_back(to_json(entry));
+  }
+  v.set("front", std::move(front));
+  v.set("front_size", report.front_size());
+  v.set("evaluations", report.evaluations);
+  v.set("candidates", report.candidates);
+  v.set("generations", report.generations_run);
+  v.set("fault_campaigns", report.fault_campaigns);
+  Value epsilon = Value::array();
+  for (double e : report.epsilon) epsilon.push_back(e);
+  v.set("epsilon", std::move(epsilon));
+  Value reference = Value::array();
+  for (double rf : report.reference) reference.push_back(rf);
+  v.set("reference", std::move(reference));
+  v.set("hypervolume", report.hypervolume);
+  v.set("wall_seconds", report.wall_seconds);
+  v.set("mesh_cache", to_json(report.cache_stats));
+  /// The unified telemetry shape (opt.* + solver.* instruments).
   v.set("observability", report.snapshot().to_json());
   return v;
 }

@@ -36,6 +36,7 @@
 #include "vpd/fault/resilience.hpp"
 #include "vpd/fault/transient_scenario.hpp"
 #include "vpd/io/json.hpp"
+#include "vpd/opt/optimizer.hpp"
 #include "vpd/package/mesh_cache.hpp"
 #include "vpd/sweep/sweep.hpp"
 #include "vpd/workload/droop_campaign.hpp"
@@ -173,6 +174,49 @@ TransientRequest transient_request_from_json(const Value& v);
 /// convention as canonical_request_key).
 std::string canonical_transient_key(const TransientRequest& request);
 
+// --- Design-space optimization ---------------------------------------------
+
+Value to_json(const opt::ParamRange& range);
+opt::ParamRange param_range_from_json(const Value& v);
+
+Value to_json(const opt::CountRange& range);
+opt::CountRange count_range_from_json(const Value& v);
+
+Value to_json(const opt::DesignSpace& space);
+opt::DesignSpace design_space_from_json(const Value& v);
+
+Value to_json(const opt::DesignPoint& point);
+opt::DesignPoint design_point_from_json(const Value& v);
+
+Value to_json(const opt::SurvivabilityScoring& scoring);
+opt::SurvivabilityScoring survivability_scoring_from_json(const Value& v);
+
+/// Optimizer search knobs. Not representable on the wire: base_options
+/// (they travel at the request level as "options"), the trace parent and
+/// the sweep mesh-cache pointer; the worker count rides as "threads".
+/// The seed is a JSON number, so it must stay a non-negative integer
+/// within 2^53 (the parser enforces this).
+Value to_json(const opt::OptimizerConfig& config);
+opt::OptimizerConfig optimizer_config_from_json(const Value& v);
+
+/// One design-space optimization request: the system spec, the
+/// searchable space and the search configuration. `options` are the
+/// optimizer's base evaluation options and must arrive fault-free
+/// (survivability scoring owns the injections).
+struct OptimizeRequest {
+  PowerDeliverySpec spec;  // defaults to the paper's 1 kW system
+  opt::DesignSpace space;
+  opt::OptimizerConfig config;
+};
+
+Value to_json(const OptimizeRequest& request);
+OptimizeRequest optimize_request_from_json(const Value& v);
+
+/// Canonical wire key of a fully-materialized optimize request (same
+/// convention as canonical_request_key). The fleet router hashes this
+/// key, so equal-seed repeats land on the same shard.
+std::string canonical_optimize_key(const OptimizeRequest& request);
+
 // --- Results (serialize-only: responses are produced, not consumed) --------
 
 Value to_json(const Summary& summary);
@@ -186,6 +230,14 @@ Value to_json(const SpecViolation& violation);
 Value to_json(const DroopMetrics& metrics);
 Value to_json(const TransientScenarioOutcome& outcome);
 Value to_json(const DroopCampaignReport& report);
+
+/// Optimizer results. to_json(OptimizeReport) materializes every
+/// deterministic member first and the scheduling-dependent tail
+/// ("wall_seconds" onward) last, so bit-identity checks can strip the
+/// tail with a single cut.
+Value to_json(const opt::Candidate& candidate);
+Value to_json(const opt::FrontEntry& entry);
+Value to_json(const opt::OptimizeReport& report);
 
 }  // namespace io
 }  // namespace vpd

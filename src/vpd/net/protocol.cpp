@@ -44,6 +44,10 @@ RouteInfo classify_line(std::string_view line) {
       info.key_hash = fnv1a64(
           io::canonical_transient_key(io::transient_request_from_json(doc)));
       info.verb = Verb::kTransient;
+    } else if (cmd == "optimize") {
+      info.key_hash = fnv1a64(
+          io::canonical_optimize_key(io::optimize_request_from_json(doc)));
+      info.verb = Verb::kOptimize;
     } else if (cmd == "metrics") {
       info.verb = Verb::kMetrics;
     } else if (cmd == "trace") {

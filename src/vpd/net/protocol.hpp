@@ -31,6 +31,7 @@ std::size_t shard_for_key(std::string_view canonical_key,
 enum class Verb {
   kEvaluate,      // bare request or {"cmd":"evaluate"}
   kTransient,     // droop campaign
+  kOptimize,      // design-space optimizer run
   kMetrics,       // per-process telemetry snapshot
   kTrace,         // flush the trace buffer
   kShutdown,      // graceful drain (vpdd and router)
@@ -45,7 +46,8 @@ struct RouteInfo {
   /// bytes (io::recover_wire_id) when the line is unroutable.
   io::Value id;
   /// FNV-1a of the canonical key; present only for routable
-  /// evaluate/transient lines (control verbs round-robin instead).
+  /// evaluate/transient/optimize lines (control verbs round-robin
+  /// instead).
   std::optional<std::uint64_t> key_hash;
   /// Diagnostic for kUnroutable (the authoritative error text comes from
   /// the shard that replays the line).

@@ -135,6 +135,9 @@ bool LineSession::feed(std::string_view line) {
     } else if (cmd == "transient") {
       item.kind = Pending::Kind::kTransient;
       item.transient = io::transient_request_from_json(doc);
+    } else if (cmd == "optimize") {
+      item.kind = Pending::Kind::kOptimize;
+      item.optimize = io::optimize_request_from_json(doc);
     } else if (cmd == "metrics") {
       item.kind = Pending::Kind::kMetrics;
     } else if (cmd == "trace") {
@@ -149,7 +152,8 @@ bool LineSession::feed(std::string_view line) {
       item.kind = Pending::Kind::kBody;
       item.body = error_body(
           "unknown cmd \"" + cmd +
-          "\" (expected evaluate, transient, metrics, trace or shutdown)");
+          "\" (expected evaluate, transient, optimize, metrics, trace or "
+          "shutdown)");
     }
   } catch (const Error& e) {
     // Queue a resolved error response so output order stays request order
@@ -207,6 +211,10 @@ io::Value LineSession::resolve(Pending& item) {
       // worker pool, and resolving in order keeps the pipelining contract
       // (a later "metrics" line sees the whole campaign).
       return serve::to_json(service_.run_transient(*item.transient));
+    case Pending::Kind::kOptimize:
+      // Same synchronous-at-turn rule as transient: the optimizer owns
+      // its own worker pool and a later "metrics" line sees the run.
+      return serve::to_json(service_.run_optimize(*item.optimize));
     case Pending::Kind::kShutdown: {
       // The shutdown response is the final metrics line: every earlier
       // request has resolved by this turn, so the snapshot is the

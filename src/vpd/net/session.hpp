@@ -3,7 +3,7 @@
 // protocol: one response line per input line, in request order, ids
 // echoed (recovered from the raw bytes when the line is malformed), the
 // reject-not-block backpressure of the underlying EvaluationService, and
-// the control verbs evaluate / transient / metrics / trace / shutdown.
+// the verbs evaluate / transient / optimize / metrics / trace / shutdown.
 //
 // Response ordering works like the original daemon — evaluation is
 // parallel and out of order, but every response waits in its future until
@@ -139,6 +139,7 @@ class LineSession : public Session {
       kMetrics,
       kTrace,
       kTransient,
+      kOptimize,
       kShutdown,  // final metrics line, then the stream ends
     };
     Kind kind{Kind::kEvaluate};
@@ -147,6 +148,7 @@ class LineSession : public Session {
     io::Value body;                                     // kBody
     std::string path;  // kTrace ("" = default_trace_path)
     std::optional<io::TransientRequest> transient;      // kTransient
+    std::optional<io::OptimizeRequest> optimize;        // kOptimize
   };
 
   io::Value resolve(Pending& item);

@@ -1,0 +1,159 @@
+#include "vpd/opt/design_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+#include "vpd/io/json.hpp"
+
+namespace vpd {
+namespace opt {
+namespace {
+
+template <typename Kind>
+void check_axis(const std::vector<Kind>& axis, const char* what) {
+  VPD_REQUIRE(!axis.empty(), what, " axis must not be empty");
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    for (std::size_t j = i + 1; j < axis.size(); ++j) {
+      VPD_REQUIRE(axis[i] != axis[j], what, " axis repeats \"",
+                  to_string(axis[i]), "\"");
+    }
+  }
+}
+
+void check_range(const ParamRange& range, const char* what) {
+  VPD_REQUIRE(std::isfinite(range.lo) && std::isfinite(range.hi), what,
+              " bounds must be finite");
+  VPD_REQUIRE(range.lo > 0.0, what, " lower bound must be positive");
+  VPD_REQUIRE(range.lo <= range.hi, what, " bounds are inverted");
+}
+
+}  // namespace
+
+double ParamRange::clamp(double value) const {
+  return std::min(hi, std::max(lo, value));
+}
+
+unsigned CountRange::clamp(long long value) const {
+  if (value < static_cast<long long>(lo)) return lo;
+  if (value > static_cast<long long>(hi)) return hi;
+  return static_cast<unsigned>(value);
+}
+
+void DesignSpace::validate() const {
+  check_axis(architectures, "architecture");
+  check_axis(topologies, "topology");
+  check_axis(technologies, "technology");
+  for (ArchitectureKind arch : architectures) {
+    VPD_REQUIRE(arch != ArchitectureKind::kA0_PcbConversion,
+                "A0 has no distributed VRs to optimize; the reference "
+                "architecture is a baseline, not a design-space member");
+  }
+  VPD_REQUIRE(vr_count.lo >= 1,
+              "vr_count lower bound must be >= 1 (the optimizer searches "
+              "explicit counts)");
+  VPD_REQUIRE(vr_count.lo <= vr_count.hi, "vr_count bounds are inverted");
+  VPD_REQUIRE(periphery_rings.lo >= 1,
+              "periphery_rings lower bound must be >= 1");
+  VPD_REQUIRE(periphery_rings.lo <= periphery_rings.hi,
+              "periphery_rings bounds are inverted");
+  check_range(below_die_area_fraction, "below_die_area_fraction");
+  check_range(vr_attach_series_ohms, "vr_attach_series_ohms");
+  check_range(distribution_sheet_ohms, "distribution_sheet_ohms");
+}
+
+std::size_t DesignSpace::categorical_combinations() const {
+  return architectures.size() * topologies.size() * technologies.size();
+}
+
+bool contains(const DesignSpace& space, const DesignPoint& point) {
+  const auto on_axis = [](const auto& axis, auto value) {
+    return std::find(axis.begin(), axis.end(), value) != axis.end();
+  };
+  return on_axis(space.architectures, point.architecture) &&
+         on_axis(space.topologies, point.topology) &&
+         on_axis(space.technologies, point.tech) &&
+         point.vr_count >= space.vr_count.lo &&
+         point.vr_count <= space.vr_count.hi &&
+         point.periphery_rings >= space.periphery_rings.lo &&
+         point.periphery_rings <= space.periphery_rings.hi &&
+         point.below_die_area_fraction >=
+             space.below_die_area_fraction.lo &&
+         point.below_die_area_fraction <=
+             space.below_die_area_fraction.hi &&
+         point.vr_attach_series_ohms >= space.vr_attach_series_ohms.lo &&
+         point.vr_attach_series_ohms <= space.vr_attach_series_ohms.hi &&
+         point.distribution_sheet_ohms >=
+             space.distribution_sheet_ohms.lo &&
+         point.distribution_sheet_ohms <= space.distribution_sheet_ohms.hi;
+}
+
+EvaluationOptions lower(const DesignPoint& point,
+                        const EvaluationOptions& base) {
+  VPD_REQUIRE(base.faults.empty(),
+              "optimizer base options must be fault-free (survivability "
+              "scoring owns the injections)");
+  EvaluationOptions options = base;
+  options.fixed_final_stage_vrs = point.vr_count;
+  options.max_periphery_rings = point.periphery_rings;
+  options.below_die_area_fraction = point.below_die_area_fraction;
+  options.vr_attach_series = Resistance{point.vr_attach_series_ohms};
+  options.distribution_sheet_ohms = point.distribution_sheet_ohms;
+  return options;
+}
+
+std::string design_point_key(const DesignPoint& point) {
+  return detail::concat(
+      to_string(point.architecture), "/", to_string(point.topology), "/",
+      to_string(point.tech), "/vrs=", point.vr_count,
+      "/rings=", point.periphery_rings,
+      "/area=", io::dump_number(point.below_die_area_fraction),
+      "/attach=", io::dump_number(point.vr_attach_series_ohms),
+      "/sheet=", io::dump_number(point.distribution_sheet_ohms));
+}
+
+DesignPoint sample(const DesignSpace& space, Rng& rng) {
+  DesignPoint point;
+  point.architecture = space.architectures[rng.next_below(
+      static_cast<std::uint32_t>(space.architectures.size()))];
+  point.topology = space.topologies[rng.next_below(
+      static_cast<std::uint32_t>(space.topologies.size()))];
+  point.tech = space.technologies[rng.next_below(
+      static_cast<std::uint32_t>(space.technologies.size()))];
+  point.vr_count =
+      space.vr_count.lo + rng.next_below(space.vr_count.span() + 1);
+  point.periphery_rings = space.periphery_rings.lo +
+                          rng.next_below(space.periphery_rings.span() + 1);
+  point.below_die_area_fraction = rng.uniform(
+      space.below_die_area_fraction.lo, space.below_die_area_fraction.hi);
+  point.vr_attach_series_ohms = rng.uniform(space.vr_attach_series_ohms.lo,
+                                            space.vr_attach_series_ohms.hi);
+  point.distribution_sheet_ohms = rng.uniform(
+      space.distribution_sheet_ohms.lo, space.distribution_sheet_ohms.hi);
+  return point;
+}
+
+DesignPoint repair(const DesignSpace& space, DesignPoint point) {
+  const auto on_axis = [](const auto& axis, auto value) {
+    return std::find(axis.begin(), axis.end(), value) != axis.end();
+  };
+  VPD_REQUIRE(on_axis(space.architectures, point.architecture),
+              "architecture \"", to_string(point.architecture),
+              "\" is not on the space's axis");
+  VPD_REQUIRE(on_axis(space.topologies, point.topology), "topology \"",
+              to_string(point.topology), "\" is not on the space's axis");
+  VPD_REQUIRE(on_axis(space.technologies, point.tech), "technology \"",
+              to_string(point.tech), "\" is not on the space's axis");
+  point.vr_count = space.vr_count.clamp(point.vr_count);
+  point.periphery_rings = space.periphery_rings.clamp(point.periphery_rings);
+  point.below_die_area_fraction =
+      space.below_die_area_fraction.clamp(point.below_die_area_fraction);
+  point.vr_attach_series_ohms =
+      space.vr_attach_series_ohms.clamp(point.vr_attach_series_ohms);
+  point.distribution_sheet_ohms =
+      space.distribution_sheet_ohms.clamp(point.distribution_sheet_ohms);
+  return point;
+}
+
+}  // namespace opt
+}  // namespace vpd

@@ -1,0 +1,128 @@
+// The searchable VPD architecture space: which categorical choices
+// (architecture, final-stage topology, device technology) and which
+// bounded numeric knobs (VR count, periphery rings, below-die area
+// budget, attach/sheet interconnect allocation) the design-space
+// optimizer may vary, plus the deterministic lowering of one concrete
+// assignment onto the evaluator's EvaluationOptions.
+//
+// The space is strict by construction: validate() rejects empty or
+// duplicated categorical axes, inverted or non-positive bounds, and A0
+// (the PCB-conversion reference has no distributed VRs to count, place
+// or fault). A DesignPoint is only meaningful relative to the space that
+// produced it — contains() is the membership test the optimizer applies
+// to warm-start points before trusting them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vpd/arch/architecture.hpp"
+#include "vpd/arch/evaluator.hpp"
+#include "vpd/common/rng.hpp"
+#include "vpd/converters/catalog.hpp"
+#include "vpd/devices/technology.hpp"
+
+namespace vpd {
+namespace opt {
+
+/// Inclusive bounds of one continuous knob. lo == hi pins the knob.
+struct ParamRange {
+  double lo{0.0};
+  double hi{0.0};
+
+  double clamp(double value) const;
+  double span() const { return hi - lo; }
+};
+
+/// Inclusive bounds of one integer knob. lo == hi pins the knob.
+struct CountRange {
+  unsigned lo{0};
+  unsigned hi{0};
+
+  unsigned clamp(long long value) const;
+  unsigned span() const { return hi - lo; }
+};
+
+/// The searchable space. Defaults cover the paper's VPD architectures
+/// with every Table II topology, GaN devices, and knob ranges bracketing
+/// the calibrated defaults (vr_attach_series 100 uOhm, sheet 2 mOhm/sq,
+/// the paper-mode 1.6 below-die area budget).
+struct DesignSpace {
+  std::vector<ArchitectureKind> architectures{
+      ArchitectureKind::kA1_InterposerPeriphery,
+      ArchitectureKind::kA2_InterposerBelowDie,
+      ArchitectureKind::kA3_TwoStage12V,
+      ArchitectureKind::kA3_TwoStage6V,
+  };
+  std::vector<TopologyKind> topologies{
+      TopologyKind::kDpmih,
+      TopologyKind::kDsch,
+      TopologyKind::kDickson,
+  };
+  std::vector<DeviceTechnology> technologies{
+      DeviceTechnology::kGalliumNitride,
+  };
+  /// Final-stage VR count (EvaluationOptions::fixed_final_stage_vrs).
+  CountRange vr_count{36, 64};
+  /// Maximum periphery rows (EvaluationOptions::max_periphery_rings).
+  CountRange periphery_rings{1, 3};
+  /// Below-die VR area budget as a fraction of the die footprint.
+  ParamRange below_die_area_fraction{0.6, 1.6};
+  /// Per-VR vertical attach + local feed resistance [Ohm].
+  ParamRange vr_attach_series_ohms{50e-6, 200e-6};
+  /// Distribution-metal sheet resistance [Ohm/sq].
+  ParamRange distribution_sheet_ohms{1e-3, 4e-3};
+
+  /// Throws InvalidArgument on empty/duplicated axes, A0, inverted
+  /// bounds, non-positive physical quantities, or a zero vr_count lower
+  /// bound (the optimizer searches explicit counts, never "automatic").
+  void validate() const;
+
+  /// Number of categorical combinations (architectures x topologies x
+  /// technologies).
+  std::size_t categorical_combinations() const;
+};
+
+/// One concrete assignment of every axis.
+struct DesignPoint {
+  ArchitectureKind architecture{ArchitectureKind::kA1_InterposerPeriphery};
+  TopologyKind topology{TopologyKind::kDsch};
+  DeviceTechnology tech{DeviceTechnology::kGalliumNitride};
+  unsigned vr_count{48};
+  unsigned periphery_rings{2};
+  double below_die_area_fraction{1.6};
+  double vr_attach_series_ohms{100e-6};
+  double distribution_sheet_ohms{2e-3};
+};
+
+/// Strict membership test: every categorical value on its axis, every
+/// numeric knob inside its bounds.
+bool contains(const DesignSpace& space, const DesignPoint& point);
+
+/// Lowers a point onto the evaluator options: `base` supplies everything
+/// the space does not model (mesh resolution, tolerances, ...), the
+/// point overwrites the five searched knobs. The base must be fault-free
+/// (the optimizer owns fault injection during survivability scoring).
+EvaluationOptions lower(const DesignPoint& point,
+                        const EvaluationOptions& base);
+
+/// Canonical digest of a point — the optimizer's dedup key. Two points
+/// with equal keys lower to bit-identical evaluations under a fixed
+/// base. Format: "A2/DSCH/GaN/vrs=48/rings=2/area=1.6/attach=0.0001/
+/// sheet=0.002" with doubles printed by the io number writer (shortest
+/// round-trip form), so the key is exact, not rounded.
+std::string design_point_key(const DesignPoint& point);
+
+/// Uniform sample of the space; consumes a fixed number of draws per
+/// call (one per axis), so counter-seeded callers stay reproducible.
+DesignPoint sample(const DesignSpace& space, Rng& rng);
+
+/// Clamps every numeric knob into its bounds and verifies the
+/// categoricals; throws InvalidArgument when a categorical value is off
+/// its axis (numerics are repairable, categories are not).
+DesignPoint repair(const DesignSpace& space, DesignPoint point);
+
+}  // namespace opt
+}  // namespace vpd

@@ -1,0 +1,199 @@
+#include "vpd/opt/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace opt {
+namespace {
+
+/// Box-corner dominance: the ε-grid cell ordering that gives the archive
+/// its bounded resolution. Corners are exact objective values on ε=0
+/// axes, so an all-zero epsilon degrades to plain Pareto dominance.
+bool box_dominates(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+}  // namespace
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  VPD_REQUIRE(!a.empty() && a.size() == b.size(),
+              "objective vectors must have equal, nonzero size");
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+ParetoArchive::ParetoArchive(std::vector<double> epsilon)
+    : epsilon_(std::move(epsilon)) {
+  VPD_REQUIRE(!epsilon_.empty(), "archive needs at least one objective");
+  for (double e : epsilon_) {
+    VPD_REQUIRE(std::isfinite(e) && e >= 0.0,
+                "epsilon sides must be finite and >= 0");
+  }
+}
+
+std::vector<double> ParetoArchive::box_of(
+    const std::vector<double>& objectives) const {
+  std::vector<double> box(objectives.size());
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    if (epsilon_[i] == 0.0) {
+      box[i] = objectives[i];  // exact axis: the corner is the value
+    } else {
+      box[i] = std::floor(objectives[i] / epsilon_[i]) * epsilon_[i];
+    }
+  }
+  return box;
+}
+
+double ParetoArchive::corner_distance(
+    const std::vector<double>& objectives,
+    const std::vector<double>& box) const {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    const double offset = objectives[i] - box[i];
+    d2 += offset * offset;
+  }
+  return d2;
+}
+
+bool ParetoArchive::insert(std::size_t id, std::vector<double> objectives) {
+  VPD_REQUIRE(objectives.size() == epsilon_.size(),
+              "expected ", epsilon_.size(), " objectives, got ",
+              objectives.size());
+  for (double f : objectives) {
+    VPD_REQUIRE(std::isfinite(f), "objectives must be finite");
+  }
+  const std::vector<double> box = box_of(objectives);
+
+  // Same-box duel first: boxes are equivalence classes, so at most one
+  // member can share the box. Closest-to-corner wins; an exact distance
+  // tie prefers lexicographically smaller objectives, then smaller id —
+  // all insertion-order-free criteria.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (boxes_[i] != box) continue;
+    const ArchiveEntry& incumbent = entries_[i];
+    if (dominates(incumbent.objectives, objectives)) return false;
+    if (!dominates(objectives, incumbent.objectives)) {
+      const double mine = corner_distance(objectives, box);
+      const double theirs = corner_distance(incumbent.objectives, box);
+      if (theirs < mine) return false;
+      if (theirs == mine) {
+        if (incumbent.objectives < objectives) return false;
+        if (incumbent.objectives == objectives && incumbent.id < id) {
+          return false;
+        }
+      }
+    }
+    entries_[i] = ArchiveEntry{id, std::move(objectives)};
+    boxes_[i] = box;
+    return true;
+  }
+
+  // Different boxes: box dominance gates acceptance, then the newcomer
+  // evicts every member whose box it dominates.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (box_dominates(boxes_[i], box)) return false;
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (box_dominates(box, boxes_[i])) continue;
+    if (kept != i) {
+      entries_[kept] = std::move(entries_[i]);
+      boxes_[kept] = std::move(boxes_[i]);
+    }
+    ++kept;
+  }
+  entries_.resize(kept);
+  boxes_.resize(kept);
+  entries_.push_back(ArchiveEntry{id, std::move(objectives)});
+  boxes_.push_back(box);
+  return true;
+}
+
+std::vector<ArchiveEntry> ParetoArchive::entries() const {
+  std::vector<ArchiveEntry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ArchiveEntry& a, const ArchiveEntry& b) {
+              if (a.objectives != b.objectives) {
+                return a.objectives < b.objectives;
+              }
+              return a.id < b.id;
+            });
+  return sorted;
+}
+
+namespace {
+
+/// Recursive slicing over the last dimension: sort the points by their
+/// last objective, sweep the slabs between consecutive values, and
+/// multiply each slab's thickness by the (d-1)-dimensional hypervolume
+/// of the points active in that slab.
+double hv_recursive(std::vector<std::vector<double>> points,
+                    const std::vector<double>& reference,
+                    std::size_t dims) {
+  if (points.empty()) return 0.0;
+  if (dims == 1) {
+    double best = reference[0];
+    for (const auto& p : points) best = std::min(best, p[0]);
+    return reference[0] - best;
+  }
+  const std::size_t axis = dims - 1;
+  std::sort(points.begin(), points.end(),
+            [axis](const std::vector<double>& a,
+                   const std::vector<double>& b) { return a[axis] < b[axis]; });
+  double volume = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double slab_lo = points[i][axis];
+    if (i + 1 < points.size() && points[i + 1][axis] == slab_lo) {
+      continue;  // equal coordinates share one slab boundary
+    }
+    const double slab_hi =
+        i + 1 < points.size() ? points[i + 1][axis] : reference[axis];
+    if (slab_hi <= slab_lo) continue;
+    // Every point at or below the slab floor shades this slab.
+    std::vector<std::vector<double>> active;
+    for (std::size_t j = 0; j <= i; ++j) {
+      active.push_back(points[j]);
+    }
+    volume += (slab_hi - slab_lo) * hv_recursive(std::move(active),
+                                                 reference, dims - 1);
+  }
+  return volume;
+}
+
+}  // namespace
+
+double hypervolume(const std::vector<std::vector<double>>& front,
+                   const std::vector<double>& reference) {
+  VPD_REQUIRE(!reference.empty(), "hypervolume needs a reference point");
+  std::vector<std::vector<double>> clipped;
+  for (const auto& point : front) {
+    VPD_REQUIRE(point.size() == reference.size(),
+                "front point has ", point.size(), " objectives, reference ",
+                reference.size());
+    bool inside = false;
+    std::vector<double> p = point;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      VPD_REQUIRE(std::isfinite(p[i]), "front objectives must be finite");
+      if (p[i] < reference[i]) inside = true;
+      p[i] = std::min(p[i], reference[i]);
+    }
+    if (inside) clipped.push_back(std::move(p));
+  }
+  return hv_recursive(std::move(clipped), reference, reference.size());
+}
+
+}  // namespace opt
+}  // namespace vpd

@@ -1,0 +1,78 @@
+// Multi-objective bookkeeping for the design-space optimizer: plain and
+// ε-box Pareto dominance, a bounded-resolution archive, and the
+// hypervolume indicator the bench uses to compare fronts.
+//
+// All objectives are MINIMIZED. The archive follows Laumanns-style
+// ε-dominance: objective space is tiled into boxes of side epsilon[i]
+// (epsilon 0 degrades to exact dominance on that axis), at most one
+// entry survives per box, and an entry is accepted only if no member's
+// box dominates its box. Within one box the member closest to the box's
+// lower corner wins; exact ties break on the smaller entry id. Every
+// rule is deterministic, entries() has a stable order (objectives
+// lexicographically, id last), and inserting the same sequence always
+// produces the same archive — the optimizer's bit-reproducibility rests
+// on this.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vpd {
+namespace opt {
+
+/// True when `a` Pareto-dominates `b`: a <= b on every objective and
+/// a < b on at least one. Vectors must have equal, nonzero size.
+bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+struct ArchiveEntry {
+  /// Caller-assigned identity (the optimizer's candidate id). Ties and
+  /// orderings break on this, so ids must be unique per archive.
+  std::size_t id{0};
+  std::vector<double> objectives;
+};
+
+class ParetoArchive {
+ public:
+  /// `epsilon` holds one box side per objective; every entry inserted
+  /// later must carry exactly epsilon.size() objectives. Sides must be
+  /// >= 0; 0 means exact dominance on that axis.
+  explicit ParetoArchive(std::vector<double> epsilon);
+
+  std::size_t objective_count() const { return epsilon_.size(); }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Offers one point. Returns true when the archive accepted it (it was
+  /// not ε-dominated and won any same-box duel); accepted points evict
+  /// every member they ε-dominate. False leaves the archive unchanged.
+  bool insert(std::size_t id, std::vector<double> objectives);
+
+  /// Members in the stable order: objectives lexicographically
+  /// ascending, id as the final tiebreak.
+  std::vector<ArchiveEntry> entries() const;
+
+ private:
+  /// Lower corner of the ε-box holding `objectives` (the exact value on
+  /// ε=0 axes, so all-zero epsilon degrades to plain dominance).
+  std::vector<double> box_of(const std::vector<double>& objectives) const;
+  /// Distance^2 to the box's lower corner (the same-box duel metric).
+  double corner_distance(const std::vector<double>& objectives,
+                         const std::vector<double>& box) const;
+
+  std::vector<double> epsilon_;
+  std::vector<ArchiveEntry> entries_;        // unordered internally
+  std::vector<std::vector<double>> boxes_;   // parallel to entries_
+};
+
+/// Hypervolume (minimization) of `front` against `reference`: the
+/// d-dimensional volume of the region dominated by the front and
+/// bounded above by the reference point. Points outside the reference
+/// box are clipped; a point at or beyond the reference on every axis
+/// contributes nothing. Exact recursive slicing — intended for the
+/// optimizer's front sizes (tens of points, <= ~6 objectives), not for
+/// thousands.
+double hypervolume(const std::vector<std::vector<double>>& front,
+                   const std::vector<double>& reference);
+
+}  // namespace opt
+}  // namespace vpd

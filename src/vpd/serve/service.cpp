@@ -172,6 +172,50 @@ TransientServiceResponse EvaluationService::run_transient(
   return response;
 }
 
+io::Value to_json(const OptimizeServiceResponse& response) {
+  io::Value v = io::Value::object();
+  v.set("status", to_string(response.status));
+  v.set("schema_version", io::kSchemaVersion);
+  if (!response.error.empty()) v.set("error", response.error);
+  if (response.report != nullptr) {
+    v.set("result", io::to_json(*response.report));
+  }
+  return v;
+}
+
+OptimizeServiceResponse EvaluationService::run_optimize(
+    const io::OptimizeRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  registry_.counter("serve.optimize.requests").add(1);
+  OptimizeServiceResponse response;
+  try {
+    opt::OptimizerConfig config = request.config;
+    // Optimizer evaluation batches and survivability campaigns share the
+    // service's mesh cache, so repeated runs over one geometry family
+    // reuse assembled operators like the point-evaluation path does.
+    if (config.sweep.use_mesh_cache && config.sweep.cache == nullptr) {
+      config.sweep.cache = &mesh_cache_;
+    }
+    const opt::DesignOptimizer optimizer(request.spec, request.space,
+                                         std::move(config));
+    auto report = std::make_shared<opt::OptimizeReport>(optimizer.run());
+    registry_.counter("serve.optimize.evaluations").add(report->evaluations);
+    registry_.counter("serve.optimize.fault_campaigns")
+        .add(report->fault_campaigns);
+    response.status = ResponseStatus::kOk;
+    response.report = std::move(report);
+  } catch (const std::exception& e) {
+    registry_.counter("serve.optimize.errors").add(1);
+    response.status = ResponseStatus::kError;
+    response.error = e.what();
+  }
+  registry_.latency_histogram("serve.optimize.latency_seconds")
+      .record(std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+  return response;
+}
+
 void EvaluationService::wait_idle() { pool_.wait_idle(); }
 
 std::shared_future<ServiceResponse> EvaluationService::submit(

@@ -140,6 +140,20 @@ struct TransientServiceResponse {
   std::shared_ptr<const DroopCampaignReport> report;
 };
 
+/// One resolved design-space optimization request (the
+/// {"cmd":"optimize"} verb). Like transient campaigns, optimizer runs
+/// execute synchronously on the caller's thread — their inner
+/// parallelism lives on the optimizer's own pool — share the service's
+/// mesh cache, and are not queued, coalesced or result-cached (a run is
+/// hundreds of evaluations, not a cacheable point lookup).
+struct OptimizeServiceResponse {
+  ResponseStatus status{ResponseStatus::kError};
+  /// Populated for kError (bad request / search failure).
+  std::string error;
+  /// Populated for kOk.
+  std::shared_ptr<const opt::OptimizeReport> report;
+};
+
 /// Unified telemetry shape (metrics.observability.to_json()) with the
 /// pre-v2 flat keys — requests/completed/.../latency/mesh_cache/solver —
 /// kept as deprecated aliases for one release.
@@ -147,6 +161,8 @@ io::Value to_json(const ServiceMetrics& metrics);
 /// Wire body for a transient response: status, schema_version, error, and
 /// the report (with its own observability member) when kOk.
 io::Value to_json(const TransientServiceResponse& response);
+/// Wire body for an optimize response, same shape as the transient one.
+io::Value to_json(const OptimizeServiceResponse& response);
 /// Full wire response body (status, schema_version, error, result,
 /// from_cache, timings). The daemon prepends the client's request id.
 /// Fills the serialized "timings.serialize_seconds" with the time spent
@@ -177,6 +193,13 @@ class EvaluationService {
   /// service registry. Deterministic like evaluate(): the report is
   /// bit-identical to running the campaign standalone.
   TransientServiceResponse run_transient(const io::TransientRequest& request);
+
+  /// Runs a design-space optimization synchronously against the service's
+  /// shared mesh cache, recording serve.optimize.* instruments (request /
+  /// evaluation / campaign counters and the run latency histogram) in the
+  /// service registry. Deterministic like evaluate(): the report is
+  /// bit-identical to running the optimizer standalone with the same seed.
+  OptimizeServiceResponse run_optimize(const io::OptimizeRequest& request);
 
   /// Blocks until every accepted request has resolved.
   void wait_idle();

@@ -78,6 +78,11 @@
 #include "vpd/sweep/sweep.hpp"
 #include "vpd/sweep/thread_pool.hpp"
 
+// Design-space optimization
+#include "vpd/opt/design_space.hpp"
+#include "vpd/opt/optimizer.hpp"
+#include "vpd/opt/pareto.hpp"
+
 // JSON wire format and the evaluation service
 #include "vpd/io/json.hpp"
 #include "vpd/io/schema.hpp"

@@ -3,9 +3,11 @@
 #
 # Part 1 (bit-identity): the same pipelined NDJSON stream — evaluations
 # with duplicates, an excluded design point, a malformed line carrying an
-# id — is answered identically by a single vpdd on stdin and by a
-# vpd-router fronting a 3-shard vpdd fleet, modulo the from_cache/timings
-# tail (cache placement and wall times legitimately differ).
+# id, a seeded optimize run — is answered identically by a single vpdd on
+# stdin and by a vpd-router fronting a 3-shard vpdd fleet, modulo the
+# from_cache/wall-clock tails (cache placement and wall times
+# legitimately differ). The optimize line also exercises canonical-key
+# routing: the verb must pin to one shard, not round-robin.
 #
 # Part 2 (socket fleet): vpd-router listens on a Unix socket in front of
 # 2 vpdd shards; vpd-client pipelines requests, a fleet_metrics verb and
@@ -50,6 +52,7 @@ cat > "$stream" <<'EOF'
 {"id":6,"architecture":"A9","topology":"DSCH"}
 {"id":7,"architecture":
 {"id":8,"architecture":"A1","topology":"DSCH","options":{"mesh_nodes":21}}
+{"id":9,"cmd":"optimize","space":{"architectures":["A3@12V"],"topologies":["DSCH"],"vr_count":{"lo":36,"hi":40}},"config":{"population":4,"generations":1,"threads":2},"options":{"mesh_nodes":11}}
 EOF
 
 "$VPDD" --threads 2 < "$stream" > "$workdir/single.ndjson" \
@@ -58,9 +61,11 @@ EOF
   < "$stream" > "$workdir/fleet.ndjson" \
   || fail "vpd-router exited non-zero"
 
-# from_cache and the timing tail differ run to run (they are metadata,
-# not results); everything before them must match byte for byte.
-strip_meta() { sed 's/,"from_cache".*//' "$1"; }
+# from_cache and the wall-clock tails differ run to run (they are
+# metadata, not results); everything before them must match byte for
+# byte. Optimize reports order their deterministic fields (front,
+# hypervolume, evaluations) ahead of "wall_seconds" for exactly this cut.
+strip_meta() { sed 's/,"from_cache".*//; s/,"wall_seconds".*//' "$1"; }
 strip_meta "$workdir/single.ndjson" > "$workdir/single.stripped"
 strip_meta "$workdir/fleet.ndjson" > "$workdir/fleet.stripped"
 cmp -s "$workdir/single.stripped" "$workdir/fleet.stripped" \
@@ -70,6 +75,12 @@ cmp -s "$workdir/single.stripped" "$workdir/fleet.stripped" \
 # The malformed id=7 line still got an id-tagged error through the fleet.
 grep '^{"id":7,' "$workdir/fleet.ndjson" | grep -q '"status":"error"' \
   || fail "malformed line must get an id-tagged error through the router"
+
+# The optimize verb came back through the fleet with the seeded Pareto
+# front intact (the bit-identity diff above already proved it matches the
+# single-process run).
+grep '^{"id":9,' "$workdir/fleet.ndjson" | grep -q '"front":\[' \
+  || fail "optimize through the router must carry the Pareto front"
 
 # --- Part 2: socket fleet with drain ---------------------------------------
 
@@ -134,4 +145,4 @@ echo "$fleet_line" | grep -q '"serve.evaluated":2' \
 wait "$router_pid" || fail "router must exit 0 after a client-driven drain"
 router_pid=""
 
-echo "fleet_smoke: OK (bit-identity vs single vpdd, 2-shard socket fleet, zero-loss drain)"
+echo "fleet_smoke: OK (bit-identity vs single vpdd incl. optimize, 2-shard socket fleet, zero-loss drain)"

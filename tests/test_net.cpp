@@ -148,6 +148,37 @@ TEST(NetProtocol, ClassifyLineRoutesByCanonicalKey) {
   EXPECT_EQ(*twin.key_hash, *info.key_hash);
 }
 
+TEST(NetProtocol, ClassifyLineRoutesOptimizeByCanonicalKey) {
+  const std::string line =
+      "{\"id\":4,\"cmd\":\"optimize\",\"space\":{"
+      "\"architectures\":[\"A3@12V\"],\"topologies\":[\"DSCH\"]},"
+      "\"config\":{\"population\":6,\"generations\":2}}";
+  const net::RouteInfo info = net::classify_line(line);
+  EXPECT_EQ(info.verb, net::Verb::kOptimize);
+  ASSERT_TRUE(info.key_hash.has_value());
+  EXPECT_EQ(*info.key_hash,
+            net::fnv1a64(io::canonical_optimize_key(
+                io::optimize_request_from_json(io::parse(line)))));
+  EXPECT_EQ(info.id.as_number(), 4.0);
+
+  // Identical request, different field order and an ignored extra field:
+  // the canonical key (and thus the shard) is the same.
+  const net::RouteInfo twin = net::classify_line(
+      "{\"zz_ignored\":true,\"config\":{\"generations\":2,"
+      "\"population\":6},\"space\":{\"topologies\":[\"DSCH\"],"
+      "\"architectures\":[\"A3@12V\"]},\"cmd\":\"optimize\",\"id\":5}");
+  ASSERT_TRUE(twin.key_hash.has_value());
+  EXPECT_EQ(*twin.key_hash, *info.key_hash);
+
+  // An invalid optimize body degrades to kUnroutable (the shard that
+  // replays the line produces the authoritative error).
+  const net::RouteInfo bad = net::classify_line(
+      "{\"cmd\":\"optimize\",\"space\":{\"vr_count\":{\"lo\":0,"
+      "\"hi\":4}}}");
+  EXPECT_EQ(bad.verb, net::Verb::kUnroutable);
+  EXPECT_FALSE(bad.key_hash.has_value());
+}
+
 TEST(NetProtocol, ClassifyLineControlVerbsCarryNoKey) {
   EXPECT_EQ(net::classify_line("{\"cmd\":\"metrics\"}").verb,
             net::Verb::kMetrics);

@@ -1,8 +1,9 @@
 #!/bin/sh
-# End-to-end vpdd smoke test: pipe 17 NDJSON lines (10 pipelined
+# End-to-end vpdd smoke test: pipe 19 NDJSON lines (10 pipelined
 # evaluation requests, one of them malformed, two droop-campaign
-# requests — one valid, one rejected — plus metrics / trace / unknown
-# control verbs, a malformed line whose "id" must still be echoed, and
+# requests and two optimize requests — one valid, one rejected each —
+# plus metrics / trace / unknown control verbs, a malformed line whose
+# "id" must still be echoed, and
 # a final graceful-shutdown verb) through the daemon with tracing
 # enabled, and check that every line gets an in-order, id-tagged
 # response with the expected status, that the trace file is a Chrome
@@ -33,6 +34,8 @@ this line is not JSON {{{
 {"id":10,"architecture":"A3@12V","topology":"DSCH","options":{"mesh_nodes":21}}
 {"id":14,"cmd":"transient","architecture":"A1","topology":"DSCH","options":{"mesh_nodes":21},"config":{"tile_grid":1,"include_bursts":false,"include_ramps":false,"max_dropout_sites":1,"threads":2}}
 {"id":15,"cmd":"transient","architecture":"A0"}
+{"id":16,"cmd":"optimize","space":{"architectures":["A3@12V"],"topologies":["DSCH"],"vr_count":{"lo":36,"hi":40}},"config":{"population":4,"generations":1,"survivability":{"max_elites":1},"threads":2},"options":{"mesh_nodes":11}}
+{"id":17,"cmd":"optimize","space":{"vr_count":{"lo":0,"hi":4}}}
 {"id":11,"cmd":"metrics"}
 {"id":12,"cmd":"trace"}
 {"id":13,"cmd":"frobnicate"}
@@ -52,8 +55,8 @@ fail() {
 }
 
 # One response line per request, in request order.
-[ "$(wc -l < "$responses")" -eq 17 ] || fail "expected 17 response lines"
-expected_ids='1 2 3 4 5 6 null 8 9 10 14 15 11 12 13 21 99'
+[ "$(wc -l < "$responses")" -eq 19 ] || fail "expected 19 response lines"
+expected_ids='1 2 3 4 5 6 null 8 9 10 14 15 16 17 11 12 13 21 99'
 actual_ids="$(grep -o '^{"id":[^,]*' "$responses" | sed 's/^{"id"://' | tr '\n' ' ' | sed 's/ $//')"
 [ "$actual_ids" = "$expected_ids" ] || fail "response ids/order wrong: $actual_ids"
 
@@ -76,6 +79,8 @@ check_status 9 ok
 check_status 10 ok
 check_status 14 ok
 check_status 15 error
+check_status 16 ok
+check_status 17 error
 check_status 11 ok
 check_status 12 ok
 check_status 13 error
@@ -118,6 +123,18 @@ grep '^{"id":14,' "$responses" | grep -q '"observability":{' \
 grep '^{"id":15,' "$responses" | grep -q 'distribution mesh' \
   || fail "the A0 transient request must explain the rejection"
 
+# The "optimize" verb runs the seeded Pareto search: the response carries
+# the front, the hypervolume and the versioned body; the degenerate space
+# is rejected with a structured error before any evaluation runs.
+grep '^{"id":16,' "$responses" | grep -q '"schema_version":2' \
+  || fail "optimize responses must carry schema_version 2"
+grep '^{"id":16,' "$responses" | grep -q '"front":\[' \
+  || fail "optimize responses must carry the Pareto front"
+grep '^{"id":16,' "$responses" | grep -q '"hypervolume":' \
+  || fail "optimize responses must carry the hypervolume"
+grep '^{"id":17,' "$responses" | grep -q '"status":"error"' \
+  || fail "the degenerate optimize space must be rejected"
+
 # The "metrics" verb resolves after every earlier request and reports the
 # unified telemetry shape, including the serve.transient.* instruments.
 grep '^{"id":11,' "$responses" | grep -q '"metrics":{' \
@@ -126,6 +143,8 @@ grep '^{"id":11,' "$responses" | grep -q '"counters":{' \
   || fail "metrics bodies must carry the unified counters shape"
 grep '^{"id":11,' "$responses" | grep -q '"serve.transient.requests":1' \
   || fail "metrics must count the resolved transient request"
+grep '^{"id":11,' "$responses" | grep -q '"serve.optimize.requests":1' \
+  || fail "metrics must count the resolved optimize request"
 
 # The "trace" verb flushed the buffer to the --trace file, which must be
 # a Chrome trace-event document with at least one recorded span.
@@ -145,4 +164,4 @@ grep -q '"evaluated": 7' "$workdir/metrics.json" \
 grep -q '"counters": {' "$workdir/metrics.json" \
   || fail "metrics dump should carry the unified telemetry shape"
 
-echo "vpdd_smoke: OK (17 pipelined lines: 10 requests, 2 malformed, 2 transient, 3 control verbs, 1 shutdown)"
+echo "vpdd_smoke: OK (19 pipelined lines: 10 requests, 2 malformed, 2 transient, 2 optimize, 3 control verbs, 1 shutdown)"

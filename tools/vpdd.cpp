@@ -8,6 +8,8 @@
 //   {"cmd":"evaluate", ...request fields...}   evaluate (same as bare)
 //   {"cmd":"transient", ...request fields...}  droop campaign (see
 //                                              docs/transient.md)
+//   {"cmd":"optimize", ...request fields...}   Pareto design search (see
+//                                              docs/optimize.md)
 //   {"cmd":"metrics"}                          unified telemetry snapshot
 //   {"cmd":"trace", "path":"out.json"}         flush the trace buffer
 //   {"cmd":"shutdown"}                         graceful drain: finish

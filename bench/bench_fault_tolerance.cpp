@@ -109,6 +109,8 @@ int main(int argc, char** argv) {
       acc("solver.cg_iterations");
       acc("solver.precond_factorizations");
       acc("solver.precond_reuses");
+      acc("solver.cg_block_panels");
+      acc("solver.cg_block_columns");
     }
     out.set_observability(merged);
     out.print();

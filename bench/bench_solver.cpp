@@ -1,20 +1,25 @@
-// Solver-core bench: Jacobi vs IC(0) (modified, level-1 fill) CG on the
-// distribution mesh operators, across mesh sizes and on the default
-// evaluation grid. Both preconditioners converge to the same certified
+// Solver-core bench: Jacobi vs IC(0) (modified, level-1 fill) vs geometric
+// multigrid CG on the distribution mesh operators, across mesh sizes and
+// on the default evaluation grid, plus the multi-RHS loop-vs-block
+// comparison. Every preconditioner converges to the same certified
 // normwise backward-error criterion; the comparison is purely about how
 // many iterations (and how much wall time) that certification costs.
 //
 // Modes:
 //   (default)  human-readable tables + ratios
 //   --json     one JSON document through benchio::JsonReport
-//   --check    regression guard: IC iteration counts on the default
-//              evaluation grid must not exceed the recorded Jacobi
-//              baselines (exit 1 on violation); prints the comparison
+//   --check    regression guard (exit 1 on violation): IC iteration
+//              counts on the default evaluation grid must not exceed the
+//              recorded Jacobi baselines, and multigrid iteration counts
+//              across the 64 -> 512 refinement ladder must stay flat
+//              within 2x (max/min); prints the comparison
 //
 // The recorded baselines are the warm-start Jacobi iteration counts of
 // the default grid at the time the preconditioned core landed. The
 // Jacobi path preserves that operation order bit for bit, so these are
-// stable reference points, not environment-dependent timings.
+// stable reference points, not environment-dependent timings. The
+// multigrid flatness guard needs no recorded numbers at all: mesh-size
+// independence is the property itself.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -27,6 +32,7 @@
 #include "vpd/common/table.hpp"
 #include "vpd/core/spec.hpp"
 #include "vpd/package/irdrop.hpp"
+#include "vpd/package/mesh_cache.hpp"
 
 namespace {
 
@@ -64,27 +70,33 @@ struct SolveSample {
   double best_seconds{0.0};
 };
 
+// Four mid-edge VR patches sourcing the paper die's rail, shared by the
+// mesh-size scan, the refinement ladder and the multi-RHS section.
+std::vector<VrAttachment> mid_edge_vrs(const GridMesh& mesh) {
+  const double w = mesh.width().value;
+  const double h = mesh.height().value;
+  const Voltage rail{1.0};
+  std::vector<VrAttachment> vrs;
+  for (const auto& [cx, cy] : std::vector<std::pair<double, double>>{
+           {0.5 * w, 0.0}, {0.5 * w, h}, {0.0, 0.5 * h}, {w, 0.5 * h}}) {
+    const auto patch =
+        patch_attachment(mesh, Length{cx}, Length{cy}, Length{1.5e-3}, rail,
+                         Resistance{100e-6});
+    vrs.insert(vrs.end(), patch.begin(), patch.end());
+  }
+  return vrs;
+}
+
 // Representative distribution solve at an arbitrary mesh resolution: the
 // paper die with four mid-edge VR patches sourcing a uniform 500 A draw.
 SolveSample mesh_solve(std::size_t nodes, CgPreconditioner preconditioner,
                        int repetitions) {
   const Length side{10e-3};
   const GridMesh mesh(side, side, nodes, nodes, 2e-3);
-  const Voltage rail{1.0};
-  std::vector<VrAttachment> vrs;
-  for (const auto& [cx, cy] :
-       std::vector<std::pair<double, double>>{{0.5 * side.value, 0.0},
-                                              {0.5 * side.value, side.value},
-                                              {0.0, 0.5 * side.value},
-                                              {side.value, 0.5 * side.value}}) {
-    const auto patch =
-        patch_attachment(mesh, Length{cx}, Length{cy}, Length{1.5e-3}, rail,
-                         Resistance{100e-6});
-    vrs.insert(vrs.end(), patch.begin(), patch.end());
-  }
+  const std::vector<VrAttachment> vrs = mid_edge_vrs(mesh);
   const Vector sinks = uniform_sinks(mesh, Current{500.0});
   IrDropOptions options;
-  options.warm_start_voltage = rail.value;
+  options.warm_start_voltage = 1.0;
   options.preconditioner = preconditioner;
 
   SolveSample sample;
@@ -93,6 +105,79 @@ SolveSample mesh_solve(std::size_t nodes, CgPreconditioner preconditioner,
     const IrDropResult result = solve_irdrop(mesh, vrs, sinks, options);
     const double seconds = seconds_since(start);
     sample.iterations = result.cg_iterations;
+    if (rep == 0 || seconds < sample.best_seconds)
+      sample.best_seconds = seconds;
+  }
+  return sample;
+}
+
+// Same solve against a pre-assembled operator, so the multigrid hierarchy
+// and IC symbolic analysis are cached exactly as the production paths
+// cache them (the refinement ladder measures the numeric solve, not the
+// per-call symbolic setup).
+SolveSample assembled_solve(const AssembledMesh& assembled,
+                            CgPreconditioner preconditioner,
+                            int repetitions) {
+  const std::vector<VrAttachment> vrs = mid_edge_vrs(assembled.mesh);
+  const Vector sinks = uniform_sinks(assembled.mesh, Current{500.0});
+  IrDropOptions options;
+  options.warm_start_voltage = 1.0;
+  options.preconditioner = preconditioner;
+
+  SolveSample sample;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const IrDropResult result = solve_irdrop(assembled, vrs, sinks, options);
+    const double seconds = seconds_since(start);
+    sample.iterations = result.cg_iterations;
+    if (rep == 0 || seconds < sample.best_seconds)
+      sample.best_seconds = seconds;
+  }
+  return sample;
+}
+
+// Sink maps for the multi-RHS section: a shared uniform draw plus one
+// hotspot per map at a different die location, so the right-hand sides
+// are genuinely independent (parallel columns would deflate trivially).
+std::vector<Vector> hotspot_sink_maps(const GridMesh& mesh,
+                                      std::size_t maps) {
+  std::vector<Vector> sink_maps;
+  sink_maps.reserve(maps);
+  for (std::size_t j = 0; j < maps; ++j) {
+    Vector sinks = uniform_sinks(mesh, Current{400.0});
+    const std::size_t hotspot =
+        (j + 1) * mesh.node_count() / (maps + 1);
+    sinks[hotspot] += 100.0;
+    sink_maps.push_back(std::move(sinks));
+  }
+  return sink_maps;
+}
+
+struct BatchSample {
+  std::size_t iterations{0};
+  double best_seconds{0.0};
+};
+
+// Multi-RHS batch solve through solve_irdrop_batch, block panels vs
+// sequential loop selected by batch_block.
+BatchSample batch_solve(const AssembledMesh& assembled,
+                        const std::vector<VrAttachment>& vrs,
+                        const std::vector<Vector>& sink_maps,
+                        CgPreconditioner preconditioner, bool block,
+                        int repetitions) {
+  IrDropOptions options;
+  options.warm_start_voltage = 1.0;
+  options.preconditioner = preconditioner;
+  options.batch_block = block;
+
+  BatchSample sample;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<IrDropResult> results =
+        solve_irdrop_batch(assembled, vrs, sink_maps, options);
+    const double seconds = seconds_since(start);
+    sample.iterations = 0;
+    for (const IrDropResult& r : results) sample.iterations += r.cg_iterations;
     if (rep == 0 || seconds < sample.best_seconds)
       sample.best_seconds = seconds;
   }
@@ -176,6 +261,70 @@ int main(int argc, char** argv) {
     mesh_rows.push_back(std::move(row));
   }
 
+  // --- Refinement ladder: IC(0) vs multigrid --------------------------------
+  // IC(0) iteration counts grow with refinement; the multigrid V-cycle
+  // keeps them essentially flat. The guard asserts the flatness (max/min
+  // multigrid iterations across the ladder <= 2x) rather than comparing
+  // against recorded counts: mesh-size independence is the property.
+  const std::size_t ladder[] = {64, 128, 256, 512};
+  TextTable ladder_table({"Mesh", "IC(0) its", "MG its", "IC(0) wall",
+                          "MG wall", "Wall ratio"});
+  io::Value ladder_rows = io::Value::array();
+  std::size_t mg_min_iterations = 0;
+  std::size_t mg_max_iterations = 0;
+  for (std::size_t nodes : ladder) {
+    const auto assembled =
+        assemble_mesh(Length{10e-3}, Length{10e-3}, nodes, nodes, 2e-3);
+    const SolveSample ic = assembled_solve(
+        *assembled, CgPreconditioner::kIncompleteCholesky, 1);
+    const SolveSample mg =
+        assembled_solve(*assembled, CgPreconditioner::kMultigrid, 1);
+    if (mg_min_iterations == 0 || mg.iterations < mg_min_iterations)
+      mg_min_iterations = mg.iterations;
+    if (mg.iterations > mg_max_iterations)
+      mg_max_iterations = mg.iterations;
+    ladder_table.add_row(
+        {std::to_string(nodes) + "x" + std::to_string(nodes),
+         std::to_string(ic.iterations), std::to_string(mg.iterations),
+         format_us(ic.best_seconds), format_us(mg.best_seconds),
+         format_ratio(ic.best_seconds / mg.best_seconds)});
+    io::Value row = io::Value::object();
+    row.set("nodes", nodes);
+    row.set("ic_iterations", ic.iterations);
+    row.set("mg_iterations", mg.iterations);
+    row.set("ic_seconds", ic.best_seconds);
+    row.set("mg_seconds", mg.best_seconds);
+    ladder_rows.push_back(std::move(row));
+  }
+  const double mg_growth = static_cast<double>(mg_max_iterations) /
+                           static_cast<double>(mg_min_iterations);
+  const bool mg_ladder_flat = mg_growth <= 2.0;
+
+  // --- Multi-RHS: sequential loop vs block panels ---------------------------
+  const std::size_t batch_nodes = 128;
+  const std::size_t batch_maps = 8;
+  const auto batch_mesh = assemble_mesh(Length{10e-3}, Length{10e-3},
+                                        batch_nodes, batch_nodes, 2e-3);
+  const std::vector<VrAttachment> batch_vrs = mid_edge_vrs(batch_mesh->mesh);
+  const std::vector<Vector> batch_maps_v =
+      hotspot_sink_maps(batch_mesh->mesh, batch_maps);
+  const BatchSample loop_sample =
+      batch_solve(*batch_mesh, batch_vrs, batch_maps_v,
+                  CgPreconditioner::kMultigrid, false, repetitions);
+  const BatchSample block_sample =
+      batch_solve(*batch_mesh, batch_vrs, batch_maps_v,
+                  CgPreconditioner::kMultigrid, true, repetitions);
+  const double block_speedup =
+      loop_sample.best_seconds / block_sample.best_seconds;
+  io::Value multi_rhs = io::Value::object();
+  multi_rhs.set("nodes", batch_nodes * batch_nodes);
+  multi_rhs.set("sink_maps", batch_maps);
+  multi_rhs.set("loop_iterations", loop_sample.iterations);
+  multi_rhs.set("block_iterations", block_sample.iterations);
+  multi_rhs.set("loop_seconds", loop_sample.best_seconds);
+  multi_rhs.set("block_seconds", block_sample.best_seconds);
+  multi_rhs.set("block_speedup", block_speedup);
+
   // --- Default evaluation grid ----------------------------------------------
   const SolverCounters before = solver_counters();
   TextTable grid_table({"Point", "Jacobi its", "IC(0) its", "Ratio",
@@ -207,10 +356,16 @@ int main(int argc, char** argv) {
     grid_rows.push_back(std::move(row));
   }
   const SolverCounters delta = solver_counters() - before;
+  const bool grid_guard_ok = guard_ok;
+  guard_ok = guard_ok && mg_ladder_flat;
 
   if (json) {
     benchio::JsonReport report("bench_solver");
     report.add("mesh_sizes", std::move(mesh_rows));
+    report.add("refinement_ladder", std::move(ladder_rows));
+    report.add("mg_iteration_growth", mg_growth);
+    report.add("mg_ladder_flat", mg_ladder_flat);
+    report.add("multi_rhs", std::move(multi_rhs));
     report.add("default_grid", std::move(grid_rows));
     report.add("worst_grid_iteration_ratio", worst_ratio);
     report.add("guard_ok", guard_ok);
@@ -219,25 +374,43 @@ int main(int argc, char** argv) {
     return guard_ok ? 0 : 1;
   }
 
-  std::printf("=== CG preconditioning: Jacobi vs modified IC(0), fill "
-              "level 1 ===\n\n");
+  std::printf("=== CG preconditioning: Jacobi vs modified IC(0) vs "
+              "geometric multigrid ===\n\n");
   std::printf("Mesh-size scan (warm-started distribution solve, best of "
               "%d):\n", repetitions);
   std::cout << mesh_table << '\n';
+  std::printf("Refinement ladder (cached hierarchy, IC(0) vs multigrid "
+              "V(1,1)):\n");
+  std::cout << ladder_table << '\n';
+  std::printf("Multigrid iteration growth across the ladder: %.2fx "
+              "(flat means <= 2x): %s\n\n",
+              mg_growth, mg_ladder_flat ? "ok" : "EXCEEDED");
+  std::printf("Multi-RHS batch (%zu sink maps, %zux%zu mesh, multigrid, "
+              "best of %d):\n"
+              "  loop:  %zu iterations, %s\n"
+              "  block: %zu iterations, %s  (%.2fx speedup)\n\n",
+              batch_maps, batch_nodes, batch_nodes, repetitions,
+              loop_sample.iterations, format_us(loop_sample.best_seconds).c_str(),
+              block_sample.iterations,
+              format_us(block_sample.best_seconds).c_str(), block_speedup);
   std::printf("Default evaluation grid (per-evaluation CG iterations):\n");
   std::cout << grid_table << '\n';
   std::printf(
       "Worst default-grid iteration ratio: %.2fx (acceptance floor 3x).\n"
       "Solver counters over the grid section: %llu solves, %llu "
-      "iterations, %llu factorizations, %llu reuses.\n",
+      "iterations, %llu factorizations, %llu reuses, %llu block panels, "
+      "%llu block columns.\n",
       worst_ratio, static_cast<unsigned long long>(delta.cg_solves),
       static_cast<unsigned long long>(delta.cg_iterations),
       static_cast<unsigned long long>(delta.precond_factorizations),
-      static_cast<unsigned long long>(delta.precond_reuses));
+      static_cast<unsigned long long>(delta.precond_reuses),
+      static_cast<unsigned long long>(delta.cg_block_panels),
+      static_cast<unsigned long long>(delta.cg_block_columns));
   if (check) {
-    std::printf("\nGuard: IC iterations %s the recorded Jacobi "
-                "baselines.\n",
-                guard_ok ? "within" : "EXCEED");
+    std::printf("\nGuard: IC iterations %s the recorded Jacobi baselines; "
+                "multigrid ladder %s.\n",
+                grid_guard_ok ? "within" : "EXCEED",
+                mg_ladder_flat ? "flat" : "NOT FLAT");
   }
   return guard_ok ? 0 : 1;
 }

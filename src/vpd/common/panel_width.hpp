@@ -1,0 +1,43 @@
+// Compile-time width dispatch for the multi-RHS panel kernels. The panel
+// layout is node-major interleaved with the width as the innermost
+// dimension; with the width a runtime value the compiler keeps the
+// per-column accumulators in memory and the inner loops un-unrolled,
+// which costs the panel sweeps their entire advantage over repeated
+// single-vector sweeps. Dispatching once per kernel call onto a
+// constexpr width turns every inner loop into straight-line register
+// code. Internal header: included by the kernel translation units only.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "vpd/common/error.hpp"
+
+namespace vpd {
+namespace detail {
+
+/// Calls f(std::integral_constant<std::size_t, width>{}) for widths
+/// 1..kMaxPanelWidth. The callee reads the width as a constexpr value.
+inline constexpr std::size_t kMaxPanelWidth = 16;
+
+template <typename F, std::size_t... Ws>
+void dispatch_panel_width_impl(std::size_t width, F&& f,
+                               std::index_sequence<Ws...>) {
+  const bool hit =
+      ((width == Ws + 1
+            ? (f(std::integral_constant<std::size_t, Ws + 1>{}), true)
+            : false) ||
+       ...);
+  VPD_REQUIRE(hit, "panel width ", width, " outside [1, ", kMaxPanelWidth,
+              "]");
+}
+
+template <typename F>
+void dispatch_panel_width(std::size_t width, F&& f) {
+  dispatch_panel_width_impl(width, std::forward<F>(f),
+                            std::make_index_sequence<kMaxPanelWidth>{});
+}
+
+}  // namespace detail
+}  // namespace vpd

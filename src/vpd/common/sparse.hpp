@@ -2,21 +2,34 @@
 // in-place matrix-vector products, and a preconditioned conjugate-gradient
 // solver for symmetric positive-definite systems. Power-grid IR-drop
 // matrices (Laplacian + source shunts) are SPD, so CG is the natural solver
-// and scales to meshes with 10^5+ nodes. Two preconditioners are offered:
-// Jacobi (diagonal scaling) and IC(0) (incomplete Cholesky with no fill,
-// falling back to SSOR when the factorization breaks down), selectable via
-// CgOptions. A CgWorkspace makes repeated solves allocation-free and reuses
-// the factorization when the matrix values have not changed.
+// and scales to meshes with 10^5+ nodes. Three preconditioners are offered:
+// Jacobi (diagonal scaling), IC(0) (incomplete Cholesky with no fill,
+// falling back to SSOR when the factorization breaks down), and geometric
+// multigrid (multigrid.hpp; near-mesh-size-independent iteration counts),
+// selectable via CgOptions. A CgWorkspace makes repeated solves
+// allocation-free and reuses the factorization when the matrix values have
+// not changed; solve_cg_block solves panels of right-hand sides together
+// through a true block-CG recurrence.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "vpd/common/matrix.hpp"  // for Vector
 #include "vpd/obs/trace.hpp"
 
 namespace vpd {
+
+class MgSymbolic;        // multigrid.hpp (which includes this header)
+class MgPreconditioner;  // multigrid.hpp
+
+/// Widest panel the multi-RHS block solver processes at once. Batches with
+/// more right-hand sides are chunked; 16 doubles is two cache lines per
+/// node, small enough for stack accumulators in the blocked sweeps and
+/// wide enough to saturate SpMM memory bandwidth.
+inline constexpr std::size_t kMaxCgBlockWidth = 16;
 
 /// Coordinate-format accumulator. Duplicate (row, col) entries are summed
 /// when compiled to CSR — exactly the stamping pattern MNA/mesh assembly
@@ -70,6 +83,13 @@ class CsrMatrix {
   /// distinct objects. The allocation-free SpMV the CG iteration uses.
   void multiply_into(const Vector& x, Vector& y) const;
 
+  /// Panel SpMM, Y = A X, where X and Y hold `width` interleaved vectors
+  /// (node-major: x[i * width + j] is column j's entry at node i, the
+  /// layout the block-CG path uses so the inner width-loop vectorizes).
+  /// X must have cols() * width entries; Y must have rows() * width and
+  /// must not alias X. Column j's arithmetic is exactly multiply_into's.
+  void multiply_panel(const double* x, double* y, std::size_t width) const;
+
   /// Element lookup (O(log nnz_row)); returns 0 for structural zeros.
   double at(std::size_t row, std::size_t col) const;
 
@@ -122,6 +142,15 @@ enum class CgPreconditioner {
   /// (M = (D+L) D^{-1} (D+L)^T, always SPD for SPD A) if a pivot loses
   /// positivity, so the preconditioned system stays SPD unconditionally.
   kIncompleteCholesky,
+  /// One geometric-multigrid V(1,1)-cycle (multigrid.hpp): damped-Jacobi
+  /// smoothing, Galerkin coarse grids, dense coarsest solve. Iteration
+  /// counts become near-independent of mesh size, where IC(0) counts grow
+  /// with refinement — the right choice for large meshes and for batch
+  /// workloads that amortize the hierarchy setup. Requires
+  /// CgOptions::mg_symbolic (the grid-derived hierarchy; only the package
+  /// layer knows the mesh dimensions, so it cannot be built from the
+  /// matrix alone).
+  kMultigrid,
 };
 
 const char* to_string(CgPreconditioner preconditioner);
@@ -183,6 +212,12 @@ class IcPreconditioner {
   /// gone.
   void apply(const Vector& r, Vector& z) const;
 
+  /// Panel form of apply(): r and z hold `width` interleaved vectors
+  /// (node-major, r[i * width + j]; width <= kMaxCgBlockWidth). The
+  /// blocked wavefront sweeps run each column through exactly the
+  /// arithmetic of a standalone apply(). z must not alias r.
+  void apply_panel(const double* r, double* z, std::size_t width) const;
+
   bool empty() const { return fwd_off_.empty(); }
   /// True when the last factor() hit a non-positive (or relatively
   /// negligible) pivot and produced the SSOR preconditioner instead.
@@ -224,7 +259,7 @@ struct CgResult {
 };
 
 struct CgOptions {
-  std::size_t max_iterations{0};  // 0 => 10 * n
+  std::size_t max_iterations{0};  // 0 => 10 * n + 100
   double relative_tolerance{1e-10};
   /// Warm-start iterate; empty = start from zero. A good x0 (the previous
   /// solution on the same mesh, or the rail voltage for an IR-drop solve)
@@ -236,18 +271,29 @@ struct CgOptions {
   /// kIncompleteCholesky (e.g. cached next to a mesh Laplacian whose
   /// stamps never change the pattern). nullptr builds it at factor time.
   const IcSymbolic* ic_symbolic{nullptr};
+  /// Grid-derived multigrid hierarchy for kMultigrid (cached next to a
+  /// mesh Laplacian like ic_symbolic; see AssembledMesh::mg_symbolic).
+  /// Required when preconditioner == kMultigrid — must be non-null with
+  /// rows() matching the matrix, or the solve throws InvalidArgument.
+  const MgSymbolic* mg_symbolic{nullptr};
   /// Parent span for the solve's trace span. Process-local observability
   /// plumbing only — never serialized, never read by the numerics.
   obs::TraceContext trace{};
 };
 
-/// Reusable solver state: the iteration vectors, the diagonal scratch, and
-/// the most recent IC(0)/SSOR factorization together with an exact copy of
-/// the matrix (pattern + values) it was computed from. A repeat solve on a
-/// value-identical matrix — the common case in fault campaigns re-solving
-/// the same stamped operator and in warm-started sweeps — reuses the
-/// factorization, verified by exact comparison so reuse can never change a
-/// result bit. Not thread-safe: use one workspace per thread.
+/// Reusable solver state: the iteration vectors (scalar and panel), the
+/// operator-derived scalars (||A||_inf, the SPD diagonal check, the Jacobi
+/// inverse diagonal), and the most recent IC(0)/SSOR or multigrid setup,
+/// all keyed to the matrix they were computed from. The key is a
+/// structural digest of the pattern (FNV-1a over shape + row offsets +
+/// column indices) plus an exact copy of the values — pattern storage is
+/// one hash instead of a second copy of the index arrays, while the exact
+/// value comparison still guarantees reuse can never change a result bit.
+/// A repeat solve on a value-identical matrix — the common case in fault
+/// campaigns re-solving the same stamped operator and in warm-started
+/// sweeps — skips the diagonal scan and norm recompute and reuses the
+/// factorization when the preconditioner kind also matches. Not
+/// thread-safe: use one workspace per thread.
 class CgWorkspace {
  public:
   struct Stats {
@@ -257,22 +303,48 @@ class CgWorkspace {
     std::size_t factorization_reuses{0};
   };
 
+  CgWorkspace();
+  ~CgWorkspace();
+  CgWorkspace(const CgWorkspace&) = delete;
+  CgWorkspace& operator=(const CgWorkspace&) = delete;
+
   const Stats& stats() const { return stats_; }
-  /// Forgets the cached factorization; the next IC solve refactors.
-  void invalidate() { key_valid_ = false; }
+  /// Forgets everything keyed to the cached operator (factorization,
+  /// norm, diagonal); the next solve recomputes and refactors.
+  void invalidate() {
+    key_valid_ = false;
+    factored_ = FactorKind::kNone;
+  }
 
  private:
   friend CgResult solve_cg(const CsrMatrix&, const Vector&, const CgOptions&,
                            CgWorkspace&);
+  friend std::vector<CgResult> solve_cg_block(const CsrMatrix&,
+                                              const std::vector<Vector>&,
+                                              const CgOptions&, CgWorkspace&);
+
+  enum class FactorKind { kNone, kIncompleteCholesky, kMultigrid };
 
   bool key_matches(const CsrMatrix& a) const;
   void capture_key(const CsrMatrix& a);
+  /// Shared solve prologue: validates the options, runs the SPD diagonal
+  /// pre-check, caches ||A||_inf and the Jacobi inverse diagonal (all
+  /// skipped on an operator-key hit), and (re)factors or reuses the
+  /// IC/multigrid setup as the requested preconditioner demands.
+  void prepare(const CsrMatrix& a, const CgOptions& options);
 
-  Vector diag_;                // Jacobi inverse diagonal / SPD pre-check
-  Vector r_, z_, p_, ap_;      // CG iteration vectors
+  Vector diag_;      // SPD pre-check scratch
+  Vector inv_diag_;  // Jacobi inverse diagonal (valid while key_valid_)
+  double a_inf_{0.0};  // ||A||_inf (valid while key_valid_)
+  Vector r_, z_, p_, ap_;  // CG iteration vectors
+  // Block-CG panels (node-major interleaved, lazily sized).
+  std::vector<double> panel_b_, panel_x_, panel_r_, panel_z_, panel_p_,
+      panel_q_;
   IcPreconditioner ic_;
-  std::vector<std::size_t> key_offsets_;  // matrix the factorization is for
-  std::vector<std::size_t> key_cols_;
+  std::unique_ptr<MgPreconditioner> mg_;  // lazily constructed
+  FactorKind factored_{FactorKind::kNone};  // kind the cached setup is for
+  // Operator key: structural digest + exact value copy (see class doc).
+  std::uint64_t key_digest_{0};
   std::vector<double> key_values_;
   bool key_valid_{false};
   Stats stats_;
@@ -289,6 +361,13 @@ struct SolverCounters {
   std::uint64_t cg_iterations{0};
   std::uint64_t precond_factorizations{0};
   std::uint64_t precond_reuses{0};
+  /// Block-CG activity: panels launched by solve_cg_block and columns
+  /// solved through the block recurrence (columns that fall back to
+  /// scalar CG — rank-deficient panels — count under cg_solves only).
+  /// Block solves also count into cg_solves/cg_iterations per column, so
+  /// those two stay "right-hand sides solved" across every path.
+  std::uint64_t cg_block_panels{0};
+  std::uint64_t cg_block_columns{0};
 };
 
 SolverCounters solver_counters();
@@ -324,6 +403,27 @@ CgResult solve_cg(const CsrMatrix& a, const Vector& b,
 /// through the workspace. Each result is bit-identical to a standalone
 /// solve_cg call with the same options.
 std::vector<CgResult> solve_cg_batch(const CsrMatrix& a,
+                                     const std::vector<Vector>& rhs,
+                                     const CgOptions& options,
+                                     CgWorkspace& workspace);
+
+/// True multi-RHS block conjugate gradient: solves A X = B for panels of
+/// up to kMaxCgBlockWidth right-hand sides at once, sharing every SpMV and
+/// preconditioner application across the panel (blocked SpMM + blocked
+/// triangular/smoother sweeps over a node-major interleaved layout), with
+/// one search-direction block per iteration (the O'Leary block-CG
+/// recurrence). Convergence is certified per column against the same
+/// normwise-backward-error criterion as solve_cg; converged columns are
+/// deflated out of the panel so the rest keep iterating at reduced width.
+/// Results are NOT bit-identical to a loop of solve_cg calls — the block
+/// Krylov space is genuinely different (that is where the speedup comes
+/// from) — but every returned column satisfies the same certified
+/// accuracy. Rank-deficient panels (duplicate or converged-together
+/// columns) fall back to scalar solve_cg warm-started from the current
+/// block iterate, so the call succeeds wherever the loop would.
+/// options.x0, when set, warm-starts every column. Batches wider than
+/// kMaxCgBlockWidth are chunked into consecutive panels.
+std::vector<CgResult> solve_cg_block(const CsrMatrix& a,
                                      const std::vector<Vector>& rhs,
                                      const CgOptions& options,
                                      CgWorkspace& workspace);

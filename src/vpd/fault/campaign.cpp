@@ -95,6 +95,8 @@ obs::Snapshot FaultCampaignReport::snapshot() const {
   s.set_counter("solver.precond_factorizations",
                 solver.precond_factorizations);
   s.set_counter("solver.precond_reuses", solver.precond_reuses);
+  s.set_counter("solver.cg_block_panels", solver.cg_block_panels);
+  s.set_counter("solver.cg_block_columns", solver.cg_block_columns);
   s.set_gauge("fault.survivability", survivability(), survivability());
   s.set_gauge("fault.worst_droop_fraction", worst_droop_fraction(),
               worst_droop_fraction());

@@ -394,10 +394,12 @@ EvaluationOptions evaluation_options_from_json(const Value& v) {
       options.irdrop_preconditioner = CgPreconditioner::kJacobi;
     } else if (name == to_string(CgPreconditioner::kIncompleteCholesky)) {
       options.irdrop_preconditioner = CgPreconditioner::kIncompleteCholesky;
+    } else if (name == to_string(CgPreconditioner::kMultigrid)) {
+      options.irdrop_preconditioner = CgPreconditioner::kMultigrid;
     } else {
       throw InvalidArgument(detail::concat(
           "unknown irdrop_preconditioner \"", name,
-          "\" (expected \"jacobi\" or \"ic0\")"));
+          "\" (expected \"jacobi\", \"ic0\" or \"multigrid\")"));
     }
   }
   if (const Value* faults = r.get("faults")) {

@@ -297,6 +297,8 @@ obs::Snapshot OptimizeReport::snapshot() const {
   s.set_counter("solver.precond_factorizations",
                 solver.precond_factorizations);
   s.set_counter("solver.precond_reuses", solver.precond_reuses);
+  s.set_counter("solver.cg_block_panels", solver.cg_block_panels);
+  s.set_counter("solver.cg_block_columns", solver.cg_block_columns);
   s.set_gauge("opt.hypervolume", hypervolume, hypervolume);
   s.set_gauge("opt.wall_seconds", wall_seconds, wall_seconds);
   return s;

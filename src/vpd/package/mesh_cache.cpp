@@ -13,8 +13,10 @@ std::shared_ptr<const AssembledMesh> assemble_mesh(Length width,
   GridMesh mesh(width, height, nx, ny, sheet_ohms);
   CsrMatrix laplacian(mesh.laplacian());
   IcSymbolic symbolic(laplacian);
+  MgSymbolic hierarchy(nx, ny);
   return std::make_shared<const AssembledMesh>(
-      AssembledMesh{mesh, std::move(laplacian), std::move(symbolic)});
+      AssembledMesh{mesh, std::move(laplacian), std::move(symbolic),
+                    std::move(hierarchy)});
 }
 
 std::shared_ptr<const AssembledMesh> assemble_mesh(
@@ -23,8 +25,13 @@ std::shared_ptr<const AssembledMesh> assemble_mesh(
   GridMesh mesh(width, height, nx, ny, sheet_ohms, perturbation);
   CsrMatrix laplacian(mesh.laplacian());
   IcSymbolic symbolic(laplacian);
+  // The hierarchy depends only on (nx, ny): a perturbation rescales edge
+  // conductances but never changes the grid, and the Galerkin values are
+  // recomputed from the stamped operator at factor time.
+  MgSymbolic hierarchy(nx, ny);
   return std::make_shared<const AssembledMesh>(
-      AssembledMesh{mesh, std::move(laplacian), std::move(symbolic)});
+      AssembledMesh{mesh, std::move(laplacian), std::move(symbolic),
+                    std::move(hierarchy)});
 }
 
 std::uint64_t mesh_perturbation_digest(const MeshPerturbation& perturbation) {

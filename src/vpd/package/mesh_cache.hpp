@@ -17,21 +17,24 @@
 #include <memory>
 #include <mutex>
 
+#include "vpd/common/multigrid.hpp"
 #include "vpd/obs/trace.hpp"
 #include "vpd/package/mesh.hpp"
 
 namespace vpd {
 
-/// An immutable, shareable mesh with its compiled Laplacian (no shunts)
-/// and the symbolic lower-triangle pattern for IC(0)/SSOR factorizations
-/// of the stamped operator. VR shunt stamps only touch existing diagonal
-/// entries, so one pattern — keyed, like the Laplacian itself, by the
-/// cache key including the perturbation digest — serves every solve on
+/// An immutable, shareable mesh with its compiled Laplacian (no shunts),
+/// the symbolic lower-triangle pattern for IC(0)/SSOR factorizations, and
+/// the geometric multigrid hierarchy for kMultigrid solves of the stamped
+/// operator. VR shunt stamps only touch existing diagonal entries, so one
+/// pattern and one hierarchy — keyed, like the Laplacian itself, by the
+/// cache key including the perturbation digest — serve every solve on
 /// this mesh.
 struct AssembledMesh {
   GridMesh mesh;
   CsrMatrix laplacian;
   IcSymbolic ic_symbolic;
+  MgSymbolic mg_symbolic;
 };
 
 /// Builds the AssembledMesh for the given geometry (also the cache-miss

@@ -69,6 +69,8 @@ io::Value to_json(const ServiceMetrics& metrics) {
   solver.set("precond_factorizations",
              metrics.solver.precond_factorizations);
   solver.set("precond_reuses", metrics.solver.precond_reuses);
+  solver.set("cg_block_panels", metrics.solver.cg_block_panels);
+  solver.set("cg_block_columns", metrics.solver.cg_block_columns);
   v.set("solver", std::move(solver));
   return v;
 }
@@ -473,6 +475,10 @@ ServiceMetrics EvaluationService::metrics() const {
                               m.solver.precond_factorizations);
   m.observability.set_counter("solver.precond_reuses",
                               m.solver.precond_reuses);
+  m.observability.set_counter("solver.cg_block_panels",
+                              m.solver.cg_block_panels);
+  m.observability.set_counter("solver.cg_block_columns",
+                              m.solver.cg_block_columns);
   return m;
 }
 

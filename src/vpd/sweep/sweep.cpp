@@ -37,6 +37,8 @@ obs::Snapshot SweepReport::snapshot() const {
   s.set_counter("solver.precond_factorizations",
                 solver.precond_factorizations);
   s.set_counter("solver.precond_reuses", solver.precond_reuses);
+  s.set_counter("solver.cg_block_panels", solver.cg_block_panels);
+  s.set_counter("solver.cg_block_columns", solver.cg_block_columns);
   s.set_gauge("sweep.wall_seconds", wall_seconds, wall_seconds);
   obs::HistogramData point_seconds(obs::default_latency_bounds());
   for (const SweepOutcome& o : outcomes) {

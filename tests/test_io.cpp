@@ -5,6 +5,7 @@
 // crash).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -219,6 +220,44 @@ TEST(Schema, OptionsDefaultsRoundTripAsFixedPoint) {
   expect_fixed_point(FaultSeverity{}, [](const Value& v) {
     return io::fault_severity_from_json(v);
   });
+}
+
+TEST(Schema, IrDropPreconditionerRoundTripsEveryKindStrictly) {
+  for (CgPreconditioner p :
+       {CgPreconditioner::kJacobi, CgPreconditioner::kIncompleteCholesky,
+        CgPreconditioner::kMultigrid}) {
+    EvaluationOptions options;
+    options.irdrop_preconditioner = p;
+    const EvaluationOptions parsed =
+        io::evaluation_options_from_json(io::to_json(options));
+    EXPECT_EQ(parsed.irdrop_preconditioner, p) << to_string(p);
+    expect_fixed_point(options, [](const Value& v) {
+      return io::evaluation_options_from_json(v);
+    });
+  }
+  // Absent field keeps the default (pre-preconditioner requests parse).
+  Value bare = io::to_json(EvaluationOptions{});
+  auto& members = bare.as_object();
+  members.erase(std::remove_if(members.begin(), members.end(),
+                               [](const Value::Member& m) {
+                                 return m.first == "irdrop_preconditioner";
+                               }),
+                members.end());
+  EXPECT_EQ(io::evaluation_options_from_json(bare).irdrop_preconditioner,
+            EvaluationOptions{}.irdrop_preconditioner);
+  // Unknown names are rejected with the full list of accepted spellings.
+  Value bad = io::to_json(EvaluationOptions{});
+  bad.set("irdrop_preconditioner", std::string("amg"));
+  try {
+    io::evaluation_options_from_json(bad);
+    FAIL() << "unknown preconditioner name was accepted";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown irdrop_preconditioner"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("multigrid"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Schema, EveryFaultKindScenarioRoundTrips) {

@@ -48,6 +48,29 @@ TEST(MeshSolveCache, CachedAssemblyMatchesDirectAssembly) {
   EXPECT_EQ(cached->laplacian.col_indices(), direct->laplacian.col_indices());
 }
 
+TEST(MeshSolveCache, AssemblyCarriesTheMultigridHierarchy) {
+  // Every assembled mesh ships a ready multigrid hierarchy sized to its
+  // grid, so kMultigrid solves through the cache never rebuild it. A
+  // 33x33 grid coarsens to at most 64 nodes in three steps, so the
+  // hierarchy must have several levels, not a degenerate single one.
+  MeshSolveCache cache;
+  const auto assembled = cache.get(10.0_mm, 10.0_mm, 33, 33, 2e-3);
+  ASSERT_FALSE(assembled->mg_symbolic.empty());
+  EXPECT_EQ(assembled->mg_symbolic.rows(), assembled->mesh.node_count());
+  EXPECT_GE(assembled->mg_symbolic.level_count(), 3u);
+  // The hierarchy is usable as-is for a solve against the cached operator.
+  std::vector<VrAttachment> vrs{
+      {assembled->mesh.node(16, 0), 1.0_V, Resistance{1e-4}}};
+  Vector sinks(assembled->mesh.node_count(),
+               50.0 / assembled->mesh.node_count());
+  IrDropOptions options;
+  options.warm_start_voltage = 1.0;
+  options.preconditioner = CgPreconditioner::kMultigrid;
+  const IrDropResult result = solve_irdrop(*assembled, vrs, sinks, options);
+  EXPECT_GT(result.cg_iterations, 0u);
+  EXPECT_GT(result.min_node_voltage.value, 0.8);
+}
+
 TEST(MeshSolveCache, SolveThroughCacheIsBitIdenticalToDirectSolve) {
   MeshSolveCache cache;
   const auto assembled = cache.get(10.0_mm, 10.0_mm, 15, 15, 2e-3);

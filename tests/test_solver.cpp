@@ -425,5 +425,455 @@ TEST(Severing, FullyCutRegionGroundsFloatingNodesInsteadOfAborting) {
   EXPECT_GT(healthy.min_node_voltage.value, 0.9);
 }
 
+// ---------------------------------------------------------------------------
+// Geometric multigrid preconditioner
+// ---------------------------------------------------------------------------
+
+TEST(Multigrid, MatchesDenseReferenceOnRandomSpdLaplacians) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const std::size_t nx = 5 + seed;  // 6x7 up to 10x11 grids
+    const std::size_t ny = nx + 1;
+    const CsrMatrix a = random_spd_laplacian(rng, nx, ny, 4);
+    const Vector b = random_vector(rng, a.rows());
+    const Vector reference = dense_cholesky_solve(a, b);
+
+    const MgSymbolic hierarchy(nx, ny);
+    CgOptions options;
+    options.relative_tolerance = 1e-13;
+    options.preconditioner = CgPreconditioner::kMultigrid;
+    options.mg_symbolic = &hierarchy;
+    const CgResult result = solve_cg(a, b, options);
+    ASSERT_TRUE(result.converged) << "seed " << seed;
+    ASSERT_EQ(result.x.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      EXPECT_NEAR(result.x[i], reference[i],
+                  1e-8 * (1.0 + std::fabs(reference[i])))
+          << "seed " << seed << " node " << i;
+  }
+}
+
+TEST(Multigrid, IterationCountStaysFlatAcrossRefinement) {
+  // Mesh-size independence is the multigrid property: the same solve at
+  // 17x17 through 65x65 must not grow its iteration count by more than
+  // 2x (IC(0) roughly doubles per refinement step on this ladder).
+  const Length side{10e-3};
+  std::size_t min_iters = 0, max_iters = 0;
+  for (std::size_t nodes : {17ul, 33ul, 65ul}) {
+    const GridMesh mesh(side, side, nodes, nodes, 2e-3);
+    const auto vrs =
+        patch_attachment(mesh, Length{5e-3}, Length{0.0}, Length{1.5e-3},
+                         Voltage{1.0}, Resistance{100e-6});
+    IrDropOptions options;
+    options.warm_start_voltage = 1.0;
+    options.preconditioner = CgPreconditioner::kMultigrid;
+    const IrDropResult result =
+        solve_irdrop(mesh, vrs, uniform_sinks(mesh, Current{100.0}), options);
+    if (min_iters == 0 || result.cg_iterations < min_iters)
+      min_iters = result.cg_iterations;
+    if (result.cg_iterations > max_iters) max_iters = result.cg_iterations;
+  }
+  EXPECT_GT(min_iters, 0u);
+  EXPECT_LE(max_iters, 2 * min_iters)
+      << "multigrid iterations grew from " << min_iters << " to "
+      << max_iters << " across the refinement ladder";
+}
+
+TEST(Multigrid, WorkspaceReusesHierarchyBitIdentically) {
+  Rng rng(29);
+  CsrMatrix a = random_spd_laplacian(rng, 9, 9, 4);
+  const Vector b = random_vector(rng, a.rows());
+  const MgSymbolic hierarchy(9, 9);
+  CgOptions options;
+  options.preconditioner = CgPreconditioner::kMultigrid;
+  options.mg_symbolic = &hierarchy;
+
+  CgWorkspace ws;
+  const CgResult first = solve_cg(a, b, options, ws);
+  const CgResult second = solve_cg(a, b, options, ws);
+  EXPECT_EQ(ws.stats().factorizations, 1u);
+  EXPECT_EQ(ws.stats().factorization_reuses, 1u);
+  EXPECT_EQ(first.x, second.x);
+  EXPECT_EQ(first.iterations, second.iterations);
+  EXPECT_EQ(first.residual_norm, second.residual_norm);
+
+  // A value change (same pattern) recomputes the Galerkin hierarchy.
+  a.add_to_entry(0, 0, 0.25);
+  (void)solve_cg(a, b, options, ws);
+  EXPECT_EQ(ws.stats().factorizations, 2u);
+}
+
+TEST(Multigrid, SwitchingPreconditionerKindsRefactors) {
+  // One workspace alternating IC and multigrid on the same operator: each
+  // switch is a fresh factorization (the cached kind no longer matches),
+  // and both kinds keep returning certified results.
+  Rng rng(31);
+  const CsrMatrix a = random_spd_laplacian(rng, 8, 8, 3);
+  const Vector b = random_vector(rng, a.rows());
+  const MgSymbolic hierarchy(8, 8);
+  CgWorkspace ws;
+
+  CgOptions ic;
+  ic.preconditioner = CgPreconditioner::kIncompleteCholesky;
+  CgOptions mg;
+  mg.preconditioner = CgPreconditioner::kMultigrid;
+  mg.mg_symbolic = &hierarchy;
+
+  const CgResult r1 = solve_cg(a, b, ic, ws);
+  const CgResult r2 = solve_cg(a, b, mg, ws);
+  const CgResult r3 = solve_cg(a, b, ic, ws);
+  EXPECT_EQ(ws.stats().factorizations, 3u);
+  EXPECT_EQ(ws.stats().factorization_reuses, 0u);
+  for (const CgResult* r : {&r1, &r2, &r3}) ASSERT_TRUE(r->converged);
+  // Same certified solution through both kinds.
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    EXPECT_NEAR(r2.x[i], r1.x[i], 1e-8 * (1.0 + std::fabs(r1.x[i])));
+  EXPECT_EQ(r3.x, r1.x);  // same kind, same operator: bit-identical
+}
+
+TEST(Multigrid, RejectsMissingOrMismatchedHierarchy) {
+  Rng rng(37);
+  const CsrMatrix a = random_spd_laplacian(rng, 8, 8, 3);
+  const Vector b = random_vector(rng, a.rows());
+  CgOptions options;
+  options.preconditioner = CgPreconditioner::kMultigrid;
+  EXPECT_THROW(solve_cg(a, b, options), InvalidArgument);  // no hierarchy
+
+  const MgSymbolic wrong(4, 4);  // 16 rows against a 64-row operator
+  options.mg_symbolic = &wrong;
+  EXPECT_THROW(solve_cg(a, b, options), InvalidArgument);
+}
+
+TEST(Multigrid, SolvesSeveredMeshLikeIc) {
+  // Grounded floating nodes perturb the operator values but not its
+  // pattern, so the grid-stencil hierarchy still applies.
+  const Length side{10e-3};
+  const MeshPerturbation cut{
+      EdgeScaleRegion{Length{0.0}, Length{0.0}, Length{3e-3}, Length{3e-3},
+                      0.0}};
+  const GridMesh mesh(side, side, 21, 21, 2e-3, cut);
+  std::vector<VrAttachment> vrs;
+  for (const auto& center :
+       std::vector<std::pair<double, double>>{{1.5e-3, 1.5e-3},
+                                              {8e-3, 8e-3}}) {
+    const auto patch =
+        patch_attachment(mesh, Length{center.first}, Length{center.second},
+                         Length{1.5e-3}, Voltage{1.0}, Resistance{100e-6});
+    vrs.insert(vrs.end(), patch.begin(), patch.end());
+  }
+  const Vector sinks = uniform_sinks(mesh, Current{100.0});
+  IrDropOptions ic;
+  ic.warm_start_voltage = 1.0;
+  IrDropOptions mg = ic;
+  mg.preconditioner = CgPreconditioner::kMultigrid;
+  const IrDropResult ic_result = solve_irdrop(mesh, vrs, sinks, ic);
+  const IrDropResult mg_result = solve_irdrop(mesh, vrs, sinks, mg);
+  EXPECT_EQ(mg_result.floating_nodes, ic_result.floating_nodes);
+  ASSERT_EQ(mg_result.node_voltages.size(), ic_result.node_voltages.size());
+  for (std::size_t i = 0; i < ic_result.node_voltages.size(); ++i)
+    EXPECT_NEAR(mg_result.node_voltages[i], ic_result.node_voltages[i], 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Block multi-RHS solves
+// ---------------------------------------------------------------------------
+
+TEST(BlockCg, EveryColumnMeetsTheCertifiedCriterion) {
+  Rng rng(41);
+  const CsrMatrix a = random_spd_laplacian(rng, 10, 9, 5);
+  std::vector<Vector> rhs;
+  for (int k = 0; k < 5; ++k) rhs.push_back(random_vector(rng, a.rows()));
+  CgOptions options;
+  options.relative_tolerance = 1e-12;
+  options.preconditioner = CgPreconditioner::kIncompleteCholesky;
+
+  const SolverCounters before = solver_counters();
+  CgWorkspace ws;
+  const std::vector<CgResult> block = solve_cg_block(a, rhs, options, ws);
+  const SolverCounters delta = solver_counters() - before;
+  ASSERT_EQ(block.size(), rhs.size());
+  const double a_inf = a.infinity_norm();
+  for (std::size_t k = 0; k < rhs.size(); ++k) {
+    ASSERT_TRUE(block[k].converged) << "rhs " << k;
+    Vector residual = a.multiply(block[k].x);
+    for (std::size_t i = 0; i < residual.size(); ++i)
+      residual[i] = rhs[k][i] - residual[i];
+    EXPECT_LE(norm2(residual),
+              options.relative_tolerance *
+                      (a_inf * norm2(block[k].x) + norm2(rhs[k])) *
+                  (1.0 + 1e-12))
+        << "rhs " << k;
+    // And the solution agrees with a standalone solve to solver accuracy.
+    const CgResult standalone = solve_cg(a, rhs[k], options);
+    for (std::size_t i = 0; i < standalone.x.size(); ++i)
+      EXPECT_NEAR(block[k].x[i], standalone.x[i],
+                  1e-7 * (1.0 + std::fabs(standalone.x[i])))
+          << "rhs " << k;
+  }
+  EXPECT_EQ(delta.cg_solves, rhs.size());
+  EXPECT_EQ(delta.cg_block_panels, 1u);
+  EXPECT_EQ(delta.cg_block_columns + 0u, rhs.size());
+  EXPECT_EQ(ws.stats().solves, rhs.size());
+}
+
+TEST(BlockCg, WideBatchesAreChunkedIntoPanels) {
+  Rng rng(43);
+  const CsrMatrix a = random_spd_laplacian(rng, 8, 8, 4);
+  std::vector<Vector> rhs;
+  for (std::size_t k = 0; k < kMaxCgBlockWidth + 3; ++k)
+    rhs.push_back(random_vector(rng, a.rows()));
+  CgOptions options;
+  options.preconditioner = CgPreconditioner::kIncompleteCholesky;
+
+  const SolverCounters before = solver_counters();
+  CgWorkspace ws;
+  const std::vector<CgResult> block = solve_cg_block(a, rhs, options, ws);
+  const SolverCounters delta = solver_counters() - before;
+  ASSERT_EQ(block.size(), rhs.size());
+  for (std::size_t k = 0; k < rhs.size(); ++k)
+    EXPECT_TRUE(block[k].converged) << "rhs " << k;
+  EXPECT_EQ(delta.cg_block_panels, 2u);  // 16 + 3
+  EXPECT_EQ(delta.cg_solves, rhs.size());
+}
+
+TEST(BlockCg, ZeroColumnsShortCircuitAndMixedPanelsSolve) {
+  Rng rng(47);
+  const CsrMatrix a = random_spd_laplacian(rng, 9, 8, 4);
+  std::vector<Vector> rhs;
+  rhs.push_back(Vector(a.rows(), 0.0));
+  rhs.push_back(random_vector(rng, a.rows()));
+  rhs.push_back(Vector(a.rows(), 0.0));
+  CgOptions options;
+  options.preconditioner = CgPreconditioner::kIncompleteCholesky;
+
+  CgWorkspace ws;
+  const std::vector<CgResult> block = solve_cg_block(a, rhs, options, ws);
+  ASSERT_EQ(block.size(), 3u);
+  for (std::size_t k : {0ul, 2ul}) {
+    EXPECT_TRUE(block[k].converged);
+    EXPECT_EQ(block[k].iterations, 0u);
+    EXPECT_EQ(block[k].x, Vector(a.rows(), 0.0));
+  }
+  EXPECT_TRUE(block[1].converged);
+  EXPECT_GT(block[1].iterations, 0u);
+}
+
+TEST(BlockCg, DuplicateColumnsFallBackAndStillCertify) {
+  // Identical right-hand sides make the block Gram matrix rank-deficient
+  // on the first iteration; the solve must finish through the scalar
+  // fallback instead of failing.
+  Rng rng(53);
+  const CsrMatrix a = random_spd_laplacian(rng, 8, 9, 4);
+  const Vector b = random_vector(rng, a.rows());
+  const std::vector<Vector> rhs{b, b, b};
+  CgOptions options;
+  options.relative_tolerance = 1e-12;
+  options.preconditioner = CgPreconditioner::kIncompleteCholesky;
+
+  CgWorkspace ws;
+  const std::vector<CgResult> block = solve_cg_block(a, rhs, options, ws);
+  const Vector reference = dense_cholesky_solve(a, b);
+  for (std::size_t k = 0; k < rhs.size(); ++k) {
+    ASSERT_TRUE(block[k].converged) << "rhs " << k;
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      EXPECT_NEAR(block[k].x[i], reference[i],
+                  1e-7 * (1.0 + std::fabs(reference[i])))
+          << "rhs " << k;
+  }
+}
+
+TEST(BlockCg, WarmStartRetiresSolvedColumnsUpFront) {
+  Rng rng(59);
+  const CsrMatrix a = random_spd_laplacian(rng, 9, 9, 4);
+  const Vector b0 = random_vector(rng, a.rows());
+  const Vector b1 = random_vector(rng, a.rows());
+  CgOptions options;
+  options.relative_tolerance = 1e-12;
+  options.preconditioner = CgPreconditioner::kIncompleteCholesky;
+  const CgResult seed_solve = solve_cg(a, b0, options);
+  ASSERT_TRUE(seed_solve.converged);
+
+  // x0 warm-starts every column: it is b0's solution, so column 0 retires
+  // in the pre-iteration certification pass with zero iterations while
+  // column 1 still has to iterate.
+  options.x0 = seed_solve.x;
+  CgWorkspace ws;
+  const std::vector<CgResult> block =
+      solve_cg_block(a, {b0, b1}, options, ws);
+  ASSERT_EQ(block.size(), 2u);
+  EXPECT_TRUE(block[0].converged);
+  EXPECT_EQ(block[0].iterations, 0u);
+  EXPECT_EQ(block[0].x, seed_solve.x);
+  EXPECT_TRUE(block[1].converged);
+  EXPECT_GT(block[1].iterations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Batch-loop semantics and counter deltas
+// ---------------------------------------------------------------------------
+
+TEST(SolverCore, BatchIsBitIdenticalToStandaloneLoopWithMatchingCounters) {
+  // The header promises solve_cg_batch results are bit-identical to a
+  // loop of standalone solve_cg calls, and the global counter delta must
+  // agree with the per-result iteration counts.
+  Rng rng(61);
+  const CsrMatrix a = random_spd_laplacian(rng, 9, 10, 5);
+  std::vector<Vector> rhs;
+  for (int k = 0; k < 4; ++k) rhs.push_back(random_vector(rng, a.rows()));
+  CgOptions options;
+  options.preconditioner = CgPreconditioner::kIncompleteCholesky;
+
+  const SolverCounters before = solver_counters();
+  CgWorkspace ws;
+  const std::vector<CgResult> batch = solve_cg_batch(a, rhs, options, ws);
+  const SolverCounters delta = solver_counters() - before;
+
+  std::size_t total_iterations = 0;
+  for (std::size_t k = 0; k < rhs.size(); ++k) {
+    const CgResult standalone = solve_cg(a, rhs[k], options);
+    EXPECT_EQ(batch[k].x, standalone.x) << "rhs " << k;
+    EXPECT_EQ(batch[k].iterations, standalone.iterations) << "rhs " << k;
+    EXPECT_EQ(batch[k].residual_norm, standalone.residual_norm)
+        << "rhs " << k;
+    total_iterations += batch[k].iterations;
+  }
+  EXPECT_EQ(delta.cg_solves, rhs.size());
+  EXPECT_EQ(delta.cg_iterations, total_iterations);
+  EXPECT_EQ(delta.precond_factorizations, 1u);
+  EXPECT_EQ(delta.precond_reuses, rhs.size() - 1);
+  EXPECT_EQ(delta.cg_block_panels, 0u);  // the loop never launches panels
+  EXPECT_EQ(delta.cg_block_columns, 0u);
+}
+
+TEST(SolverCore, WarmStartWithZeroRhsReturnsTheExactZeroSolution) {
+  // b = 0 has the unique SPD solution x = 0; the early return must hold
+  // even when a warm start is supplied (the x0 path would otherwise
+  // compute a residual from a stale iterate).
+  Rng rng(67);
+  const CsrMatrix a = random_spd_laplacian(rng, 7, 7, 3);
+  CgOptions options;
+  options.preconditioner = CgPreconditioner::kIncompleteCholesky;
+  options.x0 = random_vector(rng, a.rows());
+  const CgResult result = solve_cg(a, Vector(a.rows(), 0.0), options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_EQ(result.residual_norm, 0.0);
+  EXPECT_EQ(result.x, Vector(a.rows(), 0.0));
+}
+
+TEST(SolverCore, DefaultIterationCapIsTenNPlusOneHundred) {
+  // The documented default (max_iterations = 0) resolves to 10 * n + 100.
+  // An unreachable tolerance makes the solve run to the cap exactly.
+  Rng rng(71);
+  const CsrMatrix a = random_spd_laplacian(rng, 3, 3, 2);
+  const Vector b = random_vector(rng, a.rows());
+  CgOptions options;
+  options.relative_tolerance = 1e-300;
+  options.preconditioner = CgPreconditioner::kJacobi;
+  const CgResult result = solve_cg(a, b, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 10 * a.rows() + 100);
+}
+
+TEST(SolverCore, WorkspaceKeyDistinguishesOperatorsAcrossAlternation) {
+  // Alternating two same-pattern operators through one workspace: every
+  // solve is a key miss (digest matches, values differ), each refactors,
+  // and results stay bit-identical to fresh-workspace solves.
+  Rng rng(73);
+  const CsrMatrix a1 = random_spd_laplacian(rng, 8, 8, 3);
+  CsrMatrix a2 = a1;
+  a2.add_to_entry(0, 0, 0.5);
+  const Vector b = random_vector(rng, a1.rows());
+  CgOptions options;
+  options.preconditioner = CgPreconditioner::kIncompleteCholesky;
+
+  CgWorkspace ws;
+  const CgResult r1 = solve_cg(a1, b, options, ws);
+  const CgResult r2 = solve_cg(a2, b, options, ws);
+  const CgResult r3 = solve_cg(a1, b, options, ws);
+  EXPECT_EQ(ws.stats().factorizations, 3u);
+  EXPECT_EQ(ws.stats().factorization_reuses, 0u);
+  EXPECT_EQ(r1.x, r3.x);
+  EXPECT_EQ(r1.iterations, r3.iterations);
+  EXPECT_EQ(r1.x, solve_cg(a1, b, options).x);
+  EXPECT_EQ(r2.x, solve_cg(a2, b, options).x);
+}
+
+// ---------------------------------------------------------------------------
+// IR-drop batch entry point
+// ---------------------------------------------------------------------------
+
+TEST(IrDropBatch, LoopModeIsBitIdenticalToRepeatedSolves) {
+  const Length side{10e-3};
+  const auto assembled = assemble_mesh(side, side, 21, 21, 2e-3);
+  const auto vrs =
+      patch_attachment(assembled->mesh, Length{5e-3}, Length{0.0},
+                       Length{1.5e-3}, Voltage{1.0}, Resistance{100e-6});
+  std::vector<Vector> sink_maps;
+  for (std::size_t j = 0; j < 3; ++j) {
+    Vector sinks = uniform_sinks(assembled->mesh, Current{50.0});
+    sinks[100 + 37 * j] += 5.0;
+    sink_maps.push_back(std::move(sinks));
+  }
+  IrDropOptions options;
+  options.warm_start_voltage = 1.0;
+  options.batch_block = false;
+
+  const std::vector<IrDropResult> batch =
+      solve_irdrop_batch(*assembled, vrs, sink_maps, options);
+  ASSERT_EQ(batch.size(), sink_maps.size());
+  for (std::size_t j = 0; j < sink_maps.size(); ++j) {
+    const IrDropResult single =
+        solve_irdrop(*assembled, vrs, sink_maps[j], options);
+    EXPECT_EQ(batch[j].node_voltages, single.node_voltages) << "map " << j;
+    EXPECT_EQ(batch[j].cg_iterations, single.cg_iterations) << "map " << j;
+    EXPECT_EQ(batch[j].vr_currents, single.vr_currents) << "map " << j;
+  }
+}
+
+TEST(IrDropBatch, BlockModeCertifiesToTheSameAccuracy) {
+  const Length side{10e-3};
+  const auto assembled = assemble_mesh(side, side, 21, 21, 2e-3);
+  const auto vrs =
+      patch_attachment(assembled->mesh, Length{5e-3}, Length{0.0},
+                       Length{1.5e-3}, Voltage{1.0}, Resistance{100e-6});
+  std::vector<Vector> sink_maps;
+  for (std::size_t j = 0; j < 4; ++j) {
+    Vector sinks = uniform_sinks(assembled->mesh, Current{50.0});
+    sinks[50 + 41 * j] += 5.0;
+    sink_maps.push_back(std::move(sinks));
+  }
+  for (CgPreconditioner p : {CgPreconditioner::kIncompleteCholesky,
+                             CgPreconditioner::kMultigrid}) {
+    IrDropOptions options;
+    options.warm_start_voltage = 1.0;
+    options.preconditioner = p;
+    options.batch_block = true;
+    const SolverCounters before = solver_counters();
+    const std::vector<IrDropResult> batch =
+        solve_irdrop_batch(*assembled, vrs, sink_maps, options);
+    const SolverCounters delta = solver_counters() - before;
+    ASSERT_EQ(batch.size(), sink_maps.size());
+    EXPECT_EQ(delta.cg_block_panels, 1u);
+    options.batch_block = false;
+    for (std::size_t j = 0; j < sink_maps.size(); ++j) {
+      const IrDropResult single =
+          solve_irdrop(*assembled, vrs, sink_maps[j], options);
+      ASSERT_EQ(batch[j].node_voltages.size(), single.node_voltages.size());
+      for (std::size_t i = 0; i < single.node_voltages.size(); ++i)
+        EXPECT_NEAR(batch[j].node_voltages[i], single.node_voltages[i], 1e-9)
+            << "map " << j << " node " << i;
+    }
+  }
+}
+
+TEST(IrDropBatch, AssembledMeshCachesTheHierarchy) {
+  const auto assembled = assemble_mesh(Length{10e-3}, Length{10e-3}, 33, 33,
+                                       2e-3);
+  EXPECT_FALSE(assembled->mg_symbolic.empty());
+  EXPECT_EQ(assembled->mg_symbolic.rows(), assembled->mesh.node_count());
+  EXPECT_GT(assembled->mg_symbolic.level_count(), 1u);
+}
+
 }  // namespace
 }  // namespace vpd

@@ -10,8 +10,15 @@
 //
 // `--json` switches the output to a machine-readable JSON document with
 // the same numbers plus the per-architecture margin histograms.
+//
+// `--check` adds the batch-evaluation regression guard (exit 1 on
+// violation): the campaigns must route scenarios through the batch
+// engine with at least one block panel launched, and a loop-mode rerun
+// of the A3@12V campaign (batch on, block off) must reproduce the
+// pre-batch scalar loop bit for bit.
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,12 +26,50 @@
 #include "bench_output.hpp"
 #include "vpd/common/table.hpp"
 #include "vpd/fault/campaign.hpp"
+#include "vpd/io/schema.hpp"
+
+namespace {
+
+/// Bit-exact campaign comparison: scenario populations are seeded, so
+/// two runs of the same campaign see identical scenarios; the outcomes
+/// must match on their full wire dumps, not within a tolerance.
+bool campaigns_bit_identical(const vpd::FaultCampaignReport& a,
+                             const vpd::FaultCampaignReport& b) {
+  using vpd::io::dump;
+  using vpd::io::to_json;
+  if (a.outcomes.size() != b.outcomes.size()) return false;
+  if (dump(to_json(a.nominal)) != dump(to_json(b.nominal))) return false;
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const vpd::FaultScenarioOutcome& x = a.outcomes[i];
+    const vpd::FaultScenarioOutcome& y = b.outcomes[i];
+    if (x.evaluated != y.evaluated || x.survives() != y.survives())
+      return false;
+    if (x.evaluation.has_value() != y.evaluation.has_value()) return false;
+    if (x.evaluation &&
+        dump(to_json(*x.evaluation)) != dump(to_json(*y.evaluation))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace vpd;
 
   bool json = false;
-  if (!benchio::parse_json_flag(argc, argv, &json)) return 2;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json] [--check]\n", argv[0]);
+      return 2;
+    }
+  }
 
   const PowerDeliverySpec spec = paper_system();
   MeshSolveCache cache;
@@ -49,6 +94,59 @@ int main(int argc, char** argv) {
     reports.push_back(
         runner.run(arch, TopologyKind::kDsch,
                    DeviceTechnology::kGalliumNitride, options));
+  }
+
+  // --- Batch-engine regression guards (--check) -----------------------------
+  // The campaigns run with the default batch-first sweep: across the four
+  // architectures the stage-2 dropouts and the order-2 Monte-Carlo samples
+  // must produce same-operator groups with at least one multi-column block
+  // panel, and the accounting must agree between the campaign reports and
+  // the solver's own counters.
+  bool guard_ok = true;
+  if (check) {
+    std::size_t panel_columns = 0;
+    std::uint64_t block_panels = 0;
+    for (const FaultCampaignReport& r : reports) {
+      panel_columns += r.batch.panel_columns;
+      block_panels += r.solver.cg_block_panels;
+    }
+    if (panel_columns == 0) {
+      guard_ok = false;
+      std::fprintf(stderr, "bench_fault_tolerance: no campaign routed a "
+                           "multi-column panel through the batch engine\n");
+    }
+    if (block_panels == 0) {
+      guard_ok = false;
+      std::fprintf(stderr, "bench_fault_tolerance: solver.cg_block_panels "
+                           "stayed 0 across every campaign\n");
+    }
+
+    // Loop mode (batch on, block off) must reproduce the pre-batch scalar
+    // loop (batch off) bit for bit on the A3@12V campaign — the tightest
+    // architecture with both stage-1 and stage-2 fault families.
+    FaultCampaignConfig loop_config = config;
+    loop_config.sweep.batch = true;
+    loop_config.sweep.batch_block = false;
+    FaultCampaignConfig scalar_config = config;
+    scalar_config.sweep.batch = false;
+    const FaultCampaignReport loop_report =
+        FaultCampaignRunner(spec, loop_config)
+            .run(ArchitectureKind::kA3_TwoStage12V, TopologyKind::kDsch,
+                 DeviceTechnology::kGalliumNitride, options);
+    const FaultCampaignReport scalar_report =
+        FaultCampaignRunner(spec, scalar_config)
+            .run(ArchitectureKind::kA3_TwoStage12V, TopologyKind::kDsch,
+                 DeviceTechnology::kGalliumNitride, options);
+    if (!campaigns_bit_identical(loop_report, scalar_report)) {
+      guard_ok = false;
+      std::fprintf(stderr, "bench_fault_tolerance: the loop-mode A3@12V "
+                           "campaign diverges from the scalar loop\n");
+    }
+    if (loop_report.batch.grouped_points == 0) {
+      guard_ok = false;
+      std::fprintf(stderr, "bench_fault_tolerance: the loop-mode campaign "
+                           "bypassed the batch engine entirely\n");
+    }
   }
 
   constexpr std::size_t kHistogramBins = 8;
@@ -87,10 +185,18 @@ int main(int argc, char** argv) {
       for (std::size_t count : h.counts) counts.push_back(count);
       hist.set("counts", std::move(counts));
       c.set("margin_histogram", std::move(hist));
+      io::Value batch = io::Value::object();
+      batch.set("groups", r.batch.groups);
+      batch.set("grouped_points", r.batch.grouped_points);
+      batch.set("scalar_points", r.batch.scalar_points);
+      batch.set("panel_columns", r.batch.panel_columns);
+      batch.set("deduped_solves", r.batch.deduped_solves);
+      c.set("batch", std::move(batch));
       c.set("wall_seconds", r.wall_seconds);
       campaigns.push_back(std::move(c));
     }
     out.add("campaigns", std::move(campaigns));
+    if (check) out.add("guard_ok", guard_ok);
     out.set_mesh_cache(cache.stats());
     // Merge the per-architecture campaign snapshots: counters accumulate
     // per campaign; the merged document keeps the last architecture's
@@ -105,6 +211,11 @@ int main(int argc, char** argv) {
       };
       acc("fault.scenarios");
       acc("fault.survivors");
+      acc("fault.batch_groups");
+      acc("fault.batch_grouped_points");
+      acc("fault.batch_scalar_points");
+      acc("fault.batch_panel_columns");
+      acc("fault.batch_deduped_solves");
       acc("solver.cg_solves");
       acc("solver.cg_iterations");
       acc("solver.precond_factorizations");
@@ -114,7 +225,7 @@ int main(int argc, char** argv) {
     }
     out.set_observability(merged);
     out.print();
-    return 0;
+    return guard_ok ? 0 : 1;
   }
 
   std::printf("=== Fault campaigns: N-1 exhaustive + %zu sampled N-%zu "
@@ -158,5 +269,10 @@ int main(int argc, char** argv) {
       "   less margin; stage-1 dropouts are their dominant vulnerability,\n"
       "   and the 6 V variant's doubled rail current makes it the tighter\n"
       "   of the two.\n");
-  return 0;
+  if (check) {
+    std::printf("\nGuard: %s (batch panels engaged, loop mode bit-identical "
+                "to the scalar loop).\n",
+                guard_ok ? "OK" : "VIOLATED - see stderr");
+  }
+  return guard_ok ? 0 : 1;
 }

@@ -126,7 +126,12 @@ DistributionResult solve_distribution(const PowerDeliverySpec& spec,
   // numerically identical, and a perturbed operator can never alias the
   // nominal cache entry (the key carries the perturbation digest).
   std::shared_ptr<const AssembledMesh> assembled;
-  {
+  if (options.solve_hook != nullptr) {
+    // Replay path: reuse the probe-time assembly so a replayed evaluation
+    // touches the mesh cache exactly once per point.
+    assembled = options.solve_hook->assembled_mesh();
+  }
+  if (assembled == nullptr) {
     const obs::StageTimer mesh_timer(obs::Stage::kMesh);
     assembled =
         options.mesh_cache
@@ -177,11 +182,15 @@ DistributionResult solve_distribution(const PowerDeliverySpec& spec,
               total_current.value);
   IrDropOptions solve_options;
   solve_options.relative_tolerance = options.irdrop_relative_tolerance;
-  solve_options.preconditioner = options.irdrop_preconditioner;
+  solve_options.preconditioner = resolved_irdrop_preconditioner(options);
   solve_options.trace = options.trace;
   if (options.cg_warm_start) solve_options.warm_start_voltage = rail.value;
-  const IrDropResult ir = solve_irdrop(*assembled, legs, sinks,
-                                       solve_options);
+  IrDropResult ir;
+  if (options.solve_hook == nullptr ||
+      !options.solve_hook->solve(assembled, legs, sinks, solve_options,
+                                 ir)) {
+    ir = solve_irdrop(*assembled, legs, sinks, solve_options);
+  }
 
   DistributionResult result;
   result.grid_loss = ir.grid_loss;
@@ -526,6 +535,16 @@ ArchitectureEvaluation evaluate_two_stage(ArchitectureKind kind,
 }
 
 }  // namespace
+
+CgPreconditioner resolved_irdrop_preconditioner(
+    const EvaluationOptions& options) {
+  if (options.irdrop_preconditioner.has_value()) {
+    return *options.irdrop_preconditioner;
+  }
+  return options.mesh_nodes >= kAutoMultigridMeshNodes
+             ? CgPreconditioner::kMultigrid
+             : CgPreconditioner::kIncompleteCholesky;
+}
 
 ArchitectureEvaluation evaluate_architecture(ArchitectureKind architecture,
                                              const PowerDeliverySpec& spec,

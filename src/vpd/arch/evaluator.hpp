@@ -13,10 +13,39 @@
 #include "vpd/arch/report.hpp"
 #include "vpd/converters/catalog.hpp"
 #include "vpd/core/spec.hpp"
+#include "vpd/package/irdrop.hpp"
 #include "vpd/package/mesh.hpp"
 #include "vpd/package/mesh_cache.hpp"
 
 namespace vpd {
+
+/// Interception point for the distribution IR-drop solve, consulted once
+/// per solve with the fully assembled request (operator, VR legs, sink
+/// vector, resolved solve options). The batch evaluation engine
+/// (core/batch.hpp) uses it twice: a probe hook records the request and
+/// aborts the evaluation, and a replay hook injects a result that was
+/// solved as part of a multi-RHS panel. Process-local plumbing like
+/// mesh_cache and trace: never on the wire, ignored by the io schema.
+class DistributionSolveHook {
+ public:
+  virtual ~DistributionSolveHook() = default;
+
+  /// Pre-assembled operator to use for this evaluation, or nullptr to
+  /// assemble (or fetch from the mesh cache) as usual. Replay injects the
+  /// probe-time assembly so a replayed evaluation does not touch the mesh
+  /// cache a second time.
+  virtual std::shared_ptr<const AssembledMesh> assembled_mesh() {
+    return nullptr;
+  }
+
+  /// Substitute the solve: return true with `result` filled to skip the
+  /// scalar solve, false to run it as usual. May throw to abort the
+  /// evaluation (the probe hook throws after recording the request).
+  virtual bool solve(const std::shared_ptr<const AssembledMesh>& assembled,
+                     const std::vector<VrAttachment>& legs,
+                     const Vector& sinks, const IrDropOptions& options,
+                     IrDropResult& result) = 0;
+};
 
 /// Builds the per-node sink currents for a distribution solve; the total
 /// must equal `total` (checked to 0.1%). Defaults to a uniform draw.
@@ -71,14 +100,15 @@ struct EvaluationOptions {
   /// execution order; disable to reproduce the cold-start iteration
   /// counts.
   bool cg_warm_start{true};
-  /// Preconditioner for the distribution IR-drop solve. IC(0) (the
-  /// default) cuts CG iteration counts several-fold over Jacobi on mesh
-  /// operators; kMultigrid makes the count near-independent of the mesh
-  /// size, which wins on fine meshes (mesh_nodes ≳ 10^4) and on batch
-  /// workloads that amortize the hierarchy setup. Every choice converges
-  /// to the same certified criterion.
-  CgPreconditioner irdrop_preconditioner{
-      CgPreconditioner::kIncompleteCholesky};
+  /// Preconditioner for the distribution IR-drop solve. Unset (the
+  /// default) selects automatically by mesh size: IC(0) below
+  /// kAutoMultigridMeshNodes nodes per edge — it cuts CG iteration counts
+  /// several-fold over Jacobi on mesh operators — and kMultigrid at or
+  /// above, where its mesh-size-independent iteration count wins and the
+  /// V-cycle amortizes best across batched panels. Set explicitly to
+  /// override the automatic choice; every choice converges to the same
+  /// certified criterion. See resolved_irdrop_preconditioner().
+  std::optional<CgPreconditioner> irdrop_preconditioner;
   /// Shared cache of assembled mesh operators; nullptr = assemble per
   /// call. The cache is thread-safe and must outlive the evaluation; a
   /// SweepRunner wires its own cache in here for every point.
@@ -94,7 +124,23 @@ struct EvaluationOptions {
   /// Process-local observability plumbing (like mesh_cache): never on the
   /// wire, never read by the numerics.
   obs::TraceContext trace{};
+  /// Distribution-solve interception for batched evaluation (see
+  /// core/batch.hpp). Process-local plumbing like mesh_cache and trace:
+  /// never on the wire, ignored by the io schema. nullptr = scalar solve.
+  DistributionSolveHook* solve_hook{nullptr};
 };
+
+/// Mesh size (nodes per die edge) at which the automatic preconditioner
+/// choice switches from IC(0) to multigrid: a 256^2 operator is where the
+/// multigrid V-cycle's mesh-size-independent iteration count clearly beats
+/// IC(0)'s growing one (13->15 vs 42->164 across 64^2 -> 512^2).
+inline constexpr std::size_t kAutoMultigridMeshNodes = 256;
+
+/// The preconditioner the distribution solve actually runs with: the
+/// explicit override when set, otherwise IC(0) below
+/// kAutoMultigridMeshNodes nodes per edge and kMultigrid at or above.
+CgPreconditioner resolved_irdrop_preconditioner(
+    const EvaluationOptions& options);
 
 /// Evaluates one (architecture, topology, device technology) combination.
 /// For A0 the topology argument is ignored (the paper models A0 with a 90%

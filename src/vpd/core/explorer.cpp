@@ -1,6 +1,7 @@
 #include "vpd/core/explorer.hpp"
 
 #include "vpd/common/error.hpp"
+#include "vpd/core/batch.hpp"
 
 namespace vpd {
 
@@ -67,16 +68,22 @@ ExplorationEntry ArchitectureExplorer::evaluate(
 }
 
 ExplorationResult ArchitectureExplorer::explore(DeviceTechnology tech) const {
-  ExplorationResult result;
-  result.spec = spec_;
-  result.entries.push_back(
-      evaluate(ArchitectureKind::kA0_PcbConversion, std::nullopt, tech));
+  // Serial exploration rides the same batch engine as the parallel sweep
+  // (core/batch.hpp), so both share one code path end to end: same
+  // grouping, same panel routing, same results for the same point list.
+  std::vector<EvaluationPoint> points;
+  points.push_back(EvaluationPoint{ArchitectureKind::kA0_PcbConversion,
+                                   std::nullopt, tech, options_});
   for (ArchitectureKind arch : all_architectures()) {
     if (arch == ArchitectureKind::kA0_PcbConversion) continue;
     for (TopologyKind topo : all_topologies()) {
-      result.entries.push_back(evaluate(arch, topo, tech));
+      points.push_back(EvaluationPoint{arch, topo, tech, options_});
     }
   }
+  ExplorationResult result;
+  result.spec = spec_;
+  result.entries =
+      evaluate_batch_with_exclusion(spec_, std::move(points), BatchConfig{});
   return result;
 }
 

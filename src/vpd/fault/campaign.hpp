@@ -78,7 +78,10 @@ struct FaultCampaignReport {
   DeviceTechnology tech{DeviceTechnology::kGalliumNitride};
   /// The fault-free evaluation the deployment was read from. Evaluated
   /// through the same sweep path as the scenarios; the campaign's N-0
-  /// scenario (outcomes.front()) must reproduce it bit for bit.
+  /// scenario (outcomes.front()) reuses this evaluation outright, so it
+  /// reproduces it bit for bit in every batch mode — a block panel shared
+  /// with fault scenarios answers to the certified backward-error
+  /// tolerance, not the scalar bits, and must not leak into N-0.
   ArchitectureEvaluation nominal;
   std::vector<FaultScenarioOutcome> outcomes;
   double wall_seconds{0.0};
@@ -86,6 +89,9 @@ struct FaultCampaignReport {
   /// scenarios). Solves/iterations are deterministic; the
   /// factorization/reuse split is scheduling-dependent (see SweepReport).
   SolverCounters solver;
+  /// Batch-engine accounting summed over the campaign's sweeps (all zero
+  /// when the sweep runs with batch=false).
+  BatchStats batch;
 
   std::size_t scenario_count() const { return outcomes.size(); }
   std::size_t survivor_count() const;

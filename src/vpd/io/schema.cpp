@@ -358,7 +358,9 @@ Value to_json(const EvaluationOptions& options) {
   v.set("irdrop_relative_tolerance", options.irdrop_relative_tolerance);
   v.set("cg_warm_start", options.cg_warm_start);
   v.set("irdrop_preconditioner",
-        std::string(to_string(options.irdrop_preconditioner)));
+        options.irdrop_preconditioner.has_value()
+            ? std::string(to_string(*options.irdrop_preconditioner))
+            : std::string("auto"));
   v.set("faults", to_json(options.faults));
   return v;
 }
@@ -387,10 +389,14 @@ EvaluationOptions evaluation_options_from_json(const Value& v) {
   options.irdrop_relative_tolerance = number_or(
       r, "irdrop_relative_tolerance", options.irdrop_relative_tolerance);
   options.cg_warm_start = bool_or(r, "cg_warm_start", options.cg_warm_start);
-  // Optional with a default so pre-preconditioner requests keep parsing.
+  // Optional so pre-preconditioner requests keep parsing; absent and
+  // "auto" both mean the automatic mesh-size choice (see
+  // resolved_irdrop_preconditioner).
   if (const Value* precond = r.get("irdrop_preconditioner")) {
     const std::string& name = precond->as_string();
-    if (name == to_string(CgPreconditioner::kJacobi)) {
+    if (name == "auto") {
+      options.irdrop_preconditioner.reset();
+    } else if (name == to_string(CgPreconditioner::kJacobi)) {
       options.irdrop_preconditioner = CgPreconditioner::kJacobi;
     } else if (name == to_string(CgPreconditioner::kIncompleteCholesky)) {
       options.irdrop_preconditioner = CgPreconditioner::kIncompleteCholesky;
@@ -399,7 +405,7 @@ EvaluationOptions evaluation_options_from_json(const Value& v) {
     } else {
       throw InvalidArgument(detail::concat(
           "unknown irdrop_preconditioner \"", name,
-          "\" (expected \"jacobi\", \"ic0\" or \"multigrid\")"));
+          "\" (expected \"auto\", \"jacobi\", \"ic0\" or \"multigrid\")"));
     }
   }
   if (const Value* faults = r.get("faults")) {

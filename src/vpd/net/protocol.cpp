@@ -40,6 +40,21 @@ RouteInfo classify_line(std::string_view line) {
       info.key_hash = fnv1a64(
           io::canonical_request_key(io::evaluation_request_from_json(doc)));
       info.verb = Verb::kEvaluate;
+    } else if (cmd == "evaluate_batch") {
+      // One batch lands on one shard; hashing the concatenated member
+      // keys keeps identical batches on the same shard's caches, the
+      // same affinity rule the point verbs follow.
+      const io::Value* requests = doc.find("requests");
+      VPD_REQUIRE(requests != nullptr,
+                  "evaluate_batch needs a \"requests\" array");
+      std::string combined;
+      for (const io::Value& entry : requests->as_array()) {
+        combined +=
+            io::canonical_request_key(io::evaluation_request_from_json(entry));
+        combined += '\n';
+      }
+      info.key_hash = fnv1a64(combined);
+      info.verb = Verb::kEvaluateBatch;
     } else if (cmd == "transient") {
       info.key_hash = fnv1a64(
           io::canonical_transient_key(io::transient_request_from_json(doc)));

@@ -29,7 +29,8 @@ std::size_t shard_for_key(std::string_view canonical_key,
 
 /// Everything the router needs to place one raw input line.
 enum class Verb {
-  kEvaluate,      // bare request or {"cmd":"evaluate"}
+  kEvaluate,       // bare request or {"cmd":"evaluate"}
+  kEvaluateBatch,  // {"cmd":"evaluate_batch","requests":[...]}
   kTransient,     // droop campaign
   kOptimize,      // design-space optimizer run
   kMetrics,       // per-process telemetry snapshot

@@ -91,8 +91,8 @@ void ShardRouter::spawn_locked(Shard& shard) {
 }
 
 std::size_t ShardRouter::route(const RouteInfo& info) {
-  if ((info.verb == Verb::kEvaluate || info.verb == Verb::kTransient ||
-       info.verb == Verb::kOptimize) &&
+  if ((info.verb == Verb::kEvaluate || info.verb == Verb::kEvaluateBatch ||
+       info.verb == Verb::kTransient || info.verb == Verb::kOptimize) &&
       info.key_hash.has_value()) {
     return static_cast<std::size_t>(*info.key_hash % shards_.size());
   }

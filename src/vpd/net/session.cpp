@@ -132,6 +132,15 @@ bool LineSession::feed(std::string_view line) {
           io::evaluation_request_from_json(doc);
       item.kind = Pending::Kind::kEvaluate;
       item.future = service_.submit(request);
+    } else if (cmd == "evaluate_batch") {
+      const io::Value* requests = doc.find("requests");
+      if (requests == nullptr) {
+        throw InvalidArgument("evaluate_batch needs a \"requests\" array");
+      }
+      item.kind = Pending::Kind::kEvaluateBatch;
+      for (const io::Value& entry : requests->as_array()) {
+        item.batch.push_back(io::evaluation_request_from_json(entry));
+      }
     } else if (cmd == "transient") {
       item.kind = Pending::Kind::kTransient;
       item.transient = io::transient_request_from_json(doc);
@@ -152,8 +161,8 @@ bool LineSession::feed(std::string_view line) {
       item.kind = Pending::Kind::kBody;
       item.body = error_body(
           "unknown cmd \"" + cmd +
-          "\" (expected evaluate, transient, optimize, metrics, trace or "
-          "shutdown)");
+          "\" (expected evaluate, evaluate_batch, transient, optimize, "
+          "metrics, trace or shutdown)");
     }
   } catch (const Error& e) {
     // Queue a resolved error response so output order stays request order
@@ -204,6 +213,22 @@ io::Value LineSession::resolve(Pending& item) {
       trace.set("events", double(obs::trace_event_count()));
       trace.set("dropped", double(obs::trace_events_dropped()));
       body.set("trace", trace);
+      return body;
+    }
+    case Pending::Kind::kEvaluateBatch: {
+      // Synchronous at its output turn, like transient and optimize: the
+      // batch engine runs on this thread, and a later "metrics" line sees
+      // the whole batch's serve.batch.* accounting.
+      const std::vector<serve::ServiceResponse> results =
+          service_.evaluate_batch(item.batch);
+      io::Value body = io::Value::object();
+      body.set("status", "ok");
+      body.set("schema_version", io::kSchemaVersion);
+      io::Value array = io::Value::array();
+      for (const serve::ServiceResponse& response : results) {
+        array.push_back(serve::to_json(response));
+      }
+      body.set("results", std::move(array));
       return body;
     }
     case Pending::Kind::kTransient:

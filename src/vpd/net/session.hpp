@@ -3,7 +3,8 @@
 // protocol: one response line per input line, in request order, ids
 // echoed (recovered from the raw bytes when the line is malformed), the
 // reject-not-block backpressure of the underlying EvaluationService, and
-// the verbs evaluate / transient / optimize / metrics / trace / shutdown.
+// the verbs evaluate / evaluate_batch / transient / optimize / metrics /
+// trace / shutdown.
 //
 // Response ordering works like the original daemon — evaluation is
 // parallel and out of order, but every response waits in its future until
@@ -135,6 +136,7 @@ class LineSession : public Session {
   struct Pending {
     enum class Kind {
       kEvaluate,
+      kEvaluateBatch,
       kBody,      // prebuilt (parse errors)
       kMetrics,
       kTrace,
@@ -147,6 +149,7 @@ class LineSession : public Session {
     std::shared_future<serve::ServiceResponse> future;  // kEvaluate
     io::Value body;                                     // kBody
     std::string path;  // kTrace ("" = default_trace_path)
+    std::vector<io::EvaluationRequest> batch;           // kEvaluateBatch
     std::optional<io::TransientRequest> transient;      // kTransient
     std::optional<io::OptimizeRequest> optimize;        // kOptimize
   };

@@ -299,6 +299,11 @@ obs::Snapshot OptimizeReport::snapshot() const {
   s.set_counter("solver.precond_reuses", solver.precond_reuses);
   s.set_counter("solver.cg_block_panels", solver.cg_block_panels);
   s.set_counter("solver.cg_block_columns", solver.cg_block_columns);
+  s.set_counter("opt.batch_groups", batch.groups);
+  s.set_counter("opt.batch_grouped_points", batch.grouped_points);
+  s.set_counter("opt.batch_scalar_points", batch.scalar_points);
+  s.set_counter("opt.batch_panel_columns", batch.panel_columns);
+  s.set_counter("opt.batch_deduped_solves", batch.deduped_solves);
   s.set_gauge("opt.hypervolume", hypervolume, hypervolume);
   s.set_gauge("opt.wall_seconds", wall_seconds, wall_seconds);
   return s;
@@ -355,6 +360,7 @@ OptimizeReport DesignOptimizer::run() const {
   std::unordered_map<std::string, std::size_t> index_by_key;
   std::size_t evaluations = 0;
   std::size_t fault_campaigns = 0;
+  BatchStats batch_stats;
 
   // Dedup intern: a design point gets one candidate id forever; ids are
   // assigned in proposal order, which every tie-break leans on.
@@ -400,6 +406,7 @@ OptimizeReport DesignOptimizer::run() const {
       points.push_back(std::move(sp));
     }
     const SweepReport batch = runner.run(points);
+    batch_stats += batch.batch;
     evaluations += ids.size();
     for (std::size_t i = 0; i < ids.size(); ++i) {
       Candidate& c = all[ids[i]];
@@ -493,6 +500,7 @@ OptimizeReport DesignOptimizer::run() const {
           all[id].point.architecture, all[id].point.topology,
           all[id].point.tech, options);
       all[id].survivability = report.survivability();
+      batch_stats += report.batch;
       ++fault_campaigns;
       ++scored;
     }
@@ -658,6 +666,7 @@ OptimizeReport DesignOptimizer::run() const {
   report.candidates = all.size();
   report.generations_run = generations_run;
   report.fault_campaigns = fault_campaigns;
+  report.batch = batch_stats;
   report.epsilon = std::move(eps);
   report.reference = std::move(reference);
   report.hypervolume = hypervolume(front_objectives, report.reference);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "vpd/common/error.hpp"
+#include "vpd/core/batch.hpp"
 
 namespace vpd {
 namespace serve {
@@ -35,44 +36,12 @@ double ServiceMetrics::mesh_cache_hit_rate() const {
 }
 
 io::Value to_json(const ServiceMetrics& metrics) {
-  // The unified telemetry document is the primary shape; the pre-v2 flat
-  // keys ride along as deprecated aliases for one release so existing
-  // scrapers keep parsing.
-  io::Value v = metrics.observability.to_json();
-  v.set("requests", metrics.requests);
-  v.set("completed", metrics.completed);
-  v.set("rejected", metrics.rejected);
-  v.set("errors", metrics.errors);
-  v.set("evaluated", metrics.evaluated);
-  v.set("coalesced", metrics.coalesced);
-  v.set("result_cache_hits", metrics.result_cache_hits);
-  v.set("result_cache_misses", metrics.result_cache_misses);
-  v.set("result_cache_size", metrics.result_cache_size);
-  v.set("result_cache_hit_rate", metrics.result_cache_hit_rate());
-  v.set("queue_high_water", metrics.queue_high_water);
-  v.set("threads", metrics.threads);
-  v.set("slow_requests", metrics.slow_requests);
-  io::Value latency = io::Value::object();
-  latency.set("samples", metrics.latency_samples);
-  latency.set("min_seconds", metrics.latency_min_seconds);
-  latency.set("mean_seconds", metrics.latency_mean_seconds);
-  latency.set("max_seconds", metrics.latency_max_seconds);
-  latency.set("p99_seconds", metrics.latency_p99_seconds);
-  v.set("latency", std::move(latency));
-  io::Value mesh = io::to_json(metrics.mesh_cache);
-  mesh.set("hit_rate", metrics.mesh_cache_hit_rate());
-  v.set("mesh_cache", std::move(mesh));
-  v.set("cg_iterations", metrics.cg_iterations);
-  io::Value solver = io::Value::object();
-  solver.set("cg_solves", metrics.solver.cg_solves);
-  solver.set("cg_iterations", metrics.solver.cg_iterations);
-  solver.set("precond_factorizations",
-             metrics.solver.precond_factorizations);
-  solver.set("precond_reuses", metrics.solver.precond_reuses);
-  solver.set("cg_block_panels", metrics.solver.cg_block_panels);
-  solver.set("cg_block_columns", metrics.solver.cg_block_columns);
-  v.set("solver", std::move(solver));
-  return v;
+  // The unified telemetry document is the whole wire shape. The pre-v2
+  // flat keys (requests/completed/.../latency{}/mesh_cache{}/solver{})
+  // rode along as deprecated aliases for one release after the v2
+  // namespacing and are gone now; scrape the serve.* / mesh_cache.* /
+  // solver.* counters instead (see docs/observability.md).
+  return metrics.observability.to_json();
 }
 
 io::Value to_json(const ServiceResponse& response) {
@@ -124,6 +93,139 @@ EvaluationService::~EvaluationService() { pool_.wait_idle(); }
 ServiceResponse EvaluationService::evaluate(
     const io::EvaluationRequest& request) {
   return submit(request).get();
+}
+
+std::vector<ServiceResponse> EvaluationService::evaluate_batch(
+    const std::vector<io::EvaluationRequest>& requests) {
+  const auto start = std::chrono::steady_clock::now();
+  registry_.counter("serve.batch.requests").add(requests.size());
+  std::vector<ServiceResponse> responses(requests.size());
+
+  // Leaders evaluate; every later request with the same canonical key
+  // shares the leader's published entry (equal keys describe
+  // bit-identical evaluations). Invalid requests and result-cache hits
+  // resolve here and never reach the batch engine.
+  std::vector<std::string> keys(requests.size());
+  std::vector<char> resolved(requests.size(), 0);
+  std::unordered_map<std::string, std::size_t> leader_by_key;
+  std::vector<std::size_t> leaders;
+  std::size_t cache_hits = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    try {
+      keys[i] = io::canonical_request_key(requests[i]);
+    } catch (const Error& e) {
+      responses[i].status = ResponseStatus::kError;
+      responses[i].error = e.what();
+      resolved[i] = 1;
+      continue;
+    }
+    if (leader_by_key.count(keys[i]) != 0) continue;
+    leader_by_key.emplace(keys[i], i);
+    std::shared_ptr<const ExplorationEntry> hit;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      hit = cache_lookup(keys[i]);
+    }
+    if (hit != nullptr) {
+      ++cache_hits;
+      responses[i].status = hit->excluded() ? ResponseStatus::kExcluded
+                                            : ResponseStatus::kOk;
+      responses[i].entry = std::move(hit);
+      responses[i].from_cache = true;
+      resolved[i] = 1;
+      continue;
+    }
+    leaders.push_back(i);
+  }
+
+  // The batch engine evaluates against one spec; partition the leaders by
+  // canonical spec (in input order) and run one batch per distinct spec.
+  std::vector<std::string> spec_keys;
+  std::vector<std::vector<std::size_t>> partitions;
+  for (std::size_t index : leaders) {
+    const std::string spec_key =
+        io::dump(io::to_json(requests[index].spec));
+    std::size_t p = 0;
+    for (; p < spec_keys.size(); ++p) {
+      if (spec_keys[p] == spec_key) break;
+    }
+    if (p == spec_keys.size()) {
+      spec_keys.push_back(spec_key);
+      partitions.emplace_back();
+    }
+    partitions[p].push_back(index);
+  }
+
+  BatchStats stats;
+  for (const std::vector<std::size_t>& partition : partitions) {
+    std::vector<EvaluationPoint> points;
+    points.reserve(partition.size());
+    for (std::size_t index : partition) {
+      EvaluationPoint p{requests[index].architecture,
+                        requests[index].topology, requests[index].tech,
+                        requests[index].options};
+      p.options.mesh_cache = &mesh_cache_;
+      points.push_back(std::move(p));
+    }
+    try {
+      EvaluationBatch batch(requests[partition.front()].spec,
+                            std::move(points), BatchConfig{});
+      batch.run();
+      stats += batch.stats();
+      for (std::size_t k = 0; k < partition.size(); ++k) {
+        const std::size_t index = partition[k];
+        if (std::exception_ptr err = batch.error(k)) {
+          try {
+            std::rethrow_exception(err);
+          } catch (const std::exception& e) {
+            responses[index].status = ResponseStatus::kError;
+            responses[index].error = e.what();
+          } catch (...) {
+            responses[index].status = ResponseStatus::kError;
+            responses[index].error = "unknown evaluation failure";
+          }
+          continue;
+        }
+        auto entry = std::make_shared<ExplorationEntry>(
+            std::move(batch.entry(k)));
+        responses[index].status = entry->excluded()
+                                      ? ResponseStatus::kExcluded
+                                      : ResponseStatus::kOk;
+        responses[index].entry = std::move(entry);
+        std::lock_guard<std::mutex> lock(mutex_);
+        cache_insert(keys[index], responses[index].entry);
+      }
+    } catch (const std::exception& e) {
+      // Construction-time failure (e.g. an invalid spec) fails the whole
+      // partition: no point evaluated.
+      for (std::size_t index : partition) {
+        responses[index].status = ResponseStatus::kError;
+        responses[index].error = e.what();
+      }
+    }
+    for (std::size_t index : partition) resolved[index] = 1;
+  }
+
+  // In-batch duplicates share their leader's outcome (entry pointers are
+  // immutable once published, exactly like coalesced submits).
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!resolved[i]) responses[i] = responses[leader_by_key.at(keys[i])];
+    if (responses[i].status == ResponseStatus::kError) ++errors;
+  }
+
+  registry_.counter("serve.batch.cache_hits").add(cache_hits);
+  registry_.counter("serve.batch.evaluated").add(stats.points);
+  registry_.counter("serve.batch.errors").add(errors);
+  registry_.counter("serve.batch.groups").add(stats.groups);
+  registry_.counter("serve.batch.grouped_points").add(stats.grouped_points);
+  registry_.counter("serve.batch.panel_columns").add(stats.panel_columns);
+  registry_.counter("serve.batch.deduped_solves").add(stats.deduped_solves);
+  registry_.latency_histogram("serve.batch.latency_seconds")
+      .record(std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+  return responses;
 }
 
 io::Value to_json(const TransientServiceResponse& response) {

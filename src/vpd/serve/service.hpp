@@ -118,8 +118,9 @@ struct ServiceMetrics {
   /// The same metrics in the unified telemetry shape: serve.* counters,
   /// the serve.queue_depth gauge (+ high water), and the latency, stage
   /// and queue-depth histograms kept by the service registry, merged with
-  /// mesh_cache.* and solver.* counters. to_json(ServiceMetrics) is this
-  /// snapshot's JSON plus the pre-v2 flat keys as deprecated aliases.
+  /// mesh_cache.* and solver.* counters. to_json(ServiceMetrics) is
+  /// exactly this snapshot's JSON — the pre-v2 flat aliases were removed
+  /// after their one-release deprecation window (docs/observability.md).
   obs::Snapshot observability;
 
   double result_cache_hit_rate() const;
@@ -154,9 +155,9 @@ struct OptimizeServiceResponse {
   std::shared_ptr<const opt::OptimizeReport> report;
 };
 
-/// Unified telemetry shape (metrics.observability.to_json()) with the
+/// Unified telemetry shape: exactly metrics.observability.to_json(). The
 /// pre-v2 flat keys — requests/completed/.../latency/mesh_cache/solver —
-/// kept as deprecated aliases for one release.
+/// were deprecated aliases for one release and are no longer emitted.
 io::Value to_json(const ServiceMetrics& metrics);
 /// Wire body for a transient response: status, schema_version, error, and
 /// the report (with its own observability member) when kOk.
@@ -186,6 +187,19 @@ class EvaluationService {
 
   /// Convenience: submit + get.
   ServiceResponse evaluate(const io::EvaluationRequest& request);
+
+  /// Batch-first evaluation (the {"cmd":"evaluate_batch"} verb): resolves
+  /// every request and returns responses in input order. Result-cache
+  /// hits and in-batch duplicates (equal canonical keys) share one entry;
+  /// the rest route through the batch evaluation engine (core/batch.hpp)
+  /// synchronously on the caller's thread — same-operator requests solve
+  /// as one block panel — grouped per distinct spec, against the
+  /// service's shared mesh cache. Each response is bit-identical to a
+  /// lone evaluate() of its request except where block panels engage
+  /// (certified backward error; see core/batch.hpp). Not queued or
+  /// coalesced with submit() traffic; records serve.batch.* instruments.
+  std::vector<ServiceResponse> evaluate_batch(
+      const std::vector<io::EvaluationRequest>& requests);
 
   /// Runs a droop campaign synchronously against the service's shared
   /// mesh cache, recording serve.transient.* instruments (request /

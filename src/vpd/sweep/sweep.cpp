@@ -39,6 +39,11 @@ obs::Snapshot SweepReport::snapshot() const {
   s.set_counter("solver.precond_reuses", solver.precond_reuses);
   s.set_counter("solver.cg_block_panels", solver.cg_block_panels);
   s.set_counter("solver.cg_block_columns", solver.cg_block_columns);
+  s.set_counter("sweep.batch_groups", batch.groups);
+  s.set_counter("sweep.batch_grouped_points", batch.grouped_points);
+  s.set_counter("sweep.batch_scalar_points", batch.scalar_points);
+  s.set_counter("sweep.batch_panel_columns", batch.panel_columns);
+  s.set_counter("sweep.batch_deduped_solves", batch.deduped_solves);
   s.set_gauge("sweep.wall_seconds", wall_seconds, wall_seconds);
   obs::HistogramData point_seconds(obs::default_latency_bounds());
   for (const SweepOutcome& o : outcomes) {
@@ -68,55 +73,107 @@ SweepReport SweepRunner::run(const std::vector<SweepPoint>& points) const {
 
   SweepReport report;
   report.outcomes.resize(points.size());
-  std::vector<std::exception_ptr> errors(points.size());
 
-  // Each task owns exactly one pre-assigned slot, so no result
-  // synchronization is needed beyond the pool's quiescence barrier; slot
-  // order (== input order) is independent of completion order.
-  const auto evaluate_point = [&](std::size_t index) {
-    const SweepPoint& point = points[index];
-    SweepOutcome& out = report.outcomes[index];
-    out.point = point;
-    const auto start = std::chrono::steady_clock::now();
-    try {
-      EvaluationOptions options = point.options;
-      options.mesh_cache = cache;
-      out.entry = evaluate_with_exclusion(spec_, point.architecture,
-                                          point.topology, point.tech,
-                                          options);
-      const ArchitectureEvaluation* eval =
-          out.entry.evaluation ? &*out.entry.evaluation
-                               : (out.entry.extrapolated
-                                      ? &*out.entry.extrapolated
-                                      : nullptr);
-      if (eval != nullptr) out.stats.cg_iterations = eval->cg_iterations;
-    } catch (...) {
-      errors[index] = std::current_exception();
-    }
-    out.stats.wall_seconds = seconds_since(start);
+  const auto harvest_cg = [](SweepOutcome& out) {
+    const ArchitectureEvaluation* eval =
+        out.entry.evaluation ? &*out.entry.evaluation
+                             : (out.entry.extrapolated
+                                    ? &*out.entry.extrapolated
+                                    : nullptr);
+    if (eval != nullptr) out.stats.cg_iterations = eval->cg_iterations;
   };
 
   std::size_t threads = config_.threads;
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  if (threads == 1 || points.size() <= 1) {
-    // Serial reference path: same evaluation routine, calling thread.
-    for (std::size_t i = 0; i < points.size(); ++i) evaluate_point(i);
-    report.threads_used = 1;
-  } else {
-    ThreadPool pool(threads);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      pool.submit([&evaluate_point, i] { evaluate_point(i); });
-    }
-    pool.wait_idle();
-    report.threads_used = pool.thread_count();
-  }
 
-  // Surface the first failure in input order (deterministic, unlike
-  // completion order).
-  for (std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+  if (config_.batch) {
+    std::vector<EvaluationPoint> batch_points;
+    batch_points.reserve(points.size());
+    for (const SweepPoint& point : points) {
+      EvaluationPoint p{point.architecture, point.topology, point.tech,
+                        point.options};
+      p.options.mesh_cache = cache;
+      batch_points.push_back(std::move(p));
+    }
+    BatchConfig batch_config;
+    batch_config.block = config_.batch_block;
+    EvaluationBatch batch(spec_, std::move(batch_points), batch_config);
+    if (threads == 1 || points.size() <= 1) {
+      // Serial reference path: same phases, calling thread.
+      batch.run();
+      report.threads_used = 1;
+    } else {
+      // The phases parallelize without changing results: probe and
+      // execute tasks own disjoint slots, and the single-threaded plan()
+      // groups in input order regardless of probe completion order.
+      ThreadPool pool(threads);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        pool.submit([&batch, i] { batch.probe(i); });
+      }
+      pool.wait_idle();
+      batch.plan();
+      for (std::size_t u = 0; u < batch.unit_count(); ++u) {
+        pool.submit([&batch, u] { batch.execute(u); });
+      }
+      pool.wait_idle();
+      report.threads_used = pool.thread_count();
+    }
+    // Surface the first failure in input order (deterministic, unlike
+    // completion order).
+    batch.rethrow_first_error();
+    report.batch = batch.stats();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      SweepOutcome& out = report.outcomes[i];
+      out.point = points[i];
+      out.entry = std::move(batch.entry(i));
+      out.stats.wall_seconds = batch.wall_seconds(i);
+      harvest_cg(out);
+    }
+  } else {
+    std::vector<std::exception_ptr> errors(points.size());
+
+    // Pre-batch scalar loop, kept as the bit-identity reference. Each
+    // task owns exactly one pre-assigned slot, so no result
+    // synchronization is needed beyond the pool's quiescence barrier;
+    // slot order (== input order) is independent of completion order.
+    const auto evaluate_point = [&](std::size_t index) {
+      const SweepPoint& point = points[index];
+      SweepOutcome& out = report.outcomes[index];
+      out.point = point;
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        EvaluationOptions options = point.options;
+        options.mesh_cache = cache;
+        out.entry = evaluate_with_exclusion(spec_, point.architecture,
+                                            point.topology, point.tech,
+                                            options);
+        harvest_cg(out);
+      } catch (...) {
+        errors[index] = std::current_exception();
+      }
+      out.stats.wall_seconds = seconds_since(start);
+    };
+
+    if (threads == 1 || points.size() <= 1) {
+      // Serial reference path: same evaluation routine, calling thread.
+      for (std::size_t i = 0; i < points.size(); ++i) evaluate_point(i);
+      report.threads_used = 1;
+    } else {
+      ThreadPool pool(threads);
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        pool.submit([&evaluate_point, i] { evaluate_point(i); });
+      }
+      pool.wait_idle();
+      report.threads_used = pool.thread_count();
+    }
+
+    // Surface the first failure in input order (deterministic, unlike
+    // completion order).
+    for (std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
   }
 
   if (cache != nullptr) {

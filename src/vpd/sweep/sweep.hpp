@@ -1,15 +1,22 @@
 // Design-space sweep engine: enumerates architecture x topology x device
 // technology x evaluation-option grids and evaluates every point on a
 // worker pool, sharing one MeshSolveCache so each distinct mesh geometry
-// is assembled exactly once per sweep.
+// is assembled exactly once per sweep. Points ride the batch evaluation
+// engine (core/batch.hpp) by default: same-operator points — sink-map
+// variants, fault load scalings — solve their distinct right-hand sides
+// together as block-CG panels instead of one scalar solve each.
 //
 // Determinism contract: results come back in input order, and a parallel
 // run is bit-identical to a serial run of the same points. This holds
-// because every point is evaluated by the same pure routine
+// because probing and replay run the same pure routine
 // (evaluate_with_exclusion) with no cross-point mutable state — the CG
 // warm start is a flat rail-voltage vector derived from the point itself,
-// and cached mesh operators are immutable and numerically identical to a
-// per-call assembly. Only SweepStats timing fields vary run to run.
+// cached mesh operators are immutable and numerically identical to a
+// per-call assembly, and batch grouping happens single-threaded in input
+// order, independent of probe completion order. Only SweepStats timing
+// fields vary run to run. With batch_block=false (or batch=false) results
+// are additionally bit-identical to the pre-batch scalar loop; block
+// panels answer to the same certified backward-error tolerance instead.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "vpd/arch/evaluator.hpp"
+#include "vpd/core/batch.hpp"
 #include "vpd/core/explorer.hpp"
 #include "vpd/core/spec.hpp"
 #include "vpd/obs/registry.hpp"
@@ -60,6 +68,15 @@ struct SweepConfig {
   /// the runner use one private cache per run(). Ignored when
   /// use_mesh_cache is false. Must outlive the runner's run() calls.
   MeshSolveCache* cache{nullptr};
+  /// Route the points through the batch evaluation engine (core/batch.hpp):
+  /// same-operator points solve their distinct sink vectors together
+  /// instead of one scalar solve each. false reproduces the pre-batch
+  /// point-at-a-time loop exactly.
+  bool batch{true};
+  /// Solve batched groups as block-CG panels (certified backward error,
+  /// counted in solver.cg_block_panels). false runs each group as a
+  /// sequential loop over its columns — bit-identical to batch=false.
+  bool batch_block{true};
 };
 
 struct SweepReport {
@@ -76,6 +93,9 @@ struct SweepReport {
   /// the factorization/reuse split depends on how points land on the
   /// thread-local solver workspaces, i.e. on scheduling.
   SolverCounters solver;
+  /// Batch-engine accounting (all zero when SweepConfig::batch is false).
+  /// Deterministic in the point list alone.
+  BatchStats batch;
 
   std::size_t total_cg_iterations() const;
 

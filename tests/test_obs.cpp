@@ -465,7 +465,7 @@ TEST(ObsService, ResponsesCarryStageTimings) {
   EXPECT_GE(body.at("timings").at("serialize_seconds").as_number(), 0.0);
 }
 
-TEST(ObsService, MetricsCarryUnifiedShapeWithAliases) {
+TEST(ObsService, MetricsCarryTheUnifiedShapeOnly) {
   serve::ServiceConfig config;
   config.threads = 2;
   serve::EvaluationService service(std::move(config));
@@ -501,16 +501,24 @@ TEST(ObsService, MetricsCarryUnifiedShapeWithAliases) {
   ASSERT_NE(snapshot.histogram("serve.stage.solve_seconds"), nullptr);
   EXPECT_EQ(snapshot.histogram("serve.stage.solve_seconds")->count, 1u);
 
-  // One JSON document, both vocabularies: the unified shape plus the
-  // pre-v2 flat keys as deprecated aliases.
+  // One JSON document, one vocabulary: the unified telemetry shape.
+  // The pre-v2 flat aliases were removed with the batch-first API
+  // (docs/observability.md).
   const io::Value v = serve::to_json(metrics);
   EXPECT_EQ(v.at("schema_version").as_number(), double(io::kSchemaVersion));
   EXPECT_EQ(v.at("counters").at("serve.requests").as_number(), 2.0);
-  EXPECT_EQ(v.at("requests").as_number(), 2.0);  // deprecated alias
-  EXPECT_EQ(v.at("result_cache_hits").as_number(), 1.0);
-  EXPECT_EQ(v.at("mesh_cache").at("misses").as_number(),
-            v.at("counters").at("mesh_cache.misses").as_number());
-  EXPECT_GE(v.at("latency").at("p99_seconds").as_number(), 0.0);
+  EXPECT_EQ(v.at("counters").at("serve.result_cache_hits").as_number(), 1.0);
+  EXPECT_GE(v.at("counters").at("mesh_cache.misses").as_number(), 1.0);
+  EXPECT_GE(v.at("histograms")
+                .at("serve.latency_seconds")
+                .at("p99")
+                .as_number(),
+            0.0);
+  EXPECT_EQ(v.find("requests"), nullptr);
+  EXPECT_EQ(v.find("result_cache_hits"), nullptr);
+  EXPECT_EQ(v.find("mesh_cache"), nullptr);
+  EXPECT_EQ(v.find("latency"), nullptr);
+  EXPECT_EQ(v.find("solver"), nullptr);
 }
 
 TEST(ObsService, SlowRequestLogFiresThroughTheSink) {

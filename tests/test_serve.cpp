@@ -289,13 +289,20 @@ TEST(EvaluationService, MetricsAreInternallyConsistent) {
   EXPECT_GE(metrics.queue_high_water, 1u);
   EXPECT_DOUBLE_EQ(metrics.result_cache_hit_rate(), 1.0 / 3.0);
 
-  // The JSON export carries every counter.
+  // The JSON export is exactly the unified telemetry snapshot; the pre-v2
+  // flat aliases are gone after their deprecation window.
   const io::Value v = service.metrics_json();
-  EXPECT_EQ(v.at("requests").as_number(), 3.0);
-  EXPECT_EQ(v.at("result_cache_hits").as_number(), 1.0);
-  EXPECT_EQ(v.at("mesh_cache").at("misses").as_number(),
+  EXPECT_EQ(v.at("counters").at("serve.requests").as_number(), 3.0);
+  EXPECT_EQ(v.at("counters").at("serve.result_cache_hits").as_number(), 1.0);
+  EXPECT_EQ(v.at("counters").at("mesh_cache.misses").as_number(),
             static_cast<double>(metrics.mesh_cache.misses));
-  EXPECT_GT(v.at("latency").at("p99_seconds").as_number(), 0.0);
+  EXPECT_GT(v.at("histograms").at("serve.latency_seconds").at("p99")
+                .as_number(),
+            0.0);
+  EXPECT_EQ(v.find("requests"), nullptr);
+  EXPECT_EQ(v.find("latency"), nullptr);
+  EXPECT_EQ(v.find("mesh_cache"), nullptr);
+  EXPECT_EQ(v.find("solver"), nullptr);
 }
 
 TEST(EvaluationService, ResponseJsonCarriesStatusAndResult) {

@@ -1,7 +1,9 @@
 #!/bin/sh
-# End-to-end vpdd smoke test: pipe 19 NDJSON lines (10 pipelined
+# End-to-end vpdd smoke test: pipe 20 NDJSON lines (10 pipelined
 # evaluation requests, one of them malformed, two droop-campaign
 # requests and two optimize requests — one valid, one rejected each —
+# an evaluate_batch request whose two same-operator members must solve
+# as one block panel,
 # plus metrics / trace / unknown control verbs, a malformed line whose
 # "id" must still be echoed, and
 # a final graceful-shutdown verb) through the daemon with tracing
@@ -36,6 +38,7 @@ this line is not JSON {{{
 {"id":15,"cmd":"transient","architecture":"A0"}
 {"id":16,"cmd":"optimize","space":{"architectures":["A3@12V"],"topologies":["DSCH"],"vr_count":{"lo":36,"hi":40}},"config":{"population":4,"generations":1,"survivability":{"max_elites":1},"threads":2},"options":{"mesh_nodes":11}}
 {"id":17,"cmd":"optimize","space":{"vr_count":{"lo":0,"hi":4}}}
+{"id":18,"cmd":"evaluate_batch","requests":[{"architecture":"A3@12V","topology":"DSCH","options":{"mesh_nodes":31}},{"architecture":"A3@12V","topology":"DSCH","options":{"mesh_nodes":31},"fault_scenario":{"faults":[{"kind":"stage2-dropout","site":0}]}}]}
 {"id":11,"cmd":"metrics"}
 {"id":12,"cmd":"trace"}
 {"id":13,"cmd":"frobnicate"}
@@ -55,8 +58,8 @@ fail() {
 }
 
 # One response line per request, in request order.
-[ "$(wc -l < "$responses")" -eq 19 ] || fail "expected 19 response lines"
-expected_ids='1 2 3 4 5 6 null 8 9 10 14 15 16 17 11 12 13 21 99'
+[ "$(wc -l < "$responses")" -eq 20 ] || fail "expected 20 response lines"
+expected_ids='1 2 3 4 5 6 null 8 9 10 14 15 16 17 18 11 12 13 21 99'
 actual_ids="$(grep -o '^{"id":[^,]*' "$responses" | sed 's/^{"id"://' | tr '\n' ' ' | sed 's/ $//')"
 [ "$actual_ids" = "$expected_ids" ] || fail "response ids/order wrong: $actual_ids"
 
@@ -81,6 +84,7 @@ check_status 14 ok
 check_status 15 error
 check_status 16 ok
 check_status 17 error
+check_status 18 ok
 check_status 11 ok
 check_status 12 ok
 check_status 13 error
@@ -135,6 +139,15 @@ grep '^{"id":16,' "$responses" | grep -q '"hypervolume":' \
 grep '^{"id":17,' "$responses" | grep -q '"status":"error"' \
   || fail "the degenerate optimize space must be rejected"
 
+# The "evaluate_batch" verb resolves its members together: the response
+# carries one result per request in request order, and the two
+# same-operator A3 members (nominal vs stage2-dropout — same mesh, sink
+# scaling only) must have been solved as one two-column block panel.
+grep '^{"id":18,' "$responses" | grep -q '"results":\[' \
+  || fail "evaluate_batch responses must carry the results array"
+grep '^{"id":18,' "$responses" | grep -q '"timings":' \
+  || fail "evaluate_batch results must carry per-member bodies"
+
 # The "metrics" verb resolves after every earlier request and reports the
 # unified telemetry shape, including the serve.transient.* instruments.
 grep '^{"id":11,' "$responses" | grep -q '"metrics":{' \
@@ -145,6 +158,10 @@ grep '^{"id":11,' "$responses" | grep -q '"serve.transient.requests":1' \
   || fail "metrics must count the resolved transient request"
 grep '^{"id":11,' "$responses" | grep -q '"serve.optimize.requests":1' \
   || fail "metrics must count the resolved optimize request"
+grep '^{"id":11,' "$responses" | grep -q '"serve.batch.requests":2' \
+  || fail "metrics must count both evaluate_batch members"
+grep '^{"id":11,' "$responses" | grep -q '"serve.batch.panel_columns":2' \
+  || fail "the two same-operator batch members must form a block panel"
 
 # The "trace" verb flushed the buffer to the --trace file, which must be
 # a Chrome trace-event document with at least one recorded span.
@@ -156,12 +173,13 @@ grep -q '"name":"vpd.evaluate"' "$trace" \
   || fail "trace file should contain evaluator spans"
 
 # The duplicate (id=3) is served without a second evaluation, and the
-# --metrics shutdown dump is valid enough to grep.
-grep -q '"requests": 8' "$workdir/metrics.json" \
+# --metrics shutdown dump is the unified telemetry snapshot (the pre-v2
+# flat aliases are gone — docs/observability.md).
+grep -q '"serve.requests": 8' "$workdir/metrics.json" \
   || fail "metrics dump should count 8 schema-valid requests"
-grep -q '"evaluated": 7' "$workdir/metrics.json" \
+grep -q '"serve.evaluated": 7' "$workdir/metrics.json" \
   || fail "metrics dump should show the duplicate was not re-evaluated"
 grep -q '"counters": {' "$workdir/metrics.json" \
   || fail "metrics dump should carry the unified telemetry shape"
 
-echo "vpdd_smoke: OK (19 pipelined lines: 10 requests, 2 malformed, 2 transient, 2 optimize, 3 control verbs, 1 shutdown)"
+echo "vpdd_smoke: OK (20 pipelined lines: 10 requests, 1 batch, 2 malformed, 2 transient, 2 optimize, 3 control verbs, 1 shutdown)"

@@ -6,6 +6,10 @@
 // form) or a control envelope selected by "cmd":
 //
 //   {"cmd":"evaluate", ...request fields...}   evaluate (same as bare)
+//   {"cmd":"evaluate_batch",                   batch-first evaluation:
+//    "requests":[...]}                         same-operator requests
+//                                              solve as one block panel
+//                                              (docs/serve.md)
 //   {"cmd":"transient", ...request fields...}  droop campaign (see
 //                                              docs/transient.md)
 //   {"cmd":"optimize", ...request fields...}   Pareto design search (see
